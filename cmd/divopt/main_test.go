@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netdiversity/internal/netmodel"
+)
+
+func writeSpecFile(t *testing.T) string {
+	t.Helper()
+	spec := netmodel.Spec{
+		Hosts: []netmodel.HostSpec{
+			{
+				ID:       "a",
+				Services: []netmodel.ServiceID{"os"},
+				Choices:  map[netmodel.ServiceID][]netmodel.ProductID{"os": {"win7", "deb80"}},
+			},
+			{
+				ID:       "b",
+				Services: []netmodel.ServiceID{"os"},
+				Choices:  map[netmodel.ServiceID][]netmodel.ProductID{"os": {"win7", "deb80"}},
+			},
+		},
+		Links: []netmodel.Link{{A: "a", B: "b"}},
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunWithSpecFile(t *testing.T) {
+	path := writeSpecFile(t)
+	outPath := filepath.Join(t.TempDir(), "assignment.json")
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-out", outPath}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "hosts=2") {
+		t.Errorf("summary missing host count:\n%s", out.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("assignment file not written: %v", err)
+	}
+	a := netmodel.NewAssignment()
+	if err := json.Unmarshal(data, a); err != nil {
+		t.Fatalf("assignment file not valid JSON: %v", err)
+	}
+	if a.Len() != 2 {
+		t.Errorf("assignment has %d entries, want 2", a.Len())
+	}
+	// The two connected hosts should receive different operating systems.
+	if a.Product("a", "os") == a.Product("b", "os") {
+		t.Error("connected hosts should be diversified")
+	}
+}
+
+func TestRunDotExport(t *testing.T) {
+	path := writeSpecFile(t)
+	dotPath := filepath.Join(t.TempDir(), "net.dot")
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-dot", dotPath}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatalf("dot file not written: %v", err)
+	}
+	if !strings.Contains(string(data), "graph \"diversified\"") {
+		t.Errorf("dot output unexpected:\n%s", data)
+	}
+}
+
+func TestRunCaseStudyScenarios(t *testing.T) {
+	for _, scenario := range []string{"none", "host-constraints", "product-constraints"} {
+		var out bytes.Buffer
+		if err := run([]string{"-case-study", "-scenario", scenario, "-iterations", "30"}, &out); err != nil {
+			t.Fatalf("scenario %s: %v", scenario, err)
+		}
+		if !strings.Contains(out.String(), "hosts=29") {
+			t.Errorf("scenario %s output missing case-study size:\n%s", scenario, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing -in should fail")
+	}
+	if err := run([]string{"-in", "/nonexistent/spec.json"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run([]string{"-case-study", "-scenario", "bogus"}, &out); err == nil {
+		t.Error("unknown scenario should fail")
+	}
+	if err := run([]string{"-case-study", "-solver", "bogus"}, &out); err == nil {
+		t.Error("unknown solver should fail")
+	}
+	if err := run([]string{"-zzz"}, &out); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

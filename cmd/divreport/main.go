@@ -1,0 +1,256 @@
+// Command divreport produces a Markdown security-assessment report for a
+// network: it computes the optimal diversification, compares it against the
+// current/homogeneous and random deployments, and evaluates every assignment
+// with the BN diversity metric, the Zhang-style d1/d2/d3 metrics, the MTTC
+// simulation and its analytic estimate, and the attacker-knowledge
+// evaluation.  Optionally it also writes Graphviz renderings of the network.
+//
+// Usage:
+//
+//	divreport -case-study -entry c4 -target t5 -out report.md
+//	divreport -in network.json -entry web1 -target plc3 -out report.md -dot-dir out/
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"netdiversity"
+	"netdiversity/internal/casestudy"
+	"netdiversity/internal/netmodel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "divreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("divreport", flag.ContinueOnError)
+	var (
+		inPath   = fs.String("in", "", "path to a network spec JSON")
+		useCase  = fs.Bool("case-study", false, "use the built-in ICS case study")
+		entry    = fs.String("entry", "c4", "attacker entry host")
+		target   = fs.String("target", "t5", "attack target host")
+		outPath  = fs.String("out", "", "write the Markdown report to this file (default: stdout)")
+		dotDir   = fs.String("dot-dir", "", "write Graphviz renderings into this directory")
+		runs     = fs.Int("runs", 300, "simulation runs per MTTC cell")
+		seed     = fs.Int64("seed", 1, "random seed")
+		workers  = fs.Int("workers", 1, "solver worker goroutines")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, sim, cs, err := loadNetwork(*inPath, *useCase)
+	if err != nil {
+		return err
+	}
+	entryHost := netdiversity.HostID(*entry)
+	targetHost := netdiversity.HostID(*target)
+	if _, ok := net.Host(entryHost); !ok {
+		return fmt.Errorf("entry host %q not in the network", entryHost)
+	}
+	if _, ok := net.Host(targetHost); !ok {
+		return fmt.Errorf("target host %q not in the network", targetHost)
+	}
+
+	report, assignments, err := buildReport(net, sim, cs, entryHost, targetHost, *runs, *seed, *workers)
+	if err != nil {
+		return err
+	}
+
+	if *dotDir != "" {
+		if err := os.MkdirAll(*dotDir, 0o755); err != nil {
+			return err
+		}
+		for name, a := range assignments {
+			path := filepath.Join(*dotDir, name+".dot")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = netdiversity.WriteDot(f, net, netdiversity.DotOptions{
+				Assignment:     a,
+				HighlightHosts: []netdiversity.HostID{entryHost, targetHost},
+				Name:           name,
+			})
+			cerr := f.Close()
+			if err != nil {
+				return err
+			}
+			if cerr != nil {
+				return cerr
+			}
+			report += fmt.Sprintf("* Graphviz rendering of the %s assignment: `%s`\n", name, path)
+		}
+	}
+
+	if *outPath == "" {
+		_, err := io.WriteString(stdout, report)
+		return err
+	}
+	if err := os.WriteFile(*outPath, []byte(report), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "report written to %s\n", *outPath)
+	return nil
+}
+
+func loadNetwork(inPath string, useCase bool) (*netdiversity.Network, *netdiversity.SimilarityTable, *netdiversity.ConstraintSet, error) {
+	if useCase || inPath == "" {
+		net, err := casestudy.Build()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return net, casestudy.Similarity(), casestudy.HostConstraints(), nil
+	}
+	f, err := os.Open(inPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	net, cs, err := netmodel.ReadSpec(f)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return net, netdiversity.PaperSimilarity(), cs, nil
+}
+
+// buildReport computes the assignments and renders the Markdown report.
+func buildReport(net *netdiversity.Network, sim *netdiversity.SimilarityTable, cs *netdiversity.ConstraintSet,
+	entry, target netdiversity.HostID, runs int, seed int64, workers int) (string, map[string]*netdiversity.Assignment, error) {
+
+	opt, err := netdiversity.NewOptimizer(net, sim, netdiversity.OptimizerOptions{Workers: workers, Seed: seed})
+	if err != nil {
+		return "", nil, err
+	}
+	optimalRes, err := opt.Optimize(context.Background())
+	if err != nil {
+		return "", nil, err
+	}
+	var constrained *netdiversity.Assignment
+	if cs != nil && !cs.Empty() {
+		copt, err := netdiversity.NewOptimizer(net, sim, netdiversity.OptimizerOptions{Workers: workers, Seed: seed})
+		if err != nil {
+			return "", nil, err
+		}
+		if err := copt.SetConstraints(cs); err != nil {
+			return "", nil, err
+		}
+		cres, err := copt.Optimize(context.Background())
+		if err != nil {
+			return "", nil, err
+		}
+		constrained = cres.Assignment
+	}
+	mono, err := netdiversity.MonoAssignment(net, nil)
+	if err != nil {
+		return "", nil, err
+	}
+	random, err := netdiversity.RandomAssignment(net, nil, seed)
+	if err != nil {
+		return "", nil, err
+	}
+
+	assignments := map[string]*netdiversity.Assignment{
+		"optimal": optimalRes.Assignment,
+		"mono":    mono,
+		"random":  random,
+	}
+	order := []string{"optimal"}
+	if constrained != nil {
+		assignments["constrained"] = constrained
+		order = append(order, "constrained")
+	}
+	order = append(order, "random", "mono")
+
+	var body []byte
+	buf := func(format string, args ...any) {
+		body = append(body, []byte(fmt.Sprintf(format, args...))...)
+	}
+
+	buf("# Network diversification assessment\n\n")
+	buf("Generated by divreport on %s.\n\n", time.Now().Format("2006-01-02"))
+	buf("* Hosts: %d, links: %d\n", net.NumHosts(), net.NumLinks())
+	buf("* Attack scenario: entry `%s`, target `%s`\n", entry, target)
+	buf("* Optimiser: TRW-S, %d-node MRF with %d pairwise factors, solved in %s\n\n",
+		optimalRes.Nodes, optimalRes.Edges, optimalRes.Runtime.Round(time.Millisecond))
+
+	buf("## Assignment comparison\n\n")
+	buf("| assignment | pairwise similarity cost | d_bn | d1 richness | d3 avg effort | MTTC (sim) | MTTC (analytic) |\n")
+	buf("|---|---|---|---|---|---|---|\n")
+	for _, name := range order {
+		a := assignments[name]
+		cost, err := netdiversity.PairwiseSimilarityCost(net, sim, a)
+		if err != nil {
+			return "", nil, err
+		}
+		div, err := netdiversity.Diversity(net, a, sim,
+			netdiversity.DiversityConfig{Entry: entry, Target: target},
+			netdiversity.InferenceOptions{Seed: seed, Samples: 100000})
+		if err != nil {
+			return "", nil, err
+		}
+		summary, err := netdiversity.DiversityMetrics(net, a, sim,
+			netdiversity.EffortConfig{Entry: entry, Target: target, MaxExtraHops: 1})
+		if err != nil {
+			return "", nil, err
+		}
+		simulator, err := netdiversity.NewSimulator(net, a, sim)
+		if err != nil {
+			return "", nil, err
+		}
+		mttc, err := simulator.Run(netdiversity.SimulationConfig{
+			Entry: entry, Target: target, Runs: runs, Seed: seed,
+		})
+		if err != nil {
+			return "", nil, err
+		}
+		est, err := simulator.EstimateMTTC(netdiversity.SimulationConfig{Entry: entry, Target: target})
+		if err != nil {
+			return "", nil, err
+		}
+		buf("| %s | %.3f | %.4f | %.4f | %.3f | %.2f | %.2f |\n",
+			name, cost, div.Diversity, summary.Richness.Overall, summary.AverageEffort, mttc.MTTC, est.MTTC)
+	}
+
+	buf("\n## Attacker knowledge sensitivity (MTTC in ticks)\n\n")
+	buf("| assignment | blind | partial | full reconnaissance |\n|---|---|---|---|\n")
+	for _, name := range order {
+		ev, err := netdiversity.NewAdversaryEvaluator(net, assignments[name], sim)
+		if err != nil {
+			return "", nil, err
+		}
+		results, err := ev.Compare(netdiversity.AdversaryConfig{
+			Entry: entry, Target: target, Runs: runs, Seed: seed,
+		})
+		if err != nil {
+			return "", nil, err
+		}
+		buf("| %s | %.2f | %.2f | %.2f |\n", name, results[0].MTTC, results[1].MTTC, results[2].MTTC)
+	}
+
+	buf("\n## Recommended changes\n\n")
+	buf("The optimal assignment changes the following host/service installations relative to the homogeneous deployment:\n\n")
+	diffs := mono.Diff(optimalRes.Assignment)
+	limit := len(diffs)
+	if limit > 40 {
+		limit = 40
+	}
+	for _, d := range diffs[:limit] {
+		buf("* %s\n", d)
+	}
+	if len(diffs) > limit {
+		buf("* … and %d more\n", len(diffs)-limit)
+	}
+	buf("\n")
+	return string(body), assignments, nil
+}

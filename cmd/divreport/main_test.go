@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunCaseStudyReportToStdout(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-case-study", "-runs", "40", "-seed", "3"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"# Network diversification assessment",
+		"## Assignment comparison",
+		"| optimal |",
+		"| constrained |",
+		"| mono |",
+		"## Attacker knowledge sensitivity",
+		"## Recommended changes",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunReportToFileWithDot(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "report.md")
+	dotDir := filepath.Join(dir, "dot")
+	var out bytes.Buffer
+	args := []string{"-case-study", "-runs", "30", "-out", outPath, "-dot-dir", dotDir}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if !strings.Contains(string(data), "Graphviz rendering") {
+		t.Error("report should reference the Graphviz files")
+	}
+	entries, err := os.ReadDir(dotDir)
+	if err != nil {
+		t.Fatalf("dot dir not created: %v", err)
+	}
+	if len(entries) < 3 {
+		t.Errorf("expected at least 3 dot files, got %d", len(entries))
+	}
+	if !strings.Contains(out.String(), "report written to") {
+		t.Error("stdout should confirm the output path")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-case-study", "-entry", "nope"}, &out); err == nil {
+		t.Error("unknown entry host should fail")
+	}
+	if err := run([]string{"-case-study", "-target", "nope"}, &out); err == nil {
+		t.Error("unknown target host should fail")
+	}
+	if err := run([]string{"-in", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing spec file should fail")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

@@ -1,0 +1,154 @@
+// Command divsim evaluates a product assignment by running the
+// malware-propagation simulator (MTTC) and the Bayesian-network diversity
+// metric against the built-in case study or a user-supplied network spec.
+//
+// Usage:
+//
+//	divsim -case-study -assignment optimal -entry c4 -target t5
+//	divsim -in network.json -assignment-file assignment.json -entry h0 -target h9
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"netdiversity"
+	"netdiversity/internal/baseline"
+	"netdiversity/internal/casestudy"
+	"netdiversity/internal/core"
+	"netdiversity/internal/netmodel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "divsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("divsim", flag.ContinueOnError)
+	var (
+		inPath   = fs.String("in", "", "path to a network spec JSON")
+		useCase  = fs.Bool("case-study", false, "use the built-in ICS case study")
+		assign   = fs.String("assignment", "optimal", "assignment to evaluate: optimal, host-constraints, product-constraints, random, mono")
+		assignIn = fs.String("assignment-file", "", "path to an assignment JSON (overrides -assignment)")
+		entry    = fs.String("entry", "c4", "entry host of the attacker")
+		target   = fs.String("target", "t5", "target host")
+		runs     = fs.Int("runs", 1000, "simulation runs")
+		maxTicks = fs.Int("max-ticks", 500, "maximum ticks per simulation run")
+		pavg     = fs.Float64("pavg", 0.2, "average zero-day propagation rate")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	net, sim, err := loadNetwork(*inPath, *useCase)
+	if err != nil {
+		return err
+	}
+	assignment, err := resolveAssignment(net, sim, *assign, *assignIn, *seed)
+	if err != nil {
+		return err
+	}
+
+	simulator, err := netdiversity.NewSimulator(net, assignment, sim)
+	if err != nil {
+		return err
+	}
+	simRes, err := simulator.Run(netdiversity.SimulationConfig{
+		Entry:    netmodel.HostID(*entry),
+		Target:   netmodel.HostID(*target),
+		Runs:     *runs,
+		MaxTicks: *maxTicks,
+		PAvg:     *pavg,
+		Seed:     *seed,
+	})
+	if err != nil {
+		return err
+	}
+	divRes, err := netdiversity.Diversity(net, assignment, sim, netdiversity.DiversityConfig{
+		Entry:  netmodel.HostID(*entry),
+		Target: netmodel.HostID(*target),
+		PAvg:   *pavg,
+	}, netdiversity.InferenceOptions{Seed: *seed})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "assignment=%s entry=%s target=%s\n", *assign, *entry, *target)
+	fmt.Fprintf(out, "mttc=%.3f median=%.1f p90=%.1f success_rate=%.3f mean_infected=%.2f (%d runs)\n",
+		simRes.MTTC, simRes.MedianTTC, simRes.P90TTC, simRes.SuccessRate, simRes.MeanInfected, simRes.Runs)
+	fmt.Fprintf(out, "diversity d_bn=%.5f logP'=%.3f logP=%.3f\n",
+		divRes.Diversity, divRes.LogPTargetNoSim, divRes.LogPTarget)
+	return nil
+}
+
+func loadNetwork(inPath string, useCase bool) (*netmodel.Network, *netdiversity.SimilarityTable, error) {
+	if useCase || inPath == "" {
+		net, err := casestudy.Build()
+		if err != nil {
+			return nil, nil, err
+		}
+		return net, casestudy.Similarity(), nil
+	}
+	f, err := os.Open(inPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	net, _, err := netmodel.ReadSpec(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, netdiversity.PaperSimilarity(), nil
+}
+
+func resolveAssignment(net *netmodel.Network, sim *netdiversity.SimilarityTable, kind, file string, seed int64) (*netmodel.Assignment, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		a := netmodel.NewAssignment()
+		if err := json.Unmarshal(data, a); err != nil {
+			return nil, err
+		}
+		return a, nil
+	}
+	optimize := func(cs *netmodel.ConstraintSet) (*netmodel.Assignment, error) {
+		opt, err := netdiversity.NewOptimizer(net, sim, core.Options{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		if cs != nil {
+			if err := opt.SetConstraints(cs); err != nil {
+				return nil, err
+			}
+		}
+		res, err := opt.Optimize(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		return res.Assignment, nil
+	}
+	switch kind {
+	case "optimal":
+		return optimize(nil)
+	case "host-constraints":
+		return optimize(casestudy.HostConstraints())
+	case "product-constraints":
+		return optimize(casestudy.ProductConstraints())
+	case "random":
+		return baseline.Random(net, nil, seed)
+	case "mono":
+		return baseline.Mono(net, nil)
+	default:
+		return nil, fmt.Errorf("unknown assignment %q", kind)
+	}
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunCaseStudyMono(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-case-study", "-assignment", "mono", "-runs", "50", "-entry", "c4", "-target", "t5", "-seed", "2"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "mttc=") || !strings.Contains(got, "d_bn=") {
+		t.Errorf("output missing metrics:\n%s", got)
+	}
+}
+
+func TestRunCaseStudyOptimalVsMono(t *testing.T) {
+	extract := func(args []string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run %v: %v", args, err)
+		}
+		return out.String()
+	}
+	mono := extract([]string{"-case-study", "-assignment", "mono", "-runs", "60", "-seed", "5"})
+	optimal := extract([]string{"-case-study", "-assignment", "optimal", "-runs", "60", "-seed", "5"})
+	if mono == optimal {
+		t.Error("mono and optimal evaluations should differ")
+	}
+}
+
+func TestRunRandomAndConstraints(t *testing.T) {
+	for _, assignment := range []string{"random", "host-constraints"} {
+		var out bytes.Buffer
+		args := []string{"-case-study", "-assignment", assignment, "-runs", "30", "-seed", "1"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("assignment %s: %v", assignment, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-case-study", "-assignment", "bogus"}, &out); err == nil {
+		t.Error("unknown assignment should fail")
+	}
+	if err := run([]string{"-case-study", "-entry", "nope", "-runs", "5"}, &out); err == nil {
+		t.Error("unknown entry host should fail")
+	}
+	if err := run([]string{"-in", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing spec file should fail")
+	}
+	if err := run([]string{"-assignment-file", "/nonexistent.json", "-case-study"}, &out); err == nil {
+		t.Error("missing assignment file should fail")
+	}
+	if err := run([]string{"-xyz"}, &out); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

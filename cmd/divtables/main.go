@@ -1,0 +1,75 @@
+// Command divtables regenerates the tables and figures of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	divtables -exp all                # every experiment, quick profile
+//	divtables -exp table5,table6      # selected experiments
+//	divtables -exp table7 -full       # paper-sized scalability sweep
+//
+// Experiments: fig1, fig2, fig4, table2, table3, table5, table6, table7,
+// table8, table9, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"netdiversity/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "divtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("divtables", flag.ContinueOnError)
+	var (
+		expList = fs.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		full    = fs.Bool("full", false, "use the paper-sized (slow) experiment profile")
+		seed    = fs.Int64("seed", 42, "random seed")
+		workers = fs.Int("workers", 1, "worker goroutines for parallel solver stages")
+		list    = fs.Bool("list", false, "list available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+	cfg := experiments.Config{Full: *full, Seed: *seed, Workers: *workers}
+
+	var ids []string
+	if *expList == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiments selected")
+	}
+	for _, id := range ids {
+		table, err := experiments.Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if _, err := fmt.Fprintln(out, table.Render()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	for _, want := range []string{"table5", "fig1", "ablation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSelectedExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig1,fig2", "-seed", "7"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "fig1") || !strings.Contains(got, "fig2") {
+		t.Errorf("output missing experiment headers:\n%s", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "unknown"}, &out); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run([]string{"-exp", " , "}, &out); err == nil {
+		t.Error("empty experiment list should fail")
+	}
+	if err := run([]string{"-bogusflag"}, &out); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

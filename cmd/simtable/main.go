@@ -1,0 +1,74 @@
+// Command simtable prints vulnerability-similarity tables: either the tables
+// published in the paper (Tables II/III and the case-study database table) or
+// a table recomputed from a synthetic NVD-style CVE corpus, exercising the
+// full CVE -> CPE -> Jaccard pipeline offline.
+//
+// Usage:
+//
+//	simtable -table os                # Table II as published
+//	simtable -table browser -json     # Table III as JSON
+//	simtable -table os -recompute     # regenerate from a synthetic corpus
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"netdiversity/internal/nvdgen"
+	"netdiversity/internal/vulnsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simtable:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("simtable", flag.ContinueOnError)
+	var (
+		which     = fs.String("table", "os", "which table: os, browser, database, merged")
+		recompute = fs.Bool("recompute", false, "regenerate the table from a synthetic NVD corpus instead of printing the published values")
+		asJSON    = fs.Bool("json", false, "emit the table as JSON instead of text")
+		fromYear  = fs.Int("from-year", 0, "only count vulnerabilities published in or after this year (recompute mode)")
+		toYear    = fs.Int("to-year", 0, "only count vulnerabilities published in or before this year (recompute mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var table *vulnsim.SimilarityTable
+	switch *which {
+	case "os":
+		table = vulnsim.PaperOSTable()
+	case "browser":
+		table = vulnsim.PaperBrowserTable()
+	case "database":
+		table = vulnsim.PaperDatabaseTable()
+	case "merged":
+		table = vulnsim.PaperSimilarity()
+	default:
+		return fmt.Errorf("unknown table %q (want os, browser, database or merged)", *which)
+	}
+
+	if *recompute {
+		db, err := nvdgen.FromSimilarityTable(table, 1999)
+		if err != nil {
+			return err
+		}
+		filter := vulnsim.VulnFilter{FromYear: *fromYear, ToYear: *toYear}
+		table = vulnsim.BuildSimilarityTable(db, table.Products(), filter)
+		fmt.Fprintf(out, "# recomputed from a synthetic corpus of %d CVE records\n", db.Len())
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(table)
+	}
+	return table.Render(out)
+}

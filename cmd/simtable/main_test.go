@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunPublishedTables(t *testing.T) {
+	for _, table := range []string{"os", "browser", "database", "merged"} {
+		var out bytes.Buffer
+		if err := run([]string{"-table", table}, &out); err != nil {
+			t.Fatalf("run -table %s: %v", table, err)
+		}
+		if out.Len() == 0 {
+			t.Errorf("-table %s produced no output", table)
+		}
+	}
+}
+
+func TestRunRecompute(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "os", "-recompute"}, &out); err != nil {
+		t.Fatalf("run -recompute: %v", err)
+	}
+	if !strings.Contains(out.String(), "recomputed from a synthetic corpus") {
+		t.Errorf("recompute output missing corpus note:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "win7") {
+		t.Error("recomputed table should list win7")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "browser", "-json"}, &out); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if _, ok := decoded["products"]; !ok {
+		t.Error("JSON output missing products field")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-table", "unknown"}, &out); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if err := run([]string{"-nope"}, &out); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

@@ -1,0 +1,176 @@
+package netdiversity
+
+import (
+	"io"
+
+	"netdiversity/internal/adversary"
+	"netdiversity/internal/attacksim"
+	"netdiversity/internal/core"
+	"netdiversity/internal/metrics"
+	"netdiversity/internal/netgen"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// This file exposes the library extensions that go beyond the paper's own
+// evaluation: the Zhang-style diversity metrics (d1/d2/d3), the
+// attacker-knowledge adversarial evaluation (the paper's stated future work),
+// severity/recency-weighted similarity, partitioned parallel optimisation and
+// Graphviz export.
+
+// Diversity-metric types (Zhang et al., the family the paper's d_bn extends).
+type (
+	// MetricsSummary bundles d1 (richness), d2 (least effort) and d3
+	// (average effort) for one assignment.
+	MetricsSummary = metrics.Summary
+	// EffortConfig parameterises the d2/d3 attack-effort metrics.
+	EffortConfig = metrics.EffortConfig
+	// EffortResult reports d2/d3 with the enumerated attack paths.
+	EffortResult = metrics.EffortResult
+	// EffectiveRichness reports the d1 metric.
+	EffectiveRichness = metrics.EffectiveRichness
+)
+
+// Adversarial-evaluation types.
+type (
+	// AdversaryEvaluator runs campaigns under different attacker knowledge
+	// levels.
+	AdversaryEvaluator = adversary.Evaluator
+	// AdversaryConfig parameterises an adversarial campaign.
+	AdversaryConfig = adversary.Config
+	// AdversaryResult reports MTTC and success rate for one knowledge level.
+	AdversaryResult = adversary.Result
+	// AttackerKnowledge is the attacker's knowledge level.
+	AttackerKnowledge = adversary.Knowledge
+)
+
+// Attacker knowledge levels.
+const (
+	KnowledgeNone    = adversary.KnowledgeNone
+	KnowledgePartial = adversary.KnowledgePartial
+	KnowledgeFull    = adversary.KnowledgeFull
+)
+
+// Weighted-similarity types.
+type (
+	// CVEWeightFunc assigns a weight to a vulnerability for weighted
+	// similarity computation.
+	CVEWeightFunc = vulnsim.WeightFunc
+)
+
+// Graphviz export types.
+type (
+	// DotOptions controls Graphviz rendering of a network.
+	DotOptions = netmodel.DotOptions
+)
+
+// Partitioned optimisation result.
+type (
+	// ParallelResult is the outcome of OptimizeParallel.
+	ParallelResult = core.ParallelResult
+)
+
+// CostModel maps products to deployment costs for cost-aware diversification
+// (install it on an Optimizer with SetCostModel).
+type CostModel = core.CostModel
+
+// DiversityMetrics computes the Zhang-style d1/d2/d3 metrics for an
+// assignment.
+func DiversityMetrics(net *Network, a *Assignment, sim *SimilarityTable, cfg EffortConfig) (MetricsSummary, error) {
+	return metrics.Evaluate(net, a, sim, cfg)
+}
+
+// Richness computes only the d1 effective-richness metric.
+func Richness(net *Network, a *Assignment) (EffectiveRichness, error) {
+	return metrics.Richness(net, a)
+}
+
+// AttackEffort computes only the d2/d3 attack-effort metrics.
+func AttackEffort(net *Network, a *Assignment, sim *SimilarityTable, cfg EffortConfig) (EffortResult, error) {
+	return metrics.Effort(net, a, sim, cfg)
+}
+
+// NewAdversaryEvaluator prepares an adversarial evaluator for a network and
+// assignment.
+func NewAdversaryEvaluator(net *Network, a *Assignment, sim *SimilarityTable) (*AdversaryEvaluator, error) {
+	return adversary.New(net, a, sim)
+}
+
+// AttackerKnowledgeLevels lists the supported knowledge levels from weakest
+// to strongest.
+func AttackerKnowledgeLevels() []AttackerKnowledge { return adversary.Levels() }
+
+// CVSSWeight weights vulnerabilities by severity for weighted similarity.
+func CVSSWeight(c CVE) float64 { return vulnsim.CVSSWeight(c) }
+
+// RecencyWeight discounts old vulnerabilities with the given half-life.
+func RecencyWeight(referenceYear int, halfLifeYears float64) CVEWeightFunc {
+	return vulnsim.RecencyWeight(referenceYear, halfLifeYears)
+}
+
+// CombineWeights multiplies weight functions.
+func CombineWeights(fns ...CVEWeightFunc) CVEWeightFunc { return vulnsim.CombineWeights(fns...) }
+
+// WeightedJaccard computes severity/recency-weighted vulnerability similarity
+// between two products.
+func WeightedJaccard(db *CVEDatabase, a, b string, filter VulnFilter, weight CVEWeightFunc) (float64, error) {
+	return vulnsim.WeightedJaccard(db, a, b, filter, weight)
+}
+
+// BuildWeightedSimilarityTable computes a weighted similarity table from a
+// CVE corpus.
+func BuildWeightedSimilarityTable(db *CVEDatabase, products []string, filter VulnFilter, weight CVEWeightFunc) (*SimilarityTable, error) {
+	return vulnsim.BuildWeightedSimilarityTable(db, products, filter, weight)
+}
+
+// WriteDot renders a network (optionally with an assignment) as Graphviz dot.
+func WriteDot(w io.Writer, net *Network, opts DotOptions) error {
+	return netmodel.WriteDot(w, net, opts)
+}
+
+// PartitionNetwork splits a network into connected, roughly balanced blocks
+// for partitioned optimisation.
+func PartitionNetwork(net *Network, parts int) ([][]HostID, error) {
+	return core.PartitionNetwork(net, parts)
+}
+
+// Topology selects the random-graph family of GenerateNetwork.
+type Topology = netgen.Topology
+
+// Random-graph topologies.
+const (
+	TopologyUniform    = netgen.TopologyUniform
+	TopologyScaleFree  = netgen.TopologyScaleFree
+	TopologySmallWorld = netgen.TopologySmallWorld
+)
+
+// GenerateNetwork builds a random network with the requested topology
+// (uniform, scale-free or small-world).
+func GenerateNetwork(cfg RandomNetworkConfig, topology Topology) (*Network, error) {
+	return netgen.Generate(cfg, topology)
+}
+
+// MTTCEstimate is the analytic (mean-field) MTTC approximation returned by
+// Simulator.EstimateMTTC.
+type MTTCEstimate = attacksim.Estimate
+
+// LoadNVDJSON parses an NVD JSON 1.1 data feed into a CVE database so that
+// similarity tables can be computed from real NVD dumps offline.  A nil
+// mapper keeps every product; use NVDCatalogMapper to restrict loading to a
+// known catalogue.
+func LoadNVDJSON(db *CVEDatabase, r io.Reader, mapper NVDProductMapper) (int, error) {
+	return vulnsim.LoadNVDJSON(db, r, mapper)
+}
+
+// NVDProductMapper converts CPE URIs from NVD feeds to product identifiers.
+type NVDProductMapper = vulnsim.ProductMapper
+
+// NVDCatalogMapper keeps only CPEs matching the catalogue's vendor/product
+// pairs.
+func NVDCatalogMapper(catalog *Catalog) NVDProductMapper {
+	return vulnsim.CatalogProductMapper(catalog)
+}
+
+// PaperProductCatalog returns the catalogue of every product appearing in the
+// paper's tables, usable with NVDCatalogMapper.
+func PaperProductCatalog() *Catalog { return vulnsim.PaperCatalog() }

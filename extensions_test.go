@@ -1,0 +1,211 @@
+package netdiversity_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"netdiversity"
+)
+
+func TestExtensionMetricsAndAdversary(t *testing.T) {
+	net := buildAPITestNetwork(t)
+	sim := netdiversity.PaperSimilarity()
+	opt, err := netdiversity.NewOptimizer(net, sim, netdiversity.OptimizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := netdiversity.MonoAssignment(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := netdiversity.EffortConfig{Entry: "a", Target: "c", MaxExtraHops: 1}
+	optMetrics, err := netdiversity.DiversityMetrics(net, res.Assignment, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoMetrics, err := netdiversity.DiversityMetrics(net, mono, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optMetrics.Richness.Overall <= monoMetrics.Richness.Overall {
+		t.Errorf("optimal richness %v should exceed mono %v",
+			optMetrics.Richness.Overall, monoMetrics.Richness.Overall)
+	}
+	if _, err := netdiversity.Richness(net, res.Assignment); err != nil {
+		t.Errorf("Richness: %v", err)
+	}
+	if _, err := netdiversity.AttackEffort(net, res.Assignment, sim, cfg); err != nil {
+		t.Errorf("AttackEffort: %v", err)
+	}
+
+	ev, err := netdiversity.NewAdversaryEvaluator(net, res.Assignment, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(netdiversity.AttackerKnowledgeLevels()) != 3 {
+		t.Error("expected 3 knowledge levels")
+	}
+	r, err := ev.Run(netdiversity.AdversaryConfig{
+		Entry: "a", Target: "c", Runs: 50, Seed: 1,
+		Knowledge: netdiversity.KnowledgeFull,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MTTC <= 0 {
+		t.Errorf("MTTC = %v, want > 0", r.MTTC)
+	}
+}
+
+func TestExtensionWeightedSimilarity(t *testing.T) {
+	table := netdiversity.PaperOSTable()
+	db, err := netdiversity.SyntheticNVD(table, 1999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight := netdiversity.CombineWeights(netdiversity.CVSSWeight, netdiversity.RecencyWeight(2016, 5))
+	sim, err := netdiversity.WeightedJaccard(db, "win7", "winxp", netdiversity.VulnFilter{}, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim <= 0 || sim > 1 {
+		t.Errorf("weighted similarity %v outside (0,1]", sim)
+	}
+	weighted, err := netdiversity.BuildWeightedSimilarityTable(db, table.Products(), netdiversity.VulnFilter{}, weight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := weighted.Validate(); err != nil {
+		t.Errorf("weighted table should validate: %v", err)
+	}
+}
+
+func TestExtensionTopologiesEstimatorAndNVDLoader(t *testing.T) {
+	cfg := netdiversity.RandomNetworkConfig{Hosts: 60, Degree: 4, Services: 2, Seed: 2}
+	for _, topo := range []netdiversity.Topology{
+		netdiversity.TopologyUniform, netdiversity.TopologyScaleFree, netdiversity.TopologySmallWorld,
+	} {
+		net, err := netdiversity.GenerateNetwork(cfg, topo)
+		if err != nil {
+			t.Fatalf("GenerateNetwork(%v): %v", topo, err)
+		}
+		if net.NumHosts() != 60 {
+			t.Errorf("%v: hosts = %d", topo, net.NumHosts())
+		}
+	}
+
+	// Analytic MTTC estimate through the public API.
+	net, err := netdiversity.CaseStudyNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netdiversity.PaperSimilarity()
+	mono, err := netdiversity.MonoAssignment(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulator, err := netdiversity.NewSimulator(net, mono, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var est netdiversity.MTTCEstimate
+	est, err = simulator.EstimateMTTC(netdiversity.SimulationConfig{Entry: "c4", Target: "t5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MTTC <= 0 || est.PCompromise <= 0 {
+		t.Errorf("estimate = %+v, want positive MTTC and compromise probability", est)
+	}
+
+	// NVD JSON loader through the public API.
+	feed := `{"CVE_Items":[{"cve":{"CVE_data_meta":{"ID":"CVE-2016-0001"}},
+		"configurations":{"nodes":[{"cpe_match":[
+			{"vulnerable":true,"cpe23Uri":"cpe:2.3:o:microsoft:windows_7:-:*:*:*:*:*:*:*"}]}]},
+		"impact":{"baseMetricV3":{"cvssV3":{"baseScore":7.0}}}}]}`
+	db := netdiversity.NewCVEDatabase()
+	added, err := netdiversity.LoadNVDJSON(db, strings.NewReader(feed),
+		netdiversity.NVDCatalogMapper(netdiversity.PaperProductCatalog()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || db.Len() != 1 {
+		t.Errorf("added = %d, db len = %d, want 1/1", added, db.Len())
+	}
+}
+
+func TestExtensionCostModel(t *testing.T) {
+	net := buildAPITestNetwork(t)
+	sim := netdiversity.PaperSimilarity()
+	opt, err := netdiversity.NewOptimizer(net, sim, netdiversity.OptimizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := netdiversity.CostModel{
+		DefaultCost: 1,
+		Costs:       map[netdiversity.ProductID]float64{"ubt1404": 5, "deb80": 5},
+	}
+	if err := opt.SetCostModel(model, 2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := model.TotalCost(net, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a heavy penalty on the Linux options, the cost-aware optimum
+	// should avoid them entirely on the non-legacy hosts.
+	if cost > float64(res.Assignment.Len())+4.5 {
+		t.Errorf("cost-aware optimisation still deployed expensive products (total cost %v)", cost)
+	}
+}
+
+func TestExtensionDotAndPartition(t *testing.T) {
+	net, err := netdiversity.CaseStudyNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := netdiversity.WriteDot(&buf, net, netdiversity.DotOptions{Name: "ics"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `graph "ics"`) {
+		t.Error("dot output missing graph name")
+	}
+	blocks, err := netdiversity.PartitionNetwork(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range blocks {
+		total += len(b)
+	}
+	if total != net.NumHosts() {
+		t.Errorf("partition covers %d hosts, want %d", total, net.NumHosts())
+	}
+
+	sim := netdiversity.PaperSimilarity()
+	opt, err := netdiversity.NewOptimizer(net, sim, netdiversity.OptimizerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := opt.OptimizeParallel(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Assignment.ValidateFor(net); err != nil {
+		t.Errorf("parallel assignment invalid: %v", err)
+	}
+	if par.Blocks < 2 {
+		t.Errorf("expected at least 2 blocks, got %d", par.Blocks)
+	}
+}

@@ -1,0 +1,320 @@
+// Package adversary evaluates diversified networks from an adversarial
+// perspective, the line of future work the paper sketches in Section IX:
+// how resilient is an assignment against attackers with different levels of
+// knowledge about the network configuration?
+//
+// Three knowledge levels are modelled:
+//
+//   - KnowledgeNone — the attacker knows nothing about the deployed products
+//     and picks which service to exploit uniformly at random at every step.
+//   - KnowledgePartial — the attacker knows the global popularity of products
+//     (e.g. from vendor market data) but not the per-host deployment; at each
+//     step it exploits the service whose expected similarity against the
+//     population is highest.
+//   - KnowledgeFull — the attacker has reconnoitred the exact assignment and
+//     always picks the service with the highest actual success probability
+//     (the reconnaissance attacker of Table VI).
+//
+// The success probability of an individual exploitation attempt is the same
+// similarity-boosted model used everywhere else in the library:
+// P_avg + (1-P_avg)·sim(p_src, p_dst).
+package adversary
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// Knowledge is the attacker's level of knowledge about the configuration.
+type Knowledge int
+
+const (
+	// KnowledgeNone picks exploits blindly.
+	KnowledgeNone Knowledge = iota + 1
+	// KnowledgePartial knows product popularity but not placement.
+	KnowledgePartial
+	// KnowledgeFull knows the exact assignment (reconnaissance).
+	KnowledgeFull
+)
+
+// String implements fmt.Stringer.
+func (k Knowledge) String() string {
+	switch k {
+	case KnowledgeNone:
+		return "none"
+	case KnowledgePartial:
+		return "partial"
+	case KnowledgeFull:
+		return "full"
+	default:
+		return fmt.Sprintf("knowledge(%d)", int(k))
+	}
+}
+
+// Levels returns all knowledge levels from weakest to strongest.
+func Levels() []Knowledge {
+	return []Knowledge{KnowledgeNone, KnowledgePartial, KnowledgeFull}
+}
+
+// Config parameterises an adversarial evaluation campaign.
+type Config struct {
+	// Entry and Target bound the campaign.
+	Entry  netmodel.HostID
+	Target netmodel.HostID
+	// Knowledge selects the attacker model.
+	Knowledge Knowledge
+	// PAvg is the base zero-day propagation rate (default 0.2).
+	PAvg float64
+	// ExploitServices restricts the attacker's zero-day exploits
+	// (nil = all services).
+	ExploitServices []netmodel.ServiceID
+	// Runs is the number of simulation runs (default 500).
+	Runs int
+	// MaxTicks bounds each run (default 500).
+	MaxTicks int
+	// Seed makes the campaign deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Knowledge == 0 {
+		c.Knowledge = KnowledgeFull
+	}
+	if c.PAvg <= 0 || c.PAvg >= 1 {
+		c.PAvg = 0.2
+	}
+	if c.Runs <= 0 {
+		c.Runs = 500
+	}
+	if c.MaxTicks <= 0 {
+		c.MaxTicks = 500
+	}
+	return c
+}
+
+func (c Config) allowsService(s netmodel.ServiceID) bool {
+	if len(c.ExploitServices) == 0 {
+		return true
+	}
+	for _, e := range c.ExploitServices {
+		if e == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Result summarises a campaign under one knowledge level.
+type Result struct {
+	// Knowledge echoes the attacker model.
+	Knowledge Knowledge
+	// MTTC is the mean ticks to compromise the target (MaxTicks for runs
+	// that never succeed).
+	MTTC float64
+	// SuccessRate is the fraction of runs that compromised the target.
+	SuccessRate float64
+	// MeanInfected is the mean number of compromised hosts per run.
+	MeanInfected float64
+	// Runs echoes the number of runs.
+	Runs int
+}
+
+// Evaluator runs adversarial campaigns against one network and assignment.
+type Evaluator struct {
+	net *netmodel.Network
+	a   *netmodel.Assignment
+	sim *vulnsim.SimilarityTable
+	// popularity[s][p] is the fraction of hosts providing service s that run
+	// product p (the partial-knowledge attacker's prior).
+	popularity map[netmodel.ServiceID]map[netmodel.ProductID]float64
+}
+
+// ErrNilInput is returned when the evaluator receives nil inputs.
+var ErrNilInput = errors.New("adversary: network, assignment and similarity table must not be nil")
+
+// New prepares an evaluator.
+func New(net *netmodel.Network, a *netmodel.Assignment, sim *vulnsim.SimilarityTable) (*Evaluator, error) {
+	if net == nil || a == nil || sim == nil {
+		return nil, ErrNilInput
+	}
+	if err := a.ValidateFor(net); err != nil {
+		return nil, fmt.Errorf("adversary: %w", err)
+	}
+	e := &Evaluator{net: net, a: a, sim: sim}
+	e.popularity = productPopularity(net, a)
+	return e, nil
+}
+
+func productPopularity(net *netmodel.Network, a *netmodel.Assignment) map[netmodel.ServiceID]map[netmodel.ProductID]float64 {
+	counts := make(map[netmodel.ServiceID]map[netmodel.ProductID]int)
+	totals := make(map[netmodel.ServiceID]int)
+	for _, hid := range net.Hosts() {
+		h, _ := net.Host(hid)
+		for _, s := range h.Services {
+			p, ok := a.Get(hid, s)
+			if !ok {
+				continue
+			}
+			if counts[s] == nil {
+				counts[s] = make(map[netmodel.ProductID]int)
+			}
+			counts[s][p]++
+			totals[s]++
+		}
+	}
+	out := make(map[netmodel.ServiceID]map[netmodel.ProductID]float64, len(counts))
+	for s, byProduct := range counts {
+		out[s] = make(map[netmodel.ProductID]float64, len(byProduct))
+		for p, c := range byProduct {
+			out[s][p] = float64(c) / float64(totals[s])
+		}
+	}
+	return out
+}
+
+// successProb is the real probability that exploiting service s from src
+// compromises dst.
+func (e *Evaluator) successProb(cfg Config, src, dst netmodel.HostID, s netmodel.ServiceID) float64 {
+	pu, oku := e.a.Get(src, s)
+	pv, okv := e.a.Get(dst, s)
+	if !oku || !okv {
+		return 0
+	}
+	return cfg.PAvg + (1-cfg.PAvg)*e.sim.Sim(string(pu), string(pv))
+}
+
+// expectedProb is the partial-knowledge attacker's estimate: the expected
+// success probability of exploiting service s from src against a host drawn
+// from the population.
+func (e *Evaluator) expectedProb(cfg Config, src netmodel.HostID, s netmodel.ServiceID) float64 {
+	pu, ok := e.a.Get(src, s)
+	if !ok {
+		return 0
+	}
+	sum := 0.0
+	for p, share := range e.popularity[s] {
+		sum += share * (cfg.PAvg + (1-cfg.PAvg)*e.sim.Sim(string(pu), string(p)))
+	}
+	return sum
+}
+
+// chooseService returns the service the attacker exploits on the edge
+// src -> dst under the configured knowledge level, or false when no feasible
+// service exists.
+func (e *Evaluator) chooseService(cfg Config, rng *rand.Rand, src, dst netmodel.HostID) (netmodel.ServiceID, bool) {
+	var feasible []netmodel.ServiceID
+	for _, s := range e.net.SharedServices(src, dst) {
+		if !cfg.allowsService(s) {
+			continue
+		}
+		if _, ok := e.a.Get(dst, s); !ok {
+			continue
+		}
+		if _, ok := e.a.Get(src, s); !ok {
+			continue
+		}
+		feasible = append(feasible, s)
+	}
+	if len(feasible) == 0 {
+		return "", false
+	}
+	sort.Slice(feasible, func(i, j int) bool { return feasible[i] < feasible[j] })
+	switch cfg.Knowledge {
+	case KnowledgeNone:
+		return feasible[rng.Intn(len(feasible))], true
+	case KnowledgePartial:
+		best, bestV := feasible[0], -1.0
+		for _, s := range feasible {
+			if v := e.expectedProb(cfg, src, s); v > bestV {
+				best, bestV = s, v
+			}
+		}
+		return best, true
+	default:
+		best, bestV := feasible[0], -1.0
+		for _, s := range feasible {
+			if v := e.successProb(cfg, src, dst, s); v > bestV {
+				best, bestV = s, v
+			}
+		}
+		return best, true
+	}
+}
+
+// Run executes the adversarial campaign.
+func (e *Evaluator) Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if _, ok := e.net.Host(cfg.Entry); !ok {
+		return Result{}, fmt.Errorf("adversary: unknown entry host %q", cfg.Entry)
+	}
+	if _, ok := e.net.Host(cfg.Target); !ok {
+		return Result{}, fmt.Errorf("adversary: unknown target host %q", cfg.Target)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := Result{Knowledge: cfg.Knowledge, Runs: cfg.Runs}
+	totalTicks, totalInfected, successes := 0.0, 0, 0
+	for run := 0; run < cfg.Runs; run++ {
+		ticks, infected, ok := e.singleRun(cfg, rng)
+		totalTicks += float64(ticks)
+		totalInfected += infected
+		if ok {
+			successes++
+		}
+	}
+	res.MTTC = totalTicks / float64(cfg.Runs)
+	res.SuccessRate = float64(successes) / float64(cfg.Runs)
+	res.MeanInfected = float64(totalInfected) / float64(cfg.Runs)
+	return res, nil
+}
+
+func (e *Evaluator) singleRun(cfg Config, rng *rand.Rand) (tick, infectedCount int, reached bool) {
+	infected := map[netmodel.HostID]bool{cfg.Entry: true}
+	if cfg.Entry == cfg.Target {
+		return 0, 1, true
+	}
+	for tick = 1; tick <= cfg.MaxTicks; tick++ {
+		var newly []netmodel.HostID
+		for host := range infected {
+			for _, nb := range e.net.Neighbors(host) {
+				if infected[nb] {
+					continue
+				}
+				svc, ok := e.chooseService(cfg, rng, host, nb)
+				if !ok {
+					continue
+				}
+				if rng.Float64() < e.successProb(cfg, host, nb, svc) {
+					newly = append(newly, nb)
+				}
+			}
+		}
+		for _, h := range newly {
+			infected[h] = true
+		}
+		if infected[cfg.Target] {
+			return tick, len(infected), true
+		}
+	}
+	return cfg.MaxTicks, len(infected), false
+}
+
+// Compare evaluates the assignment under every knowledge level and returns
+// the results ordered from the weakest to the strongest attacker.
+func (e *Evaluator) Compare(cfg Config) ([]Result, error) {
+	var out []Result
+	for _, k := range Levels() {
+		c := cfg
+		c.Knowledge = k
+		r, err := e.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

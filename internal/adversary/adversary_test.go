@@ -1,0 +1,201 @@
+package adversary
+
+import (
+	"testing"
+
+	"netdiversity/internal/baseline"
+	"netdiversity/internal/casestudy"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+func diverseSetup(t *testing.T) (*netmodel.Network, *netmodel.Assignment, *vulnsim.SimilarityTable) {
+	t.Helper()
+	net := netmodel.New()
+	ids := []netmodel.HostID{"entry", "m1", "m2", "target"}
+	for _, id := range ids {
+		h := &netmodel.Host{
+			ID:       id,
+			Services: []netmodel.ServiceID{"os", "db"},
+			Choices: map[netmodel.ServiceID][]netmodel.ProductID{
+				"os": {"A", "B"},
+				"db": {"X", "Y"},
+			},
+		}
+		if err := net.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		if err := net.AddLink(ids[i], ids[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// OS alternates (low similarity); the database is identical everywhere
+	// (the weak spot a knowledgeable attacker should exploit).
+	a := netmodel.NewAssignment()
+	osProducts := []netmodel.ProductID{"A", "B", "A", "B"}
+	for i, id := range ids {
+		a.Set(id, "os", osProducts[i])
+		a.Set(id, "db", "X")
+	}
+	sim := vulnsim.NewSimilarityTable([]string{"A", "B", "X", "Y"})
+	_ = sim.Set("A", "B", 0.05, 1)
+	_ = sim.Set("X", "Y", 0.3, 3)
+	return net, a, sim
+}
+
+func TestNewValidation(t *testing.T) {
+	net, a, sim := diverseSetup(t)
+	if _, err := New(nil, a, sim); err == nil {
+		t.Error("nil network should be rejected")
+	}
+	if _, err := New(net, nil, sim); err == nil {
+		t.Error("nil assignment should be rejected")
+	}
+	if _, err := New(net, a, nil); err == nil {
+		t.Error("nil similarity table should be rejected")
+	}
+	if _, err := New(net, netmodel.NewAssignment(), sim); err == nil {
+		t.Error("incomplete assignment should be rejected")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	net, a, sim := diverseSetup(t)
+	e, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(Config{Entry: "missing", Target: "target"}); err == nil {
+		t.Error("unknown entry should be rejected")
+	}
+	if _, err := e.Run(Config{Entry: "entry", Target: "missing"}); err == nil {
+		t.Error("unknown target should be rejected")
+	}
+	r, err := e.Run(Config{Entry: "entry", Target: "entry", Runs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MTTC != 0 || r.SuccessRate != 1 {
+		t.Errorf("entry == target should be instant: %+v", r)
+	}
+}
+
+func TestKnowledgeOrdering(t *testing.T) {
+	net, a, sim := diverseSetup(t)
+	e, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := e.Compare(Config{
+		Entry:  "entry",
+		Target: "target",
+		Runs:   600,
+		Seed:   3,
+		PAvg:   0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("Compare returned %d results, want 3", len(results))
+	}
+	none, partial, full := results[0], results[1], results[2]
+	if none.Knowledge != KnowledgeNone || full.Knowledge != KnowledgeFull {
+		t.Fatal("results not ordered by knowledge level")
+	}
+	// The identical database product is the weak spot: attackers that know
+	// (or can estimate) the configuration compromise the target faster than
+	// the blind attacker.
+	if full.MTTC > none.MTTC {
+		t.Errorf("full-knowledge MTTC %v should not exceed blind MTTC %v", full.MTTC, none.MTTC)
+	}
+	if partial.MTTC > none.MTTC+1e-9 {
+		t.Errorf("partial-knowledge MTTC %v should not exceed blind MTTC %v", partial.MTTC, none.MTTC)
+	}
+	// The fully homogeneous database makes the full-knowledge attacker
+	// succeed every time.
+	if full.SuccessRate < 0.99 {
+		t.Errorf("full-knowledge attacker should always succeed, got %v", full.SuccessRate)
+	}
+}
+
+func TestKnowledgeString(t *testing.T) {
+	if KnowledgeNone.String() != "none" || KnowledgePartial.String() != "partial" || KnowledgeFull.String() != "full" {
+		t.Error("knowledge names wrong")
+	}
+	if Knowledge(42).String() == "" {
+		t.Error("unknown knowledge should render")
+	}
+	if len(Levels()) != 3 {
+		t.Error("Levels should list 3 knowledge levels")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	net, a, sim := diverseSetup(t)
+	e, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Entry: "entry", Target: "target", Runs: 200, Seed: 9, Knowledge: KnowledgePartial}
+	r1, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MTTC != r2.MTTC || r1.SuccessRate != r2.SuccessRate {
+		t.Errorf("same seed should reproduce results: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestCaseStudyDiversificationHelpsAgainstAllAttackers(t *testing.T) {
+	net, err := casestudy.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := casestudy.Similarity()
+	mono, err := baseline.Mono(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := baseline.GreedyColoring(net, sim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Entry:           casestudy.EntryCorporate4,
+		Target:          casestudy.TargetWinCC,
+		Runs:            200,
+		Seed:            11,
+		ExploitServices: casestudy.AttackServices(),
+	}
+	for _, k := range Levels() {
+		c := cfg
+		c.Knowledge = k
+		em, err := New(net, mono, sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rMono, err := em.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eg, err := New(net, greedy, sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rGreedy, err := eg.Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rGreedy.MTTC < rMono.MTTC-1e-9 {
+			t.Errorf("knowledge %s: diversified MTTC %v should be at least mono %v",
+				k, rGreedy.MTTC, rMono.MTTC)
+		}
+	}
+}

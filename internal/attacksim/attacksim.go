@@ -1,0 +1,301 @@
+// Package attacksim is the agent-based malware-propagation simulator the
+// library uses instead of the paper's NetLogo model (Section VII-C-2).
+//
+// Starting from an entry host, an attacker repeatedly scans the neighbours of
+// every compromised host and attempts to exploit one product per neighbour
+// per tick.  The per-attempt success probability uses the same infection
+// model as the Bayesian-network metric: P_avg + (1-P_avg)·sim(p_u, p_v) for
+// the chosen service.  The number of ticks until the target host is
+// compromised, averaged over many runs, is the Mean-Time-To-Compromise
+// (MTTC) reported in Table VI: more diverse assignments force the attacker to
+// spend more ticks.
+package attacksim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// Strategy selects how the attacker picks which product to exploit on a
+// neighbouring host.
+type Strategy int
+
+const (
+	// Reconnaissance attackers probe first and always use the exploit with
+	// the highest success rate (the sophisticated attacker of the paper's
+	// simulation study).
+	Reconnaissance Strategy = iota + 1
+	// UniformChoice attackers pick one feasible exploit uniformly at random.
+	UniformChoice
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Reconnaissance:
+		return "reconnaissance"
+	case UniformChoice:
+		return "uniform"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Config parameterises a simulation campaign.
+type Config struct {
+	// Entry is the initially compromised host.
+	Entry netmodel.HostID
+	// Target is the host whose compromise stops a run.
+	Target netmodel.HostID
+	// Runs is the number of independent simulation runs (the paper uses
+	// 1000).  Default 1000.
+	Runs int
+	// MaxTicks aborts a run that has not reached the target.  Default 1000.
+	MaxTicks int
+	// PAvg is the base zero-day propagation rate.  Default 0.2.
+	PAvg float64
+	// Strategy selects the attacker's exploit choice.  Default
+	// Reconnaissance.
+	Strategy Strategy
+	// ExploitServices restricts which services the attacker has zero-day
+	// exploits for; nil means all services.
+	ExploitServices []netmodel.ServiceID
+	// Seed makes the campaign deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs <= 0 {
+		c.Runs = 1000
+	}
+	if c.MaxTicks <= 0 {
+		c.MaxTicks = 1000
+	}
+	if c.PAvg <= 0 || c.PAvg >= 1 {
+		c.PAvg = 0.2
+	}
+	if c.Strategy == 0 {
+		c.Strategy = Reconnaissance
+	}
+	return c
+}
+
+func (c Config) allowsService(s netmodel.ServiceID) bool {
+	if len(c.ExploitServices) == 0 {
+		return true
+	}
+	for _, e := range c.ExploitServices {
+		if e == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Result summarises a simulation campaign.
+type Result struct {
+	// MTTC is the mean number of ticks to compromise the target across all
+	// runs (runs that never reach the target count as MaxTicks).
+	MTTC float64
+	// MedianTTC and P90TTC are the median and 90th-percentile ticks.
+	MedianTTC float64
+	P90TTC    float64
+	// SuccessRate is the fraction of runs in which the target was
+	// compromised within MaxTicks.
+	SuccessRate float64
+	// MeanInfected is the mean number of hosts compromised at the end of a
+	// run (including the entry host).
+	MeanInfected float64
+	// Runs echoes the number of runs performed.
+	Runs int
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("mttc=%.3f median=%.1f p90=%.1f success=%.2f infected=%.1f",
+		r.MTTC, r.MedianTTC, r.P90TTC, r.SuccessRate, r.MeanInfected)
+}
+
+// Simulator runs malware-propagation campaigns over one network and
+// assignment.
+type Simulator struct {
+	net *netmodel.Network
+	sim *vulnsim.SimilarityTable
+	a   *netmodel.Assignment
+	// edge success probabilities precomputed per (src, dst) ordered pair.
+	probs map[[2]netmodel.HostID]float64
+}
+
+// New prepares a simulator.  The assignment must be complete for the network.
+func New(net *netmodel.Network, a *netmodel.Assignment, sim *vulnsim.SimilarityTable) (*Simulator, error) {
+	if net == nil || a == nil || sim == nil {
+		return nil, errors.New("attacksim: network, assignment and similarity table must not be nil")
+	}
+	if err := a.ValidateFor(net); err != nil {
+		return nil, fmt.Errorf("attacksim: %w", err)
+	}
+	return &Simulator{net: net, sim: sim, a: a}, nil
+}
+
+// prepare precomputes the per-edge success probability under the config.
+func (s *Simulator) prepare(cfg Config) {
+	s.probs = make(map[[2]netmodel.HostID]float64, 2*s.net.NumLinks())
+	for _, link := range s.net.Links() {
+		s.probs[[2]netmodel.HostID{link.A, link.B}] = s.edgeProb(cfg, link.A, link.B)
+		s.probs[[2]netmodel.HostID{link.B, link.A}] = s.edgeProb(cfg, link.B, link.A)
+	}
+}
+
+// edgeProb is the success probability of one exploitation attempt from src to
+// dst under the attacker strategy.
+func (s *Simulator) edgeProb(cfg Config, src, dst netmodel.HostID) float64 {
+	var perService []float64
+	for _, svc := range s.net.SharedServices(src, dst) {
+		if !cfg.allowsService(svc) {
+			continue
+		}
+		pu, oku := s.a.Get(src, svc)
+		pv, okv := s.a.Get(dst, svc)
+		if !oku || !okv {
+			continue
+		}
+		similarity := s.sim.Sim(string(pu), string(pv))
+		perService = append(perService, cfg.PAvg+(1-cfg.PAvg)*similarity)
+	}
+	if len(perService) == 0 {
+		return 0
+	}
+	if cfg.Strategy == Reconnaissance {
+		best := perService[0]
+		for _, p := range perService[1:] {
+			if p > best {
+				best = p
+			}
+		}
+		return best
+	}
+	sum := 0.0
+	for _, p := range perService {
+		sum += p
+	}
+	return sum / float64(len(perService))
+}
+
+// Run executes the campaign.
+func (s *Simulator) Run(cfg Config) (Result, error) {
+	return s.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation between runs.
+func (s *Simulator) RunContext(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if _, ok := s.net.Host(cfg.Entry); !ok {
+		return Result{}, fmt.Errorf("attacksim: unknown entry host %q", cfg.Entry)
+	}
+	if _, ok := s.net.Host(cfg.Target); !ok {
+		return Result{}, fmt.Errorf("attacksim: unknown target host %q", cfg.Target)
+	}
+	s.prepare(cfg)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ticks := make([]float64, 0, cfg.Runs)
+	successes := 0
+	totalInfected := 0
+	for run := 0; run < cfg.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		t, infected, ok := s.singleRun(cfg, rng)
+		if ok {
+			successes++
+		}
+		ticks = append(ticks, float64(t))
+		totalInfected += infected
+	}
+	sort.Float64s(ticks)
+	res := Result{
+		Runs:         cfg.Runs,
+		SuccessRate:  float64(successes) / float64(cfg.Runs),
+		MeanInfected: float64(totalInfected) / float64(cfg.Runs),
+		MedianTTC:    percentile(ticks, 0.5),
+		P90TTC:       percentile(ticks, 0.9),
+	}
+	sum := 0.0
+	for _, t := range ticks {
+		sum += t
+	}
+	res.MTTC = sum / float64(len(ticks))
+	return res, nil
+}
+
+// singleRun simulates one campaign and returns the tick at which the target
+// was compromised (or MaxTicks), the number of infected hosts, and whether
+// the target was reached.
+func (s *Simulator) singleRun(cfg Config, rng *rand.Rand) (tick, infectedCount int, reached bool) {
+	infected := map[netmodel.HostID]bool{cfg.Entry: true}
+	if cfg.Entry == cfg.Target {
+		return 0, 1, true
+	}
+	frontierStable := 0
+	for tick = 1; tick <= cfg.MaxTicks; tick++ {
+		newly := make([]netmodel.HostID, 0, 4)
+		for host := range infected {
+			for _, nb := range s.net.Neighbors(host) {
+				if infected[nb] {
+					continue
+				}
+				p := s.probs[[2]netmodel.HostID{host, nb}]
+				if p > 0 && rng.Float64() < p {
+					newly = append(newly, nb)
+				}
+			}
+		}
+		if len(newly) == 0 {
+			frontierStable++
+		} else {
+			frontierStable = 0
+		}
+		for _, h := range newly {
+			infected[h] = true
+		}
+		if infected[cfg.Target] {
+			return tick, len(infected), true
+		}
+		// If every reachable neighbour has zero success probability the run
+		// can never progress; keep ticking (time still passes for MTTC) but
+		// bail out early when nothing can change for a long stretch to keep
+		// campaigns fast.
+		if frontierStable > 50 && !anyProgressPossible(s, infected) {
+			break
+		}
+	}
+	return cfg.MaxTicks, len(infected), false
+}
+
+func anyProgressPossible(s *Simulator, infected map[netmodel.HostID]bool) bool {
+	for host := range infected {
+		for _, nb := range s.net.Neighbors(host) {
+			if infected[nb] {
+				continue
+			}
+			if s.probs[[2]netmodel.HostID{host, nb}] > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,218 @@
+package attacksim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"netdiversity/internal/baseline"
+	"netdiversity/internal/casestudy"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// lineSetup builds entry - m1 - m2 - target with one service and two products
+// (similarity crossSim), alternating products along the chain.
+func lineSetup(t *testing.T, crossSim float64) (*netmodel.Network, *netmodel.Assignment, *vulnsim.SimilarityTable) {
+	t.Helper()
+	net := netmodel.New()
+	ids := []netmodel.HostID{"entry", "m1", "m2", "target"}
+	for _, id := range ids {
+		h := &netmodel.Host{
+			ID:       id,
+			Services: []netmodel.ServiceID{"os"},
+			Choices:  map[netmodel.ServiceID][]netmodel.ProductID{"os": {"A", "B"}},
+		}
+		if err := net.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		if err := net.AddLink(ids[i], ids[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := netmodel.NewAssignment()
+	products := []netmodel.ProductID{"A", "B", "A", "B"}
+	for i, id := range ids {
+		a.Set(id, "os", products[i])
+	}
+	sim := vulnsim.NewSimilarityTable([]string{"A", "B"})
+	_ = sim.SetTotal("A", 10)
+	_ = sim.SetTotal("B", 10)
+	_ = sim.Set("A", "B", crossSim, int(crossSim*10))
+	return net, a, sim
+}
+
+func TestNewValidation(t *testing.T) {
+	net, a, sim := lineSetup(t, 0.5)
+	if _, err := New(nil, a, sim); err == nil {
+		t.Error("nil network should be rejected")
+	}
+	if _, err := New(net, nil, sim); err == nil {
+		t.Error("nil assignment should be rejected")
+	}
+	if _, err := New(net, a, nil); err == nil {
+		t.Error("nil similarity should be rejected")
+	}
+	incomplete := netmodel.NewAssignment()
+	if _, err := New(net, incomplete, sim); err == nil {
+		t.Error("incomplete assignment should be rejected")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	net, a, sim := lineSetup(t, 0.5)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(Config{Entry: "missing", Target: "target"}); err == nil {
+		t.Error("unknown entry should be rejected")
+	}
+	if _, err := s.Run(Config{Entry: "entry", Target: "missing"}); err == nil {
+		t.Error("unknown target should be rejected")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx, Config{Entry: "entry", Target: "target"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context should surface, got %v", err)
+	}
+}
+
+func TestHomogeneousIsFasterThanDiverse(t *testing.T) {
+	net, diverse, sim := lineSetup(t, 0.2)
+	mono := netmodel.NewAssignment()
+	for _, id := range net.Hosts() {
+		mono.Set(id, "os", "A")
+	}
+	cfg := Config{Entry: "entry", Target: "target", Runs: 400, MaxTicks: 300, PAvg: 0.2, Seed: 1}
+
+	sDiverse, err := New(net, diverse, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDiverse, err := sDiverse.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sMono, err := New(net, mono, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMono, err := sMono.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resMono.MTTC >= resDiverse.MTTC {
+		t.Errorf("mono MTTC %v should be below diverse MTTC %v", resMono.MTTC, resDiverse.MTTC)
+	}
+	if resMono.SuccessRate < 0.99 {
+		t.Errorf("homogeneous chain should always be compromised, success rate %v", resMono.SuccessRate)
+	}
+	// With identical products every step succeeds with probability 1, so the
+	// 3-hop chain takes exactly 3 ticks.
+	if resMono.MTTC != 3 {
+		t.Errorf("mono MTTC = %v, want exactly 3", resMono.MTTC)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	net, a, sim := lineSetup(t, 0.5)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Entry: "entry", Target: "target", Runs: 100, Seed: 42}
+	r1, err := s.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MTTC != r2.MTTC || r1.SuccessRate != r2.SuccessRate {
+		t.Errorf("same seed should reproduce results: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestEntryEqualsTarget(t *testing.T) {
+	net, a, sim := lineSetup(t, 0.5)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(Config{Entry: "entry", Target: "entry", Runs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MTTC != 0 || res.SuccessRate != 1 {
+		t.Errorf("entry == target should be compromised at tick 0: %+v", res)
+	}
+}
+
+func TestUnreachableTarget(t *testing.T) {
+	// Zero similarity and zero base rate make progress impossible.
+	net, a, sim := lineSetup(t, 0)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(Config{Entry: "entry", Target: "target", Runs: 20, MaxTicks: 100, PAvg: 1e-9, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate > 0.2 {
+		t.Errorf("practically unreachable target compromised too often: %v", res.SuccessRate)
+	}
+	if res.MTTC < 50 {
+		t.Errorf("MTTC should be close to MaxTicks for unreachable targets, got %v", res.MTTC)
+	}
+}
+
+func TestStrategies(t *testing.T) {
+	if Reconnaissance.String() != "reconnaissance" || UniformChoice.String() != "uniform" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy should still render")
+	}
+	// Reconnaissance should compromise at least as fast as uniform choice on
+	// the case study (it always picks the best exploit).
+	net, err := casestudy.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := baseline.Mono(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(net, mono, casestudy.Similarity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Entry: "c4", Target: "t5", Runs: 150, MaxTicks: 300, Seed: 3}
+	recon := base
+	recon.Strategy = Reconnaissance
+	uniform := base
+	uniform.Strategy = UniformChoice
+	rRecon, err := s.Run(recon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rUniform, err := s.Run(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rRecon.MTTC > rUniform.MTTC+1 {
+		t.Errorf("reconnaissance MTTC %v should not exceed uniform %v", rRecon.MTTC, rUniform.MTTC)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{MTTC: 4.2, MedianTTC: 4, P90TTC: 6, SuccessRate: 1, MeanInfected: 8, Runs: 10}
+	if r.String() == "" {
+		t.Error("Result.String should render")
+	}
+}

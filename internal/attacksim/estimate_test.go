@@ -1,0 +1,133 @@
+package attacksim
+
+import (
+	"math"
+	"testing"
+
+	"netdiversity/internal/baseline"
+	"netdiversity/internal/casestudy"
+	"netdiversity/internal/netmodel"
+)
+
+func TestEstimateMTTCExactOnDeterministicChain(t *testing.T) {
+	net, diverse, sim := lineSetup(t, 0.2)
+	mono := netmodel.NewAssignment()
+	for _, id := range net.Hosts() {
+		mono.Set(id, "os", "A")
+	}
+	s, err := New(net, mono, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateMTTC(Config{Entry: "entry", Target: "target", PAvg: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical products: every step succeeds with probability 1 so the
+	// 3-hop chain is compromised in exactly 3 ticks.
+	if math.Abs(est.MTTC-3) > 1e-9 {
+		t.Errorf("deterministic chain estimate = %v, want 3", est.MTTC)
+	}
+	if est.PCompromise < 1-1e-9 {
+		t.Errorf("PCompromise = %v, want 1", est.PCompromise)
+	}
+
+	// Entry == target.
+	sd, err := New(net, diverse, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := sd.EstimateMTTC(Config{Entry: "entry", Target: "entry"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.MTTC != 0 || zero.PCompromise != 1 {
+		t.Errorf("entry == target estimate = %+v", zero)
+	}
+}
+
+func TestEstimateMatchesSimulationOrdering(t *testing.T) {
+	net, err := casestudy.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := casestudy.Similarity()
+	mono, err := baseline.Mono(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := baseline.GreedyColoring(net, sim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Entry:           casestudy.EntryCorporate4,
+		Target:          casestudy.TargetWinCC,
+		Runs:            400,
+		Seed:            5,
+		ExploitServices: casestudy.AttackServices(),
+	}
+	evaluate := func(a *netmodel.Assignment) (simulated, estimated float64) {
+		t.Helper()
+		s, err := New(net, a, sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := s.EstimateMTTC(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MTTC, est.MTTC
+	}
+	monoSim, monoEst := evaluate(mono)
+	greedySim, greedyEst := evaluate(greedy)
+
+	// The estimator preserves the ordering between assignments.
+	if (monoSim < greedySim) != (monoEst < greedyEst) {
+		t.Errorf("estimator ordering differs from simulation: sim %v/%v, est %v/%v",
+			monoSim, greedySim, monoEst, greedyEst)
+	}
+	// And it stays within a factor of 2 of the simulated value.
+	for _, pair := range [][2]float64{{monoSim, monoEst}, {greedySim, greedyEst}} {
+		ratio := pair[1] / pair[0]
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("estimate %v deviates more than 2x from simulation %v", pair[1], pair[0])
+		}
+	}
+}
+
+func TestEstimateMTTCValidation(t *testing.T) {
+	net, a, sim := lineSetup(t, 0.5)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EstimateMTTC(Config{Entry: "missing", Target: "target"}); err == nil {
+		t.Error("unknown entry should be rejected")
+	}
+	if _, err := s.EstimateMTTC(Config{Entry: "entry", Target: "missing"}); err == nil {
+		t.Error("unknown target should be rejected")
+	}
+}
+
+func TestEstimateMTTCUnreachable(t *testing.T) {
+	net, a, sim := lineSetup(t, 0)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateMTTC(Config{Entry: "entry", Target: "target", PAvg: 1e-9, MaxTicks: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PCompromise > 0.01 {
+		t.Errorf("practically unreachable target should have ~0 compromise probability, got %v", est.PCompromise)
+	}
+	if est.MTTC < 45 {
+		t.Errorf("MTTC estimate should be close to the horizon, got %v", est.MTTC)
+	}
+}

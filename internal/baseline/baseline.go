@@ -1,0 +1,184 @@
+// Package baseline implements the non-optimal product-assignment strategies
+// the paper compares its optimal diversification against (Table V):
+//
+//   - Mono: the homogeneous assignment α_m that installs the same product for
+//     every service everywhere — the software-monoculture worst case.
+//   - Random: the randomly diversified assignment α_r.
+//   - GreedyColoring: a distributed-colouring style heuristic in the spirit of
+//     O'Donnell & Sethu, which greedily picks for each host the product least
+//     similar to its already-assigned neighbours.
+//
+// All strategies honour pinned (fixed) services from a constraint set so that
+// comparisons against constrained optimal solutions stay fair.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// ErrNilNetwork is returned when a strategy is called with a nil network.
+var ErrNilNetwork = errors.New("baseline: nil network")
+
+// assignFixed fills the assignment with the pinned products of the constraint
+// set (no-op for a nil set).
+func assignFixed(a *netmodel.Assignment, n *netmodel.Network, cs *netmodel.ConstraintSet) {
+	if cs == nil {
+		return
+	}
+	for _, hid := range cs.FixedHosts() {
+		h, ok := n.Host(hid)
+		if !ok {
+			continue
+		}
+		for _, s := range h.Services {
+			if p, ok := cs.Fixed(hid, s); ok {
+				a.Set(hid, s, p)
+			}
+		}
+	}
+}
+
+// Mono returns the homogeneous assignment α_m: for every service, the product
+// that is a candidate on the largest number of hosts is installed everywhere
+// it is available; hosts that cannot run it fall back to their first
+// candidate.  Pinned services keep their pinned product.
+func Mono(n *netmodel.Network, cs *netmodel.ConstraintSet) (*netmodel.Assignment, error) {
+	if n == nil {
+		return nil, ErrNilNetwork
+	}
+	// Pick the most widely available product per service.
+	popularity := make(map[netmodel.ServiceID]map[netmodel.ProductID]int)
+	for _, hid := range n.Hosts() {
+		h, _ := n.Host(hid)
+		for _, s := range h.Services {
+			if popularity[s] == nil {
+				popularity[s] = make(map[netmodel.ProductID]int)
+			}
+			for _, p := range h.Choices[s] {
+				popularity[s][p]++
+			}
+		}
+	}
+	chosen := make(map[netmodel.ServiceID]netmodel.ProductID, len(popularity))
+	for s, counts := range popularity {
+		var best netmodel.ProductID
+		bestCount := -1
+		products := make([]netmodel.ProductID, 0, len(counts))
+		for p := range counts {
+			products = append(products, p)
+		}
+		sort.Slice(products, func(i, j int) bool { return products[i] < products[j] })
+		for _, p := range products {
+			if counts[p] > bestCount {
+				best, bestCount = p, counts[p]
+			}
+		}
+		chosen[s] = best
+	}
+
+	a := netmodel.NewAssignment()
+	assignFixed(a, n, cs)
+	for _, hid := range n.Hosts() {
+		h, _ := n.Host(hid)
+		for _, s := range h.Services {
+			if _, done := a.Get(hid, s); done {
+				continue
+			}
+			p := chosen[s]
+			if h.CandidateIndex(s, p) < 0 {
+				p = h.Choices[s][0]
+			}
+			a.Set(hid, s, p)
+		}
+	}
+	if err := a.ValidateFor(n); err != nil {
+		return nil, fmt.Errorf("baseline: mono assignment: %w", err)
+	}
+	return a, nil
+}
+
+// Random returns the random assignment α_r: every unpinned (host, service)
+// pair gets a uniformly random candidate product.
+func Random(n *netmodel.Network, cs *netmodel.ConstraintSet, seed int64) (*netmodel.Assignment, error) {
+	if n == nil {
+		return nil, ErrNilNetwork
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := netmodel.NewAssignment()
+	assignFixed(a, n, cs)
+	for _, hid := range n.Hosts() {
+		h, _ := n.Host(hid)
+		for _, s := range h.Services {
+			if _, done := a.Get(hid, s); done {
+				continue
+			}
+			cands := h.Choices[s]
+			a.Set(hid, s, cands[rng.Intn(len(cands))])
+		}
+	}
+	if err := a.ValidateFor(n); err != nil {
+		return nil, fmt.Errorf("baseline: random assignment: %w", err)
+	}
+	return a, nil
+}
+
+// GreedyColoring returns a colouring-style heuristic assignment: hosts are
+// visited in decreasing-degree order and each (host, service) pair picks the
+// candidate product with the smallest summed similarity to the products
+// already assigned to neighbouring hosts for the same service.  Ties are
+// broken by candidate order.  Pinned services keep their pinned product.
+func GreedyColoring(n *netmodel.Network, sim *vulnsim.SimilarityTable, cs *netmodel.ConstraintSet) (*netmodel.Assignment, error) {
+	if n == nil {
+		return nil, ErrNilNetwork
+	}
+	if sim == nil {
+		return nil, errors.New("baseline: nil similarity table")
+	}
+	hosts := n.Hosts()
+	sort.SliceStable(hosts, func(i, j int) bool {
+		di, dj := n.Degree(hosts[i]), n.Degree(hosts[j])
+		if di != dj {
+			return di > dj
+		}
+		return hosts[i] < hosts[j]
+	})
+
+	a := netmodel.NewAssignment()
+	assignFixed(a, n, cs)
+	for _, hid := range hosts {
+		h, _ := n.Host(hid)
+		for _, s := range h.Services {
+			if _, done := a.Get(hid, s); done {
+				continue
+			}
+			cands := h.Choices[s]
+			bestIdx, bestCost := 0, -1.0
+			for i, cand := range cands {
+				cost := 0.0
+				for _, nb := range n.Neighbors(hid) {
+					nbHost, _ := n.Host(nb)
+					if !nbHost.HasService(s) {
+						continue
+					}
+					if assigned, ok := a.Get(nb, s); ok {
+						cost += sim.Sim(string(cand), string(assigned))
+					}
+				}
+				if bestCost < 0 || cost < bestCost {
+					bestIdx, bestCost = i, cost
+				}
+			}
+			a.Set(hid, s, cands[bestIdx])
+		}
+	}
+	if err := a.ValidateFor(n); err != nil {
+		return nil, fmt.Errorf("baseline: greedy colouring: %w", err)
+	}
+	return a, nil
+}

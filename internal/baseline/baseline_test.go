@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"testing"
+
+	"netdiversity/internal/netgen"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+func testNetwork(t *testing.T) *netmodel.Network {
+	t.Helper()
+	net, err := netgen.Random(netgen.RandomConfig{
+		Hosts: 30, Degree: 4, Services: 2, ProductsPerService: 3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func testSimilarity() *vulnsim.SimilarityTable {
+	return netgen.SyntheticSimilarity(netgen.RandomConfig{
+		Hosts: 2, Services: 2, ProductsPerService: 3, Seed: 1,
+	}, 0.6)
+}
+
+func TestMono(t *testing.T) {
+	net := testNetwork(t)
+	a, err := Mono(net, nil)
+	if err != nil {
+		t.Fatalf("Mono: %v", err)
+	}
+	if err := a.ValidateFor(net); err != nil {
+		t.Fatalf("mono assignment invalid: %v", err)
+	}
+	stats := a.Stats(net)
+	for svc, distinct := range stats.DistinctProducts {
+		if distinct != 1 {
+			t.Errorf("mono assignment uses %d products for %s, want 1", distinct, svc)
+		}
+	}
+	if _, err := Mono(nil, nil); err == nil {
+		t.Error("nil network should be rejected")
+	}
+}
+
+func TestMonoRespectsFixed(t *testing.T) {
+	net := testNetwork(t)
+	cs := netmodel.NewConstraintSet()
+	hosts := net.Hosts()
+	h0, _ := net.Host(hosts[0])
+	svc := h0.Services[0]
+	pinned := h0.Choices[svc][2]
+	cs.Fix(hosts[0], svc, pinned)
+	a, err := Mono(net, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Product(hosts[0], svc); got != pinned {
+		t.Errorf("pinned product ignored: got %v, want %v", got, pinned)
+	}
+}
+
+func TestRandomAssignment(t *testing.T) {
+	net := testNetwork(t)
+	a, err := Random(net, nil, 7)
+	if err != nil {
+		t.Fatalf("Random: %v", err)
+	}
+	if err := a.ValidateFor(net); err != nil {
+		t.Fatalf("random assignment invalid: %v", err)
+	}
+	b, err := Random(net, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same seed should give the same random assignment")
+	}
+	c, err := Random(net, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Error("different seeds should (almost surely) give different assignments")
+	}
+	if _, err := Random(nil, nil, 1); err == nil {
+		t.Error("nil network should be rejected")
+	}
+}
+
+func TestGreedyColoring(t *testing.T) {
+	net := testNetwork(t)
+	sim := testSimilarity()
+	greedy, err := GreedyColoring(net, sim, nil)
+	if err != nil {
+		t.Fatalf("GreedyColoring: %v", err)
+	}
+	if err := greedy.ValidateFor(net); err != nil {
+		t.Fatalf("greedy assignment invalid: %v", err)
+	}
+	mono, err := Mono(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The greedy colouring should place strictly fewer identical products on
+	// links than the homogeneous assignment.
+	gStats := greedy.Stats(net)
+	mStats := mono.Stats(net)
+	for svc := range gStats.TotalSharedEdges {
+		if gStats.SameProductEdges[svc] >= mStats.SameProductEdges[svc] {
+			t.Errorf("service %s: greedy has %d same-product links, mono %d",
+				svc, gStats.SameProductEdges[svc], mStats.SameProductEdges[svc])
+		}
+	}
+	if _, err := GreedyColoring(nil, sim, nil); err == nil {
+		t.Error("nil network should be rejected")
+	}
+	if _, err := GreedyColoring(net, nil, nil); err == nil {
+		t.Error("nil similarity table should be rejected")
+	}
+}
+
+func TestGreedyColoringRespectsFixed(t *testing.T) {
+	net := testNetwork(t)
+	sim := testSimilarity()
+	cs := netmodel.NewConstraintSet()
+	hosts := net.Hosts()
+	h0, _ := net.Host(hosts[3])
+	svc := h0.Services[1]
+	pinned := h0.Choices[svc][0]
+	cs.Fix(hosts[3], svc, pinned)
+	a, err := GreedyColoring(net, sim, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Product(hosts[3], svc); got != pinned {
+		t.Errorf("pinned product ignored: got %v, want %v", got, pinned)
+	}
+}

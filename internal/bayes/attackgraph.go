@@ -1,0 +1,274 @@
+// Package bayes implements the Bayesian-network based evaluation of network
+// diversity (Section VI of the paper): given a network, a product assignment
+// and a similarity table it constructs an attack Bayesian network rooted at
+// the entry host, computes the probability of the target host becoming
+// compromised, and derives the diversity metric
+//
+//	d_bn = P'(target = T) / P(target = T)
+//
+// where P' ignores product similarity (every exploit step succeeds with the
+// average zero-day propagation rate P_avg) and P accounts for it.
+//
+// Modelling note (documented in EXPERIMENTS.md): the per-service success
+// probability with similarity is P_avg + (1-P_avg)·sim(p_u, p_v), i.e. the
+// average zero-day rate boosted by the vulnerability similarity of the two
+// products.  This keeps P ≥ P' for every assignment, hence d_bn ∈ (0, 1]
+// with larger values indicating higher diversity, exactly as Definition 6
+// requires.
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// AttackerChoice selects how the attacker picks among multiple exploitable
+// services on an edge.
+type AttackerChoice int
+
+const (
+	// ChooseUniform models the Definition 6 attacker: when multiple exploits
+	// are feasible the attacker picks one uniformly at random, so the edge
+	// infection probability is the mean of the per-service probabilities.
+	ChooseUniform AttackerChoice = iota + 1
+	// ChooseBest models the reconnaissance attacker of the NetLogo
+	// simulation: the edge infection probability is the maximum per-service
+	// probability.
+	ChooseBest
+)
+
+// Config parameterises the attack Bayesian network.
+type Config struct {
+	// Entry is the initially compromised host (prior probability 1).
+	Entry netmodel.HostID
+	// Target is the host whose compromise probability defines the metric.
+	Target netmodel.HostID
+	// PAvg is the average zero-day propagation rate used when product
+	// similarity is ignored.  Default 0.2.
+	PAvg float64
+	// ExploitServices restricts which services the attacker holds zero-day
+	// exploits for; nil means every service (the case study gives the
+	// attacker one exploit per service: OS, browser, database).
+	ExploitServices []netmodel.ServiceID
+	// Choice selects the attacker's per-edge service choice rule.
+	// Default ChooseUniform.
+	Choice AttackerChoice
+}
+
+func (c Config) withDefaults() Config {
+	if c.PAvg <= 0 || c.PAvg >= 1 {
+		c.PAvg = 0.2
+	}
+	if c.Choice == 0 {
+		c.Choice = ChooseUniform
+	}
+	return c
+}
+
+func (c Config) allowsService(s netmodel.ServiceID) bool {
+	if len(c.ExploitServices) == 0 {
+		return true
+	}
+	for _, e := range c.ExploitServices {
+		if e == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Node is one host node of the attack Bayesian network.
+type Node struct {
+	Host netmodel.HostID
+	// Depth is the BFS distance from the entry host.
+	Depth int
+	// Parents lists incoming attack edges.
+	Parents []ParentEdge
+}
+
+// ParentEdge is a directed attack step from a parent host into the node,
+// annotated with the per-service success probabilities.
+type ParentEdge struct {
+	// Parent is the index of the parent node in Graph.Nodes.
+	Parent int
+	// WithSim is the success probability accounting for product similarity.
+	WithSim float64
+	// WithoutSim is the success probability using only P_avg.
+	WithoutSim float64
+	// PerService records the with-similarity probability of each feasible
+	// service, keyed by service, for reporting.
+	PerService map[netmodel.ServiceID]float64
+}
+
+// Graph is the attack Bayesian network: a DAG over the hosts reachable from
+// the entry, layered by BFS distance (attack steps only go from a host to a
+// host at equal or greater distance; equal-distance ties are oriented by host
+// ID, which keeps the graph acyclic while preserving every shortest and
+// near-shortest attack path).
+type Graph struct {
+	Nodes  []Node
+	Index  map[netmodel.HostID]int
+	Entry  int
+	Target int
+	cfg    Config
+}
+
+// Errors returned by Build.
+var (
+	ErrNoEntry     = errors.New("bayes: entry host not in network")
+	ErrNoTarget    = errors.New("bayes: target host not in network")
+	ErrUnreachable = errors.New("bayes: target not reachable from entry")
+)
+
+// Build constructs the attack Bayesian network for a network, assignment and
+// similarity table under the given configuration.
+func Build(net *netmodel.Network, a *netmodel.Assignment, sim *vulnsim.SimilarityTable, cfg Config) (*Graph, error) {
+	if net == nil || a == nil || sim == nil {
+		return nil, errors.New("bayes: network, assignment and similarity table must not be nil")
+	}
+	cfg = cfg.withDefaults()
+	if _, ok := net.Host(cfg.Entry); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoEntry, cfg.Entry)
+	}
+	if _, ok := net.Host(cfg.Target); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoTarget, cfg.Target)
+	}
+	dist := net.ShortestPathLengths(cfg.Entry)
+	if _, ok := dist[cfg.Target]; !ok {
+		return nil, fmt.Errorf("%w: %q from %q", ErrUnreachable, cfg.Target, cfg.Entry)
+	}
+
+	// Deterministic node order: by depth, then host ID.
+	type hostDepth struct {
+		host  netmodel.HostID
+		depth int
+	}
+	reachable := make([]hostDepth, 0, len(dist))
+	for h, d := range dist {
+		reachable = append(reachable, hostDepth{host: h, depth: d})
+	}
+	sort.Slice(reachable, func(i, j int) bool {
+		if reachable[i].depth != reachable[j].depth {
+			return reachable[i].depth < reachable[j].depth
+		}
+		return reachable[i].host < reachable[j].host
+	})
+
+	g := &Graph{Index: make(map[netmodel.HostID]int, len(reachable)), cfg: cfg}
+	for _, hd := range reachable {
+		g.Index[hd.host] = len(g.Nodes)
+		g.Nodes = append(g.Nodes, Node{Host: hd.host, Depth: hd.depth})
+	}
+	g.Entry = g.Index[cfg.Entry]
+	g.Target = g.Index[cfg.Target]
+
+	// Directed attack edges: u -> v when (depth_u, id_u) < (depth_v, id_v).
+	for vi := range g.Nodes {
+		v := &g.Nodes[vi]
+		for _, nb := range net.Neighbors(v.Host) {
+			ui, ok := g.Index[nb]
+			if !ok {
+				continue
+			}
+			u := g.Nodes[ui]
+			if u.Depth > v.Depth || (u.Depth == v.Depth && u.Host >= v.Host) {
+				continue
+			}
+			edge, feasible := edgeProbabilities(net, a, sim, cfg, u.Host, v.Host)
+			if !feasible {
+				continue
+			}
+			edge.Parent = ui
+			v.Parents = append(v.Parents, edge)
+		}
+	}
+	return g, nil
+}
+
+// edgeProbabilities computes the with/without-similarity success probability
+// of an attack step from host u to host v.
+func edgeProbabilities(net *netmodel.Network, a *netmodel.Assignment, sim *vulnsim.SimilarityTable, cfg Config, u, v netmodel.HostID) (ParentEdge, bool) {
+	perService := make(map[netmodel.ServiceID]float64)
+	var withSim []float64
+	for _, s := range net.SharedServices(u, v) {
+		if !cfg.allowsService(s) {
+			continue
+		}
+		pu, oku := a.Get(u, s)
+		pv, okv := a.Get(v, s)
+		if !oku || !okv {
+			continue
+		}
+		similarity := sim.Sim(string(pu), string(pv))
+		p := cfg.PAvg + (1-cfg.PAvg)*similarity
+		perService[s] = p
+		withSim = append(withSim, p)
+	}
+	if len(withSim) == 0 {
+		return ParentEdge{}, false
+	}
+	edge := ParentEdge{PerService: perService, WithoutSim: cfg.PAvg}
+	switch cfg.Choice {
+	case ChooseBest:
+		best := withSim[0]
+		for _, p := range withSim[1:] {
+			if p > best {
+				best = p
+			}
+		}
+		edge.WithSim = best
+	default:
+		sum := 0.0
+		for _, p := range withSim {
+			sum += p
+		}
+		edge.WithSim = sum / float64(len(withSim))
+	}
+	return edge, true
+}
+
+// NumEdges returns the number of directed attack edges in the graph.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, node := range g.Nodes {
+		n += len(node.Parents)
+	}
+	return n
+}
+
+// AncestorsOfTarget returns the indices of nodes from which the target is
+// reachable (including the target itself); only these influence the target's
+// compromise probability.
+func (g *Graph) AncestorsOfTarget() []int {
+	children := make([][]int, len(g.Nodes))
+	for vi, node := range g.Nodes {
+		for _, pe := range node.Parents {
+			children[pe.Parent] = append(children[pe.Parent], vi)
+		}
+	}
+	// Reverse reachability from target over parent edges.
+	marked := make([]bool, len(g.Nodes))
+	stack := []int{g.Target}
+	marked[g.Target] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, pe := range g.Nodes[cur].Parents {
+			if !marked[pe.Parent] {
+				marked[pe.Parent] = true
+				stack = append(stack, pe.Parent)
+			}
+		}
+	}
+	var out []int
+	for i, m := range marked {
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}

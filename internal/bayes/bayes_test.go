@@ -1,0 +1,308 @@
+package bayes
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// chainSetup builds a simple chain entry -> m -> target with a single
+// service, two products with similarity crossSim, and the diversified
+// assignment entry=A, m=B, target=A.
+func chainSetup(t *testing.T, crossSim float64) (*netmodel.Network, *netmodel.Assignment, *vulnsim.SimilarityTable) {
+	t.Helper()
+	net := netmodel.New()
+	for _, id := range []netmodel.HostID{"entry", "m", "target"} {
+		h := &netmodel.Host{
+			ID:       id,
+			Services: []netmodel.ServiceID{"os"},
+			Choices:  map[netmodel.ServiceID][]netmodel.ProductID{"os": {"A", "B"}},
+		}
+		if err := net.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.AddLink("entry", "m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddLink("m", "target"); err != nil {
+		t.Fatal(err)
+	}
+	a := netmodel.NewAssignment()
+	a.Set("entry", "os", "A")
+	a.Set("m", "os", "B")
+	a.Set("target", "os", "A")
+	sim := vulnsim.NewSimilarityTable([]string{"A", "B"})
+	_ = sim.SetTotal("A", 10)
+	_ = sim.SetTotal("B", 10)
+	_ = sim.Set("A", "B", crossSim, int(crossSim*10))
+	return net, a, sim
+}
+
+func TestBuildValidation(t *testing.T) {
+	net, a, sim := chainSetup(t, 0.5)
+	if _, err := Build(nil, a, sim, Config{Entry: "entry", Target: "target"}); err == nil {
+		t.Error("nil network should be rejected")
+	}
+	if _, err := Build(net, a, sim, Config{Entry: "missing", Target: "target"}); !errors.Is(err, ErrNoEntry) {
+		t.Errorf("unknown entry should return ErrNoEntry, got %v", err)
+	}
+	if _, err := Build(net, a, sim, Config{Entry: "entry", Target: "missing"}); !errors.Is(err, ErrNoTarget) {
+		t.Errorf("unknown target should return ErrNoTarget, got %v", err)
+	}
+
+	disconnected := netmodel.New()
+	for _, id := range []netmodel.HostID{"a", "b"} {
+		h := &netmodel.Host{
+			ID:       id,
+			Services: []netmodel.ServiceID{"os"},
+			Choices:  map[netmodel.ServiceID][]netmodel.ProductID{"os": {"A"}},
+		}
+		if err := disconnected.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	da := netmodel.NewAssignment()
+	da.Set("a", "os", "A")
+	da.Set("b", "os", "A")
+	if _, err := Build(disconnected, da, sim, Config{Entry: "a", Target: "b"}); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("unreachable target should return ErrUnreachable, got %v", err)
+	}
+}
+
+func TestChainProbabilityExact(t *testing.T) {
+	// With a vanishing base rate, the chain A -B- A with similarity 0.5
+	// gives P(target) = 0.5 * 0.5 = 0.25 exactly.
+	net, a, sim := chainSetup(t, 0.5)
+	g, err := Build(net, a, sim, Config{Entry: "entry", Target: "target", PAvg: 1e-12, Choice: ChooseBest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.TargetProbability(InferenceOptions{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.25) > 1e-6 {
+		t.Errorf("P(target) = %v, want 0.25", p)
+	}
+	pNoSim, err := g.TargetProbabilityNoSim(InferenceOptions{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pNoSim > 1e-9 {
+		t.Errorf("P'(target) with vanishing base rate should be ~0, got %v", pNoSim)
+	}
+}
+
+func TestChainProbabilityWithBaseRate(t *testing.T) {
+	net, a, sim := chainSetup(t, 0.0)
+	cfg := Config{Entry: "entry", Target: "target", PAvg: 0.3}
+	g, err := Build(net, a, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := g.TargetProbability(InferenceOptions{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero similarity: every step succeeds with exactly PAvg.
+	if math.Abs(p-0.09) > 1e-9 {
+		t.Errorf("P(target) = %v, want 0.09", p)
+	}
+	pNoSim, err := g.TargetProbabilityNoSim(InferenceOptions{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-pNoSim) > 1e-9 {
+		t.Error("with zero similarity P and P' must coincide")
+	}
+}
+
+func TestMonteCarloMatchesExact(t *testing.T) {
+	net, a, sim := chainSetup(t, 0.5)
+	g, err := Build(net, a, sim, Config{Entry: "entry", Target: "target", PAvg: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := g.TargetProbability(InferenceOptions{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := g.TargetProbability(InferenceOptions{Method: MonteCarlo, Samples: 300000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact-mc) > 0.01 {
+		t.Errorf("Monte Carlo %v deviates from exact %v", mc, exact)
+	}
+}
+
+func TestChooseBestVersusUniform(t *testing.T) {
+	// Two services: one identical product pair (sim 1), one disjoint pair.
+	net := netmodel.New()
+	for _, id := range []netmodel.HostID{"u", "v"} {
+		h := &netmodel.Host{
+			ID:       id,
+			Services: []netmodel.ServiceID{"s1", "s2"},
+			Choices: map[netmodel.ServiceID][]netmodel.ProductID{
+				"s1": {"A"}, "s2": {"X", "Y"},
+			},
+		}
+		if err := net.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.AddLink("u", "v"); err != nil {
+		t.Fatal(err)
+	}
+	a := netmodel.NewAssignment()
+	a.Set("u", "s1", "A")
+	a.Set("u", "s2", "X")
+	a.Set("v", "s1", "A")
+	a.Set("v", "s2", "Y")
+	sim := vulnsim.NewSimilarityTable([]string{"A", "X", "Y"})
+
+	best, err := Build(net, a, sim, Config{Entry: "u", Target: "v", PAvg: 0.1, Choice: ChooseBest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Build(net, a, sim, Config{Entry: "u", Target: "v", PAvg: 0.1, Choice: ChooseUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pBest, _ := best.TargetProbability(InferenceOptions{Method: Exact})
+	pUniform, _ := uniform.TargetProbability(InferenceOptions{Method: Exact})
+	if pBest <= pUniform {
+		t.Errorf("reconnaissance attacker should do at least as well: best %v vs uniform %v", pBest, pUniform)
+	}
+	if math.Abs(pBest-1.0) > 1e-9 {
+		t.Errorf("best-choice attacker faces an identical product, P should be 1, got %v", pBest)
+	}
+}
+
+func TestExploitServiceRestriction(t *testing.T) {
+	// When the attacker has no exploit for any service present on the path,
+	// no attack edge is feasible and the compromise probability is zero.
+	net, a, sim := chainSetup(t, 0.9)
+	cfg := Config{Entry: "entry", Target: "target", PAvg: 0.2, ExploitServices: []netmodel.ServiceID{"db"}}
+	g, err := Build(net, a, sim, cfg)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("no attack edge should be feasible, got %d", g.NumEdges())
+	}
+	p, err := g.TargetProbability(InferenceOptions{Method: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Errorf("P(target) = %v, want 0", p)
+	}
+}
+
+func TestDiversityMetric(t *testing.T) {
+	net, a, sim := chainSetup(t, 0.5)
+	cfg := Config{Entry: "entry", Target: "target", PAvg: 0.2}
+	res, err := Diversity(net, a, sim, cfg, InferenceOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diversity <= 0 || res.Diversity > 1 {
+		t.Errorf("d_bn = %v outside (0,1]", res.Diversity)
+	}
+	if res.PTarget < res.PTargetNoSim {
+		t.Error("P with similarity must be at least P' (the boosted model)")
+	}
+
+	// A homogeneous assignment must score strictly lower diversity.
+	mono := netmodel.NewAssignment()
+	mono.Set("entry", "os", "A")
+	mono.Set("m", "os", "A")
+	mono.Set("target", "os", "A")
+	monoRes, err := Diversity(net, mono, sim, cfg, InferenceOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if monoRes.Diversity >= res.Diversity {
+		t.Errorf("mono diversity %v should be below diversified %v", monoRes.Diversity, res.Diversity)
+	}
+
+	incomplete := netmodel.NewAssignment()
+	if _, err := Diversity(net, incomplete, sim, cfg, InferenceOptions{}); err == nil {
+		t.Error("incomplete assignment should be rejected")
+	}
+}
+
+func TestProbabilityBoundsProperty(t *testing.T) {
+	f := func(simValue float64, pavg float64) bool {
+		s := math.Abs(math.Mod(simValue, 1))
+		p := 0.05 + math.Abs(math.Mod(pavg, 0.9))
+		if p >= 1 {
+			p = 0.5
+		}
+		net, a, table := chainSetup(t, s)
+		g, err := Build(net, a, table, Config{Entry: "entry", Target: "target", PAvg: p})
+		if err != nil {
+			return false
+		}
+		prob, err := g.TargetProbability(InferenceOptions{Method: Exact})
+		if err != nil {
+			return false
+		}
+		probNo, err := g.TargetProbabilityNoSim(InferenceOptions{Method: Exact})
+		if err != nil {
+			return false
+		}
+		return prob >= 0 && prob <= 1 && probNo >= 0 && probNo <= 1 && prob+1e-12 >= probNo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAncestorsOfTarget(t *testing.T) {
+	net, a, sim := chainSetup(t, 0.5)
+	// Add a dead-end leaf that is not on any path to the target.
+	leaf := &netmodel.Host{
+		ID:       "leaf",
+		Services: []netmodel.ServiceID{"os"},
+		Choices:  map[netmodel.ServiceID][]netmodel.ProductID{"os": {"A", "B"}},
+	}
+	if err := net.AddHost(leaf); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddLink("m", "leaf"); err != nil {
+		t.Fatal(err)
+	}
+	a.Set("leaf", "os", "B")
+	g, err := Build(net, a, sim, Config{Entry: "entry", Target: "target"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anc := g.AncestorsOfTarget()
+	for _, idx := range anc {
+		if g.Nodes[idx].Host == "leaf" {
+			t.Error("leaf must not be an ancestor of the target")
+		}
+	}
+	if len(anc) != 3 {
+		t.Errorf("ancestors = %d, want 3 (entry, m, target)", len(anc))
+	}
+	if g.NumEdges() < 3 {
+		t.Errorf("graph should include the leaf edge, got %d edges", g.NumEdges())
+	}
+}
+
+func TestLog10(t *testing.T) {
+	if !math.IsInf(Log10(0), -1) {
+		t.Error("Log10(0) should be -inf")
+	}
+	if math.Abs(Log10(0.01)+2) > 1e-12 {
+		t.Error("Log10(0.01) should be -2")
+	}
+}

@@ -1,0 +1,198 @@
+package bayes
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// InferenceMethod selects how the compromise probability is computed.
+type InferenceMethod int
+
+const (
+	// Auto uses exact enumeration when the number of relevant ancestor
+	// nodes is small enough and Monte Carlo sampling otherwise.
+	Auto InferenceMethod = iota
+	// Exact forces exact enumeration (exponential in the number of ancestor
+	// nodes; only usable on small graphs).
+	Exact
+	// MonteCarlo forces forward sampling.
+	MonteCarlo
+)
+
+// InferenceOptions configures probability computation.
+type InferenceOptions struct {
+	// Method selects the inference algorithm.  Default Auto.
+	Method InferenceMethod
+	// Samples is the number of Monte Carlo samples.  Default 200000.
+	Samples int
+	// Seed makes sampling deterministic.
+	Seed int64
+	// ExactLimit is the largest number of ancestor nodes for which Auto
+	// still uses exact enumeration.  Default 20.
+	ExactLimit int
+}
+
+func (o InferenceOptions) withDefaults() InferenceOptions {
+	if o.Samples <= 0 {
+		o.Samples = 200000
+	}
+	if o.ExactLimit <= 0 {
+		o.ExactLimit = 20
+	}
+	return o
+}
+
+// errTooLarge is returned by exact inference when the graph is too big.
+var errTooLarge = errors.New("bayes: graph too large for exact enumeration")
+
+// edgeProb selects which probability annotation of a parent edge to use.
+type edgeProb func(ParentEdge) float64
+
+func withSimProb(e ParentEdge) float64    { return e.WithSim }
+func withoutSimProb(e ParentEdge) float64 { return e.WithoutSim }
+
+// TargetProbability computes P(target = T) accounting for product similarity.
+func (g *Graph) TargetProbability(opts InferenceOptions) (float64, error) {
+	return g.probability(withSimProb, opts)
+}
+
+// TargetProbabilityNoSim computes P'(target = T), the probability when
+// product similarity is ignored and every step succeeds with P_avg.
+func (g *Graph) TargetProbabilityNoSim(opts InferenceOptions) (float64, error) {
+	return g.probability(withoutSimProb, opts)
+}
+
+func (g *Graph) probability(pf edgeProb, opts InferenceOptions) (float64, error) {
+	opts = opts.withDefaults()
+	ancestors := g.AncestorsOfTarget()
+	switch opts.Method {
+	case Exact:
+		return g.exact(pf, ancestors)
+	case MonteCarlo:
+		return g.sample(pf, ancestors, opts), nil
+	default:
+		if len(ancestors) <= opts.ExactLimit {
+			p, err := g.exact(pf, ancestors)
+			if err == nil {
+				return p, nil
+			}
+			if !errors.Is(err, errTooLarge) {
+				return 0, err
+			}
+		}
+		return g.sample(pf, ancestors, opts), nil
+	}
+}
+
+// exact enumerates every joint state of the ancestor nodes (excluding the
+// entry, which is always compromised) and sums the probability of states in
+// which the target is compromised.  Nodes are processed in topological
+// (index) order, so a node's parents always precede it.
+func (g *Graph) exact(pf edgeProb, ancestors []int) (float64, error) {
+	// Map graph node index -> position among ancestors.
+	pos := make(map[int]int, len(ancestors))
+	ordered := append([]int(nil), ancestors...)
+	sort.Ints(ordered)
+	for i, n := range ordered {
+		pos[n] = i
+	}
+	free := 0
+	for _, n := range ordered {
+		if n != g.Entry {
+			free++
+		}
+	}
+	if free > 30 {
+		return 0, fmt.Errorf("%w: %d free nodes", errTooLarge, free)
+	}
+	targetPos, ok := pos[g.Target]
+	if !ok {
+		return 0, errors.New("bayes: target not among its own ancestors")
+	}
+
+	total := 0.0
+	states := make([]bool, len(ordered))
+	var enumerate func(idx int, prob float64)
+	enumerate = func(idx int, prob float64) {
+		if prob == 0 {
+			return
+		}
+		if idx == len(ordered) {
+			if states[targetPos] {
+				total += prob
+			}
+			return
+		}
+		node := ordered[idx]
+		if node == g.Entry {
+			states[idx] = true
+			enumerate(idx+1, prob)
+			return
+		}
+		// Noisy-OR over compromised parents.
+		pInfect := 0.0
+		escape := 1.0
+		for _, pe := range g.Nodes[node].Parents {
+			ppos, ok := pos[pe.Parent]
+			if !ok || !states[ppos] {
+				continue
+			}
+			escape *= 1 - pf(pe)
+		}
+		pInfect = 1 - escape
+		states[idx] = true
+		enumerate(idx+1, prob*pInfect)
+		states[idx] = false
+		enumerate(idx+1, prob*(1-pInfect))
+	}
+	enumerate(0, 1.0)
+	return total, nil
+}
+
+// sample estimates the target probability by forward sampling: in each run
+// the entry is compromised and every other ancestor node is compromised with
+// its noisy-OR probability given its parents' sampled states.
+func (g *Graph) sample(pf edgeProb, ancestors []int, opts InferenceOptions) float64 {
+	ordered := append([]int(nil), ancestors...)
+	sort.Ints(ordered)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	states := make([]bool, len(g.Nodes))
+	hits := 0
+	for s := 0; s < opts.Samples; s++ {
+		for _, n := range ordered {
+			states[n] = false
+		}
+		states[g.Entry] = true
+		for _, n := range ordered {
+			if n == g.Entry {
+				continue
+			}
+			escape := 1.0
+			for _, pe := range g.Nodes[n].Parents {
+				if states[pe.Parent] {
+					escape *= 1 - pf(pe)
+				}
+			}
+			p := 1 - escape
+			if p > 0 && rng.Float64() < p {
+				states[n] = true
+			}
+		}
+		if states[g.Target] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(opts.Samples)
+}
+
+// Log10 is a small helper for reporting probabilities in the paper's
+// log-scale form; it returns -inf for zero probabilities.
+func Log10(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log10(p)
+}

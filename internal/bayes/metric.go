@@ -1,0 +1,63 @@
+package bayes
+
+import (
+	"fmt"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// MetricResult reports the BN-based diversity metric of Definition 6 for one
+// assignment.
+type MetricResult struct {
+	// PTarget is P(target = T) accounting for product similarity.
+	PTarget float64
+	// PTargetNoSim is P'(target = T) ignoring similarity (P_avg only).
+	PTargetNoSim float64
+	// Diversity is d_bn = PTargetNoSim / PTarget.
+	Diversity float64
+	// LogPTarget and LogPTargetNoSim are the base-10 logarithms, matching
+	// the presentation of Table V.
+	LogPTarget      float64
+	LogPTargetNoSim float64
+	// Nodes and Edges describe the attack BN that was evaluated.
+	Nodes, Edges int
+}
+
+// String renders the result in the style of a Table V row.
+func (m MetricResult) String() string {
+	return fmt.Sprintf("logP'=%.3f logP=%.3f d_bn=%.5f",
+		m.LogPTargetNoSim, m.LogPTarget, m.Diversity)
+}
+
+// Diversity computes the BN-based diversity metric d_bn for an assignment.
+// The assignment must be complete for the network.
+func Diversity(net *netmodel.Network, a *netmodel.Assignment, sim *vulnsim.SimilarityTable, cfg Config, opts InferenceOptions) (MetricResult, error) {
+	if err := a.ValidateFor(net); err != nil {
+		return MetricResult{}, fmt.Errorf("bayes: %w", err)
+	}
+	g, err := Build(net, a, sim, cfg)
+	if err != nil {
+		return MetricResult{}, err
+	}
+	pSim, err := g.TargetProbability(opts)
+	if err != nil {
+		return MetricResult{}, err
+	}
+	pNoSim, err := g.TargetProbabilityNoSim(opts)
+	if err != nil {
+		return MetricResult{}, err
+	}
+	res := MetricResult{
+		PTarget:         pSim,
+		PTargetNoSim:    pNoSim,
+		LogPTarget:      Log10(pSim),
+		LogPTargetNoSim: Log10(pNoSim),
+		Nodes:           len(g.Nodes),
+		Edges:           g.NumEdges(),
+	}
+	if pSim > 0 {
+		res.Diversity = pNoSim / pSim
+	}
+	return res, nil
+}

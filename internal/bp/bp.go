@@ -1,0 +1,219 @@
+// Package bp implements loopy min-sum belief propagation, the classic
+// alternative the paper compares TRW-S against conceptually (Section V-C):
+// BP applies to the same class of energies but is not guaranteed to converge
+// on loopy graphs.  It serves as a baseline solver for the ablation
+// experiments.
+package bp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"netdiversity/internal/mrf"
+)
+
+// Options configures the solver.
+type Options struct {
+	// MaxIterations bounds the number of synchronous message update rounds.
+	// Default 100.
+	MaxIterations int
+	// Damping in [0,1) mixes the new message with the previous one
+	// (m = (1-d)·new + d·old), which helps convergence on loopy graphs.
+	// Default 0.5.
+	Damping float64
+	// Tolerance declares convergence when the largest message change in a
+	// round falls below it.  Default 1e-4.
+	Tolerance float64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.Damping == 0 {
+		o.Damping = 0.5
+	}
+	if o.Damping < 0 || o.Damping >= 1 {
+		return o, fmt.Errorf("bp: damping %v out of range [0,1)", o.Damping)
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+	return o, nil
+}
+
+// ErrNilGraph is returned when Solve is called with a nil graph.
+var ErrNilGraph = errors.New("bp: nil graph")
+
+// Solve runs loopy min-sum BP and returns the decoded labeling.
+func Solve(g *mrf.Graph, opts Options) (mrf.Solution, error) {
+	return SolveContext(context.Background(), g, opts)
+}
+
+// SolveContext is Solve with cancellation between rounds.
+func SolveContext(ctx context.Context, g *mrf.Graph, opts Options) (mrf.Solution, error) {
+	if g == nil {
+		return mrf.Solution{}, ErrNilGraph
+	}
+	if err := g.Validate(); err != nil {
+		return mrf.Solution{}, fmt.Errorf("bp: %w", err)
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return mrf.Solution{}, err
+	}
+
+	n := g.NumNodes()
+	nEdges := g.NumEdges()
+	// msg[e][0]: message into U endpoint; msg[e][1]: message into V endpoint.
+	msg := make([][2][]float64, nEdges)
+	next := make([][2][]float64, nEdges)
+	for e := 0; e < nEdges; e++ {
+		edge := g.Edge(e)
+		msg[e][0] = make([]float64, g.NumLabels(edge.U))
+		msg[e][1] = make([]float64, g.NumLabels(edge.V))
+		next[e][0] = make([]float64, g.NumLabels(edge.U))
+		next[e][1] = make([]float64, g.NumLabels(edge.V))
+	}
+
+	type halfEdge struct {
+		edge  int
+		isU   bool
+		other int
+	}
+	incident := make([][]halfEdge, n)
+	for e := 0; e < nEdges; e++ {
+		edge := g.Edge(e)
+		incident[edge.U] = append(incident[edge.U], halfEdge{edge: e, isU: true, other: edge.V})
+		incident[edge.V] = append(incident[edge.V], halfEdge{edge: e, isU: false, other: edge.U})
+	}
+	inMsg := func(m [][2][]float64, he halfEdge) []float64 {
+		if he.isU {
+			return m[he.edge][0]
+		}
+		return m[he.edge][1]
+	}
+
+	decode := func() []int {
+		labels := make([]int, n)
+		for node := 0; node < n; node++ {
+			k := g.NumLabels(node)
+			belief := g.UnaryRow(node)
+			for _, he := range incident[node] {
+				in := inMsg(msg, he)
+				for x := 0; x < k; x++ {
+					belief[x] += in[x]
+				}
+			}
+			best, bestV := 0, math.Inf(1)
+			for x := 0; x < k; x++ {
+				if belief[x] < bestV {
+					best, bestV = x, belief[x]
+				}
+			}
+			labels[node] = best
+		}
+		return labels
+	}
+
+	best := g.GreedyLabeling()
+	bestEnergy := g.MustEnergy(best)
+	history := make([]float64, 0, opts.MaxIterations)
+	converged := false
+	iterations := 0
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return solution(g, best, bestEnergy, history, iterations, false), err
+		}
+		maxDelta := 0.0
+		// Synchronous update: every directed message recomputed from the
+		// previous round's messages.
+		for node := 0; node < n; node++ {
+			k := g.NumLabels(node)
+			agg := g.UnaryRow(node)
+			for _, he := range incident[node] {
+				in := inMsg(msg, he)
+				for x := 0; x < k; x++ {
+					agg[x] += in[x]
+				}
+			}
+			for _, he := range incident[node] {
+				in := inMsg(msg, he)
+				edge := g.Edge(he.edge)
+				var out []float64
+				if he.isU {
+					out = next[he.edge][1]
+				} else {
+					out = next[he.edge][0]
+				}
+				kOther := len(out)
+				for xo := 0; xo < kOther; xo++ {
+					out[xo] = math.Inf(1)
+				}
+				for x := 0; x < k; x++ {
+					base := agg[x] - in[x]
+					for xo := 0; xo < kOther; xo++ {
+						var c float64
+						if he.isU {
+							c = edge.Cost[x][xo]
+						} else {
+							c = edge.Cost[xo][x]
+						}
+						if v := base + c; v < out[xo] {
+							out[xo] = v
+						}
+					}
+				}
+				// Normalise and damp.
+				m := out[0]
+				for _, v := range out[1:] {
+					if v < m {
+						m = v
+					}
+				}
+				var old []float64
+				if he.isU {
+					old = msg[he.edge][1]
+				} else {
+					old = msg[he.edge][0]
+				}
+				for i := range out {
+					out[i] -= m
+					out[i] = (1-opts.Damping)*out[i] + opts.Damping*old[i]
+					if d := math.Abs(out[i] - old[i]); d > maxDelta {
+						maxDelta = d
+					}
+				}
+			}
+		}
+		msg, next = next, msg
+		iterations = iter + 1
+
+		labels := decode()
+		energy := g.MustEnergy(labels)
+		if energy < bestEnergy {
+			bestEnergy = energy
+			copy(best, labels)
+		}
+		history = append(history, bestEnergy)
+		if maxDelta < opts.Tolerance {
+			converged = true
+			break
+		}
+	}
+	return solution(g, best, bestEnergy, history, iterations, converged), nil
+}
+
+func solution(g *mrf.Graph, labels []int, energy float64, history []float64, iters int, converged bool) mrf.Solution {
+	return mrf.Solution{
+		Labels:        append([]int(nil), labels...),
+		Energy:        energy,
+		LowerBound:    g.TrivialLowerBound(),
+		Iterations:    iters,
+		Converged:     converged,
+		EnergyHistory: append([]float64(nil), history...),
+	}
+}

@@ -1,0 +1,248 @@
+// Package casestudy reconstructs the Stuxnet-inspired case study of
+// Section VII: the integrated IT/OT topology of Fig. 3, the per-host service
+// and product catalogue of Table IV, and the two constraint scenarios
+// (host constraints C1, product constraints C2) used to compute the
+// constrained optimal assignments of Fig. 4(b) and 4(c).
+//
+// The paper publishes the topology as a figure and the catalogue as a
+// check-mark table; the exact per-host candidate lists are reconstructed here
+// from the host roles, the WinCC compatibility requirements quoted in the
+// text, and the products visible in Fig. 4.  EXPERIMENTS.md documents this
+// reconstruction.
+package casestudy
+
+import (
+	"fmt"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// Zone names of the integrated ICS (Fig. 3).
+const (
+	ZoneCorporate  = "corporate"
+	ZoneDMZ        = "dmz"
+	ZoneOperations = "operations"
+	ZoneControl    = "control"
+	ZoneClients    = "clients"
+	ZoneRemote     = "remote"
+	ZoneVendors    = "vendors"
+	ZoneField      = "field"
+)
+
+// Well-known hosts referenced by the experiments.
+const (
+	EntryCorporate1 = netmodel.HostID("c1")
+	EntryCorporate4 = netmodel.HostID("c4")
+	EntryClients    = netmodel.HostID("e3")
+	EntryRemote     = netmodel.HostID("r4")
+	EntryVendors    = netmodel.HostID("v1")
+	TargetWinCC     = netmodel.HostID("t5")
+)
+
+// Entries returns the five malware entry points used by the MTTC evaluation
+// of Table VI.
+func Entries() []netmodel.HostID {
+	return []netmodel.HostID{EntryCorporate1, EntryCorporate4, EntryClients, EntryRemote, EntryVendors}
+}
+
+// Product shorthands (IDs from the vulnsim paper tables).
+var (
+	osWindowsOnly = []netmodel.ProductID{vulnsim.ProdWinXP, vulnsim.ProdWin7}
+	osAll         = []netmodel.ProductID{vulnsim.ProdWinXP, vulnsim.ProdWin7, vulnsim.ProdUbuntu, vulnsim.ProdDebian}
+	osModern      = []netmodel.ProductID{vulnsim.ProdWin7, vulnsim.ProdUbuntu, vulnsim.ProdDebian}
+	wbIEOnly      = []netmodel.ProductID{vulnsim.ProdIE8, vulnsim.ProdIE10}
+	wbAll         = []netmodel.ProductID{vulnsim.ProdIE8, vulnsim.ProdIE10, vulnsim.ProdChrome}
+	dbMicrosoft   = []netmodel.ProductID{vulnsim.ProdMSSQL08, vulnsim.ProdMSSQL14}
+	dbAll         = []netmodel.ProductID{vulnsim.ProdMSSQL08, vulnsim.ProdMSSQL14, vulnsim.ProdMySQL55, vulnsim.ProdMariaDB10}
+)
+
+type hostDef struct {
+	id      netmodel.HostID
+	zone    string
+	role    string
+	legacy  bool
+	os      []netmodel.ProductID
+	wb      []netmodel.ProductID
+	db      []netmodel.ProductID
+}
+
+// hostDefs is the reconstructed Table IV.  Legacy hosts (the grey OT rows)
+// list their currently installed product first; the optimiser pins legacy
+// hosts to that first candidate.
+func hostDefs() []hostDef {
+	return []hostDef{
+		// Corporate (sub)network.
+		{id: "c1", zone: ZoneCorporate, role: "WinCC Web Client", os: osWindowsOnly, wb: wbIEOnly},
+		{id: "c2", zone: ZoneCorporate, role: "OS Web Client", os: osAll, wb: wbAll},
+		{id: "c3", zone: ZoneCorporate, role: "Data Monitor Web Client", os: osModern, wb: wbAll},
+		{id: "c4", zone: ZoneCorporate, role: "Historian Web Client", os: osAll, wb: wbAll, db: dbAll},
+		// DMZ.
+		{id: "z1", zone: ZoneDMZ, role: "Virusscan Server", os: osAll, db: dbAll},
+		{id: "z2", zone: ZoneDMZ, role: "WSUS Server", os: osWindowsOnly, db: dbMicrosoft},
+		{id: "z3", zone: ZoneDMZ, role: "Web Navigator Server", os: osWindowsOnly, wb: wbIEOnly, db: dbAll},
+		{id: "z4", zone: ZoneDMZ, role: "OS Web Server", os: osAll, db: dbAll},
+		// Operations network (legacy, cannot be diversified).
+		{id: "p1", zone: ZoneOperations, role: "Historian Web Client", legacy: true,
+			os: []netmodel.ProductID{vulnsim.ProdWin7}, wb: []netmodel.ProductID{vulnsim.ProdIE10},
+			db: []netmodel.ProductID{vulnsim.ProdMSSQL14}},
+		{id: "p2", zone: ZoneOperations, role: "SIMATIC IT Server", legacy: true,
+			os: []netmodel.ProductID{vulnsim.ProdWinXP}, db: []netmodel.ProductID{vulnsim.ProdMSSQL08}},
+		{id: "p3", zone: ZoneOperations, role: "SIMATIC SQL Server", legacy: true,
+			os: []netmodel.ProductID{vulnsim.ProdWin7}, db: []netmodel.ProductID{vulnsim.ProdMySQL55}},
+		// Control network (legacy, cannot be diversified).  The installed
+		// products mirror the partially diverse deployment visible in the
+		// control zone of Fig. 4.
+		{id: "t1", zone: ZoneControl, role: "Maintenance Server", legacy: true,
+			os: []netmodel.ProductID{vulnsim.ProdWinXP}, wb: []netmodel.ProductID{vulnsim.ProdIE8},
+			db: []netmodel.ProductID{vulnsim.ProdMySQL55}},
+		{id: "t2", zone: ZoneControl, role: "OS Client", legacy: true,
+			os: []netmodel.ProductID{vulnsim.ProdWin7}, wb: []netmodel.ProductID{vulnsim.ProdIE10}},
+		{id: "t3", zone: ZoneControl, role: "WinCC Client", legacy: true,
+			os: []netmodel.ProductID{vulnsim.ProdWinXP}, wb: []netmodel.ProductID{vulnsim.ProdIE8}},
+		{id: "t4", zone: ZoneControl, role: "OS Server", legacy: true,
+			os: []netmodel.ProductID{vulnsim.ProdWin7}, db: []netmodel.ProductID{vulnsim.ProdMSSQL14}},
+		{id: "t5", zone: ZoneControl, role: "WinCC Server", legacy: true,
+			os: []netmodel.ProductID{vulnsim.ProdWin7}, db: []netmodel.ProductID{vulnsim.ProdMSSQL08}},
+		{id: "t6", zone: ZoneControl, role: "WinCC Server", legacy: true,
+			os: []netmodel.ProductID{vulnsim.ProdWin7}, db: []netmodel.ProductID{vulnsim.ProdMSSQL14}},
+		// Clients network.
+		{id: "e1", zone: ZoneClients, role: "WinCC Web Client", os: osWindowsOnly, wb: wbIEOnly, db: dbAll},
+		{id: "e2", zone: ZoneClients, role: "OS Web Client", os: osAll, wb: wbAll},
+		{id: "e3", zone: ZoneClients, role: "Client Workstation", os: osAll, wb: wbAll},
+		{id: "e4", zone: ZoneClients, role: "Client Historian", os: osAll, db: dbAll},
+		// Remote clients.
+		{id: "r1", zone: ZoneRemote, role: "WinCC Web Client", os: osWindowsOnly, wb: wbIEOnly, db: dbAll},
+		{id: "r2", zone: ZoneRemote, role: "OS Web Client", os: osAll, wb: wbAll},
+		{id: "r3", zone: ZoneRemote, role: "Client Workstation", os: osAll, wb: wbAll},
+		{id: "r4", zone: ZoneRemote, role: "Client Workstation", os: osAll, wb: wbAll},
+		{id: "r5", zone: ZoneRemote, role: "Client Historian", os: osAll, db: dbAll},
+		// Vendors support network.
+		{id: "v1", zone: ZoneVendors, role: "Historian Web Client", os: osWindowsOnly, wb: wbIEOnly},
+		{id: "v2", zone: ZoneVendors, role: "Vendors Workstation", os: osAll, wb: wbAll},
+		{id: "v3", zone: ZoneVendors, role: "Vendors Workstation", os: osModern, wb: wbAll},
+	}
+}
+
+// links is the reconstructed Fig. 3 connectivity: rings inside every zone
+// plus the firewall-permitted conduits annotated on the figure
+// (c2,c4 -> z4; p2,p3 -> z4; z4 -> t1,t2; p1 -> t1,e1,r1,v1; t1,t2 -> e1,r1,v1)
+// and the field-device attachments of the control servers.
+func links() [][2]netmodel.HostID {
+	return [][2]netmodel.HostID{
+		// Corporate ring.
+		{"c1", "c2"}, {"c2", "c3"}, {"c3", "c4"}, {"c4", "c1"},
+		// DMZ ring.
+		{"z1", "z2"}, {"z2", "z3"}, {"z3", "z4"}, {"z4", "z1"},
+		// Corporate <-> DMZ conduits.
+		{"c2", "z4"}, {"c4", "z4"}, {"c1", "z3"}, {"c3", "z3"}, {"c1", "z1"},
+		// Operations ring.
+		{"p1", "p2"}, {"p2", "p3"}, {"p3", "p1"},
+		// Operations <-> DMZ conduits.
+		{"p2", "z4"}, {"p3", "z4"},
+		// DMZ <-> Control conduits.
+		{"z4", "t1"}, {"z4", "t2"},
+		// Operations <-> Control conduit.
+		{"p1", "t1"},
+		// Control network mesh.
+		{"t1", "t2"}, {"t1", "t3"}, {"t2", "t3"}, {"t2", "t4"}, {"t3", "t5"},
+		{"t4", "t5"}, {"t5", "t6"}, {"t4", "t6"},
+		// Clients ring and conduits.
+		{"e1", "e2"}, {"e2", "e3"}, {"e3", "e4"}, {"e4", "e1"},
+		{"t1", "e1"}, {"t2", "e1"}, {"p1", "e1"},
+		// Remote clients ring and conduits.
+		{"r1", "r2"}, {"r2", "r3"}, {"r3", "r4"}, {"r4", "r5"}, {"r5", "r1"},
+		{"t1", "r1"}, {"t2", "r1"}, {"p1", "r1"},
+		// Vendors ring and conduits.
+		{"v1", "v2"}, {"v2", "v3"}, {"v3", "v1"},
+		{"t1", "v1"}, {"t2", "v1"}, {"p1", "v1"},
+	}
+}
+
+// Build constructs the case-study network.
+func Build() (*netmodel.Network, error) {
+	n := netmodel.New()
+	for _, def := range hostDefs() {
+		h := &netmodel.Host{
+			ID:      def.id,
+			Zone:    def.zone,
+			Role:    def.role,
+			Legacy:  def.legacy,
+			Choices: make(map[netmodel.ServiceID][]netmodel.ProductID),
+		}
+		if len(def.os) > 0 {
+			h.Services = append(h.Services, netmodel.ServiceOS)
+			h.Choices[netmodel.ServiceOS] = def.os
+		}
+		if len(def.wb) > 0 {
+			h.Services = append(h.Services, netmodel.ServiceBrowser)
+			h.Choices[netmodel.ServiceBrowser] = def.wb
+		}
+		if len(def.db) > 0 {
+			h.Services = append(h.Services, netmodel.ServiceDatabase)
+			h.Choices[netmodel.ServiceDatabase] = def.db
+		}
+		if err := n.AddHost(h); err != nil {
+			return nil, fmt.Errorf("casestudy: %w", err)
+		}
+	}
+	for _, l := range links() {
+		if err := n.AddLink(l[0], l[1]); err != nil {
+			return nil, fmt.Errorf("casestudy: link %s-%s: %w", l[0], l[1], err)
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("casestudy: %w", err)
+	}
+	return n, nil
+}
+
+// Similarity returns the similarity table used by the case study: the merged
+// paper tables for operating systems, web browsers and database servers.
+func Similarity() *vulnsim.SimilarityTable {
+	return vulnsim.PaperSimilarity()
+}
+
+// HostConstraints returns the constraint set C1 of Section VII-B: hosts z4,
+// e1, r1 and v1 are required by company policy to run specific products.
+func HostConstraints() *netmodel.ConstraintSet {
+	cs := netmodel.NewConstraintSet()
+	cs.Fix("z4", netmodel.ServiceOS, vulnsim.ProdWin7)
+	cs.Fix("z4", netmodel.ServiceDatabase, vulnsim.ProdMSSQL14)
+	cs.Fix("e1", netmodel.ServiceOS, vulnsim.ProdWin7)
+	cs.Fix("e1", netmodel.ServiceBrowser, vulnsim.ProdIE8)
+	cs.Fix("e1", netmodel.ServiceDatabase, vulnsim.ProdMSSQL14)
+	cs.Fix("r1", netmodel.ServiceOS, vulnsim.ProdWin7)
+	cs.Fix("r1", netmodel.ServiceBrowser, vulnsim.ProdIE8)
+	cs.Fix("r1", netmodel.ServiceDatabase, vulnsim.ProdMSSQL14)
+	cs.Fix("v1", netmodel.ServiceOS, vulnsim.ProdWin7)
+	cs.Fix("v1", netmodel.ServiceBrowser, vulnsim.ProdIE8)
+	return cs
+}
+
+// ProductConstraints returns the constraint set C2 of Section VII-B: C1 plus
+// the global product constraint that Internet Explorer must not be installed
+// on non-Windows operating systems (the paper's example forbids IE10 on
+// Ubuntu 14.04, which moves the browsers of c2 and v2 to Chrome).
+func ProductConstraints() *netmodel.ConstraintSet {
+	cs := HostConstraints()
+	for _, osID := range []netmodel.ProductID{vulnsim.ProdUbuntu, vulnsim.ProdDebian} {
+		for _, ie := range []netmodel.ProductID{vulnsim.ProdIE8, vulnsim.ProdIE10} {
+			cs.Add(netmodel.Constraint{
+				Host:     netmodel.AllHosts,
+				ServiceM: netmodel.ServiceOS,
+				ServiceN: netmodel.ServiceBrowser,
+				ProductJ: osID,
+				ProductK: ie,
+				Mode:     netmodel.Forbid,
+			})
+		}
+	}
+	return cs
+}
+
+// AttackServices returns the three services for which the Table V/VI
+// attacker holds zero-day exploits.
+func AttackServices() []netmodel.ServiceID {
+	return []netmodel.ServiceID{netmodel.ServiceOS, netmodel.ServiceBrowser, netmodel.ServiceDatabase}
+}

@@ -1,0 +1,145 @@
+package casestudy
+
+import (
+	"testing"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+func TestBuildStructure(t *testing.T) {
+	net, err := Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := net.NumHosts(); got != 29 {
+		t.Errorf("case study has %d hosts, want 29 (Fig. 3)", got)
+	}
+	if net.NumLinks() == 0 {
+		t.Fatal("case study has no links")
+	}
+	if comps := net.ConnectedComponents(); len(comps) != 1 {
+		t.Errorf("case study should be a single connected network, got %d components", len(comps))
+	}
+	// The attack target must be reachable from every entry point used by
+	// Table VI.
+	for _, entry := range Entries() {
+		dist := net.ShortestPathLengths(entry)
+		if _, ok := dist[TargetWinCC]; !ok {
+			t.Errorf("target %s unreachable from entry %s", TargetWinCC, entry)
+		}
+	}
+}
+
+func TestZonesAndLegacy(t *testing.T) {
+	net, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones := make(map[string]int)
+	legacy := 0
+	for _, hid := range net.Hosts() {
+		h, _ := net.Host(hid)
+		zones[h.Zone]++
+		if h.Legacy {
+			legacy++
+			if h.Zone != ZoneOperations && h.Zone != ZoneControl {
+				t.Errorf("legacy host %s outside the OT zones (%s)", hid, h.Zone)
+			}
+		}
+	}
+	if zones[ZoneCorporate] != 4 || zones[ZoneDMZ] != 4 || zones[ZoneOperations] != 3 ||
+		zones[ZoneControl] != 6 || zones[ZoneClients] != 4 || zones[ZoneRemote] != 5 ||
+		zones[ZoneVendors] != 3 {
+		t.Errorf("zone sizes = %v", zones)
+	}
+	if legacy != 9 {
+		t.Errorf("legacy hosts = %d, want 9 (operations + control)", legacy)
+	}
+}
+
+func TestHostCatalogueUsesPaperProducts(t *testing.T) {
+	net, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := Similarity()
+	for _, hid := range net.Hosts() {
+		h, _ := net.Host(hid)
+		if len(h.Services) == 0 {
+			t.Errorf("host %s has no services", hid)
+		}
+		for svc, products := range h.Choices {
+			for _, p := range products {
+				if !sim.Has(string(p)) {
+					t.Errorf("host %s service %s candidate %s missing from the similarity table", hid, svc, p)
+				}
+			}
+		}
+	}
+	// Known spot checks from the paper: the WinCC web client c1 requires a
+	// Windows OS and Internet Explorer.
+	c1, _ := net.Host("c1")
+	for _, p := range c1.Choices[netmodel.ServiceOS] {
+		if p != vulnsim.ProdWinXP && p != vulnsim.ProdWin7 {
+			t.Errorf("c1 OS candidate %s should be a Windows release", p)
+		}
+	}
+	for _, p := range c1.Choices[netmodel.ServiceBrowser] {
+		if p != vulnsim.ProdIE8 && p != vulnsim.ProdIE10 {
+			t.Errorf("c1 browser candidate %s should be Internet Explorer", p)
+		}
+	}
+	// The WSUS server z2 requires Windows and a Microsoft database.
+	z2, _ := net.Host("z2")
+	for _, p := range z2.Choices[netmodel.ServiceDatabase] {
+		if p != vulnsim.ProdMSSQL08 && p != vulnsim.ProdMSSQL14 {
+			t.Errorf("z2 database candidate %s should be SQL Server", p)
+		}
+	}
+}
+
+func TestConstraintScenariosValid(t *testing.T) {
+	net, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := HostConstraints()
+	if err := c1.Validate(net); err != nil {
+		t.Errorf("C1 invalid: %v", err)
+	}
+	if got := len(c1.FixedHosts()); got != 4 {
+		t.Errorf("C1 pins %d hosts, want 4 (z4, e1, r1, v1)", got)
+	}
+	c2 := ProductConstraints()
+	if err := c2.Validate(net); err != nil {
+		t.Errorf("C2 invalid: %v", err)
+	}
+	if len(c2.Constraints()) == 0 {
+		t.Error("C2 should add global product constraints")
+	}
+	if len(c2.FixedHosts()) != len(c1.FixedHosts()) {
+		t.Error("C2 should include all C1 host constraints")
+	}
+}
+
+func TestEntriesAndServices(t *testing.T) {
+	if got := len(Entries()); got != 5 {
+		t.Errorf("entries = %d, want 5", got)
+	}
+	if got := len(AttackServices()); got != 3 {
+		t.Errorf("attack services = %d, want 3", got)
+	}
+	net, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range Entries() {
+		if _, ok := net.Host(e); !ok {
+			t.Errorf("entry %s missing from the network", e)
+		}
+	}
+	if _, ok := net.Host(TargetWinCC); !ok {
+		t.Error("target t5 missing from the network")
+	}
+}

@@ -1,0 +1,290 @@
+// Package core implements the paper's primary contribution: computing an
+// optimal diversification α̂ (and constrained optima α̂_C) for a network by
+// encoding the assignment problem as a discrete Markov Random Field
+// (Section V) and minimising it with TRW-S or one of the baseline solvers.
+//
+// The MRF has one node per (host, service) pair whose label space is the set
+// of candidate products for that service on that host.  Unary costs encode
+// product preferences, pinned products and constraint penalties (Eq. 2);
+// pairwise costs on every network link encode the vulnerability similarity
+// between the products chosen on the two endpoints (Eq. 3); configuration
+// constraints between two services of the same host become intra-host
+// pairwise factors.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"netdiversity/internal/mrf"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// variable identifies one MRF node: a (host, service) pair.
+type variable struct {
+	host    netmodel.HostID
+	service netmodel.ServiceID
+}
+
+// problem is the MRF encoding of a diversification instance, together with
+// the bookkeeping needed to decode a labeling back into an Assignment.
+type problem struct {
+	graph *mrf.Graph
+	vars  []variable
+	index map[variable]int
+	// candidates[i] are the product choices of variable i, in label order.
+	candidates [][]netmodel.ProductID
+}
+
+// buildProblem constructs the MRF for the network, similarity table and
+// constraint set under the given options.
+func buildProblem(net *netmodel.Network, sim *vulnsim.SimilarityTable, cs *netmodel.ConstraintSet, opts Options) (*problem, error) {
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid network: %w", err)
+	}
+	if cs != nil {
+		if err := cs.Validate(net); err != nil {
+			return nil, fmt.Errorf("core: invalid constraints: %w", err)
+		}
+	}
+
+	p := &problem{index: make(map[variable]int)}
+	var labelCounts []int
+	for _, hid := range net.Hosts() {
+		h, _ := net.Host(hid)
+		for _, s := range h.Services {
+			v := variable{host: hid, service: s}
+			p.index[v] = len(p.vars)
+			p.vars = append(p.vars, v)
+			cands := append([]netmodel.ProductID(nil), h.Choices[s]...)
+			p.candidates = append(p.candidates, cands)
+			labelCounts = append(labelCounts, len(cands))
+		}
+	}
+	g, err := mrf.NewGraph(labelCounts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	p.graph = g
+	for i, cands := range p.candidates {
+		names := make([]string, len(cands))
+		for l, c := range cands {
+			names[l] = string(c)
+		}
+		if err := g.SetLabelNames(i, names); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	if err := p.addUnaryCosts(net, cs, opts); err != nil {
+		return nil, err
+	}
+	if err := p.addSimilarityEdges(net, sim, opts); err != nil {
+		return nil, err
+	}
+	if err := p.addConstraintEdges(net, cs); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// addUnaryCosts fills in φ: the uniform constant Pr_const, optional host
+// preferences, legacy-host pinning (first candidate) and pinned products.
+func (p *problem) addUnaryCosts(net *netmodel.Network, cs *netmodel.ConstraintSet, opts Options) error {
+	for i, v := range p.vars {
+		h, _ := net.Host(v.host)
+		cands := p.candidates[i]
+		prefs := h.Preference[v.service]
+		fixedProduct, fixed := netmodel.ProductID(""), false
+		if cs != nil {
+			fixedProduct, fixed = cs.Fixed(v.host, v.service)
+		}
+		if !fixed && h.Legacy {
+			// Legacy hosts cannot be diversified: they keep their first
+			// (currently installed) candidate.
+			fixedProduct, fixed = cands[0], true
+		}
+		for l, cand := range cands {
+			cost := opts.UnaryConstant
+			if prefs != nil {
+				if pr, ok := prefs[cand]; ok {
+					// Higher preference -> lower cost.  The constant keeps
+					// the unary term on the same scale as the default.
+					cost = opts.UnaryConstant * (1 - clamp01(pr))
+				}
+			}
+			if fixed && cand != fixedProduct {
+				cost = mrf.HardPenalty
+			}
+			if err := p.graph.SetUnary(i, l, cost); err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+		}
+		if fixed {
+			found := false
+			for _, cand := range cands {
+				if cand == fixedProduct {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("core: host %q service %q pinned to %q which is not a candidate",
+					v.host, v.service, fixedProduct)
+			}
+		}
+	}
+	return nil
+}
+
+// addSimilarityEdges adds the pairwise similarity factor of Eq. 3 for every
+// network link and every service shared by its endpoints.  Edges whose
+// endpoints have identical candidate lists share one cost matrix.
+func (p *problem) addSimilarityEdges(net *netmodel.Network, sim *vulnsim.SimilarityTable, opts Options) error {
+	if sim == nil {
+		return errors.New("core: nil similarity table")
+	}
+	cache := make(map[string][][]float64)
+	for _, link := range net.Links() {
+		for _, s := range net.SharedServices(link.A, link.B) {
+			ia, oka := p.index[variable{host: link.A, service: s}]
+			ib, okb := p.index[variable{host: link.B, service: s}]
+			if !oka || !okb {
+				continue
+			}
+			candsA, candsB := p.candidates[ia], p.candidates[ib]
+			key := cacheKey(candsA, candsB)
+			cost, ok := cache[key]
+			if !ok {
+				cost = make([][]float64, len(candsA))
+				for x, pa := range candsA {
+					cost[x] = make([]float64, len(candsB))
+					for y, pb := range candsB {
+						cost[x][y] = opts.PairwiseWeight * sim.Sim(string(pa), string(pb))
+					}
+				}
+				cache[key] = cost
+			}
+			if _, err := p.graph.AddEdgeShared(ia, ib, cost); err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// addConstraintEdges encodes every require/forbid constraint as an intra-host
+// pairwise factor with HardPenalty on the violating label pairs.
+func (p *problem) addConstraintEdges(net *netmodel.Network, cs *netmodel.ConstraintSet) error {
+	if cs == nil {
+		return nil
+	}
+	for _, c := range cs.Constraints() {
+		hosts := net.Hosts()
+		if !c.Global() {
+			hosts = []netmodel.HostID{c.Host}
+		}
+		for _, hid := range hosts {
+			h, ok := net.Host(hid)
+			if !ok || !h.HasService(c.ServiceM) || !h.HasService(c.ServiceN) {
+				continue
+			}
+			im, okm := p.index[variable{host: hid, service: c.ServiceM}]
+			in, okn := p.index[variable{host: hid, service: c.ServiceN}]
+			if !okm || !okn {
+				continue
+			}
+			candsM, candsN := p.candidates[im], p.candidates[in]
+			cost := make([][]float64, len(candsM))
+			for x, pm := range candsM {
+				cost[x] = make([]float64, len(candsN))
+				if pm != c.ProductJ {
+					continue
+				}
+				for y, pn := range candsN {
+					violated := false
+					if c.Mode == netmodel.Require && pn != c.ProductK {
+						violated = true
+					}
+					if c.Mode == netmodel.Forbid && pn == c.ProductK {
+						violated = true
+					}
+					if violated {
+						cost[x][y] = mrf.HardPenalty
+					}
+				}
+			}
+			if _, err := p.graph.AddEdge(im, in, cost); err != nil {
+				return fmt.Errorf("core: constraint %s: %w", c, err)
+			}
+		}
+	}
+	return nil
+}
+
+// decode converts an MRF labeling into an Assignment.
+func (p *problem) decode(labels []int) (*netmodel.Assignment, error) {
+	if len(labels) != len(p.vars) {
+		return nil, fmt.Errorf("core: labeling has %d entries, want %d", len(labels), len(p.vars))
+	}
+	a := netmodel.NewAssignment()
+	for i, v := range p.vars {
+		l := labels[i]
+		if l < 0 || l >= len(p.candidates[i]) {
+			return nil, fmt.Errorf("core: label %d out of range for %s/%s", l, v.host, v.service)
+		}
+		a.Set(v.host, v.service, p.candidates[i][l])
+	}
+	return a, nil
+}
+
+// encode converts an Assignment into an MRF labeling (used to evaluate the
+// energy of baseline assignments on the same objective).
+func (p *problem) encode(a *netmodel.Assignment) ([]int, error) {
+	labels := make([]int, len(p.vars))
+	for i, v := range p.vars {
+		prod, ok := a.Get(v.host, v.service)
+		if !ok {
+			return nil, fmt.Errorf("core: assignment misses %s/%s", v.host, v.service)
+		}
+		found := -1
+		for l, cand := range p.candidates[i] {
+			if cand == prod {
+				found = l
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("core: assignment uses %q which is not a candidate of %s/%s",
+				prod, v.host, v.service)
+		}
+		labels[i] = found
+	}
+	return labels, nil
+}
+
+func cacheKey(a, b []netmodel.ProductID) string {
+	var sb strings.Builder
+	for _, p := range a {
+		sb.WriteString(string(p))
+		sb.WriteByte(',')
+	}
+	sb.WriteByte('|')
+	for _, p := range b {
+		sb.WriteString(string(p))
+		sb.WriteByte(',')
+	}
+	return sb.String()
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

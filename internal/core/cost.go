@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"netdiversity/internal/netmodel"
+)
+
+// Deployment cost support (the cost-constrained diversification of Borbor et
+// al., which the paper cites as related work [17]): every product may carry a
+// deployment/licensing cost, and the optimiser can trade diversity against
+// total cost through a cost weight λ added to the unary term.  Sweeping λ
+// produces the diversity-versus-cost Pareto front reported by the "cost"
+// experiment.
+
+// CostModel maps products to a deployment cost (licence, migration effort,
+// re-training, …) in arbitrary but consistent units.
+type CostModel struct {
+	// Costs is the per-product deployment cost.  Products absent from the
+	// map cost DefaultCost.
+	Costs map[netmodel.ProductID]float64
+	// DefaultCost is used for products without an explicit entry.
+	DefaultCost float64
+}
+
+// Cost returns the deployment cost of a product.
+func (m CostModel) Cost(p netmodel.ProductID) float64 {
+	if m.Costs != nil {
+		if c, ok := m.Costs[p]; ok {
+			return c
+		}
+	}
+	return m.DefaultCost
+}
+
+// Validate rejects negative costs.
+func (m CostModel) Validate() error {
+	if m.DefaultCost < 0 {
+		return errors.New("core: negative default cost")
+	}
+	for p, c := range m.Costs {
+		if c < 0 {
+			return fmt.Errorf("core: negative cost for product %q", p)
+		}
+	}
+	return nil
+}
+
+// TotalCost sums the deployment cost of a complete assignment.
+func (m CostModel) TotalCost(net *netmodel.Network, a *netmodel.Assignment) (float64, error) {
+	if net == nil || a == nil {
+		return 0, errors.New("core: network and assignment must not be nil")
+	}
+	if err := a.ValidateFor(net); err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	total := 0.0
+	for _, hid := range net.Hosts() {
+		h, _ := net.Host(hid)
+		for _, s := range h.Services {
+			total += m.Cost(a.Product(hid, s))
+		}
+	}
+	return total, nil
+}
+
+// SetCostModel installs a deployment-cost model and the weight λ with which
+// the per-product cost is added to the unary term of Eq. 2.  A weight of 0
+// disables the cost term; larger weights push the optimiser toward cheaper
+// products at the expense of diversity.
+func (o *Optimizer) SetCostModel(model CostModel, weight float64) error {
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	if weight < 0 {
+		return errors.New("core: negative cost weight")
+	}
+	o.costModel = &model
+	o.costWeight = weight
+	return nil
+}
+
+// applyCostModel adds weight·cost(product) to the unary cost of every label.
+// It is invoked by buildProblem through the optimiser.
+func applyCostModel(p *problem, model *CostModel, weight float64) error {
+	if model == nil || weight == 0 {
+		return nil
+	}
+	for i := range p.vars {
+		for l, cand := range p.candidates[i] {
+			if err := p.graph.AddUnary(i, l, weight*model.Cost(cand)); err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// costNetwork: two connected hosts, one OS service, two products: the cheap
+// one ("cheap") and the expensive one ("pricey"), which share a high
+// similarity so that diversity and cost pull in opposite directions.
+func costNetwork(t *testing.T) (*netmodel.Network, *vulnsim.SimilarityTable, CostModel) {
+	t.Helper()
+	net := netmodel.New()
+	for _, id := range []netmodel.HostID{"a", "b", "c"} {
+		h := &netmodel.Host{
+			ID:       id,
+			Services: []netmodel.ServiceID{"os"},
+			Choices:  map[netmodel.ServiceID][]netmodel.ProductID{"os": {"cheap", "pricey"}},
+		}
+		if err := net.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]netmodel.HostID{{"a", "b"}, {"b", "c"}} {
+		if err := net.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim := vulnsim.NewSimilarityTable([]string{"cheap", "pricey"})
+	_ = sim.Set("cheap", "pricey", 0.1, 1)
+	model := CostModel{
+		Costs:       map[netmodel.ProductID]float64{"pricey": 10, "cheap": 1},
+		DefaultCost: 1,
+	}
+	return net, sim, model
+}
+
+func TestCostModelBasics(t *testing.T) {
+	_, _, model := costNetwork(t)
+	if model.Cost("pricey") != 10 || model.Cost("cheap") != 1 {
+		t.Error("explicit costs wrong")
+	}
+	if model.Cost("unknown") != 1 {
+		t.Error("default cost wrong")
+	}
+	if err := model.Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := CostModel{Costs: map[netmodel.ProductID]float64{"x": -1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative cost should be rejected")
+	}
+	if err := (CostModel{DefaultCost: -1}).Validate(); err == nil {
+		t.Error("negative default cost should be rejected")
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	net, _, model := costNetwork(t)
+	a := netmodel.NewAssignment()
+	a.Set("a", "os", "cheap")
+	a.Set("b", "os", "pricey")
+	a.Set("c", "os", "cheap")
+	total, err := model.TotalCost(net, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-12) > 1e-9 {
+		t.Errorf("total cost = %v, want 12", total)
+	}
+	if _, err := model.TotalCost(nil, a); err == nil {
+		t.Error("nil network should be rejected")
+	}
+	if _, err := model.TotalCost(net, netmodel.NewAssignment()); err == nil {
+		t.Error("incomplete assignment should be rejected")
+	}
+}
+
+func TestSetCostModelValidation(t *testing.T) {
+	net, sim, model := costNetwork(t)
+	opt, err := NewOptimizer(net, sim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.SetCostModel(model, -1); err == nil {
+		t.Error("negative weight should be rejected")
+	}
+	if err := opt.SetCostModel(CostModel{DefaultCost: -1}, 1); err == nil {
+		t.Error("invalid model should be rejected")
+	}
+	if err := opt.SetCostModel(model, 0.5); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+}
+
+func TestCostWeightTradesDiversityForCost(t *testing.T) {
+	net, sim, model := costNetwork(t)
+
+	optimize := func(weight float64) (*netmodel.Assignment, float64, float64) {
+		t.Helper()
+		opt, err := NewOptimizer(net, sim, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if weight > 0 {
+			if err := opt.SetCostModel(model, weight); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := opt.Optimize(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost, err := model.TotalCost(net, res.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pair, err := PairwiseSimilarityCost(net, sim, res.Assignment)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Assignment, cost, pair
+	}
+
+	// Without a cost term the optimum alternates products (cost 12 or 21).
+	_, freeCost, freePair := optimize(0)
+	// With a heavy cost weight everything moves to the cheap product.
+	aCostly, heavyCost, heavyPair := optimize(10)
+
+	if heavyCost >= freeCost {
+		t.Errorf("cost-aware optimisation should reduce deployment cost: %v vs %v", heavyCost, freeCost)
+	}
+	if heavyPair < freePair {
+		t.Errorf("cheaper deployment should sacrifice diversity: pairwise %v vs %v", heavyPair, freePair)
+	}
+	for _, hid := range net.Hosts() {
+		if aCostly.Product(hid, "os") != "cheap" {
+			t.Errorf("heavy cost weight should pick the cheap product everywhere, %s got %v",
+				hid, aCostly.Product(hid, "os"))
+		}
+	}
+}
+
+func TestCostModelInParallelOptimization(t *testing.T) {
+	net, sim, model := costNetwork(t)
+	opt, err := NewOptimizer(net, sim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.SetCostModel(model, 10); err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.OptimizeParallel(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hid := range net.Hosts() {
+		if res.Assignment.Product(hid, "os") != "cheap" {
+			t.Errorf("parallel optimisation should respect the cost model, %s got %v",
+				hid, res.Assignment.Product(hid, "os"))
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"netdiversity/internal/bp"
+	"netdiversity/internal/icm"
+	"netdiversity/internal/mrf"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/trws"
+	"netdiversity/internal/vulnsim"
+)
+
+// Solver selects the minimisation algorithm.
+type Solver int
+
+const (
+	// SolverTRWS is the sequential tree-reweighted message passing solver
+	// used by the paper (default).
+	SolverTRWS Solver = iota + 1
+	// SolverBP is loopy min-sum belief propagation.
+	SolverBP
+	// SolverICM is iterated conditional modes local search.
+	SolverICM
+	// SolverAnneal is ICM with a simulated-annealing acceptance rule.
+	SolverAnneal
+)
+
+// String implements fmt.Stringer.
+func (s Solver) String() string {
+	switch s {
+	case SolverTRWS:
+		return "trws"
+	case SolverBP:
+		return "bp"
+	case SolverICM:
+		return "icm"
+	case SolverAnneal:
+		return "anneal"
+	default:
+		return fmt.Sprintf("solver(%d)", int(s))
+	}
+}
+
+// ParseSolver converts a name ("trws", "bp", "icm", "anneal") to a Solver.
+func ParseSolver(name string) (Solver, error) {
+	switch name {
+	case "trws", "":
+		return SolverTRWS, nil
+	case "bp":
+		return SolverBP, nil
+	case "icm":
+		return SolverICM, nil
+	case "anneal":
+		return SolverAnneal, nil
+	default:
+		return 0, fmt.Errorf("core: unknown solver %q", name)
+	}
+}
+
+// Options configures the optimiser.
+type Options struct {
+	// Solver selects the minimisation algorithm; default SolverTRWS.
+	Solver Solver
+	// UnaryConstant is Pr_const of Eq. 2, the uniform unary cost used when
+	// a host has no product preference.  Default 0.01.
+	UnaryConstant float64
+	// PairwiseWeight scales the similarity cost of Eq. 3 against the unary
+	// term.  Default 1.
+	PairwiseWeight float64
+	// MaxIterations bounds the solver iterations.  Default 100 (50 for the
+	// local-search solvers).
+	MaxIterations int
+	// Workers is the number of goroutines used by parallelisable solver
+	// stages.  Default 1.
+	Workers int
+	// Seed drives the randomised solvers (ICM restarts, annealing).
+	Seed int64
+	// DisablePolish turns off the local ICM refinement applied to the
+	// solver's labeling (useful for solver ablations that want the raw
+	// message-passing result).
+	DisablePolish bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Solver == 0 {
+		o.Solver = SolverTRWS
+	}
+	if o.UnaryConstant == 0 {
+		o.UnaryConstant = 0.01
+	}
+	if o.PairwiseWeight == 0 {
+		o.PairwiseWeight = 1
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// Result is the outcome of an optimisation run.
+type Result struct {
+	// Assignment is the decoded optimal assignment α̂ (or α̂_C).
+	Assignment *netmodel.Assignment
+	// Energy is the MRF energy of the assignment (Eq. 1).
+	Energy float64
+	// LowerBound is the solver's lower bound on the optimal energy.
+	LowerBound float64
+	// Iterations and Converged report solver behaviour.
+	Iterations int
+	Converged  bool
+	// Runtime is the wall-clock time spent building and solving the MRF.
+	Runtime time.Duration
+	// Nodes and Edges describe the size of the MRF that was solved.
+	Nodes, Edges int
+	// EnergyHistory records the solver's best energy after every iteration
+	// (before the optional local polish), for convergence reporting.
+	EnergyHistory []float64
+	// ConstraintViolations lists any constraints the decoded assignment
+	// still violates (should be empty unless the constraint set is
+	// infeasible).
+	ConstraintViolations []string
+}
+
+// Optimizer computes optimal diversification strategies for one network.
+type Optimizer struct {
+	net  *netmodel.Network
+	sim  *vulnsim.SimilarityTable
+	cs   *netmodel.ConstraintSet
+	opts Options
+	// costModel and costWeight optionally add deployment costs to the unary
+	// term (see SetCostModel).
+	costModel  *CostModel
+	costWeight float64
+}
+
+// buildProblem constructs the MRF for this optimiser's network, constraints
+// and (optional) cost model.
+func (o *Optimizer) buildProblem() (*problem, error) {
+	prob, err := buildProblem(o.net, o.sim, o.cs, o.opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := applyCostModel(prob, o.costModel, o.costWeight); err != nil {
+		return nil, err
+	}
+	return prob, nil
+}
+
+// ErrNilInput is returned when the network or similarity table is nil.
+var ErrNilInput = errors.New("core: network and similarity table must not be nil")
+
+// NewOptimizer creates an optimiser for the network and similarity table.
+func NewOptimizer(net *netmodel.Network, sim *vulnsim.SimilarityTable, opts Options) (*Optimizer, error) {
+	if net == nil || sim == nil {
+		return nil, ErrNilInput
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Optimizer{net: net, sim: sim, opts: opts.withDefaults()}, nil
+}
+
+// SetConstraints installs the constraint set C used by subsequent Optimize
+// calls (nil clears it).
+func (o *Optimizer) SetConstraints(cs *netmodel.ConstraintSet) error {
+	if cs != nil {
+		if err := cs.Validate(o.net); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	o.cs = cs
+	return nil
+}
+
+// Constraints returns the currently installed constraint set (may be nil).
+func (o *Optimizer) Constraints() *netmodel.ConstraintSet { return o.cs }
+
+// Optimize computes the (constrained) optimal assignment.
+func (o *Optimizer) Optimize(ctx context.Context) (Result, error) {
+	start := time.Now()
+	prob, err := o.buildProblem()
+	if err != nil {
+		return Result{}, err
+	}
+	sol, err := o.solve(ctx, prob.graph)
+	if err != nil {
+		return Result{}, err
+	}
+	if !o.opts.DisablePolish {
+		polished, perr := icm.Polish(prob.graph, sol.Labels, 10)
+		if perr != nil {
+			return Result{}, perr
+		}
+		if polished.Energy < sol.Energy {
+			sol.Labels = polished.Labels
+			sol.Energy = polished.Energy
+		}
+	}
+	assignment, err := prob.decode(sol.Labels)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Assignment:    assignment,
+		Energy:        sol.Energy,
+		LowerBound:    sol.LowerBound,
+		Iterations:    sol.Iterations,
+		Converged:     sol.Converged,
+		Runtime:       time.Since(start),
+		Nodes:         prob.graph.NumNodes(),
+		Edges:         prob.graph.NumEdges(),
+		EnergyHistory: sol.EnergyHistory,
+	}
+	if o.cs != nil {
+		res.ConstraintViolations = o.cs.Violations(assignment, o.net)
+	}
+	return res, nil
+}
+
+func (o *Optimizer) solve(ctx context.Context, g *mrf.Graph) (mrf.Solution, error) {
+	switch o.opts.Solver {
+	case SolverTRWS:
+		return trws.SolveContext(ctx, g, trws.Options{
+			MaxIterations: o.opts.MaxIterations,
+			Workers:       o.opts.Workers,
+		})
+	case SolverBP:
+		return bp.SolveContext(ctx, g, bp.Options{MaxIterations: o.opts.MaxIterations})
+	case SolverICM:
+		return icm.SolveContext(ctx, g, icm.Options{
+			MaxIterations: o.opts.MaxIterations,
+			Seed:          o.opts.Seed,
+		})
+	case SolverAnneal:
+		return icm.SolveContext(ctx, g, icm.Options{
+			MaxIterations: o.opts.MaxIterations,
+			Seed:          o.opts.Seed,
+			Annealing:     true,
+			Restarts:      4,
+		})
+	default:
+		return mrf.Solution{}, fmt.Errorf("core: unknown solver %v", o.opts.Solver)
+	}
+}
+
+// Energy evaluates the optimisation objective of Eq. 1 for an arbitrary
+// (complete) assignment under this optimiser's options and constraints.
+// It lets baseline assignments be compared on the exact objective the
+// optimiser minimises.
+func (o *Optimizer) Energy(a *netmodel.Assignment) (float64, error) {
+	if a == nil {
+		return 0, errors.New("core: nil assignment")
+	}
+	prob, err := o.buildProblem()
+	if err != nil {
+		return 0, err
+	}
+	labels, err := prob.encode(a)
+	if err != nil {
+		return 0, err
+	}
+	return prob.graph.Energy(labels)
+}
+
+// PairwiseSimilarityCost returns only the pairwise part of the objective
+// (Eq. 3) for an assignment: the summed similarity over all links and shared
+// services.  This is the quantity the diversification is really trying to
+// drive down and is reported by the examples.
+func PairwiseSimilarityCost(net *netmodel.Network, sim *vulnsim.SimilarityTable, a *netmodel.Assignment) (float64, error) {
+	if net == nil || sim == nil {
+		return 0, ErrNilInput
+	}
+	if a == nil {
+		return 0, errors.New("core: nil assignment")
+	}
+	total := 0.0
+	for _, link := range net.Links() {
+		for _, s := range net.SharedServices(link.A, link.B) {
+			pa, oka := a.Get(link.A, s)
+			pb, okb := a.Get(link.B, s)
+			if !oka || !okb {
+				return 0, fmt.Errorf("core: assignment misses %s or %s for service %s", link.A, link.B, s)
+			}
+			total += sim.Sim(string(pa), string(pb))
+		}
+	}
+	return total, nil
+}

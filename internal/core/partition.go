@@ -1,0 +1,258 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"netdiversity/internal/icm"
+	"netdiversity/internal/netmodel"
+)
+
+// The paper's optimiser runs "in a multi-level fashion" with parallel
+// computation (Section V-C / VIII).  OptimizeParallel reproduces that idea in
+// pure Go: the network is partitioned into connected blocks, each block is
+// optimised independently and concurrently, and the merged labeling is then
+// refined globally with a local-search pass that accounts for the cut edges.
+// The result is a slightly less tight optimum than a full sequential TRW-S
+// run, obtained in a fraction of the wall-clock time on large networks.
+
+// PartitionNetwork splits the hosts of a network into at most `parts`
+// connected, roughly balanced blocks using BFS growth from spread-out seeds.
+// Every host appears in exactly one block.
+func PartitionNetwork(net *netmodel.Network, parts int) ([][]netmodel.HostID, error) {
+	if net == nil {
+		return nil, errors.New("core: nil network")
+	}
+	hosts := net.Hosts()
+	if parts <= 1 || len(hosts) <= parts {
+		return [][]netmodel.HostID{hosts}, nil
+	}
+	targetSize := (len(hosts) + parts - 1) / parts
+
+	assigned := make(map[netmodel.HostID]int, len(hosts))
+	var blocks [][]netmodel.HostID
+
+	for _, start := range hosts {
+		if _, done := assigned[start]; done {
+			continue
+		}
+		if len(blocks) == parts {
+			// All blocks created: attach leftovers to the smallest block.
+			smallest := 0
+			for i := range blocks {
+				if len(blocks[i]) < len(blocks[smallest]) {
+					smallest = i
+				}
+			}
+			blocks[smallest] = append(blocks[smallest], start)
+			assigned[start] = smallest
+			continue
+		}
+		// Grow a new block by BFS until it reaches the target size.
+		blockIdx := len(blocks)
+		var block []netmodel.HostID
+		queue := []netmodel.HostID{start}
+		assigned[start] = blockIdx
+		for len(queue) > 0 && len(block) < targetSize {
+			cur := queue[0]
+			queue = queue[1:]
+			block = append(block, cur)
+			for _, nb := range net.Neighbors(cur) {
+				if _, done := assigned[nb]; done {
+					continue
+				}
+				if len(block)+len(queue) >= targetSize {
+					break
+				}
+				assigned[nb] = blockIdx
+				queue = append(queue, nb)
+			}
+		}
+		// Any queued-but-unvisited hosts still belong to this block.
+		block = append(block, queue...)
+		blocks = append(blocks, block)
+	}
+	for i := range blocks {
+		sort.Slice(blocks[i], func(a, b int) bool { return blocks[i][a] < blocks[i][b] })
+	}
+	return blocks, nil
+}
+
+// subNetwork builds the network induced by the given hosts (intra-block links
+// only) and the restriction of the constraint set to those hosts.
+func subNetwork(net *netmodel.Network, block []netmodel.HostID, cs *netmodel.ConstraintSet) (*netmodel.Network, *netmodel.ConstraintSet, error) {
+	inBlock := make(map[netmodel.HostID]bool, len(block))
+	sub := netmodel.New()
+	for _, hid := range block {
+		h, ok := net.Host(hid)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: partition references unknown host %q", hid)
+		}
+		if err := sub.AddHost(h); err != nil {
+			return nil, nil, err
+		}
+		inBlock[hid] = true
+	}
+	for _, l := range net.Links() {
+		if inBlock[l.A] && inBlock[l.B] {
+			if err := sub.AddLink(l.A, l.B); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if cs == nil {
+		return sub, nil, nil
+	}
+	subCS := netmodel.NewConstraintSet()
+	for _, hid := range cs.FixedHosts() {
+		if !inBlock[hid] {
+			continue
+		}
+		h, _ := net.Host(hid)
+		for _, s := range h.Services {
+			if p, ok := cs.Fixed(hid, s); ok {
+				subCS.Fix(hid, s, p)
+			}
+		}
+	}
+	for _, c := range cs.Constraints() {
+		if c.Global() || inBlock[c.Host] {
+			subCS.Add(c)
+		}
+	}
+	return sub, subCS, nil
+}
+
+// ParallelResult extends Result with partition information.
+type ParallelResult struct {
+	Result
+	// Blocks is the number of partition blocks optimised concurrently.
+	Blocks int
+	// CutLinks is the number of network links crossing block boundaries
+	// (handled by the global refinement pass).
+	CutLinks int
+}
+
+// OptimizeParallel partitions the network into `parts` blocks, optimises the
+// blocks concurrently and refines the merged assignment globally.  With
+// parts <= 1 it falls back to Optimize.
+func (o *Optimizer) OptimizeParallel(ctx context.Context, parts int) (ParallelResult, error) {
+	start := time.Now()
+	if parts <= 1 {
+		res, err := o.Optimize(ctx)
+		if err != nil {
+			return ParallelResult{}, err
+		}
+		return ParallelResult{Result: res, Blocks: 1}, nil
+	}
+	blocks, err := PartitionNetwork(o.net, parts)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+
+	blockIndex := make(map[netmodel.HostID]int, o.net.NumHosts())
+	for bi, block := range blocks {
+		for _, hid := range block {
+			blockIndex[hid] = bi
+		}
+	}
+	cut := 0
+	for _, l := range o.net.Links() {
+		if blockIndex[l.A] != blockIndex[l.B] {
+			cut++
+		}
+	}
+
+	merged := netmodel.NewAssignment()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make([]error, len(blocks))
+	for bi, block := range blocks {
+		wg.Add(1)
+		go func(bi int, block []netmodel.HostID) {
+			defer wg.Done()
+			sub, subCS, err := subNetwork(o.net, block, o.cs)
+			if err != nil {
+				errs[bi] = err
+				return
+			}
+			subOpt, err := NewOptimizer(sub, o.sim, o.opts)
+			if err != nil {
+				errs[bi] = err
+				return
+			}
+			if o.costModel != nil {
+				if err := subOpt.SetCostModel(*o.costModel, o.costWeight); err != nil {
+					errs[bi] = err
+					return
+				}
+			}
+			if subCS != nil && !subCS.Empty() {
+				if err := subOpt.SetConstraints(subCS); err != nil {
+					errs[bi] = err
+					return
+				}
+			}
+			res, err := subOpt.Optimize(ctx)
+			if err != nil {
+				errs[bi] = err
+				return
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, hid := range block {
+				for s, p := range res.Assignment.HostAssignment(hid) {
+					merged.Set(hid, s, p)
+				}
+			}
+		}(bi, block)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ParallelResult{}, err
+		}
+	}
+
+	// Global refinement on the full problem, starting from the merged
+	// block-optimal labeling; this repairs the cut edges.
+	prob, err := o.buildProblem()
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	labels, err := prob.encode(merged)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	polished, err := icm.Polish(prob.graph, labels, 20)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+	assignment, err := prob.decode(polished.Labels)
+	if err != nil {
+		return ParallelResult{}, err
+	}
+
+	out := ParallelResult{
+		Result: Result{
+			Assignment: assignment,
+			Energy:     polished.Energy,
+			LowerBound: prob.graph.TrivialLowerBound(),
+			Iterations: polished.Iterations,
+			Converged:  polished.Converged,
+			Runtime:    time.Since(start),
+			Nodes:      prob.graph.NumNodes(),
+			Edges:      prob.graph.NumEdges(),
+		},
+		Blocks:   len(blocks),
+		CutLinks: cut,
+	}
+	if o.cs != nil {
+		out.ConstraintViolations = o.cs.Violations(assignment, o.net)
+	}
+	return out, nil
+}

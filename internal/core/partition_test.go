@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"netdiversity/internal/netgen"
+	"netdiversity/internal/netmodel"
+)
+
+func TestPartitionNetwork(t *testing.T) {
+	cfg := netgen.RandomConfig{Hosts: 120, Degree: 6, Services: 2, Seed: 5}
+	net, err := netgen.Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := PartitionNetwork(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) < 2 || len(blocks) > 4 {
+		t.Fatalf("got %d blocks, want 2..4", len(blocks))
+	}
+	seen := make(map[netmodel.HostID]int)
+	for _, block := range blocks {
+		if len(block) == 0 {
+			t.Error("empty partition block")
+		}
+		for _, h := range block {
+			seen[h]++
+		}
+	}
+	if len(seen) != net.NumHosts() {
+		t.Errorf("partition covers %d hosts, want %d", len(seen), net.NumHosts())
+	}
+	for h, c := range seen {
+		if c != 1 {
+			t.Errorf("host %s appears in %d blocks", h, c)
+		}
+	}
+	// Rough balance: no block more than 2x the ideal size.
+	ideal := net.NumHosts() / len(blocks)
+	for i, block := range blocks {
+		if len(block) > 2*ideal+1 {
+			t.Errorf("block %d has %d hosts, ideal %d", i, len(block), ideal)
+		}
+	}
+}
+
+func TestPartitionNetworkEdgeCases(t *testing.T) {
+	if _, err := PartitionNetwork(nil, 3); err == nil {
+		t.Error("nil network should be rejected")
+	}
+	net, _ := triangleNetwork(t)
+	blocks, err := PartitionNetwork(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 || len(blocks[0]) != 3 {
+		t.Errorf("parts=1 should yield a single block of all hosts, got %v", blocks)
+	}
+	blocks, err = PartitionNetwork(net, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 1 {
+		t.Errorf("more parts than hosts should collapse to one block, got %d", len(blocks))
+	}
+}
+
+func TestOptimizeParallelMatchesSequentialQuality(t *testing.T) {
+	cfg := netgen.RandomConfig{Hosts: 150, Degree: 6, Services: 3, ProductsPerService: 4, Seed: 7}
+	net, err := netgen.Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netgen.SyntheticSimilarity(cfg, 0.6)
+	opt, err := NewOptimizer(net, sim, Options{MaxIterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := opt.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := opt.OptimizeParallel(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Assignment.ValidateFor(net); err != nil {
+		t.Fatalf("parallel assignment invalid: %v", err)
+	}
+	if par.Blocks < 2 {
+		t.Errorf("expected multiple blocks, got %d", par.Blocks)
+	}
+	if par.CutLinks <= 0 {
+		t.Error("expected some cut links on a connected network")
+	}
+	// The partitioned optimum should stay within 15% of the sequential one
+	// and far below the mono-culture energy.
+	if par.Energy > seq.Energy*1.15 {
+		t.Errorf("parallel energy %v too far above sequential %v", par.Energy, seq.Energy)
+	}
+	mono, err := opt.Energy(mustMono(t, net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Energy >= mono {
+		t.Errorf("parallel energy %v should beat mono %v", par.Energy, mono)
+	}
+}
+
+func mustMono(t *testing.T, net *netmodel.Network) *netmodel.Assignment {
+	t.Helper()
+	a := netmodel.NewAssignment()
+	for _, hid := range net.Hosts() {
+		h, _ := net.Host(hid)
+		for _, s := range h.Services {
+			a.Set(hid, s, h.Choices[s][0])
+		}
+	}
+	return a
+}
+
+func TestOptimizeParallelRespectsConstraints(t *testing.T) {
+	net, sim := caseNetwork(t)
+	cs := netmodel.NewConstraintSet()
+	cs.Fix("x", "os", "win7")
+	cs.Add(netmodel.Constraint{
+		Host:     netmodel.AllHosts,
+		ServiceM: "os",
+		ServiceN: "wb",
+		ProductJ: "ubt1404",
+		ProductK: "ie10",
+		Mode:     netmodel.Forbid,
+	})
+	opt, err := NewOptimizer(net, sim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.SetConstraints(cs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.OptimizeParallel(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.Product("x", "os") != "win7" {
+		t.Error("pinned product lost in parallel optimisation")
+	}
+	if len(res.ConstraintViolations) != 0 {
+		t.Errorf("violations: %v", res.ConstraintViolations)
+	}
+	// parts <= 1 falls back to the sequential path.
+	single, err := opt.OptimizeParallel(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Blocks != 1 {
+		t.Errorf("parts=1 should report a single block, got %d", single.Blocks)
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netdiversity/internal/baseline"
+	"netdiversity/internal/core"
+	"netdiversity/internal/netgen"
+	"netdiversity/internal/netmodel"
+)
+
+// Ablation compares the solvers (TRW-S, loopy BP, ICM, simulated annealing)
+// and the non-optimising baselines (greedy colouring, random, mono) on the
+// same diversification instance: achieved objective energy, pairwise
+// similarity cost and wall-clock time.  This is experiment A1 of DESIGN.md
+// and backs the paper's design choice of TRW-S in Section V-C.
+func Ablation(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	hosts, degree, services := 120, 8, 3
+	if cfg.Full {
+		hosts, degree, services = 500, 16, 5
+	}
+	genCfg := netgen.RandomConfig{
+		Hosts:              hosts,
+		Degree:             degree,
+		Services:           services,
+		ProductsPerService: 4,
+		Seed:               cfg.Seed,
+	}
+	net, err := netgen.Random(genCfg)
+	if err != nil {
+		return nil, err
+	}
+	sim := netgen.SyntheticSimilarity(genCfg, 0.6)
+
+	t := &Table{
+		ID:    "ablation",
+		Title: "Solver ablation on one random diversification instance",
+		Columns: []string{
+			"method", "energy (Eq.1)", "pairwise sim cost", "seconds", "iterations", "converged",
+		},
+	}
+
+	evalOpt, err := core.NewOptimizer(net, sim, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	addAssignment := func(name string, a *netmodel.Assignment, seconds float64, iters int, converged string) error {
+		energy, err := evalOpt.Energy(a)
+		if err != nil {
+			return err
+		}
+		pc, err := core.PairwiseSimilarityCost(net, sim, a)
+		if err != nil {
+			return err
+		}
+		t.AddRow(name, formatFloat(energy, 3), formatFloat(pc, 3),
+			formatSeconds(seconds), fmt.Sprint(iters), converged)
+		return nil
+	}
+
+	type solverRun struct {
+		name   string
+		solver core.Solver
+		polish bool
+	}
+	runs := []solverRun{
+		{"trws (raw)", core.SolverTRWS, false},
+		{"trws + local polish", core.SolverTRWS, true},
+		{"bp (raw)", core.SolverBP, false},
+		{"bp + local polish", core.SolverBP, true},
+		{"icm", core.SolverICM, false},
+		{"anneal", core.SolverAnneal, false},
+	}
+	for _, r := range runs {
+		opt, err := core.NewOptimizer(net, sim, core.Options{
+			Solver:        r.solver,
+			Workers:       cfg.Workers,
+			Seed:          cfg.Seed,
+			MaxIterations: 40,
+			DisablePolish: !r.polish,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := opt.Optimize(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		if err := addAssignment(r.name, res.Assignment, res.Runtime.Seconds(),
+			res.Iterations, fmt.Sprint(res.Converged)); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	greedy, err := baseline.GreedyColoring(net, sim, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := addAssignment("greedy-coloring", greedy, time.Since(start).Seconds(), 1, "n/a"); err != nil {
+		return nil, err
+	}
+	random, err := baseline.Random(net, nil, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := addAssignment("random", random, 0, 0, "n/a"); err != nil {
+		return nil, err
+	}
+	mono, err := baseline.Mono(net, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := addAssignment("mono", mono, 0, 0, "n/a"); err != nil {
+		return nil, err
+	}
+
+	t.AddNote("instance: %d hosts, degree %d, %d services, 4 products per service, seed %d",
+		hosts, degree, services, cfg.Seed)
+	t.AddNote("expected shape: TRW-S with local polish reaches near-minimal energy within a handful of sweeps; simulated annealing can match or edge it out by spending many more iterations; plain loopy BP collapses to a near-homogeneous labeling on tie-heavy instances; mono is the worst")
+	return t, nil
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netdiversity/internal/core"
+	"netdiversity/internal/netgen"
+)
+
+// scalabilityRun optimises one randomly generated network and returns the
+// wall-clock time spent building and solving the MRF.
+func scalabilityRun(cfg Config, hosts, degree, services int) (time.Duration, error) {
+	genCfg := netgen.RandomConfig{
+		Hosts:              hosts,
+		Degree:             degree,
+		Services:           services,
+		ProductsPerService: 4,
+		Seed:               cfg.Seed,
+	}
+	net, err := netgen.Random(genCfg)
+	if err != nil {
+		return 0, err
+	}
+	sim := netgen.SyntheticSimilarity(genCfg, 0.6)
+	iters := 20
+	if cfg.Full {
+		iters = 50
+	}
+	opt, err := core.NewOptimizer(net, sim, core.Options{
+		Workers:       cfg.Workers,
+		MaxIterations: iters,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	res, err := opt.Optimize(context.Background())
+	if err != nil {
+		return 0, err
+	}
+	return res.Runtime, nil
+}
+
+// TableVII regenerates the "computational time over number of hosts" sweep
+// (Table VII): a mid-density and a high-density profile over increasing host
+// counts.
+func TableVII(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	hostCounts := []int{100, 200, 400}
+	profiles := []struct {
+		name     string
+		degree   int
+		services int
+	}{
+		{"mid-density", 8, 4},
+		{"high-density", 16, 6},
+	}
+	if cfg.Full {
+		hostCounts = []int{100, 200, 400, 600, 800, 1000, 2000, 4000, 6000}
+		profiles[0].degree, profiles[0].services = 20, 15
+		profiles[1].degree, profiles[1].services = 40, 25
+	}
+
+	t := &Table{
+		ID:      "table7",
+		Title:   "Computational time (seconds) for networks of various densities over #hosts",
+		Columns: append([]string{"profile", "#deg", "#serv"}, intColumns(hostCounts)...),
+	}
+	for _, p := range profiles {
+		cells := []string{p.name, fmt.Sprint(p.degree), fmt.Sprint(p.services)}
+		for _, hosts := range hostCounts {
+			d, err := scalabilityRun(cfg, hosts, p.degree, p.services)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, formatSeconds(d.Seconds()))
+		}
+		t.AddRow(cells...)
+	}
+	addScalabilityNotes(t, cfg)
+	return t, nil
+}
+
+// TableVIII regenerates the "computational time over degree" sweep
+// (Table VIII) for a mid-scale and a large-scale network.
+func TableVIII(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	degrees := []int{4, 8, 12, 16}
+	profiles := []struct {
+		name     string
+		hosts    int
+		services int
+	}{
+		{"mid-scale", 200, 4},
+		{"large-scale", 600, 5},
+	}
+	if cfg.Full {
+		degrees = []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50}
+		profiles[0].hosts, profiles[0].services = 1000, 15
+		profiles[1].hosts, profiles[1].services = 6000, 25
+	}
+
+	t := &Table{
+		ID:      "table8",
+		Title:   "Computational time (seconds) for various network sizes over #degree",
+		Columns: append([]string{"profile", "#hosts", "#serv"}, intColumns(degrees)...),
+	}
+	for _, p := range profiles {
+		cells := []string{p.name, fmt.Sprint(p.hosts), fmt.Sprint(p.services)}
+		for _, deg := range degrees {
+			d, err := scalabilityRun(cfg, p.hosts, deg, p.services)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, formatSeconds(d.Seconds()))
+		}
+		t.AddRow(cells...)
+	}
+	addScalabilityNotes(t, cfg)
+	return t, nil
+}
+
+// TableIX regenerates the "computational time over number of services" sweep
+// (Table IX).
+func TableIX(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	services := []int{2, 4, 6, 8}
+	profiles := []struct {
+		name   string
+		hosts  int
+		degree int
+	}{
+		{"mid-scale", 200, 8},
+		{"large-scale", 600, 12},
+	}
+	if cfg.Full {
+		services = []int{5, 10, 15, 20, 25, 30}
+		profiles[0].hosts, profiles[0].degree = 1000, 20
+		profiles[1].hosts, profiles[1].degree = 6000, 40
+	}
+
+	t := &Table{
+		ID:      "table9",
+		Title:   "Computational time (seconds) for various network sizes over #services",
+		Columns: append([]string{"profile", "#hosts", "#deg"}, intColumns(services)...),
+	}
+	for _, p := range profiles {
+		cells := []string{p.name, fmt.Sprint(p.hosts), fmt.Sprint(p.degree)}
+		for _, svc := range services {
+			d, err := scalabilityRun(cfg, p.hosts, p.degree, svc)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, formatSeconds(d.Seconds()))
+		}
+		t.AddRow(cells...)
+	}
+	addScalabilityNotes(t, cfg)
+	return t, nil
+}
+
+func addScalabilityNotes(t *Table, cfg Config) {
+	if cfg.Full {
+		t.AddNote("full (paper-sized) sweep; expect seconds to minutes per cell depending on hardware")
+	} else {
+		t.AddNote("quick profile with reduced hosts/degrees/services; run with -full for the paper-sized sweep")
+	}
+	t.AddNote("expected shape: time grows roughly linearly with hosts, edges and services, as in Tables VII-IX")
+}
+
+func intColumns(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprint(x)
+	}
+	return out
+}

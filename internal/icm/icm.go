@@ -1,0 +1,218 @@
+// Package icm implements Iterated Conditional Modes and a simulated-annealing
+// variant — simple local-search baselines for the MRF minimisation problem.
+// ICM converges to a local optimum extremely quickly but has no optimality
+// guarantee; it is used in the solver ablation (A1 in DESIGN.md).
+package icm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netdiversity/internal/mrf"
+)
+
+// Options configures the solvers.
+type Options struct {
+	// MaxIterations bounds the number of full sweeps over the nodes.
+	// Default 50.
+	MaxIterations int
+	// Restarts runs the search from multiple random initialisations and
+	// keeps the best result.  Default 1 (single run from the greedy-unary
+	// initial labeling).
+	Restarts int
+	// Seed makes the random restarts and annealing deterministic.
+	Seed int64
+	// Annealing enables the simulated-annealing acceptance rule instead of
+	// strict descent.
+	Annealing bool
+	// InitialTemperature and Cooling control the annealing schedule.
+	InitialTemperature float64
+	Cooling            float64
+	// InitialLabels optionally seeds the first restart with a specific
+	// labeling instead of the greedy-unary initialisation.
+	InitialLabels []int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 50
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	if o.InitialTemperature <= 0 {
+		o.InitialTemperature = 1.0
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.92
+	}
+	return o
+}
+
+// ErrNilGraph is returned when Solve is called with a nil graph.
+var ErrNilGraph = errors.New("icm: nil graph")
+
+// Polish runs strict ICM descent starting from the given labeling and returns
+// the (weakly) improved labeling.  It is used to locally refine the output of
+// the message-passing solvers ("TRW-S + local polish"), and never increases
+// the energy.
+func Polish(g *mrf.Graph, labels []int, maxSweeps int) (mrf.Solution, error) {
+	if g == nil {
+		return mrf.Solution{}, ErrNilGraph
+	}
+	if len(labels) != g.NumNodes() {
+		return mrf.Solution{}, fmt.Errorf("icm: labeling has %d entries, want %d", len(labels), g.NumNodes())
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 10
+	}
+	startEnergy, err := g.Energy(labels)
+	if err != nil {
+		return mrf.Solution{}, fmt.Errorf("icm: polish start labeling: %w", err)
+	}
+	start := append([]int(nil), labels...)
+	sol, err := SolveContext(context.Background(), g, Options{
+		MaxIterations: maxSweeps,
+		InitialLabels: start,
+	})
+	if err != nil {
+		return mrf.Solution{}, err
+	}
+	// Descent from the provided labeling can only improve (or keep) the
+	// energy relative to that labeling.
+	if sol.Energy > startEnergy {
+		sol.Labels = append([]int(nil), labels...)
+		sol.Energy = startEnergy
+	}
+	return sol, nil
+}
+
+// Solve runs ICM (or simulated annealing when Options.Annealing is set).
+func Solve(g *mrf.Graph, opts Options) (mrf.Solution, error) {
+	return SolveContext(context.Background(), g, opts)
+}
+
+// SolveContext is Solve with cancellation between sweeps.
+func SolveContext(ctx context.Context, g *mrf.Graph, opts Options) (mrf.Solution, error) {
+	if g == nil {
+		return mrf.Solution{}, ErrNilGraph
+	}
+	if err := g.Validate(); err != nil {
+		return mrf.Solution{}, fmt.Errorf("icm: %w", err)
+	}
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	n := g.NumNodes()
+	type halfEdge struct {
+		edge  int
+		isU   bool
+		other int
+	}
+	incident := make([][]halfEdge, n)
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(e)
+		incident[edge.U] = append(incident[edge.U], halfEdge{edge: e, isU: true, other: edge.V})
+		incident[edge.V] = append(incident[edge.V], halfEdge{edge: e, isU: false, other: edge.U})
+	}
+
+	// localCost returns the energy contribution of assigning label x to node
+	// given the current labels of its neighbours.
+	localCost := func(labels []int, node, x int) float64 {
+		c := g.Unary(node, x)
+		for _, he := range incident[node] {
+			edge := g.Edge(he.edge)
+			if he.isU {
+				c += edge.Cost[x][labels[he.other]]
+			} else {
+				c += edge.Cost[labels[he.other]][x]
+			}
+		}
+		return c
+	}
+
+	var best []int
+	bestEnergy := math.Inf(1)
+	var history []float64
+	totalIters := 0
+	converged := false
+
+	for restart := 0; restart < opts.Restarts; restart++ {
+		labels := g.GreedyLabeling()
+		if restart == 0 && len(opts.InitialLabels) == n {
+			copy(labels, opts.InitialLabels)
+		}
+		if restart > 0 {
+			for i := range labels {
+				labels[i] = rng.Intn(g.NumLabels(i))
+			}
+		}
+		temp := opts.InitialTemperature
+		for iter := 0; iter < opts.MaxIterations; iter++ {
+			if err := ctx.Err(); err != nil {
+				return pack(g, best, bestEnergy, history, totalIters, false), err
+			}
+			changed := false
+			for node := 0; node < n; node++ {
+				cur := labels[node]
+				curCost := localCost(labels, node, cur)
+				bestLabel, bestCost := cur, curCost
+				for x := 0; x < g.NumLabels(node); x++ {
+					if x == cur {
+						continue
+					}
+					c := localCost(labels, node, x)
+					if c < bestCost {
+						bestLabel, bestCost = x, c
+					}
+				}
+				switch {
+				case bestLabel != cur:
+					labels[node] = bestLabel
+					changed = true
+				case opts.Annealing && temp > 1e-9:
+					// Propose a random uphill move with Metropolis acceptance.
+					cand := rng.Intn(g.NumLabels(node))
+					if cand != cur {
+						delta := localCost(labels, node, cand) - curCost
+						if delta < 0 || rng.Float64() < math.Exp(-delta/temp) {
+							labels[node] = cand
+							changed = true
+						}
+					}
+				}
+			}
+			totalIters++
+			energy := g.MustEnergy(labels)
+			if energy < bestEnergy {
+				bestEnergy = energy
+				best = append(best[:0], labels...)
+			}
+			history = append(history, bestEnergy)
+			temp *= opts.Cooling
+			if !changed && !opts.Annealing {
+				converged = true
+				break
+			}
+		}
+	}
+	if best == nil {
+		best = g.GreedyLabeling()
+		bestEnergy = g.MustEnergy(best)
+	}
+	return pack(g, best, bestEnergy, history, totalIters, converged), nil
+}
+
+func pack(g *mrf.Graph, labels []int, energy float64, history []float64, iters int, converged bool) mrf.Solution {
+	return mrf.Solution{
+		Labels:        append([]int(nil), labels...),
+		Energy:        energy,
+		LowerBound:    g.TrivialLowerBound(),
+		Iterations:    iters,
+		Converged:     converged,
+		EnergyHistory: append([]float64(nil), history...),
+	}
+}

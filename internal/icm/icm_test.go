@@ -1,0 +1,161 @@
+package icm
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"netdiversity/internal/mrf"
+)
+
+func randomGraph(t *testing.T, rng *rand.Rand, nodes, labels int) *mrf.Graph {
+	t.Helper()
+	counts := make([]int, nodes)
+	for i := range counts {
+		counts[i] = labels
+	}
+	g, err := mrf.NewGraph(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		for l := 0; l < labels; l++ {
+			_ = g.SetUnary(i, l, rng.Float64())
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		cost := make([][]float64, labels)
+		for a := range cost {
+			cost[a] = make([]float64, labels)
+			for b := range cost[a] {
+				cost[a][b] = rng.Float64()
+			}
+		}
+		if _, err := g.AddEdge(i, (i+1)%nodes, cost); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestSolveNil(t *testing.T) {
+	if _, err := Solve(nil, Options{}); !errors.Is(err, ErrNilGraph) {
+		t.Errorf("nil graph should return ErrNilGraph, got %v", err)
+	}
+	bad, _ := mrf.NewGraph([]int{2})
+	_ = bad.SetUnary(0, 0, math.NaN())
+	if _, err := Solve(bad, Options{}); err == nil {
+		t.Error("invalid graph should be rejected")
+	}
+}
+
+func TestSolveImprovesOverGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(t, rng, 10, 3)
+		sol, err := Solve(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy := g.MustEnergy(g.GreedyLabeling())
+		if sol.Energy > greedy+1e-9 {
+			t.Errorf("ICM energy %v worse than its greedy start %v", sol.Energy, greedy)
+		}
+		if !sol.Converged {
+			t.Error("plain ICM should converge (reach a local optimum)")
+		}
+	}
+}
+
+func TestSolveRestartsAndAnnealing(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(t, rng, 12, 4)
+	single, err := Solve(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := Solve(g, Options{Seed: 1, Restarts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Energy > single.Energy+1e-9 {
+		t.Errorf("restarts should never hurt: %v vs %v", multi.Energy, single.Energy)
+	}
+	annealed, err := Solve(g, Options{Seed: 1, Annealing: true, Restarts: 4, MaxIterations: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if annealed.Energy > single.Energy+1e-9 {
+		t.Errorf("annealing tracks the best-seen labeling and should not be worse: %v vs %v",
+			annealed.Energy, single.Energy)
+	}
+}
+
+func TestSolveDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := randomGraph(t, rng, 10, 3)
+	a, err := Solve(g, Options{Seed: 42, Restarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(g, Options{Seed: 42, Restarts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy {
+		t.Errorf("same seed should give the same energy: %v vs %v", a.Energy, b.Energy)
+	}
+}
+
+func TestSolveContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g := randomGraph(t, rng, 10, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveContext(ctx, g, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context should surface context.Canceled, got %v", err)
+	}
+}
+
+func TestPolishNeverIncreasesEnergy(t *testing.T) {
+	f := func(seed int64, picks [10]uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(t, rng, 10, 3)
+		labels := make([]int, g.NumNodes())
+		for i := range labels {
+			labels[i] = int(picks[i]) % g.NumLabels(i)
+		}
+		before := g.MustEnergy(labels)
+		sol, err := Polish(g, labels, 5)
+		if err != nil {
+			return false
+		}
+		return sol.Energy <= before+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolishValidation(t *testing.T) {
+	g, _ := mrf.NewGraph([]int{2, 2})
+	if _, err := Polish(nil, []int{0, 0}, 3); !errors.Is(err, ErrNilGraph) {
+		t.Error("nil graph should be rejected")
+	}
+	if _, err := Polish(g, []int{0}, 3); err == nil {
+		t.Error("wrong labeling length should be rejected")
+	}
+	if _, err := Polish(g, []int{0, 9}, 3); err == nil {
+		t.Error("out-of-range label should be rejected")
+	}
+	sol, err := Polish(g, []int{1, 1}, 0)
+	if err != nil {
+		t.Fatalf("Polish with default sweeps: %v", err)
+	}
+	if len(sol.Labels) != 2 {
+		t.Error("Polish should return a full labeling")
+	}
+}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"netdiversity/internal/baseline"
+	"netdiversity/internal/casestudy"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// smallSetup builds a 4-host line with one OS service and three candidate
+// products.
+func smallSetup(t *testing.T) (*netmodel.Network, *vulnsim.SimilarityTable) {
+	t.Helper()
+	net := netmodel.New()
+	ids := []netmodel.HostID{"a", "b", "c", "d"}
+	for _, id := range ids {
+		h := &netmodel.Host{
+			ID:       id,
+			Services: []netmodel.ServiceID{"os"},
+			Choices:  map[netmodel.ServiceID][]netmodel.ProductID{"os": {"p1", "p2", "p3"}},
+		}
+		if err := net.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		if err := net.AddLink(ids[i], ids[i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim := vulnsim.NewSimilarityTable([]string{"p1", "p2", "p3"})
+	_ = sim.Set("p1", "p2", 0.5, 5)
+	_ = sim.Set("p1", "p3", 0.1, 1)
+	_ = sim.Set("p2", "p3", 0.2, 2)
+	return net, sim
+}
+
+func assign(products ...netmodel.ProductID) *netmodel.Assignment {
+	a := netmodel.NewAssignment()
+	ids := []netmodel.HostID{"a", "b", "c", "d"}
+	for i, p := range products {
+		a.Set(ids[i], "os", p)
+	}
+	return a
+}
+
+func TestRichness(t *testing.T) {
+	net, _ := smallSetup(t)
+
+	mono := assign("p1", "p1", "p1", "p1")
+	r, err := Richness(net, mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.PerService["os"]-0.25) > 1e-9 {
+		t.Errorf("mono richness = %v, want 0.25 (1 product over 4 hosts)", r.PerService["os"])
+	}
+
+	diverse := assign("p1", "p2", "p3", "p1")
+	r, err = Richness(net, diverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PerService["os"] <= 0.25 || r.PerService["os"] > 1 {
+		t.Errorf("diverse richness = %v, want in (0.25, 1]", r.PerService["os"])
+	}
+	if r.Overall != r.PerService["os"] {
+		t.Error("single-service overall should equal the per-service value")
+	}
+
+	perfect := assign("p1", "p2", "p3", "p1")
+	rp, _ := Richness(net, perfect)
+	monoR, _ := Richness(net, mono)
+	if rp.Overall <= monoR.Overall {
+		t.Error("diversified assignment should have higher richness than mono")
+	}
+
+	if _, err := Richness(nil, mono); err == nil {
+		t.Error("nil network should be rejected")
+	}
+	if _, err := Richness(net, netmodel.NewAssignment()); err == nil {
+		t.Error("incomplete assignment should be rejected")
+	}
+}
+
+func TestEffortChain(t *testing.T) {
+	net, sim := smallSetup(t)
+	cfg := EffortConfig{Entry: "a", Target: "d", PAvg: 0.2}
+
+	mono := assign("p1", "p1", "p1", "p1")
+	resMono, err := Effort(net, mono, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one simple path a-b-c-d; every step exploits the same product.
+	if resMono.LeastEffortProducts != 1 {
+		t.Errorf("mono least-effort products = %d, want 1", resMono.LeastEffortProducts)
+	}
+	if math.Abs(resMono.LeastEffort-1.0/3.0) > 1e-9 {
+		t.Errorf("mono d2 = %v, want 1/3", resMono.LeastEffort)
+	}
+	if math.Abs(resMono.AverageEffort-1) > 1e-9 {
+		t.Errorf("mono d3 = %v, want 1", resMono.AverageEffort)
+	}
+
+	diverse := assign("p1", "p2", "p3", "p1")
+	resDiverse, err := Effort(net, diverse, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resDiverse.LeastEffortProducts != 3 {
+		t.Errorf("diverse least-effort products = %d, want 3 (p2, p3, p1)", resDiverse.LeastEffortProducts)
+	}
+	if resDiverse.AverageEffort <= resMono.AverageEffort {
+		t.Error("diverse d3 should exceed mono d3")
+	}
+	if len(resDiverse.Paths) != 1 || len(resDiverse.Paths[0].Hosts) != 4 {
+		t.Errorf("expected the single a-b-c-d path, got %+v", resDiverse.Paths)
+	}
+	if resDiverse.Paths[0].Likelihood >= resMono.Paths[0].Likelihood {
+		t.Error("the diversified path should be less likely to succeed")
+	}
+}
+
+func TestEffortValidation(t *testing.T) {
+	net, sim := smallSetup(t)
+	a := assign("p1", "p2", "p3", "p1")
+	if _, err := Effort(nil, a, sim, EffortConfig{Entry: "a", Target: "d"}); err == nil {
+		t.Error("nil network should be rejected")
+	}
+	if _, err := Effort(net, a, nil, EffortConfig{Entry: "a", Target: "d"}); err == nil {
+		t.Error("nil similarity should be rejected")
+	}
+	if _, err := Effort(net, a, sim, EffortConfig{Entry: "zz", Target: "d"}); err == nil {
+		t.Error("unknown entry should be rejected")
+	}
+	if _, err := Effort(net, a, sim, EffortConfig{Entry: "a", Target: "zz"}); err == nil {
+		t.Error("unknown target should be rejected")
+	}
+	// Disconnected target.
+	net2, sim2 := smallSetup(t)
+	iso := &netmodel.Host{
+		ID:       "island",
+		Services: []netmodel.ServiceID{"os"},
+		Choices:  map[netmodel.ServiceID][]netmodel.ProductID{"os": {"p1"}},
+	}
+	if err := net2.AddHost(iso); err != nil {
+		t.Fatal(err)
+	}
+	a2 := assign("p1", "p2", "p3", "p1")
+	a2.Set("island", "os", "p1")
+	if _, err := Effort(net2, a2, sim2, EffortConfig{Entry: "a", Target: "island"}); err == nil {
+		t.Error("unreachable target should be rejected")
+	}
+}
+
+func TestEvaluateOnCaseStudy(t *testing.T) {
+	net, err := casestudy.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := casestudy.Similarity()
+	mono, err := baseline.Mono(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := baseline.GreedyColoring(net, sim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := EffortConfig{
+		Entry:           casestudy.EntryCorporate4,
+		Target:          casestudy.TargetWinCC,
+		ExploitServices: casestudy.AttackServices(),
+		MaxExtraHops:    2,
+		MaxPaths:        128,
+	}
+	monoSummary, err := Evaluate(net, mono, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedySummary, err := Evaluate(net, greedy, sim, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedySummary.Richness.Overall <= monoSummary.Richness.Overall {
+		t.Errorf("greedy richness %v should exceed mono %v",
+			greedySummary.Richness.Overall, monoSummary.Richness.Overall)
+	}
+	if greedySummary.AverageEffort < monoSummary.AverageEffort {
+		t.Errorf("greedy average effort %v should be at least mono %v",
+			greedySummary.AverageEffort, monoSummary.AverageEffort)
+	}
+	if monoSummary.LeastEffort <= 0 || greedySummary.LeastEffort <= 0 {
+		t.Error("least effort should be positive")
+	}
+}

@@ -1,0 +1,265 @@
+// Package mrf implements the discrete pairwise Markov Random Field used by
+// the paper to encode the diversification problem (Section V, Eq. 1):
+//
+//	E(x) = Σ_i φ_i(x_i) + Σ_{(i,j)∈L} ψ_ij(x_i, x_j)
+//
+// Nodes carry a finite label space (the candidate product combinations of a
+// host), φ are unary costs (product preferences and constraint penalties) and
+// ψ are pairwise costs (vulnerability similarities).  Solvers live in the
+// trws, bp and icm packages and operate on the Graph type defined here.
+package mrf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// HardPenalty is the finite cost used to encode hard constraints (the "∞" of
+// the paper's unary cost Pc).  A finite value keeps message passing
+// numerically stable while still dominating every achievable soft cost.
+const HardPenalty = 1e9
+
+// Edge is an undirected pairwise factor between nodes U and V with a dense
+// cost matrix Cost[labelU][labelV].
+type Edge struct {
+	U, V int
+	Cost [][]float64
+}
+
+// Graph is a discrete pairwise MRF.
+type Graph struct {
+	labels [][]string    // optional label names per node (for decoding)
+	counts []int         // number of labels per node
+	unary  [][]float64   // unary costs per node per label
+	edges  []Edge
+	adj    [][]int // adjacency: node -> indices into edges
+}
+
+// NewGraph creates a graph with the given number of labels per node.  Every
+// node must have at least one label.
+func NewGraph(labelCounts []int) (*Graph, error) {
+	if len(labelCounts) == 0 {
+		return nil, errors.New("mrf: graph needs at least one node")
+	}
+	g := &Graph{
+		counts: append([]int(nil), labelCounts...),
+		unary:  make([][]float64, len(labelCounts)),
+		adj:    make([][]int, len(labelCounts)),
+		labels: make([][]string, len(labelCounts)),
+	}
+	for i, k := range labelCounts {
+		if k <= 0 {
+			return nil, fmt.Errorf("mrf: node %d has %d labels; need at least 1", i, k)
+		}
+		g.unary[i] = make([]float64, k)
+	}
+	return g, nil
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.counts) }
+
+// NumEdges returns the number of pairwise factors.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumLabels returns the label-space size of the node.
+func (g *Graph) NumLabels(node int) int { return g.counts[node] }
+
+// SetLabelNames attaches human-readable names to a node's labels; purely
+// informational (used when decoding assignments).
+func (g *Graph) SetLabelNames(node int, names []string) error {
+	if node < 0 || node >= len(g.counts) {
+		return fmt.Errorf("mrf: node %d out of range", node)
+	}
+	if len(names) != g.counts[node] {
+		return fmt.Errorf("mrf: node %d has %d labels but %d names given", node, g.counts[node], len(names))
+	}
+	g.labels[node] = append([]string(nil), names...)
+	return nil
+}
+
+// LabelName returns the attached name of a node label ("" if unnamed).
+func (g *Graph) LabelName(node, label int) string {
+	if g.labels[node] == nil {
+		return ""
+	}
+	return g.labels[node][label]
+}
+
+// SetUnary sets φ_node(label) = cost.
+func (g *Graph) SetUnary(node, label int, cost float64) error {
+	if err := g.checkNodeLabel(node, label); err != nil {
+		return err
+	}
+	g.unary[node][label] = cost
+	return nil
+}
+
+// AddUnary adds cost to φ_node(label).
+func (g *Graph) AddUnary(node, label int, cost float64) error {
+	if err := g.checkNodeLabel(node, label); err != nil {
+		return err
+	}
+	g.unary[node][label] += cost
+	return nil
+}
+
+// Unary returns φ_node(label).
+func (g *Graph) Unary(node, label int) float64 { return g.unary[node][label] }
+
+// UnaryRow returns a copy of the unary cost vector of a node.
+func (g *Graph) UnaryRow(node int) []float64 {
+	out := make([]float64, len(g.unary[node]))
+	copy(out, g.unary[node])
+	return out
+}
+
+func (g *Graph) checkNodeLabel(node, label int) error {
+	if node < 0 || node >= len(g.counts) {
+		return fmt.Errorf("mrf: node %d out of range", node)
+	}
+	if label < 0 || label >= g.counts[node] {
+		return fmt.Errorf("mrf: label %d out of range for node %d (%d labels)", label, node, g.counts[node])
+	}
+	return nil
+}
+
+// AddEdge adds a pairwise factor between u and v with the dense cost matrix
+// cost[labelU][labelV].  The matrix is copied.  It returns the edge index.
+func (g *Graph) AddEdge(u, v int, cost [][]float64) (int, error) {
+	if u == v {
+		return 0, fmt.Errorf("mrf: self edge on node %d", u)
+	}
+	if u < 0 || u >= len(g.counts) || v < 0 || v >= len(g.counts) {
+		return 0, fmt.Errorf("mrf: edge (%d,%d) out of range", u, v)
+	}
+	if len(cost) != g.counts[u] {
+		return 0, fmt.Errorf("mrf: edge (%d,%d) cost has %d rows, want %d", u, v, len(cost), g.counts[u])
+	}
+	cp := make([][]float64, len(cost))
+	for i, row := range cost {
+		if len(row) != g.counts[v] {
+			return 0, fmt.Errorf("mrf: edge (%d,%d) cost row %d has %d cols, want %d",
+				u, v, i, len(row), g.counts[v])
+		}
+		cp[i] = append([]float64(nil), row...)
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Cost: cp})
+	g.adj[u] = append(g.adj[u], idx)
+	g.adj[v] = append(g.adj[v], idx)
+	return idx, nil
+}
+
+// Edge returns the idx-th pairwise factor.  The returned struct shares the
+// internal cost matrix; callers must treat it as read-only.
+func (g *Graph) Edge(idx int) Edge { return g.edges[idx] }
+
+// AdjacentEdges returns the indices of the edges incident to the node.
+func (g *Graph) AdjacentEdges(node int) []int {
+	out := make([]int, len(g.adj[node]))
+	copy(out, g.adj[node])
+	return out
+}
+
+// PairwiseCost returns ψ of the idx-th edge for the given endpoint labels,
+// where lu indexes the edge's U node and lv its V node.
+func (g *Graph) PairwiseCost(idx, lu, lv int) float64 {
+	return g.edges[idx].Cost[lu][lv]
+}
+
+// Energy evaluates E(x) for a full labeling (one label index per node).
+func (g *Graph) Energy(labels []int) (float64, error) {
+	if len(labels) != len(g.counts) {
+		return 0, fmt.Errorf("mrf: labeling has %d entries, want %d", len(labels), len(g.counts))
+	}
+	total := 0.0
+	for i, l := range labels {
+		if l < 0 || l >= g.counts[i] {
+			return 0, fmt.Errorf("mrf: label %d out of range for node %d", l, i)
+		}
+		total += g.unary[i][l]
+	}
+	for _, e := range g.edges {
+		total += e.Cost[labels[e.U]][labels[e.V]]
+	}
+	return total, nil
+}
+
+// MustEnergy is Energy for labelings already known to be valid; it panics on
+// an invalid labeling (which would indicate a solver bug).
+func (g *Graph) MustEnergy(labels []int) float64 {
+	e, err := g.Energy(labels)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// TrivialLowerBound returns Σ_i min_x φ_i(x) + Σ_e min ψ_e, a valid (if loose)
+// lower bound on the minimum energy.
+func (g *Graph) TrivialLowerBound() float64 {
+	lb := 0.0
+	for _, row := range g.unary {
+		lb += minOf(row)
+	}
+	for _, e := range g.edges {
+		m := math.Inf(1)
+		for _, row := range e.Cost {
+			if v := minOf(row); v < m {
+				m = v
+			}
+		}
+		lb += m
+	}
+	return lb
+}
+
+// GreedyLabeling returns the labeling that minimises each node's unary cost
+// independently (ignoring pairwise terms).  Useful as a solver starting point
+// and as a baseline in tests.
+func (g *Graph) GreedyLabeling() []int {
+	labels := make([]int, len(g.counts))
+	for i, row := range g.unary {
+		best, bestV := 0, math.Inf(1)
+		for l, v := range row {
+			if v < bestV {
+				best, bestV = l, v
+			}
+		}
+		labels[i] = best
+	}
+	return labels
+}
+
+// Validate checks internal consistency (no NaN costs, adjacency coherent).
+func (g *Graph) Validate() error {
+	for i, row := range g.unary {
+		for l, v := range row {
+			if math.IsNaN(v) {
+				return fmt.Errorf("mrf: unary cost of node %d label %d is NaN", i, l)
+			}
+		}
+	}
+	for idx, e := range g.edges {
+		for _, row := range e.Cost {
+			for _, v := range row {
+				if math.IsNaN(v) {
+					return fmt.Errorf("mrf: pairwise cost of edge %d is NaN", idx)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func minOf(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, v := range xs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,266 @@
+package mrf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func chainGraph(t *testing.T, labelCounts []int) *Graph {
+	t.Helper()
+	g, err := NewGraph(labelCounts)
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	return g
+}
+
+func TestNewGraphValidation(t *testing.T) {
+	if _, err := NewGraph(nil); err == nil {
+		t.Error("empty graph should be rejected")
+	}
+	if _, err := NewGraph([]int{2, 0}); err == nil {
+		t.Error("node with zero labels should be rejected")
+	}
+	g, err := NewGraph([]int{2, 3})
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	if g.NumNodes() != 2 || g.NumLabels(1) != 3 {
+		t.Error("graph shape wrong")
+	}
+}
+
+func TestUnaryAndLabelNames(t *testing.T) {
+	g := chainGraph(t, []int{2, 2})
+	if err := g.SetUnary(0, 1, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddUnary(0, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Unary(0, 1); got != 4 {
+		t.Errorf("Unary = %v, want 4", got)
+	}
+	if err := g.SetUnary(0, 5, 1); err == nil {
+		t.Error("out-of-range label should be rejected")
+	}
+	if err := g.SetUnary(9, 0, 1); err == nil {
+		t.Error("out-of-range node should be rejected")
+	}
+	if err := g.SetLabelNames(0, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetLabelNames(0, []string{"only-one"}); err == nil {
+		t.Error("wrong name count should be rejected")
+	}
+	if err := g.SetLabelNames(7, []string{"a"}); err == nil {
+		t.Error("out-of-range node should be rejected")
+	}
+	if got := g.LabelName(0, 1); got != "b" {
+		t.Errorf("LabelName = %q", got)
+	}
+	if got := g.LabelName(1, 0); got != "" {
+		t.Errorf("unnamed label should return empty, got %q", got)
+	}
+	row := g.UnaryRow(0)
+	row[0] = 99
+	if g.Unary(0, 0) == 99 {
+		t.Error("UnaryRow must return a copy")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := chainGraph(t, []int{2, 3})
+	if _, err := g.AddEdge(0, 0, PottsCost(2, 2, 1)); err == nil {
+		t.Error("self edge should be rejected")
+	}
+	if _, err := g.AddEdge(0, 5, PottsCost(2, 2, 1)); err == nil {
+		t.Error("out-of-range node should be rejected")
+	}
+	if _, err := g.AddEdge(0, 1, PottsCost(2, 2, 1)); err == nil {
+		t.Error("wrong matrix shape should be rejected")
+	}
+	if _, err := g.AddEdge(0, 1, [][]float64{{1, 2, 3}, {4, 5}}); err == nil {
+		t.Error("ragged matrix should be rejected")
+	}
+	idx, err := g.AddEdge(0, 1, UniformCost(2, 3, 0.5))
+	if err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if g.NumEdges() != 1 || idx != 0 {
+		t.Error("edge bookkeeping wrong")
+	}
+	if got := g.PairwiseCost(0, 1, 2); got != 0.5 {
+		t.Errorf("PairwiseCost = %v", got)
+	}
+	if got := g.AdjacentEdges(1); len(got) != 1 || got[0] != 0 {
+		t.Errorf("AdjacentEdges = %v", got)
+	}
+}
+
+func TestAddEdgeSharedDoesNotCopy(t *testing.T) {
+	g := chainGraph(t, []int{2, 2})
+	cost := PottsCost(2, 2, 1)
+	if _, err := g.AddEdgeShared(0, 1, cost); err != nil {
+		t.Fatal(err)
+	}
+	cost[0][0] = 42
+	if g.PairwiseCost(0, 0, 0) != 42 {
+		t.Error("AddEdgeShared should store the matrix without copying")
+	}
+	if _, err := g.AddEdgeShared(0, 0, cost); err == nil {
+		t.Error("self edge should be rejected")
+	}
+	if _, err := g.AddEdgeShared(0, 1, PottsCost(3, 3, 1)); err == nil {
+		t.Error("wrong shape should be rejected")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	g := chainGraph(t, []int{2, 2, 2})
+	_ = g.SetUnary(0, 0, 1)
+	_ = g.SetUnary(1, 1, 2)
+	_ = g.SetUnary(2, 0, 3)
+	if _, err := g.AddEdge(0, 1, PottsCost(2, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 2, PottsCost(2, 2, 10)); err != nil {
+		t.Fatal(err)
+	}
+	e, err := g.Energy([]int{0, 1, 0})
+	if err != nil {
+		t.Fatalf("Energy: %v", err)
+	}
+	if e != 1+2+3 {
+		t.Errorf("Energy = %v, want 6", e)
+	}
+	e, err = g.Energy([]int{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != 1+3+20 {
+		t.Errorf("Energy = %v, want 24", e)
+	}
+	if _, err := g.Energy([]int{0, 0}); err == nil {
+		t.Error("wrong labeling length should be rejected")
+	}
+	if _, err := g.Energy([]int{0, 0, 5}); err == nil {
+		t.Error("out-of-range label should be rejected")
+	}
+}
+
+func TestTrivialLowerBoundAndGreedy(t *testing.T) {
+	g := chainGraph(t, []int{3, 3})
+	_ = g.SetUnary(0, 0, 5)
+	_ = g.SetUnary(0, 1, 1)
+	_ = g.SetUnary(0, 2, 3)
+	_ = g.SetUnary(1, 2, -2)
+	if _, err := g.AddEdge(0, 1, UniformCost(3, 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if lb := g.TrivialLowerBound(); lb != 1+(-2)+2 {
+		t.Errorf("TrivialLowerBound = %v, want 1", lb)
+	}
+	labels := g.GreedyLabeling()
+	if labels[0] != 1 || labels[1] != 2 {
+		t.Errorf("GreedyLabeling = %v, want [1 2]", labels)
+	}
+	energy := g.MustEnergy(labels)
+	if energy < g.TrivialLowerBound() {
+		t.Error("energy below the trivial lower bound")
+	}
+}
+
+func TestValidateNaN(t *testing.T) {
+	g := chainGraph(t, []int{2, 2})
+	_ = g.SetUnary(0, 0, math.NaN())
+	if err := g.Validate(); err == nil {
+		t.Error("NaN unary should fail validation")
+	}
+	g2 := chainGraph(t, []int{2, 2})
+	if _, err := g2.AddEdge(0, 1, [][]float64{{math.NaN(), 0}, {0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err == nil {
+		t.Error("NaN pairwise should fail validation")
+	}
+	g3 := chainGraph(t, []int{2})
+	if err := g3.Validate(); err != nil {
+		t.Errorf("clean graph should validate: %v", err)
+	}
+}
+
+func TestPotentials(t *testing.T) {
+	potts := PottsCost(3, 3, 2)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 2
+			}
+			if potts[i][j] != want {
+				t.Errorf("Potts[%d][%d] = %v, want %v", i, j, potts[i][j], want)
+			}
+		}
+	}
+	sim := SimilarityCost([]string{"a", "b"}, []string{"b"}, func(x, y string) float64 {
+		if x == y {
+			return 1
+		}
+		return 0.25
+	})
+	if sim[0][0] != 0.25 || sim[1][0] != 1 {
+		t.Errorf("SimilarityCost = %v", sim)
+	}
+	scaled := ScaleCost(sim, 2)
+	if scaled[1][0] != 2 {
+		t.Errorf("ScaleCost = %v", scaled)
+	}
+	if sim[1][0] != 1 {
+		t.Error("ScaleCost must not modify the input")
+	}
+	tr := Transpose(sim)
+	if len(tr) != 1 || len(tr[0]) != 2 || tr[0][1] != 1 {
+		t.Errorf("Transpose = %v", tr)
+	}
+	if Transpose(nil) != nil {
+		t.Error("Transpose(nil) should be nil")
+	}
+	if err := CheckMatrix(sim, 2, 1); err != nil {
+		t.Errorf("CheckMatrix: %v", err)
+	}
+	if err := CheckMatrix(sim, 1, 1); err == nil {
+		t.Error("CheckMatrix should reject wrong row count")
+	}
+	if err := CheckMatrix(sim, 2, 3); err == nil {
+		t.Error("CheckMatrix should reject wrong column count")
+	}
+}
+
+// TestEnergyLowerBoundProperty: for random small graphs and random labelings,
+// the energy of any labeling is never below the trivial lower bound.
+func TestEnergyLowerBoundProperty(t *testing.T) {
+	f := func(seed uint8, picks [6]uint8) bool {
+		g := chainGraph(t, []int{2, 3, 2, 4, 3, 2})
+		for i := 0; i < g.NumNodes(); i++ {
+			for l := 0; l < g.NumLabels(i); l++ {
+				_ = g.SetUnary(i, l, float64((int(seed)+i*7+l*3)%11)-3)
+			}
+		}
+		for i := 0; i+1 < g.NumNodes(); i++ {
+			cost := UniformCost(g.NumLabels(i), g.NumLabels(i+1), float64((int(seed)+i)%5))
+			if _, err := g.AddEdge(i, i+1, cost); err != nil {
+				return false
+			}
+		}
+		labels := make([]int, g.NumNodes())
+		for i := range labels {
+			labels[i] = int(picks[i]) % g.NumLabels(i)
+		}
+		return g.MustEnergy(labels) >= g.TrivialLowerBound()-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

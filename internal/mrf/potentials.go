@@ -1,0 +1,88 @@
+package mrf
+
+import "fmt"
+
+// PottsCost builds a ku×kv pairwise cost matrix that charges `penalty` when
+// the two labels are equal and 0 otherwise — the classic Potts model used by
+// single-label diversification approaches (the Fig. 1(a) world where any two
+// distinct products are assumed to share nothing).
+func PottsCost(ku, kv int, penalty float64) [][]float64 {
+	out := make([][]float64, ku)
+	for i := range out {
+		out[i] = make([]float64, kv)
+		if i < kv {
+			out[i][i] = penalty
+		}
+	}
+	return out
+}
+
+// UniformCost builds a ku×kv matrix filled with the same value.
+func UniformCost(ku, kv int, value float64) [][]float64 {
+	out := make([][]float64, ku)
+	for i := range out {
+		out[i] = make([]float64, kv)
+		for j := range out[i] {
+			out[i][j] = value
+		}
+	}
+	return out
+}
+
+// SimilarityCost builds a pairwise cost matrix from a similarity function
+// over label names: cost[i][j] = sim(namesU[i], namesV[j]).  This is the
+// pairwise term ψ of Eq. 3, where the label names are product combinations
+// and sim sums the per-service similarities.
+func SimilarityCost(namesU, namesV []string, sim func(a, b string) float64) [][]float64 {
+	out := make([][]float64, len(namesU))
+	for i, a := range namesU {
+		out[i] = make([]float64, len(namesV))
+		for j, b := range namesV {
+			out[i][j] = sim(a, b)
+		}
+	}
+	return out
+}
+
+// ScaleCost returns a copy of the matrix with every entry multiplied by the
+// factor.  Useful for weighting pairwise against unary terms in ablations.
+func ScaleCost(cost [][]float64, factor float64) [][]float64 {
+	out := make([][]float64, len(cost))
+	for i, row := range cost {
+		out[i] = make([]float64, len(row))
+		for j, v := range row {
+			out[i][j] = v * factor
+		}
+	}
+	return out
+}
+
+// Transpose returns the transposed cost matrix (for looking up an edge cost
+// from the V side).
+func Transpose(cost [][]float64) [][]float64 {
+	if len(cost) == 0 {
+		return nil
+	}
+	rows, cols := len(cost), len(cost[0])
+	out := make([][]float64, cols)
+	for j := 0; j < cols; j++ {
+		out[j] = make([]float64, rows)
+		for i := 0; i < rows; i++ {
+			out[j][i] = cost[i][j]
+		}
+	}
+	return out
+}
+
+// CheckMatrix validates that a cost matrix has the expected dimensions.
+func CheckMatrix(cost [][]float64, rows, cols int) error {
+	if len(cost) != rows {
+		return fmt.Errorf("mrf: cost matrix has %d rows, want %d", len(cost), rows)
+	}
+	for i, row := range cost {
+		if len(row) != cols {
+			return fmt.Errorf("mrf: cost matrix row %d has %d cols, want %d", i, len(row), cols)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package mrf
+
+import "fmt"
+
+// Solution is the common result type returned by the MRF solvers (trws, bp,
+// icm, baseline).
+type Solution struct {
+	// Labels holds the chosen label index for every node.
+	Labels []int
+	// Energy is E(Labels).
+	Energy float64
+	// LowerBound is a lower bound on the optimal energy reported by the
+	// solver (solvers that do not compute a bound report the graph's
+	// trivial bound).
+	LowerBound float64
+	// Iterations is the number of full passes the solver performed.
+	Iterations int
+	// Converged reports whether the solver stopped because its convergence
+	// criterion was met (as opposed to exhausting its iteration budget).
+	Converged bool
+	// EnergyHistory records the best energy after each iteration; useful
+	// for plotting convergence and for ablation benchmarks.
+	EnergyHistory []float64
+}
+
+// Gap returns Energy - LowerBound, a pessimistic bound on the distance from
+// the optimum.
+func (s Solution) Gap() float64 { return s.Energy - s.LowerBound }
+
+// String summarises the solution.
+func (s Solution) String() string {
+	return fmt.Sprintf("energy=%.4f bound=%.4f iterations=%d converged=%v",
+		s.Energy, s.LowerBound, s.Iterations, s.Converged)
+}
+
+// AddEdgeShared is like AddEdge but stores the provided cost matrix without
+// copying it.  It exists so that large networks in which many edges share the
+// identical cost matrix (e.g. the per-service similarity matrix used on every
+// link of the scalability experiments) do not pay memory proportional to
+// edges × labels².  The caller must not modify the matrix afterwards.
+func (g *Graph) AddEdgeShared(u, v int, cost [][]float64) (int, error) {
+	if u == v {
+		return 0, fmt.Errorf("mrf: self edge on node %d", u)
+	}
+	if u < 0 || u >= len(g.counts) || v < 0 || v >= len(g.counts) {
+		return 0, fmt.Errorf("mrf: edge (%d,%d) out of range", u, v)
+	}
+	if err := CheckMatrix(cost, g.counts[u], g.counts[v]); err != nil {
+		return 0, fmt.Errorf("mrf: edge (%d,%d): %w", u, v, err)
+	}
+	idx := len(g.edges)
+	g.edges = append(g.edges, Edge{U: u, V: v, Cost: cost})
+	g.adj[u] = append(g.adj[u], idx)
+	g.adj[v] = append(g.adj[v], idx)
+	return idx, nil
+}

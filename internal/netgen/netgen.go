@@ -1,0 +1,294 @@
+// Package netgen generates synthetic networks for the scalability
+// experiments (Tables VII-IX of the paper) and zoned ICS-style topologies
+// for integration tests.
+//
+// The paper's scalability study uses randomly generated networks
+// parameterised by the number of hosts, the average degree and the number of
+// services per host; every service has a fixed number of candidate products.
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// RandomConfig parameterises a random network in the same terms as the
+// paper's Tables VII-IX.
+type RandomConfig struct {
+	// Hosts is the number of hosts |H|.
+	Hosts int
+	// Degree is the target average degree; the generator creates
+	// Hosts*Degree/2 distinct random edges (plus a spanning chain so that
+	// the network is connected).
+	Degree int
+	// Services is the number of services per host.
+	Services int
+	// ProductsPerService is the number of candidate products per service.
+	// Default 4 (the case study's largest per-service catalogue).
+	ProductsPerService int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c RandomConfig) withDefaults() (RandomConfig, error) {
+	if c.Hosts <= 1 {
+		return c, fmt.Errorf("netgen: need at least 2 hosts, got %d", c.Hosts)
+	}
+	if c.Degree <= 0 {
+		c.Degree = 4
+	}
+	if c.Services <= 0 {
+		c.Services = 3
+	}
+	if c.ProductsPerService <= 0 {
+		c.ProductsPerService = 4
+	}
+	return c, nil
+}
+
+// ServiceName returns the synthetic service identifier for index i.
+func ServiceName(i int) netmodel.ServiceID {
+	return netmodel.ServiceID(fmt.Sprintf("s%d", i+1))
+}
+
+// ProductName returns the synthetic product identifier for service i,
+// product j.
+func ProductName(service, product int) netmodel.ProductID {
+	return netmodel.ProductID(fmt.Sprintf("s%d_p%d", service+1, product+1))
+}
+
+// Random generates a connected random network according to the config.
+// Every host provides all Services services and may choose among
+// ProductsPerService synthetic products per service.
+func Random(cfg RandomConfig) (*netmodel.Network, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := netmodel.New()
+
+	services := make([]netmodel.ServiceID, cfg.Services)
+	choices := make(map[netmodel.ServiceID][]netmodel.ProductID, cfg.Services)
+	for s := 0; s < cfg.Services; s++ {
+		services[s] = ServiceName(s)
+		ps := make([]netmodel.ProductID, cfg.ProductsPerService)
+		for p := 0; p < cfg.ProductsPerService; p++ {
+			ps[p] = ProductName(s, p)
+		}
+		choices[services[s]] = ps
+	}
+
+	for i := 0; i < cfg.Hosts; i++ {
+		h := &netmodel.Host{
+			ID:       netmodel.HostID(fmt.Sprintf("h%d", i)),
+			Zone:     "synthetic",
+			Services: services,
+			Choices:  choices,
+		}
+		if err := n.AddHost(h); err != nil {
+			return nil, err
+		}
+	}
+	hosts := n.Hosts()
+
+	// Spanning chain guarantees connectivity.
+	for i := 1; i < len(hosts); i++ {
+		if err := n.AddLink(hosts[i-1], hosts[i]); err != nil {
+			return nil, err
+		}
+	}
+	target := cfg.Hosts * cfg.Degree / 2
+	attempts := 0
+	maxAttempts := target * 20
+	for n.NumLinks() < target && attempts < maxAttempts {
+		attempts++
+		a := hosts[rng.Intn(len(hosts))]
+		b := hosts[rng.Intn(len(hosts))]
+		if a == b {
+			continue
+		}
+		if err := n.AddLink(a, b); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// SyntheticSimilarity builds a similarity table over the synthetic products
+// of a random network: products of the same service have pairwise
+// similarities drawn deterministically (by seed) from [0, maxSim], products
+// of different services have similarity 0 (they never compete on an edge
+// anyway).
+func SyntheticSimilarity(cfg RandomConfig, maxSim float64) *vulnsim.SimilarityTable {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		// Only Hosts can make withDefaults fail and Hosts is irrelevant
+		// here; normalise it and retry.
+		cfg.Hosts = 2
+		cfg, _ = cfg.withDefaults()
+	}
+	if maxSim <= 0 || maxSim > 1 {
+		maxSim = 0.6
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	var products []string
+	for s := 0; s < cfg.Services; s++ {
+		for p := 0; p < cfg.ProductsPerService; p++ {
+			products = append(products, string(ProductName(s, p)))
+		}
+	}
+	t := vulnsim.NewSimilarityTable(products)
+	for s := 0; s < cfg.Services; s++ {
+		for a := 0; a < cfg.ProductsPerService; a++ {
+			pa := string(ProductName(s, a))
+			_ = t.SetTotal(pa, 100+rng.Intn(900))
+			for b := a + 1; b < cfg.ProductsPerService; b++ {
+				pb := string(ProductName(s, b))
+				sim := rng.Float64() * maxSim
+				shared := int(sim * 100)
+				_ = t.Set(pa, pb, sim, shared)
+			}
+		}
+	}
+	return t
+}
+
+// ZonedConfig describes a small IT/OT style topology: a list of zones with a
+// host count each; hosts within a zone form a ring plus random chords, and
+// consecutive zones are bridged by a configurable number of links (modelling
+// firewalled conduits).
+type ZonedConfig struct {
+	// Zones lists the zone names in order from the IT perimeter to the OT
+	// core (e.g. corporate, dmz, operations, control).
+	Zones []ZoneSpec
+	// BridgeLinks is the number of links between consecutive zones.
+	// Default 2.
+	BridgeLinks int
+	// Services and Choices describe what every host provides; when nil a
+	// default OS+browser catalogue from the paper tables is used.
+	Services []netmodel.ServiceID
+	Choices  map[netmodel.ServiceID][]netmodel.ProductID
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// ZoneSpec is one zone of a ZonedConfig.
+type ZoneSpec struct {
+	Name  string
+	Hosts int
+	// Legacy marks the zone's hosts as non-diversifiable.
+	Legacy bool
+}
+
+// Zoned generates a zoned ICS-style network.
+func Zoned(cfg ZonedConfig) (*netmodel.Network, error) {
+	if len(cfg.Zones) == 0 {
+		return nil, fmt.Errorf("netgen: zoned config needs at least one zone")
+	}
+	if cfg.BridgeLinks <= 0 {
+		cfg.BridgeLinks = 2
+	}
+	services := cfg.Services
+	choices := cfg.Choices
+	if services == nil {
+		services = []netmodel.ServiceID{netmodel.ServiceOS, netmodel.ServiceBrowser}
+		choices = map[netmodel.ServiceID][]netmodel.ProductID{
+			netmodel.ServiceOS: {
+				netmodel.ProductID(vulnsim.ProdWin7),
+				netmodel.ProductID(vulnsim.ProdUbuntu),
+				netmodel.ProductID(vulnsim.ProdDebian),
+			},
+			netmodel.ServiceBrowser: {
+				netmodel.ProductID(vulnsim.ProdIE10),
+				netmodel.ProductID(vulnsim.ProdChrome),
+				netmodel.ProductID(vulnsim.ProdFirefox),
+			},
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := netmodel.New()
+	zoneHosts := make([][]netmodel.HostID, len(cfg.Zones))
+
+	for zi, zone := range cfg.Zones {
+		if zone.Hosts <= 0 {
+			return nil, fmt.Errorf("netgen: zone %q has no hosts", zone.Name)
+		}
+		for i := 0; i < zone.Hosts; i++ {
+			id := netmodel.HostID(fmt.Sprintf("%s-%d", zoneName(zi, zone.Name), i+1))
+			h := &netmodel.Host{
+				ID:       id,
+				Zone:     zone.Name,
+				Services: services,
+				Choices:  choices,
+				Legacy:   zone.Legacy,
+			}
+			if err := n.AddHost(h); err != nil {
+				return nil, err
+			}
+			zoneHosts[zi] = append(zoneHosts[zi], id)
+		}
+		// Ring within the zone plus a few random chords.
+		hosts := zoneHosts[zi]
+		for i := 0; i < len(hosts); i++ {
+			if len(hosts) > 1 {
+				if err := n.AddLink(hosts[i], hosts[(i+1)%len(hosts)]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for i := 0; i < len(hosts)/2; i++ {
+			a := hosts[rng.Intn(len(hosts))]
+			b := hosts[rng.Intn(len(hosts))]
+			if a != b {
+				if err := n.AddLink(a, b); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Bridge consecutive zones.
+	for zi := 1; zi < len(cfg.Zones); zi++ {
+		prev, cur := zoneHosts[zi-1], zoneHosts[zi]
+		for k := 0; k < cfg.BridgeLinks; k++ {
+			a := prev[rng.Intn(len(prev))]
+			b := cur[rng.Intn(len(cur))]
+			if err := n.AddLink(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// zoneName returns a unique host-ID prefix for a zone: the zone name, or a
+// positional fallback for unnamed zones.
+func zoneName(index int, name string) string {
+	if name == "" {
+		return fmt.Sprintf("zone%d", index)
+	}
+	return name
+}
+
+// DegreeHistogram returns a sorted list of (degree, count) pairs for
+// reporting generated topologies.
+func DegreeHistogram(n *netmodel.Network) [][2]int {
+	counts := make(map[int]int)
+	for _, h := range n.Hosts() {
+		counts[n.Degree(h)]++
+	}
+	degrees := make([]int, 0, len(counts))
+	for d := range counts {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	out := make([][2]int, 0, len(degrees))
+	for _, d := range degrees {
+		out = append(out, [2]int{d, counts[d]})
+	}
+	return out
+}

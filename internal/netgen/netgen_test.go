@@ -1,0 +1,153 @@
+package netgen
+
+import (
+	"testing"
+)
+
+func TestRandomNetworkBasics(t *testing.T) {
+	cfg := RandomConfig{Hosts: 100, Degree: 6, Services: 3, ProductsPerService: 4, Seed: 1}
+	net, err := Random(cfg)
+	if err != nil {
+		t.Fatalf("Random: %v", err)
+	}
+	if net.NumHosts() != 100 {
+		t.Fatalf("hosts = %d, want 100", net.NumHosts())
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Connectivity: the spanning chain guarantees a single component.
+	if comps := net.ConnectedComponents(); len(comps) != 1 {
+		t.Errorf("network has %d components, want 1", len(comps))
+	}
+	// Edge count close to hosts*degree/2 (never below the spanning chain).
+	target := cfg.Hosts * cfg.Degree / 2
+	if net.NumLinks() < cfg.Hosts-1 || net.NumLinks() > target {
+		t.Errorf("links = %d, want between %d and %d", net.NumLinks(), cfg.Hosts-1, target)
+	}
+	// Every host provides every service with the right number of candidates.
+	for _, hid := range net.Hosts() {
+		h, _ := net.Host(hid)
+		if len(h.Services) != cfg.Services {
+			t.Fatalf("host %s has %d services, want %d", hid, len(h.Services), cfg.Services)
+		}
+		for _, s := range h.Services {
+			if len(h.Choices[s]) != cfg.ProductsPerService {
+				t.Fatalf("host %s service %s has %d candidates", hid, s, len(h.Choices[s]))
+			}
+		}
+	}
+}
+
+func TestRandomNetworkDeterminism(t *testing.T) {
+	cfg := RandomConfig{Hosts: 50, Degree: 4, Services: 2, Seed: 7}
+	a, err := Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLinks() != b.NumLinks() {
+		t.Errorf("same seed produced different link counts: %d vs %d", a.NumLinks(), b.NumLinks())
+	}
+	la, lb := a.Links(), b.Links()
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("link %d differs: %v vs %v", i, la[i], lb[i])
+		}
+	}
+}
+
+func TestRandomNetworkErrors(t *testing.T) {
+	if _, err := Random(RandomConfig{Hosts: 1}); err == nil {
+		t.Error("single-host network should be rejected")
+	}
+	if _, err := Random(RandomConfig{Hosts: 0}); err == nil {
+		t.Error("empty network should be rejected")
+	}
+}
+
+func TestSyntheticSimilarity(t *testing.T) {
+	cfg := RandomConfig{Hosts: 10, Degree: 4, Services: 3, ProductsPerService: 4, Seed: 5}
+	table := SyntheticSimilarity(cfg, 0.6)
+	if err := table.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := len(table.Products()); got != 12 {
+		t.Fatalf("products = %d, want 12", got)
+	}
+	sameService := table.Sim(string(ProductName(0, 0)), string(ProductName(0, 1)))
+	if sameService <= 0 || sameService > 0.6 {
+		t.Errorf("same-service similarity %v outside (0, 0.6]", sameService)
+	}
+	crossService := table.Sim(string(ProductName(0, 0)), string(ProductName(1, 0)))
+	if crossService != 0 {
+		t.Errorf("cross-service similarity should be 0, got %v", crossService)
+	}
+	// Determinism.
+	again := SyntheticSimilarity(cfg, 0.6)
+	if again.Sim(string(ProductName(0, 0)), string(ProductName(0, 1))) != sameService {
+		t.Error("synthetic similarity should be deterministic for a fixed seed")
+	}
+}
+
+func TestZoned(t *testing.T) {
+	cfg := ZonedConfig{
+		Zones: []ZoneSpec{
+			{Name: "corporate", Hosts: 5},
+			{Name: "dmz", Hosts: 3},
+			{Name: "control", Hosts: 4, Legacy: true},
+		},
+		BridgeLinks: 2,
+		Seed:        3,
+	}
+	net, err := Zoned(cfg)
+	if err != nil {
+		t.Fatalf("Zoned: %v", err)
+	}
+	if net.NumHosts() != 12 {
+		t.Fatalf("hosts = %d, want 12", net.NumHosts())
+	}
+	if comps := net.ConnectedComponents(); len(comps) != 1 {
+		t.Errorf("zoned network should be connected, got %d components", len(comps))
+	}
+	legacy := 0
+	for _, hid := range net.Hosts() {
+		h, _ := net.Host(hid)
+		if h.Zone == "control" && !h.Legacy {
+			t.Errorf("control host %s should be legacy", hid)
+		}
+		if h.Legacy {
+			legacy++
+		}
+	}
+	if legacy != 4 {
+		t.Errorf("legacy hosts = %d, want 4", legacy)
+	}
+}
+
+func TestZonedErrors(t *testing.T) {
+	if _, err := Zoned(ZonedConfig{}); err == nil {
+		t.Error("zoned config without zones should fail")
+	}
+	if _, err := Zoned(ZonedConfig{Zones: []ZoneSpec{{Name: "x", Hosts: 0}}}); err == nil {
+		t.Error("zone without hosts should fail")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	net, err := Random(RandomConfig{Hosts: 30, Degree: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := DegreeHistogram(net)
+	total := 0
+	for _, entry := range hist {
+		total += entry[1]
+	}
+	if total != 30 {
+		t.Errorf("histogram covers %d hosts, want 30", total)
+	}
+}

@@ -1,0 +1,98 @@
+package netgen
+
+import (
+	"testing"
+)
+
+func TestGenerateTopologies(t *testing.T) {
+	cfg := RandomConfig{Hosts: 200, Degree: 6, Services: 2, ProductsPerService: 3, Seed: 4}
+	for _, topo := range []Topology{TopologyUniform, TopologyScaleFree, TopologySmallWorld} {
+		t.Run(topo.String(), func(t *testing.T) {
+			net, err := Generate(cfg, topo)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if net.NumHosts() != cfg.Hosts {
+				t.Fatalf("hosts = %d, want %d", net.NumHosts(), cfg.Hosts)
+			}
+			if err := net.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if comps := net.ConnectedComponents(); len(comps) != 1 {
+				t.Errorf("%s network has %d components, want 1", topo, len(comps))
+			}
+			if net.NumLinks() < cfg.Hosts-1 {
+				t.Errorf("%s network has too few links: %d", topo, net.NumLinks())
+			}
+		})
+	}
+	if _, err := Generate(cfg, Topology(99)); err == nil {
+		t.Error("unknown topology should be rejected")
+	}
+	if Topology(99).String() == "" || TopologyScaleFree.String() != "scale-free" {
+		t.Error("topology names wrong")
+	}
+}
+
+func TestGenerateZeroTopologyDefaultsToUniform(t *testing.T) {
+	cfg := RandomConfig{Hosts: 30, Degree: 4, Seed: 1}
+	a, err := Generate(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumLinks() != b.NumLinks() {
+		t.Error("zero topology should behave like Random")
+	}
+}
+
+func TestScaleFreeHasHubs(t *testing.T) {
+	cfg := RandomConfig{Hosts: 300, Degree: 6, Services: 1, Seed: 8}
+	sf, err := Generate(cfg, TopologyScaleFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Generate(cfg, TopologyUniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Preferential attachment concentrates degree: the largest hub of the
+	// scale-free graph should clearly exceed the uniform graph's maximum.
+	if sf.MaxDegree() <= uniform.MaxDegree() {
+		t.Errorf("scale-free max degree %d should exceed uniform %d", sf.MaxDegree(), uniform.MaxDegree())
+	}
+}
+
+func TestSmallWorldDeterminism(t *testing.T) {
+	cfg := RandomConfig{Hosts: 100, Degree: 6, Seed: 11}
+	a, err := Generate(cfg, TopologySmallWorld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, TopologySmallWorld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		t.Fatalf("same seed produced different link counts: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("link %d differs", i)
+		}
+	}
+}
+
+func TestScaleFreeTinyNetworks(t *testing.T) {
+	net, err := Generate(RandomConfig{Hosts: 3, Degree: 10, Seed: 2}, TopologyScaleFree)
+	if err != nil {
+		t.Fatalf("tiny scale-free network: %v", err)
+	}
+	if comps := net.ConnectedComponents(); len(comps) != 1 {
+		t.Error("tiny scale-free network should be connected")
+	}
+}

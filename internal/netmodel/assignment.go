@@ -1,0 +1,247 @@
+package netmodel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Assignment is a product assignment α of Definition 3: for every host and
+// every service it provides, the product chosen to deliver that service.
+type Assignment struct {
+	products map[HostID]map[ServiceID]ProductID
+}
+
+// NewAssignment creates an empty assignment.
+func NewAssignment() *Assignment {
+	return &Assignment{products: make(map[HostID]map[ServiceID]ProductID)}
+}
+
+// Set records α'(h, s) = p.
+func (a *Assignment) Set(h HostID, s ServiceID, p ProductID) {
+	m, ok := a.products[h]
+	if !ok {
+		m = make(map[ServiceID]ProductID)
+		a.products[h] = m
+	}
+	m[s] = p
+}
+
+// Get returns α'(h, s) and whether it is assigned.
+func (a *Assignment) Get(h HostID, s ServiceID) (ProductID, bool) {
+	p, ok := a.products[h][s]
+	return p, ok
+}
+
+// Product returns α'(h, s) or "" when unassigned.
+func (a *Assignment) Product(h HostID, s ServiceID) ProductID {
+	return a.products[h][s]
+}
+
+// HostAssignment returns a copy of α(h, S_h): all products assigned to the
+// host, keyed by service.
+func (a *Assignment) HostAssignment(h HostID) map[ServiceID]ProductID {
+	src := a.products[h]
+	out := make(map[ServiceID]ProductID, len(src))
+	for s, p := range src {
+		out[s] = p
+	}
+	return out
+}
+
+// Hosts returns the hosts that have at least one assigned service, sorted.
+func (a *Assignment) Hosts() []HostID {
+	out := make([]HostID, 0, len(a.products))
+	for h := range a.products {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len returns the total number of (host, service) pairs assigned.
+func (a *Assignment) Len() int {
+	n := 0
+	for _, m := range a.products {
+		n += len(m)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the assignment.
+func (a *Assignment) Clone() *Assignment {
+	c := NewAssignment()
+	for h, m := range a.products {
+		for s, p := range m {
+			c.Set(h, s, p)
+		}
+	}
+	return c
+}
+
+// Equal reports whether two assignments assign exactly the same products.
+func (a *Assignment) Equal(b *Assignment) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for h, m := range a.products {
+		for s, p := range m {
+			if bp, ok := b.Get(h, s); !ok || bp != p {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ErrIncomplete is returned by ValidateFor when the assignment misses a
+// (host, service) pair required by the network.
+var ErrIncomplete = errors.New("netmodel: incomplete assignment")
+
+// ValidateFor checks that the assignment is complete and consistent for the
+// network: every (host, service) pair is assigned one of the host's candidate
+// products and no extraneous hosts or services appear.
+func (a *Assignment) ValidateFor(n *Network) error {
+	for _, hid := range n.Hosts() {
+		h, _ := n.Host(hid)
+		for _, s := range h.Services {
+			p, ok := a.Get(hid, s)
+			if !ok {
+				return fmt.Errorf("%w: host %q service %q", ErrIncomplete, hid, s)
+			}
+			if h.CandidateIndex(s, p) < 0 {
+				return fmt.Errorf("netmodel: host %q service %q assigned %q which is not a candidate",
+					hid, s, p)
+			}
+		}
+	}
+	for h, m := range a.products {
+		host, ok := n.Host(h)
+		if !ok {
+			return fmt.Errorf("%w: assigned host %q", ErrUnknownHost, h)
+		}
+		for s := range m {
+			if !host.HasService(s) {
+				return fmt.Errorf("netmodel: host %q does not provide assigned service %q", h, s)
+			}
+		}
+	}
+	return nil
+}
+
+// DiversityStats summarises how diverse an assignment is, independent of any
+// similarity table: for every service, how many distinct products are used
+// and how many links connect hosts using the identical product.
+type DiversityStats struct {
+	// DistinctProducts counts distinct products per service.
+	DistinctProducts map[ServiceID]int
+	// SameProductEdges counts, per service, links whose two endpoints run
+	// the identical product for that service.
+	SameProductEdges map[ServiceID]int
+	// TotalSharedEdges counts, per service, links whose endpoints both
+	// provide the service (the denominator for SameProductEdges).
+	TotalSharedEdges map[ServiceID]int
+}
+
+// Stats computes DiversityStats of the assignment over the network.
+func (a *Assignment) Stats(n *Network) DiversityStats {
+	st := DiversityStats{
+		DistinctProducts: make(map[ServiceID]int),
+		SameProductEdges: make(map[ServiceID]int),
+		TotalSharedEdges: make(map[ServiceID]int),
+	}
+	distinct := make(map[ServiceID]map[ProductID]struct{})
+	for _, hid := range n.Hosts() {
+		h, _ := n.Host(hid)
+		for _, s := range h.Services {
+			p, ok := a.Get(hid, s)
+			if !ok {
+				continue
+			}
+			if distinct[s] == nil {
+				distinct[s] = make(map[ProductID]struct{})
+			}
+			distinct[s][p] = struct{}{}
+		}
+	}
+	for s, set := range distinct {
+		st.DistinctProducts[s] = len(set)
+	}
+	for _, l := range n.Links() {
+		for _, s := range n.SharedServices(l.A, l.B) {
+			pa, oka := a.Get(l.A, s)
+			pb, okb := a.Get(l.B, s)
+			if !oka || !okb {
+				continue
+			}
+			st.TotalSharedEdges[s]++
+			if pa == pb {
+				st.SameProductEdges[s]++
+			}
+		}
+	}
+	return st
+}
+
+// String renders the assignment sorted by host then service, one host per
+// line, e.g. "c1: os=win7 web_browser=ie10".
+func (a *Assignment) String() string {
+	hosts := a.Hosts()
+	var b strings.Builder
+	for _, h := range hosts {
+		m := a.products[h]
+		services := make([]ServiceID, 0, len(m))
+		for s := range m {
+			services = append(services, s)
+		}
+		sort.Slice(services, func(i, j int) bool { return services[i] < services[j] })
+		b.WriteString(string(h))
+		b.WriteString(":")
+		for _, s := range services {
+			fmt.Fprintf(&b, " %s=%s", s, m[s])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Diff returns the hosts/services on which two assignments differ, rendered
+// as "host/service: a -> b" lines sorted lexicographically.  Used to report
+// how constrained solutions deviate from the unconstrained optimum (the red
+// squares of Fig. 4(b)).
+func (a *Assignment) Diff(b *Assignment) []string {
+	var out []string
+	seen := make(map[string]struct{})
+	add := func(h HostID, s ServiceID, pa, pb ProductID) {
+		key := string(h) + "/" + string(s)
+		if _, ok := seen[key]; ok {
+			return
+		}
+		seen[key] = struct{}{}
+		if pa != pb {
+			out = append(out, fmt.Sprintf("%s/%s: %s -> %s", h, s, orNone(pa), orNone(pb)))
+		}
+	}
+	for h, m := range a.products {
+		for s, pa := range m {
+			pb, _ := b.Get(h, s)
+			add(h, s, pa, pb)
+		}
+	}
+	for h, m := range b.products {
+		for s, pb := range m {
+			pa, _ := a.Get(h, s)
+			add(h, s, pa, pb)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func orNone(p ProductID) string {
+	if p == "" {
+		return "<none>"
+	}
+	return string(p)
+}

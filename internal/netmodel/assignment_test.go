@@ -1,0 +1,153 @@
+package netmodel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAssignmentBasics(t *testing.T) {
+	a := NewAssignment()
+	a.Set("h1", "os", "win7")
+	a.Set("h1", "db", "mysql")
+	a.Set("h2", "os", "deb80")
+
+	if p, ok := a.Get("h1", "os"); !ok || p != "win7" {
+		t.Errorf("Get(h1,os) = %v %v", p, ok)
+	}
+	if _, ok := a.Get("h1", "wb"); ok {
+		t.Error("unset pair should not be found")
+	}
+	if got := a.Product("h2", "os"); got != "deb80" {
+		t.Errorf("Product = %v", got)
+	}
+	if got := a.Product("missing", "os"); got != "" {
+		t.Errorf("Product of missing host = %q, want empty", got)
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len = %d, want 3", a.Len())
+	}
+	hosts := a.Hosts()
+	if len(hosts) != 2 || hosts[0] != "h1" || hosts[1] != "h2" {
+		t.Errorf("Hosts = %v", hosts)
+	}
+	m := a.HostAssignment("h1")
+	if len(m) != 2 {
+		t.Errorf("HostAssignment = %v", m)
+	}
+	m["os"] = "mutated"
+	if a.Product("h1", "os") == "mutated" {
+		t.Error("HostAssignment must return a copy")
+	}
+}
+
+func TestAssignmentCloneEqual(t *testing.T) {
+	a := NewAssignment()
+	a.Set("h1", "os", "win7")
+	b := a.Clone()
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Error("clone should be equal")
+	}
+	b.Set("h1", "os", "deb80")
+	if a.Equal(b) {
+		t.Error("different product should not be equal")
+	}
+	c := a.Clone()
+	c.Set("h2", "os", "win7")
+	if a.Equal(c) {
+		t.Error("different size should not be equal")
+	}
+}
+
+func TestAssignmentValidateFor(t *testing.T) {
+	net := New()
+	if err := net.AddHost(testHost("a", "os", "db")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddHost(testHost("b", "os")); err != nil {
+		t.Fatal(err)
+	}
+
+	a := NewAssignment()
+	a.Set("a", "os", "p1")
+	if err := a.ValidateFor(net); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("incomplete assignment should return ErrIncomplete, got %v", err)
+	}
+	a.Set("a", "db", "p2")
+	a.Set("b", "os", "p3")
+	if err := a.ValidateFor(net); err != nil {
+		t.Fatalf("complete assignment should validate: %v", err)
+	}
+
+	bad := a.Clone()
+	bad.Set("a", "os", "not_a_candidate")
+	if err := bad.ValidateFor(net); err == nil {
+		t.Error("non-candidate product should be rejected")
+	}
+	extraHost := a.Clone()
+	extraHost.Set("zz", "os", "p1")
+	if err := extraHost.ValidateFor(net); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("unknown host should be rejected, got %v", err)
+	}
+	extraSvc := a.Clone()
+	extraSvc.Set("b", "db", "p1")
+	if err := extraSvc.ValidateFor(net); err == nil {
+		t.Error("service not provided by the host should be rejected")
+	}
+}
+
+func TestAssignmentStats(t *testing.T) {
+	net := New()
+	for _, id := range []HostID{"a", "b", "c"} {
+		if err := net.AddHost(testHost(id, "os")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.AddLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddLink("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAssignment()
+	a.Set("a", "os", "p1")
+	a.Set("b", "os", "p1")
+	a.Set("c", "os", "p2")
+	st := a.Stats(net)
+	if st.DistinctProducts["os"] != 2 {
+		t.Errorf("DistinctProducts = %d, want 2", st.DistinctProducts["os"])
+	}
+	if st.SameProductEdges["os"] != 1 {
+		t.Errorf("SameProductEdges = %d, want 1", st.SameProductEdges["os"])
+	}
+	if st.TotalSharedEdges["os"] != 2 {
+		t.Errorf("TotalSharedEdges = %d, want 2", st.TotalSharedEdges["os"])
+	}
+}
+
+func TestAssignmentStringAndDiff(t *testing.T) {
+	a := NewAssignment()
+	a.Set("h1", "os", "win7")
+	a.Set("h1", "db", "mysql")
+	s := a.String()
+	if !strings.Contains(s, "h1:") || !strings.Contains(s, "os=win7") {
+		t.Errorf("String() = %q", s)
+	}
+
+	b := a.Clone()
+	b.Set("h1", "os", "deb80")
+	b.Set("h2", "os", "win7")
+	diff := a.Diff(b)
+	if len(diff) != 2 {
+		t.Fatalf("Diff = %v, want 2 entries", diff)
+	}
+	if !strings.Contains(diff[0], "h1/os: win7 -> deb80") {
+		t.Errorf("Diff[0] = %q", diff[0])
+	}
+	if !strings.Contains(diff[1], "<none>") {
+		t.Errorf("Diff[1] should mention the missing assignment: %q", diff[1])
+	}
+	if got := a.Diff(a.Clone()); len(got) != 0 {
+		t.Errorf("Diff with itself = %v, want empty", got)
+	}
+}

@@ -1,0 +1,271 @@
+package netmodel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ConstraintMode distinguishes desirable (+p_j, +p_l) from undesirable
+// (+p_j, -p_k) product combinations of Definition 4.
+type ConstraintMode int
+
+const (
+	// Require states: if service m runs ProductJ then service n must run
+	// ProductK (the c_y form, "+p_j, +p_l").
+	Require ConstraintMode = iota + 1
+	// Forbid states: if service m runs ProductJ then service n must NOT run
+	// ProductK (the c_x form, "+p_j, -p_k").
+	Forbid
+)
+
+// String implements fmt.Stringer.
+func (m ConstraintMode) String() string {
+	switch m {
+	case Require:
+		return "require"
+	case Forbid:
+		return "forbid"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// AllHosts is the sentinel host used by global constraints (the "ALL" of
+// Definition 4).
+const AllHosts HostID = "*"
+
+// Constraint is a single local or global configuration constraint
+// c = <h, s_m, s_n, +p_j, ±p_k>.
+type Constraint struct {
+	// Host is the constrained host, or AllHosts for a global constraint.
+	Host HostID `json:"host"`
+	// ServiceM is the conditioning service s_m.
+	ServiceM ServiceID `json:"service_m"`
+	// ServiceN is the constrained service s_n.
+	ServiceN ServiceID `json:"service_n"`
+	// ProductJ is the conditioning product +p_j on ServiceM.
+	ProductJ ProductID `json:"product_j"`
+	// ProductK is the target product p_k on ServiceN.
+	ProductK ProductID `json:"product_k"`
+	// Mode selects the desirable (Require) or undesirable (Forbid) form.
+	Mode ConstraintMode `json:"mode"`
+}
+
+// Global reports whether the constraint applies to all hosts.
+func (c Constraint) Global() bool { return c.Host == AllHosts }
+
+// String renders the constraint in the paper's tuple notation.
+func (c Constraint) String() string {
+	sign := "+"
+	if c.Mode == Forbid {
+		sign = "-"
+	}
+	host := string(c.Host)
+	if c.Global() {
+		host = "ALL"
+	}
+	return fmt.Sprintf("<%s, %s, %s, +%s, %s%s>", host, c.ServiceM, c.ServiceN, c.ProductJ, sign, c.ProductK)
+}
+
+// Validate checks the constraint against a network: the host must exist (or
+// be AllHosts), and the services must be provided by the constrained hosts.
+func (c Constraint) Validate(n *Network) error {
+	if c.Mode != Require && c.Mode != Forbid {
+		return fmt.Errorf("netmodel: constraint %s has invalid mode", c)
+	}
+	if c.ServiceM == "" || c.ServiceN == "" || c.ProductJ == "" || c.ProductK == "" {
+		return fmt.Errorf("netmodel: constraint %s has empty fields", c)
+	}
+	if c.Global() {
+		return nil
+	}
+	h, ok := n.Host(c.Host)
+	if !ok {
+		return fmt.Errorf("%w: constraint %s", ErrUnknownHost, c)
+	}
+	if !h.HasService(c.ServiceM) {
+		return fmt.Errorf("netmodel: constraint %s: host does not provide %q", c, c.ServiceM)
+	}
+	if !h.HasService(c.ServiceN) {
+		return fmt.Errorf("netmodel: constraint %s: host does not provide %q", c, c.ServiceN)
+	}
+	return nil
+}
+
+// appliesTo reports whether the constraint constrains the given host.
+func (c Constraint) appliesTo(h HostID) bool {
+	return c.Global() || c.Host == h
+}
+
+// SatisfiedBy reports whether an assignment satisfies the constraint on a
+// single host: if α'(h, s_m) = p_j then α'(h, s_n) must (not) equal p_k.
+// Hosts that do not provide both services are vacuously satisfied.
+func (c Constraint) SatisfiedBy(a *Assignment, n *Network, hid HostID) bool {
+	if !c.appliesTo(hid) {
+		return true
+	}
+	h, ok := n.Host(hid)
+	if !ok || !h.HasService(c.ServiceM) || !h.HasService(c.ServiceN) {
+		return true
+	}
+	pm, okm := a.Get(hid, c.ServiceM)
+	pn, okn := a.Get(hid, c.ServiceN)
+	if !okm || !okn {
+		return true
+	}
+	if pm != c.ProductJ {
+		return true
+	}
+	if c.Mode == Require {
+		return pn == c.ProductK
+	}
+	return pn != c.ProductK
+}
+
+// ConstraintSet is the set C of Definition 4 plus host-level fixing
+// constraints ("host z4 must run product X for service s"), which the case
+// study uses to express company policies and legacy hosts.
+type ConstraintSet struct {
+	constraints []Constraint
+	fixed       map[HostID]map[ServiceID]ProductID
+}
+
+// NewConstraintSet creates an empty constraint set.
+func NewConstraintSet() *ConstraintSet {
+	return &ConstraintSet{fixed: make(map[HostID]map[ServiceID]ProductID)}
+}
+
+// Add appends a pairwise (require/forbid) constraint.
+func (cs *ConstraintSet) Add(c Constraint) {
+	cs.constraints = append(cs.constraints, c)
+}
+
+// Fix pins a host's service to a specific product (the grey cells of
+// Table IV and the host constraints of α̂_C1).
+func (cs *ConstraintSet) Fix(h HostID, s ServiceID, p ProductID) {
+	m, ok := cs.fixed[h]
+	if !ok {
+		m = make(map[ServiceID]ProductID)
+		cs.fixed[h] = m
+	}
+	m[s] = p
+}
+
+// Fixed returns the pinned product for (h, s) if any.
+func (cs *ConstraintSet) Fixed(h HostID, s ServiceID) (ProductID, bool) {
+	p, ok := cs.fixed[h][s]
+	return p, ok
+}
+
+// FixedHosts returns the hosts with at least one pinned service, sorted.
+func (cs *ConstraintSet) FixedHosts() []HostID {
+	out := make([]HostID, 0, len(cs.fixed))
+	for h := range cs.fixed {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Constraints returns a copy of the pairwise constraints.
+func (cs *ConstraintSet) Constraints() []Constraint {
+	out := make([]Constraint, len(cs.constraints))
+	copy(out, cs.constraints)
+	return out
+}
+
+// Len returns the number of pairwise constraints plus pinned services.
+func (cs *ConstraintSet) Len() int {
+	n := len(cs.constraints)
+	for _, m := range cs.fixed {
+		n += len(m)
+	}
+	return n
+}
+
+// Empty reports whether the set contains no constraints at all.
+func (cs *ConstraintSet) Empty() bool { return cs == nil || cs.Len() == 0 }
+
+// Clone returns a deep copy.
+func (cs *ConstraintSet) Clone() *ConstraintSet {
+	c := NewConstraintSet()
+	c.constraints = append(c.constraints, cs.constraints...)
+	for h, m := range cs.fixed {
+		for s, p := range m {
+			c.Fix(h, s, p)
+		}
+	}
+	return c
+}
+
+// Validate checks every constraint against the network, including that pinned
+// products are valid candidates of the pinned host.
+func (cs *ConstraintSet) Validate(n *Network) error {
+	for _, c := range cs.constraints {
+		if err := c.Validate(n); err != nil {
+			return err
+		}
+	}
+	for hid, m := range cs.fixed {
+		h, ok := n.Host(hid)
+		if !ok {
+			return fmt.Errorf("%w: fixed host %q", ErrUnknownHost, hid)
+		}
+		for s, p := range m {
+			if !h.HasService(s) {
+				return fmt.Errorf("netmodel: fixed host %q does not provide service %q", hid, s)
+			}
+			if h.CandidateIndex(s, p) < 0 {
+				return fmt.Errorf("netmodel: fixed product %q is not a candidate for host %q service %q",
+					p, hid, s)
+			}
+		}
+	}
+	return nil
+}
+
+// ErrViolated is wrapped by Check when an assignment violates the set.
+var ErrViolated = errors.New("netmodel: constraint violated")
+
+// Violations returns a description of every constraint the assignment
+// violates over the network (empty when fully satisfied).
+func (cs *ConstraintSet) Violations(a *Assignment, n *Network) []string {
+	var out []string
+	if cs == nil {
+		return out
+	}
+	for hid, m := range cs.fixed {
+		for s, want := range m {
+			got, ok := a.Get(hid, s)
+			if !ok || got != want {
+				out = append(out, fmt.Sprintf("host %s service %s pinned to %s but assigned %s",
+					hid, s, want, orNone(got)))
+			}
+		}
+	}
+	for _, c := range cs.constraints {
+		hosts := n.Hosts()
+		if !c.Global() {
+			hosts = []HostID{c.Host}
+		}
+		for _, hid := range hosts {
+			if !c.SatisfiedBy(a, n, hid) {
+				out = append(out, fmt.Sprintf("constraint %s violated at host %s", c, hid))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Check returns ErrViolated (wrapped with details) if the assignment violates
+// any constraint, and nil otherwise.
+func (cs *ConstraintSet) Check(a *Assignment, n *Network) error {
+	v := cs.Violations(a, n)
+	if len(v) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrViolated, strings.Join(v, "; "))
+}

@@ -1,0 +1,172 @@
+package netmodel
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func constraintNetwork(t *testing.T) *Network {
+	t.Helper()
+	net := New()
+	for _, id := range []HostID{"a", "b"} {
+		h := &Host{
+			ID:       id,
+			Services: []ServiceID{"os", "wb"},
+			Choices: map[ServiceID][]ProductID{
+				"os": {"win7", "ubuntu"},
+				"wb": {"ie", "chrome"},
+			},
+		}
+		if err := net.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.AddLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{Host: "a", ServiceM: "os", ServiceN: "wb", ProductJ: "ubuntu", ProductK: "ie", Mode: Forbid}
+	if got := c.String(); !strings.Contains(got, "-ie") || !strings.Contains(got, "+ubuntu") {
+		t.Errorf("String() = %q", got)
+	}
+	g := Constraint{Host: AllHosts, ServiceM: "os", ServiceN: "wb", ProductJ: "win7", ProductK: "ie", Mode: Require}
+	if got := g.String(); !strings.Contains(got, "ALL") || !strings.Contains(got, "+ie") {
+		t.Errorf("global String() = %q", got)
+	}
+	if !g.Global() || c.Global() {
+		t.Error("Global() misreported")
+	}
+}
+
+func TestConstraintValidate(t *testing.T) {
+	net := constraintNetwork(t)
+	valid := Constraint{Host: "a", ServiceM: "os", ServiceN: "wb", ProductJ: "ubuntu", ProductK: "ie", Mode: Forbid}
+	if err := valid.Validate(net); err != nil {
+		t.Errorf("valid constraint rejected: %v", err)
+	}
+	global := Constraint{Host: AllHosts, ServiceM: "os", ServiceN: "wb", ProductJ: "win7", ProductK: "ie", Mode: Require}
+	if err := global.Validate(net); err != nil {
+		t.Errorf("valid global constraint rejected: %v", err)
+	}
+	tests := []Constraint{
+		{Host: "zz", ServiceM: "os", ServiceN: "wb", ProductJ: "x", ProductK: "y", Mode: Forbid},
+		{Host: "a", ServiceM: "db", ServiceN: "wb", ProductJ: "x", ProductK: "y", Mode: Forbid},
+		{Host: "a", ServiceM: "os", ServiceN: "db", ProductJ: "x", ProductK: "y", Mode: Forbid},
+		{Host: "a", ServiceM: "os", ServiceN: "wb", ProductJ: "", ProductK: "y", Mode: Forbid},
+		{Host: "a", ServiceM: "os", ServiceN: "wb", ProductJ: "x", ProductK: "y"},
+	}
+	for i, c := range tests {
+		if err := c.Validate(net); err == nil {
+			t.Errorf("case %d: invalid constraint %s accepted", i, c)
+		}
+	}
+}
+
+func TestConstraintSatisfiedBy(t *testing.T) {
+	net := constraintNetwork(t)
+	forbid := Constraint{Host: "a", ServiceM: "os", ServiceN: "wb", ProductJ: "ubuntu", ProductK: "ie", Mode: Forbid}
+	require := Constraint{Host: AllHosts, ServiceM: "os", ServiceN: "wb", ProductJ: "win7", ProductK: "ie", Mode: Require}
+
+	a := NewAssignment()
+	a.Set("a", "os", "ubuntu")
+	a.Set("a", "wb", "ie")
+	a.Set("b", "os", "win7")
+	a.Set("b", "wb", "chrome")
+
+	if forbid.SatisfiedBy(a, net, "a") {
+		t.Error("forbid constraint should be violated: ubuntu+ie on host a")
+	}
+	if forbid.SatisfiedBy(a, net, "b") != true {
+		t.Error("forbid constraint on host a should not constrain host b")
+	}
+	if require.SatisfiedBy(a, net, "b") {
+		t.Error("require constraint violated on b: win7 without ie")
+	}
+	// Condition product not selected -> vacuously satisfied.
+	if !require.SatisfiedBy(a, net, "a") {
+		t.Error("require constraint should be vacuous when the conditioning product is absent")
+	}
+
+	fixed := a.Clone()
+	fixed.Set("a", "wb", "chrome")
+	fixed.Set("b", "wb", "ie")
+	if !forbid.SatisfiedBy(fixed, net, "a") || !require.SatisfiedBy(fixed, net, "b") {
+		t.Error("corrected assignment should satisfy both constraints")
+	}
+}
+
+func TestConstraintSetFixAndViolations(t *testing.T) {
+	net := constraintNetwork(t)
+	cs := NewConstraintSet()
+	if !cs.Empty() {
+		t.Error("new constraint set should be empty")
+	}
+	cs.Fix("a", "os", "win7")
+	cs.Add(Constraint{Host: AllHosts, ServiceM: "os", ServiceN: "wb", ProductJ: "ubuntu", ProductK: "ie", Mode: Forbid})
+	if cs.Empty() || cs.Len() != 2 {
+		t.Errorf("Len = %d, want 2", cs.Len())
+	}
+	if p, ok := cs.Fixed("a", "os"); !ok || p != "win7" {
+		t.Errorf("Fixed = %v %v", p, ok)
+	}
+	if _, ok := cs.Fixed("b", "os"); ok {
+		t.Error("unpinned host should not report a fixed product")
+	}
+	if err := cs.Validate(net); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	bad := NewConstraintSet()
+	bad.Fix("a", "os", "not_a_candidate")
+	if err := bad.Validate(net); err == nil {
+		t.Error("pinning to a non-candidate should fail validation")
+	}
+	badHost := NewConstraintSet()
+	badHost.Fix("zz", "os", "win7")
+	if err := badHost.Validate(net); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("pinning an unknown host should fail, got %v", err)
+	}
+
+	a := NewAssignment()
+	a.Set("a", "os", "ubuntu")
+	a.Set("a", "wb", "ie")
+	a.Set("b", "os", "win7")
+	a.Set("b", "wb", "ie")
+	violations := cs.Violations(a, net)
+	if len(violations) != 2 {
+		t.Fatalf("Violations = %v, want 2 entries", violations)
+	}
+	if err := cs.Check(a, net); !errors.Is(err, ErrViolated) {
+		t.Errorf("Check should wrap ErrViolated, got %v", err)
+	}
+
+	ok := NewAssignment()
+	ok.Set("a", "os", "win7")
+	ok.Set("a", "wb", "ie")
+	ok.Set("b", "os", "win7")
+	ok.Set("b", "wb", "ie")
+	if err := cs.Check(ok, net); err != nil {
+		t.Errorf("satisfying assignment rejected: %v", err)
+	}
+}
+
+func TestConstraintSetClone(t *testing.T) {
+	cs := NewConstraintSet()
+	cs.Fix("a", "os", "win7")
+	cs.Add(Constraint{Host: "a", ServiceM: "os", ServiceN: "wb", ProductJ: "win7", ProductK: "ie", Mode: Require})
+	clone := cs.Clone()
+	clone.Fix("b", "os", "ubuntu")
+	if cs.Len() == clone.Len() {
+		t.Error("mutating the clone must not affect the original")
+	}
+	if got := len(cs.FixedHosts()); got != 1 {
+		t.Errorf("FixedHosts = %d, want 1", got)
+	}
+	if got := len(cs.Constraints()); got != 1 {
+		t.Errorf("Constraints = %d, want 1", got)
+	}
+}

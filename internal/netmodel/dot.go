@@ -1,0 +1,121 @@
+package netmodel
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DotOptions controls Graphviz export.
+type DotOptions struct {
+	// Assignment, when non-nil, is rendered inside each host's label (the
+	// Fig. 4 style of the paper).
+	Assignment *Assignment
+	// HighlightHosts are drawn with a bold border (e.g. attack entry points
+	// and the target).
+	HighlightHosts []HostID
+	// Name is the graph name (default "network").
+	Name string
+}
+
+// zonePalette maps zone names to fill colours; unknown zones get a neutral
+// grey.  Colours are ordinary Graphviz X11 names.
+var zonePalette = map[string]string{
+	"corporate":  "lightblue",
+	"dmz":        "khaki",
+	"operations": "lightsalmon",
+	"control":    "lightcoral",
+	"clients":    "palegreen",
+	"remote":     "paleturquoise",
+	"vendors":    "plum",
+	"field":      "lightgrey",
+}
+
+// WriteDot renders the network (and optionally an assignment) as a Graphviz
+// dot graph, grouping hosts of the same zone into clusters so that the output
+// resembles the zoned ICS figures of the paper.
+func WriteDot(w io.Writer, n *Network, opts DotOptions) error {
+	if n == nil {
+		return fmt.Errorf("netmodel: nil network")
+	}
+	name := opts.Name
+	if name == "" {
+		name = "network"
+	}
+	highlight := make(map[HostID]bool, len(opts.HighlightHosts))
+	for _, h := range opts.HighlightHosts {
+		highlight[h] = true
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", name)
+	b.WriteString("  graph [fontname=\"Helvetica\", overlap=false];\n")
+	b.WriteString("  node [shape=box, style=\"rounded,filled\", fontname=\"Helvetica\", fontsize=10];\n")
+
+	// Group hosts by zone for clustered layout.
+	byZone := make(map[string][]HostID)
+	for _, hid := range n.Hosts() {
+		h, _ := n.Host(hid)
+		byZone[h.Zone] = append(byZone[h.Zone], hid)
+	}
+	zones := make([]string, 0, len(byZone))
+	for z := range byZone {
+		zones = append(zones, z)
+	}
+	sort.Strings(zones)
+
+	for zi, zone := range zones {
+		indent := "  "
+		clustered := zone != ""
+		if clustered {
+			fmt.Fprintf(&b, "  subgraph \"cluster_%d\" {\n", zi)
+			fmt.Fprintf(&b, "    label=%q;\n    style=dashed;\n", zone)
+			indent = "    "
+		}
+		for _, hid := range byZone[zone] {
+			h, _ := n.Host(hid)
+			label := string(hid)
+			if h.Role != "" {
+				label += "\\n" + h.Role
+			}
+			if opts.Assignment != nil {
+				for _, s := range h.Services {
+					if p, ok := opts.Assignment.Get(hid, s); ok {
+						label += fmt.Sprintf("\\n%s=%s", s, p)
+					}
+				}
+			}
+			fill := zonePalette[zone]
+			if fill == "" {
+				fill = "white"
+			}
+			attrs := fmt.Sprintf("label=%q, fillcolor=%q", label, fill)
+			if h.Legacy {
+				attrs += ", color=gray40, fontcolor=gray25"
+			}
+			if highlight[hid] {
+				attrs += ", penwidth=3"
+			}
+			fmt.Fprintf(&b, "%s%q [%s];\n", indent, string(hid), attrs)
+		}
+		if clustered {
+			b.WriteString("  }\n")
+		}
+	}
+	for _, l := range n.Links() {
+		fmt.Fprintf(&b, "  %q -- %q;\n", string(l.A), string(l.B))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Dot is WriteDot into a string.
+func Dot(n *Network, opts DotOptions) (string, error) {
+	var b strings.Builder
+	if err := WriteDot(&b, n, opts); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,85 @@
+package netmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func dotNetwork(t *testing.T) *Network {
+	t.Helper()
+	net := New()
+	hosts := []*Host{
+		{ID: "c1", Zone: "corporate", Role: "Web Client",
+			Services: []ServiceID{"os"}, Choices: map[ServiceID][]ProductID{"os": {"win7", "deb80"}}},
+		{ID: "t1", Zone: "control", Legacy: true,
+			Services: []ServiceID{"os"}, Choices: map[ServiceID][]ProductID{"os": {"winxp"}}},
+		{ID: "x1", Zone: "",
+			Services: []ServiceID{"os"}, Choices: map[ServiceID][]ProductID{"os": {"win7"}}},
+	}
+	for _, h := range hosts {
+		if err := net.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.AddLink("c1", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddLink("t1", "x1"); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestWriteDot(t *testing.T) {
+	net := dotNetwork(t)
+	a := NewAssignment()
+	a.Set("c1", "os", "deb80")
+	a.Set("t1", "os", "winxp")
+	a.Set("x1", "os", "win7")
+
+	out, err := Dot(net, DotOptions{
+		Assignment:     a,
+		HighlightHosts: []HostID{"c1"},
+		Name:           "case",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`graph "case" {`,
+		`label="corporate"`,
+		`"c1" -- "t1";`,
+		`os=deb80`,
+		`penwidth=3`,
+		"color=gray40",        // legacy host styling
+		`subgraph "cluster_`,  // zone clustering
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+	// Zone-less hosts are emitted outside any cluster.
+	if !strings.Contains(out, `"x1"`) {
+		t.Error("zone-less host missing from output")
+	}
+}
+
+func TestWriteDotWithoutAssignment(t *testing.T) {
+	net := dotNetwork(t)
+	out, err := Dot(net, DotOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "os=") {
+		t.Error("assignment labels should be absent when no assignment is given")
+	}
+	if !strings.Contains(out, `graph "network" {`) {
+		t.Error("default graph name should be used")
+	}
+}
+
+func TestWriteDotNil(t *testing.T) {
+	if _, err := Dot(nil, DotOptions{}); err == nil {
+		t.Error("nil network should be rejected")
+	}
+}

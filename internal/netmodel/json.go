@@ -1,0 +1,173 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Spec is the JSON representation of a network plus optional constraints,
+// consumed and produced by the cmd/ tools and by examples.
+type Spec struct {
+	Hosts       []HostSpec       `json:"hosts"`
+	Links       []Link           `json:"links"`
+	Constraints []Constraint     `json:"constraints,omitempty"`
+	Fixed       []FixedSpec      `json:"fixed,omitempty"`
+	Meta        map[string]string `json:"meta,omitempty"`
+}
+
+// HostSpec is the JSON representation of a host.
+type HostSpec struct {
+	ID         HostID                              `json:"id"`
+	Zone       string                              `json:"zone,omitempty"`
+	Role       string                              `json:"role,omitempty"`
+	Legacy     bool                                `json:"legacy,omitempty"`
+	Services   []ServiceID                         `json:"services"`
+	Choices    map[ServiceID][]ProductID           `json:"choices"`
+	Preference map[ServiceID]map[ProductID]float64 `json:"preference,omitempty"`
+}
+
+// FixedSpec pins a host's service to a product in the JSON form.
+type FixedSpec struct {
+	Host    HostID    `json:"host"`
+	Service ServiceID `json:"service"`
+	Product ProductID `json:"product"`
+}
+
+// ToSpec converts a network and optional constraint set into a Spec.
+func ToSpec(n *Network, cs *ConstraintSet) Spec {
+	spec := Spec{}
+	for _, id := range n.Hosts() {
+		h, _ := n.Host(id)
+		hs := HostSpec{
+			ID:       h.ID,
+			Zone:     h.Zone,
+			Role:     h.Role,
+			Legacy:   h.Legacy,
+			Services: append([]ServiceID(nil), h.Services...),
+			Choices:  make(map[ServiceID][]ProductID, len(h.Choices)),
+		}
+		for s, ps := range h.Choices {
+			hs.Choices[s] = append([]ProductID(nil), ps...)
+		}
+		if len(h.Preference) > 0 {
+			hs.Preference = make(map[ServiceID]map[ProductID]float64, len(h.Preference))
+			for s, m := range h.Preference {
+				mm := make(map[ProductID]float64, len(m))
+				for p, v := range m {
+					mm[p] = v
+				}
+				hs.Preference[s] = mm
+			}
+		}
+		spec.Hosts = append(spec.Hosts, hs)
+	}
+	spec.Links = n.Links()
+	if cs != nil {
+		spec.Constraints = cs.Constraints()
+		for _, h := range cs.FixedHosts() {
+			m := cs.fixed[h]
+			services := make([]ServiceID, 0, len(m))
+			for s := range m {
+				services = append(services, s)
+			}
+			sort.Slice(services, func(i, j int) bool { return services[i] < services[j] })
+			for _, s := range services {
+				spec.Fixed = append(spec.Fixed, FixedSpec{Host: h, Service: s, Product: m[s]})
+			}
+		}
+	}
+	return spec
+}
+
+// FromSpec reconstructs a network and constraint set from a Spec.
+func FromSpec(spec Spec) (*Network, *ConstraintSet, error) {
+	n := New()
+	for i := range spec.Hosts {
+		hs := spec.Hosts[i]
+		h := &Host{
+			ID:         hs.ID,
+			Zone:       hs.Zone,
+			Role:       hs.Role,
+			Legacy:     hs.Legacy,
+			Services:   hs.Services,
+			Choices:    hs.Choices,
+			Preference: hs.Preference,
+		}
+		if err := n.AddHost(h); err != nil {
+			return nil, nil, fmt.Errorf("netmodel: spec host %q: %w", hs.ID, err)
+		}
+	}
+	for _, l := range spec.Links {
+		if err := n.AddLink(l.A, l.B); err != nil {
+			return nil, nil, fmt.Errorf("netmodel: spec link %s-%s: %w", l.A, l.B, err)
+		}
+	}
+	cs := NewConstraintSet()
+	for _, c := range spec.Constraints {
+		cs.Add(c)
+	}
+	for _, f := range spec.Fixed {
+		cs.Fix(f.Host, f.Service, f.Product)
+	}
+	if err := cs.Validate(n); err != nil {
+		return nil, nil, err
+	}
+	return n, cs, nil
+}
+
+// WriteSpec encodes the network (and constraints, may be nil) as indented
+// JSON to w.
+func WriteSpec(w io.Writer, n *Network, cs *ConstraintSet) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(ToSpec(n, cs)); err != nil {
+		return fmt.Errorf("netmodel: encode spec: %w", err)
+	}
+	return nil
+}
+
+// ReadSpec decodes a network spec from r.
+func ReadSpec(r io.Reader) (*Network, *ConstraintSet, error) {
+	var spec Spec
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&spec); err != nil {
+		return nil, nil, fmt.Errorf("netmodel: decode spec: %w", err)
+	}
+	return FromSpec(spec)
+}
+
+// assignmentJSON is the serialised form of an Assignment.
+type assignmentJSON struct {
+	Hosts map[HostID]map[ServiceID]ProductID `json:"hosts"`
+}
+
+// MarshalJSON serialises the assignment.
+func (a *Assignment) MarshalJSON() ([]byte, error) {
+	out := assignmentJSON{Hosts: make(map[HostID]map[ServiceID]ProductID, len(a.products))}
+	for h, m := range a.products {
+		mm := make(map[ServiceID]ProductID, len(m))
+		for s, p := range m {
+			mm[s] = p
+		}
+		out.Hosts[h] = mm
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON deserialises the assignment.
+func (a *Assignment) UnmarshalJSON(data []byte) error {
+	var in assignmentJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("netmodel: decode assignment: %w", err)
+	}
+	na := NewAssignment()
+	for h, m := range in.Hosts {
+		for s, p := range m {
+			na.Set(h, s, p)
+		}
+	}
+	*a = *na
+	return nil
+}

@@ -1,0 +1,122 @@
+package netmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func specNetwork(t *testing.T) (*Network, *ConstraintSet) {
+	t.Helper()
+	net := New()
+	hosts := []*Host{
+		{
+			ID:       "web1",
+			Zone:     "dmz",
+			Role:     "web server",
+			Services: []ServiceID{"os", "db"},
+			Choices: map[ServiceID][]ProductID{
+				"os": {"win7", "deb80"},
+				"db": {"mysql55", "mssql14"},
+			},
+			Preference: map[ServiceID]map[ProductID]float64{
+				"os": {"deb80": 0.9},
+			},
+		},
+		{
+			ID:       "ws1",
+			Zone:     "office",
+			Legacy:   true,
+			Services: []ServiceID{"os"},
+			Choices:  map[ServiceID][]ProductID{"os": {"winxp", "win7"}},
+		},
+	}
+	for _, h := range hosts {
+		if err := net.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.AddLink("web1", "ws1"); err != nil {
+		t.Fatal(err)
+	}
+	cs := NewConstraintSet()
+	cs.Fix("ws1", "os", "winxp")
+	cs.Add(Constraint{Host: "web1", ServiceM: "os", ServiceN: "db", ProductJ: "deb80", ProductK: "mssql14", Mode: Forbid})
+	return net, cs
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	net, cs := specNetwork(t)
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, net, cs); err != nil {
+		t.Fatalf("WriteSpec: %v", err)
+	}
+	net2, cs2, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatalf("ReadSpec: %v", err)
+	}
+	if net2.NumHosts() != net.NumHosts() || net2.NumLinks() != net.NumLinks() {
+		t.Errorf("round trip changed size: %d/%d vs %d/%d",
+			net2.NumHosts(), net2.NumLinks(), net.NumHosts(), net.NumLinks())
+	}
+	h, ok := net2.Host("web1")
+	if !ok {
+		t.Fatal("web1 missing after round trip")
+	}
+	if h.Zone != "dmz" || h.Role != "web server" || len(h.Choices["os"]) != 2 {
+		t.Errorf("host fields lost: %+v", h)
+	}
+	if h.Preference["os"]["deb80"] != 0.9 {
+		t.Error("preference lost in round trip")
+	}
+	ws, _ := net2.Host("ws1")
+	if !ws.Legacy {
+		t.Error("legacy flag lost in round trip")
+	}
+	if p, ok := cs2.Fixed("ws1", "os"); !ok || p != "winxp" {
+		t.Error("fixed constraint lost in round trip")
+	}
+	if len(cs2.Constraints()) != 1 {
+		t.Error("pairwise constraint lost in round trip")
+	}
+}
+
+func TestReadSpecErrors(t *testing.T) {
+	if _, _, err := ReadSpec(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+	badHost := `{"hosts":[{"id":"a","services":["os"],"choices":{}}],"links":[]}`
+	if _, _, err := ReadSpec(strings.NewReader(badHost)); err == nil {
+		t.Error("host without candidates should fail")
+	}
+	badLink := `{"hosts":[{"id":"a","services":["os"],"choices":{"os":["p"]}}],"links":[{"a":"a","b":"zz"}]}`
+	if _, _, err := ReadSpec(strings.NewReader(badLink)); err == nil {
+		t.Error("link to unknown host should fail")
+	}
+	badConstraint := `{"hosts":[{"id":"a","services":["os"],"choices":{"os":["p"]}}],
+		"fixed":[{"host":"a","service":"os","product":"nope"}]}`
+	if _, _, err := ReadSpec(strings.NewReader(badConstraint)); err == nil {
+		t.Error("fixed product outside the candidate list should fail")
+	}
+}
+
+func TestAssignmentJSONRoundTrip(t *testing.T) {
+	a := NewAssignment()
+	a.Set("h1", "os", "win7")
+	a.Set("h2", "db", "mysql55")
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	b := NewAssignment()
+	if err := json.Unmarshal(data, b); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !a.Equal(b) {
+		t.Errorf("round trip changed assignment: %v vs %v", a, b)
+	}
+	if err := json.Unmarshal([]byte("12"), b); err == nil {
+		t.Error("unmarshalling a number should fail")
+	}
+}

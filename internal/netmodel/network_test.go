@@ -1,0 +1,201 @@
+package netmodel
+
+import (
+	"errors"
+	"testing"
+)
+
+func testHost(id HostID, services ...ServiceID) *Host {
+	if len(services) == 0 {
+		services = []ServiceID{ServiceOS}
+	}
+	choices := make(map[ServiceID][]ProductID, len(services))
+	for _, s := range services {
+		choices[s] = []ProductID{"p1", "p2", "p3"}
+	}
+	return &Host{ID: id, Services: services, Choices: choices}
+}
+
+func lineNetwork(t *testing.T, n int) *Network {
+	t.Helper()
+	net := New()
+	var prev HostID
+	for i := 0; i < n; i++ {
+		id := HostID(rune('a' + i))
+		if err := net.AddHost(testHost(id)); err != nil {
+			t.Fatalf("AddHost: %v", err)
+		}
+		if i > 0 {
+			if err := net.AddLink(prev, id); err != nil {
+				t.Fatalf("AddLink: %v", err)
+			}
+		}
+		prev = id
+	}
+	return net
+}
+
+func TestAddHostValidation(t *testing.T) {
+	net := New()
+	if err := net.AddHost(nil); err == nil {
+		t.Error("nil host should be rejected")
+	}
+	if err := net.AddHost(&Host{ID: ""}); err == nil {
+		t.Error("empty ID should be rejected")
+	}
+	if err := net.AddHost(&Host{ID: "x"}); !errors.Is(err, ErrNoServices) {
+		t.Errorf("host without services should return ErrNoServices, got %v", err)
+	}
+	if err := net.AddHost(&Host{ID: "x", Services: []ServiceID{"os"}}); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("service without candidates should return ErrNoCandidates, got %v", err)
+	}
+	h := testHost("x")
+	if err := net.AddHost(h); err != nil {
+		t.Fatalf("AddHost: %v", err)
+	}
+	if err := net.AddHost(h); !errors.Is(err, ErrDuplicateHost) {
+		t.Errorf("duplicate host should return ErrDuplicateHost, got %v", err)
+	}
+	dup := &Host{ID: "y", Services: []ServiceID{"os", "os"}, Choices: map[ServiceID][]ProductID{"os": {"p"}}}
+	if err := net.AddHost(dup); err == nil {
+		t.Error("duplicate service listing should be rejected")
+	}
+}
+
+func TestAddHostCopies(t *testing.T) {
+	net := New()
+	h := testHost("x")
+	if err := net.AddHost(h); err != nil {
+		t.Fatal(err)
+	}
+	h.Choices[ServiceOS][0] = "mutated"
+	h.Zone = "mutated"
+	stored, _ := net.Host("x")
+	if stored.Choices[ServiceOS][0] == "mutated" || stored.Zone == "mutated" {
+		t.Error("AddHost must deep-copy the host")
+	}
+}
+
+func TestAddLink(t *testing.T) {
+	net := lineNetwork(t, 3)
+	if err := net.AddLink("a", "a"); !errors.Is(err, ErrSelfLink) {
+		t.Errorf("self link should return ErrSelfLink, got %v", err)
+	}
+	if err := net.AddLink("a", "zz"); !errors.Is(err, ErrUnknownHost) {
+		t.Errorf("unknown endpoint should return ErrUnknownHost, got %v", err)
+	}
+	before := net.NumLinks()
+	if err := net.AddLink("b", "a"); err != nil {
+		t.Fatalf("re-adding reversed link: %v", err)
+	}
+	if net.NumLinks() != before {
+		t.Error("re-adding an existing link (reversed) should be a no-op")
+	}
+	if !net.Connected("a", "b") || !net.Connected("b", "a") {
+		t.Error("Connected should be symmetric")
+	}
+	if net.Connected("a", "c") {
+		t.Error("a and c are not directly connected")
+	}
+}
+
+func TestNeighborsAndDegree(t *testing.T) {
+	net := lineNetwork(t, 4)
+	if got := net.Neighbors("b"); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("Neighbors(b) = %v, want [a c]", got)
+	}
+	if net.Degree("a") != 1 || net.Degree("b") != 2 {
+		t.Error("unexpected degrees")
+	}
+	if net.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d, want 2", net.MaxDegree())
+	}
+}
+
+func TestServicesProductsShared(t *testing.T) {
+	net := New()
+	if err := net.AddHost(testHost("a", "os", "db")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddHost(testHost("b", "os")); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddLink("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Services(); len(got) != 2 {
+		t.Errorf("Services = %v, want [db os]", got)
+	}
+	if got := net.Products(); len(got) != 3 {
+		t.Errorf("Products = %v, want 3 products", got)
+	}
+	if got := net.SharedServices("a", "b"); len(got) != 1 || got[0] != "os" {
+		t.Errorf("SharedServices = %v, want [os]", got)
+	}
+	if got := net.SharedServices("a", "missing"); got != nil {
+		t.Errorf("SharedServices with missing host = %v, want nil", got)
+	}
+}
+
+func TestValidateAndClone(t *testing.T) {
+	empty := New()
+	if err := empty.Validate(); err == nil {
+		t.Error("empty network should fail validation")
+	}
+	net := lineNetwork(t, 5)
+	if err := net.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	clone := net.Clone()
+	if clone.NumHosts() != net.NumHosts() || clone.NumLinks() != net.NumLinks() {
+		t.Error("clone should preserve size")
+	}
+	if err := clone.AddHost(testHost("zzz")); err != nil {
+		t.Fatal(err)
+	}
+	if net.NumHosts() == clone.NumHosts() {
+		t.Error("mutating the clone must not affect the original")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	net := lineNetwork(t, 3)
+	if err := net.AddHost(testHost("isolated")); err != nil {
+		t.Fatal(err)
+	}
+	comps := net.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 1 {
+		t.Errorf("component sizes = %d, %d; want 3, 1", len(comps[0]), len(comps[1]))
+	}
+}
+
+func TestShortestPathLengths(t *testing.T) {
+	net := lineNetwork(t, 4)
+	dist := net.ShortestPathLengths("a")
+	want := map[HostID]int{"a": 0, "b": 1, "c": 2, "d": 3}
+	for h, d := range want {
+		if dist[h] != d {
+			t.Errorf("dist[%s] = %d, want %d", h, dist[h], d)
+		}
+	}
+	if got := net.ShortestPathLengths("missing"); len(got) != 0 {
+		t.Errorf("distances from missing host should be empty, got %v", got)
+	}
+}
+
+func TestLinksSortedAndCopied(t *testing.T) {
+	net := lineNetwork(t, 4)
+	links := net.Links()
+	for i := 1; i < len(links); i++ {
+		if links[i-1].A > links[i].A {
+			t.Error("Links should be sorted")
+		}
+	}
+	links[0] = Link{A: "zz", B: "zz"}
+	if net.Links()[0].A == "zz" {
+		t.Error("Links must return a copy")
+	}
+}

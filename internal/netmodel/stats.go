@@ -1,0 +1,146 @@
+package netmodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NetworkStats summarises the topology of a network; used by reports, the
+// experiment notes and the topology generators' tests.
+type NetworkStats struct {
+	// Hosts and Links are |H| and |L|.
+	Hosts int
+	Links int
+	// Density is 2|L| / (|H|·(|H|-1)).
+	Density float64
+	// AverageDegree is 2|L| / |H|.
+	AverageDegree float64
+	// MaxDegree is the largest host degree.
+	MaxDegree int
+	// Diameter is the longest shortest path within the largest connected
+	// component.
+	Diameter int
+	// AveragePathLength is the mean shortest-path length over all reachable
+	// host pairs of the largest component.
+	AveragePathLength float64
+	// ClusteringCoefficient is the mean local clustering coefficient.
+	ClusteringCoefficient float64
+	// Components is the number of connected components.
+	Components int
+	// ZoneSizes counts hosts per zone.
+	ZoneSizes map[string]int
+	// LegacyHosts counts hosts marked as legacy.
+	LegacyHosts int
+	// ServicesPerHost is the mean number of services per host.
+	ServicesPerHost float64
+}
+
+// Stats computes NetworkStats.  For networks larger than sampleLimit hosts
+// the diameter and average path length are estimated from BFS runs over a
+// deterministic sample of hosts to keep the computation linear-ish.
+func (n *Network) Stats() NetworkStats {
+	const sampleLimit = 400
+	st := NetworkStats{
+		Hosts:     n.NumHosts(),
+		Links:     n.NumLinks(),
+		ZoneSizes: make(map[string]int),
+	}
+	if st.Hosts == 0 {
+		return st
+	}
+	totalServices := 0
+	for _, hid := range n.Hosts() {
+		h, _ := n.Host(hid)
+		st.ZoneSizes[h.Zone]++
+		if h.Legacy {
+			st.LegacyHosts++
+		}
+		totalServices += len(h.Services)
+		if d := n.Degree(hid); d > st.MaxDegree {
+			st.MaxDegree = d
+		}
+	}
+	st.ServicesPerHost = float64(totalServices) / float64(st.Hosts)
+	st.AverageDegree = 2 * float64(st.Links) / float64(st.Hosts)
+	if st.Hosts > 1 {
+		st.Density = 2 * float64(st.Links) / (float64(st.Hosts) * float64(st.Hosts-1))
+	}
+
+	comps := n.ConnectedComponents()
+	st.Components = len(comps)
+
+	// Clustering coefficient.
+	clusterSum := 0.0
+	for _, hid := range n.Hosts() {
+		neighbors := n.Neighbors(hid)
+		k := len(neighbors)
+		if k < 2 {
+			continue
+		}
+		linked := 0
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				if n.Connected(neighbors[i], neighbors[j]) {
+					linked++
+				}
+			}
+		}
+		clusterSum += 2 * float64(linked) / float64(k*(k-1))
+	}
+	st.ClusteringCoefficient = clusterSum / float64(st.Hosts)
+
+	// Path statistics on the largest component (sampled for big networks).
+	largest := comps[0]
+	sources := largest
+	if len(sources) > sampleLimit {
+		step := len(sources) / sampleLimit
+		var sampled []HostID
+		for i := 0; i < len(sources); i += step {
+			sampled = append(sampled, sources[i])
+		}
+		sources = sampled
+	}
+	pairCount := 0
+	pathSum := 0
+	for _, src := range sources {
+		dist := n.ShortestPathLengths(src)
+		for _, d := range dist {
+			if d == 0 {
+				continue
+			}
+			pathSum += d
+			pairCount++
+			if d > st.Diameter {
+				st.Diameter = d
+			}
+		}
+	}
+	if pairCount > 0 {
+		st.AveragePathLength = float64(pathSum) / float64(pairCount)
+	}
+	return st
+}
+
+// String renders the statistics compactly.
+func (s NetworkStats) String() string {
+	zones := make([]string, 0, len(s.ZoneSizes))
+	for z := range s.ZoneSizes {
+		zones = append(zones, z)
+	}
+	sort.Strings(zones)
+	zoneStr := ""
+	for i, z := range zones {
+		if i > 0 {
+			zoneStr += ", "
+		}
+		name := z
+		if name == "" {
+			name = "<none>"
+		}
+		zoneStr += fmt.Sprintf("%s:%d", name, s.ZoneSizes[z])
+	}
+	return fmt.Sprintf(
+		"hosts=%d links=%d avg_degree=%.2f max_degree=%d density=%.4f diameter=%d avg_path=%.2f clustering=%.3f components=%d legacy=%d zones=[%s]",
+		s.Hosts, s.Links, s.AverageDegree, s.MaxDegree, s.Density, s.Diameter,
+		s.AveragePathLength, s.ClusteringCoefficient, s.Components, s.LegacyHosts, zoneStr)
+}

@@ -1,0 +1,90 @@
+package netmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestStatsLine(t *testing.T) {
+	net := lineNetwork(t, 5) // a-b-c-d-e chain
+	st := net.Stats()
+	if st.Hosts != 5 || st.Links != 4 {
+		t.Fatalf("hosts/links = %d/%d, want 5/4", st.Hosts, st.Links)
+	}
+	if math.Abs(st.AverageDegree-1.6) > 1e-9 {
+		t.Errorf("average degree = %v, want 1.6", st.AverageDegree)
+	}
+	if st.MaxDegree != 2 {
+		t.Errorf("max degree = %d, want 2", st.MaxDegree)
+	}
+	if st.Diameter != 4 {
+		t.Errorf("diameter = %d, want 4", st.Diameter)
+	}
+	if st.Components != 1 {
+		t.Errorf("components = %d, want 1", st.Components)
+	}
+	if st.ClusteringCoefficient != 0 {
+		t.Errorf("chain clustering = %v, want 0", st.ClusteringCoefficient)
+	}
+	if math.Abs(st.Density-4.0/10.0) > 1e-9 {
+		t.Errorf("density = %v, want 0.4", st.Density)
+	}
+	if st.ServicesPerHost != 1 {
+		t.Errorf("services per host = %v, want 1", st.ServicesPerHost)
+	}
+	if !strings.Contains(st.String(), "hosts=5") {
+		t.Errorf("String() = %q", st.String())
+	}
+}
+
+func TestStatsTriangleClustering(t *testing.T) {
+	net := New()
+	for _, id := range []HostID{"a", "b", "c"} {
+		if err := net.AddHost(testHost(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range [][2]HostID{{"a", "b"}, {"b", "c"}, {"a", "c"}} {
+		if err := net.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := net.Stats()
+	if math.Abs(st.ClusteringCoefficient-1) > 1e-9 {
+		t.Errorf("triangle clustering = %v, want 1", st.ClusteringCoefficient)
+	}
+	if st.Diameter != 1 {
+		t.Errorf("triangle diameter = %d, want 1", st.Diameter)
+	}
+	if math.Abs(st.AveragePathLength-1) > 1e-9 {
+		t.Errorf("triangle average path = %v, want 1", st.AveragePathLength)
+	}
+}
+
+func TestStatsDisconnectedAndZones(t *testing.T) {
+	net := lineNetwork(t, 3)
+	island := testHost("island")
+	island.Zone = "dmz"
+	island.Legacy = true
+	if err := net.AddHost(island); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	if st.Components != 2 {
+		t.Errorf("components = %d, want 2", st.Components)
+	}
+	if st.LegacyHosts != 1 {
+		t.Errorf("legacy hosts = %d, want 1", st.LegacyHosts)
+	}
+	if st.ZoneSizes["dmz"] != 1 || st.ZoneSizes[""] != 3 {
+		t.Errorf("zone sizes = %v", st.ZoneSizes)
+	}
+}
+
+func TestStatsEmptyNetwork(t *testing.T) {
+	st := New().Stats()
+	if st.Hosts != 0 || st.Links != 0 {
+		t.Error("empty network stats should be zero")
+	}
+}

@@ -1,0 +1,351 @@
+// Package nvdgen generates synthetic NVD-style CVE corpora.
+//
+// The paper derives its similarity tables from the live NVD database via
+// CVE-SEARCH.  That data source is unavailable offline, so this package
+// provides two substitutes that exercise the identical code path
+// (CVE -> affected CPE list -> per-product vulnerability sets -> Jaccard):
+//
+//  1. FromSimilarityTable builds a corpus whose per-product vulnerability
+//     counts and pairwise shared-vulnerability counts exactly reproduce a
+//     given SimilarityTable (for example the paper's Table II), so the
+//     downstream Jaccard computation recovers the published values.
+//  2. Generator produces random corpora for arbitrary product families with
+//     configurable intra-family overlap, used by property tests and by the
+//     synthetic workloads of the scalability experiments.
+package nvdgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"netdiversity/internal/vulnsim"
+)
+
+// FromSimilarityTable synthesises a CVE database whose per-product
+// vulnerability totals and pairwise shared-vulnerability counts reproduce the
+// given similarity table, so that re-running the Jaccard pipeline on the
+// corpus recovers the table's similarities (up to the table's own rounding).
+//
+// Real vulnerability data contains CVEs affecting more than two products
+// (e.g. a single flaw present in Windows 7, 8.1 and 10), and the paper's
+// tables reflect that: the sum of a product's pairwise shared counts can
+// exceed its total.  The construction therefore proceeds greedily:
+//
+//  1. repeatedly pick the product pair with the largest remaining shared
+//     demand, extend it to the largest product group whose pairwise demands
+//     are all still positive, and emit CVEs affecting the whole group;
+//  2. finally top every product up with unique CVEs until its total matches.
+//
+// The greedy grouping satisfies every pairwise count exactly for tables that
+// are realisable (including the paper's Tables II/III); if a product's total
+// is too small to accommodate its shared counts even with grouping, an error
+// is returned.
+func FromSimilarityTable(table *vulnsim.SimilarityTable, startYear int) (*vulnsim.Database, error) {
+	if err := table.Validate(); err != nil {
+		return nil, fmt.Errorf("nvdgen: invalid table: %w", err)
+	}
+	if startYear <= 0 {
+		startYear = 1999
+	}
+	products := table.Products()
+	index := make(map[string]int, len(products))
+	for i, p := range products {
+		index[p] = i
+	}
+
+	// Remaining pairwise demand and per-product capacity.
+	remPair := make([][]int, len(products))
+	for i := range remPair {
+		remPair[i] = make([]int, len(products))
+	}
+	remTotal := make([]int, len(products))
+	for i, a := range products {
+		remTotal[i] = table.Total(a)
+		for j := i + 1; j < len(products); j++ {
+			if e, ok := table.Entry(a, products[j]); ok {
+				remPair[i][j] = e.Shared
+				remPair[j][i] = e.Shared
+			}
+		}
+	}
+
+	db := vulnsim.NewDatabase()
+	seq := 0
+	nextID := func() string {
+		seq++
+		// Spread identifiers over years so year filters have something to
+		// bite on; 10,000 CVEs per synthetic year.
+		year := startYear + (seq-1)/10000
+		return fmt.Sprintf("CVE-%04d-%04d", year, 1000+(seq-1)%10000)
+	}
+	emit := func(group []int, count int, cvss float64) error {
+		affected := make([]string, len(group))
+		for i, g := range group {
+			affected[i] = products[g]
+		}
+		for k := 0; k < count; k++ {
+			c, err := vulnsim.NewCVE(nextID(), cvss, affected...)
+			if err != nil {
+				return err
+			}
+			if err := db.Add(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for {
+		// Pick the pair with the largest remaining demand.
+		bestI, bestJ, bestV := -1, -1, 0
+		for i := 0; i < len(products); i++ {
+			for j := i + 1; j < len(products); j++ {
+				if remPair[i][j] > bestV {
+					bestI, bestJ, bestV = i, j, remPair[i][j]
+				}
+			}
+		}
+		if bestV == 0 {
+			break
+		}
+		group := []int{bestI, bestJ}
+		inGroup := map[int]bool{bestI: true, bestJ: true}
+		// Greedily extend with products that still share demand with every
+		// current group member.
+		for {
+			bestC, bestMin := -1, 0
+			for c := 0; c < len(products); c++ {
+				if inGroup[c] {
+					continue
+				}
+				minDemand := remPair[group[0]][c]
+				for _, g := range group[1:] {
+					if remPair[g][c] < minDemand {
+						minDemand = remPair[g][c]
+					}
+				}
+				if minDemand > bestMin {
+					bestC, bestMin = c, minDemand
+				}
+			}
+			if bestC < 0 {
+				break
+			}
+			group = append(group, bestC)
+			inGroup[bestC] = true
+		}
+		// Number of CVEs for this group: limited by every in-group pairwise
+		// demand and by every member's remaining capacity.
+		count := remPair[group[0]][group[1]]
+		for x := 0; x < len(group); x++ {
+			if remTotal[group[x]] < count {
+				count = remTotal[group[x]]
+			}
+			for y := x + 1; y < len(group); y++ {
+				if remPair[group[x]][group[y]] < count {
+					count = remPair[group[x]][group[y]]
+				}
+			}
+		}
+		if count <= 0 {
+			return nil, fmt.Errorf("nvdgen: table not realisable: product %q has no capacity left for its shared counts",
+				products[bestI])
+		}
+		if err := emit(group, count, 7.5); err != nil {
+			return nil, err
+		}
+		for x := 0; x < len(group); x++ {
+			remTotal[group[x]] -= count
+			for y := x + 1; y < len(group); y++ {
+				remPair[group[x]][group[y]] -= count
+				remPair[group[y]][group[x]] -= count
+			}
+		}
+	}
+
+	// Unique vulnerabilities make up each product's remaining total.
+	for i := range products {
+		if remTotal[i] < 0 {
+			return nil, fmt.Errorf("nvdgen: product %q total exceeded while satisfying shared counts", products[i])
+		}
+		if remTotal[i] > 0 {
+			if err := emit([]int{i}, remTotal[i], 5.0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+// Family groups products that plausibly share vulnerabilities (same vendor or
+// same code base), e.g. the Windows releases or the MySQL/MariaDB pair.
+type Family struct {
+	// Name identifies the family (used only for reporting).
+	Name string
+	// Products are the product IDs belonging to the family.
+	Products []string
+	// IntraShare is the probability that a family vulnerability affects any
+	// given additional member of the family beyond the first.
+	IntraShare float64
+}
+
+// Config controls the random corpus generator.
+type Config struct {
+	// Families describes the product families.  Products not listed in any
+	// family only ever receive unique vulnerabilities.
+	Families []Family
+	// VulnsPerProduct is the mean number of vulnerabilities drawn for each
+	// product (before sharing).
+	VulnsPerProduct int
+	// CrossFamilyShare is the probability that a vulnerability of one family
+	// also affects a product of a different family (rare in practice).
+	CrossFamilyShare float64
+	// StartYear and EndYear bound the synthetic publication years.
+	StartYear int
+	EndYear   int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.VulnsPerProduct <= 0 {
+		c.VulnsPerProduct = 200
+	}
+	if c.StartYear == 0 {
+		c.StartYear = 1999
+	}
+	if c.EndYear < c.StartYear {
+		c.EndYear = c.StartYear + 17
+	}
+	return c
+}
+
+// Generator produces random CVE corpora.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator for the given configuration.
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// allProducts returns the set of products named by the configuration in a
+// deterministic order.
+func (g *Generator) allProducts() []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, fam := range g.cfg.Families {
+		for _, p := range fam.Products {
+			if _, ok := seen[p]; ok {
+				continue
+			}
+			seen[p] = struct{}{}
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Generate builds the synthetic corpus.
+func (g *Generator) Generate() (*vulnsim.Database, error) {
+	db := vulnsim.NewDatabase()
+	products := g.allProducts()
+	if len(products) == 0 {
+		return nil, fmt.Errorf("nvdgen: configuration names no products")
+	}
+	familyOf := make(map[string]int)
+	for fi, fam := range g.cfg.Families {
+		for _, p := range fam.Products {
+			if _, ok := familyOf[p]; !ok {
+				familyOf[p] = fi
+			}
+		}
+	}
+	years := g.cfg.EndYear - g.cfg.StartYear + 1
+	seqByYear := make(map[int]int)
+	nextID := func() string {
+		year := g.cfg.StartYear + g.rng.Intn(years)
+		seqByYear[year]++
+		return fmt.Sprintf("CVE-%04d-%04d", year, 1000+seqByYear[year])
+	}
+
+	for _, p := range products {
+		n := g.cfg.VulnsPerProduct/2 + g.rng.Intn(g.cfg.VulnsPerProduct+1)
+		for i := 0; i < n; i++ {
+			affected := []string{p}
+			if fi, ok := familyOf[p]; ok {
+				fam := g.cfg.Families[fi]
+				for _, other := range fam.Products {
+					if other == p {
+						continue
+					}
+					if g.rng.Float64() < fam.IntraShare {
+						affected = append(affected, other)
+					}
+				}
+			}
+			if g.cfg.CrossFamilyShare > 0 && g.rng.Float64() < g.cfg.CrossFamilyShare {
+				other := products[g.rng.Intn(len(products))]
+				if other != p && !contains(affected, other) {
+					affected = append(affected, other)
+				}
+			}
+			cvss := 2 + g.rng.Float64()*8
+			c, err := vulnsim.NewCVE(nextID(), cvss, affected...)
+			if err != nil {
+				return nil, err
+			}
+			if err := db.Add(c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultFamilies returns a family layout mirroring the paper's product set:
+// Windows releases, Debian-derived Linux distributions, RPM distributions,
+// the Microsoft browsers, the Mozilla browsers and the MySQL family.
+func DefaultFamilies() []Family {
+	return []Family{
+		{Name: "windows", IntraShare: 0.30, Products: []string{
+			vulnsim.ProdWinXP, vulnsim.ProdWin7, vulnsim.ProdWin81, vulnsim.ProdWin10,
+		}},
+		{Name: "debian-like", IntraShare: 0.20, Products: []string{
+			vulnsim.ProdUbuntu, vulnsim.ProdDebian,
+		}},
+		{Name: "rpm-like", IntraShare: 0.12, Products: []string{
+			vulnsim.ProdSuse, vulnsim.ProdFedora,
+		}},
+		{Name: "mac", IntraShare: 0, Products: []string{vulnsim.ProdMacOS}},
+		{Name: "ms-browsers", IntraShare: 0.25, Products: []string{
+			vulnsim.ProdIE8, vulnsim.ProdIE10, vulnsim.ProdEdge,
+		}},
+		{Name: "mozilla", IntraShare: 0.45, Products: []string{
+			vulnsim.ProdFirefox, vulnsim.ProdSeaMonkey,
+		}},
+		{Name: "webkit-others", IntraShare: 0.01, Products: []string{
+			vulnsim.ProdChrome, vulnsim.ProdSafari, vulnsim.ProdOpera,
+		}},
+		{Name: "mssql", IntraShare: 0.25, Products: []string{
+			vulnsim.ProdMSSQL08, vulnsim.ProdMSSQL14,
+		}},
+		{Name: "mysql", IntraShare: 0.40, Products: []string{
+			vulnsim.ProdMySQL55, vulnsim.ProdMariaDB10,
+		}},
+	}
+}

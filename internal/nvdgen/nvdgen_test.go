@@ -1,0 +1,141 @@
+package nvdgen
+
+import (
+	"math"
+	"testing"
+
+	"netdiversity/internal/vulnsim"
+)
+
+func TestFromSimilarityTableReproducesPaperTables(t *testing.T) {
+	for name, table := range map[string]*vulnsim.SimilarityTable{
+		"os":       vulnsim.PaperOSTable(),
+		"browser":  vulnsim.PaperBrowserTable(),
+		"database": vulnsim.PaperDatabaseTable(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			db, err := FromSimilarityTable(table, 1999)
+			if err != nil {
+				t.Fatalf("FromSimilarityTable: %v", err)
+			}
+			rebuilt := vulnsim.BuildSimilarityTable(db, table.Products(), vulnsim.VulnFilter{})
+			for _, a := range table.Products() {
+				if got, want := rebuilt.Total(a), table.Total(a); got != want {
+					t.Errorf("total of %s = %d, want %d", a, got, want)
+				}
+				for _, b := range table.Products() {
+					if a >= b {
+						continue
+					}
+					wantEntry, ok := table.Entry(a, b)
+					if !ok {
+						wantEntry = vulnsim.Entry{}
+					}
+					gotEntry, _ := rebuilt.Entry(a, b)
+					if gotEntry.Shared != wantEntry.Shared {
+						t.Errorf("shared(%s,%s) = %d, want %d", a, b, gotEntry.Shared, wantEntry.Shared)
+					}
+					// The rebuilt similarity is the exact Jaccard of the
+					// published counts; the published similarity is rounded
+					// to three decimals.
+					if math.Abs(gotEntry.Similarity-wantEntry.Similarity) > 0.01 {
+						t.Errorf("sim(%s,%s) = %.4f, want ~%.3f", a, b, gotEntry.Similarity, wantEntry.Similarity)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFromSimilarityTableInconsistentTotals(t *testing.T) {
+	table := vulnsim.NewSimilarityTable([]string{"a", "b"})
+	if err := table.SetTotal("a", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.SetTotal("b", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Set("a", "b", 0.1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromSimilarityTable(table, 1999); err == nil {
+		t.Fatal("totals smaller than shared counts should be rejected")
+	}
+}
+
+func TestFromSimilarityTableEmpty(t *testing.T) {
+	if _, err := FromSimilarityTable(vulnsim.NewSimilarityTable(nil), 1999); err == nil {
+		t.Fatal("empty table should be rejected")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := Config{Families: DefaultFamilies(), VulnsPerProduct: 50, Seed: 7}
+	a, err := NewGenerator(cfg).Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := NewGenerator(cfg).Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("same seed produced %d vs %d CVEs", a.Len(), b.Len())
+	}
+	for _, c := range a.All() {
+		other, ok := b.Get(c.ID)
+		if !ok {
+			t.Fatalf("CVE %s missing from second run", c.ID)
+		}
+		if len(other.Affected) != len(c.Affected) {
+			t.Fatalf("CVE %s affected lists differ", c.ID)
+		}
+	}
+}
+
+func TestGeneratorFamilyOverlap(t *testing.T) {
+	cfg := Config{Families: DefaultFamilies(), VulnsPerProduct: 200, Seed: 11}
+	db, err := NewGenerator(cfg).Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	table := vulnsim.BuildSimilarityTable(db, []string{
+		vulnsim.ProdWin7, vulnsim.ProdWin81, vulnsim.ProdUbuntu, vulnsim.ProdFirefox, vulnsim.ProdSeaMonkey,
+	}, vulnsim.VulnFilter{})
+	// Products of the same family must be markedly more similar than
+	// products of different families.
+	sameFamily := table.Sim(vulnsim.ProdWin7, vulnsim.ProdWin81)
+	crossFamily := table.Sim(vulnsim.ProdWin7, vulnsim.ProdUbuntu)
+	if sameFamily <= crossFamily {
+		t.Errorf("windows family similarity %.3f should exceed cross-family %.3f", sameFamily, crossFamily)
+	}
+	mozilla := table.Sim(vulnsim.ProdFirefox, vulnsim.ProdSeaMonkey)
+	if mozilla < 0.2 {
+		t.Errorf("mozilla family similarity %.3f unexpectedly low", mozilla)
+	}
+}
+
+func TestGeneratorNoProducts(t *testing.T) {
+	if _, err := NewGenerator(Config{}).Generate(); err == nil {
+		t.Fatal("generator without products should fail")
+	}
+}
+
+func TestGeneratorYearsWithinRange(t *testing.T) {
+	cfg := Config{
+		Families:        []Family{{Name: "f", Products: []string{"p1", "p2"}, IntraShare: 0.5}},
+		VulnsPerProduct: 30,
+		StartYear:       2005,
+		EndYear:         2010,
+		Seed:            3,
+	}
+	db, err := NewGenerator(cfg).Generate()
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, c := range db.All() {
+		if c.Year < 2005 || c.Year > 2010 {
+			t.Fatalf("CVE %s outside configured year range", c.ID)
+		}
+	}
+}

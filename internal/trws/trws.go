@@ -1,0 +1,357 @@
+// Package trws implements the sequential tree-reweighted message passing
+// algorithm (TRW-S) of Kolmogorov, the solver the paper uses to minimise the
+// diversification MRF (Section V-C).
+//
+// The implementation follows the min-sum sequential schedule: nodes are
+// processed in a fixed order; a forward pass sends messages to
+// higher-indexed neighbours and a backward pass to lower-indexed neighbours,
+// with per-node weights γ_i = 1 / max(#forward neighbours, #backward
+// neighbours).  A primal labeling is decoded after every iteration and the
+// best one seen is returned.
+package trws
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"netdiversity/internal/mrf"
+)
+
+// Options configures the solver.
+type Options struct {
+	// MaxIterations bounds the number of forward+backward sweeps.
+	// Default 100.
+	MaxIterations int
+	// Tolerance stops the solver once the best energy improves by less than
+	// this amount over Patience consecutive iterations.  Default 1e-6.
+	Tolerance float64
+	// Patience is the number of non-improving iterations tolerated before
+	// declaring convergence.  Default 5.
+	Patience int
+	// Workers sets the number of goroutines used to compute outgoing
+	// messages of a node in parallel.  Values <= 1 run serially.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-6
+	}
+	if o.Patience <= 0 {
+		o.Patience = 5
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// ErrNilGraph is returned when Solve is called with a nil graph.
+var ErrNilGraph = errors.New("trws: nil graph")
+
+// Solve minimises the MRF energy with TRW-S and returns the best labeling
+// found.
+func Solve(g *mrf.Graph, opts Options) (mrf.Solution, error) {
+	return SolveContext(context.Background(), g, opts)
+}
+
+// SolveContext is Solve with cancellation: the solver checks the context
+// between iterations and returns the best solution found so far together
+// with the context error when cancelled.
+func SolveContext(ctx context.Context, g *mrf.Graph, opts Options) (mrf.Solution, error) {
+	if g == nil {
+		return mrf.Solution{}, ErrNilGraph
+	}
+	if err := g.Validate(); err != nil {
+		return mrf.Solution{}, fmt.Errorf("trws: %w", err)
+	}
+	opts = opts.withDefaults()
+	s := newState(g, opts)
+
+	best := g.GreedyLabeling()
+	bestEnergy := g.MustEnergy(best)
+	history := make([]float64, 0, opts.MaxIterations)
+	noImprove := 0
+	converged := false
+	iterations := 0
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return s.solution(best, bestEnergy, history, iterations, false), err
+		}
+		s.forwardPass()
+		s.backwardPass()
+		labels := s.decode()
+		energy := g.MustEnergy(labels)
+		iterations = iter + 1
+		if energy < bestEnergy-opts.Tolerance {
+			bestEnergy = energy
+			copy(best, labels)
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+		history = append(history, bestEnergy)
+		if noImprove >= opts.Patience {
+			converged = true
+			break
+		}
+	}
+	return s.solution(best, bestEnergy, history, iterations, converged), nil
+}
+
+// state holds the message-passing workspace.
+type state struct {
+	g    *mrf.Graph
+	opts Options
+
+	n      int
+	counts []int
+	// incident[i] lists the edges incident to node i with a flag telling
+	// whether i is the U endpoint.
+	incident [][]halfEdge
+	// msg[e][0] is the message into the U endpoint of edge e, msg[e][1] the
+	// message into the V endpoint.
+	msg [][2][]float64
+	// gamma[i] = 1 / max(#forward, #backward) neighbours of node i.
+	gamma []float64
+	// scratch buffers reused across passes.
+	aggBuf []float64
+}
+
+type halfEdge struct {
+	edge int
+	isU  bool
+	// other is the node at the opposite endpoint.
+	other int
+}
+
+func newState(g *mrf.Graph, opts Options) *state {
+	n := g.NumNodes()
+	s := &state{
+		g:        g,
+		opts:     opts,
+		n:        n,
+		counts:   make([]int, n),
+		incident: make([][]halfEdge, n),
+		msg:      make([][2][]float64, g.NumEdges()),
+		gamma:    make([]float64, n),
+	}
+	maxLabels := 0
+	for i := 0; i < n; i++ {
+		s.counts[i] = g.NumLabels(i)
+		if s.counts[i] > maxLabels {
+			maxLabels = s.counts[i]
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		edge := g.Edge(e)
+		s.msg[e][0] = make([]float64, s.counts[edge.U])
+		s.msg[e][1] = make([]float64, s.counts[edge.V])
+		s.incident[edge.U] = append(s.incident[edge.U], halfEdge{edge: e, isU: true, other: edge.V})
+		s.incident[edge.V] = append(s.incident[edge.V], halfEdge{edge: e, isU: false, other: edge.U})
+	}
+	for i := 0; i < n; i++ {
+		fwd, bwd := 0, 0
+		for _, he := range s.incident[i] {
+			if he.other > i {
+				fwd++
+			} else {
+				bwd++
+			}
+		}
+		d := fwd
+		if bwd > d {
+			d = bwd
+		}
+		if d == 0 {
+			d = 1
+		}
+		s.gamma[i] = 1 / float64(d)
+	}
+	s.aggBuf = make([]float64, maxLabels)
+	return s
+}
+
+// aggregate computes a_i(x) = φ_i(x) + Σ_j m_{j→i}(x) into dst.
+func (s *state) aggregate(node int, dst []float64) {
+	copy(dst, s.g.UnaryRow(node))
+	for _, he := range s.incident[node] {
+		in := s.inMessage(he)
+		for x := range dst[:s.counts[node]] {
+			dst[x] += in[x]
+		}
+	}
+}
+
+// inMessage returns the message arriving at the node identified by the half
+// edge (i.e. the message stored for that endpoint).
+func (s *state) inMessage(he halfEdge) []float64 {
+	if he.isU {
+		return s.msg[he.edge][0]
+	}
+	return s.msg[he.edge][1]
+}
+
+// outMessage returns the slot for the message leaving the node of the half
+// edge toward the opposite endpoint.
+func (s *state) outMessage(he halfEdge) []float64 {
+	if he.isU {
+		return s.msg[he.edge][1]
+	}
+	return s.msg[he.edge][0]
+}
+
+// updateMessage recomputes the message from `node` to `he.other`:
+//
+//	m(x_other) = min_x [ γ_node·a(x) − m_{other→node}(x) + ψ(x, x_other) ]
+//
+// normalised to have minimum zero.
+func (s *state) updateMessage(node int, he halfEdge, agg []float64) {
+	gamma := s.gamma[node]
+	in := s.inMessage(he)
+	out := s.outMessage(he)
+	edge := s.g.Edge(he.edge)
+	kOther := len(out)
+	for xo := 0; xo < kOther; xo++ {
+		out[xo] = math.Inf(1)
+	}
+	for x := 0; x < s.counts[node]; x++ {
+		base := gamma*agg[x] - in[x]
+		for xo := 0; xo < kOther; xo++ {
+			var c float64
+			if he.isU {
+				c = edge.Cost[x][xo]
+			} else {
+				c = edge.Cost[xo][x]
+			}
+			if v := base + c; v < out[xo] {
+				out[xo] = v
+			}
+		}
+	}
+	// Normalise to keep message magnitudes bounded.
+	m := out[0]
+	for _, v := range out[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	for i := range out {
+		out[i] -= m
+	}
+}
+
+func (s *state) pass(forward bool) {
+	agg := s.aggBuf
+	for idx := 0; idx < s.n; idx++ {
+		node := idx
+		if !forward {
+			node = s.n - 1 - idx
+		}
+		s.aggregate(node, agg)
+		var targets []halfEdge
+		for _, he := range s.incident[node] {
+			if (forward && he.other > node) || (!forward && he.other < node) {
+				targets = append(targets, he)
+			}
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		if s.opts.Workers > 1 && len(targets) > 1 {
+			s.updateParallel(node, targets, agg)
+			continue
+		}
+		for _, he := range targets {
+			s.updateMessage(node, he, agg)
+		}
+	}
+}
+
+func (s *state) updateParallel(node int, targets []halfEdge, agg []float64) {
+	workers := s.opts.Workers
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	var wg sync.WaitGroup
+	chunk := (len(targets) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(targets) {
+			hi = len(targets)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []halfEdge) {
+			defer wg.Done()
+			for _, he := range part {
+				s.updateMessage(node, he, agg)
+			}
+		}(targets[lo:hi])
+	}
+	wg.Wait()
+}
+
+func (s *state) forwardPass()  { s.pass(true) }
+func (s *state) backwardPass() { s.pass(false) }
+
+// decode extracts a primal labeling: nodes are visited in order and each
+// picks the label minimising its unary cost plus the pairwise cost toward
+// already-fixed lower neighbours plus the incoming messages from
+// higher-indexed neighbours.
+func (s *state) decode() []int {
+	labels := make([]int, s.n)
+	cost := make([]float64, 0, 64)
+	for node := 0; node < s.n; node++ {
+		k := s.counts[node]
+		cost = cost[:0]
+		cost = append(cost, s.g.UnaryRow(node)...)
+		for _, he := range s.incident[node] {
+			if he.other < node {
+				edge := s.g.Edge(he.edge)
+				fixed := labels[he.other]
+				for x := 0; x < k; x++ {
+					if he.isU {
+						cost[x] += edge.Cost[x][fixed]
+					} else {
+						cost[x] += edge.Cost[fixed][x]
+					}
+				}
+			} else {
+				in := s.inMessage(he)
+				for x := 0; x < k; x++ {
+					cost[x] += in[x]
+				}
+			}
+		}
+		best, bestV := 0, math.Inf(1)
+		for x := 0; x < k; x++ {
+			if cost[x] < bestV {
+				best, bestV = x, cost[x]
+			}
+		}
+		labels[node] = best
+	}
+	return labels
+}
+
+func (s *state) solution(labels []int, energy float64, history []float64, iters int, converged bool) mrf.Solution {
+	return mrf.Solution{
+		Labels:        append([]int(nil), labels...),
+		Energy:        energy,
+		LowerBound:    s.g.TrivialLowerBound(),
+		Iterations:    iters,
+		Converged:     converged,
+		EnergyHistory: append([]float64(nil), history...),
+	}
+}

@@ -1,0 +1,225 @@
+package vulnsim
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CVE is a single vulnerability record, mirroring the fields of an NVD entry
+// that matter for the similarity metric: the CVE identifier and the list of
+// affected products (the CPE list of Table I in the paper).
+type CVE struct {
+	// ID is the CVE identifier, e.g. "CVE-2016-7153".
+	ID string `json:"id"`
+	// Year is the publication year parsed from the identifier.
+	Year int `json:"year"`
+	// Affected lists the product IDs affected by this vulnerability.
+	Affected []string `json:"affected"`
+	// CVSS is the base score in [0,10].  It is not used by the similarity
+	// metric itself but is kept so that synthetic corpora look like real
+	// NVD data and so that downstream consumers (e.g. attack simulators
+	// weighting exploits) can use it.
+	CVSS float64 `json:"cvss"`
+}
+
+var cveIDPattern = regexp.MustCompile(`^CVE-(\d{4})-(\d{4,})$`)
+
+// ErrBadCVEID is returned when a CVE identifier does not match the
+// CVE-YYYY-NNNN format.
+var ErrBadCVEID = errors.New("vulnsim: malformed CVE identifier")
+
+// ParseCVEID validates a CVE identifier and returns its publication year.
+func ParseCVEID(id string) (year int, err error) {
+	m := cveIDPattern.FindStringSubmatch(id)
+	if m == nil {
+		return 0, fmt.Errorf("%w: %q", ErrBadCVEID, id)
+	}
+	year, err = strconv.Atoi(m[1])
+	if err != nil {
+		return 0, fmt.Errorf("%w: %q", ErrBadCVEID, id)
+	}
+	return year, nil
+}
+
+// NewCVE constructs a CVE record, validating the identifier and copying the
+// affected-product list.
+func NewCVE(id string, cvss float64, affected ...string) (CVE, error) {
+	year, err := ParseCVEID(id)
+	if err != nil {
+		return CVE{}, err
+	}
+	if cvss < 0 || cvss > 10 {
+		return CVE{}, fmt.Errorf("vulnsim: CVSS score %.2f out of range [0,10]", cvss)
+	}
+	aff := make([]string, len(affected))
+	copy(aff, affected)
+	return CVE{ID: id, Year: year, Affected: aff, CVSS: cvss}, nil
+}
+
+// Database is an in-memory CVE corpus: the offline stand-in for NVD.  It
+// indexes vulnerabilities by affected product so that per-product
+// vulnerability sets (Vx in Definition 1) can be extracted efficiently.
+type Database struct {
+	cves      []CVE
+	byID      map[string]int
+	byProduct map[string][]int
+}
+
+// NewDatabase creates an empty CVE database.
+func NewDatabase() *Database {
+	return &Database{
+		byID:      make(map[string]int),
+		byProduct: make(map[string][]int),
+	}
+}
+
+// Add inserts a CVE record.  Re-adding an existing identifier returns an
+// error; NVD identifiers are unique.
+func (db *Database) Add(c CVE) error {
+	if _, err := ParseCVEID(c.ID); err != nil {
+		return err
+	}
+	if _, ok := db.byID[c.ID]; ok {
+		return fmt.Errorf("vulnsim: duplicate CVE %q", c.ID)
+	}
+	idx := len(db.cves)
+	db.cves = append(db.cves, c)
+	db.byID[c.ID] = idx
+	for _, prod := range c.Affected {
+		db.byProduct[prod] = append(db.byProduct[prod], idx)
+	}
+	return nil
+}
+
+// AddAll inserts every CVE, stopping at the first error.
+func (db *Database) AddAll(cves []CVE) error {
+	for _, c := range cves {
+		if err := db.Add(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of CVE records in the database.
+func (db *Database) Len() int { return len(db.cves) }
+
+// Get returns the CVE with the given identifier.
+func (db *Database) Get(id string) (CVE, bool) {
+	idx, ok := db.byID[id]
+	if !ok {
+		return CVE{}, false
+	}
+	return db.cves[idx], true
+}
+
+// All returns a copy of every CVE record in insertion order.
+func (db *Database) All() []CVE {
+	out := make([]CVE, len(db.cves))
+	copy(out, db.cves)
+	return out
+}
+
+// VulnFilter restricts which vulnerabilities count toward a product's
+// vulnerability set.  The paper uses the 1999-2016 window for Tables II/III.
+type VulnFilter struct {
+	// FromYear is the first publication year included (inclusive).
+	// Zero means no lower bound.
+	FromYear int
+	// ToYear is the last publication year included (inclusive).
+	// Zero means no upper bound.
+	ToYear int
+	// MinCVSS excludes vulnerabilities with a lower base score.
+	MinCVSS float64
+}
+
+func (f VulnFilter) match(c CVE) bool {
+	if f.FromYear != 0 && c.Year < f.FromYear {
+		return false
+	}
+	if f.ToYear != 0 && c.Year > f.ToYear {
+		return false
+	}
+	if c.CVSS < f.MinCVSS {
+		return false
+	}
+	return true
+}
+
+// VulnSet returns the set of CVE identifiers affecting the given product,
+// after applying the filter.  This is Vx of Definition 1.
+func (db *Database) VulnSet(productID string, filter VulnFilter) map[string]struct{} {
+	out := make(map[string]struct{})
+	for _, idx := range db.byProduct[productID] {
+		c := db.cves[idx]
+		if filter.match(c) {
+			out[c.ID] = struct{}{}
+		}
+	}
+	return out
+}
+
+// VulnCount returns |Vx| for the given product under the filter.
+func (db *Database) VulnCount(productID string, filter VulnFilter) int {
+	n := 0
+	for _, idx := range db.byProduct[productID] {
+		if filter.match(db.cves[idx]) {
+			n++
+		}
+	}
+	return n
+}
+
+// Products returns the sorted list of product IDs that appear in at least one
+// CVE record.
+func (db *Database) Products() []string {
+	out := make([]string, 0, len(db.byProduct))
+	for p := range db.byProduct {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SharedVulns returns the CVE identifiers shared by two products under the
+// filter, i.e. Vx ∩ Vy.  The result is sorted for determinism.
+func (db *Database) SharedVulns(a, b string, filter VulnFilter) []string {
+	va := db.VulnSet(a, filter)
+	vb := db.VulnSet(b, filter)
+	if len(vb) < len(va) {
+		va, vb = vb, va
+	}
+	var shared []string
+	for id := range va {
+		if _, ok := vb[id]; ok {
+			shared = append(shared, id)
+		}
+	}
+	sort.Strings(shared)
+	return shared
+}
+
+// Summary renders a compact NVD-style summary line for a CVE (similar in
+// spirit to Table I of the paper), listing the affected CPEs if the catalog
+// can resolve them and the raw product IDs otherwise.
+func (db *Database) Summary(id string, catalog *Catalog) (string, error) {
+	c, ok := db.Get(id)
+	if !ok {
+		return "", fmt.Errorf("vulnsim: unknown CVE %q", id)
+	}
+	parts := make([]string, 0, len(c.Affected))
+	for _, prod := range c.Affected {
+		if catalog != nil {
+			if p, ok := catalog.Get(prod); ok {
+				parts = append(parts, p.CPE())
+				continue
+			}
+		}
+		parts = append(parts, prod)
+	}
+	return fmt.Sprintf("%s (cvss %.1f): %s", c.ID, c.CVSS, strings.Join(parts, ", ")), nil
+}

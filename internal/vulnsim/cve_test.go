@@ -1,0 +1,163 @@
+package vulnsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCVEID(t *testing.T) {
+	tests := []struct {
+		id       string
+		wantYear int
+		wantErr  bool
+	}{
+		{"CVE-2016-7153", 2016, false},
+		{"CVE-1999-0001", 1999, false},
+		{"CVE-2020-123456", 2020, false},
+		{"cve-2016-7153", 0, true},
+		{"CVE-16-7153", 0, true},
+		{"CVE-2016-1", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		year, err := ParseCVEID(tt.id)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseCVEID(%q) expected error", tt.id)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseCVEID(%q): %v", tt.id, err)
+			continue
+		}
+		if year != tt.wantYear {
+			t.Errorf("ParseCVEID(%q) year = %d, want %d", tt.id, year, tt.wantYear)
+		}
+	}
+}
+
+func TestNewCVEValidation(t *testing.T) {
+	if _, err := NewCVE("CVE-2016-7153", 11, "a"); err == nil {
+		t.Error("CVSS > 10 should be rejected")
+	}
+	if _, err := NewCVE("CVE-2016-7153", -1, "a"); err == nil {
+		t.Error("negative CVSS should be rejected")
+	}
+	if _, err := NewCVE("bogus", 5, "a"); err == nil {
+		t.Error("malformed ID should be rejected")
+	}
+	c, err := NewCVE("CVE-2016-7153", 7.2, "edge", "chrome")
+	if err != nil {
+		t.Fatalf("NewCVE: %v", err)
+	}
+	if c.Year != 2016 || len(c.Affected) != 2 {
+		t.Errorf("NewCVE produced %+v", c)
+	}
+}
+
+func mustCVE(t *testing.T, id string, cvss float64, affected ...string) CVE {
+	t.Helper()
+	c, err := NewCVE(id, cvss, affected...)
+	if err != nil {
+		t.Fatalf("NewCVE(%q): %v", id, err)
+	}
+	return c
+}
+
+func buildTestDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	cves := []CVE{
+		mustCVE(t, "CVE-2010-0001", 9.0, "win7", "winxp"),
+		mustCVE(t, "CVE-2012-0002", 7.0, "win7"),
+		mustCVE(t, "CVE-2014-0003", 5.0, "win7", "win81", "win10"),
+		mustCVE(t, "CVE-2016-0004", 6.5, "chrome50"),
+		mustCVE(t, "CVE-2016-0005", 4.0, "chrome50", "firefox"),
+		mustCVE(t, "CVE-2018-0006", 8.0, "win7", "winxp"),
+	}
+	if err := db.AddAll(cves); err != nil {
+		t.Fatalf("AddAll: %v", err)
+	}
+	return db
+}
+
+func TestDatabaseBasics(t *testing.T) {
+	db := buildTestDB(t)
+	if db.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", db.Len())
+	}
+	if _, ok := db.Get("CVE-2010-0001"); !ok {
+		t.Error("Get should find an inserted CVE")
+	}
+	if _, ok := db.Get("CVE-1999-9999"); ok {
+		t.Error("Get should not find a missing CVE")
+	}
+	if err := db.Add(mustCVE(t, "CVE-2010-0001", 5, "x")); err == nil {
+		t.Error("duplicate CVE should be rejected")
+	}
+	products := db.Products()
+	if len(products) != 6 {
+		t.Errorf("Products = %v, want 6 distinct products", products)
+	}
+}
+
+func TestVulnSetAndFilter(t *testing.T) {
+	db := buildTestDB(t)
+	all := db.VulnSet("win7", VulnFilter{})
+	if len(all) != 4 {
+		t.Fatalf("win7 has %d vulns, want 4", len(all))
+	}
+	windowed := db.VulnSet("win7", VulnFilter{FromYear: 2011, ToYear: 2016})
+	if len(windowed) != 2 {
+		t.Fatalf("win7 2011-2016 has %d vulns, want 2", len(windowed))
+	}
+	severe := db.VulnCount("win7", VulnFilter{MinCVSS: 8})
+	if severe != 2 {
+		t.Fatalf("win7 with CVSS>=8 has %d vulns, want 2", severe)
+	}
+	if n := db.VulnCount("unknown", VulnFilter{}); n != 0 {
+		t.Fatalf("unknown product should have 0 vulns, got %d", n)
+	}
+}
+
+func TestSharedVulns(t *testing.T) {
+	db := buildTestDB(t)
+	shared := db.SharedVulns("win7", "winxp", VulnFilter{})
+	if len(shared) != 2 {
+		t.Fatalf("win7/winxp share %d vulns, want 2", len(shared))
+	}
+	if shared[0] != "CVE-2010-0001" || shared[1] != "CVE-2018-0006" {
+		t.Errorf("shared vulns not sorted or wrong: %v", shared)
+	}
+	if got := db.SharedVulns("win7", "chrome50", VulnFilter{}); len(got) != 0 {
+		t.Errorf("win7/chrome50 should share nothing, got %v", got)
+	}
+	windowed := db.SharedVulns("win7", "winxp", VulnFilter{ToYear: 2016})
+	if len(windowed) != 1 {
+		t.Errorf("win7/winxp up to 2016 should share 1, got %v", windowed)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	db := buildTestDB(t)
+	catalog := PaperCatalog()
+	s, err := db.Summary("CVE-2014-0003", catalog)
+	if err != nil {
+		t.Fatalf("Summary: %v", err)
+	}
+	if !strings.Contains(s, "cpe:/o:microsoft:windows_7") {
+		t.Errorf("summary should contain the CPE of windows 7: %s", s)
+	}
+	if _, err := db.Summary("CVE-0000-0000", catalog); err == nil {
+		t.Error("Summary of unknown CVE should fail")
+	}
+	// Without a catalog the raw product IDs are used.
+	s, err = db.Summary("CVE-2014-0003", nil)
+	if err != nil {
+		t.Fatalf("Summary(nil catalog): %v", err)
+	}
+	if !strings.Contains(s, "win81") {
+		t.Errorf("summary without catalog should list raw IDs: %s", s)
+	}
+}

@@ -1,0 +1,185 @@
+package vulnsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements an offline loader for NVD JSON 1.1 data feeds
+// (nvdcve-1.1-*.json), the format the paper's CVE-SEARCH pipeline ultimately
+// consumes.  Users who have downloaded real feeds can load them directly and
+// compute similarity tables for their own product catalogue; the test suite
+// exercises the loader with a small embedded sample.
+//
+// Only the fields needed for the similarity metric are parsed: the CVE
+// identifier, the CVSS v3 (or v2) base score and the affected CPE URIs from
+// the vulnerable configuration nodes.
+
+// nvdFeed mirrors the subset of the NVD JSON 1.1 feed schema we consume.
+type nvdFeed struct {
+	CVEItems []nvdItem `json:"CVE_Items"`
+}
+
+type nvdItem struct {
+	CVE struct {
+		CVEDataMeta struct {
+			ID string `json:"ID"`
+		} `json:"CVE_data_meta"`
+	} `json:"cve"`
+	Configurations struct {
+		Nodes []nvdNode `json:"nodes"`
+	} `json:"configurations"`
+	Impact struct {
+		BaseMetricV3 struct {
+			CVSSV3 struct {
+				BaseScore float64 `json:"baseScore"`
+			} `json:"cvssV3"`
+		} `json:"baseMetricV3"`
+		BaseMetricV2 struct {
+			CVSSV2 struct {
+				BaseScore float64 `json:"baseScore"`
+			} `json:"cvssV2"`
+		} `json:"baseMetricV2"`
+	} `json:"impact"`
+}
+
+type nvdNode struct {
+	Operator string     `json:"operator"`
+	Children []nvdNode  `json:"children"`
+	CPEMatch []cpeMatch `json:"cpe_match"`
+}
+
+type cpeMatch struct {
+	Vulnerable bool   `json:"vulnerable"`
+	CPE23URI   string `json:"cpe23Uri"`
+	CPE22URI   string `json:"cpe22Uri"`
+}
+
+// ProductMapper converts a CPE URI from an NVD feed into the library's
+// product identifier.  Returning "" skips the CPE (product not of interest).
+type ProductMapper func(cpeURI string) string
+
+// DefaultProductMapper maps a CPE URI to "<product>" or "<product>_<version>"
+// (mirroring ParseCPE's ID derivation) and keeps every product.  Supply a
+// custom mapper to restrict loading to a known catalogue.
+func DefaultProductMapper(uri string) string {
+	p, err := ParseCPEAny(uri)
+	if err != nil {
+		return ""
+	}
+	return p.ID
+}
+
+// CatalogProductMapper keeps only CPEs whose vendor and product name match an
+// entry of the catalogue, mapping them to the catalogue's product ID.
+// Versions are intentionally ignored so that "windows_7" CPEs with service
+// pack suffixes still map to the catalogue's Windows 7 product.
+func CatalogProductMapper(catalog *Catalog) ProductMapper {
+	type key struct{ vendor, name string }
+	index := make(map[key]string)
+	for _, p := range catalog.Products() {
+		index[key{p.Vendor, p.Name}] = p.ID
+	}
+	return func(uri string) string {
+		p, err := ParseCPEAny(uri)
+		if err != nil {
+			return ""
+		}
+		return index[key{p.Vendor, p.Name}]
+	}
+}
+
+// ParseCPEAny parses either a CPE 2.2 URI (cpe:/a:vendor:product:version) or
+// a CPE 2.3 formatted string (cpe:2.3:a:vendor:product:version:...).
+func ParseCPEAny(uri string) (Product, error) {
+	if strings.HasPrefix(uri, "cpe:2.3:") {
+		fields := strings.Split(uri, ":")
+		if len(fields) < 6 {
+			return Product{}, fmt.Errorf("%w: %q", ErrBadCPE, uri)
+		}
+		part, vendor, name, version := fields[2], fields[3], fields[4], fields[5]
+		if vendor == "" || name == "" || vendor == "*" || name == "*" {
+			return Product{}, fmt.Errorf("%w: %q has wildcard vendor or product", ErrBadCPE, uri)
+		}
+		kind := ServiceGeneric
+		if part == "o" {
+			kind = ServiceOS
+		}
+		id := name
+		if version != "" && version != "*" && version != "-" {
+			id = name + "_" + version
+		}
+		return Product{ID: id, Vendor: vendor, Name: name, Version: version, Kind: kind}, nil
+	}
+	return ParseCPE(uri)
+}
+
+// LoadNVDJSON parses an NVD JSON 1.1 feed and adds every CVE that affects at
+// least one mapped product to the database.  A nil mapper uses
+// DefaultProductMapper.  It returns the number of CVE records added.
+func LoadNVDJSON(db *Database, r io.Reader, mapper ProductMapper) (int, error) {
+	if db == nil {
+		return 0, errors.New("vulnsim: nil database")
+	}
+	if mapper == nil {
+		mapper = DefaultProductMapper
+	}
+	var feed nvdFeed
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&feed); err != nil {
+		return 0, fmt.Errorf("vulnsim: decode NVD feed: %w", err)
+	}
+	added := 0
+	for _, item := range feed.CVEItems {
+		id := item.CVE.CVEDataMeta.ID
+		if id == "" {
+			continue
+		}
+		affected := make(map[string]struct{})
+		var walk func(nodes []nvdNode)
+		walk = func(nodes []nvdNode) {
+			for _, n := range nodes {
+				for _, m := range n.CPEMatch {
+					if !m.Vulnerable {
+						continue
+					}
+					uri := m.CPE23URI
+					if uri == "" {
+						uri = m.CPE22URI
+					}
+					if prod := mapper(uri); prod != "" {
+						affected[prod] = struct{}{}
+					}
+				}
+				walk(n.Children)
+			}
+		}
+		walk(item.Configurations.Nodes)
+		if len(affected) == 0 {
+			continue
+		}
+		cvss := item.Impact.BaseMetricV3.CVSSV3.BaseScore
+		if cvss == 0 {
+			cvss = item.Impact.BaseMetricV2.CVSSV2.BaseScore
+		}
+		products := make([]string, 0, len(affected))
+		for p := range affected {
+			products = append(products, p)
+		}
+		c, err := NewCVE(id, cvss, products...)
+		if err != nil {
+			// Skip malformed identifiers rather than aborting a whole feed.
+			continue
+		}
+		if err := db.Add(c); err != nil {
+			// Duplicate identifiers across feed files are common; keep the
+			// first occurrence.
+			continue
+		}
+		added++
+	}
+	return added, nil
+}

@@ -1,0 +1,150 @@
+package vulnsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleFeed is a minimal NVD JSON 1.1 feed with three CVE items: one
+// affecting two Windows releases (CPE 2.3), one affecting a browser
+// (CPE 2.2 fallback), and one with no vulnerable configuration.
+const sampleFeed = `{
+  "CVE_Items": [
+    {
+      "cve": {"CVE_data_meta": {"ID": "CVE-2016-7153"}},
+      "configurations": {"nodes": [
+        {"operator": "OR", "cpe_match": [
+          {"vulnerable": true, "cpe23Uri": "cpe:2.3:o:microsoft:windows_7:-:*:*:*:*:*:*:*"},
+          {"vulnerable": true, "cpe23Uri": "cpe:2.3:o:microsoft:windows_10:-:*:*:*:*:*:*:*"},
+          {"vulnerable": false, "cpe23Uri": "cpe:2.3:o:microsoft:windows_8.1:-:*:*:*:*:*:*:*"}
+        ]}
+      ]},
+      "impact": {"baseMetricV3": {"cvssV3": {"baseScore": 8.1}}}
+    },
+    {
+      "cve": {"CVE_data_meta": {"ID": "CVE-2015-1234"}},
+      "configurations": {"nodes": [
+        {"operator": "AND", "children": [
+          {"operator": "OR", "cpe_match": [
+            {"vulnerable": true, "cpe22Uri": "cpe:/a:google:chrome:50"}
+          ]}
+        ]}
+      ]},
+      "impact": {"baseMetricV2": {"cvssV2": {"baseScore": 4.3}}}
+    },
+    {
+      "cve": {"CVE_data_meta": {"ID": "CVE-2014-9999"}},
+      "configurations": {"nodes": []},
+      "impact": {}
+    }
+  ]
+}`
+
+func TestLoadNVDJSONDefaultMapper(t *testing.T) {
+	db := NewDatabase()
+	added, err := LoadNVDJSON(db, strings.NewReader(sampleFeed), nil)
+	if err != nil {
+		t.Fatalf("LoadNVDJSON: %v", err)
+	}
+	if added != 2 {
+		t.Fatalf("added = %d, want 2 (the item without configurations is skipped)", added)
+	}
+	c, ok := db.Get("CVE-2016-7153")
+	if !ok {
+		t.Fatal("CVE-2016-7153 missing")
+	}
+	if len(c.Affected) != 2 {
+		t.Errorf("affected = %v, want the two vulnerable Windows releases", c.Affected)
+	}
+	if c.CVSS != 8.1 {
+		t.Errorf("CVSS = %v, want 8.1 (v3 preferred)", c.CVSS)
+	}
+	browser, ok := db.Get("CVE-2015-1234")
+	if !ok {
+		t.Fatal("CVE-2015-1234 missing")
+	}
+	if browser.CVSS != 4.3 {
+		t.Errorf("CVSS = %v, want the v2 fallback 4.3", browser.CVSS)
+	}
+	if len(browser.Affected) != 1 || browser.Affected[0] != "chrome_50" {
+		t.Errorf("affected = %v, want [chrome_50]", browser.Affected)
+	}
+}
+
+func TestLoadNVDJSONCatalogMapper(t *testing.T) {
+	db := NewDatabase()
+	mapper := CatalogProductMapper(PaperCatalog())
+	added, err := LoadNVDJSON(db, strings.NewReader(sampleFeed), mapper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 {
+		t.Fatalf("added = %d, want 2", added)
+	}
+	c, _ := db.Get("CVE-2016-7153")
+	// The catalogue mapper maps CPEs to the paper's product IDs.
+	want := map[string]bool{ProdWin7: true, ProdWin10: true}
+	for _, p := range c.Affected {
+		if !want[p] {
+			t.Errorf("unexpected mapped product %q", p)
+		}
+	}
+	table := BuildSimilarityTable(db, []string{ProdWin7, ProdWin10, ProdChrome}, VulnFilter{})
+	if table.Sim(ProdWin7, ProdWin10) != 1 {
+		t.Errorf("win7/win10 should share their single vulnerability: %v", table.Sim(ProdWin7, ProdWin10))
+	}
+	if table.Sim(ProdWin7, ProdChrome) != 0 {
+		t.Error("win7/chrome should share nothing")
+	}
+}
+
+func TestLoadNVDJSONErrors(t *testing.T) {
+	if _, err := LoadNVDJSON(nil, strings.NewReader(sampleFeed), nil); err == nil {
+		t.Error("nil database should be rejected")
+	}
+	db := NewDatabase()
+	if _, err := LoadNVDJSON(db, strings.NewReader("{broken"), nil); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+	// Duplicate CVEs across feeds keep the first occurrence without error.
+	if _, err := LoadNVDJSON(db, strings.NewReader(sampleFeed), nil); err != nil {
+		t.Fatal(err)
+	}
+	added, err := LoadNVDJSON(db, strings.NewReader(sampleFeed), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Errorf("re-loading the same feed should add 0 records, got %d", added)
+	}
+}
+
+func TestParseCPEAny(t *testing.T) {
+	p, err := ParseCPEAny("cpe:2.3:a:mozilla:firefox:52.0:*:*:*:*:*:*:*")
+	if err != nil {
+		t.Fatalf("ParseCPEAny: %v", err)
+	}
+	if p.ID != "firefox_52.0" || p.Vendor != "mozilla" || p.Kind != ServiceGeneric {
+		t.Errorf("parsed %+v", p)
+	}
+	o, err := ParseCPEAny("cpe:2.3:o:canonical:ubuntu_linux:14.04:*:*:*:*:*:*:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != ServiceOS {
+		t.Error("part 'o' should map to ServiceOS")
+	}
+	if _, err := ParseCPEAny("cpe:2.3:a:*:*"); err == nil {
+		t.Error("wildcard vendor/product should be rejected")
+	}
+	if _, err := ParseCPEAny("cpe:2.3:a"); err == nil {
+		t.Error("truncated CPE 2.3 should be rejected")
+	}
+	legacy, err := ParseCPEAny("cpe:/o:debian:debian_linux:8.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.ID != "debian_linux_8.0" {
+		t.Errorf("legacy CPE parsed to %+v", legacy)
+	}
+}

@@ -1,0 +1,137 @@
+package vulnsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperOSTableEntries(t *testing.T) {
+	table := PaperOSTable()
+	if err := table.Validate(); err != nil {
+		t.Fatalf("Table II should validate: %v", err)
+	}
+	tests := []struct {
+		a, b   string
+		sim    float64
+		shared int
+	}{
+		{ProdWin7, ProdWinXP, 0.278, 328},
+		{ProdWin81, ProdWin7, 0.228, 298},
+		{ProdWin10, ProdWin81, 0.697, 421},
+		{ProdWin10, ProdWinXP, 0, 0},
+		{ProdDebian, ProdUbuntu, 0.208, 195},
+		{ProdMacOS, ProdWin7, 0.081, 109},
+		{ProdFedora, ProdSuse, 0.116, 89},
+		{ProdUbuntu, ProdWinXP, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := table.Sim(tt.a, tt.b); math.Abs(got-tt.sim) > 1e-9 {
+			t.Errorf("Sim(%s,%s) = %v, want %v", tt.a, tt.b, got, tt.sim)
+		}
+		e, _ := table.Entry(tt.a, tt.b)
+		if e.Shared != tt.shared {
+			t.Errorf("Shared(%s,%s) = %d, want %d", tt.a, tt.b, e.Shared, tt.shared)
+		}
+	}
+	if got := table.Total(ProdWin7); got != 1028 {
+		t.Errorf("Total(win7) = %d, want 1028", got)
+	}
+	if got := table.Total(ProdFedora); got != 367 {
+		t.Errorf("Total(fedora) = %d, want 367", got)
+	}
+}
+
+func TestPaperBrowserTableEntries(t *testing.T) {
+	table := PaperBrowserTable()
+	if err := table.Validate(); err != nil {
+		t.Fatalf("Table III should validate: %v", err)
+	}
+	tests := []struct {
+		a, b string
+		sim  float64
+	}{
+		{ProdIE10, ProdIE8, 0.386},
+		{ProdEdge, ProdIE10, 0.121},
+		{ProdSeaMonkey, ProdFirefox, 0.450},
+		{ProdChrome, ProdIE8, 0},
+		{ProdSafari, ProdChrome, 0.009},
+	}
+	for _, tt := range tests {
+		if got := table.Sim(tt.a, tt.b); math.Abs(got-tt.sim) > 1e-9 {
+			t.Errorf("Sim(%s,%s) = %v, want %v", tt.a, tt.b, got, tt.sim)
+		}
+	}
+	if got := table.Total(ProdChrome); got != 1661 {
+		t.Errorf("Total(chrome) = %d, want 1661", got)
+	}
+}
+
+func TestPaperDatabaseTable(t *testing.T) {
+	table := PaperDatabaseTable()
+	if err := table.Validate(); err != nil {
+		t.Fatalf("database table should validate: %v", err)
+	}
+	if got := table.Sim(ProdMySQL55, ProdMariaDB10); got <= table.Sim(ProdMySQL55, ProdMSSQL08) {
+		t.Error("MySQL/MariaDB should be more similar than MySQL/MSSQL")
+	}
+	if got := table.Sim(ProdMSSQL08, ProdMSSQL14); got == 0 {
+		t.Error("the two SQL Server releases should share vulnerabilities")
+	}
+}
+
+// TestPaperTablesConsistentWithJaccard checks that every published similarity
+// value is consistent (up to the paper's 3-decimal rounding) with the Jaccard
+// coefficient of the published shared counts and totals:
+// sim ≈ shared / (|Va| + |Vb| - shared).
+func TestPaperTablesConsistentWithJaccard(t *testing.T) {
+	for name, table := range map[string]*SimilarityTable{
+		"os":      PaperOSTable(),
+		"browser": PaperBrowserTable(),
+	} {
+		products := table.Products()
+		for i := 0; i < len(products); i++ {
+			for j := 0; j < i; j++ {
+				a, b := products[i], products[j]
+				e, ok := table.Entry(a, b)
+				if !ok || e.Shared == 0 {
+					continue
+				}
+				union := table.Total(a) + table.Total(b) - e.Shared
+				implied := float64(e.Shared) / float64(union)
+				// Tolerance of 0.01 covers the paper's 3-decimal rounding and
+				// the small residual inconsistencies of the published counts
+				// (e.g. Edge/IE10).
+				if math.Abs(implied-e.Similarity) > 0.01 {
+					t.Errorf("%s table %s/%s: published sim %.3f inconsistent with counts (implies %.3f)",
+						name, a, b, e.Similarity, implied)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperCatalog(t *testing.T) {
+	c := PaperCatalog()
+	if c.Len() != 21 {
+		t.Fatalf("paper catalog has %d products, want 21", c.Len())
+	}
+	if got := len(c.ByKind(ServiceOS)); got != 9 {
+		t.Errorf("catalog has %d OS products, want 9", got)
+	}
+	if got := len(c.ByKind(ServiceWebBrowser)); got != 8 {
+		t.Errorf("catalog has %d browser products, want 8", got)
+	}
+	if got := len(c.ByKind(ServiceDatabase)); got != 4 {
+		t.Errorf("catalog has %d database products, want 4", got)
+	}
+}
+
+func TestPaperSimilarityMergesAllCategories(t *testing.T) {
+	m := PaperSimilarity()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged paper table should validate: %v", err)
+	}
+	if !m.Has(ProdWin7) || !m.Has(ProdChrome) || !m.Has(ProdMariaDB10) {
+		t.Error("merged table should cover OS, browser and database products")
+	}
+}

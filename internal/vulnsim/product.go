@@ -1,0 +1,210 @@
+// Package vulnsim models software products, their vulnerability sets and the
+// pairwise vulnerability-similarity metric of Section III of the paper.
+//
+// The central object is the SimilarityTable: for every pair of products that
+// can provide the same service it stores the Jaccard similarity of their
+// vulnerability sets, sim(x, y) = |Vx ∩ Vy| / |Vx ∪ Vy|.  The table can be
+// built from a CVE corpus (see BuildSimilarityTable) or loaded from the
+// numbers published in the paper (see PaperOSTable, PaperBrowserTable and
+// PaperDatabaseTable).
+package vulnsim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ServiceKind identifies the class of service a product provides.  The case
+// study in the paper uses three services per host: an operating system, a web
+// browser and a database server.
+type ServiceKind int
+
+const (
+	// ServiceOS is the operating-system service (s1 in Table IV).
+	ServiceOS ServiceKind = iota + 1
+	// ServiceWebBrowser is the web-browser service (s2 in Table IV).
+	ServiceWebBrowser
+	// ServiceDatabase is the database-server service (s3 in Table IV).
+	ServiceDatabase
+	// ServiceGeneric is used for synthetic workloads where the service has
+	// no real-world identity (scalability experiments, Tables VII-IX).
+	ServiceGeneric
+)
+
+// String returns a short human-readable name of the service kind.
+func (k ServiceKind) String() string {
+	switch k {
+	case ServiceOS:
+		return "os"
+	case ServiceWebBrowser:
+		return "web_browser"
+	case ServiceDatabase:
+		return "database"
+	case ServiceGeneric:
+		return "generic"
+	default:
+		return fmt.Sprintf("service(%d)", int(k))
+	}
+}
+
+// Product identifies a single off-the-shelf product (a specific release of a
+// specific package by a specific vendor).  The paper treats every release as
+// a distinct product, identified by its CPE entry; we keep the same
+// granularity.
+type Product struct {
+	// ID is the stable short identifier used throughout the library
+	// (e.g. "win7", "ie10", "mssql14").
+	ID string
+	// Vendor is the product vendor, e.g. "microsoft".
+	Vendor string
+	// Name is the product name, e.g. "windows_7".
+	Name string
+	// Version is the release, e.g. "7", "10.5", "14".
+	Version string
+	// Kind is the service class the product can provide.
+	Kind ServiceKind
+}
+
+// CPE returns a CPE 2.2-style URI for the product, mirroring the naming used
+// by NVD entries (cpe:/o:vendor:name:version for operating systems,
+// cpe:/a:... for applications).
+func (p Product) CPE() string {
+	part := "a"
+	if p.Kind == ServiceOS {
+		part = "o"
+	}
+	if p.Version == "" {
+		return fmt.Sprintf("cpe:/%s:%s:%s", part, p.Vendor, p.Name)
+	}
+	return fmt.Sprintf("cpe:/%s:%s:%s:%s", part, p.Vendor, p.Name, p.Version)
+}
+
+// String implements fmt.Stringer.
+func (p Product) String() string { return p.ID }
+
+// ErrBadCPE is returned by ParseCPE when the URI cannot be parsed.
+var ErrBadCPE = errors.New("vulnsim: malformed CPE URI")
+
+// ParseCPE parses a CPE 2.2 URI of the form cpe:/<part>:<vendor>:<name>[:<version>]
+// into a Product.  The product ID is derived from the vendor, name and
+// version.  The part "o" maps to ServiceOS; everything else maps to
+// ServiceGeneric because the CPE alone does not reveal whether the product is
+// a browser, a database or something else.
+func ParseCPE(uri string) (Product, error) {
+	const prefix = "cpe:/"
+	if !strings.HasPrefix(uri, prefix) {
+		return Product{}, fmt.Errorf("%w: %q", ErrBadCPE, uri)
+	}
+	fields := strings.Split(strings.TrimPrefix(uri, prefix), ":")
+	if len(fields) < 3 {
+		return Product{}, fmt.Errorf("%w: %q needs part, vendor and product", ErrBadCPE, uri)
+	}
+	part := fields[0]
+	vendor := fields[1]
+	name := fields[2]
+	version := ""
+	if len(fields) > 3 {
+		version = fields[3]
+	}
+	if vendor == "" || name == "" {
+		return Product{}, fmt.Errorf("%w: %q has empty vendor or product", ErrBadCPE, uri)
+	}
+	kind := ServiceGeneric
+	if part == "o" {
+		kind = ServiceOS
+	}
+	id := name
+	if version != "" && version != "-" {
+		id = name + "_" + version
+	}
+	return Product{
+		ID:      id,
+		Vendor:  vendor,
+		Name:    name,
+		Version: version,
+		Kind:    kind,
+	}, nil
+}
+
+// Catalog is a set of products indexed by ID.  It is the universe P of
+// Definition 2 in the paper.
+type Catalog struct {
+	products map[string]Product
+	order    []string
+}
+
+// NewCatalog builds a catalog from the given products.  Adding two products
+// with the same ID returns an error so that the similarity tables stay
+// unambiguous.
+func NewCatalog(products ...Product) (*Catalog, error) {
+	c := &Catalog{products: make(map[string]Product, len(products))}
+	for _, p := range products {
+		if err := c.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// MustCatalog is like NewCatalog but panics on duplicate IDs.  It is intended
+// for package-level literals describing static catalogues (e.g. the paper's
+// Table IV products) where a duplicate is a programming error.
+func MustCatalog(products ...Product) *Catalog {
+	c, err := NewCatalog(products...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Add inserts a product into the catalog.
+func (c *Catalog) Add(p Product) error {
+	if p.ID == "" {
+		return errors.New("vulnsim: product ID must not be empty")
+	}
+	if _, ok := c.products[p.ID]; ok {
+		return fmt.Errorf("vulnsim: duplicate product %q", p.ID)
+	}
+	c.products[p.ID] = p
+	c.order = append(c.order, p.ID)
+	return nil
+}
+
+// Get returns the product with the given ID.
+func (c *Catalog) Get(id string) (Product, bool) {
+	p, ok := c.products[id]
+	return p, ok
+}
+
+// Len returns the number of products in the catalog.
+func (c *Catalog) Len() int { return len(c.order) }
+
+// IDs returns all product IDs in insertion order.  The returned slice is a
+// copy and can be modified by the caller.
+func (c *Catalog) IDs() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// ByKind returns the IDs of all products of the given service kind, in
+// insertion order.
+func (c *Catalog) ByKind(kind ServiceKind) []string {
+	var out []string
+	for _, id := range c.order {
+		if c.products[id].Kind == kind {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Products returns a copy of all products in insertion order.
+func (c *Catalog) Products() []Product {
+	out := make([]Product, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.products[id])
+	}
+	return out
+}

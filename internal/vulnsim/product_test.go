@@ -1,0 +1,159 @@
+package vulnsim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseCPE(t *testing.T) {
+	tests := []struct {
+		name    string
+		uri     string
+		want    Product
+		wantErr bool
+	}{
+		{
+			name: "os with version",
+			uri:  "cpe:/o:microsoft:windows_7:sp1",
+			want: Product{ID: "windows_7_sp1", Vendor: "microsoft", Name: "windows_7", Version: "sp1", Kind: ServiceOS},
+		},
+		{
+			name: "application without version",
+			uri:  "cpe:/a:mozilla:firefox",
+			want: Product{ID: "firefox", Vendor: "mozilla", Name: "firefox", Kind: ServiceGeneric},
+		},
+		{
+			name: "application with dash version",
+			uri:  "cpe:/a:microsoft:edge:-",
+			want: Product{ID: "edge", Vendor: "microsoft", Name: "edge", Version: "-", Kind: ServiceGeneric},
+		},
+		{name: "missing prefix", uri: "cpe:o:microsoft:windows", wantErr: true},
+		{name: "too few fields", uri: "cpe:/o:microsoft", wantErr: true},
+		{name: "empty vendor", uri: "cpe:/a::chrome", wantErr: true},
+		{name: "empty", uri: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ParseCPE(tt.uri)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("ParseCPE(%q) expected error, got %+v", tt.uri, got)
+				}
+				if !errors.Is(err, ErrBadCPE) {
+					t.Fatalf("ParseCPE(%q) error %v is not ErrBadCPE", tt.uri, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseCPE(%q) unexpected error: %v", tt.uri, err)
+			}
+			if got != tt.want {
+				t.Fatalf("ParseCPE(%q) = %+v, want %+v", tt.uri, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestProductCPERoundTrip(t *testing.T) {
+	for _, p := range append(PaperOSProducts(), PaperBrowserProducts()...) {
+		uri := p.CPE()
+		parsed, err := ParseCPE(uri)
+		if err != nil {
+			t.Fatalf("ParseCPE(%q): %v", uri, err)
+		}
+		if parsed.Vendor != p.Vendor || parsed.Name != p.Name {
+			t.Errorf("round trip of %q lost vendor/name: got %+v", uri, parsed)
+		}
+	}
+}
+
+func TestProductCPEPart(t *testing.T) {
+	osProd := Product{ID: "x", Vendor: "v", Name: "n", Kind: ServiceOS}
+	if !strings.HasPrefix(osProd.CPE(), "cpe:/o:") {
+		t.Errorf("OS product CPE should use part 'o': %s", osProd.CPE())
+	}
+	app := Product{ID: "x", Vendor: "v", Name: "n", Kind: ServiceWebBrowser}
+	if !strings.HasPrefix(app.CPE(), "cpe:/a:") {
+		t.Errorf("application product CPE should use part 'a': %s", app.CPE())
+	}
+}
+
+func TestServiceKindString(t *testing.T) {
+	tests := []struct {
+		kind ServiceKind
+		want string
+	}{
+		{ServiceOS, "os"},
+		{ServiceWebBrowser, "web_browser"},
+		{ServiceDatabase, "database"},
+		{ServiceGeneric, "generic"},
+		{ServiceKind(99), "service(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("ServiceKind(%d).String() = %q, want %q", tt.kind, got, tt.want)
+		}
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c, err := NewCatalog(PaperOSProducts()...)
+	if err != nil {
+		t.Fatalf("NewCatalog: %v", err)
+	}
+	if c.Len() != 9 {
+		t.Fatalf("catalog has %d products, want 9", c.Len())
+	}
+	if _, ok := c.Get(ProdWin7); !ok {
+		t.Errorf("catalog should contain %q", ProdWin7)
+	}
+	if _, ok := c.Get("nonexistent"); ok {
+		t.Errorf("catalog should not contain nonexistent product")
+	}
+	if got := len(c.ByKind(ServiceOS)); got != 9 {
+		t.Errorf("ByKind(ServiceOS) = %d products, want 9", got)
+	}
+	if got := len(c.ByKind(ServiceDatabase)); got != 0 {
+		t.Errorf("ByKind(ServiceDatabase) = %d products, want 0", got)
+	}
+	ids := c.IDs()
+	if len(ids) != 9 || ids[0] != ProdWinXP {
+		t.Errorf("IDs() = %v, want insertion order starting with %q", ids, ProdWinXP)
+	}
+}
+
+func TestCatalogDuplicate(t *testing.T) {
+	_, err := NewCatalog(
+		Product{ID: "a", Vendor: "v", Name: "a"},
+		Product{ID: "a", Vendor: "v", Name: "a"},
+	)
+	if err == nil {
+		t.Fatal("NewCatalog with duplicate IDs should fail")
+	}
+}
+
+func TestCatalogEmptyID(t *testing.T) {
+	c, _ := NewCatalog()
+	if err := c.Add(Product{}); err == nil {
+		t.Fatal("Add with empty ID should fail")
+	}
+}
+
+func TestCatalogProductsIsCopy(t *testing.T) {
+	c := MustCatalog(PaperDatabaseProducts()...)
+	ps := c.Products()
+	ps[0].ID = "mutated"
+	if p, _ := c.Get(ProdMSSQL08); p.ID == "mutated" {
+		t.Error("Products() must return a copy")
+	}
+}
+
+func TestMustCatalogPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCatalog with duplicates should panic")
+		}
+	}()
+	MustCatalog(Product{ID: "a", Vendor: "v", Name: "a"}, Product{ID: "a", Vendor: "v", Name: "a"})
+}

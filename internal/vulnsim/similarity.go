@@ -1,0 +1,366 @@
+package vulnsim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Jaccard computes the Jaccard similarity coefficient of two sets represented
+// as maps: |A ∩ B| / |A ∪ B|.  Two empty sets have similarity 0 by
+// convention (the paper never compares two products with no recorded
+// vulnerabilities; defining 0 keeps the metric well-behaved).
+func Jaccard(a, b map[string]struct{}) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	inter := 0
+	for k := range small {
+		if _, ok := large[k]; ok {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Entry is one cell of a similarity table: the similarity value and the
+// number of shared vulnerabilities (the bracketed number in Tables II/III).
+type Entry struct {
+	Similarity float64 `json:"similarity"`
+	Shared     int     `json:"shared"`
+}
+
+// SimilarityTable stores symmetric pairwise vulnerability similarities for a
+// set of products together with each product's total vulnerability count
+// (the diagonal of Tables II/III).
+type SimilarityTable struct {
+	products []string
+	index    map[string]int
+	entries  map[[2]int]Entry
+	totals   map[string]int
+	// defaultSim is returned for pairs that are not present in the table.
+	// The paper assumes unlisted pairs share no vulnerabilities (0).
+	defaultSim float64
+}
+
+// NewSimilarityTable creates an empty table over the given products.
+func NewSimilarityTable(products []string) *SimilarityTable {
+	t := &SimilarityTable{
+		index:   make(map[string]int, len(products)),
+		entries: make(map[[2]int]Entry),
+		totals:  make(map[string]int, len(products)),
+	}
+	for _, p := range products {
+		if _, ok := t.index[p]; ok {
+			continue
+		}
+		t.index[p] = len(t.products)
+		t.products = append(t.products, p)
+	}
+	return t
+}
+
+// Products returns the product IDs covered by the table, in insertion order.
+func (t *SimilarityTable) Products() []string {
+	out := make([]string, len(t.products))
+	copy(out, t.products)
+	return out
+}
+
+// Has reports whether the table knows the product.
+func (t *SimilarityTable) Has(product string) bool {
+	_, ok := t.index[product]
+	return ok
+}
+
+// SetTotal records the total number of vulnerabilities of a product (the
+// diagonal entry of the paper's tables).
+func (t *SimilarityTable) SetTotal(product string, total int) error {
+	if _, ok := t.index[product]; !ok {
+		return fmt.Errorf("vulnsim: unknown product %q", product)
+	}
+	t.totals[product] = total
+	return nil
+}
+
+// Total returns the total vulnerability count of the product (0 if unknown).
+func (t *SimilarityTable) Total(product string) int { return t.totals[product] }
+
+// Set records the similarity between two distinct products.  The table is
+// symmetric: Set(a,b,...) and Set(b,a,...) are equivalent.
+func (t *SimilarityTable) Set(a, b string, sim float64, shared int) error {
+	if a == b {
+		return fmt.Errorf("vulnsim: cannot set self-similarity of %q (always 1)", a)
+	}
+	ia, ok := t.index[a]
+	if !ok {
+		return fmt.Errorf("vulnsim: unknown product %q", a)
+	}
+	ib, ok := t.index[b]
+	if !ok {
+		return fmt.Errorf("vulnsim: unknown product %q", b)
+	}
+	if sim < 0 || sim > 1 || math.IsNaN(sim) {
+		return fmt.Errorf("vulnsim: similarity %v out of range [0,1]", sim)
+	}
+	if shared < 0 {
+		return fmt.Errorf("vulnsim: negative shared count %d", shared)
+	}
+	if ib < ia {
+		ia, ib = ib, ia
+	}
+	t.entries[[2]int{ia, ib}] = Entry{Similarity: sim, Shared: shared}
+	return nil
+}
+
+// Sim returns the similarity between two products.  Identical products have
+// similarity 1.  Pairs absent from the table fall back to the default
+// similarity (0 unless changed with SetDefault).
+func (t *SimilarityTable) Sim(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	ia, oka := t.index[a]
+	ib, okb := t.index[b]
+	if !oka || !okb {
+		return t.defaultSim
+	}
+	if ib < ia {
+		ia, ib = ib, ia
+	}
+	if e, ok := t.entries[[2]int{ia, ib}]; ok {
+		return e.Similarity
+	}
+	return t.defaultSim
+}
+
+// Entry returns the full cell (similarity + shared count) for a pair of
+// distinct products and whether it was explicitly present.
+func (t *SimilarityTable) Entry(a, b string) (Entry, bool) {
+	ia, oka := t.index[a]
+	ib, okb := t.index[b]
+	if !oka || !okb || a == b {
+		return Entry{}, false
+	}
+	if ib < ia {
+		ia, ib = ib, ia
+	}
+	e, ok := t.entries[[2]int{ia, ib}]
+	return e, ok
+}
+
+// SetDefault changes the similarity returned for unknown pairs.
+func (t *SimilarityTable) SetDefault(sim float64) error {
+	if sim < 0 || sim > 1 || math.IsNaN(sim) {
+		return fmt.Errorf("vulnsim: default similarity %v out of range [0,1]", sim)
+	}
+	t.defaultSim = sim
+	return nil
+}
+
+// Default returns the similarity used for pairs absent from the table.
+func (t *SimilarityTable) Default() float64 { return t.defaultSim }
+
+// Merge combines several similarity tables (e.g. the OS, browser and database
+// tables) into one.  Products and entries of later tables win on conflict.
+func Merge(tables ...*SimilarityTable) *SimilarityTable {
+	var products []string
+	for _, tab := range tables {
+		products = append(products, tab.products...)
+	}
+	out := NewSimilarityTable(products)
+	for _, tab := range tables {
+		for p, total := range tab.totals {
+			out.totals[p] = total
+		}
+		for key, e := range tab.entries {
+			a := tab.products[key[0]]
+			b := tab.products[key[1]]
+			// Errors are impossible: both products were added above and
+			// entries were validated when first set.
+			_ = out.Set(a, b, e.Similarity, e.Shared)
+		}
+		if tab.defaultSim > out.defaultSim {
+			out.defaultSim = tab.defaultSim
+		}
+	}
+	return out
+}
+
+// BuildSimilarityTable computes a similarity table for the given products
+// from a CVE database using the Jaccard coefficient of Definition 1.
+func BuildSimilarityTable(db *Database, products []string, filter VulnFilter) *SimilarityTable {
+	t := NewSimilarityTable(products)
+	sets := make([]map[string]struct{}, len(t.products))
+	for i, p := range t.products {
+		sets[i] = db.VulnSet(p, filter)
+		t.totals[p] = len(sets[i])
+	}
+	for i := 0; i < len(t.products); i++ {
+		for j := i + 1; j < len(t.products); j++ {
+			inter := 0
+			small, large := sets[i], sets[j]
+			if len(large) < len(small) {
+				small, large = large, small
+			}
+			for k := range small {
+				if _, ok := large[k]; ok {
+					inter++
+				}
+			}
+			sim := Jaccard(sets[i], sets[j])
+			t.entries[[2]int{i, j}] = Entry{Similarity: sim, Shared: inter}
+		}
+	}
+	return t
+}
+
+// Render writes the table in the lower-triangular layout of Tables II/III:
+// each cell shows "sim (shared)" and the diagonal shows "1.00 (total)".
+func (t *SimilarityTable) Render(w io.Writer) error {
+	cols := t.products
+	if _, err := fmt.Fprintf(w, "%-14s", ""); err != nil {
+		return err
+	}
+	for _, c := range cols {
+		if _, err := fmt.Fprintf(w, "%-16s", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i, row := range cols {
+		if _, err := fmt.Fprintf(w, "%-14s", row); err != nil {
+			return err
+		}
+		for j := 0; j <= i; j++ {
+			var cell string
+			if i == j {
+				cell = fmt.Sprintf("1.00 (%d)", t.totals[row])
+			} else {
+				e, _ := t.Entry(row, cols[j])
+				cell = fmt.Sprintf("%.3f (%d)", e.Similarity, e.Shared)
+			}
+			if _, err := fmt.Fprintf(w, "%-16s", cell); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderString is Render into a string; it never fails.
+func (t *SimilarityTable) RenderString() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// tableJSON is the serialised form of a SimilarityTable.
+type tableJSON struct {
+	Products []string           `json:"products"`
+	Totals   map[string]int     `json:"totals"`
+	Entries  []entryJSON        `json:"entries"`
+	Default  float64            `json:"default"`
+	Meta     map[string]string  `json:"meta,omitempty"`
+}
+
+type entryJSON struct {
+	A          string  `json:"a"`
+	B          string  `json:"b"`
+	Similarity float64 `json:"similarity"`
+	Shared     int     `json:"shared"`
+}
+
+// MarshalJSON serialises the table.
+func (t *SimilarityTable) MarshalJSON() ([]byte, error) {
+	out := tableJSON{
+		Products: t.Products(),
+		Totals:   make(map[string]int, len(t.totals)),
+		Default:  t.defaultSim,
+	}
+	for p, v := range t.totals {
+		out.Totals[p] = v
+	}
+	keys := make([][2]int, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		e := t.entries[k]
+		out.Entries = append(out.Entries, entryJSON{
+			A:          t.products[k[0]],
+			B:          t.products[k[1]],
+			Similarity: e.Similarity,
+			Shared:     e.Shared,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON deserialises the table.
+func (t *SimilarityTable) UnmarshalJSON(data []byte) error {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("vulnsim: decode similarity table: %w", err)
+	}
+	nt := NewSimilarityTable(in.Products)
+	if err := nt.SetDefault(in.Default); err != nil {
+		return err
+	}
+	for p, v := range in.Totals {
+		if err := nt.SetTotal(p, v); err != nil {
+			return err
+		}
+	}
+	for _, e := range in.Entries {
+		if err := nt.Set(e.A, e.B, e.Similarity, e.Shared); err != nil {
+			return err
+		}
+	}
+	*t = *nt
+	return nil
+}
+
+// ErrEmptyTable is returned by Validate for a table with no products.
+var ErrEmptyTable = errors.New("vulnsim: similarity table has no products")
+
+// Validate checks internal consistency: values in range, shared counts not
+// exceeding the totals of either product (when totals are known).
+func (t *SimilarityTable) Validate() error {
+	if len(t.products) == 0 {
+		return ErrEmptyTable
+	}
+	for key, e := range t.entries {
+		a, b := t.products[key[0]], t.products[key[1]]
+		if e.Similarity < 0 || e.Similarity > 1 {
+			return fmt.Errorf("vulnsim: similarity of (%s,%s) out of range: %v", a, b, e.Similarity)
+		}
+		if ta, ok := t.totals[a]; ok && e.Shared > ta {
+			return fmt.Errorf("vulnsim: shared count of (%s,%s) exceeds |V_%s|", a, b, a)
+		}
+		if tb, ok := t.totals[b]; ok && e.Shared > tb {
+			return fmt.Errorf("vulnsim: shared count of (%s,%s) exceeds |V_%s|", a, b, b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package vulnsim
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func setOf(ids ...string) map[string]struct{} {
+	s := make(map[string]struct{}, len(ids))
+	for _, id := range ids {
+		s[id] = struct{}{}
+	}
+	return s
+}
+
+func TestJaccard(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b map[string]struct{}
+		want float64
+	}{
+		{"both empty", setOf(), setOf(), 0},
+		{"identical", setOf("a", "b"), setOf("a", "b"), 1},
+		{"disjoint", setOf("a"), setOf("b"), 0},
+		{"half", setOf("a", "b"), setOf("b", "c"), 1.0 / 3.0},
+		{"subset", setOf("a"), setOf("a", "b"), 0.5},
+	}
+	for _, tt := range tests {
+		if got := Jaccard(tt.a, tt.b); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("%s: Jaccard = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+// setFromBytes turns fuzz input into a small string set.
+func setFromBytes(bs []byte) map[string]struct{} {
+	s := make(map[string]struct{})
+	for _, b := range bs {
+		s[string('a'+b%26)] = struct{}{}
+	}
+	return s
+}
+
+func TestJaccardProperties(t *testing.T) {
+	symmetric := func(xs, ys []byte) bool {
+		a, b := setFromBytes(xs), setFromBytes(ys)
+		return Jaccard(a, b) == Jaccard(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("Jaccard not symmetric: %v", err)
+	}
+	inRange := func(xs, ys []byte) bool {
+		v := Jaccard(setFromBytes(xs), setFromBytes(ys))
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(inRange, nil); err != nil {
+		t.Errorf("Jaccard out of [0,1]: %v", err)
+	}
+	selfIdentity := func(xs []byte) bool {
+		a := setFromBytes(xs)
+		if len(a) == 0 {
+			return Jaccard(a, a) == 0
+		}
+		return Jaccard(a, a) == 1
+	}
+	if err := quick.Check(selfIdentity, nil); err != nil {
+		t.Errorf("Jaccard self-similarity violated: %v", err)
+	}
+}
+
+func TestSimilarityTableBasics(t *testing.T) {
+	table := NewSimilarityTable([]string{"a", "b", "c"})
+	if err := table.Set("a", "b", 0.5, 10); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if err := table.SetTotal("a", 20); err != nil {
+		t.Fatalf("SetTotal: %v", err)
+	}
+	if got := table.Sim("a", "b"); got != 0.5 {
+		t.Errorf("Sim(a,b) = %v, want 0.5", got)
+	}
+	if got := table.Sim("b", "a"); got != 0.5 {
+		t.Errorf("Sim(b,a) = %v, want 0.5 (symmetry)", got)
+	}
+	if got := table.Sim("a", "a"); got != 1 {
+		t.Errorf("Sim(a,a) = %v, want 1", got)
+	}
+	if got := table.Sim("a", "c"); got != 0 {
+		t.Errorf("Sim(a,c) = %v, want default 0", got)
+	}
+	if got := table.Sim("a", "zz"); got != 0 {
+		t.Errorf("Sim with unknown product = %v, want default 0", got)
+	}
+	if got := table.Total("a"); got != 20 {
+		t.Errorf("Total(a) = %d, want 20", got)
+	}
+	e, ok := table.Entry("b", "a")
+	if !ok || e.Shared != 10 {
+		t.Errorf("Entry(b,a) = %+v %v, want shared 10", e, ok)
+	}
+	if _, ok := table.Entry("a", "a"); ok {
+		t.Error("Entry of identical products should not exist")
+	}
+}
+
+func TestSimilarityTableErrors(t *testing.T) {
+	table := NewSimilarityTable([]string{"a", "b"})
+	if err := table.Set("a", "a", 0.5, 1); err == nil {
+		t.Error("self similarity should be rejected")
+	}
+	if err := table.Set("a", "x", 0.5, 1); err == nil {
+		t.Error("unknown product should be rejected")
+	}
+	if err := table.Set("a", "b", 1.5, 1); err == nil {
+		t.Error("similarity > 1 should be rejected")
+	}
+	if err := table.Set("a", "b", -0.1, 1); err == nil {
+		t.Error("negative similarity should be rejected")
+	}
+	if err := table.Set("a", "b", math.NaN(), 1); err == nil {
+		t.Error("NaN similarity should be rejected")
+	}
+	if err := table.Set("a", "b", 0.5, -1); err == nil {
+		t.Error("negative shared count should be rejected")
+	}
+	if err := table.SetTotal("x", 5); err == nil {
+		t.Error("SetTotal of unknown product should be rejected")
+	}
+	if err := table.SetDefault(2); err == nil {
+		t.Error("default similarity > 1 should be rejected")
+	}
+}
+
+func TestSimilarityTableDefault(t *testing.T) {
+	table := NewSimilarityTable([]string{"a", "b"})
+	if err := table.SetDefault(0.1); err != nil {
+		t.Fatalf("SetDefault: %v", err)
+	}
+	if got := table.Sim("a", "b"); got != 0.1 {
+		t.Errorf("Sim with default = %v, want 0.1", got)
+	}
+	if got := table.Default(); got != 0.1 {
+		t.Errorf("Default() = %v, want 0.1", got)
+	}
+}
+
+func TestSimilarityTableValidate(t *testing.T) {
+	empty := NewSimilarityTable(nil)
+	if err := empty.Validate(); err == nil {
+		t.Error("empty table should fail validation")
+	}
+	table := NewSimilarityTable([]string{"a", "b"})
+	_ = table.SetTotal("a", 5)
+	_ = table.SetTotal("b", 5)
+	_ = table.Set("a", "b", 0.9, 10)
+	if err := table.Validate(); err == nil {
+		t.Error("shared count exceeding totals should fail validation")
+	}
+	ok := NewSimilarityTable([]string{"a", "b"})
+	_ = ok.SetTotal("a", 20)
+	_ = ok.SetTotal("b", 20)
+	_ = ok.Set("a", "b", 0.25, 8)
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid table should pass validation: %v", err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	merged := Merge(PaperOSTable(), PaperBrowserTable(), PaperDatabaseTable())
+	if got := merged.Sim(ProdWin7, ProdWinXP); math.Abs(got-0.278) > 1e-9 {
+		t.Errorf("merged OS similarity lost: %v", got)
+	}
+	if got := merged.Sim(ProdFirefox, ProdSeaMonkey); math.Abs(got-0.450) > 1e-9 {
+		t.Errorf("merged browser similarity lost: %v", got)
+	}
+	if got := merged.Sim(ProdMySQL55, ProdMariaDB10); got == 0 {
+		t.Error("merged database similarity lost")
+	}
+	if got := merged.Sim(ProdWin7, ProdChrome); got != 0 {
+		t.Errorf("cross-category similarity should default to 0, got %v", got)
+	}
+	if len(merged.Products()) != 9+8+4 {
+		t.Errorf("merged table has %d products, want 21", len(merged.Products()))
+	}
+}
+
+func TestBuildSimilarityTable(t *testing.T) {
+	db := buildTestDB(t)
+	table := BuildSimilarityTable(db, []string{"win7", "winxp", "chrome50", "firefox"}, VulnFilter{})
+	// win7 has 4 vulns, winxp 2, shared 2 -> 2/4 = 0.5.
+	if got := table.Sim("win7", "winxp"); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Sim(win7,winxp) = %v, want 0.5", got)
+	}
+	if got := table.Total("win7"); got != 4 {
+		t.Errorf("Total(win7) = %d, want 4", got)
+	}
+	e, _ := table.Entry("win7", "winxp")
+	if e.Shared != 2 {
+		t.Errorf("Shared(win7,winxp) = %d, want 2", e.Shared)
+	}
+	// chrome50: 2 vulns, firefox: 1, shared 1 -> 1/2.
+	if got := table.Sim("chrome50", "firefox"); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Sim(chrome50,firefox) = %v, want 0.5", got)
+	}
+	if got := table.Sim("win7", "chrome50"); got != 0 {
+		t.Errorf("Sim(win7,chrome50) = %v, want 0", got)
+	}
+	if err := table.Validate(); err != nil {
+		t.Errorf("built table should validate: %v", err)
+	}
+}
+
+func TestSimilarityTableJSONRoundTrip(t *testing.T) {
+	src := PaperBrowserTable()
+	data, err := json.Marshal(src)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var dst SimilarityTable
+	if err := json.Unmarshal(data, &dst); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, a := range src.Products() {
+		if dst.Total(a) != src.Total(a) {
+			t.Errorf("total of %q lost in round trip", a)
+		}
+		for _, b := range src.Products() {
+			if src.Sim(a, b) != dst.Sim(a, b) {
+				t.Errorf("Sim(%s,%s) changed after round trip: %v vs %v", a, b, src.Sim(a, b), dst.Sim(a, b))
+			}
+		}
+	}
+}
+
+func TestSimilarityTableUnmarshalInvalid(t *testing.T) {
+	var table SimilarityTable
+	if err := json.Unmarshal([]byte(`{"products":["a","b"],"entries":[{"a":"a","b":"b","similarity":7}]}`), &table); err == nil {
+		t.Error("out-of-range similarity should fail to unmarshal")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &table); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := PaperOSTable().RenderString()
+	if !strings.Contains(out, "1.00 (1028)") {
+		t.Errorf("render should contain the win7 diagonal, got:\n%s", out)
+	}
+	if !strings.Contains(out, "0.278") {
+		t.Errorf("render should contain the win7/winxp similarity, got:\n%s", out)
+	}
+}

@@ -1,0 +1,128 @@
+package vulnsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// WeightFunc assigns a weight to a vulnerability when computing weighted
+// similarity.  Returning 0 excludes the vulnerability entirely.
+type WeightFunc func(CVE) float64
+
+// CVSSWeight weights every vulnerability by its CVSS base score normalised to
+// [0,1], so that a shared critical vulnerability contributes more to the
+// similarity than a shared low-severity one.  The paper lists better
+// similarity estimation as future work (Section IX); severity weighting is
+// the most common refinement.
+func CVSSWeight(c CVE) float64 {
+	if c.CVSS <= 0 {
+		return 0.1 // unknown severity still counts a little
+	}
+	return c.CVSS / 10
+}
+
+// RecencyWeight discounts old vulnerabilities with an exponential half-life
+// (in years) relative to the reference year: recent shared vulnerabilities
+// are better predictors of future shared zero-days than decades-old ones.
+func RecencyWeight(referenceYear int, halfLifeYears float64) WeightFunc {
+	if halfLifeYears <= 0 {
+		halfLifeYears = 5
+	}
+	return func(c CVE) float64 {
+		age := float64(referenceYear - c.Year)
+		if age < 0 {
+			age = 0
+		}
+		return math.Pow(0.5, age/halfLifeYears)
+	}
+}
+
+// CombineWeights multiplies several weight functions.
+func CombineWeights(fns ...WeightFunc) WeightFunc {
+	return func(c CVE) float64 {
+		w := 1.0
+		for _, fn := range fns {
+			w *= fn(c)
+		}
+		return w
+	}
+}
+
+// WeightedJaccard computes the weighted Jaccard similarity of two products'
+// vulnerability sets under a weight function:
+//
+//	sim_w(a, b) = Σ_{v ∈ Va∩Vb} w(v) / Σ_{v ∈ Va∪Vb} w(v)
+//
+// With a constant weight of 1 this reduces to the plain Jaccard coefficient
+// of Definition 1.
+func WeightedJaccard(db *Database, a, b string, filter VulnFilter, weight WeightFunc) (float64, error) {
+	if db == nil {
+		return 0, fmt.Errorf("vulnsim: nil database")
+	}
+	if weight == nil {
+		weight = func(CVE) float64 { return 1 }
+	}
+	va := db.VulnSet(a, filter)
+	vb := db.VulnSet(b, filter)
+	inter, union := 0.0, 0.0
+	seen := make(map[string]struct{}, len(va)+len(vb))
+	add := func(id string, inBoth bool) {
+		if _, ok := seen[id]; ok {
+			return
+		}
+		seen[id] = struct{}{}
+		c, ok := db.Get(id)
+		if !ok {
+			return
+		}
+		w := weight(c)
+		if w < 0 {
+			w = 0
+		}
+		union += w
+		if inBoth {
+			inter += w
+		}
+	}
+	for id := range va {
+		_, both := vb[id]
+		add(id, both)
+	}
+	for id := range vb {
+		_, both := va[id]
+		add(id, both)
+	}
+	if union == 0 {
+		return 0, nil
+	}
+	return inter / union, nil
+}
+
+// BuildWeightedSimilarityTable is BuildSimilarityTable with a per-CVE weight
+// function.  The stored shared counts remain the unweighted intersection
+// sizes (for reporting); only the similarity values are weighted.
+func BuildWeightedSimilarityTable(db *Database, products []string, filter VulnFilter, weight WeightFunc) (*SimilarityTable, error) {
+	if db == nil {
+		return nil, fmt.Errorf("vulnsim: nil database")
+	}
+	t := NewSimilarityTable(products)
+	list := t.Products()
+	for _, p := range list {
+		if err := t.SetTotal(p, db.VulnCount(p, filter)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < len(list); i++ {
+		for j := i + 1; j < len(list); j++ {
+			sim, err := WeightedJaccard(db, list[i], list[j], filter, weight)
+			if err != nil {
+				return nil, err
+			}
+			shared := len(db.SharedVulns(list[i], list[j], filter))
+			if err := t.Set(list[i], list[j], sim, shared); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,156 @@
+package vulnsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// weightedTestDB builds a corpus where the shared vulnerabilities between
+// "x" and "y" are low severity, while "x" and "z" share a critical one.
+func weightedTestDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	cves := []CVE{
+		mustCVE(t, "CVE-2015-1001", 2.0, "x", "y"),
+		mustCVE(t, "CVE-2015-1002", 2.0, "x", "y"),
+		mustCVE(t, "CVE-2016-2001", 9.8, "x", "z"),
+		mustCVE(t, "CVE-2016-2002", 5.0, "x"),
+		mustCVE(t, "CVE-2016-2003", 5.0, "y"),
+		mustCVE(t, "CVE-2016-2004", 5.0, "z"),
+		mustCVE(t, "CVE-2000-3001", 9.0, "x", "y"),
+	}
+	if err := db.AddAll(cves); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestWeightedJaccardUnitWeightEqualsPlain(t *testing.T) {
+	db := weightedTestDB(t)
+	plain := Jaccard(db.VulnSet("x", VulnFilter{}), db.VulnSet("y", VulnFilter{}))
+	weighted, err := WeightedJaccard(db, "x", "y", VulnFilter{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain-weighted) > 1e-12 {
+		t.Errorf("unit-weight similarity %v should equal plain Jaccard %v", weighted, plain)
+	}
+}
+
+func TestCVSSWeightChangesRanking(t *testing.T) {
+	db := weightedTestDB(t)
+	plainXY := Jaccard(db.VulnSet("x", VulnFilter{}), db.VulnSet("y", VulnFilter{}))
+	plainXZ := Jaccard(db.VulnSet("x", VulnFilter{}), db.VulnSet("z", VulnFilter{}))
+	if plainXY <= plainXZ {
+		t.Fatalf("test corpus should make x/y more similar than x/z unweighted: %v vs %v", plainXY, plainXZ)
+	}
+	wXY, err := WeightedJaccard(db, "x", "y", VulnFilter{ToYear: 2016, FromYear: 2010}, CVSSWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wXZ, err := WeightedJaccard(db, "x", "z", VulnFilter{ToYear: 2016, FromYear: 2010}, CVSSWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restricted to the 2010-2016 window, x/y share only low-severity
+	// vulnerabilities while x/z share a critical one; CVSS weighting should
+	// rank x/z as the more dangerous pair.
+	if wXZ <= wXY {
+		t.Errorf("CVSS weighting should rank x/z (%v) above x/y (%v)", wXZ, wXY)
+	}
+}
+
+func TestRecencyWeight(t *testing.T) {
+	w := RecencyWeight(2016, 5)
+	recent := w(CVE{Year: 2016})
+	old := w(CVE{Year: 2006})
+	if math.Abs(recent-1) > 1e-12 {
+		t.Errorf("current-year weight = %v, want 1", recent)
+	}
+	if math.Abs(old-0.25) > 1e-12 {
+		t.Errorf("10-year-old weight = %v, want 0.25 (two half-lives)", old)
+	}
+	if w(CVE{Year: 2030}) != 1 {
+		t.Error("future vulnerabilities should not be boosted above 1")
+	}
+	combined := CombineWeights(CVSSWeight, w)
+	if got := combined(CVE{Year: 2016, CVSS: 5}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("combined weight = %v, want 0.5", got)
+	}
+}
+
+func TestWeightedJaccardProperties(t *testing.T) {
+	db := weightedTestDB(t)
+	products := []string{"x", "y", "z"}
+	inRangeAndSymmetric := func(ai, bi uint8) bool {
+		a := products[int(ai)%len(products)]
+		b := products[int(bi)%len(products)]
+		ab, err := WeightedJaccard(db, a, b, VulnFilter{}, CVSSWeight)
+		if err != nil {
+			return false
+		}
+		ba, err := WeightedJaccard(db, b, a, VulnFilter{}, CVSSWeight)
+		if err != nil {
+			return false
+		}
+		if ab < 0 || ab > 1 {
+			return false
+		}
+		if math.Abs(ab-ba) > 1e-12 {
+			return false
+		}
+		if a == b && ab != 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(inRangeAndSymmetric, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedJaccardEdgeCases(t *testing.T) {
+	db := weightedTestDB(t)
+	if _, err := WeightedJaccard(nil, "x", "y", VulnFilter{}, nil); err == nil {
+		t.Error("nil database should be rejected")
+	}
+	sim, err := WeightedJaccard(db, "unknown1", "unknown2", VulnFilter{}, CVSSWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim != 0 {
+		t.Errorf("unknown products should have similarity 0, got %v", sim)
+	}
+	// Negative weights are clamped to zero rather than producing negative
+	// similarities.
+	neg := func(CVE) float64 { return -1 }
+	sim, err = WeightedJaccard(db, "x", "y", VulnFilter{}, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim != 0 {
+		t.Errorf("all-negative weights should give similarity 0, got %v", sim)
+	}
+}
+
+func TestBuildWeightedSimilarityTable(t *testing.T) {
+	db := weightedTestDB(t)
+	table, err := BuildWeightedSimilarityTable(db, []string{"x", "y", "z"}, VulnFilter{}, CVSSWeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Validate(); err != nil {
+		t.Fatalf("weighted table should validate: %v", err)
+	}
+	if table.Total("x") != 5 {
+		t.Errorf("total of x = %d, want 5", table.Total("x"))
+	}
+	e, ok := table.Entry("x", "y")
+	if !ok || e.Shared != 3 {
+		t.Errorf("shared(x,y) = %+v, want 3 (unweighted count retained)", e)
+	}
+	if _, err := BuildWeightedSimilarityTable(nil, []string{"x"}, VulnFilter{}, nil); err == nil {
+		t.Error("nil database should be rejected")
+	}
+}

@@ -1,0 +1,207 @@
+package netdiversity_test
+
+import (
+	"context"
+	"testing"
+
+	"netdiversity"
+)
+
+// buildAPITestNetwork builds a small two-zone network through the public API.
+func buildAPITestNetwork(t *testing.T) *netdiversity.Network {
+	t.Helper()
+	net := netdiversity.NewNetwork()
+	for i, id := range []netdiversity.HostID{"a", "b", "c", "d"} {
+		h := &netdiversity.Host{
+			ID:       id,
+			Zone:     "it",
+			Services: []netdiversity.ServiceID{netdiversity.ServiceOS, netdiversity.ServiceBrowser},
+			Choices: map[netdiversity.ServiceID][]netdiversity.ProductID{
+				netdiversity.ServiceOS:      {"win7", "ubt1404", "deb80"},
+				netdiversity.ServiceBrowser: {"ie10", "chrome50", "firefox"},
+			},
+		}
+		if i == 3 {
+			h.Legacy = true
+		}
+		if err := net.AddHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	links := [][2]netdiversity.HostID{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "a"}}
+	for _, l := range links {
+		if err := net.AddLink(l[0], l[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	net := buildAPITestNetwork(t)
+	sim := netdiversity.PaperSimilarity()
+
+	cs := netdiversity.NewConstraintSet()
+	cs.Fix("a", netdiversity.ServiceOS, "win7")
+	cs.Add(netdiversity.Constraint{
+		Host:     netdiversity.AllHosts,
+		ServiceM: netdiversity.ServiceOS,
+		ServiceN: netdiversity.ServiceBrowser,
+		ProductJ: "ubt1404",
+		ProductK: "ie10",
+		Mode:     netdiversity.Forbid,
+	})
+
+	opt, err := netdiversity.NewOptimizer(net, sim, netdiversity.OptimizerOptions{Solver: netdiversity.SolverTRWS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := opt.SetConstraints(cs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.ValidateFor(net); err != nil {
+		t.Fatalf("assignment invalid: %v", err)
+	}
+	if got := res.Assignment.Product("a", netdiversity.ServiceOS); got != "win7" {
+		t.Errorf("pinned product ignored: %v", got)
+	}
+	if len(res.ConstraintViolations) != 0 {
+		t.Errorf("violations: %v", res.ConstraintViolations)
+	}
+
+	optCost, err := netdiversity.PairwiseSimilarityCost(net, sim, res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := netdiversity.MonoAssignment(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoCost, err := netdiversity.PairwiseSimilarityCost(net, sim, mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optCost >= monoCost {
+		t.Errorf("optimal cost %v should beat mono %v", optCost, monoCost)
+	}
+
+	div, err := netdiversity.Diversity(net, res.Assignment, sim, netdiversity.DiversityConfig{
+		Entry:  "a",
+		Target: "c",
+	}, netdiversity.InferenceOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	monoDiv, err := netdiversity.Diversity(net, mono, sim, netdiversity.DiversityConfig{
+		Entry:  "a",
+		Target: "c",
+	}, netdiversity.InferenceOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div.Diversity <= monoDiv.Diversity {
+		t.Errorf("optimal d_bn %v should exceed mono %v", div.Diversity, monoDiv.Diversity)
+	}
+
+	simr, err := netdiversity.NewSimulator(net, res.Assignment, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSim, err := simr.Run(netdiversity.SimulationConfig{Entry: "a", Target: "c", Runs: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSim.MTTC <= 0 {
+		t.Errorf("MTTC = %v, want > 0", resSim.MTTC)
+	}
+}
+
+func TestPublicAPISimilarityHelpers(t *testing.T) {
+	if v := netdiversity.Jaccard(map[string]struct{}{"a": {}}, map[string]struct{}{"a": {}}); v != 1 {
+		t.Errorf("Jaccard = %v, want 1", v)
+	}
+	osTable := netdiversity.PaperOSTable()
+	if osTable.Sim("win7", "winxp") == 0 {
+		t.Error("paper OS table should report win7/winxp similarity")
+	}
+	if netdiversity.PaperBrowserTable().Sim("firefox", "seamonkey") == 0 {
+		t.Error("paper browser table should report firefox/seamonkey similarity")
+	}
+	db, err := netdiversity.SyntheticNVD(osTable, 1999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := netdiversity.BuildSimilarityTable(db, osTable.Products(), netdiversity.VulnFilter{})
+	if rebuilt.Total("win7") != osTable.Total("win7") {
+		t.Error("synthetic corpus should reproduce the published totals")
+	}
+	fresh := netdiversity.NewCVEDatabase()
+	if fresh.Len() != 0 {
+		t.Error("new CVE database should be empty")
+	}
+	if netdiversity.NewSimilarityTable([]string{"x"}).Sim("x", "x") != 1 {
+		t.Error("self similarity should be 1")
+	}
+}
+
+func TestPublicAPICaseStudyAndGenerators(t *testing.T) {
+	net, err := netdiversity.CaseStudyNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumHosts() != 29 {
+		t.Errorf("case study hosts = %d, want 29", net.NumHosts())
+	}
+	if len(netdiversity.CaseStudyEntries()) != 5 {
+		t.Error("case study should expose 5 entry points")
+	}
+	if netdiversity.CaseStudyTarget() != "t5" {
+		t.Error("case study target should be t5")
+	}
+	if netdiversity.CaseStudyHostConstraints().Empty() || netdiversity.CaseStudyProductConstraints().Empty() {
+		t.Error("case study constraint scenarios should not be empty")
+	}
+	if len(netdiversity.CaseStudyAttackServices()) != 3 {
+		t.Error("case study attacker should hold 3 exploits")
+	}
+
+	cfg := netdiversity.RandomNetworkConfig{Hosts: 40, Degree: 4, Services: 2, Seed: 1}
+	rnd, err := netdiversity.RandomNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnd.NumHosts() != 40 {
+		t.Errorf("random network hosts = %d, want 40", rnd.NumHosts())
+	}
+	table := netdiversity.SyntheticSimilarity(cfg, 0.5)
+	if err := table.Validate(); err != nil {
+		t.Errorf("synthetic similarity should validate: %v", err)
+	}
+
+	random, err := netdiversity.RandomAssignment(rnd, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := netdiversity.GreedyColoringAssignment(rnd, table, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := netdiversity.PairwiseSimilarityCost(rnd, table, random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := netdiversity.PairwiseSimilarityCost(rnd, table, greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc >= rc {
+		t.Errorf("greedy colouring cost %v should beat random %v", gc, rc)
+	}
+	if _, err := netdiversity.ParseSolver("bp"); err != nil {
+		t.Errorf("ParseSolver(bp): %v", err)
+	}
+}
