@@ -2,6 +2,8 @@ package netdiversity_test
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"netdiversity"
@@ -149,6 +151,97 @@ func BenchmarkOptimizeParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// solverBenchCase builds the random network and similarity table used by the
+// per-solver benchmarks (netgen workloads at increasing scale).
+func solverBenchCase(b *testing.B, hosts int) (*netdiversity.Network, *netdiversity.SimilarityTable) {
+	b.Helper()
+	cfg := netdiversity.RandomNetworkConfig{
+		Hosts:              hosts,
+		Degree:             8,
+		Services:           3,
+		ProductsPerService: 4,
+		Seed:               9,
+	}
+	net, err := netdiversity.RandomNetwork(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net, netdiversity.SyntheticSimilarity(cfg, 0.6)
+}
+
+// benchmarkSolver runs one registered solver over netgen networks at ~50,
+// 200 and 1000 hosts so the unified-driver refactor and the flat MRF
+// representation stay measurable per algorithm.
+func benchmarkSolver(b *testing.B, solver netdiversity.Solver) {
+	for _, hosts := range []int{50, 200, 1000} {
+		b.Run(fmt.Sprintf("hosts=%d", hosts), func(b *testing.B) {
+			net, sim := solverBenchCase(b, hosts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opt, err := netdiversity.NewOptimizer(net, sim, netdiversity.OptimizerOptions{
+					Solver:        solver,
+					MaxIterations: 10,
+					Seed:          1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := opt.Optimize(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolverTRWS measures the TRW-S solver through the unified registry.
+func BenchmarkSolverTRWS(b *testing.B) { benchmarkSolver(b, netdiversity.SolverTRWS) }
+
+// BenchmarkSolverBP measures loopy belief propagation.
+func BenchmarkSolverBP(b *testing.B) { benchmarkSolver(b, netdiversity.SolverBP) }
+
+// BenchmarkSolverICM measures ICM local search.
+func BenchmarkSolverICM(b *testing.B) { benchmarkSolver(b, netdiversity.SolverICM) }
+
+// BenchmarkSolverAnneal measures the simulated-annealing variant.
+func BenchmarkSolverAnneal(b *testing.B) { benchmarkSolver(b, netdiversity.SolverAnneal) }
+
+// BenchmarkSequentialVsPartitioned compares a full sequential TRW-S run with
+// the partition-solve-merge-refine pipeline on the same 1000-host network —
+// the multi-level parallel mode of Section V-C.
+func BenchmarkSequentialVsPartitioned(b *testing.B) {
+	net, sim := solverBenchCase(b, 1000)
+	newOpt := func(b *testing.B, workers int) *netdiversity.Optimizer {
+		opt, err := netdiversity.NewOptimizer(net, sim, netdiversity.OptimizerOptions{
+			MaxIterations: 10,
+			Seed:          1,
+			Workers:       workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return opt
+	}
+	b.Run("sequential", func(b *testing.B) {
+		opt := newOpt(b, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.Optimize(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("partitioned-8", func(b *testing.B) {
+		opt := newOpt(b, runtime.NumCPU())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := opt.OptimizeParallel(context.Background(), 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDiversityMetric measures one d_bn evaluation on the case study.

@@ -7,9 +7,14 @@
 //	divopt -in network.json [-solver trws] [-iterations 100] [-out assignment.json]
 //	divopt -case-study            # run on the built-in Stuxnet case study
 //	divopt -case-study -scenario host-constraints
+//	divopt -in big.json -parallel 8 -workers 4    # partitioned parallel mode
+//	divopt -in big.json -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -out the assignment is written as JSON; the human-readable summary is
-// always printed to stdout.
+// always printed to stdout.  -solver accepts any name from the solver
+// registry (trws, bp, icm, anneal); -parallel N > 1 runs the
+// partition-solve-merge-refine pipeline with N blocks on a worker pool of
+// -workers goroutines.
 package main
 
 import (
@@ -19,11 +24,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"netdiversity"
 	"netdiversity/internal/casestudy"
 	"netdiversity/internal/core"
 	"netdiversity/internal/netmodel"
+	"netdiversity/internal/profiling"
 )
 
 func main() {
@@ -33,22 +40,34 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("divopt", flag.ContinueOnError)
 	var (
 		inPath     = fs.String("in", "", "path to a network spec JSON (use '-' for stdin)")
 		outPath    = fs.String("out", "", "write the assignment as JSON to this file")
 		dotPath    = fs.String("dot", "", "write a Graphviz rendering of the network with the assignment to this file")
-		solverName = fs.String("solver", "trws", "solver: trws, bp, icm or anneal")
+		solverName = fs.String("solver", "trws", "solver from the registry: "+strings.Join(core.SolverNames(), ", "))
 		iterations = fs.Int("iterations", 100, "maximum solver iterations")
-		workers    = fs.Int("workers", 1, "worker goroutines for parallel solver stages")
+		workers    = fs.Int("workers", 1, "worker goroutines for parallel solver stages and the partitioned block pool")
+		parallel   = fs.Int("parallel", 1, "partition the network into this many blocks and optimise them concurrently (<=1 runs sequentially)")
 		seed       = fs.Int64("seed", 1, "random seed for randomised solvers")
 		useCase    = fs.Bool("case-study", false, "ignore -in and optimise the built-in ICS case study")
 		scenario   = fs.String("scenario", "none", "case-study constraint scenario: none, host-constraints, product-constraints")
+		cpuProfile = fs.String("cpuprofile", "", "write cpu profile to `file`")
+		memProfile = fs.String("memprofile", "", "write memory profile to `file`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiling(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	net, cs, sim, err := loadProblem(*inPath, *useCase, *scenario)
 	if err != nil {
@@ -72,9 +91,20 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	res, err := opt.Optimize(context.Background())
-	if err != nil {
-		return err
+	var res core.Result
+	if *parallel > 1 {
+		pres, perr := opt.OptimizeParallel(context.Background(), *parallel)
+		if perr != nil {
+			return perr
+		}
+		res = pres.Result
+		fmt.Fprintf(out, "parallel blocks=%d cut_links=%d pool_workers=%d\n",
+			pres.Blocks, pres.CutLinks, pres.Workers)
+	} else {
+		res, err = opt.Optimize(context.Background())
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "hosts=%d links=%d mrf_nodes=%d mrf_edges=%d\n",

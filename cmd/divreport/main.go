@@ -35,15 +35,15 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("divreport", flag.ContinueOnError)
 	var (
-		inPath   = fs.String("in", "", "path to a network spec JSON")
-		useCase  = fs.Bool("case-study", false, "use the built-in ICS case study")
-		entry    = fs.String("entry", "c4", "attacker entry host")
-		target   = fs.String("target", "t5", "attack target host")
-		outPath  = fs.String("out", "", "write the Markdown report to this file (default: stdout)")
-		dotDir   = fs.String("dot-dir", "", "write Graphviz renderings into this directory")
-		runs     = fs.Int("runs", 300, "simulation runs per MTTC cell")
-		seed     = fs.Int64("seed", 1, "random seed")
-		workers  = fs.Int("workers", 1, "solver worker goroutines")
+		inPath  = fs.String("in", "", "path to a network spec JSON")
+		useCase = fs.Bool("case-study", false, "use the built-in ICS case study")
+		entry   = fs.String("entry", "c4", "attacker entry host")
+		target  = fs.String("target", "t5", "attack target host")
+		outPath = fs.String("out", "", "write the Markdown report to this file (default: stdout)")
+		dotDir  = fs.String("dot-dir", "", "write Graphviz renderings into this directory")
+		runs    = fs.Int("runs", 300, "simulation runs per MTTC cell")
+		seed    = fs.Int64("seed", 1, "random seed")
+		workers = fs.Int("workers", 1, "solver worker goroutines")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -15,12 +15,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"netdiversity"
 	"netdiversity/internal/baseline"
 	"netdiversity/internal/casestudy"
 	"netdiversity/internal/core"
 	"netdiversity/internal/netmodel"
+	"netdiversity/internal/profiling"
 )
 
 func main() {
@@ -30,29 +32,50 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (err error) {
 	fs := flag.NewFlagSet("divsim", flag.ContinueOnError)
 	var (
-		inPath   = fs.String("in", "", "path to a network spec JSON")
-		useCase  = fs.Bool("case-study", false, "use the built-in ICS case study")
-		assign   = fs.String("assignment", "optimal", "assignment to evaluate: optimal, host-constraints, product-constraints, random, mono")
-		assignIn = fs.String("assignment-file", "", "path to an assignment JSON (overrides -assignment)")
-		entry    = fs.String("entry", "c4", "entry host of the attacker")
-		target   = fs.String("target", "t5", "target host")
-		runs     = fs.Int("runs", 1000, "simulation runs")
-		maxTicks = fs.Int("max-ticks", 500, "maximum ticks per simulation run")
-		pavg     = fs.Float64("pavg", 0.2, "average zero-day propagation rate")
-		seed     = fs.Int64("seed", 1, "random seed")
+		inPath     = fs.String("in", "", "path to a network spec JSON")
+		useCase    = fs.Bool("case-study", false, "use the built-in ICS case study")
+		assign     = fs.String("assignment", "optimal", "assignment to evaluate: optimal, host-constraints, product-constraints, random, mono")
+		assignIn   = fs.String("assignment-file", "", "path to an assignment JSON (overrides -assignment)")
+		entry      = fs.String("entry", "c4", "entry host of the attacker")
+		target     = fs.String("target", "t5", "target host")
+		runs       = fs.Int("runs", 1000, "simulation runs")
+		maxTicks   = fs.Int("max-ticks", 500, "maximum ticks per simulation run")
+		pavg       = fs.Float64("pavg", 0.2, "average zero-day propagation rate")
+		seed       = fs.Int64("seed", 1, "random seed")
+		solverName = fs.String("solver", "trws", "optimiser solver for the optimal/constrained assignments: "+strings.Join(core.SolverNames(), ", "))
+		workers    = fs.Int("workers", 1, "worker goroutines for parallel solver stages")
+		cpuProfile = fs.String("cpuprofile", "", "write cpu profile to `file`")
+		memProfile = fs.String("memprofile", "", "write memory profile to `file`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiling, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiling(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 
 	net, sim, err := loadNetwork(*inPath, *useCase)
 	if err != nil {
 		return err
 	}
-	assignment, err := resolveAssignment(net, sim, *assign, *assignIn, *seed)
+	solver, err := core.ParseSolver(*solverName)
+	if err != nil {
+		return err
+	}
+	assignment, err := resolveAssignment(net, sim, *assign, *assignIn, optimizerOptions{
+		solver:  solver,
+		workers: *workers,
+		seed:    *seed,
+	})
 	if err != nil {
 		return err
 	}
@@ -109,7 +132,16 @@ func loadNetwork(inPath string, useCase bool) (*netmodel.Network, *netdiversity.
 	return net, netdiversity.PaperSimilarity(), nil
 }
 
-func resolveAssignment(net *netmodel.Network, sim *netdiversity.SimilarityTable, kind, file string, seed int64) (*netmodel.Assignment, error) {
+// optimizerOptions carries the solver selection of the command line into
+// resolveAssignment.
+type optimizerOptions struct {
+	solver  core.Solver
+	workers int
+	seed    int64
+}
+
+func resolveAssignment(net *netmodel.Network, sim *netdiversity.SimilarityTable, kind, file string, oo optimizerOptions) (*netmodel.Assignment, error) {
+	seed := oo.seed
 	if file != "" {
 		data, err := os.ReadFile(file)
 		if err != nil {
@@ -122,7 +154,11 @@ func resolveAssignment(net *netmodel.Network, sim *netdiversity.SimilarityTable,
 		return a, nil
 	}
 	optimize := func(cs *netmodel.ConstraintSet) (*netmodel.Assignment, error) {
-		opt, err := netdiversity.NewOptimizer(net, sim, core.Options{Seed: seed})
+		opt, err := netdiversity.NewOptimizer(net, sim, core.Options{
+			Solver:  oo.solver,
+			Workers: oo.workers,
+			Seed:    seed,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,3 @@
+module netdiversity
+
+go 1.24

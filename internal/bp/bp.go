@@ -2,19 +2,26 @@
 // alternative the paper compares TRW-S against conceptually (Section V-C):
 // BP applies to the same class of energies but is not guaranteed to converge
 // on loopy graphs.  It serves as a baseline solver for the ablation
-// experiments.
+// experiments.  Only the synchronous message-update kernel lives here; the
+// best-labeling tracking, history and cancellation live in the shared solve
+// driver.
 package bp
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 
 	"netdiversity/internal/mrf"
+	"netdiversity/internal/solve"
 )
 
-// Options configures the solver.
+func init() {
+	solve.Register("bp", func() solve.Kernel { return &Kernel{} })
+}
+
+// Options configures the solver (thin compatibility wrapper over the unified
+// solve.Options).
 type Options struct {
 	// MaxIterations bounds the number of synchronous message update rounds.
 	// Default 100.
@@ -28,24 +35,8 @@ type Options struct {
 	Tolerance float64
 }
 
-func (o Options) withDefaults() (Options, error) {
-	if o.MaxIterations <= 0 {
-		o.MaxIterations = 100
-	}
-	if o.Damping == 0 {
-		o.Damping = 0.5
-	}
-	if o.Damping < 0 || o.Damping >= 1 {
-		return o, fmt.Errorf("bp: damping %v out of range [0,1)", o.Damping)
-	}
-	if o.Tolerance <= 0 {
-		o.Tolerance = 1e-4
-	}
-	return o, nil
-}
-
 // ErrNilGraph is returned when Solve is called with a nil graph.
-var ErrNilGraph = errors.New("bp: nil graph")
+var ErrNilGraph = solve.ErrNilGraph
 
 // Solve runs loopy min-sum BP and returns the decoded labeling.
 func Solve(g *mrf.Graph, opts Options) (mrf.Solution, error) {
@@ -54,166 +45,173 @@ func Solve(g *mrf.Graph, opts Options) (mrf.Solution, error) {
 
 // SolveContext is Solve with cancellation between rounds.
 func SolveContext(ctx context.Context, g *mrf.Graph, opts Options) (mrf.Solution, error) {
-	if g == nil {
-		return mrf.Solution{}, ErrNilGraph
-	}
-	if err := g.Validate(); err != nil {
-		return mrf.Solution{}, fmt.Errorf("bp: %w", err)
-	}
-	opts, err := opts.withDefaults()
-	if err != nil {
-		return mrf.Solution{}, err
-	}
-
-	n := g.NumNodes()
-	nEdges := g.NumEdges()
-	// msg[e][0]: message into U endpoint; msg[e][1]: message into V endpoint.
-	msg := make([][2][]float64, nEdges)
-	next := make([][2][]float64, nEdges)
-	for e := 0; e < nEdges; e++ {
-		edge := g.Edge(e)
-		msg[e][0] = make([]float64, g.NumLabels(edge.U))
-		msg[e][1] = make([]float64, g.NumLabels(edge.V))
-		next[e][0] = make([]float64, g.NumLabels(edge.U))
-		next[e][1] = make([]float64, g.NumLabels(edge.V))
-	}
-
-	type halfEdge struct {
-		edge  int
-		isU   bool
-		other int
-	}
-	incident := make([][]halfEdge, n)
-	for e := 0; e < nEdges; e++ {
-		edge := g.Edge(e)
-		incident[edge.U] = append(incident[edge.U], halfEdge{edge: e, isU: true, other: edge.V})
-		incident[edge.V] = append(incident[edge.V], halfEdge{edge: e, isU: false, other: edge.U})
-	}
-	inMsg := func(m [][2][]float64, he halfEdge) []float64 {
-		if he.isU {
-			return m[he.edge][0]
-		}
-		return m[he.edge][1]
-	}
-
-	decode := func() []int {
-		labels := make([]int, n)
-		for node := 0; node < n; node++ {
-			k := g.NumLabels(node)
-			belief := g.UnaryRow(node)
-			for _, he := range incident[node] {
-				in := inMsg(msg, he)
-				for x := 0; x < k; x++ {
-					belief[x] += in[x]
-				}
-			}
-			best, bestV := 0, math.Inf(1)
-			for x := 0; x < k; x++ {
-				if belief[x] < bestV {
-					best, bestV = x, belief[x]
-				}
-			}
-			labels[node] = best
-		}
-		return labels
-	}
-
-	best := g.GreedyLabeling()
-	bestEnergy := g.MustEnergy(best)
-	history := make([]float64, 0, opts.MaxIterations)
-	converged := false
-	iterations := 0
-
-	for iter := 0; iter < opts.MaxIterations; iter++ {
-		if err := ctx.Err(); err != nil {
-			return solution(g, best, bestEnergy, history, iterations, false), err
-		}
-		maxDelta := 0.0
-		// Synchronous update: every directed message recomputed from the
-		// previous round's messages.
-		for node := 0; node < n; node++ {
-			k := g.NumLabels(node)
-			agg := g.UnaryRow(node)
-			for _, he := range incident[node] {
-				in := inMsg(msg, he)
-				for x := 0; x < k; x++ {
-					agg[x] += in[x]
-				}
-			}
-			for _, he := range incident[node] {
-				in := inMsg(msg, he)
-				edge := g.Edge(he.edge)
-				var out []float64
-				if he.isU {
-					out = next[he.edge][1]
-				} else {
-					out = next[he.edge][0]
-				}
-				kOther := len(out)
-				for xo := 0; xo < kOther; xo++ {
-					out[xo] = math.Inf(1)
-				}
-				for x := 0; x < k; x++ {
-					base := agg[x] - in[x]
-					for xo := 0; xo < kOther; xo++ {
-						var c float64
-						if he.isU {
-							c = edge.Cost[x][xo]
-						} else {
-							c = edge.Cost[xo][x]
-						}
-						if v := base + c; v < out[xo] {
-							out[xo] = v
-						}
-					}
-				}
-				// Normalise and damp.
-				m := out[0]
-				for _, v := range out[1:] {
-					if v < m {
-						m = v
-					}
-				}
-				var old []float64
-				if he.isU {
-					old = msg[he.edge][1]
-				} else {
-					old = msg[he.edge][0]
-				}
-				for i := range out {
-					out[i] -= m
-					out[i] = (1-opts.Damping)*out[i] + opts.Damping*old[i]
-					if d := math.Abs(out[i] - old[i]); d > maxDelta {
-						maxDelta = d
-					}
-				}
-			}
-		}
-		msg, next = next, msg
-		iterations = iter + 1
-
-		labels := decode()
-		energy := g.MustEnergy(labels)
-		if energy < bestEnergy {
-			bestEnergy = energy
-			copy(best, labels)
-		}
-		history = append(history, bestEnergy)
-		if maxDelta < opts.Tolerance {
-			converged = true
-			break
-		}
-	}
-	return solution(g, best, bestEnergy, history, iterations, converged), nil
+	return solve.Run(ctx, g, solve.Options{
+		MaxIterations: opts.MaxIterations,
+		Damping:       opts.Damping,
+		Tolerance:     opts.Tolerance,
+	}, &Kernel{})
 }
 
-func solution(g *mrf.Graph, labels []int, energy float64, history []float64, iters int, converged bool) mrf.Solution {
-	return mrf.Solution{
-		Labels:        append([]int(nil), labels...),
-		Energy:        energy,
-		LowerBound:    g.TrivialLowerBound(),
-		Iterations:    iters,
-		Converged:     converged,
-		EnergyHistory: append([]float64(nil), history...),
+// Kernel is the synchronous loopy-BP kernel.
+type Kernel struct {
+	g    *mrf.Graph
+	opts solve.Options
+
+	n      int
+	counts []int
+	inc    solve.Incidence
+	// Double-buffered flat message storage indexed like trws: slot msgU[e]
+	// holds the message into the U endpoint, msgV[e] into the V endpoint.
+	msg  []float64
+	next []float64
+	msgU []int
+	msgV []int
+
+	aggBuf []float64
+	iter   int
+}
+
+// Defaults disables the driver's energy-patience rule: BP's stopping
+// criterion is its own message fixed point, as in the seed implementation,
+// and it applies its damping/tolerance defaults.
+func (k *Kernel) Defaults(opts solve.Options) solve.Options {
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 100
 	}
+	opts.Patience = opts.MaxIterations
+	if opts.Damping == 0 {
+		opts.Damping = 0.5
+	}
+	if opts.Tolerance <= 0 {
+		opts.Tolerance = 1e-4
+	}
+	return opts
+}
+
+// Init validates the damping factor and builds the flat workspace.
+func (k *Kernel) Init(g *mrf.Graph, opts solve.Options) error {
+	if opts.Damping < 0 || opts.Damping >= 1 {
+		return fmt.Errorf("bp: damping %v out of range [0,1)", opts.Damping)
+	}
+	k.g = g
+	k.opts = opts
+	k.n = g.NumNodes()
+	k.iter = 0
+	k.counts = make([]int, k.n)
+	for i := 0; i < k.n; i++ {
+		k.counts[i] = g.NumLabels(i)
+	}
+
+	var total int
+	k.msgU, k.msgV, total = solve.MessageOffsets(g)
+	k.msg = make([]float64, total)
+	k.next = make([]float64, total)
+	k.inc = solve.BuildIncidence(g)
+	k.aggBuf = make([]float64, g.MaxLabels())
+	return nil
+}
+
+func (k *Kernel) incident(node int) []solve.HalfEdge {
+	return k.inc.Of(node)
+}
+
+func (k *Kernel) slot(buf []float64, e int, intoU bool) []float64 {
+	u, v := k.g.EdgeEndpoints(e)
+	if intoU {
+		return buf[k.msgU[e] : k.msgU[e]+k.counts[u]]
+	}
+	return buf[k.msgV[e] : k.msgV[e]+k.counts[v]]
+}
+
+// inMessage returns the previous-round message arriving at the half edge's
+// node.
+func (k *Kernel) inMessage(he solve.HalfEdge) []float64 {
+	return k.slot(k.msg, int(he.Edge), he.IsU)
+}
+
+// Step performs one synchronous round: every directed message is recomputed
+// from the previous round's messages, then a labeling is decoded from the
+// beliefs.
+func (k *Kernel) Step() solve.Step {
+	maxDelta := 0.0
+	agg := k.aggBuf
+	for node := 0; node < k.n; node++ {
+		kn := k.counts[node]
+		copy(agg, k.g.UnaryView(node))
+		for _, he := range k.incident(node) {
+			in := k.inMessage(he)
+			for x := 0; x < kn; x++ {
+				agg[x] += in[x]
+			}
+		}
+		for _, he := range k.incident(node) {
+			in := k.inMessage(he)
+			out := k.slot(k.next, int(he.Edge), !he.IsU)
+			var mat *mrf.Matrix
+			if he.IsU {
+				mat = k.g.EdgeMat(int(he.Edge))
+			} else {
+				mat = k.g.EdgeMatT(int(he.Edge))
+			}
+			kOther := len(out)
+			for xo := 0; xo < kOther; xo++ {
+				out[xo] = math.Inf(1)
+			}
+			for x := 0; x < kn; x++ {
+				base := agg[x] - in[x]
+				row := mat.Row(x)
+				for xo := 0; xo < kOther; xo++ {
+					if v := base + row[xo]; v < out[xo] {
+						out[xo] = v
+					}
+				}
+			}
+			// Normalise and damp against the previous round's message.
+			m := out[0]
+			for _, v := range out[1:] {
+				if v < m {
+					m = v
+				}
+			}
+			old := k.slot(k.msg, int(he.Edge), !he.IsU)
+			for i := range out {
+				out[i] -= m
+				out[i] = (1-k.opts.Damping)*out[i] + k.opts.Damping*old[i]
+				if d := math.Abs(out[i] - old[i]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+	}
+	k.msg, k.next = k.next, k.msg
+	k.iter++
+	return solve.Step{
+		Labels:     k.decode(),
+		FixedPoint: maxDelta < k.opts.Tolerance,
+		Exhausted:  k.iter >= k.opts.MaxIterations,
+	}
+}
+
+// decode picks the label minimising each node's belief.
+func (k *Kernel) decode() []int {
+	labels := make([]int, k.n)
+	belief := k.aggBuf
+	for node := 0; node < k.n; node++ {
+		kn := k.counts[node]
+		copy(belief, k.g.UnaryView(node))
+		for _, he := range k.incident(node) {
+			in := k.inMessage(he)
+			for x := 0; x < kn; x++ {
+				belief[x] += in[x]
+			}
+		}
+		best, bestV := 0, math.Inf(1)
+		for x := 0; x < kn; x++ {
+			if belief[x] < bestV {
+				best, bestV = x, belief[x]
+			}
+		}
+		labels[node] = best
+	}
+	return labels
 }

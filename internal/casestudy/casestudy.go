@@ -58,13 +58,13 @@ var (
 )
 
 type hostDef struct {
-	id      netmodel.HostID
-	zone    string
-	role    string
-	legacy  bool
-	os      []netmodel.ProductID
-	wb      []netmodel.ProductID
-	db      []netmodel.ProductID
+	id     netmodel.HostID
+	zone   string
+	role   string
+	legacy bool
+	os     []netmodel.ProductID
+	wb     []netmodel.ProductID
+	db     []netmodel.ProductID
 }
 
 // hostDefs is the reconstructed Table IV.  Legacy hosts (the grey OT rows)

@@ -4,17 +4,25 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
-	"netdiversity/internal/bp"
+	"netdiversity/internal/baseline"
 	"netdiversity/internal/icm"
 	"netdiversity/internal/mrf"
 	"netdiversity/internal/netmodel"
-	"netdiversity/internal/trws"
+	"netdiversity/internal/solve"
 	"netdiversity/internal/vulnsim"
+
+	// Blank imports register the solver kernels with the solve registry.
+	_ "netdiversity/internal/bp"
+	_ "netdiversity/internal/trws"
 )
 
-// Solver selects the minimisation algorithm.
+// Solver selects the minimisation algorithm.  The four paper solvers have
+// fixed selectors below; any further kernel registered with the solve
+// registry is assigned a selector dynamically by ParseSolver, so extending
+// the system with a new solver touches only the kernel package.
 type Solver int
 
 const (
@@ -29,37 +37,53 @@ const (
 	SolverAnneal
 )
 
+var (
+	solverMu     sync.Mutex
+	solverByName = map[string]Solver{
+		"trws": SolverTRWS, "bp": SolverBP, "icm": SolverICM, "anneal": SolverAnneal,
+	}
+	nameBySolver = map[Solver]string{
+		SolverTRWS: "trws", SolverBP: "bp", SolverICM: "icm", SolverAnneal: "anneal",
+	}
+	nextSolver = SolverAnneal + 1
+)
+
 // String implements fmt.Stringer.
 func (s Solver) String() string {
-	switch s {
-	case SolverTRWS:
-		return "trws"
-	case SolverBP:
-		return "bp"
-	case SolverICM:
-		return "icm"
-	case SolverAnneal:
-		return "anneal"
-	default:
-		return fmt.Sprintf("solver(%d)", int(s))
+	solverMu.Lock()
+	defer solverMu.Unlock()
+	if name, ok := nameBySolver[s]; ok {
+		return name
 	}
+	return fmt.Sprintf("solver(%d)", int(s))
 }
 
-// ParseSolver converts a name ("trws", "bp", "icm", "anneal") to a Solver.
+// ParseSolver converts a registered solver name to a Solver.  Names are
+// validated against the solve registry, so only solvers whose kernels are
+// actually linked in parse successfully; a registered name beyond the four
+// built-in selectors is assigned a fresh selector on first parse.
 func ParseSolver(name string) (Solver, error) {
-	switch name {
-	case "trws", "":
-		return SolverTRWS, nil
-	case "bp":
-		return SolverBP, nil
-	case "icm":
-		return SolverICM, nil
-	case "anneal":
-		return SolverAnneal, nil
-	default:
-		return 0, fmt.Errorf("core: unknown solver %q", name)
+	if name == "" {
+		name = "trws"
 	}
+	if !solve.Registered(name) {
+		return 0, fmt.Errorf("core: unknown solver %q (registered: %v)", name, solve.Names())
+	}
+	solverMu.Lock()
+	defer solverMu.Unlock()
+	if s, ok := solverByName[name]; ok {
+		return s, nil
+	}
+	s := nextSolver
+	nextSolver++
+	solverByName[name] = s
+	nameBySolver[s] = name
+	return s, nil
 }
+
+// SolverNames lists the solver names registered with the unified solve
+// registry.
+func SolverNames() []string { return solve.Names() }
 
 // Options configures the optimiser.
 type Options struct {
@@ -189,7 +213,7 @@ func (o *Optimizer) Optimize(ctx context.Context) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	sol, err := o.solve(ctx, prob.graph)
+	sol, err := o.solve(ctx, prob.graph, o.warmStart(prob))
 	if err != nil {
 		return Result{}, err
 	}
@@ -224,30 +248,37 @@ func (o *Optimizer) Optimize(ctx context.Context) (Result, error) {
 	return res, nil
 }
 
-func (o *Optimizer) solve(ctx context.Context, g *mrf.Graph) (mrf.Solution, error) {
-	switch o.opts.Solver {
-	case SolverTRWS:
-		return trws.SolveContext(ctx, g, trws.Options{
-			MaxIterations: o.opts.MaxIterations,
-			Workers:       o.opts.Workers,
-		})
-	case SolverBP:
-		return bp.SolveContext(ctx, g, bp.Options{MaxIterations: o.opts.MaxIterations})
-	case SolverICM:
-		return icm.SolveContext(ctx, g, icm.Options{
-			MaxIterations: o.opts.MaxIterations,
-			Seed:          o.opts.Seed,
-		})
-	case SolverAnneal:
-		return icm.SolveContext(ctx, g, icm.Options{
-			MaxIterations: o.opts.MaxIterations,
-			Seed:          o.opts.Seed,
-			Annealing:     true,
-			Restarts:      4,
-		})
-	default:
+// warmStart encodes the greedy-colouring baseline as an initial labeling so
+// that every solver starts from (and can never end worse than) the strongest
+// non-optimising strategy.  It returns nil when the baseline is unavailable
+// for the current constraint set.
+func (o *Optimizer) warmStart(prob *problem) []int {
+	greedy, err := baseline.GreedyColoring(o.net, o.sim, o.cs)
+	if err != nil {
+		return nil
+	}
+	labels, err := prob.encode(greedy)
+	if err != nil {
+		return nil
+	}
+	return labels
+}
+
+// solve runs the configured solver through the unified solve registry.  All
+// solvers share the same driver (best-labeling tracking, convergence rule,
+// energy history, cancellation); the registry name comes from the Solver
+// selector.
+func (o *Optimizer) solve(ctx context.Context, g *mrf.Graph, initial []int) (mrf.Solution, error) {
+	name := o.opts.Solver.String()
+	if !solve.Registered(name) {
 		return mrf.Solution{}, fmt.Errorf("core: unknown solver %v", o.opts.Solver)
 	}
+	return solve.Solve(ctx, name, g, solve.Options{
+		MaxIterations: o.opts.MaxIterations,
+		Workers:       o.opts.Workers,
+		Seed:          o.opts.Seed,
+		InitialLabels: initial,
+	})
 }
 
 // Energy evaluates the optimisation objective of Eq. 1 for an arbitrary

@@ -15,14 +15,20 @@ import (
 // The paper's optimiser runs "in a multi-level fashion" with parallel
 // computation (Section V-C / VIII).  OptimizeParallel reproduces that idea in
 // pure Go: the network is partitioned into connected blocks, each block is
-// optimised independently and concurrently, and the merged labeling is then
-// refined globally with a local-search pass that accounts for the cut edges.
-// The result is a slightly less tight optimum than a full sequential TRW-S
-// run, obtained in a fraction of the wall-clock time on large networks.
+// optimised independently by a bounded worker pool (any registered solver),
+// and the merged labeling is then refined globally with a local-search pass
+// that accounts for the cut edges.  The result is a slightly less tight
+// optimum than a full sequential run, obtained in a fraction of the
+// wall-clock time on large networks.  For a fixed seed, worker count and
+// partition count the result is deterministic: blocks are disjoint, each
+// block is solved by a deterministic solver, and the merge and refinement
+// steps are order-independent.
 
 // PartitionNetwork splits the hosts of a network into at most `parts`
 // connected, roughly balanced blocks using BFS growth from spread-out seeds.
-// Every host appears in exactly one block.
+// Every host appears in exactly one block.  The construction is order-stable:
+// it depends only on the network's host insertion order and sorted neighbour
+// lists, never on map iteration, so repeated calls return identical blocks.
 func PartitionNetwork(net *netmodel.Network, parts int) ([][]netmodel.HostID, error) {
 	if net == nil {
 		return nil, errors.New("core: nil network")
@@ -35,21 +41,16 @@ func PartitionNetwork(net *netmodel.Network, parts int) ([][]netmodel.HostID, er
 
 	assigned := make(map[netmodel.HostID]int, len(hosts))
 	var blocks [][]netmodel.HostID
+	var leftovers []netmodel.HostID
 
 	for _, start := range hosts {
 		if _, done := assigned[start]; done {
 			continue
 		}
 		if len(blocks) == parts {
-			// All blocks created: attach leftovers to the smallest block.
-			smallest := 0
-			for i := range blocks {
-				if len(blocks[i]) < len(blocks[smallest]) {
-					smallest = i
-				}
-			}
-			blocks[smallest] = append(blocks[smallest], start)
-			assigned[start] = smallest
+			// All blocks created: attach the remaining hosts afterwards so
+			// the attachment rule sees the final block layout.
+			leftovers = append(leftovers, start)
 			continue
 		}
 		// Grow a new block by BFS until it reaches the target size.
@@ -75,6 +76,28 @@ func PartitionNetwork(net *netmodel.Network, parts int) ([][]netmodel.HostID, er
 		// Any queued-but-unvisited hosts still belong to this block.
 		block = append(block, queue...)
 		blocks = append(blocks, block)
+	}
+	// Attach leftovers in host order: prefer the block of the first (sorted)
+	// already-assigned neighbour to keep blocks connected; otherwise fall
+	// back to the currently smallest block (ties broken by lowest index).
+	for _, hid := range leftovers {
+		target := -1
+		for _, nb := range net.Neighbors(hid) {
+			if bi, ok := assigned[nb]; ok {
+				target = bi
+				break
+			}
+		}
+		if target < 0 {
+			target = 0
+			for bi := 1; bi < len(blocks); bi++ {
+				if len(blocks[bi]) < len(blocks[target]) {
+					target = bi
+				}
+			}
+		}
+		blocks[target] = append(blocks[target], hid)
+		assigned[hid] = target
 	}
 	for i := range blocks {
 		sort.Slice(blocks[i], func(a, b int) bool { return blocks[i][a] < blocks[i][b] })
@@ -135,11 +158,47 @@ type ParallelResult struct {
 	// CutLinks is the number of network links crossing block boundaries
 	// (handled by the global refinement pass).
 	CutLinks int
+	// Workers is the size of the worker pool that solved the blocks.
+	Workers int
+}
+
+// solveBlock optimises one partition block and returns its assignment.
+func (o *Optimizer) solveBlock(ctx context.Context, block []netmodel.HostID) (*netmodel.Assignment, error) {
+	sub, subCS, err := subNetwork(o.net, block, o.cs)
+	if err != nil {
+		return nil, err
+	}
+	// The pool already provides the parallelism; intra-solver fan-out inside
+	// every block would oversubscribe the machine quadratically.
+	subOpts := o.opts
+	subOpts.Workers = 1
+	subOpt, err := NewOptimizer(sub, o.sim, subOpts)
+	if err != nil {
+		return nil, err
+	}
+	if o.costModel != nil {
+		if err := subOpt.SetCostModel(*o.costModel, o.costWeight); err != nil {
+			return nil, err
+		}
+	}
+	if subCS != nil && !subCS.Empty() {
+		if err := subOpt.SetConstraints(subCS); err != nil {
+			return nil, err
+		}
+	}
+	res, err := subOpt.Optimize(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Assignment, nil
 }
 
 // OptimizeParallel partitions the network into `parts` blocks, optimises the
-// blocks concurrently and refines the merged assignment globally.  With
-// parts <= 1 it falls back to Optimize.
+// blocks concurrently with a worker pool bounded by Options.Workers (at
+// least one goroutine; capped at the block count) and refines the merged
+// assignment globally.  Any registered solver may be selected through
+// Options.Solver — the partition-solve-merge-refine pipeline is solver
+// agnostic.  With parts <= 1 it falls back to Optimize.
 func (o *Optimizer) OptimizeParallel(ctx context.Context, parts int) (ParallelResult, error) {
 	start := time.Now()
 	if parts <= 1 {
@@ -147,7 +206,7 @@ func (o *Optimizer) OptimizeParallel(ctx context.Context, parts int) (ParallelRe
 		if err != nil {
 			return ParallelResult{}, err
 		}
-		return ParallelResult{Result: res, Blocks: 1}, nil
+		return ParallelResult{Result: res, Blocks: 1, Workers: 1}, nil
 	}
 	blocks, err := PartitionNetwork(o.net, parts)
 	if err != nil {
@@ -167,54 +226,46 @@ func (o *Optimizer) OptimizeParallel(ctx context.Context, parts int) (ParallelRe
 		}
 	}
 
-	merged := netmodel.NewAssignment()
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	errs := make([]error, len(blocks))
-	for bi, block := range blocks {
-		wg.Add(1)
-		go func(bi int, block []netmodel.HostID) {
-			defer wg.Done()
-			sub, subCS, err := subNetwork(o.net, block, o.cs)
-			if err != nil {
-				errs[bi] = err
-				return
-			}
-			subOpt, err := NewOptimizer(sub, o.sim, o.opts)
-			if err != nil {
-				errs[bi] = err
-				return
-			}
-			if o.costModel != nil {
-				if err := subOpt.SetCostModel(*o.costModel, o.costWeight); err != nil {
-					errs[bi] = err
-					return
-				}
-			}
-			if subCS != nil && !subCS.Empty() {
-				if err := subOpt.SetConstraints(subCS); err != nil {
-					errs[bi] = err
-					return
-				}
-			}
-			res, err := subOpt.Optimize(ctx)
-			if err != nil {
-				errs[bi] = err
-				return
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			for _, hid := range block {
-				for s, p := range res.Assignment.HostAssignment(hid) {
-					merged.Set(hid, s, p)
-				}
-			}
-		}(bi, block)
+	workers := o.opts.Workers
+	if workers < 1 {
+		workers = 1
 	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	// Bounded pool: block indices are fed through a channel; results land in
+	// a per-block slot so the merge below is deterministic regardless of
+	// scheduling order.
+	results := make([]*netmodel.Assignment, len(blocks))
+	errs := make([]error, len(blocks))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for bi := range work {
+				results[bi], errs[bi] = o.solveBlock(ctx, blocks[bi])
+			}
+		}()
+	}
+	for bi := range blocks {
+		work <- bi
+	}
+	close(work)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return ParallelResult{}, err
+		}
+	}
+
+	merged := netmodel.NewAssignment()
+	for bi, block := range blocks {
+		for _, hid := range block {
+			for s, p := range results[bi].HostAssignment(hid) {
+				merged.Set(hid, s, p)
+			}
 		}
 	}
 
@@ -250,6 +301,7 @@ func (o *Optimizer) OptimizeParallel(ctx context.Context, parts int) (ParallelRe
 		},
 		Blocks:   len(blocks),
 		CutLinks: cut,
+		Workers:  workers,
 	}
 	if o.cs != nil {
 		out.ConstraintViolations = o.cs.Violations(assignment, o.net)

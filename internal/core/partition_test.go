@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"netdiversity/internal/netgen"
@@ -43,6 +44,48 @@ func TestPartitionNetwork(t *testing.T) {
 	for i, block := range blocks {
 		if len(block) > 2*ideal+1 {
 			t.Errorf("block %d has %d hosts, ideal %d", i, len(block), ideal)
+		}
+	}
+}
+
+// TestPartitionNetworkDeterministic: partitioning must be order-stable — two
+// runs over the same network (and over an independently regenerated copy)
+// must produce identical block membership, including the leftover-attachment
+// phase that kicks in when the seed-growth produces more fragments than
+// blocks.
+func TestPartitionNetworkDeterministic(t *testing.T) {
+	cfgs := []netgen.RandomConfig{
+		{Hosts: 120, Degree: 6, Services: 2, Seed: 5},
+		// Low degree maximises disconnected fragments -> leftovers.
+		{Hosts: 90, Degree: 2, Services: 2, Seed: 11},
+	}
+	for _, cfg := range cfgs {
+		for _, parts := range []int{3, 4, 7} {
+			net, err := netgen.Random(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := PartitionNetwork(net, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := PartitionNetwork(net, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			regen, err := netgen.Random(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := PartitionNetwork(regen, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, other := range map[string][][]netmodel.HostID{"same-network rerun": again, "regenerated network": fresh} {
+				if !reflect.DeepEqual(first, other) {
+					t.Errorf("hosts=%d parts=%d: %s produced different blocks", cfg.Hosts, parts, name)
+				}
+			}
 		}
 	}
 }
@@ -107,6 +150,46 @@ func TestOptimizeParallelMatchesSequentialQuality(t *testing.T) {
 	}
 	if par.Energy >= mono {
 		t.Errorf("parallel energy %v should beat mono %v", par.Energy, mono)
+	}
+}
+
+// TestOptimizeParallelDeterministicAcrossWorkerCounts: for a fixed seed and
+// partition count, the pipeline must return the same energy regardless of
+// how many goroutines the bounded pool uses, and every registered solver
+// must be usable through it.
+func TestOptimizeParallelDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := netgen.RandomConfig{Hosts: 100, Degree: 5, Services: 2, ProductsPerService: 3, Seed: 13}
+	net, err := netgen.Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netgen.SyntheticSimilarity(cfg, 0.6)
+	for _, solver := range []Solver{SolverTRWS, SolverBP, SolverICM, SolverAnneal} {
+		var reference *ParallelResult
+		for _, workers := range []int{1, 2, 4} {
+			opt, err := NewOptimizer(net, sim, Options{Solver: solver, MaxIterations: 15, Seed: 3, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := opt.OptimizeParallel(context.Background(), 4)
+			if err != nil {
+				t.Fatalf("solver %s workers %d: %v", solver, workers, err)
+			}
+			if err := res.Assignment.ValidateFor(net); err != nil {
+				t.Fatalf("solver %s workers %d: invalid assignment: %v", solver, workers, err)
+			}
+			if reference == nil {
+				reference = &res
+				continue
+			}
+			if res.Energy != reference.Energy {
+				t.Errorf("solver %s: energy differs across worker counts: %v (workers=%d) vs %v",
+					solver, res.Energy, workers, reference.Energy)
+			}
+			if res.Blocks != reference.Blocks || res.CutLinks != reference.CutLinks {
+				t.Errorf("solver %s: partition shape differs across worker counts", solver)
+			}
+		}
 	}
 }
 

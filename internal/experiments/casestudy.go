@@ -93,11 +93,11 @@ func BuildCaseStudy(cfg Config) (*CaseStudyAssignments, error) {
 
 func (c *CaseStudyAssignments) byName() map[string]*netmodel.Assignment {
 	return map[string]*netmodel.Assignment{
-		"optimal":      c.Optimal,
-		"host_constr":  c.HostConstr,
-		"prod_constr":  c.ProdConstr,
-		"random":       c.Random,
-		"mono":         c.Mono,
+		"optimal":     c.Optimal,
+		"host_constr": c.HostConstr,
+		"prod_constr": c.ProdConstr,
+		"random":      c.Random,
+		"mono":        c.Mono,
 	}
 }
 

@@ -1,23 +1,32 @@
 // Package icm implements Iterated Conditional Modes and a simulated-annealing
 // variant — simple local-search baselines for the MRF minimisation problem.
 // ICM converges to a local optimum extremely quickly but has no optimality
-// guarantee; it is used in the solver ablation (A1 in DESIGN.md).
+// guarantee; it is used in the solver ablation (A1 in DESIGN.md).  Only the
+// sweep kernel lives here; restarts are phases of the kernel and the
+// best-labeling tracking, history and cancellation live in the shared solve
+// driver.
 package icm
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"netdiversity/internal/mrf"
+	"netdiversity/internal/solve"
 )
 
-// Options configures the solvers.
+func init() {
+	solve.Register("icm", func() solve.Kernel { return &Kernel{} })
+	solve.Register("anneal", func() solve.Kernel { return &Kernel{ForceAnnealing: true} })
+}
+
+// Options configures the solvers (thin compatibility wrapper over the
+// unified solve.Options).
 type Options struct {
-	// MaxIterations bounds the number of full sweeps over the nodes.
-	// Default 50.
+	// MaxIterations bounds the number of full sweeps over the nodes per
+	// restart.  Default 50.
 	MaxIterations int
 	// Restarts runs the search from multiple random initialisations and
 	// keeps the best result.  Default 1 (single run from the greedy-unary
@@ -36,24 +45,8 @@ type Options struct {
 	InitialLabels []int
 }
 
-func (o Options) withDefaults() Options {
-	if o.MaxIterations <= 0 {
-		o.MaxIterations = 50
-	}
-	if o.Restarts <= 0 {
-		o.Restarts = 1
-	}
-	if o.InitialTemperature <= 0 {
-		o.InitialTemperature = 1.0
-	}
-	if o.Cooling <= 0 || o.Cooling >= 1 {
-		o.Cooling = 0.92
-	}
-	return o
-}
-
 // ErrNilGraph is returned when Solve is called with a nil graph.
-var ErrNilGraph = errors.New("icm: nil graph")
+var ErrNilGraph = solve.ErrNilGraph
 
 // Polish runs strict ICM descent starting from the given labeling and returns
 // the (weakly) improved labeling.  It is used to locally refine the output of
@@ -97,122 +90,185 @@ func Solve(g *mrf.Graph, opts Options) (mrf.Solution, error) {
 
 // SolveContext is Solve with cancellation between sweeps.
 func SolveContext(ctx context.Context, g *mrf.Graph, opts Options) (mrf.Solution, error) {
-	if g == nil {
-		return mrf.Solution{}, ErrNilGraph
-	}
-	if err := g.Validate(); err != nil {
-		return mrf.Solution{}, fmt.Errorf("icm: %w", err)
-	}
-	opts = opts.withDefaults()
-	rng := rand.New(rand.NewSource(opts.Seed))
-
-	n := g.NumNodes()
-	type halfEdge struct {
-		edge  int
-		isU   bool
-		other int
-	}
-	incident := make([][]halfEdge, n)
-	for e := 0; e < g.NumEdges(); e++ {
-		edge := g.Edge(e)
-		incident[edge.U] = append(incident[edge.U], halfEdge{edge: e, isU: true, other: edge.V})
-		incident[edge.V] = append(incident[edge.V], halfEdge{edge: e, isU: false, other: edge.U})
-	}
-
-	// localCost returns the energy contribution of assigning label x to node
-	// given the current labels of its neighbours.
-	localCost := func(labels []int, node, x int) float64 {
-		c := g.Unary(node, x)
-		for _, he := range incident[node] {
-			edge := g.Edge(he.edge)
-			if he.isU {
-				c += edge.Cost[x][labels[he.other]]
-			} else {
-				c += edge.Cost[labels[he.other]][x]
-			}
-		}
-		return c
-	}
-
-	var best []int
-	bestEnergy := math.Inf(1)
-	var history []float64
-	totalIters := 0
-	converged := false
-
-	for restart := 0; restart < opts.Restarts; restart++ {
-		labels := g.GreedyLabeling()
-		if restart == 0 && len(opts.InitialLabels) == n {
-			copy(labels, opts.InitialLabels)
-		}
-		if restart > 0 {
-			for i := range labels {
-				labels[i] = rng.Intn(g.NumLabels(i))
-			}
-		}
-		temp := opts.InitialTemperature
-		for iter := 0; iter < opts.MaxIterations; iter++ {
-			if err := ctx.Err(); err != nil {
-				return pack(g, best, bestEnergy, history, totalIters, false), err
-			}
-			changed := false
-			for node := 0; node < n; node++ {
-				cur := labels[node]
-				curCost := localCost(labels, node, cur)
-				bestLabel, bestCost := cur, curCost
-				for x := 0; x < g.NumLabels(node); x++ {
-					if x == cur {
-						continue
-					}
-					c := localCost(labels, node, x)
-					if c < bestCost {
-						bestLabel, bestCost = x, c
-					}
-				}
-				switch {
-				case bestLabel != cur:
-					labels[node] = bestLabel
-					changed = true
-				case opts.Annealing && temp > 1e-9:
-					// Propose a random uphill move with Metropolis acceptance.
-					cand := rng.Intn(g.NumLabels(node))
-					if cand != cur {
-						delta := localCost(labels, node, cand) - curCost
-						if delta < 0 || rng.Float64() < math.Exp(-delta/temp) {
-							labels[node] = cand
-							changed = true
-						}
-					}
-				}
-			}
-			totalIters++
-			energy := g.MustEnergy(labels)
-			if energy < bestEnergy {
-				bestEnergy = energy
-				best = append(best[:0], labels...)
-			}
-			history = append(history, bestEnergy)
-			temp *= opts.Cooling
-			if !changed && !opts.Annealing {
-				converged = true
-				break
-			}
-		}
-	}
-	if best == nil {
-		best = g.GreedyLabeling()
-		bestEnergy = g.MustEnergy(best)
-	}
-	return pack(g, best, bestEnergy, history, totalIters, converged), nil
+	return solve.Run(ctx, g, solve.Options{
+		MaxIterations:      opts.MaxIterations,
+		Restarts:           opts.Restarts,
+		Seed:               opts.Seed,
+		Annealing:          opts.Annealing,
+		InitialTemperature: opts.InitialTemperature,
+		Cooling:            opts.Cooling,
+		InitialLabels:      opts.InitialLabels,
+	}, &Kernel{})
 }
 
-func pack(g *mrf.Graph, labels []int, energy float64, history []float64, iters int, converged bool) mrf.Solution {
-	return mrf.Solution{
-		Labels:        append([]int(nil), labels...),
-		Energy:        energy,
-		LowerBound:    g.TrivialLowerBound(),
-		Iterations:    iters,
-		Converged:     converged,
-		EnergyHistory: append([]float64(nil), history...),
+// Kernel is the ICM / simulated-annealing sweep kernel.  Restarts are
+// internal phases: when a restart reaches a local optimum (or its sweep
+// budget), the kernel re-initialises randomly and reports a phase boundary
+// to the driver.
+type Kernel struct {
+	// ForceAnnealing turns the kernel into the "anneal" registry entry:
+	// annealing enabled with a multi-restart default.
+	ForceAnnealing bool
+
+	g    *mrf.Graph
+	opts solve.Options
+	rng  *rand.Rand
+
+	n       int
+	counts  []int
+	inc     solve.Incidence
+	labels  []int
+	costBuf []float64
+
+	restart        int
+	sweepInRestart int
+	temp           float64
+	// anyConverged remembers whether any restart reached a local optimum,
+	// matching the seed's Converged semantics for multi-restart runs.
+	anyConverged bool
+}
+
+// Defaults applies the local-search defaults: 50 sweeps per restart, driver
+// patience disabled (a restart's plateau must not cut the next restart
+// short; termination is the kernel's own local-optimum / budget rule).
+func (k *Kernel) Defaults(opts solve.Options) solve.Options {
+	if k.ForceAnnealing {
+		opts.Annealing = true
+		if opts.Restarts <= 0 {
+			opts.Restarts = 4
+		}
+	}
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 50
+	}
+	if opts.Restarts <= 0 {
+		opts.Restarts = 1
+	}
+	opts.Patience = opts.MaxIterations * opts.Restarts
+	return opts
+}
+
+// Init builds the incidence workspace and the first restart's labeling.
+func (k *Kernel) Init(g *mrf.Graph, opts solve.Options) error {
+	k.g = g
+	k.opts = opts
+	k.rng = rand.New(rand.NewSource(opts.Seed))
+	k.n = g.NumNodes()
+	k.counts = make([]int, k.n)
+	for i := 0; i < k.n; i++ {
+		k.counts[i] = g.NumLabels(i)
+	}
+	k.inc = solve.BuildIncidence(g)
+	k.costBuf = make([]float64, g.MaxLabels())
+
+	k.labels = g.GreedyLabeling()
+	if len(opts.InitialLabels) == k.n {
+		copy(k.labels, opts.InitialLabels)
+	}
+	k.restart = 0
+	k.sweepInRestart = 0
+	k.temp = opts.InitialTemperature
+	return nil
+}
+
+func (k *Kernel) incident(node int) []solve.HalfEdge {
+	return k.inc.Of(node)
+}
+
+// localCosts fills dst[x] with the energy contribution of assigning label x
+// to the node given the current labels of its neighbours.
+func (k *Kernel) localCosts(node int, dst []float64) {
+	copy(dst, k.g.UnaryView(node))
+	kn := k.counts[node]
+	for _, he := range k.incident(node) {
+		fixed := k.labels[he.Other]
+		var row []float64
+		if he.IsU {
+			// cost[x][fixed] over x = column of the matrix = row of the
+			// transpose: contiguous.
+			row = k.g.EdgeMatT(int(he.Edge)).Row(fixed)
+		} else {
+			row = k.g.EdgeMat(int(he.Edge)).Row(fixed)
+		}
+		for x := 0; x < kn; x++ {
+			dst[x] += row[x]
+		}
+	}
+}
+
+// sweep performs one Gauss-Seidel pass over the nodes and reports whether
+// any label changed.
+func (k *Kernel) sweep() bool {
+	changed := false
+	for node := 0; node < k.n; node++ {
+		kn := k.counts[node]
+		cost := k.costBuf[:kn]
+		k.localCosts(node, cost)
+		cur := k.labels[node]
+		bestLabel, bestCost := cur, cost[cur]
+		for x := 0; x < kn; x++ {
+			if cost[x] < bestCost {
+				bestLabel, bestCost = x, cost[x]
+			}
+		}
+		switch {
+		case bestLabel != cur:
+			k.labels[node] = bestLabel
+			changed = true
+		case k.opts.Annealing && k.temp > 1e-9:
+			// Propose a random uphill move with Metropolis acceptance.
+			cand := k.rng.Intn(kn)
+			if cand != cur {
+				delta := cost[cand] - cost[cur]
+				if delta < 0 || k.rng.Float64() < math.Exp(-delta/k.temp) {
+					k.labels[node] = cand
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// nextRestart re-initialises the labeling randomly for the following phase.
+func (k *Kernel) nextRestart() {
+	k.restart++
+	k.sweepInRestart = 0
+	k.temp = k.opts.InitialTemperature
+	for i := range k.labels {
+		k.labels[i] = k.rng.Intn(k.counts[i])
+	}
+}
+
+// Step performs one sweep and handles restart transitions.  It returns the
+// kernel's labeling buffer directly: the driver scores and copies it before
+// the next Step mutates it.
+func (k *Kernel) Step() solve.Step {
+	changed := k.sweep()
+	k.sweepInRestart++
+	k.temp *= k.opts.Cooling
+	lastRestart := k.restart+1 >= k.opts.Restarts
+	switch {
+	case !changed && !k.opts.Annealing:
+		// Local optimum reached for this restart.
+		k.anyConverged = true
+		if lastRestart {
+			return solve.Step{Labels: k.labels, FixedPoint: true}
+		}
+		// Snapshot before nextRestart randomises the buffer.
+		labels := append([]int(nil), k.labels...)
+		k.nextRestart()
+		return solve.Step{Labels: labels, NewPhase: true}
+	case k.sweepInRestart >= k.opts.MaxIterations:
+		if lastRestart {
+			// Report convergence if any earlier restart reached a local
+			// optimum, as the seed implementation did.
+			return solve.Step{Labels: k.labels, FixedPoint: k.anyConverged, Exhausted: true}
+		}
+		labels := append([]int(nil), k.labels...)
+		k.nextRestart()
+		return solve.Step{Labels: labels, NewPhase: true}
+	default:
+		return solve.Step{Labels: k.labels}
 	}
 }

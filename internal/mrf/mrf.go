@@ -7,6 +7,14 @@
 // host), φ are unary costs (product preferences and constraint penalties) and
 // ψ are pairwise costs (vulnerability similarities).  Solvers live in the
 // trws, bp and icm packages and operate on the Graph type defined here.
+//
+// Storage layout.  The graph keeps all unary costs in one flat contiguous
+// []float64 indexed through per-node offsets, stores every distinct pairwise
+// cost matrix exactly once (interned by content, see Matrix) and maintains a
+// CSR-style flat adjacency list mapping nodes to incident edge indices.  This
+// keeps the hot message-passing loops cache-friendly and drops pairwise
+// memory from O(E·K²) to O(distinct·K²) on networks where many links share
+// the same similarity matrix.
 package mrf
 
 import (
@@ -21,19 +29,40 @@ import (
 const HardPenalty = 1e9
 
 // Edge is an undirected pairwise factor between nodes U and V with a dense
-// cost matrix Cost[labelU][labelV].
+// cost matrix Cost[labelU][labelV].  The Cost rows alias the graph's interned
+// flat storage; callers must treat them as read-only.
 type Edge struct {
 	U, V int
 	Cost [][]float64
 }
 
-// Graph is a discrete pairwise MRF.
+// edgeRec is the internal edge representation: endpoints plus the index of
+// the interned cost matrix.
+type edgeRec struct {
+	U, V int
+	Mat  int
+}
+
+// Graph is a discrete pairwise MRF with flat, interned storage.
 type Graph struct {
-	labels [][]string    // optional label names per node (for decoding)
-	counts []int         // number of labels per node
-	unary  [][]float64   // unary costs per node per label
-	edges  []Edge
-	adj    [][]int // adjacency: node -> indices into edges
+	labels [][]string // optional label names per node (for decoding)
+	counts []int      // number of labels per node
+	off    []int      // off[i] is the start of node i's unary block; len(off) == NumNodes()+1
+	unary  []float64  // flat unary costs
+
+	edges []edgeRec
+	mats  []*Matrix // interned distinct cost matrices
+	matsT []*Matrix // lazily built transposes, same indexing as mats
+	views [][][]float64
+	// interning indexes: content hash -> candidate matrix ids, and identity
+	// of a caller-shared nested matrix -> matrix id.
+	byContent map[uint64][]int
+	byPtr     map[matIdentity]int
+
+	// CSR adjacency (node -> incident edge indices), rebuilt lazily.
+	adjOff   []int
+	adjList  []int
+	adjDirty bool
 }
 
 // NewGraph creates a graph with the given number of labels per node.  Every
@@ -43,17 +72,22 @@ func NewGraph(labelCounts []int) (*Graph, error) {
 		return nil, errors.New("mrf: graph needs at least one node")
 	}
 	g := &Graph{
-		counts: append([]int(nil), labelCounts...),
-		unary:  make([][]float64, len(labelCounts)),
-		adj:    make([][]int, len(labelCounts)),
-		labels: make([][]string, len(labelCounts)),
+		counts:    append([]int(nil), labelCounts...),
+		off:       make([]int, len(labelCounts)+1),
+		labels:    make([][]string, len(labelCounts)),
+		byContent: make(map[uint64][]int),
+		byPtr:     make(map[matIdentity]int),
 	}
+	total := 0
 	for i, k := range labelCounts {
 		if k <= 0 {
 			return nil, fmt.Errorf("mrf: node %d has %d labels; need at least 1", i, k)
 		}
-		g.unary[i] = make([]float64, k)
+		g.off[i] = total
+		total += k
 	}
+	g.off[len(labelCounts)] = total
+	g.unary = make([]float64, total)
 	return g, nil
 }
 
@@ -65,6 +99,21 @@ func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // NumLabels returns the label-space size of the node.
 func (g *Graph) NumLabels(node int) int { return g.counts[node] }
+
+// MaxLabels returns the largest label-space size over all nodes.
+func (g *Graph) MaxLabels() int {
+	max := 0
+	for _, k := range g.counts {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// NumMatrices returns the number of distinct (interned) pairwise cost
+// matrices; NumEdges()/NumMatrices() is the sharing factor.
+func (g *Graph) NumMatrices() int { return len(g.mats) }
 
 // SetLabelNames attaches human-readable names to a node's labels; purely
 // informational (used when decoding assignments).
@@ -92,7 +141,7 @@ func (g *Graph) SetUnary(node, label int, cost float64) error {
 	if err := g.checkNodeLabel(node, label); err != nil {
 		return err
 	}
-	g.unary[node][label] = cost
+	g.unary[g.off[node]+label] = cost
 	return nil
 }
 
@@ -101,18 +150,25 @@ func (g *Graph) AddUnary(node, label int, cost float64) error {
 	if err := g.checkNodeLabel(node, label); err != nil {
 		return err
 	}
-	g.unary[node][label] += cost
+	g.unary[g.off[node]+label] += cost
 	return nil
 }
 
 // Unary returns φ_node(label).
-func (g *Graph) Unary(node, label int) float64 { return g.unary[node][label] }
+func (g *Graph) Unary(node, label int) float64 { return g.unary[g.off[node]+label] }
 
 // UnaryRow returns a copy of the unary cost vector of a node.
 func (g *Graph) UnaryRow(node int) []float64 {
-	out := make([]float64, len(g.unary[node]))
-	copy(out, g.unary[node])
+	out := make([]float64, g.counts[node])
+	copy(out, g.UnaryView(node))
 	return out
+}
+
+// UnaryView returns the node's unary cost vector as a view into the flat
+// buffer.  Callers must treat it as read-only; solvers use it to avoid the
+// per-visit copy of UnaryRow on the hot path.
+func (g *Graph) UnaryView(node int) []float64 {
+	return g.unary[g.off[node]:g.off[node+1]:g.off[node+1]]
 }
 
 func (g *Graph) checkNodeLabel(node, label int) error {
@@ -125,48 +181,181 @@ func (g *Graph) checkNodeLabel(node, label int) error {
 	return nil
 }
 
-// AddEdge adds a pairwise factor between u and v with the dense cost matrix
-// cost[labelU][labelV].  The matrix is copied.  It returns the edge index.
-func (g *Graph) AddEdge(u, v int, cost [][]float64) (int, error) {
+func (g *Graph) checkEdge(u, v int, cost [][]float64) error {
 	if u == v {
-		return 0, fmt.Errorf("mrf: self edge on node %d", u)
+		return fmt.Errorf("mrf: self edge on node %d", u)
 	}
 	if u < 0 || u >= len(g.counts) || v < 0 || v >= len(g.counts) {
-		return 0, fmt.Errorf("mrf: edge (%d,%d) out of range", u, v)
+		return fmt.Errorf("mrf: edge (%d,%d) out of range", u, v)
 	}
-	if len(cost) != g.counts[u] {
-		return 0, fmt.Errorf("mrf: edge (%d,%d) cost has %d rows, want %d", u, v, len(cost), g.counts[u])
+	if err := CheckMatrix(cost, g.counts[u], g.counts[v]); err != nil {
+		return fmt.Errorf("mrf: edge (%d,%d): %w", u, v, err)
 	}
-	cp := make([][]float64, len(cost))
-	for i, row := range cost {
-		if len(row) != g.counts[v] {
-			return 0, fmt.Errorf("mrf: edge (%d,%d) cost row %d has %d cols, want %d",
-				u, v, i, len(row), g.counts[v])
-		}
-		cp[i] = append([]float64(nil), row...)
-	}
-	idx := len(g.edges)
-	g.edges = append(g.edges, Edge{U: u, V: v, Cost: cp})
-	g.adj[u] = append(g.adj[u], idx)
-	g.adj[v] = append(g.adj[v], idx)
-	return idx, nil
+	return nil
 }
 
-// Edge returns the idx-th pairwise factor.  The returned struct shares the
-// internal cost matrix; callers must treat it as read-only.
-func (g *Graph) Edge(idx int) Edge { return g.edges[idx] }
+// matIdentity identifies a caller-owned nested matrix for identity
+// interning: shape plus the addresses of the first and last rows' storage.
+// Two matrices can only collide if they share both boundary rows, which the
+// AddEdgeShared contract (one matrix reused verbatim across edges) rules
+// out.
+type matIdentity struct {
+	rows, cols  int
+	first, last *float64
+}
+
+func identityOf(cost [][]float64) matIdentity {
+	return matIdentity{
+		rows:  len(cost),
+		cols:  len(cost[0]),
+		first: &cost[0][0],
+		last:  &cost[len(cost)-1][0],
+	}
+}
+
+// intern stores the matrix if no identical matrix exists yet and returns the
+// matrix id.  The legacy row view is built eagerly so Edge() stays a pure
+// (concurrency-safe) read.
+func (g *Graph) intern(m *Matrix) int {
+	h := m.contentHash()
+	for _, id := range g.byContent[h] {
+		if g.mats[id].equalContent(m) {
+			return id
+		}
+	}
+	id := len(g.mats)
+	g.mats = append(g.mats, m)
+	g.views = append(g.views, m.rowViews())
+	g.byContent[h] = append(g.byContent[h], id)
+	return id
+}
+
+func (g *Graph) appendEdge(u, v, mat int) int {
+	idx := len(g.edges)
+	g.edges = append(g.edges, edgeRec{U: u, V: v, Mat: mat})
+	g.adjDirty = true
+	return idx
+}
+
+// AddEdge adds a pairwise factor between u and v with the dense cost matrix
+// cost[labelU][labelV].  The matrix is copied into flat storage and interned:
+// edges with identical costs share one buffer.  It returns the edge index.
+func (g *Graph) AddEdge(u, v int, cost [][]float64) (int, error) {
+	if err := g.checkEdge(u, v, cost); err != nil {
+		return 0, err
+	}
+	return g.appendEdge(u, v, g.intern(flatten(cost))), nil
+}
+
+// AddEdgeShared is like AddEdge but interns by matrix identity: repeated
+// calls with the same nested matrix skip the content hash and reuse the
+// already-flattened buffer directly.  It exists so that large networks in
+// which many edges carry the identical cost matrix (e.g. the per-service
+// similarity matrix used on every link of the scalability experiments) pay
+// neither memory nor hashing proportional to edges × labels².  The matrix is
+// copied on first sight; later mutations of the caller's nested slices are
+// NOT reflected in the graph.
+func (g *Graph) AddEdgeShared(u, v int, cost [][]float64) (int, error) {
+	if err := g.checkEdge(u, v, cost); err != nil {
+		return 0, err
+	}
+	key := identityOf(cost)
+	id, ok := g.byPtr[key]
+	if !ok {
+		id = g.intern(flatten(cost))
+		g.byPtr[key] = id
+	}
+	return g.appendEdge(u, v, id), nil
+}
+
+// Edge returns the idx-th pairwise factor as a compatibility view whose Cost
+// rows alias the interned flat buffer; callers must treat it as read-only.
+func (g *Graph) Edge(idx int) Edge {
+	e := g.edges[idx]
+	return Edge{U: e.U, V: e.V, Cost: g.views[e.Mat]}
+}
+
+// EdgeEndpoints returns the two endpoints of the idx-th edge.
+func (g *Graph) EdgeEndpoints(idx int) (u, v int) {
+	e := g.edges[idx]
+	return e.U, e.V
+}
+
+// EdgeMatID returns the interned matrix id of the idx-th edge.
+func (g *Graph) EdgeMatID(idx int) int { return g.edges[idx].Mat }
+
+// Mat returns the interned matrix with the given id.
+func (g *Graph) Mat(id int) *Matrix { return g.mats[id] }
+
+// EdgeMat returns the cost matrix of the idx-th edge (row index = U label).
+func (g *Graph) EdgeMat(idx int) *Matrix { return g.mats[g.edges[idx].Mat] }
+
+// EdgeMatT returns the transposed cost matrix of the idx-th edge (row index =
+// V label).  Transposes are interned alongside the originals and built
+// lazily; solvers touch them once during single-threaded setup so that the
+// shared cache is safe to read concurrently afterwards.
+func (g *Graph) EdgeMatT(idx int) *Matrix {
+	id := g.edges[idx].Mat
+	for len(g.matsT) < len(g.mats) {
+		g.matsT = append(g.matsT, nil)
+	}
+	if g.matsT[id] == nil {
+		g.matsT[id] = g.mats[id].transposed()
+	}
+	return g.matsT[id]
+}
+
+// ensureAdj (re)builds the CSR adjacency after edge insertions.
+func (g *Graph) ensureAdj() {
+	if !g.adjDirty && g.adjOff != nil {
+		return
+	}
+	n := len(g.counts)
+	deg := make([]int, n)
+	for _, e := range g.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	g.adjOff = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		g.adjOff[i+1] = g.adjOff[i] + deg[i]
+	}
+	g.adjList = make([]int, g.adjOff[n])
+	pos := make([]int, n)
+	copy(pos, g.adjOff[:n])
+	for idx, e := range g.edges {
+		g.adjList[pos[e.U]] = idx
+		pos[e.U]++
+		g.adjList[pos[e.V]] = idx
+		pos[e.V]++
+	}
+	g.adjDirty = false
+}
 
 // AdjacentEdges returns the indices of the edges incident to the node.
 func (g *Graph) AdjacentEdges(node int) []int {
-	out := make([]int, len(g.adj[node]))
-	copy(out, g.adj[node])
-	return out
+	g.ensureAdj()
+	return append([]int(nil), g.IncidentEdges(node)...)
+}
+
+// IncidentEdges returns the incident edge indices of a node as a view into
+// the flat CSR adjacency (sorted by edge index).  Callers must treat it as
+// read-only and must not hold it across AddEdge calls.
+func (g *Graph) IncidentEdges(node int) []int {
+	g.ensureAdj()
+	return g.adjList[g.adjOff[node]:g.adjOff[node+1]:g.adjOff[node+1]]
+}
+
+// Degree returns the number of edges incident to the node.
+func (g *Graph) Degree(node int) int {
+	g.ensureAdj()
+	return g.adjOff[node+1] - g.adjOff[node]
 }
 
 // PairwiseCost returns ψ of the idx-th edge for the given endpoint labels,
 // where lu indexes the edge's U node and lv its V node.
 func (g *Graph) PairwiseCost(idx, lu, lv int) float64 {
-	return g.edges[idx].Cost[lu][lv]
+	return g.mats[g.edges[idx].Mat].At(lu, lv)
 }
 
 // Energy evaluates E(x) for a full labeling (one label index per node).
@@ -179,10 +368,10 @@ func (g *Graph) Energy(labels []int) (float64, error) {
 		if l < 0 || l >= g.counts[i] {
 			return 0, fmt.Errorf("mrf: label %d out of range for node %d", l, i)
 		}
-		total += g.unary[i][l]
+		total += g.unary[g.off[i]+l]
 	}
 	for _, e := range g.edges {
-		total += e.Cost[labels[e.U]][labels[e.V]]
+		total += g.mats[e.Mat].At(labels[e.U], labels[e.V])
 	}
 	return total, nil
 }
@@ -198,20 +387,22 @@ func (g *Graph) MustEnergy(labels []int) float64 {
 }
 
 // TrivialLowerBound returns Σ_i min_x φ_i(x) + Σ_e min ψ_e, a valid (if loose)
-// lower bound on the minimum energy.
+// lower bound on the minimum energy.  Per-matrix minima are computed once per
+// distinct matrix.
 func (g *Graph) TrivialLowerBound() float64 {
 	lb := 0.0
-	for _, row := range g.unary {
-		lb += minOf(row)
+	for i := range g.counts {
+		lb += minOf(g.UnaryView(i))
+	}
+	if len(g.edges) == 0 {
+		return lb
+	}
+	mins := make([]float64, len(g.mats))
+	for id, m := range g.mats {
+		mins[id] = m.Min()
 	}
 	for _, e := range g.edges {
-		m := math.Inf(1)
-		for _, row := range e.Cost {
-			if v := minOf(row); v < m {
-				m = v
-			}
-		}
-		lb += m
+		lb += mins[e.Mat]
 	}
 	return lb
 }
@@ -221,7 +412,8 @@ func (g *Graph) TrivialLowerBound() float64 {
 // and as a baseline in tests.
 func (g *Graph) GreedyLabeling() []int {
 	labels := make([]int, len(g.counts))
-	for i, row := range g.unary {
+	for i := range g.counts {
+		row := g.UnaryView(i)
 		best, bestV := 0, math.Inf(1)
 		for l, v := range row {
 			if v < bestV {
@@ -233,21 +425,24 @@ func (g *Graph) GreedyLabeling() []int {
 	return labels
 }
 
-// Validate checks internal consistency (no NaN costs, adjacency coherent).
+// Validate checks internal consistency (no NaN costs).
 func (g *Graph) Validate() error {
-	for i, row := range g.unary {
-		for l, v := range row {
+	for i := range g.counts {
+		for l, v := range g.UnaryView(i) {
 			if math.IsNaN(v) {
 				return fmt.Errorf("mrf: unary cost of node %d label %d is NaN", i, l)
 			}
 		}
 	}
-	for idx, e := range g.edges {
-		for _, row := range e.Cost {
-			for _, v := range row {
-				if math.IsNaN(v) {
-					return fmt.Errorf("mrf: pairwise cost of edge %d is NaN", idx)
+	for id, m := range g.mats {
+		for _, v := range m.Data {
+			if math.IsNaN(v) {
+				for idx, e := range g.edges {
+					if e.Mat == id {
+						return fmt.Errorf("mrf: pairwise cost of edge %d is NaN", idx)
+					}
 				}
+				return fmt.Errorf("mrf: pairwise cost matrix %d is NaN", id)
 			}
 		}
 	}

@@ -99,21 +99,56 @@ func TestAddEdgeValidation(t *testing.T) {
 	}
 }
 
-func TestAddEdgeSharedDoesNotCopy(t *testing.T) {
-	g := chainGraph(t, []int{2, 2})
+func TestAddEdgeSharedInternsMatrix(t *testing.T) {
+	g := chainGraph(t, []int{2, 2, 2})
 	cost := PottsCost(2, 2, 1)
 	if _, err := g.AddEdgeShared(0, 1, cost); err != nil {
 		t.Fatal(err)
 	}
+	if _, err := g.AddEdgeShared(1, 2, cost); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumMatrices() != 1 {
+		t.Errorf("identical shared matrix should be interned once, got %d", g.NumMatrices())
+	}
+	if g.PairwiseCost(0, 0, 0) != 1 || g.PairwiseCost(1, 0, 0) != 1 {
+		t.Error("interned matrix lost its costs")
+	}
+	// The matrix is copied on first sight: later caller mutations must not
+	// leak into the graph.
 	cost[0][0] = 42
-	if g.PairwiseCost(0, 0, 0) != 42 {
-		t.Error("AddEdgeShared should store the matrix without copying")
+	if g.PairwiseCost(0, 0, 0) == 42 {
+		t.Error("AddEdgeShared must snapshot the matrix contents")
 	}
 	if _, err := g.AddEdgeShared(0, 0, cost); err == nil {
 		t.Error("self edge should be rejected")
 	}
 	if _, err := g.AddEdgeShared(0, 1, PottsCost(3, 3, 1)); err == nil {
 		t.Error("wrong shape should be rejected")
+	}
+}
+
+func TestAddEdgeInternsByContent(t *testing.T) {
+	g := chainGraph(t, []int{2, 2, 2})
+	if _, err := g.AddEdge(0, 1, PottsCost(2, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// A separately-allocated but identical matrix must not grow storage…
+	if _, err := g.AddEdge(1, 2, PottsCost(2, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumMatrices() != 1 {
+		t.Errorf("content-identical matrices should intern to one, got %d", g.NumMatrices())
+	}
+	// …while a different matrix must.
+	if _, err := g.AddEdge(0, 2, PottsCost(2, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumMatrices() != 2 {
+		t.Errorf("distinct matrices must stay distinct, got %d", g.NumMatrices())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
 	}
 }
 

@@ -32,25 +32,3 @@ func (s Solution) String() string {
 	return fmt.Sprintf("energy=%.4f bound=%.4f iterations=%d converged=%v",
 		s.Energy, s.LowerBound, s.Iterations, s.Converged)
 }
-
-// AddEdgeShared is like AddEdge but stores the provided cost matrix without
-// copying it.  It exists so that large networks in which many edges share the
-// identical cost matrix (e.g. the per-service similarity matrix used on every
-// link of the scalability experiments) do not pay memory proportional to
-// edges × labels².  The caller must not modify the matrix afterwards.
-func (g *Graph) AddEdgeShared(u, v int, cost [][]float64) (int, error) {
-	if u == v {
-		return 0, fmt.Errorf("mrf: self edge on node %d", u)
-	}
-	if u < 0 || u >= len(g.counts) || v < 0 || v >= len(g.counts) {
-		return 0, fmt.Errorf("mrf: edge (%d,%d) out of range", u, v)
-	}
-	if err := CheckMatrix(cost, g.counts[u], g.counts[v]); err != nil {
-		return 0, fmt.Errorf("mrf: edge (%d,%d): %w", u, v, err)
-	}
-	idx := len(g.edges)
-	g.edges = append(g.edges, Edge{U: u, V: v, Cost: cost})
-	g.adj[u] = append(g.adj[u], idx)
-	g.adj[v] = append(g.adj[v], idx)
-	return idx, nil
-}

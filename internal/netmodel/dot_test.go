@@ -51,8 +51,8 @@ func TestWriteDot(t *testing.T) {
 		`"c1" -- "t1";`,
 		`os=deb80`,
 		`penwidth=3`,
-		"color=gray40",        // legacy host styling
-		`subgraph "cluster_`,  // zone clustering
+		"color=gray40",       // legacy host styling
+		`subgraph "cluster_`, // zone clustering
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dot output missing %q:\n%s", want, out)

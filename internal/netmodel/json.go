@@ -10,10 +10,10 @@ import (
 // Spec is the JSON representation of a network plus optional constraints,
 // consumed and produced by the cmd/ tools and by examples.
 type Spec struct {
-	Hosts       []HostSpec       `json:"hosts"`
-	Links       []Link           `json:"links"`
-	Constraints []Constraint     `json:"constraints,omitempty"`
-	Fixed       []FixedSpec      `json:"fixed,omitempty"`
+	Hosts       []HostSpec        `json:"hosts"`
+	Links       []Link            `json:"links"`
+	Constraints []Constraint      `json:"constraints,omitempty"`
+	Fixed       []FixedSpec       `json:"fixed,omitempty"`
 	Meta        map[string]string `json:"meta,omitempty"`
 }
 

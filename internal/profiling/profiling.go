@@ -1,0 +1,51 @@
+// Package profiling provides the pprof plumbing shared by the command-line
+// tools (-cpuprofile / -memprofile flags in the style of the reference
+// experiment harnesses).
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a stop
+// function that ends the CPU profile and, when memPath is non-empty, writes
+// a heap profile.  The stop function must be called exactly once; both paths
+// empty make Start (and stop) a no-op.
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("start cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("write mem profile: %w", err)
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

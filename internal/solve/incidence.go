@@ -1,0 +1,73 @@
+package solve
+
+import "netdiversity/internal/mrf"
+
+// HalfEdge is one directed view of an undirected MRF edge as seen from a
+// node: the edge index, the opposite endpoint, and whether the node is the
+// edge's U endpoint (i.e. indexes the cost matrix rows).
+type HalfEdge struct {
+	Edge  int32
+	Other int32
+	IsU   bool
+}
+
+// Incidence is a CSR half-edge incidence structure shared by the solver
+// kernels: Of(i) lists node i's half edges in edge-index order.
+type Incidence struct {
+	inc []HalfEdge
+	off []int
+}
+
+// BuildIncidence constructs the incidence structure for a graph and touches
+// the graph's lazy caches (adjacency CSR, transposed matrices) so that
+// kernels may read them from multiple goroutines afterwards.  Call it from
+// Kernel.Init, which the driver guarantees runs single-threaded.
+func BuildIncidence(g *mrf.Graph) Incidence {
+	n := g.NumNodes()
+	off := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + len(g.IncidentEdges(i))
+	}
+	inc := make([]HalfEdge, off[n])
+	for i := 0; i < n; i++ {
+		pos := off[i]
+		for _, e := range g.IncidentEdges(i) {
+			u, v := g.EdgeEndpoints(e)
+			he := HalfEdge{Edge: int32(e), Other: int32(v), IsU: true}
+			if v == i {
+				he.Other = int32(u)
+				he.IsU = false
+			}
+			inc[pos] = he
+			pos++
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		g.EdgeMatT(e)
+	}
+	return Incidence{inc: inc, off: off}
+}
+
+// Of returns the half edges of a node as a read-only view.
+func (in *Incidence) Of(node int) []HalfEdge {
+	return in.inc[in.off[node]:in.off[node+1]:in.off[node+1]]
+}
+
+// MessageOffsets lays out flat per-endpoint message storage for every edge:
+// intoU[e] is the offset of the message into edge e's U endpoint, intoV[e]
+// the offset of the message into its V endpoint, and total the buffer length
+// (message sizes are the endpoints' label counts).  Both message-passing
+// kernels share this layout.
+func MessageOffsets(g *mrf.Graph) (intoU, intoV []int, total int) {
+	nEdges := g.NumEdges()
+	intoU = make([]int, nEdges)
+	intoV = make([]int, nEdges)
+	for e := 0; e < nEdges; e++ {
+		u, v := g.EdgeEndpoints(e)
+		intoU[e] = total
+		total += g.NumLabels(u)
+		intoV[e] = total
+		total += g.NumLabels(v)
+	}
+	return intoU, intoV, total
+}

@@ -1,0 +1,220 @@
+// Package solve defines the unified solver layer for the MRF minimisation
+// problem: a Kernel interface that each algorithm (TRW-S, loopy BP, ICM,
+// simulated annealing) implements with just its message/update rule, a shared
+// driver that owns everything the seed solvers used to duplicate —
+// best-labeling tracking, tolerance/patience convergence, energy history and
+// context cancellation — and a registry mapping solver names to kernel
+// factories so that orchestration layers (core.Optimizer, the cmd tools) can
+// run any solver uniformly.
+package solve
+
+import (
+	"context"
+	"errors"
+
+	"netdiversity/internal/mrf"
+)
+
+// ErrNilGraph is returned when Solve/Run is called with a nil graph.  Solver
+// packages alias this error so errors.Is works across the wrappers.
+var ErrNilGraph = errors.New("solve: nil graph")
+
+// Options is the unified solver configuration.  Individual kernels consume
+// the subset that applies to them and may override defaults through the
+// Defaults hook.
+type Options struct {
+	// MaxIterations bounds the number of kernel steps per phase (sweeps for
+	// the local-search solvers, full passes for the message-passing ones).
+	// Default 100.
+	MaxIterations int
+	// Tolerance is the minimum energy improvement that counts as progress
+	// for the driver's patience logic; message-passing kernels also use it
+	// for their own fixed-point test.  Default 1e-6.
+	Tolerance float64
+	// Patience is the number of non-improving iterations tolerated before
+	// the driver declares convergence.  Default 5.  Kernels that manage
+	// their own stopping rule (BP message deltas, ICM local optima) disable
+	// it by defaulting it to MaxIterations.
+	Patience int
+	// Workers sets the number of goroutines a kernel may use for one step.
+	// Values <= 1 run serially.  Kernels must stay deterministic for any
+	// worker count.
+	Workers int
+	// Seed drives randomised kernels (restarts, annealing).
+	Seed int64
+	// Damping in [0,1) mixes new messages with previous ones (BP).
+	Damping float64
+	// Restarts re-runs local search from random initialisations (ICM/anneal).
+	Restarts int
+	// Annealing enables the simulated-annealing acceptance rule (ICM).
+	Annealing bool
+	// InitialTemperature and Cooling control the annealing schedule.
+	InitialTemperature float64
+	Cooling            float64
+	// InitialLabels optionally warm-starts the solver: the driver seeds its
+	// best labeling with it and local-search kernels descend from it.
+	InitialLabels []int
+}
+
+// WithDefaults fills the zero values shared by every kernel.
+func (o Options) WithDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 100
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-6
+	}
+	if o.Patience <= 0 {
+		o.Patience = 5
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	if o.InitialTemperature <= 0 {
+		o.InitialTemperature = 1.0
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.92
+	}
+	return o
+}
+
+// Step is what a kernel reports back to the driver after one iteration.
+type Step struct {
+	// Labels is the candidate labeling decoded this step; the driver scores
+	// it and keeps the best seen.  A nil Labels skips scoring.
+	Labels []int
+	// FixedPoint signals the kernel's own convergence criterion (message
+	// deltas below tolerance, a sweep with no changes on the last restart).
+	// The driver stops and marks the solution converged.
+	FixedPoint bool
+	// NewPhase signals a phase boundary (e.g. a fresh random restart); the
+	// driver resets its patience counter so a phase is not cut short by the
+	// previous phase's plateau.
+	NewPhase bool
+	// Exhausted signals that the kernel has no more work (iteration budget
+	// spent); the driver stops without marking convergence.
+	Exhausted bool
+}
+
+// Kernel is the pure algorithmic core of one MRF solver.  Init is called
+// once, single-threaded, and must touch any lazily-built graph caches it
+// will read during Step (incident lists, transposed matrices) so that Step
+// may fan out across goroutines safely.
+type Kernel interface {
+	// Init validates kernel-specific options and prepares the workspace.
+	Init(g *mrf.Graph, opts Options) error
+	// Step advances the algorithm by one iteration.
+	Step() Step
+}
+
+// OptionDefaulter lets a kernel adjust the unified defaults before the
+// driver applies them (e.g. BP disables energy patience because its stopping
+// rule is the message fixed point; ICM bounds sweeps per restart).
+type OptionDefaulter interface {
+	Defaults(opts Options) Options
+}
+
+// Run drives a kernel to completion: it owns validation, warm starts,
+// best-labeling tracking, the tolerance/patience convergence rule, the
+// energy history and context cancellation.  On cancellation it returns the
+// best solution found so far together with the context error.
+func Run(ctx context.Context, g *mrf.Graph, opts Options, k Kernel) (mrf.Solution, error) {
+	if g == nil {
+		return mrf.Solution{}, ErrNilGraph
+	}
+	if err := g.Validate(); err != nil {
+		return mrf.Solution{}, err
+	}
+	if d, ok := k.(OptionDefaulter); ok {
+		opts = d.Defaults(opts)
+	}
+	opts = opts.WithDefaults()
+	if err := k.Init(g, opts); err != nil {
+		return mrf.Solution{}, err
+	}
+
+	best := g.GreedyLabeling()
+	bestEnergy := g.MustEnergy(best)
+	// Patience tracks the kernel's progress against the greedy-unary
+	// baseline, not against the warm start: a strong warm start must not
+	// starve a message-passing kernel of its first Patience iterations
+	// while its decoded energy is still catching up from above.
+	kernelBest := bestEnergy
+	if len(opts.InitialLabels) == g.NumNodes() {
+		if e, err := g.Energy(opts.InitialLabels); err == nil && e < bestEnergy {
+			copy(best, opts.InitialLabels)
+			bestEnergy = e
+		}
+	}
+
+	history := make([]float64, 0, opts.MaxIterations)
+	noImprove := 0
+	iterations := 0
+	converged := false
+	// Hard cap: kernels signal Exhausted themselves; this only guards
+	// against a kernel that never does.
+	maxSteps := opts.MaxIterations * opts.Restarts
+
+	for iterations < maxSteps {
+		if err := ctx.Err(); err != nil {
+			return pack(g, best, bestEnergy, history, iterations, false), err
+		}
+		st := k.Step()
+		iterations++
+		if st.Labels != nil {
+			e := g.MustEnergy(st.Labels)
+			if e < kernelBest-opts.Tolerance {
+				kernelBest = e
+				noImprove = 0
+			} else {
+				noImprove++
+			}
+			if e < bestEnergy {
+				bestEnergy = e
+				copy(best, st.Labels)
+			}
+		}
+		history = append(history, bestEnergy)
+		if st.NewPhase {
+			noImprove = 0
+		}
+		if st.FixedPoint {
+			converged = true
+			break
+		}
+		if st.Exhausted {
+			break
+		}
+		if noImprove >= opts.Patience {
+			converged = true
+			break
+		}
+	}
+	return pack(g, best, bestEnergy, history, iterations, converged), nil
+}
+
+func pack(g *mrf.Graph, labels []int, energy float64, history []float64, iters int, converged bool) mrf.Solution {
+	return mrf.Solution{
+		Labels:        append([]int(nil), labels...),
+		Energy:        energy,
+		LowerBound:    g.TrivialLowerBound(),
+		Iterations:    iters,
+		Converged:     converged,
+		EnergyHistory: append([]float64(nil), history...),
+	}
+}
+
+// Solve instantiates the named kernel from the registry and runs it.  Errors
+// pass through unwrapped: kernels already prefix their own option errors
+// with the solver name, and graph/context errors carry their origin.
+func Solve(ctx context.Context, name string, g *mrf.Graph, opts Options) (mrf.Solution, error) {
+	k, err := New(name)
+	if err != nil {
+		return mrf.Solution{}, err
+	}
+	return Run(ctx, g, opts, k)
+}

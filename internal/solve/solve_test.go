@@ -1,0 +1,197 @@
+package solve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"netdiversity/internal/mrf"
+)
+
+// stubKernel returns a scripted sequence of steps over a fixed labeling.
+type stubKernel struct {
+	steps   []Step
+	initErr error
+	inits   int
+	calls   int
+}
+
+func (s *stubKernel) Init(g *mrf.Graph, opts Options) error {
+	s.inits++
+	return s.initErr
+}
+
+func (s *stubKernel) Step() Step {
+	st := s.steps[s.calls]
+	s.calls++
+	return st
+}
+
+func testGraph(t *testing.T) *mrf.Graph {
+	t.Helper()
+	g, err := mrf.NewGraph([]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g.SetUnary(0, 1, 1)
+	_ = g.SetUnary(1, 1, 1)
+	if _, err := g.AddEdge(0, 1, mrf.PottsCost(2, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunNilAndInvalidGraph(t *testing.T) {
+	if _, err := Run(context.Background(), nil, Options{}, &stubKernel{}); !errors.Is(err, ErrNilGraph) {
+		t.Errorf("nil graph should return ErrNilGraph, got %v", err)
+	}
+	g, _ := mrf.NewGraph([]int{2})
+	_ = g.SetUnary(0, 0, math.NaN())
+	if _, err := Run(context.Background(), g, Options{}, &stubKernel{}); err == nil {
+		t.Error("invalid graph should be rejected")
+	}
+}
+
+func TestRunInitError(t *testing.T) {
+	g := testGraph(t)
+	wantErr := errors.New("boom")
+	if _, err := Run(context.Background(), g, Options{}, &stubKernel{initErr: wantErr}); !errors.Is(err, wantErr) {
+		t.Errorf("Init error should surface, got %v", err)
+	}
+}
+
+func TestRunTracksBestAndHistory(t *testing.T) {
+	g := testGraph(t)
+	// Greedy labeling is [0,0] with energy 3 (Potts clash).  The kernel
+	// proposes a worse labeling, then the optimum, then a worse one again;
+	// the driver must keep the optimum and a monotone history.
+	k := &stubKernel{steps: []Step{
+		{Labels: []int{1, 1}},                  // energy 2+3 = 5 -> best stays 3
+		{Labels: []int{0, 1}},                  // energy 1 -> new best
+		{Labels: []int{1, 1}, Exhausted: true}, // worse again
+	}}
+	sol, err := Run(context.Background(), g, Options{MaxIterations: 10}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Energy != 1 || sol.Labels[0] != 0 || sol.Labels[1] != 1 {
+		t.Errorf("best tracking failed: %+v", sol)
+	}
+	if sol.Converged {
+		t.Error("exhausted kernel should not report convergence")
+	}
+	if sol.Iterations != 3 || len(sol.EnergyHistory) != 3 {
+		t.Errorf("iterations/history = %d/%d, want 3/3", sol.Iterations, len(sol.EnergyHistory))
+	}
+	for i := 1; i < len(sol.EnergyHistory); i++ {
+		if sol.EnergyHistory[i] > sol.EnergyHistory[i-1] {
+			t.Errorf("history not monotone: %v", sol.EnergyHistory)
+		}
+	}
+}
+
+func TestRunPatience(t *testing.T) {
+	g := testGraph(t)
+	same := []int{0, 0}
+	var steps []Step
+	for i := 0; i < 10; i++ {
+		steps = append(steps, Step{Labels: same})
+	}
+	k := &stubKernel{steps: steps}
+	sol, err := Run(context.Background(), g, Options{MaxIterations: 10, Patience: 3}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged {
+		t.Error("plateau should trigger patience convergence")
+	}
+	if sol.Iterations != 3 {
+		t.Errorf("patience 3 should stop after 3 non-improving steps, got %d", sol.Iterations)
+	}
+}
+
+func TestRunNewPhaseResetsPatience(t *testing.T) {
+	g := testGraph(t)
+	same := []int{0, 0}
+	steps := []Step{
+		{Labels: same}, {Labels: same},
+		{Labels: same, NewPhase: true}, // phase boundary: counter resets
+		{Labels: same}, {Labels: same},
+		{Labels: []int{0, 1}, FixedPoint: true},
+	}
+	k := &stubKernel{steps: steps}
+	sol, err := Run(context.Background(), g, Options{MaxIterations: 10, Patience: 3}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged || sol.Energy != 1 {
+		t.Errorf("fixed point after phase reset should converge at the optimum: %+v", sol)
+	}
+	if sol.Iterations != len(steps) {
+		t.Errorf("phase reset should keep the run alive for all %d steps, got %d", len(steps), sol.Iterations)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	g := testGraph(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	k := &stubKernel{steps: []Step{{Labels: []int{0, 0}}}}
+	sol, err := Run(ctx, g, Options{}, k)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled context should surface, got %v", err)
+	}
+	if k.calls != 0 {
+		t.Error("kernel must not step after cancellation")
+	}
+	if len(sol.Labels) != g.NumNodes() {
+		t.Error("cancelled run should still return the best labeling so far")
+	}
+}
+
+func TestRunWarmStart(t *testing.T) {
+	g := testGraph(t)
+	// The warm start is the optimum; a kernel that only produces worse
+	// labelings must not displace it.
+	k := &stubKernel{steps: []Step{{Labels: []int{1, 1}, Exhausted: true}}}
+	sol, err := Run(context.Background(), g, Options{InitialLabels: []int{0, 1}}, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Energy != 1 {
+		t.Errorf("warm start lost: energy %v, want 1", sol.Energy)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register("test-solver", func() Kernel { return &stubKernel{steps: []Step{{Labels: nil, FixedPoint: true}}} })
+	if !Registered("test-solver") {
+		t.Fatal("test-solver should be registered")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-solver" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v misses test-solver", Names())
+	}
+	if _, err := New("nope"); err == nil {
+		t.Error("unknown solver should error")
+	}
+	sol, err := Solve(context.Background(), "test-solver", testGraph(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Converged {
+		t.Error("fixed-point kernel should converge")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register should panic")
+		}
+	}()
+	Register("test-solver", func() Kernel { return &stubKernel{} })
+}

@@ -6,21 +6,26 @@
 // processed in a fixed order; a forward pass sends messages to
 // higher-indexed neighbours and a backward pass to lower-indexed neighbours,
 // with per-node weights γ_i = 1 / max(#forward neighbours, #backward
-// neighbours).  A primal labeling is decoded after every iteration and the
-// best one seen is returned.
+// neighbours).  A primal labeling is decoded after every iteration; the
+// best-labeling tracking, convergence rule and cancellation live in the
+// shared solve driver — this package contains only the message kernel.
 package trws
 
 import (
 	"context"
-	"errors"
-	"fmt"
 	"math"
 	"sync"
 
 	"netdiversity/internal/mrf"
+	"netdiversity/internal/solve"
 )
 
-// Options configures the solver.
+func init() {
+	solve.Register("trws", func() solve.Kernel { return &Kernel{} })
+}
+
+// Options configures the solver (thin compatibility wrapper over the unified
+// solve.Options).
 type Options struct {
 	// MaxIterations bounds the number of forward+backward sweeps.
 	// Default 100.
@@ -36,24 +41,8 @@ type Options struct {
 	Workers int
 }
 
-func (o Options) withDefaults() Options {
-	if o.MaxIterations <= 0 {
-		o.MaxIterations = 100
-	}
-	if o.Tolerance <= 0 {
-		o.Tolerance = 1e-6
-	}
-	if o.Patience <= 0 {
-		o.Patience = 5
-	}
-	if o.Workers <= 0 {
-		o.Workers = 1
-	}
-	return o
-}
-
 // ErrNilGraph is returned when Solve is called with a nil graph.
-var ErrNilGraph = errors.New("trws: nil graph")
+var ErrNilGraph = solve.ErrNilGraph
 
 // Solve minimises the MRF energy with TRW-S and returns the best labeling
 // found.
@@ -61,106 +50,61 @@ func Solve(g *mrf.Graph, opts Options) (mrf.Solution, error) {
 	return SolveContext(context.Background(), g, opts)
 }
 
-// SolveContext is Solve with cancellation: the solver checks the context
+// SolveContext is Solve with cancellation: the driver checks the context
 // between iterations and returns the best solution found so far together
 // with the context error when cancelled.
 func SolveContext(ctx context.Context, g *mrf.Graph, opts Options) (mrf.Solution, error) {
-	if g == nil {
-		return mrf.Solution{}, ErrNilGraph
-	}
-	if err := g.Validate(); err != nil {
-		return mrf.Solution{}, fmt.Errorf("trws: %w", err)
-	}
-	opts = opts.withDefaults()
-	s := newState(g, opts)
-
-	best := g.GreedyLabeling()
-	bestEnergy := g.MustEnergy(best)
-	history := make([]float64, 0, opts.MaxIterations)
-	noImprove := 0
-	converged := false
-	iterations := 0
-
-	for iter := 0; iter < opts.MaxIterations; iter++ {
-		if err := ctx.Err(); err != nil {
-			return s.solution(best, bestEnergy, history, iterations, false), err
-		}
-		s.forwardPass()
-		s.backwardPass()
-		labels := s.decode()
-		energy := g.MustEnergy(labels)
-		iterations = iter + 1
-		if energy < bestEnergy-opts.Tolerance {
-			bestEnergy = energy
-			copy(best, labels)
-			noImprove = 0
-		} else {
-			noImprove++
-		}
-		history = append(history, bestEnergy)
-		if noImprove >= opts.Patience {
-			converged = true
-			break
-		}
-	}
-	return s.solution(best, bestEnergy, history, iterations, converged), nil
+	return solve.Run(ctx, g, solve.Options{
+		MaxIterations: opts.MaxIterations,
+		Tolerance:     opts.Tolerance,
+		Patience:      opts.Patience,
+		Workers:       opts.Workers,
+	}, &Kernel{})
 }
 
-// state holds the message-passing workspace.
-type state struct {
+// Kernel is the TRW-S message-passing kernel.
+type Kernel struct {
 	g    *mrf.Graph
-	opts Options
+	opts solve.Options
 
 	n      int
 	counts []int
-	// incident[i] lists the edges incident to node i with a flag telling
-	// whether i is the U endpoint.
-	incident [][]halfEdge
-	// msg[e][0] is the message into the U endpoint of edge e, msg[e][1] the
-	// message into the V endpoint.
-	msg [][2][]float64
+	inc    solve.Incidence
+	// Flat message storage: msg[msgU[e]:] is the message into the U endpoint
+	// of edge e, msg[msgV[e]:] the message into the V endpoint.
+	msg  []float64
+	msgU []int
+	msgV []int
 	// gamma[i] = 1 / max(#forward, #backward) neighbours of node i.
 	gamma []float64
-	// scratch buffers reused across passes.
+	// scratch buffer reused across passes.
 	aggBuf []float64
+
+	iter int
 }
 
-type halfEdge struct {
-	edge int
-	isU  bool
-	// other is the node at the opposite endpoint.
-	other int
-}
+// Init builds the flat workspace and touches the graph's lazy caches
+// (incidence CSR, transposed matrices) so Step can fan out safely.
+func (k *Kernel) Init(g *mrf.Graph, opts solve.Options) error {
+	k.g = g
+	k.opts = opts
+	k.n = g.NumNodes()
+	k.iter = 0
+	k.counts = make([]int, k.n)
+	for i := 0; i < k.n; i++ {
+		k.counts[i] = g.NumLabels(i)
+	}
 
-func newState(g *mrf.Graph, opts Options) *state {
-	n := g.NumNodes()
-	s := &state{
-		g:        g,
-		opts:     opts,
-		n:        n,
-		counts:   make([]int, n),
-		incident: make([][]halfEdge, n),
-		msg:      make([][2][]float64, g.NumEdges()),
-		gamma:    make([]float64, n),
-	}
-	maxLabels := 0
-	for i := 0; i < n; i++ {
-		s.counts[i] = g.NumLabels(i)
-		if s.counts[i] > maxLabels {
-			maxLabels = s.counts[i]
-		}
-	}
-	for e := 0; e < g.NumEdges(); e++ {
-		edge := g.Edge(e)
-		s.msg[e][0] = make([]float64, s.counts[edge.U])
-		s.msg[e][1] = make([]float64, s.counts[edge.V])
-		s.incident[edge.U] = append(s.incident[edge.U], halfEdge{edge: e, isU: true, other: edge.V})
-		s.incident[edge.V] = append(s.incident[edge.V], halfEdge{edge: e, isU: false, other: edge.U})
-	}
-	for i := 0; i < n; i++ {
+	var total int
+	k.msgU, k.msgV, total = solve.MessageOffsets(g)
+	k.msg = make([]float64, total)
+	k.inc = solve.BuildIncidence(g)
+
+	k.gamma = make([]float64, k.n)
+	for i := 0; i < k.n; i++ {
 		fwd, bwd := 0, 0
-		for _, he := range s.incident[i] {
-			if he.other > i {
+		for _, he := range k.incident(i) {
+			if int(he.Other) > i {
 				fwd++
 			} else {
 				bwd++
@@ -173,65 +117,86 @@ func newState(g *mrf.Graph, opts Options) *state {
 		if d == 0 {
 			d = 1
 		}
-		s.gamma[i] = 1 / float64(d)
+		k.gamma[i] = 1 / float64(d)
 	}
-	s.aggBuf = make([]float64, maxLabels)
-	return s
+	k.aggBuf = make([]float64, g.MaxLabels())
+	return nil
 }
 
+// Step runs one forward+backward sweep and decodes a primal labeling.
+func (k *Kernel) Step() solve.Step {
+	k.pass(true)
+	k.pass(false)
+	k.iter++
+	return solve.Step{
+		Labels:    k.decode(),
+		Exhausted: k.iter >= k.opts.MaxIterations,
+	}
+}
+
+func (k *Kernel) incident(node int) []solve.HalfEdge {
+	return k.inc.Of(node)
+}
+
+// inMessage returns the message arriving at the node identified by the half
+// edge (i.e. the message stored for that endpoint).
+func (k *Kernel) inMessage(he solve.HalfEdge) []float64 {
+	e := int(he.Edge)
+	if he.IsU {
+		return k.msg[k.msgU[e] : k.msgU[e]+k.counts[k.edgeU(e)]]
+	}
+	return k.msg[k.msgV[e] : k.msgV[e]+k.counts[k.edgeV(e)]]
+}
+
+// outMessage returns the slot for the message leaving the node of the half
+// edge toward the opposite endpoint.
+func (k *Kernel) outMessage(he solve.HalfEdge) []float64 {
+	e := int(he.Edge)
+	if he.IsU {
+		return k.msg[k.msgV[e] : k.msgV[e]+k.counts[k.edgeV(e)]]
+	}
+	return k.msg[k.msgU[e] : k.msgU[e]+k.counts[k.edgeU(e)]]
+}
+
+func (k *Kernel) edgeU(e int) int { u, _ := k.g.EdgeEndpoints(e); return u }
+func (k *Kernel) edgeV(e int) int { _, v := k.g.EdgeEndpoints(e); return v }
+
 // aggregate computes a_i(x) = φ_i(x) + Σ_j m_{j→i}(x) into dst.
-func (s *state) aggregate(node int, dst []float64) {
-	copy(dst, s.g.UnaryRow(node))
-	for _, he := range s.incident[node] {
-		in := s.inMessage(he)
-		for x := range dst[:s.counts[node]] {
+func (k *Kernel) aggregate(node int, dst []float64) {
+	copy(dst, k.g.UnaryView(node))
+	for _, he := range k.incident(node) {
+		in := k.inMessage(he)
+		for x := range dst[:k.counts[node]] {
 			dst[x] += in[x]
 		}
 	}
 }
 
-// inMessage returns the message arriving at the node identified by the half
-// edge (i.e. the message stored for that endpoint).
-func (s *state) inMessage(he halfEdge) []float64 {
-	if he.isU {
-		return s.msg[he.edge][0]
-	}
-	return s.msg[he.edge][1]
-}
-
-// outMessage returns the slot for the message leaving the node of the half
-// edge toward the opposite endpoint.
-func (s *state) outMessage(he halfEdge) []float64 {
-	if he.isU {
-		return s.msg[he.edge][1]
-	}
-	return s.msg[he.edge][0]
-}
-
-// updateMessage recomputes the message from `node` to `he.other`:
+// updateMessage recomputes the message from `node` to `he.Other`:
 //
 //	m(x_other) = min_x [ γ_node·a(x) − m_{other→node}(x) + ψ(x, x_other) ]
 //
-// normalised to have minimum zero.
-func (s *state) updateMessage(node int, he halfEdge, agg []float64) {
-	gamma := s.gamma[node]
-	in := s.inMessage(he)
-	out := s.outMessage(he)
-	edge := s.g.Edge(he.edge)
+// normalised to have minimum zero.  Costs are read through the edge matrix
+// oriented so the inner loop walks a contiguous row.
+func (k *Kernel) updateMessage(node int, he solve.HalfEdge, agg []float64) {
+	gamma := k.gamma[node]
+	in := k.inMessage(he)
+	out := k.outMessage(he)
+	var mat *mrf.Matrix
+	if he.IsU {
+		mat = k.g.EdgeMat(int(he.Edge)) // rows indexed by node's labels
+	} else {
+		mat = k.g.EdgeMatT(int(he.Edge))
+	}
 	kOther := len(out)
 	for xo := 0; xo < kOther; xo++ {
 		out[xo] = math.Inf(1)
 	}
-	for x := 0; x < s.counts[node]; x++ {
+	for x := 0; x < k.counts[node]; x++ {
 		base := gamma*agg[x] - in[x]
+		row := mat.Row(x)
 		for xo := 0; xo < kOther; xo++ {
-			var c float64
-			if he.isU {
-				c = edge.Cost[x][xo]
-			} else {
-				c = edge.Cost[xo][x]
-			}
-			if v := base + c; v < out[xo] {
+			if v := base + row[xo]; v < out[xo] {
 				out[xo] = v
 			}
 		}
@@ -248,35 +213,36 @@ func (s *state) updateMessage(node int, he halfEdge, agg []float64) {
 	}
 }
 
-func (s *state) pass(forward bool) {
-	agg := s.aggBuf
-	for idx := 0; idx < s.n; idx++ {
+func (k *Kernel) pass(forward bool) {
+	agg := k.aggBuf
+	var targets []solve.HalfEdge
+	for idx := 0; idx < k.n; idx++ {
 		node := idx
 		if !forward {
-			node = s.n - 1 - idx
+			node = k.n - 1 - idx
 		}
-		s.aggregate(node, agg)
-		var targets []halfEdge
-		for _, he := range s.incident[node] {
-			if (forward && he.other > node) || (!forward && he.other < node) {
+		k.aggregate(node, agg)
+		targets = targets[:0]
+		for _, he := range k.incident(node) {
+			if (forward && int(he.Other) > node) || (!forward && int(he.Other) < node) {
 				targets = append(targets, he)
 			}
 		}
 		if len(targets) == 0 {
 			continue
 		}
-		if s.opts.Workers > 1 && len(targets) > 1 {
-			s.updateParallel(node, targets, agg)
+		if k.opts.Workers > 1 && len(targets) > 1 {
+			k.updateParallel(node, targets, agg)
 			continue
 		}
 		for _, he := range targets {
-			s.updateMessage(node, he, agg)
+			k.updateMessage(node, he, agg)
 		}
 	}
 }
 
-func (s *state) updateParallel(node int, targets []halfEdge, agg []float64) {
-	workers := s.opts.Workers
+func (k *Kernel) updateParallel(node int, targets []solve.HalfEdge, agg []float64) {
+	workers := k.opts.Workers
 	if workers > len(targets) {
 		workers = len(targets)
 	}
@@ -292,50 +258,50 @@ func (s *state) updateParallel(node int, targets []halfEdge, agg []float64) {
 			break
 		}
 		wg.Add(1)
-		go func(part []halfEdge) {
+		go func(part []solve.HalfEdge) {
 			defer wg.Done()
 			for _, he := range part {
-				s.updateMessage(node, he, agg)
+				k.updateMessage(node, he, agg)
 			}
 		}(targets[lo:hi])
 	}
 	wg.Wait()
 }
 
-func (s *state) forwardPass()  { s.pass(true) }
-func (s *state) backwardPass() { s.pass(false) }
-
 // decode extracts a primal labeling: nodes are visited in order and each
 // picks the label minimising its unary cost plus the pairwise cost toward
 // already-fixed lower neighbours plus the incoming messages from
 // higher-indexed neighbours.
-func (s *state) decode() []int {
-	labels := make([]int, s.n)
+func (k *Kernel) decode() []int {
+	labels := make([]int, k.n)
 	cost := make([]float64, 0, 64)
-	for node := 0; node < s.n; node++ {
-		k := s.counts[node]
+	for node := 0; node < k.n; node++ {
+		kn := k.counts[node]
 		cost = cost[:0]
-		cost = append(cost, s.g.UnaryRow(node)...)
-		for _, he := range s.incident[node] {
-			if he.other < node {
-				edge := s.g.Edge(he.edge)
-				fixed := labels[he.other]
-				for x := 0; x < k; x++ {
-					if he.isU {
-						cost[x] += edge.Cost[x][fixed]
-					} else {
-						cost[x] += edge.Cost[fixed][x]
-					}
+		cost = append(cost, k.g.UnaryView(node)...)
+		for _, he := range k.incident(node) {
+			if int(he.Other) < node {
+				fixed := labels[he.Other]
+				// Cost toward the fixed lower neighbour: orient the matrix
+				// so the fixed label picks a contiguous row.
+				var row []float64
+				if he.IsU {
+					row = k.g.EdgeMatT(int(he.Edge)).Row(fixed)
+				} else {
+					row = k.g.EdgeMat(int(he.Edge)).Row(fixed)
+				}
+				for x := 0; x < kn; x++ {
+					cost[x] += row[x]
 				}
 			} else {
-				in := s.inMessage(he)
-				for x := 0; x < k; x++ {
+				in := k.inMessage(he)
+				for x := 0; x < kn; x++ {
 					cost[x] += in[x]
 				}
 			}
 		}
 		best, bestV := 0, math.Inf(1)
-		for x := 0; x < k; x++ {
+		for x := 0; x < kn; x++ {
 			if cost[x] < bestV {
 				best, bestV = x, cost[x]
 			}
@@ -343,15 +309,4 @@ func (s *state) decode() []int {
 		labels[node] = best
 	}
 	return labels
-}
-
-func (s *state) solution(labels []int, energy float64, history []float64, iters int, converged bool) mrf.Solution {
-	return mrf.Solution{
-		Labels:        append([]int(nil), labels...),
-		Energy:        energy,
-		LowerBound:    s.g.TrivialLowerBound(),
-		Iterations:    iters,
-		Converged:     converged,
-		EnergyHistory: append([]float64(nil), history...),
-	}
 }

@@ -14,15 +14,15 @@ package vulnsim
 
 // Operating-system product IDs of Table II.
 const (
-	ProdWinXP   = "winxp"
-	ProdWin7    = "win7"
-	ProdWin81   = "win81"
-	ProdWin10   = "win10"
-	ProdUbuntu  = "ubt1404"
-	ProdDebian  = "deb80"
-	ProdMacOS   = "mac105"
-	ProdSuse    = "suse132"
-	ProdFedora  = "fedora"
+	ProdWinXP  = "winxp"
+	ProdWin7   = "win7"
+	ProdWin81  = "win81"
+	ProdWin10  = "win10"
+	ProdUbuntu = "ubt1404"
+	ProdDebian = "deb80"
+	ProdMacOS  = "mac105"
+	ProdSuse   = "suse132"
+	ProdFedora = "fedora"
 )
 
 // Web-browser product IDs of Table III.

@@ -271,11 +271,11 @@ func (t *SimilarityTable) RenderString() string {
 
 // tableJSON is the serialised form of a SimilarityTable.
 type tableJSON struct {
-	Products []string           `json:"products"`
-	Totals   map[string]int     `json:"totals"`
-	Entries  []entryJSON        `json:"entries"`
-	Default  float64            `json:"default"`
-	Meta     map[string]string  `json:"meta,omitempty"`
+	Products []string          `json:"products"`
+	Totals   map[string]int    `json:"totals"`
+	Entries  []entryJSON       `json:"entries"`
+	Default  float64           `json:"default"`
+	Meta     map[string]string `json:"meta,omitempty"`
 }
 
 type entryJSON struct {

@@ -138,8 +138,13 @@ func NewOptimizer(net *Network, sim *SimilarityTable, opts OptimizerOptions) (*O
 	return core.NewOptimizer(net, sim, opts)
 }
 
-// ParseSolver converts a solver name ("trws", "bp", "icm", "anneal").
+// ParseSolver converts a solver name ("trws", "bp", "icm", "anneal"),
+// validated against the unified solver registry.
 func ParseSolver(name string) (Solver, error) { return core.ParseSolver(name) }
+
+// SolverNames lists the names registered with the unified solver registry;
+// each is usable with ParseSolver and the cmd tools' -solver flags.
+func SolverNames() []string { return core.SolverNames() }
 
 // PairwiseSimilarityCost returns the summed similarity over all links and
 // shared services for an assignment (the pairwise part of Eq. 1).
