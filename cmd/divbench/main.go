@@ -1,0 +1,154 @@
+// Command divbench runs a named benchmark suite over the scenario matrix
+// (topology × size × solver × attack model), writes the results as
+// machine-readable JSON and optionally diffs them against a baseline report,
+// exiting nonzero on a wall-clock regression.  It is the binary behind the
+// CI perf gate.
+//
+// Usage:
+//
+//	divbench -quick                           # the CI suite, writes BENCH_quick.json
+//	divbench -suite full -out bench.json      # the paper-scale matrix
+//	divbench -quick -baseline BENCH_quick.json -tolerance 0.15
+//	divbench -list                            # known suites
+//
+// The report schema is documented in the README ("Benchmark harness"); the
+// diff tolerates relative wall-clock changes up to -tolerance and absolute
+// changes below -floor-ms, and never fails on cells that are new or missing
+// relative to the baseline (suite edits refresh the baseline on merge).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"netdiversity/internal/scenario"
+)
+
+// errRegression distinguishes a perf-gate failure (exit 1 with the diff
+// already printed) from usage/runtime errors.
+var errRegression = errors.New("wall-clock regression against baseline")
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if !errors.Is(err, errRegression) {
+			fmt.Fprintln(os.Stderr, "divbench:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("divbench", flag.ContinueOnError)
+	var (
+		suiteName = fs.String("suite", "quick", "benchmark suite to run (see -list)")
+		quick     = fs.Bool("quick", false, "shorthand for -suite quick")
+		outPath   = fs.String("out", "", "output JSON path (default BENCH_<suite>.json)")
+		baseline  = fs.String("baseline", "", "baseline JSON report to diff against")
+		tolerance = fs.Float64("tolerance", 0.15, "relative wall-clock regression tolerance")
+		floorMS   = fs.Float64("floor-ms", 10, "absolute wall-clock change (ms) below which cells never regress")
+		strict    = fs.Bool("strict", false, "gate on the baseline even when it was produced in a different environment")
+		seed      = fs.Int64("seed", 0, "override the suite's base seed (0 keeps the suite default)")
+		workers   = fs.Int("workers", 0, "override the cell worker pool size (0 keeps the suite default)")
+		timeout   = fs.Duration("timeout", 0, "override the per-cell timeout (0 keeps the suite default)")
+		list      = fs.Bool("list", false, "list available suites and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, name := range scenario.SuiteNames() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
+	if *quick {
+		*suiteName = "quick"
+	}
+	m, err := scenario.Suite(*suiteName)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		m.Seed = *seed
+	}
+	if *workers > 0 {
+		m.Workers = *workers
+	}
+	if *timeout > 0 {
+		m.Timeout = *timeout
+	}
+	path := *outPath
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", m.Name)
+	}
+
+	start := time.Now()
+	rep, err := scenario.Run(context.Background(), m)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "suite %s: %d cells in %.1fs -> %s\n",
+		rep.Suite, len(rep.Cells), time.Since(start).Seconds(), path)
+	printSummary(out, rep)
+	if failed := rep.Failed(); len(failed) > 0 {
+		for _, c := range failed {
+			fmt.Fprintf(out, "FAILED %s: %s\n", c.ID, c.Error)
+		}
+		return fmt.Errorf("%d of %d cells failed", len(failed), len(rep.Cells))
+	}
+
+	if *baseline == "" {
+		return nil
+	}
+	base, err := scenario.ReadFile(*baseline)
+	if err != nil {
+		return fmt.Errorf("loading baseline: %w", err)
+	}
+	diff := scenario.Compare(base, rep, scenario.DiffOptions{Tolerance: *tolerance, FloorMS: *floorMS})
+	fmt.Fprint(out, diff.Render())
+	if !base.Env.Comparable(rep.Env) && !*strict {
+		// Relative tolerance absorbs noise on one machine, not the speed gap
+		// between machines: gating a runner against a laptop baseline would
+		// measure the environment, not the change.  The gate arms itself once
+		// the committed baseline comes from the same environment class (e.g.
+		// the CI bench job's own artifact).
+		fmt.Fprintf(out, "NOTE: baseline environment (%s/%s, %d cpu) differs from this run (%s/%s, %d cpu); diff is informational, not gated (use -strict to gate anyway)\n",
+			base.Env.GOOS, base.Env.GOARCH, base.Env.NumCPU,
+			rep.Env.GOOS, rep.Env.GOARCH, rep.Env.NumCPU)
+		return nil
+	}
+	if diff.HasRegressions() {
+		fmt.Fprintln(out, "FAIL: wall-clock regression against baseline")
+		return errRegression
+	}
+	fmt.Fprintln(out, "PASS: no regression against baseline")
+	return nil
+}
+
+// printSummary renders a compact per-cell table of the fresh run.
+func printSummary(out io.Writer, rep *scenario.Report) {
+	idWidth := len("cell")
+	for _, c := range rep.Cells {
+		if len(c.ID) > idWidth {
+			idWidth = len(c.ID)
+		}
+	}
+	fmt.Fprintf(out, "%-*s  %10s  %12s  %8s  %8s  %8s\n",
+		idWidth, "cell", "wall ms", "energy", "mttc", "d1", "allocs")
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			fmt.Fprintf(out, "%-*s  error: %s\n", idWidth, c.ID, c.Error)
+			continue
+		}
+		fmt.Fprintf(out, "%-*s  %10.1f  %12.3f  %8.2f  %8.4f  %8d\n",
+			idWidth, c.ID, c.WallMS, c.Energy, c.MTTC, c.Richness, c.AllocObjects)
+	}
+}

@@ -21,6 +21,7 @@
 package adversary
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -248,6 +249,11 @@ func (e *Evaluator) chooseService(cfg Config, rng *rand.Rand, src, dst netmodel.
 
 // Run executes the adversarial campaign.
 func (e *Evaluator) Run(cfg Config) (Result, error) {
+	return e.RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation between simulation runs.
+func (e *Evaluator) RunContext(ctx context.Context, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 	if _, ok := e.net.Host(cfg.Entry); !ok {
 		return Result{}, fmt.Errorf("adversary: unknown entry host %q", cfg.Entry)
@@ -259,6 +265,9 @@ func (e *Evaluator) Run(cfg Config) (Result, error) {
 	res := Result{Knowledge: cfg.Knowledge, Runs: cfg.Runs}
 	totalTicks, totalInfected, successes := 0.0, 0, 0
 	for run := 0; run < cfg.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		ticks, infected, ok := e.singleRun(cfg, rng)
 		totalTicks += float64(ticks)
 		totalInfected += infected

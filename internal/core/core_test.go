@@ -407,3 +407,57 @@ func TestOptimizeContextCancelled(t *testing.T) {
 		t.Errorf("cancelled context should surface, got %v", err)
 	}
 }
+
+func TestDisableWarmStart(t *testing.T) {
+	// The triangle is tie-heavy: unary costs are uniform, so a raw (no
+	// polish) one-sweep BP decode collapses to the homogeneous labeling
+	// (energy 3*0.8 + unary), while the greedy-colouring warm start
+	// alternates products and leaves only one conflicting edge (0.8 +
+	// unary).  The energy gap discriminates the flag: if DisableWarmStart
+	// were a no-op, both runs would return the warm-started energy.
+	net, sim := triangleNetwork(t)
+	solveRaw := func(disableWarmStart bool) Result {
+		t.Helper()
+		opt, err := NewOptimizer(net, sim, Options{
+			Solver:           SolverBP,
+			MaxIterations:    1,
+			Seed:             1,
+			DisablePolish:    true,
+			DisableWarmStart: disableWarmStart,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := opt.Optimize(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Assignment.ValidateFor(net); err != nil {
+			t.Fatalf("assignment invalid: %v", err)
+		}
+		return res
+	}
+	coldRes := solveRaw(true)
+	warmRes := solveRaw(false)
+	if coldRes.Energy <= warmRes.Energy {
+		t.Errorf("cold-start energy %v should exceed warm-started energy %v on the tie-heavy triangle",
+			coldRes.Energy, warmRes.Energy)
+	}
+	// The warm start seeds the solver with the greedy-colouring baseline, so
+	// the warm result can never be worse than that baseline.
+	greedy, err := baseline.GreedyColoring(net, sim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewOptimizer(net, sim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyEnergy, err := opt.Energy(greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmRes.Energy > greedyEnergy+1e-9 {
+		t.Errorf("warm-started energy %v worse than its greedy seed %v", warmRes.Energy, greedyEnergy)
+	}
+}

@@ -107,6 +107,10 @@ type Options struct {
 	// solver's labeling (useful for solver ablations that want the raw
 	// message-passing result).
 	DisablePolish bool
+	// DisableWarmStart turns off the greedy-colouring warm start normally
+	// fed to every solver, so benchmark scenarios can measure a solver's
+	// cold-start behaviour.
+	DisableWarmStart bool
 }
 
 func (o Options) withDefaults() Options {
@@ -250,9 +254,12 @@ func (o *Optimizer) Optimize(ctx context.Context) (Result, error) {
 
 // warmStart encodes the greedy-colouring baseline as an initial labeling so
 // that every solver starts from (and can never end worse than) the strongest
-// non-optimising strategy.  It returns nil when the baseline is unavailable
-// for the current constraint set.
+// non-optimising strategy.  It returns nil when warm starts are disabled or
+// the baseline is unavailable for the current constraint set.
 func (o *Optimizer) warmStart(prob *problem) []int {
+	if o.opts.DisableWarmStart {
+		return nil
+	}
 	greedy, err := baseline.GreedyColoring(o.net, o.sim, o.cs)
 	if err != nil {
 		return nil

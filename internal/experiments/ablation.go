@@ -9,6 +9,7 @@ import (
 	"netdiversity/internal/core"
 	"netdiversity/internal/netgen"
 	"netdiversity/internal/netmodel"
+	"netdiversity/internal/scenario"
 )
 
 // Ablation compares the solvers (TRW-S, loopy BP, ICM, simulated annealing)
@@ -61,36 +62,35 @@ func Ablation(cfg Config) (*Table, error) {
 		return nil
 	}
 
+	// The solver runs execute through scenario.Exec — the same path the
+	// benchmark suites measure — on one shared network instance.
 	type solverRun struct {
 		name   string
-		solver core.Solver
+		solver string
 		polish bool
 	}
 	runs := []solverRun{
-		{"trws (raw)", core.SolverTRWS, false},
-		{"trws + local polish", core.SolverTRWS, true},
-		{"bp (raw)", core.SolverBP, false},
-		{"bp + local polish", core.SolverBP, true},
-		{"icm", core.SolverICM, false},
-		{"anneal", core.SolverAnneal, false},
+		{"trws (raw)", "trws", false},
+		{"trws + local polish", "trws", true},
+		{"bp (raw)", "bp", false},
+		{"bp + local polish", "bp", true},
+		{"icm", "icm", false},
+		{"anneal", "anneal", false},
 	}
 	for _, r := range runs {
-		opt, err := core.NewOptimizer(net, sim, core.Options{
+		out, err := scenario.Exec(context.Background(), net, sim, scenario.Cell{
+			ID:            "ablation/" + r.name,
 			Solver:        r.solver,
-			Workers:       cfg.Workers,
-			Seed:          cfg.Seed,
 			MaxIterations: 40,
+			Seed:          cfg.Seed,
+			SolverWorkers: cfg.Workers,
 			DisablePolish: !r.polish,
 		})
 		if err != nil {
 			return nil, err
 		}
-		res, err := opt.Optimize(context.Background())
-		if err != nil {
-			return nil, err
-		}
-		if err := addAssignment(r.name, res.Assignment, res.Runtime.Seconds(),
-			res.Iterations, fmt.Sprint(res.Converged)); err != nil {
+		if err := addAssignment(r.name, out.Assignment, out.WallMS/1000,
+			out.Iterations, fmt.Sprint(out.Converged)); err != nil {
 			return nil, err
 		}
 	}

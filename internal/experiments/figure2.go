@@ -4,8 +4,8 @@ import (
 	"context"
 	"fmt"
 
-	"netdiversity/internal/core"
 	"netdiversity/internal/netmodel"
+	"netdiversity/internal/scenario"
 	"netdiversity/internal/vulnsim"
 )
 
@@ -91,7 +91,8 @@ func Figure2Similarity() *vulnsim.SimilarityTable {
 }
 
 // Figure2 computes the optimal assignment of the example network and renders
-// it per host (the red circles of Fig. 2).
+// it per host (the red circles of Fig. 2).  The optimisation runs through
+// scenario.Exec, the same execution path the benchmark suites measure.
 func Figure2(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	net, err := Figure2Network()
@@ -99,15 +100,13 @@ func Figure2(cfg Config) (*Table, error) {
 		return nil, err
 	}
 	sim := Figure2Similarity()
-	opt, err := core.NewOptimizer(net, sim, core.Options{Workers: cfg.Workers})
-	if err != nil {
-		return nil, err
-	}
-	res, err := opt.Optimize(context.Background())
-	if err != nil {
-		return nil, err
-	}
-	pairCost, err := core.PairwiseSimilarityCost(net, sim, res.Assignment)
+	res, err := scenario.Exec(context.Background(), net, sim, scenario.Cell{
+		ID:            "fig2",
+		Solver:        "trws",
+		MaxIterations: 50,
+		Seed:          cfg.Seed,
+		SolverWorkers: cfg.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -129,7 +128,7 @@ func Figure2(cfg Config) (*Table, error) {
 		t.AddRow(string(hid), wbP, dbP)
 	}
 	stats := res.Assignment.Stats(net)
-	t.AddNote("optimisation energy %.4f, pairwise similarity cost %.4f", res.Energy, pairCost)
+	t.AddNote("optimisation energy %.4f, pairwise similarity cost %.4f", res.Energy, res.PairwiseCost)
 	for _, svc := range []netmodel.ServiceID{fig2SvcWB, fig2SvcDB} {
 		t.AddNote("service %s: %d distinct products, %d/%d links share the identical product",
 			svc, stats.DistinctProducts[svc], stats.SameProductEdges[svc], stats.TotalSharedEdges[svc])

@@ -3,44 +3,51 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"time"
 
-	"netdiversity/internal/core"
-	"netdiversity/internal/netgen"
+	"netdiversity/internal/scenario"
 )
 
-// scalabilityRun optimises one randomly generated network and returns the
-// wall-clock time spent building and solving the MRF.
-func scalabilityRun(cfg Config, hosts, degree, services int) (time.Duration, error) {
-	genCfg := netgen.RandomConfig{
-		Hosts:              hosts,
-		Degree:             degree,
-		Services:           services,
-		ProductsPerService: 4,
-		Seed:               cfg.Seed,
-	}
-	net, err := netgen.Random(genCfg)
-	if err != nil {
-		return 0, err
-	}
-	sim := netgen.SyntheticSimilarity(genCfg, 0.6)
+// scalabilityMatrix describes one scalability sweep as a scenario matrix:
+// uniform topology, TRW-S, no attack model — exactly the measurement the
+// paper's Tables VII-IX report, but executed through the shared scenario
+// pipeline rather than a private loop.
+func scalabilityMatrix(cfg Config, name string, hosts, degrees, services []int) scenario.Matrix {
 	iters := 20
 	if cfg.Full {
 		iters = 50
 	}
-	opt, err := core.NewOptimizer(net, sim, core.Options{
-		Workers:       cfg.Workers,
+	return scenario.Matrix{
+		Name:          name,
+		Topologies:    []string{scenario.TopoUniform},
+		Hosts:         hosts,
+		Degrees:       degrees,
+		Services:      services,
+		Solvers:       []string{"trws"},
+		Attacks:       []string{"none"},
 		MaxIterations: iters,
 		Seed:          cfg.Seed,
-	})
-	if err != nil {
-		return 0, err
+		// Cells run serially (pool of 1) so the per-cell wall-clock stays
+		// contention-free; cfg.Workers parallelises inside the solver, as it
+		// did before the scenario refactor.
+		SolverWorkers: cfg.Workers,
 	}
-	res, err := opt.Optimize(context.Background())
+}
+
+// runSweep executes a scalability matrix and indexes the measurements by
+// (hosts, degree, services).  Any failed cell aborts the experiment.
+func runSweep(cfg Config, name string, hosts, degrees, services []int) (map[[3]int]scenario.Measurement, error) {
+	rep, err := scenario.Run(context.Background(), scalabilityMatrix(cfg, name, hosts, degrees, services))
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	return res.Runtime, nil
+	out := make(map[[3]int]scenario.Measurement, len(rep.Cells))
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			return nil, fmt.Errorf("experiments: cell %s: %s", c.ID, c.Error)
+		}
+		out[[3]int{c.Hosts, c.Degree, c.Services}] = c
+	}
+	return out, nil
 }
 
 // TableVII regenerates the "computational time over number of hosts" sweep
@@ -69,13 +76,17 @@ func TableVII(cfg Config) (*Table, error) {
 		Columns: append([]string{"profile", "#deg", "#serv"}, intColumns(hostCounts)...),
 	}
 	for _, p := range profiles {
+		sweep, err := runSweep(cfg, "table7", hostCounts, []int{p.degree}, []int{p.services})
+		if err != nil {
+			return nil, err
+		}
 		cells := []string{p.name, fmt.Sprint(p.degree), fmt.Sprint(p.services)}
 		for _, hosts := range hostCounts {
-			d, err := scalabilityRun(cfg, hosts, p.degree, p.services)
-			if err != nil {
-				return nil, err
+			m, ok := sweep[[3]int{hosts, p.degree, p.services}]
+			if !ok {
+				return nil, fmt.Errorf("experiments: table7 sweep missing cell %d/%d/%d", hosts, p.degree, p.services)
 			}
-			cells = append(cells, formatSeconds(d.Seconds()))
+			cells = append(cells, formatSeconds(m.WallMS/1000))
 		}
 		t.AddRow(cells...)
 	}
@@ -108,13 +119,17 @@ func TableVIII(cfg Config) (*Table, error) {
 		Columns: append([]string{"profile", "#hosts", "#serv"}, intColumns(degrees)...),
 	}
 	for _, p := range profiles {
+		sweep, err := runSweep(cfg, "table8", []int{p.hosts}, degrees, []int{p.services})
+		if err != nil {
+			return nil, err
+		}
 		cells := []string{p.name, fmt.Sprint(p.hosts), fmt.Sprint(p.services)}
 		for _, deg := range degrees {
-			d, err := scalabilityRun(cfg, p.hosts, deg, p.services)
-			if err != nil {
-				return nil, err
+			m, ok := sweep[[3]int{p.hosts, deg, p.services}]
+			if !ok {
+				return nil, fmt.Errorf("experiments: table8 sweep missing cell %d/%d/%d", p.hosts, deg, p.services)
 			}
-			cells = append(cells, formatSeconds(d.Seconds()))
+			cells = append(cells, formatSeconds(m.WallMS/1000))
 		}
 		t.AddRow(cells...)
 	}
@@ -147,13 +162,17 @@ func TableIX(cfg Config) (*Table, error) {
 		Columns: append([]string{"profile", "#hosts", "#deg"}, intColumns(services)...),
 	}
 	for _, p := range profiles {
+		sweep, err := runSweep(cfg, "table9", []int{p.hosts}, []int{p.degree}, services)
+		if err != nil {
+			return nil, err
+		}
 		cells := []string{p.name, fmt.Sprint(p.hosts), fmt.Sprint(p.degree)}
 		for _, svc := range services {
-			d, err := scalabilityRun(cfg, p.hosts, p.degree, svc)
-			if err != nil {
-				return nil, err
+			m, ok := sweep[[3]int{p.hosts, p.degree, svc}]
+			if !ok {
+				return nil, fmt.Errorf("experiments: table9 sweep missing cell %d/%d/%d", p.hosts, p.degree, svc)
 			}
-			cells = append(cells, formatSeconds(d.Seconds()))
+			cells = append(cells, formatSeconds(m.WallMS/1000))
 		}
 		t.AddRow(cells...)
 	}
@@ -167,6 +186,7 @@ func addScalabilityNotes(t *Table, cfg Config) {
 	} else {
 		t.AddNote("quick profile with reduced hosts/degrees/services; run with -full for the paper-sized sweep")
 	}
+	t.AddNote("executed through the internal/scenario matrix (uniform topology, trws); cmd/divbench tracks the same cells over time")
 	t.AddNote("expected shape: time grows roughly linearly with hosts, edges and services, as in Tables VII-IX")
 }
 

@@ -6,7 +6,7 @@ import (
 
 	"netdiversity/internal/baseline"
 	"netdiversity/internal/core"
-	"netdiversity/internal/netgen"
+	"netdiversity/internal/scenario"
 )
 
 // TopologyTable is a library extension: it repeats the optimisation on
@@ -16,20 +16,31 @@ import (
 // optimal, greedy-colouring and homogeneous assignments.  It answers a
 // question the paper leaves implicit: does the optimisation stay effective
 // when connectivity is concentrated in a few hubs or localised in clusters?
+// The sweep itself runs through the internal/scenario matrix; only the
+// non-optimising baselines are computed here, on the exact network instance
+// each cell measured (rebuilt via scenario.BuildNetwork).
 func TopologyTable(cfg Config) (*Table, error) {
 	cfg = cfg.withDefaults()
 	hosts, degree, services := 200, 8, 3
 	if cfg.Full {
 		hosts, degree, services = 1000, 16, 5
 	}
-	genCfg := netgen.RandomConfig{
-		Hosts:              hosts,
-		Degree:             degree,
-		Services:           services,
-		ProductsPerService: 4,
-		Seed:               cfg.Seed,
+	m := scenario.Matrix{
+		Name:          "topology",
+		Topologies:    []string{scenario.TopoUniform, scenario.TopoScaleFree, scenario.TopoSmallWorld},
+		Hosts:         []int{hosts},
+		Degrees:       []int{degree},
+		Services:      []int{services},
+		Solvers:       []string{"trws"},
+		Attacks:       []string{"none"},
+		MaxIterations: 25,
+		Seed:          cfg.Seed,
+		SolverWorkers: cfg.Workers,
 	}
-	sim := netgen.SyntheticSimilarity(genCfg, 0.6)
+	cells, err := scenario.Expand(m)
+	if err != nil {
+		return nil, err
+	}
 
 	t := &Table{
 		ID:    "topology",
@@ -39,28 +50,21 @@ func TopologyTable(cfg Config) (*Table, error) {
 			"optimal cost", "greedy cost", "mono cost",
 		},
 	}
-	for _, topo := range []netgen.Topology{netgen.TopologyUniform, netgen.TopologyScaleFree, netgen.TopologySmallWorld} {
-		net, err := netgen.Generate(genCfg, topo)
+	for _, cell := range cells {
+		// One shared seed across the topology rows: every row must see the
+		// same similarity table and host layout, or the cross-topology cost
+		// comparison would mix in seed noise (the per-cell derived seeds are
+		// for benchmark suites, where cells are never compared to each other).
+		cell.Seed = cfg.Seed
+		net, sim, err := scenario.BuildNetwork(cell)
 		if err != nil {
 			return nil, err
+		}
+		meas, err := scenario.Exec(context.Background(), net, sim, cell)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cell %s: %w", cell.ID, err)
 		}
 		stats := net.Stats()
-		opt, err := core.NewOptimizer(net, sim, core.Options{
-			Workers:       cfg.Workers,
-			MaxIterations: 25,
-			Seed:          cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := opt.Optimize(context.Background())
-		if err != nil {
-			return nil, err
-		}
-		optCost, err := core.PairwiseSimilarityCost(net, sim, res.Assignment)
-		if err != nil {
-			return nil, err
-		}
 		greedy, err := baseline.GreedyColoring(net, sim, nil)
 		if err != nil {
 			return nil, err
@@ -77,12 +81,12 @@ func TopologyTable(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(topo.String(),
+		t.AddRow(cell.Topology,
 			fmt.Sprint(net.NumLinks()),
 			fmt.Sprint(stats.MaxDegree),
 			formatFloat(stats.ClusteringCoefficient, 3),
-			formatSeconds(res.Runtime.Seconds()),
-			formatFloat(optCost, 1),
+			formatSeconds(meas.WallMS/1000),
+			formatFloat(meas.PairwiseCost, 1),
 			formatFloat(greedyCost, 1),
 			formatFloat(monoCost, 1))
 	}
@@ -105,27 +109,24 @@ func ConvergenceTable(cfg Config) (*Table, error) {
 		Title:   "Best-energy trace per iteration on the case-study MRF (extension)",
 		Columns: []string{"iteration", "trws best energy", "bp best energy"},
 	}
-	trace := func(solver core.Solver) ([]float64, error) {
-		opt, err := core.NewOptimizer(cs.Network, cs.Similarity, core.Options{
+	trace := func(solver string) ([]float64, error) {
+		out, err := scenario.Exec(context.Background(), cs.Network, cs.Similarity, scenario.Cell{
+			ID:            "convergence/" + solver,
 			Solver:        solver,
 			MaxIterations: 12,
-			DisablePolish: true,
 			Seed:          cfg.Seed,
+			DisablePolish: true,
 		})
 		if err != nil {
 			return nil, err
 		}
-		res, err := opt.Optimize(context.Background())
-		if err != nil {
-			return nil, err
-		}
-		return res.EnergyHistory, nil
+		return out.EnergyHistory, nil
 	}
-	trwsHist, err := trace(core.SolverTRWS)
+	trwsHist, err := trace("trws")
 	if err != nil {
 		return nil, err
 	}
-	bpHist, err := trace(core.SolverBP)
+	bpHist, err := trace("bp")
 	if err != nil {
 		return nil, err
 	}

@@ -76,13 +76,27 @@ func Richness(net *netmodel.Network, a *netmodel.Assignment) (EffectiveRichness,
 		PerService:       make(map[netmodel.ServiceID]float64, len(counts)),
 		EffectiveNumbers: make(map[netmodel.ServiceID]float64, len(counts)),
 	}
+	// Sorted iteration keeps the float summation order (and therefore the
+	// last-ULP result) identical across runs, so benchmark reports comparing
+	// the metric byte-for-byte stay deterministic.
+	services := make([]netmodel.ServiceID, 0, len(counts))
+	for s := range counts {
+		services = append(services, s)
+	}
+	sort.Slice(services, func(i, j int) bool { return services[i] < services[j] })
 	total := 0.0
-	for s, byProduct := range counts {
+	for _, s := range services {
+		byProduct := counts[s]
+		products := make([]netmodel.ProductID, 0, len(byProduct))
+		for p := range byProduct {
+			products = append(products, p)
+		}
+		sort.Slice(products, func(i, j int) bool { return products[i] < products[j] })
 		n := float64(instances[s])
 		entropy := 0.0
-		for _, c := range byProduct {
-			p := float64(c) / n
-			entropy -= p * math.Log(p)
+		for _, p := range products {
+			f := float64(byProduct[p]) / n
+			entropy -= f * math.Log(f)
 		}
 		effective := math.Exp(entropy)
 		out.EffectiveNumbers[s] = effective

@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"netdiversity/internal/adversary"
+	"netdiversity/internal/attacksim"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// Attack selects how a cell's optimised assignment is stress-tested after
+// solving.  The recon/uniform models use the analytic mean-field MTTC
+// estimate of internal/attacksim (fast and deterministic, so suitable for CI
+// cells); the adv-* models run the Monte-Carlo attacker-knowledge campaigns
+// of internal/adversary.
+type Attack int
+
+const (
+	// AttackNone skips attack evaluation.
+	AttackNone Attack = iota + 1
+	// AttackRecon is the reconnaissance attacker of the paper's simulation
+	// study, evaluated with the mean-field MTTC estimate.
+	AttackRecon
+	// AttackUniform is the uniform-exploit-choice attacker, evaluated with
+	// the mean-field MTTC estimate.
+	AttackUniform
+	// AttackAdvBlind is the Monte-Carlo attacker with no configuration
+	// knowledge.
+	AttackAdvBlind
+	// AttackAdvPartial is the Monte-Carlo attacker knowing product
+	// popularity but not placement.
+	AttackAdvPartial
+	// AttackAdvFull is the Monte-Carlo attacker with full reconnaissance.
+	AttackAdvFull
+)
+
+// String implements fmt.Stringer.
+func (a Attack) String() string {
+	switch a {
+	case AttackNone:
+		return "none"
+	case AttackRecon:
+		return "recon"
+	case AttackUniform:
+		return "uniform"
+	case AttackAdvBlind:
+		return "adv-blind"
+	case AttackAdvPartial:
+		return "adv-partial"
+	case AttackAdvFull:
+		return "adv-full"
+	default:
+		return fmt.Sprintf("attack(%d)", int(a))
+	}
+}
+
+// AttackNames lists the attack-model names accepted by ParseAttack.
+func AttackNames() []string {
+	return []string{"none", "recon", "uniform", "adv-blind", "adv-partial", "adv-full"}
+}
+
+// ParseAttack converts an attack-model name to an Attack.
+func ParseAttack(name string) (Attack, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "none":
+		return AttackNone, nil
+	case "recon":
+		return AttackRecon, nil
+	case "uniform":
+		return AttackUniform, nil
+	case "adv-blind":
+		return AttackAdvBlind, nil
+	case "adv-partial":
+		return AttackAdvPartial, nil
+	case "adv-full":
+		return AttackAdvFull, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown attack model %q (known: %v)", name, AttackNames())
+	}
+}
+
+// attackOutcome is what an attack evaluation contributes to a measurement.
+type attackOutcome struct {
+	MTTC        float64
+	PCompromise float64
+}
+
+// evaluateAttack stresses an assignment with the cell's attack model: the
+// attacker enters at the first host and aims for the last host of the
+// network's insertion order (for zoned topologies that is the corporate
+// perimeter and the control core respectively).  The context carries the
+// cell's timeout: the Monte-Carlo campaigns check it between runs; the
+// analytic estimate is bounded by MaxTicks and only checks it up front.
+func evaluateAttack(ctx context.Context, net *netmodel.Network, sim *vulnsim.SimilarityTable, a *netmodel.Assignment, attack Attack, runs int, seed int64) (attackOutcome, error) {
+	if attack == AttackNone {
+		return attackOutcome{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return attackOutcome{}, err
+	}
+	hosts := net.Hosts()
+	if len(hosts) < 2 {
+		return attackOutcome{}, fmt.Errorf("scenario: attack evaluation needs at least 2 hosts")
+	}
+	entry, target := hosts[0], hosts[len(hosts)-1]
+
+	switch attack {
+	case AttackRecon, AttackUniform:
+		strategy := attacksim.Reconnaissance
+		if attack == AttackUniform {
+			strategy = attacksim.UniformChoice
+		}
+		s, err := attacksim.New(net, a, sim)
+		if err != nil {
+			return attackOutcome{}, err
+		}
+		est, err := s.EstimateMTTC(attacksim.Config{
+			Entry:    entry,
+			Target:   target,
+			Strategy: strategy,
+			MaxTicks: 200,
+		})
+		if err != nil {
+			return attackOutcome{}, err
+		}
+		return attackOutcome{MTTC: est.MTTC, PCompromise: est.PCompromise}, nil
+	case AttackAdvBlind, AttackAdvPartial, AttackAdvFull:
+		knowledge := adversary.KnowledgeFull
+		switch attack {
+		case AttackAdvBlind:
+			knowledge = adversary.KnowledgeNone
+		case AttackAdvPartial:
+			knowledge = adversary.KnowledgePartial
+		}
+		ev, err := adversary.New(net, a, sim)
+		if err != nil {
+			return attackOutcome{}, err
+		}
+		res, err := ev.RunContext(ctx, adversary.Config{
+			Entry:     entry,
+			Target:    target,
+			Knowledge: knowledge,
+			Runs:      runs,
+			MaxTicks:  200,
+			Seed:      seed,
+		})
+		if err != nil {
+			return attackOutcome{}, err
+		}
+		return attackOutcome{MTTC: res.MTTC, PCompromise: res.SuccessRate}, nil
+	default:
+		return attackOutcome{}, fmt.Errorf("scenario: unknown attack model %v", attack)
+	}
+}

@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DiffOptions tunes the baseline comparison.
+type DiffOptions struct {
+	// Tolerance is the relative wall-clock change tolerated before a cell
+	// counts as a regression (or an improvement).  Default 0.15.
+	Tolerance float64
+	// FloorMS is the absolute wall-clock change (milliseconds) a cell must
+	// additionally exceed: sub-floor cells are too fast for a relative
+	// tolerance to be meaningful in CI.  Default 10ms.
+	FloorMS float64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.15
+	}
+	if o.FloorMS <= 0 {
+		o.FloorMS = 10
+	}
+	return o
+}
+
+// Verdict classifies one cell of a baseline diff.
+type Verdict string
+
+const (
+	// VerdictOK means the wall-clock change is within tolerance.
+	VerdictOK Verdict = "ok"
+	// VerdictRegression means the cell got slower than tolerance allows.
+	VerdictRegression Verdict = "regression"
+	// VerdictImprovement means the cell got faster than tolerance requires.
+	VerdictImprovement Verdict = "improvement"
+	// VerdictError means the cell failed in the current run but completed in
+	// the baseline (counts as a regression for the exit code).
+	VerdictError Verdict = "error"
+	// VerdictNew means the cell has no baseline counterpart.
+	VerdictNew Verdict = "new"
+	// VerdictMissing means the baseline cell is absent from the current run.
+	VerdictMissing Verdict = "missing"
+)
+
+// CellDelta compares one cell across two reports.
+type CellDelta struct {
+	ID          string
+	OldMS       float64
+	NewMS       float64
+	Ratio       float64 // NewMS / OldMS; 0 when either side is absent
+	DeltaEnergy float64 // NewEnergy - OldEnergy
+	Verdict     Verdict
+}
+
+// Diff is the cell-by-cell comparison of a run against a baseline.
+type Diff struct {
+	Suite     string
+	Tolerance float64
+	FloorMS   float64
+	Cells     []CellDelta
+}
+
+// Counts tallies the verdicts.
+func (d Diff) Counts() map[Verdict]int {
+	out := make(map[Verdict]int)
+	for _, c := range d.Cells {
+		out[c.Verdict]++
+	}
+	return out
+}
+
+// HasRegressions reports whether any cell regressed (including cells that
+// errored in the current run but completed in the baseline).
+func (d Diff) HasRegressions() bool {
+	for _, c := range d.Cells {
+		if c.Verdict == VerdictRegression || c.Verdict == VerdictError {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare diffs the current report against a baseline, cell by cell (matched
+// on the stable cell ID).  Cells appearing in only one report are reported as
+// new/missing but never fail the gate: a suite edit legitimately changes the
+// cell set, and the baseline is refreshed on merge.
+func Compare(baseline, current *Report, opts DiffOptions) Diff {
+	opts = opts.withDefaults()
+	d := Diff{Suite: current.Suite, Tolerance: opts.Tolerance, FloorMS: opts.FloorMS}
+	for _, cur := range current.Cells {
+		old, ok := baseline.Cell(cur.ID)
+		if !ok {
+			d.Cells = append(d.Cells, CellDelta{ID: cur.ID, NewMS: cur.WallMS, Verdict: VerdictNew})
+			continue
+		}
+		delta := CellDelta{
+			ID:          cur.ID,
+			OldMS:       old.WallMS,
+			NewMS:       cur.WallMS,
+			DeltaEnergy: cur.Energy - old.Energy,
+		}
+		switch {
+		case cur.Error != "" && old.Error == "":
+			delta.Verdict = VerdictError
+		case old.Error != "":
+			// A baseline cell that itself failed carries no usable timing
+			// (divbench refuses to gate-pass a report with failed cells, but
+			// a stale or hand-edited baseline could still contain one).
+			delta.Verdict = VerdictOK
+		case old.WallMS > 0:
+			delta.Ratio = cur.WallMS / old.WallMS
+			switch {
+			case cur.WallMS > old.WallMS*(1+opts.Tolerance) && cur.WallMS-old.WallMS > opts.FloorMS:
+				delta.Verdict = VerdictRegression
+			case cur.WallMS < old.WallMS*(1-opts.Tolerance) && old.WallMS-cur.WallMS > opts.FloorMS:
+				delta.Verdict = VerdictImprovement
+			default:
+				delta.Verdict = VerdictOK
+			}
+		default:
+			delta.Verdict = VerdictOK
+		}
+		d.Cells = append(d.Cells, delta)
+	}
+	for _, old := range baseline.Cells {
+		if _, ok := current.Cell(old.ID); !ok {
+			d.Cells = append(d.Cells, CellDelta{ID: old.ID, OldMS: old.WallMS, Verdict: VerdictMissing})
+		}
+	}
+	return d
+}
+
+// Render returns the diff as aligned text: one row per cell plus a summary
+// line.  The layout is covered by a golden-file test, so CI logs stay
+// greppable across versions.
+func (d Diff) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "baseline diff — suite %s (tolerance %.0f%%, floor %.0fms)\n",
+		d.Suite, d.Tolerance*100, d.FloorMS)
+	idWidth := len("cell")
+	for _, c := range d.Cells {
+		if len(c.ID) > idWidth {
+			idWidth = len(c.ID)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %10s  %10s  %7s  %10s  %s\n",
+		idWidth, "cell", "old ms", "new ms", "ratio", "Δenergy", "verdict")
+	for _, c := range d.Cells {
+		old, cur, ratio, energy := "-", "-", "-", "-"
+		if c.Verdict != VerdictNew {
+			old = fmt.Sprintf("%.1f", c.OldMS)
+		}
+		if c.Verdict != VerdictMissing {
+			cur = fmt.Sprintf("%.1f", c.NewMS)
+		}
+		if c.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2f", c.Ratio)
+		}
+		switch c.Verdict {
+		case VerdictOK, VerdictRegression, VerdictImprovement:
+			energy = fmt.Sprintf("%.3f", c.DeltaEnergy)
+		}
+		fmt.Fprintf(&b, "%-*s  %10s  %10s  %7s  %10s  %s\n",
+			idWidth, c.ID, old, cur, ratio, energy, c.Verdict)
+	}
+	counts := d.Counts()
+	fmt.Fprintf(&b, "summary: %d regressions, %d errors, %d improvements, %d ok, %d new, %d missing\n",
+		counts[VerdictRegression], counts[VerdictError], counts[VerdictImprovement],
+		counts[VerdictOK], counts[VerdictNew], counts[VerdictMissing])
+	return b.String()
+}

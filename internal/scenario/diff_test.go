@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the diff golden file")
+
+// diffFixtures builds a baseline and a current report exercising every
+// verdict: ok, regression, improvement, error, new and missing, plus a
+// sub-floor change that must not trip the gate.
+func diffFixtures() (*Report, *Report) {
+	report := func(cells []Measurement) *Report {
+		return &Report{
+			SchemaVersion: SchemaVersion,
+			Suite:         "quick",
+			GeneratedAt:   "2026-07-28T00:00:00Z",
+			Cells:         cells,
+		}
+	}
+	baseline := report([]Measurement{
+		{ID: "uniform/h50/d6/s2/trws/recon", WallMS: 100, Energy: 10},
+		{ID: "uniform/h200/d6/s2/trws/recon", WallMS: 400, Energy: 40},
+		{ID: "zoned/h200/d6/s2/bp/recon", WallMS: 300, Energy: 30},
+		{ID: "zoned/h50/d6/s2/icm/recon", WallMS: 10, Energy: 5},
+		{ID: "uniform/h200/d6/s2/anneal/recon", WallMS: 250, Energy: 25},
+		{ID: "zoned/h200/d6/s2/anneal/recon", WallMS: 150, Energy: 15},
+	})
+	current := report([]Measurement{
+		{ID: "uniform/h50/d6/s2/trws/recon", WallMS: 104, Energy: 10},                               // ok: +4%
+		{ID: "uniform/h200/d6/s2/trws/recon", WallMS: 800, Energy: 40},                              // regression: 2x
+		{ID: "zoned/h200/d6/s2/bp/recon", WallMS: 150, Energy: 29.5},                                // improvement: 2x faster
+		{ID: "zoned/h50/d6/s2/icm/recon", WallMS: 18, Energy: 5},                                    // ok: +80% but below the 10ms floor
+		{ID: "uniform/h200/d6/s2/anneal/recon", Error: "context deadline exceeded", TimedOut: true}, // error
+		{ID: "uniform/h50/d6/s2/bp/recon", WallMS: 90, Energy: 9},                                   // new
+	})
+	return baseline, current
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	baseline, current := diffFixtures()
+	d := Compare(baseline, current, DiffOptions{})
+	want := map[string]Verdict{
+		"uniform/h50/d6/s2/trws/recon":    VerdictOK,
+		"uniform/h200/d6/s2/trws/recon":   VerdictRegression,
+		"zoned/h200/d6/s2/bp/recon":       VerdictImprovement,
+		"zoned/h50/d6/s2/icm/recon":       VerdictOK,
+		"uniform/h200/d6/s2/anneal/recon": VerdictError,
+		"uniform/h50/d6/s2/bp/recon":      VerdictNew,
+		"zoned/h200/d6/s2/anneal/recon":   VerdictMissing,
+	}
+	if len(d.Cells) != len(want) {
+		t.Fatalf("diff has %d cells, want %d", len(d.Cells), len(want))
+	}
+	for _, c := range d.Cells {
+		if c.Verdict != want[c.ID] {
+			t.Errorf("cell %s: verdict %s, want %s", c.ID, c.Verdict, want[c.ID])
+		}
+	}
+	if !d.HasRegressions() {
+		t.Error("diff with a regression and an errored cell should report regressions")
+	}
+}
+
+func TestCompareDoctoredFasterBaseline(t *testing.T) {
+	// The acceptance scenario of the CI gate: a baseline doctored to claim a
+	// cell ran 2x faster must register as a regression.
+	baseline, _ := diffFixtures()
+	current := &Report{
+		SchemaVersion: SchemaVersion,
+		Suite:         "quick",
+		Cells: []Measurement{
+			{ID: "uniform/h200/d6/s2/trws/recon", WallMS: 800, Energy: 40},
+		},
+	}
+	d := Compare(baseline, current, DiffOptions{Tolerance: 0.15})
+	if !d.HasRegressions() {
+		t.Fatal("a cell twice as slow as the baseline must regress at 15% tolerance")
+	}
+}
+
+func TestCompareErroredBaselineCellNeverGates(t *testing.T) {
+	// A baseline cell that itself failed has no usable timing: a healthy
+	// current run must not be classified by the garbage numbers (neither as
+	// an improvement against a timed-out 60s wall nor as a regression
+	// against an early-abort 0.1ms wall).
+	baseline := &Report{
+		SchemaVersion: SchemaVersion,
+		Suite:         "quick",
+		Cells: []Measurement{
+			{ID: "a", WallMS: 60000, Error: "context deadline exceeded", TimedOut: true},
+			{ID: "b", WallMS: 0.1, Error: "boom"},
+		},
+	}
+	current := &Report{
+		SchemaVersion: SchemaVersion,
+		Suite:         "quick",
+		Cells: []Measurement{
+			{ID: "a", WallMS: 50},
+			{ID: "b", WallMS: 50},
+		},
+	}
+	d := Compare(baseline, current, DiffOptions{})
+	if d.HasRegressions() {
+		t.Error("errored baseline cells must not gate the current run")
+	}
+	for _, c := range d.Cells {
+		if c.Verdict != VerdictOK {
+			t.Errorf("cell %s: verdict %s, want ok", c.ID, c.Verdict)
+		}
+	}
+}
+
+func TestCompareWithinToleranceClean(t *testing.T) {
+	baseline, _ := diffFixtures()
+	d := Compare(baseline, baseline, DiffOptions{})
+	if d.HasRegressions() {
+		t.Error("comparing a report against itself should never regress")
+	}
+	for _, c := range d.Cells {
+		if c.Verdict != VerdictOK {
+			t.Errorf("cell %s: verdict %s, want ok", c.ID, c.Verdict)
+		}
+	}
+}
+
+// TestDiffRenderGolden pins the diff's text layout so the CI log format only
+// changes deliberately (refresh with go test ./internal/scenario -run Golden
+// -update-golden).
+func TestDiffRenderGolden(t *testing.T) {
+	baseline, current := diffFixtures()
+	got := Compare(baseline, current, DiffOptions{}).Render()
+	golden := filepath.Join("testdata", "diff_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diff rendering drifted from the golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,244 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"netdiversity/internal/core"
+	"netdiversity/internal/metrics"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// Measurement is the machine-readable result of one cell: everything a
+// baseline diff or a paper table needs, and nothing that fails to serialise.
+type Measurement struct {
+	ID       string `json:"id"`
+	Topology string `json:"topology,omitempty"`
+	Hosts    int    `json:"hosts"`
+	Degree   int    `json:"degree,omitempty"`
+	Services int    `json:"services,omitempty"`
+	Solver   string `json:"solver"`
+	Attack   string `json:"attack"`
+	Seed     int64  `json:"seed"`
+
+	// Energy is the achieved objective (Eq. 1); PairwiseCost the pairwise
+	// similarity part of it (Eq. 3); Richness the d1 diversity metric of the
+	// decoded assignment.
+	Energy       float64 `json:"energy"`
+	PairwiseCost float64 `json:"pairwise_cost"`
+	Richness     float64 `json:"richness"`
+	// MTTC and PCompromise report the attack-model evaluation (zero when the
+	// attack model is "none").
+	MTTC        float64 `json:"mttc,omitempty"`
+	PCompromise float64 `json:"p_compromise,omitempty"`
+
+	// Iterations/Converged/Nodes/Edges describe the solve.
+	Iterations int  `json:"iterations"`
+	Converged  bool `json:"converged"`
+	Nodes      int  `json:"nodes"`
+	Edges      int  `json:"edges"`
+
+	// WallMS is the wall-clock of one solve in milliseconds (minimum over
+	// Repeats); AllocObjects/AllocBytes the heap allocations of one solve
+	// (mean over Repeats, approximate when cells run concurrently).
+	WallMS       float64 `json:"wall_ms"`
+	AllocObjects uint64  `json:"alloc_objects"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+
+	// TimedOut and Error record a cell that did not complete; its metric
+	// fields are zero.
+	TimedOut bool   `json:"timed_out,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// Outcome extends a Measurement with the in-memory artefacts the experiment
+// tables need (and reports do not serialise).
+type Outcome struct {
+	Measurement
+	// Assignment is the decoded optimal assignment of the cell.
+	Assignment *netmodel.Assignment
+	// EnergyHistory is the solver's best-energy trace.
+	EnergyHistory []float64
+}
+
+// Exec runs one cell on the given network and similarity table: it solves the
+// diversification instance with the cell's solver (through the partitioned
+// parallel pipeline when Parts > 1), honours the cell's timeout and
+// warm-start setting, and evaluates the result.  The network/similarity pair
+// normally comes from BuildNetwork, but callers with their own instance (the
+// fixed paper examples) pass it directly.
+func Exec(ctx context.Context, net *netmodel.Network, sim *vulnsim.SimilarityTable, c Cell) (Outcome, error) {
+	if net == nil || sim == nil {
+		return Outcome{}, errors.New("scenario: network and similarity table must not be nil")
+	}
+	if c.Attack == 0 {
+		c.Attack = AttackNone
+	}
+	meta := Measurement{
+		ID:       c.ID,
+		Topology: c.Topology,
+		Hosts:    net.NumHosts(),
+		Degree:   c.Degree,
+		Services: c.Services,
+		Solver:   c.Solver,
+		Attack:   c.Attack.String(),
+		Seed:     c.Seed,
+	}
+	solver, err := core.ParseSolver(c.Solver)
+	if err != nil {
+		return Outcome{Measurement: meta}, err
+	}
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	iters := c.MaxIterations
+	if iters <= 0 {
+		iters = 20
+	}
+	repeats := c.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+	opts := core.Options{
+		Solver:           solver,
+		MaxIterations:    iters,
+		Seed:             c.Seed,
+		Workers:          c.SolverWorkers,
+		DisableWarmStart: c.DisableWarmStart,
+		DisablePolish:    c.DisablePolish,
+	}
+	if c.Parts > 1 {
+		// The block pool is the cell's parallelism; each block solves with a
+		// single worker.
+		opts.Workers = c.Parts
+	}
+	opt, err := core.NewOptimizer(net, sim, opts)
+	if err != nil {
+		return Outcome{Measurement: meta}, err
+	}
+
+	var (
+		res     core.Result
+		memPre  runtime.MemStats
+		memPost runtime.MemStats
+		bestMS  float64
+	)
+	runtime.ReadMemStats(&memPre)
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		if c.Parts > 1 {
+			pres, perr := opt.OptimizeParallel(ctx, c.Parts)
+			err = perr
+			res = pres.Result
+		} else {
+			res, err = opt.Optimize(ctx)
+		}
+		wall := float64(time.Since(start)) / float64(time.Millisecond)
+		if err != nil {
+			meta.WallMS = wall
+			meta.TimedOut = errors.Is(err, context.DeadlineExceeded)
+			return Outcome{Measurement: meta}, err
+		}
+		if r == 0 || wall < bestMS {
+			bestMS = wall
+		}
+	}
+	runtime.ReadMemStats(&memPost)
+
+	meta.Energy = res.Energy
+	meta.Iterations = res.Iterations
+	meta.Converged = res.Converged
+	meta.Nodes = res.Nodes
+	meta.Edges = res.Edges
+	meta.WallMS = bestMS
+	meta.AllocObjects = (memPost.Mallocs - memPre.Mallocs) / uint64(repeats)
+	meta.AllocBytes = (memPost.TotalAlloc - memPre.TotalAlloc) / uint64(repeats)
+
+	pc, err := core.PairwiseSimilarityCost(net, sim, res.Assignment)
+	if err != nil {
+		return Outcome{Measurement: meta}, err
+	}
+	meta.PairwiseCost = pc
+	rich, err := metrics.Richness(net, res.Assignment)
+	if err != nil {
+		return Outcome{Measurement: meta}, err
+	}
+	meta.Richness = rich.Overall
+
+	atk, err := evaluateAttack(ctx, net, sim, res.Assignment, c.Attack, c.AttackRuns, c.Seed)
+	if err != nil {
+		meta.TimedOut = errors.Is(err, context.DeadlineExceeded)
+		return Outcome{Measurement: meta}, err
+	}
+	meta.MTTC = atk.MTTC
+	meta.PCompromise = atk.PCompromise
+
+	return Outcome{
+		Measurement:   meta,
+		Assignment:    res.Assignment,
+		EnergyHistory: res.EnergyHistory,
+	}, nil
+}
+
+// Run expands the matrix and executes every cell through a bounded worker
+// pool.  Per-cell failures (including timeouts) are recorded in the cell's
+// measurement instead of aborting the sweep; Run itself fails only on an
+// invalid matrix or a cancelled context.
+func Run(ctx context.Context, m Matrix) (*Report, error) {
+	m = m.withDefaults()
+	cells, err := Expand(m)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Measurement, len(cells))
+	workers := m.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				results[i] = runCell(ctx, cells[i])
+			}
+		}()
+	}
+	for i := range cells {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep := NewReport(m)
+	rep.Cells = results
+	return rep, nil
+}
+
+// runCell builds a cell's network and executes it, converting any failure
+// into the measurement's error fields.
+func runCell(ctx context.Context, c Cell) Measurement {
+	net, sim, err := BuildNetwork(c)
+	if err != nil {
+		return Measurement{
+			ID: c.ID, Topology: c.Topology, Hosts: c.Hosts, Degree: c.Degree,
+			Services: c.Services, Solver: c.Solver, Attack: c.Attack.String(),
+			Seed: c.Seed, Error: err.Error(),
+		}
+	}
+	out, err := Exec(ctx, net, sim, c)
+	if err != nil {
+		out.Measurement.Error = err.Error()
+	}
+	return out.Measurement
+}

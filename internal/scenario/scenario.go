@@ -1,0 +1,327 @@
+// Package scenario is the experiment-sweep subsystem of the library: it
+// declaratively describes a run matrix — topology family × network size ×
+// solver × attack model — expands it into deterministic cells, executes every
+// cell through the shared optimisation pipeline (with per-cell seeds,
+// timeouts and warm-start control) and collects comparable measurements:
+// objective energy, pairwise similarity cost, wall-clock time, allocations,
+// an MTTC estimate and diversity metrics.
+//
+// The package serves two callers with one execution path: the paper
+// experiments in internal/experiments build their figure/table sweeps on
+// Exec/Run, and cmd/divbench turns named suites into machine-readable
+// BENCH_<suite>.json reports that a CI gate can diff against a baseline.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"netdiversity/internal/netgen"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/solve"
+	"netdiversity/internal/vulnsim"
+)
+
+// Topology names accepted by a Matrix.  The first three map onto
+// netgen.Generate; "zoned" builds a four-zone ICS-style layout with the same
+// synthetic service/product catalogue so that every topology shares one
+// similarity table.
+const (
+	TopoUniform    = "uniform"
+	TopoZoned      = "zoned"
+	TopoScaleFree  = "scale-free"
+	TopoSmallWorld = "small-world"
+)
+
+// Topologies lists the supported topology names in canonical order.
+func Topologies() []string {
+	return []string{TopoUniform, TopoZoned, TopoScaleFree, TopoSmallWorld}
+}
+
+// Matrix declaratively describes a sweep: the cross product of every axis
+// slice.  The zero value of an axis falls back to a single default so that a
+// Matrix can sweep one dimension without spelling out the others.
+type Matrix struct {
+	// Name identifies the suite in reports ("quick", "full", "table7", ...).
+	Name string
+	// Topologies is the topology-family axis.  Default {uniform}.
+	Topologies []string
+	// Hosts is the network-size axis.  Default {200}.
+	Hosts []int
+	// Degrees is the target-average-degree axis.  Default {8}.
+	Degrees []int
+	// Services is the services-per-host axis.  Default {3}.
+	Services []int
+	// ProductsPerService is the per-service catalogue size.  Default 4.
+	ProductsPerService int
+	// Solvers is the solver axis; every name must be registered with the
+	// solve registry.  Default {trws}.
+	Solvers []string
+	// Attacks is the attack-model axis (see ParseAttack).  Default {none}.
+	Attacks []string
+	// MaxIterations bounds the solver iterations per cell.  Default 20.
+	MaxIterations int
+	// Seed is the base seed; every cell derives its own seed from it and the
+	// cell ID, so expansion is deterministic and order-independent.
+	Seed int64
+	// Timeout bounds one cell execution (solve + attack evaluation).
+	// Zero means no per-cell timeout.
+	Timeout time.Duration
+	// Workers sizes the worker pool that executes cells concurrently.
+	// Default 1 (cells run serially, which keeps the allocation and
+	// wall-clock measurements precise).
+	Workers int
+	// SolverWorkers is the intra-cell parallelism handed to the solver
+	// kernels (core.Options.Workers).  Default 1; ignored when Parts > 1,
+	// where the block pool provides the cell's parallelism.
+	SolverWorkers int
+	// Parts > 1 routes every cell through the partitioned parallel pipeline
+	// (core.OptimizeParallel) with that many blocks.
+	Parts int
+	// DisableWarmStart measures the solvers cold, without the
+	// greedy-colouring initial labeling.
+	DisableWarmStart bool
+	// AttackRuns is the Monte-Carlo run count for the adversary-knowledge
+	// attack models.  Default 50 (the analytic models ignore it).
+	AttackRuns int
+	// Repeats re-runs the solve of each cell and keeps the minimum
+	// wall-clock (the solvers are deterministic, so every other measurement
+	// is identical across repeats).  Default 1.
+	Repeats int
+}
+
+func (m Matrix) withDefaults() Matrix {
+	if len(m.Topologies) == 0 {
+		m.Topologies = []string{TopoUniform}
+	}
+	if len(m.Hosts) == 0 {
+		m.Hosts = []int{200}
+	}
+	if len(m.Degrees) == 0 {
+		m.Degrees = []int{8}
+	}
+	if len(m.Services) == 0 {
+		m.Services = []int{3}
+	}
+	if m.ProductsPerService <= 0 {
+		m.ProductsPerService = 4
+	}
+	if len(m.Solvers) == 0 {
+		m.Solvers = []string{"trws"}
+	}
+	if len(m.Attacks) == 0 {
+		m.Attacks = []string{AttackNone.String()}
+	}
+	if m.MaxIterations <= 0 {
+		m.MaxIterations = 20
+	}
+	if m.Seed == 0 {
+		m.Seed = 42
+	}
+	if m.Workers <= 0 {
+		m.Workers = 1
+	}
+	if m.AttackRuns <= 0 {
+		m.AttackRuns = 50
+	}
+	if m.Repeats <= 0 {
+		m.Repeats = 1
+	}
+	return m
+}
+
+// Cell is one fully-specified run of the matrix.
+type Cell struct {
+	// Index is the cell's position in expansion order.
+	Index int
+	// ID is the stable cell identifier used to match cells across reports:
+	// topology/h<hosts>/d<degree>/s<services>/<solver>/<attack>.
+	ID string
+	// Topology, Hosts, Degree, Services, ProductsPerService describe the
+	// generated network.
+	Topology           string
+	Hosts              int
+	Degree             int
+	Services           int
+	ProductsPerService int
+	// Solver and Attack select the algorithm and the attack model.
+	Solver string
+	Attack Attack
+	// Seed is the cell's derived seed.
+	Seed int64
+	// MaxIterations, Parts, DisableWarmStart, AttackRuns, Repeats and
+	// Timeout are inherited from the matrix.
+	MaxIterations    int
+	Parts            int
+	DisableWarmStart bool
+	AttackRuns       int
+	Repeats          int
+	Timeout          time.Duration
+	// DisablePolish skips the local ICM refinement after solving; not a
+	// matrix axis, but callers building cells directly (the solver ablation,
+	// the convergence trace) use it to measure the raw decoding.
+	DisablePolish bool
+	// SolverWorkers is the intra-cell solver parallelism (ignored when
+	// Parts > 1).
+	SolverWorkers int
+}
+
+// cellID renders the stable identifier of a cell.
+func cellID(topology string, hosts, degree, services int, solver, attack string) string {
+	return fmt.Sprintf("%s/h%d/d%d/s%d/%s/%s", topology, hosts, degree, services, solver, attack)
+}
+
+// cellSeed derives a per-cell seed from the base seed and the cell ID, so
+// that adding or removing axis values never shifts the seeds of the
+// remaining cells.
+func cellSeed(base int64, id string) int64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return base ^ int64(h.Sum64()&0x7fffffffffffffff)
+}
+
+// Expand validates the matrix and returns its cells in deterministic order
+// (topology-major, attack-minor, following the axis slice order).
+func Expand(m Matrix) ([]Cell, error) {
+	m = m.withDefaults()
+	known := make(map[string]bool, 4)
+	for _, t := range Topologies() {
+		known[t] = true
+	}
+	for _, t := range m.Topologies {
+		if !known[t] {
+			return nil, fmt.Errorf("scenario: unknown topology %q (known: %v)", t, Topologies())
+		}
+	}
+	for _, h := range m.Hosts {
+		if h < 2 {
+			return nil, fmt.Errorf("scenario: need at least 2 hosts, got %d", h)
+		}
+	}
+	for _, s := range m.Solvers {
+		if !solve.Registered(s) {
+			return nil, fmt.Errorf("scenario: unknown solver %q (registered: %v)", s, solve.Names())
+		}
+	}
+	attacks := make([]Attack, len(m.Attacks))
+	for i, a := range m.Attacks {
+		parsed, err := ParseAttack(a)
+		if err != nil {
+			return nil, err
+		}
+		attacks[i] = parsed
+	}
+
+	var cells []Cell
+	for _, topo := range m.Topologies {
+		for _, hosts := range m.Hosts {
+			for _, degree := range m.Degrees {
+				for _, services := range m.Services {
+					for _, solver := range m.Solvers {
+						for _, attack := range attacks {
+							id := cellID(topo, hosts, degree, services, solver, attack.String())
+							cells = append(cells, Cell{
+								Index:              len(cells),
+								ID:                 id,
+								Topology:           topo,
+								Hosts:              hosts,
+								Degree:             degree,
+								Services:           services,
+								ProductsPerService: m.ProductsPerService,
+								Solver:             solver,
+								Attack:             attack,
+								Seed:               cellSeed(m.Seed, id),
+								MaxIterations:      m.MaxIterations,
+								Parts:              m.Parts,
+								DisableWarmStart:   m.DisableWarmStart,
+								AttackRuns:         m.AttackRuns,
+								Repeats:            m.Repeats,
+								Timeout:            m.Timeout,
+								SolverWorkers:      m.SolverWorkers,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// BuildNetwork generates the network and similarity table of one cell.  The
+// construction depends only on the cell's fields, so callers (tests, the
+// experiment tables) can rebuild the exact instance a measurement came from.
+func BuildNetwork(c Cell) (*netmodel.Network, *vulnsim.SimilarityTable, error) {
+	genCfg := netgen.RandomConfig{
+		Hosts:              c.Hosts,
+		Degree:             c.Degree,
+		Services:           c.Services,
+		ProductsPerService: c.ProductsPerService,
+		Seed:               c.Seed,
+	}
+	sim := netgen.SyntheticSimilarity(genCfg, 0.6)
+	var (
+		net *netmodel.Network
+		err error
+	)
+	switch c.Topology {
+	case TopoUniform, "":
+		net, err = netgen.Generate(genCfg, netgen.TopologyUniform)
+	case TopoScaleFree:
+		net, err = netgen.Generate(genCfg, netgen.TopologyScaleFree)
+	case TopoSmallWorld:
+		net, err = netgen.Generate(genCfg, netgen.TopologySmallWorld)
+	case TopoZoned:
+		net, err = zonedNetwork(genCfg)
+	default:
+		return nil, nil, fmt.Errorf("scenario: unknown topology %q", c.Topology)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, sim, nil
+}
+
+// zonedNetwork builds a four-zone ICS-style layout (corporate → dmz →
+// operations → control) over the synthetic service/product catalogue, so
+// that zoned cells share the similarity table of the other topologies.
+func zonedNetwork(cfg netgen.RandomConfig) (*netmodel.Network, error) {
+	services := make([]netmodel.ServiceID, cfg.Services)
+	choices := make(map[netmodel.ServiceID][]netmodel.ProductID, cfg.Services)
+	for s := 0; s < cfg.Services; s++ {
+		services[s] = netgen.ServiceName(s)
+		ps := make([]netmodel.ProductID, cfg.ProductsPerService)
+		for p := 0; p < cfg.ProductsPerService; p++ {
+			ps[p] = netgen.ProductName(s, p)
+		}
+		choices[services[s]] = ps
+	}
+	names := []string{"corporate", "dmz", "operations", "control"}
+	zones := len(names)
+	if cfg.Hosts < 2*zones {
+		zones = cfg.Hosts / 2
+		if zones < 1 {
+			zones = 1
+		}
+	}
+	specs := make([]netgen.ZoneSpec, zones)
+	base, extra := cfg.Hosts/zones, cfg.Hosts%zones
+	for i := range specs {
+		specs[i] = netgen.ZoneSpec{Name: names[i], Hosts: base}
+		if i < extra {
+			specs[i].Hosts++
+		}
+	}
+	bridges := cfg.Degree / 2
+	if bridges < 2 {
+		bridges = 2
+	}
+	return netgen.Zoned(netgen.ZonedConfig{
+		Zones:       specs,
+		BridgeLinks: bridges,
+		Services:    services,
+		Choices:     choices,
+		Seed:        cfg.Seed,
+	})
+}

@@ -1,0 +1,249 @@
+package scenario
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// tinyMatrix is a fast two-cell matrix used by the execution tests.
+func tinyMatrix() Matrix {
+	return Matrix{
+		Name:          "tiny",
+		Topologies:    []string{TopoUniform, TopoZoned},
+		Hosts:         []int{24},
+		Degrees:       []int{4},
+		Services:      []int{2},
+		Solvers:       []string{"trws"},
+		Attacks:       []string{"recon"},
+		MaxIterations: 8,
+		Seed:          7,
+	}
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	m := Matrix{
+		Topologies: []string{TopoUniform, TopoScaleFree},
+		Hosts:      []int{50, 200},
+		Degrees:    []int{4, 8},
+		Services:   []int{2},
+		Solvers:    []string{"trws", "icm"},
+		Attacks:    []string{"none", "recon"},
+		Seed:       99,
+	}
+	a, err := Expand(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Expand(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("expansion of the same matrix differs between calls")
+	}
+	want := 2 * 2 * 2 * 1 * 2 * 2
+	if len(a) != want {
+		t.Fatalf("expanded %d cells, want %d", len(a), want)
+	}
+	seen := make(map[string]bool, len(a))
+	for i, c := range a {
+		if c.Index != i {
+			t.Errorf("cell %q has index %d, want %d", c.ID, c.Index, i)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate cell ID %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestCellSeedsStableAcrossAxisEdits(t *testing.T) {
+	wide := Matrix{Hosts: []int{50, 200}, Solvers: []string{"trws", "icm"}, Seed: 5}
+	narrow := Matrix{Hosts: []int{50}, Solvers: []string{"icm"}, Seed: 5}
+	wideCells, err := Expand(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowCells, err := Expand(narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := make(map[string]int64, len(wideCells))
+	for _, c := range wideCells {
+		seeds[c.ID] = c.Seed
+	}
+	for _, c := range narrowCells {
+		wideSeed, ok := seeds[c.ID]
+		if !ok {
+			t.Fatalf("cell %q missing from the wider expansion", c.ID)
+		}
+		if wideSeed != c.Seed {
+			t.Errorf("cell %q seed changed when other axis values were removed: %d vs %d", c.ID, wideSeed, c.Seed)
+		}
+	}
+}
+
+func TestExpandRejectsInvalidAxes(t *testing.T) {
+	cases := []Matrix{
+		{Topologies: []string{"torus"}},
+		{Hosts: []int{1}},
+		{Solvers: []string{"quantum"}},
+		{Attacks: []string{"ddos"}},
+	}
+	for _, m := range cases {
+		if _, err := Expand(m); err == nil {
+			t.Errorf("matrix %+v should fail to expand", m)
+		}
+	}
+}
+
+func TestBuildNetworkTopologies(t *testing.T) {
+	for _, topo := range Topologies() {
+		cell := Cell{Topology: topo, Hosts: 20, Degree: 4, Services: 2, ProductsPerService: 3, Seed: 3}
+		net, sim, err := BuildNetwork(cell)
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		if net.NumHosts() != 20 {
+			t.Errorf("%s: built %d hosts, want 20", topo, net.NumHosts())
+		}
+		if sim == nil {
+			t.Fatalf("%s: nil similarity table", topo)
+		}
+		// Every host product choice must be covered by the similarity table
+		// products (the zoned builder shares the synthetic catalogue).
+		products := make(map[string]bool)
+		for _, p := range sim.Products() {
+			products[p] = true
+		}
+		for _, p := range net.Products() {
+			if !products[string(p)] {
+				t.Errorf("%s: network product %s missing from similarity table", topo, p)
+			}
+		}
+	}
+}
+
+func TestExecDeterministic(t *testing.T) {
+	cells, err := Expand(tinyMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cells[0]
+	net, sim, err := BuildNetwork(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Exec(context.Background(), net, sim, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Exec(context.Background(), net, sim, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Energy != second.Energy || first.PairwiseCost != second.PairwiseCost ||
+		first.Richness != second.Richness || first.MTTC != second.MTTC {
+		t.Errorf("repeated execution of the same cell diverged: %+v vs %+v", first.Measurement, second.Measurement)
+	}
+	if first.Assignment == nil {
+		t.Error("outcome is missing the decoded assignment")
+	}
+}
+
+func TestRunCollectsAllCells(t *testing.T) {
+	rep, err := Run(context.Background(), tinyMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 2 {
+		t.Fatalf("report has %d cells, want 2", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Error != "" {
+			t.Errorf("cell %s failed: %s", c.ID, c.Error)
+		}
+		if c.WallMS <= 0 {
+			t.Errorf("cell %s has no wall-clock measurement", c.ID)
+		}
+		if c.MTTC <= 0 {
+			t.Errorf("cell %s has no MTTC estimate under the recon attack", c.ID)
+		}
+		if c.Richness <= 0 {
+			t.Errorf("cell %s has no diversity metric", c.ID)
+		}
+	}
+}
+
+func TestPerCellTimeoutHonored(t *testing.T) {
+	m := tinyMatrix()
+	m.Timeout = time.Nanosecond
+	rep, err := Run(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failed()) != len(rep.Cells) {
+		t.Fatalf("expected every cell to fail under a 1ns timeout, got %d/%d failures",
+			len(rep.Failed()), len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if !c.TimedOut {
+			t.Errorf("cell %s error %q not marked as a timeout", c.ID, c.Error)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := Run(context.Background(), tinyMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, loaded) {
+		t.Errorf("report changed across the JSON round trip:\nwrote  %+v\nloaded %+v", rep, loaded)
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data := `{"schema_version": 99, "suite": "tiny", "cells": [{"id": "x"}]}`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("report with a future schema version should be rejected")
+	}
+}
+
+func TestSuitesExpand(t *testing.T) {
+	for _, name := range SuiteNames() {
+		m, err := Suite(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cells, err := Expand(m)
+		if err != nil {
+			t.Fatalf("suite %s: %v", name, err)
+		}
+		if len(cells) == 0 {
+			t.Errorf("suite %s expands to no cells", name)
+		}
+	}
+	if _, err := Suite("bogus"); err == nil {
+		t.Error("unknown suite should fail")
+	}
+}

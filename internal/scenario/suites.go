@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Suite returns the named benchmark matrix.  Suites are functions of their
+// name only, so a BENCH_<suite>.json baseline produced by one build is
+// comparable with the same suite run by another build (the diff matches
+// cells by ID and tolerates suite edits as new/missing cells).
+func Suite(name string) (Matrix, error) {
+	f, ok := suites()[name]
+	if !ok {
+		return Matrix{}, fmt.Errorf("scenario: unknown suite %q (known: %v)", name, SuiteNames())
+	}
+	return f(), nil
+}
+
+// SuiteNames lists the registered suite names, sorted.
+func SuiteNames() []string {
+	reg := suites()
+	out := make([]string, 0, len(reg))
+	for name := range reg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func suites() map[string]func() Matrix {
+	return map[string]func() Matrix{
+		// quick is the CI gate: every solver on two topology families at two
+		// sizes under the reconnaissance attack estimate.  It must finish in
+		// well under two minutes on a 1-core runner; Repeats=3 takes the
+		// minimum wall-clock per cell to damp scheduler noise.
+		"quick": func() Matrix {
+			return Matrix{
+				Name:          "quick",
+				Topologies:    []string{TopoUniform, TopoZoned},
+				Hosts:         []int{200, 1000},
+				Degrees:       []int{8},
+				Services:      []int{3},
+				Solvers:       []string{"trws", "bp", "icm", "anneal"},
+				Attacks:       []string{"recon"},
+				MaxIterations: 40,
+				Seed:          42,
+				Timeout:       60 * time.Second,
+				AttackRuns:    50,
+				Repeats:       3,
+			}
+		},
+		// full is the paper-scale matrix: every topology family, up to 1000
+		// hosts, every solver, both an analytic and a Monte-Carlo attacker.
+		"full": func() Matrix {
+			return Matrix{
+				Name:          "full",
+				Topologies:    Topologies(),
+				Hosts:         []int{50, 200, 1000},
+				Degrees:       []int{8},
+				Services:      []int{3},
+				Solvers:       []string{"trws", "bp", "icm", "anneal"},
+				Attacks:       []string{"recon", "adv-full"},
+				MaxIterations: 20,
+				Seed:          42,
+				Timeout:       5 * time.Minute,
+				AttackRuns:    100,
+				Repeats:       1,
+			}
+		},
+		// pipeline measures the partitioned parallel pipeline against the
+		// sequential path on the largest size.
+		"pipeline": func() Matrix {
+			return Matrix{
+				Name:          "pipeline",
+				Topologies:    []string{TopoUniform, TopoScaleFree},
+				Hosts:         []int{1000},
+				Degrees:       []int{10},
+				Services:      []int{3},
+				Solvers:       []string{"trws"},
+				Attacks:       []string{"none"},
+				MaxIterations: 20,
+				Seed:          42,
+				Timeout:       5 * time.Minute,
+				Parts:         8,
+				Repeats:       3,
+			}
+		},
+	}
+}
