@@ -133,12 +133,17 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// printSummary renders a compact per-cell table of the fresh run.
+// printSummary renders a compact per-cell table of the fresh run, plus an
+// incremental-vs-full table when the suite has churn cells.
 func printSummary(out io.Writer, rep *scenario.Report) {
 	idWidth := len("cell")
+	churn := false
 	for _, c := range rep.Cells {
 		if len(c.ID) > idWidth {
 			idWidth = len(c.ID)
+		}
+		if c.ChurnSteps > 0 {
+			churn = true
 		}
 	}
 	fmt.Fprintf(out, "%-*s  %10s  %12s  %8s  %8s  %8s\n",
@@ -150,5 +155,19 @@ func printSummary(out io.Writer, rep *scenario.Report) {
 		}
 		fmt.Fprintf(out, "%-*s  %10.1f  %12.3f  %8.2f  %8.4f  %8d\n",
 			idWidth, c.ID, c.WallMS, c.Energy, c.MTTC, c.Richness, c.AllocObjects)
+	}
+	if !churn {
+		return
+	}
+	fmt.Fprintf(out, "\nchurn: incremental Reoptimize vs full re-solve per delta step\n")
+	fmt.Fprintf(out, "%-*s  %5s  %10s  %10s  %8s  %9s  %9s\n",
+		idWidth, "cell", "steps", "inc ms", "full ms", "speedup", "gap %", "changed")
+	for _, c := range rep.Cells {
+		if c.ChurnSteps == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "%-*s  %5d  %10.1f  %10.1f  %7.1fx  %9.3f  %9.4f\n",
+			idWidth, c.ID, c.ChurnSteps, c.ChurnIncrementalMS, c.ChurnFullMS,
+			c.ChurnSpeedup, c.ChurnEnergyGapPct, c.ChurnChangedFrac)
 	}
 }

@@ -9,12 +9,21 @@
 //	divopt -case-study -scenario host-constraints
 //	divopt -in big.json -parallel 8 -workers 4    # partitioned parallel mode
 //	divopt -in big.json -cpuprofile cpu.pprof -memprofile mem.pprof
+//	divopt -in net.json -watch deltas.jsonl       # incremental serving mode
 //
 // With -out the assignment is written as JSON; the human-readable summary is
 // always printed to stdout.  -solver accepts any name from the solver
 // registry (trws, bp, icm, anneal); -parallel N > 1 runs the
 // partition-solve-merge-refine pipeline with N blocks on a worker pool of
 // -workers goroutines.
+//
+// Watch mode turns divopt into a long-lived serving loop: after the initial
+// solve it reads a stream of network deltas (one netmodel.Delta JSON object
+// per line; '-' reads stdin) and re-optimises incrementally after each one
+// (core.ApplyDelta + Reoptimize), emitting one JSON status line per step.
+// With -out the latest assignment is rewritten after every step, so the file
+// always holds the currently served assignment.  A delta that fails to apply
+// ends the run with an error while the previous assignment stays intact.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"netdiversity"
 	"netdiversity/internal/casestudy"
@@ -55,6 +65,7 @@ func run(args []string, out io.Writer) (err error) {
 		scenario   = fs.String("scenario", "none", "case-study constraint scenario: none, host-constraints, product-constraints")
 		cpuProfile = fs.String("cpuprofile", "", "write cpu profile to `file`")
 		memProfile = fs.String("memprofile", "", "write memory profile to `file`")
+		watchPath  = fs.String("watch", "", "after the initial solve, read a JSON-lines delta stream from this `file` ('-' for stdin) and re-optimise incrementally per delta")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,12 +136,8 @@ func run(args []string, out io.Writer) (err error) {
 	fmt.Fprint(out, res.Assignment.String())
 
 	if *outPath != "" {
-		data, err := json.MarshalIndent(res.Assignment, "", "  ")
-		if err != nil {
-			return fmt.Errorf("encode assignment: %w", err)
-		}
-		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
-			return fmt.Errorf("write %s: %w", *outPath, err)
+		if err := writeAssignment(*outPath, res.Assignment); err != nil {
+			return err
 		}
 	}
 	if *dotPath != "" {
@@ -142,7 +149,109 @@ func run(args []string, out io.Writer) (err error) {
 			return fmt.Errorf("write %s: %w", *dotPath, err)
 		}
 	}
+	if *watchPath != "" {
+		return watch(out, opt, *watchPath, *outPath)
+	}
 	return nil
+}
+
+func writeAssignment(path string, a *netmodel.Assignment) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encode assignment: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+// watchStatus is the JSON status line emitted after every watch-mode step.
+type watchStatus struct {
+	Seq           int     `json:"seq"`
+	Ops           int     `json:"ops"`
+	Hosts         int     `json:"hosts"`
+	Energy        float64 `json:"energy"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	DirtyNodes    int     `json:"dirty_nodes"`
+	LiveNodes     int     `json:"live_nodes"`
+	Rebuilt       bool    `json:"rebuilt,omitempty"`
+	ChangedHosts  int     `json:"changed_hosts"`
+}
+
+// watch consumes a JSON-lines delta stream and re-optimises incrementally
+// after every delta, emitting one status line per step.  When outPath is
+// set, the latest assignment is rewritten after each step.
+func watch(out io.Writer, opt *netdiversity.Optimizer, watchPath, outPath string) error {
+	var r io.Reader
+	if watchPath == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(watchPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	dec := netmodel.NewDeltaDecoder(r)
+	enc := json.NewEncoder(out)
+	seq := 0
+	for {
+		delta, err := dec.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("watch: %w", err)
+		}
+		seq++
+		prev := opt.LastAssignment()
+		start := time.Now() // covers patch + warm re-solve, the full step cost
+		if err := opt.ApplyDelta(delta); err != nil {
+			return fmt.Errorf("watch: delta %d: %w", seq, err)
+		}
+		res, err := opt.Reoptimize(context.Background())
+		if err != nil {
+			return fmt.Errorf("watch: delta %d: %w", seq, err)
+		}
+		changed := 0
+		for _, h := range res.Assignment.Hosts() {
+			if prev == nil {
+				break
+			}
+			was := prev.HostAssignment(h)
+			if len(was) == 0 {
+				changed++ // joined
+				continue
+			}
+			now := res.Assignment.HostAssignment(h)
+			for s, p := range now {
+				if was[s] != p {
+					changed++
+					break
+				}
+			}
+		}
+		if err := enc.Encode(watchStatus{
+			Seq:           seq,
+			Ops:           len(delta.Ops),
+			Hosts:         len(res.Assignment.Hosts()),
+			Energy:        res.Energy,
+			IncrementalMS: float64(time.Since(start)) / float64(time.Millisecond),
+			DirtyNodes:    res.DirtyNodes,
+			LiveNodes:     res.LiveNodes,
+			Rebuilt:       res.Rebuilt,
+			ChangedHosts:  changed,
+		}); err != nil {
+			return err
+		}
+		if outPath != "" {
+			if err := writeAssignment(outPath, res.Assignment); err != nil {
+				return err
+			}
+		}
+	}
 }
 
 // loadProblem resolves the network, constraints and similarity table either

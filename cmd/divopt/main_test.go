@@ -112,3 +112,89 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown flag should fail")
 	}
 }
+
+func TestRunWatchMode(t *testing.T) {
+	specPath := writeSpecFile(t)
+	dir := t.TempDir()
+	deltaPath := filepath.Join(dir, "deltas.jsonl")
+	outPath := filepath.Join(dir, "assignment.json")
+	deltas := []netmodel.Delta{
+		{Ops: []netmodel.DeltaOp{
+			{Op: netmodel.OpAddHost, Host: &netmodel.HostSpec{
+				ID:       "c",
+				Services: []netmodel.ServiceID{"os"},
+				Choices:  map[netmodel.ServiceID][]netmodel.ProductID{"os": {"win7", "deb80"}},
+			}},
+			{Op: netmodel.OpAddEdge, A: "c", B: "a"},
+			{Op: netmodel.OpAddEdge, A: "c", B: "b"},
+		}},
+		{Ops: []netmodel.DeltaOp{
+			{Op: netmodel.OpRemoveEdge, A: "a", B: "b"},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := netmodel.EncodeDeltas(&buf, deltas); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(deltaPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-in", specPath, "-watch", deltaPath, "-out", outPath}, &out)
+	if err != nil {
+		t.Fatalf("watch run: %v\n%s", err, out.String())
+	}
+	// One status line per delta, with growing sequence numbers.
+	var statuses []watchStatus
+	for _, line := range strings.Split(out.String(), "\n") {
+		if !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var st watchStatus
+		if err := json.Unmarshal([]byte(line), &st); err != nil {
+			t.Fatalf("bad status line %q: %v", line, err)
+		}
+		statuses = append(statuses, st)
+	}
+	if len(statuses) != len(deltas) {
+		t.Fatalf("got %d status lines, want %d:\n%s", len(statuses), len(deltas), out.String())
+	}
+	if statuses[0].Seq != 1 || statuses[0].Hosts != 3 || statuses[0].Ops != 3 {
+		t.Fatalf("first status: %+v", statuses[0])
+	}
+	if statuses[1].Seq != 2 {
+		t.Fatalf("second status: %+v", statuses[1])
+	}
+	// The -out file holds the final assignment including the joined host.
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a netmodel.Assignment
+	if err := json.Unmarshal(data, &a); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Get("c", "os"); !ok {
+		t.Fatalf("final assignment misses the joined host: %s", data)
+	}
+	// The joined host ended diversified against its neighbours (a and b are
+	// no longer linked after delta 2, c is linked to both).
+	pa, _ := a.Get("a", "os")
+	pc, _ := a.Get("c", "os")
+	if pa == pc {
+		t.Fatalf("watch mode did not re-diversify: a=%s c=%s", pa, pc)
+	}
+}
+
+func TestRunWatchModeBadDelta(t *testing.T) {
+	specPath := writeSpecFile(t)
+	dir := t.TempDir()
+	deltaPath := filepath.Join(dir, "deltas.jsonl")
+	if err := os.WriteFile(deltaPath, []byte(`{"ops":[{"op":"remove_host","id":"nope"}]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", specPath, "-watch", deltaPath}, &out); err == nil {
+		t.Fatal("watch run with bad delta succeeded")
+	}
+}

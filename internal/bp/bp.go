@@ -69,6 +69,14 @@ type Kernel struct {
 
 	aggBuf []float64
 	iter   int
+
+	// Warm-start state (see WarmStart): message rounds run only over the
+	// active region, conditioned on the prior labels of the inactive
+	// boundary; the active set grows where the decode diverges from the
+	// prior.
+	warm   bool
+	prior  []int
+	active []bool
 }
 
 // Defaults disables the driver's energy-patience rule: BP's stopping
@@ -108,7 +116,34 @@ func (k *Kernel) Init(g *mrf.Graph, opts solve.Options) error {
 	k.next = make([]float64, total)
 	k.inc = solve.BuildIncidence(g)
 	k.aggBuf = make([]float64, g.MaxLabels())
+	k.warm = false
+	k.prior = nil
+	k.active = nil
 	return nil
+}
+
+// WarmStart switches the kernel to incremental mode (solve.WarmKernel):
+// message rounds visit only active nodes, inactive neighbours contribute
+// their pairwise cost row at the frozen prior label instead of a message,
+// and decoded labelings keep the prior label outside the active region.
+func (k *Kernel) WarmStart(labels []int, dirty []bool) error {
+	if len(labels) != k.n || len(dirty) != k.n {
+		return fmt.Errorf("bp: warm start needs %d labels and dirty flags", k.n)
+	}
+	k.prior = append([]int(nil), labels...)
+	k.active = append([]bool(nil), dirty...)
+	k.warm = true
+	return nil
+}
+
+// boundaryRow returns the pairwise cost toward the half edge's node for the
+// opposite endpoint frozen at its prior label.
+func (k *Kernel) boundaryRow(he solve.HalfEdge) []float64 {
+	fixed := k.prior[he.Other]
+	if he.IsU {
+		return k.g.EdgeMatT(int(he.Edge)).Row(fixed)
+	}
+	return k.g.EdgeMat(int(he.Edge)).Row(fixed)
 }
 
 func (k *Kernel) incident(node int) []solve.HalfEdge {
@@ -136,15 +171,28 @@ func (k *Kernel) Step() solve.Step {
 	maxDelta := 0.0
 	agg := k.aggBuf
 	for node := 0; node < k.n; node++ {
+		if k.warm && !k.active[node] {
+			continue
+		}
 		kn := k.counts[node]
 		copy(agg, k.g.UnaryView(node))
 		for _, he := range k.incident(node) {
+			if k.warm && !k.active[he.Other] {
+				row := k.boundaryRow(he)
+				for x := 0; x < kn; x++ {
+					agg[x] += row[x]
+				}
+				continue
+			}
 			in := k.inMessage(he)
 			for x := 0; x < kn; x++ {
 				agg[x] += in[x]
 			}
 		}
 		for _, he := range k.incident(node) {
+			if k.warm && !k.active[he.Other] {
+				continue // frozen boundary: no messages flow toward it
+			}
 			in := k.inMessage(he)
 			out := k.slot(k.next, int(he.Edge), !he.IsU)
 			var mat *mrf.Matrix
@@ -185,21 +233,49 @@ func (k *Kernel) Step() solve.Step {
 	}
 	k.msg, k.next = k.next, k.msg
 	k.iter++
+	labels := k.decode()
+	if k.warm {
+		// Grow the dirty frontier where the decode moved off the prior
+		// labeling, then absorb the decode as the new conditioning boundary.
+		for node := 0; node < k.n; node++ {
+			if k.active[node] && labels[node] != k.prior[node] {
+				for _, he := range k.incident(node) {
+					k.active[he.Other] = true
+				}
+			}
+		}
+		copy(k.prior, labels)
+	}
 	return solve.Step{
-		Labels:     k.decode(),
+		Labels:     labels,
 		FixedPoint: maxDelta < k.opts.Tolerance,
 		Exhausted:  k.iter >= k.opts.MaxIterations,
 	}
 }
 
-// decode picks the label minimising each node's belief.
+// decode picks the label minimising each node's belief.  In warm mode
+// inactive nodes keep their prior label and active beliefs condition on the
+// frozen boundary.
 func (k *Kernel) decode() []int {
 	labels := make([]int, k.n)
+	if k.warm {
+		copy(labels, k.prior)
+	}
 	belief := k.aggBuf
 	for node := 0; node < k.n; node++ {
+		if k.warm && !k.active[node] {
+			continue
+		}
 		kn := k.counts[node]
 		copy(belief, k.g.UnaryView(node))
 		for _, he := range k.incident(node) {
+			if k.warm && !k.active[he.Other] {
+				row := k.boundaryRow(he)
+				for x := 0; x < kn; x++ {
+					belief[x] += row[x]
+				}
+				continue
+			}
 			in := k.inMessage(he)
 			for x := 0; x < kn; x++ {
 				belief[x] += in[x]

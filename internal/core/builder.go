@@ -15,7 +15,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"strings"
 
 	"netdiversity/internal/mrf"
 	"netdiversity/internal/netmodel"
@@ -29,13 +28,38 @@ type variable struct {
 }
 
 // problem is the MRF encoding of a diversification instance, together with
-// the bookkeeping needed to decode a labeling back into an Assignment.
+// the bookkeeping needed to decode a labeling back into an Assignment.  A
+// problem is kept alive on the Optimizer across solves and patched in place
+// by ApplyDelta, so it also tracks tombstoned variables (removed hosts keep
+// their — zeroed, edgeless — MRF nodes until a threshold rebuild compacts
+// the graph) and the dirty set consumed by Reoptimize.
 type problem struct {
 	graph *mrf.Graph
 	vars  []variable
 	index map[variable]int
 	// candidates[i] are the product choices of variable i, in label order.
 	candidates [][]netmodel.ProductID
+	// opts are the options the problem was built with (needed to patch unary
+	// rows after a delta).
+	opts Options
+	// dead[i] marks tombstoned variables; deadCount is their number.
+	dead      []bool
+	deadCount int
+	// dirty is the set of live variables whose neighbourhood changed since
+	// the last solve.
+	dirty map[int]bool
+}
+
+// markDirty records a live variable as touched by a delta.
+func (p *problem) markDirty(i int) {
+	if !p.dead[i] {
+		p.dirty[i] = true
+	}
+}
+
+// clearDirty empties the dirty set after a solve has absorbed it.
+func (p *problem) clearDirty() {
+	p.dirty = make(map[int]bool)
 }
 
 // buildProblem constructs the MRF for the network, similarity table and
@@ -50,7 +74,7 @@ func buildProblem(net *netmodel.Network, sim *vulnsim.SimilarityTable, cs *netmo
 		}
 	}
 
-	p := &problem{index: make(map[variable]int)}
+	p := &problem{index: make(map[variable]int), opts: opts, dirty: make(map[int]bool)}
 	var labelCounts []int
 	for _, hid := range net.Hosts() {
 		h, _ := net.Host(hid)
@@ -63,6 +87,7 @@ func buildProblem(net *netmodel.Network, sim *vulnsim.SimilarityTable, cs *netmo
 			labelCounts = append(labelCounts, len(cands))
 		}
 	}
+	p.dead = make([]bool, len(p.vars))
 	g, err := mrf.NewGraph(labelCounts)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -93,47 +118,61 @@ func buildProblem(net *netmodel.Network, sim *vulnsim.SimilarityTable, cs *netmo
 // addUnaryCosts fills in φ: the uniform constant Pr_const, optional host
 // preferences, legacy-host pinning (first candidate) and pinned products.
 func (p *problem) addUnaryCosts(net *netmodel.Network, cs *netmodel.ConstraintSet, opts Options) error {
-	for i, v := range p.vars {
-		h, _ := net.Host(v.host)
-		cands := p.candidates[i]
-		prefs := h.Preference[v.service]
-		fixedProduct, fixed := netmodel.ProductID(""), false
-		if cs != nil {
-			fixedProduct, fixed = cs.Fixed(v.host, v.service)
+	for i := range p.vars {
+		if err := p.setUnaryVar(i, net, cs, opts); err != nil {
+			return err
 		}
-		if !fixed && h.Legacy {
-			// Legacy hosts cannot be diversified: they keep their first
-			// (currently installed) candidate.
-			fixedProduct, fixed = cands[0], true
+	}
+	return nil
+}
+
+// setUnaryVar (re)computes the unary cost row of one variable from the
+// network's current preferences, legacy pinning and fixed products.  It is
+// the unit shared by the full build and the delta patcher.
+func (p *problem) setUnaryVar(i int, net *netmodel.Network, cs *netmodel.ConstraintSet, opts Options) error {
+	v := p.vars[i]
+	h, ok := net.Host(v.host)
+	if !ok {
+		return fmt.Errorf("core: variable references unknown host %q", v.host)
+	}
+	cands := p.candidates[i]
+	prefs := h.Preference[v.service]
+	fixedProduct, fixed := netmodel.ProductID(""), false
+	if cs != nil {
+		fixedProduct, fixed = cs.Fixed(v.host, v.service)
+	}
+	if !fixed && h.Legacy {
+		// Legacy hosts cannot be diversified: they keep their first
+		// (currently installed) candidate.
+		fixedProduct, fixed = cands[0], true
+	}
+	for l, cand := range cands {
+		cost := opts.UnaryConstant
+		if prefs != nil {
+			if pr, ok := prefs[cand]; ok {
+				// Higher preference -> lower cost.  The constant keeps
+				// the unary term on the same scale as the default.
+				cost = opts.UnaryConstant * (1 - clamp01(pr))
+			}
 		}
-		for l, cand := range cands {
-			cost := opts.UnaryConstant
-			if prefs != nil {
-				if pr, ok := prefs[cand]; ok {
-					// Higher preference -> lower cost.  The constant keeps
-					// the unary term on the same scale as the default.
-					cost = opts.UnaryConstant * (1 - clamp01(pr))
-				}
-			}
-			if fixed && cand != fixedProduct {
-				cost = mrf.HardPenalty
-			}
-			if err := p.graph.SetUnary(i, l, cost); err != nil {
-				return fmt.Errorf("core: %w", err)
+		if fixed && cand != fixedProduct {
+			cost = mrf.HardPenalty
+		}
+		if err := p.graph.SetUnary(i, l, cost); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	if fixed {
+		found := false
+		for _, cand := range cands {
+			if cand == fixedProduct {
+				found = true
+				break
 			}
 		}
-		if fixed {
-			found := false
-			for _, cand := range cands {
-				if cand == fixedProduct {
-					found = true
-					break
-				}
-			}
-			if !found {
-				return fmt.Errorf("core: host %q service %q pinned to %q which is not a candidate",
-					v.host, v.service, fixedProduct)
-			}
+		if !found {
+			return fmt.Errorf("core: host %q service %q pinned to %q which is not a candidate",
+				v.host, v.service, fixedProduct)
 		}
 	}
 	return nil
@@ -146,7 +185,7 @@ func (p *problem) addSimilarityEdges(net *netmodel.Network, sim *vulnsim.Similar
 	if sim == nil {
 		return errors.New("core: nil similarity table")
 	}
-	cache := make(map[string][][]float64)
+	cache := make(map[uint64][]simCacheEntry)
 	for _, link := range net.Links() {
 		for _, s := range net.SharedServices(link.A, link.B) {
 			ia, oka := p.index[variable{host: link.A, service: s}]
@@ -156,16 +195,16 @@ func (p *problem) addSimilarityEdges(net *netmodel.Network, sim *vulnsim.Similar
 			}
 			candsA, candsB := p.candidates[ia], p.candidates[ib]
 			key := cacheKey(candsA, candsB)
-			cost, ok := cache[key]
-			if !ok {
-				cost = make([][]float64, len(candsA))
-				for x, pa := range candsA {
-					cost[x] = make([]float64, len(candsB))
-					for y, pb := range candsB {
-						cost[x][y] = opts.PairwiseWeight * sim.Sim(string(pa), string(pb))
-					}
+			var cost [][]float64
+			for _, e := range cache[key] {
+				if equalCandidates(e.a, candsA) && equalCandidates(e.b, candsB) {
+					cost = e.cost
+					break
 				}
-				cache[key] = cost
+			}
+			if cost == nil {
+				cost = similarityMatrix(candsA, candsB, sim, opts.PairwiseWeight)
+				cache[key] = append(cache[key], simCacheEntry{a: candsA, b: candsB, cost: cost})
 			}
 			if _, err := p.graph.AddEdgeShared(ia, ib, cost); err != nil {
 				return fmt.Errorf("core: %w", err)
@@ -173,6 +212,39 @@ func (p *problem) addSimilarityEdges(net *netmodel.Network, sim *vulnsim.Similar
 		}
 	}
 	return nil
+}
+
+// simCacheEntry buckets a cached similarity matrix under its candidate-list
+// hash; entries in one bucket are disambiguated by list equality, so a
+// 64-bit hash collision can never alias two different matrices.
+type simCacheEntry struct {
+	a, b []netmodel.ProductID
+	cost [][]float64
+}
+
+func equalCandidates(a, b []netmodel.ProductID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// similarityMatrix builds the pairwise similarity cost matrix of Eq. 3 for
+// two candidate lists.
+func similarityMatrix(candsA, candsB []netmodel.ProductID, sim *vulnsim.SimilarityTable, weight float64) [][]float64 {
+	cost := make([][]float64, len(candsA))
+	for x, pa := range candsA {
+		cost[x] = make([]float64, len(candsB))
+		for y, pb := range candsB {
+			cost[x][y] = weight * sim.Sim(string(pa), string(pb))
+		}
+	}
+	return cost
 }
 
 // addConstraintEdges encodes every require/forbid constraint as an intra-host
@@ -187,50 +259,81 @@ func (p *problem) addConstraintEdges(net *netmodel.Network, cs *netmodel.Constra
 			hosts = []netmodel.HostID{c.Host}
 		}
 		for _, hid := range hosts {
-			h, ok := net.Host(hid)
-			if !ok || !h.HasService(c.ServiceM) || !h.HasService(c.ServiceN) {
-				continue
-			}
-			im, okm := p.index[variable{host: hid, service: c.ServiceM}]
-			in, okn := p.index[variable{host: hid, service: c.ServiceN}]
-			if !okm || !okn {
-				continue
-			}
-			candsM, candsN := p.candidates[im], p.candidates[in]
-			cost := make([][]float64, len(candsM))
-			for x, pm := range candsM {
-				cost[x] = make([]float64, len(candsN))
-				if pm != c.ProductJ {
-					continue
-				}
-				for y, pn := range candsN {
-					violated := false
-					if c.Mode == netmodel.Require && pn != c.ProductK {
-						violated = true
-					}
-					if c.Mode == netmodel.Forbid && pn == c.ProductK {
-						violated = true
-					}
-					if violated {
-						cost[x][y] = mrf.HardPenalty
-					}
-				}
-			}
-			if _, err := p.graph.AddEdge(im, in, cost); err != nil {
-				return fmt.Errorf("core: constraint %s: %w", c, err)
+			if err := p.addConstraintEdgeOnHost(net, c, hid); err != nil {
+				return err
 			}
 		}
 	}
 	return nil
 }
 
-// decode converts an MRF labeling into an Assignment.
+// addConstraintEdgeOnHost adds the pairwise factor of one constraint on one
+// host (a no-op when the host does not provide both services).
+func (p *problem) addConstraintEdgeOnHost(net *netmodel.Network, c netmodel.Constraint, hid netmodel.HostID) error {
+	h, ok := net.Host(hid)
+	if !ok || !h.HasService(c.ServiceM) || !h.HasService(c.ServiceN) {
+		return nil
+	}
+	im, okm := p.index[variable{host: hid, service: c.ServiceM}]
+	in, okn := p.index[variable{host: hid, service: c.ServiceN}]
+	if !okm || !okn {
+		return nil
+	}
+	candsM, candsN := p.candidates[im], p.candidates[in]
+	cost := make([][]float64, len(candsM))
+	for x, pm := range candsM {
+		cost[x] = make([]float64, len(candsN))
+		if pm != c.ProductJ {
+			continue
+		}
+		for y, pn := range candsN {
+			violated := false
+			if c.Mode == netmodel.Require && pn != c.ProductK {
+				violated = true
+			}
+			if c.Mode == netmodel.Forbid && pn == c.ProductK {
+				violated = true
+			}
+			if violated {
+				cost[x][y] = mrf.HardPenalty
+			}
+		}
+	}
+	if _, err := p.graph.AddEdge(im, in, cost); err != nil {
+		return fmt.Errorf("core: constraint %s: %w", c, err)
+	}
+	return nil
+}
+
+// addConstraintEdgesForHost adds every constraint factor that applies to one
+// host — the host-scoped counterpart of addConstraintEdges used when the
+// delta patcher (re)creates a host's variables.
+func (p *problem) addConstraintEdgesForHost(net *netmodel.Network, cs *netmodel.ConstraintSet, hid netmodel.HostID) error {
+	if cs == nil {
+		return nil
+	}
+	for _, c := range cs.Constraints() {
+		if !c.Global() && c.Host != hid {
+			continue
+		}
+		if err := p.addConstraintEdgeOnHost(net, c, hid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decode converts an MRF labeling into an Assignment.  Tombstoned variables
+// (removed hosts awaiting compaction) are skipped.
 func (p *problem) decode(labels []int) (*netmodel.Assignment, error) {
 	if len(labels) != len(p.vars) {
 		return nil, fmt.Errorf("core: labeling has %d entries, want %d", len(labels), len(p.vars))
 	}
 	a := netmodel.NewAssignment()
 	for i, v := range p.vars {
+		if p.dead[i] {
+			continue
+		}
 		l := labels[i]
 		if l < 0 || l >= len(p.candidates[i]) {
 			return nil, fmt.Errorf("core: label %d out of range for %s/%s", l, v.host, v.service)
@@ -241,10 +344,15 @@ func (p *problem) decode(labels []int) (*netmodel.Assignment, error) {
 }
 
 // encode converts an Assignment into an MRF labeling (used to evaluate the
-// energy of baseline assignments on the same objective).
+// energy of baseline assignments on the same objective).  Tombstoned
+// variables take label 0; their unary row is zeroed and they have no edges,
+// so the choice does not affect the energy.
 func (p *problem) encode(a *netmodel.Assignment) ([]int, error) {
 	labels := make([]int, len(p.vars))
 	for i, v := range p.vars {
+		if p.dead[i] {
+			continue
+		}
 		prod, ok := a.Get(v.host, v.service)
 		if !ok {
 			return nil, fmt.Errorf("core: assignment misses %s/%s", v.host, v.service)
@@ -265,18 +373,75 @@ func (p *problem) encode(a *netmodel.Assignment) ([]int, error) {
 	return labels, nil
 }
 
-func cacheKey(a, b []netmodel.ProductID) string {
-	var sb strings.Builder
+// encodeWarm converts a (possibly stale) assignment into a warm-start
+// labeling: variables the assignment covers take their recorded label, new
+// variables fall back to their greedy-unary label.  Unlike encode it never
+// fails — a warm start only has to be a valid labeling, not a complete one.
+func (p *problem) encodeWarm(a *netmodel.Assignment) []int {
+	labels := make([]int, len(p.vars))
+	for i, v := range p.vars {
+		if p.dead[i] {
+			continue
+		}
+		if prod, ok := a.Get(v.host, v.service); ok {
+			if l := candidateIndex(p.candidates[i], prod); l >= 0 {
+				labels[i] = l
+				continue
+			}
+		}
+		row := p.graph.UnaryView(i)
+		best := 0
+		for l := 1; l < len(row); l++ {
+			if row[l] < row[best] {
+				best = l
+			}
+		}
+		labels[i] = best
+	}
+	return labels
+}
+
+func candidateIndex(cands []netmodel.ProductID, p netmodel.ProductID) int {
+	for l, c := range cands {
+		if c == p {
+			return l
+		}
+	}
+	return -1
+}
+
+// FNV-1a parameters (hash/fnv is avoided on this per-edge hot path: hashing
+// inline keeps the key computation allocation-free, where the previous
+// string-concatenation key allocated per edge).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// cacheKey hashes two candidate lists into the pairwise-matrix cache key.
+// Product names are separated by a terminator byte so list boundaries cannot
+// alias ("ab","c" vs "a","bc").
+func cacheKey(a, b []netmodel.ProductID) uint64 {
+	h := uint64(fnvOffset64)
 	for _, p := range a {
-		sb.WriteString(string(p))
-		sb.WriteByte(',')
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= fnvPrime64
+		}
+		h ^= 0xff
+		h *= fnvPrime64
 	}
-	sb.WriteByte('|')
+	h ^= 0xfe
+	h *= fnvPrime64
 	for _, p := range b {
-		sb.WriteString(string(p))
-		sb.WriteByte(',')
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= fnvPrime64
+		}
+		h ^= 0xff
+		h *= fnvPrime64
 	}
-	return sb.String()
+	return h
 }
 
 func clamp01(v float64) float64 {

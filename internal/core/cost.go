@@ -78,6 +78,8 @@ func (o *Optimizer) SetCostModel(model CostModel, weight float64) error {
 	}
 	o.costModel = &model
 	o.costWeight = weight
+	// Cost changes rescale every unary row: rebuild rather than patch.
+	o.invalidateProblem()
 	return nil
 }
 

@@ -1,0 +1,612 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"netdiversity/internal/icm"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/solve"
+)
+
+// Incremental re-optimisation.  ApplyDelta threads a netmodel.Delta through
+// both the network and the live MRF: unary rows are patched in the flat
+// buffer, new hosts append MRF nodes, removed hosts are tombstoned (zeroed
+// unary, incident edges dropped from the CSR adjacency) and link changes
+// add/remove interned pairwise factors.  Every touched variable lands in the
+// problem's dirty set; Reoptimize then warm-starts the configured solver
+// from the previous solution with that dirty frontier, so untouched regions
+// are never swept.  When tombstones accumulate past a threshold the problem
+// is rebuilt from the (already mutated) network — the scoped fallback that
+// keeps the flat storage compact under sustained churn.
+
+// rebuildDeadFraction is the tombstone share beyond which ApplyDelta
+// compacts the problem with a full rebuild instead of patching further.
+const rebuildDeadFraction = 0.25
+
+// reoptimizeMaxIterations caps the warm solver's sweep budget and
+// reoptimizePatience its non-improving plateau: a warm start inside the
+// target basin converges in a handful of sweeps, so the cold-solve budget
+// would mostly buy idle plateau sweeps.
+const (
+	reoptimizeMaxIterations = 15
+	reoptimizePatience      = 3
+)
+
+// ApplyDelta applies a network delta to the optimiser's network and patches
+// the live MRF in place.  On error the network may be left with a prefix of
+// the delta applied and the cached MRF is invalidated (the next solve
+// rebuilds it from the network's current state); the previous solution is
+// never touched, so a failed or cancelled churn step keeps serving the last
+// good assignment.
+func (o *Optimizer) ApplyDelta(d netmodel.Delta) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	for i, op := range d.Ops {
+		if err := o.applyOp(op); err != nil {
+			o.invalidateProblem()
+			return fmt.Errorf("core: delta op %d (%s): %w", i, op.Op, err)
+		}
+	}
+	if o.prob != nil {
+		o.pendingDeltas = true
+		if p := o.prob; float64(p.deadCount) > rebuildDeadFraction*float64(len(p.vars)) {
+			return o.rebuildCompacted()
+		}
+	}
+	return nil
+}
+
+// rebuildCompacted rebuilds the problem from the mutated network (dropping
+// tombstones and orphaned matrices) and marks every variable dirty so the
+// next Reoptimize re-anchors the whole labeling from the warm start.
+func (o *Optimizer) rebuildCompacted() error {
+	o.invalidateProblem()
+	p, err := o.ensureProblem()
+	if err != nil {
+		return err
+	}
+	for i := range p.vars {
+		p.markDirty(i)
+	}
+	o.rebuilt = true
+	return nil
+}
+
+// applyOp applies one delta op to the network and, when a problem is built,
+// patches it.
+func (o *Optimizer) applyOp(op netmodel.DeltaOp) error {
+	switch op.Op {
+	case netmodel.OpAddHost:
+		if err := o.net.AddHost(op.Host.Host()); err != nil {
+			return err
+		}
+		return o.patchAddHost(op.Host.ID)
+
+	case netmodel.OpRemoveHost:
+		if o.cs != nil && o.cs.References(op.ID) {
+			return fmt.Errorf("core: host %q is referenced by the constraint set; update constraints first", op.ID)
+		}
+		h, ok := o.net.Host(op.ID)
+		if !ok {
+			return fmt.Errorf("%w: %q", netmodel.ErrUnknownHost, op.ID)
+		}
+		services := append([]netmodel.ServiceID(nil), h.Services...)
+		neighbors := o.net.Neighbors(op.ID)
+		if err := o.net.RemoveHost(op.ID); err != nil {
+			return err
+		}
+		o.patchRemoveHost(op.ID, services, neighbors)
+		return nil
+
+	case netmodel.OpAddEdge:
+		existed := o.net.Connected(op.A, op.B)
+		if err := o.net.AddEdge(op.A, op.B); err != nil {
+			return err
+		}
+		if existed {
+			return nil // idempotent add: the MRF already has the factors
+		}
+		return o.patchAddEdge(op.A, op.B)
+
+	case netmodel.OpRemoveEdge:
+		existed := o.net.Connected(op.A, op.B)
+		if err := o.net.RemoveEdge(op.A, op.B); err != nil {
+			return err
+		}
+		if existed {
+			o.patchRemoveEdge(op.A, op.B)
+		}
+		return nil
+
+	case netmodel.OpUpdateHostServices:
+		h, ok := o.net.Host(op.ID)
+		if !ok {
+			return fmt.Errorf("%w: %q", netmodel.ErrUnknownHost, op.ID)
+		}
+		structural := !sameServiceShape(h, op.Services, op.Choices)
+		oldServices := append([]netmodel.ServiceID(nil), h.Services...)
+		if err := o.net.UpdateHostServices(op.ID, op.Services, op.Choices, op.Preference); err != nil {
+			return err
+		}
+		return o.patchUpdateHost(op.ID, oldServices, structural)
+	}
+	return fmt.Errorf("core: unknown delta op %q", op.Op)
+}
+
+// sameServiceShape reports whether the replacement service set keeps the
+// exact services and candidate lists (in order) — in which case only unary
+// costs (preferences) change and the MRF structure is untouched.
+func sameServiceShape(h *netmodel.Host, services []netmodel.ServiceID, choices map[netmodel.ServiceID][]netmodel.ProductID) bool {
+	if len(h.Services) != len(services) {
+		return false
+	}
+	for i, s := range services {
+		if h.Services[i] != s {
+			return false
+		}
+		old, repl := h.Choices[s], choices[s]
+		if len(old) != len(repl) {
+			return false
+		}
+		for l := range old {
+			if old[l] != repl[l] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applyCostToVar re-adds the deployment-cost term to one variable's freshly
+// set unary row.
+func (o *Optimizer) applyCostToVar(p *problem, i int) error {
+	if o.costModel == nil || o.costWeight == 0 {
+		return nil
+	}
+	for l, cand := range p.candidates[i] {
+		if err := p.graph.AddUnary(i, l, o.costWeight*o.costModel.Cost(cand)); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
+}
+
+// patchAddHost appends MRF variables for a freshly added host (its links
+// arrive as separate add_edge ops).
+func (o *Optimizer) patchAddHost(hid netmodel.HostID) error {
+	p := o.prob
+	if p == nil {
+		return nil
+	}
+	h, _ := o.net.Host(hid)
+	for _, s := range h.Services {
+		v := variable{host: hid, service: s}
+		cands := append([]netmodel.ProductID(nil), h.Choices[s]...)
+		node, err := p.graph.AddNode(len(cands))
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		p.index[v] = node
+		p.vars = append(p.vars, v)
+		p.candidates = append(p.candidates, cands)
+		p.dead = append(p.dead, false)
+		names := make([]string, len(cands))
+		for l, c := range cands {
+			names[l] = string(c)
+		}
+		if err := p.graph.SetLabelNames(node, names); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if err := p.setUnaryVar(node, o.net, o.cs, p.opts); err != nil {
+			return err
+		}
+		if err := o.applyCostToVar(p, node); err != nil {
+			return err
+		}
+		p.markDirty(node)
+	}
+	return p.addConstraintEdgesForHost(o.net, o.cs, hid)
+}
+
+// patchRemoveHost tombstones a removed host's variables: incident factors
+// are dropped, unary rows zeroed (so the dead nodes contribute nothing to
+// the energy, matching a fresh build of the mutated network) and the former
+// neighbours marked dirty.
+func (o *Optimizer) patchRemoveHost(hid netmodel.HostID, services []netmodel.ServiceID, neighbors []netmodel.HostID) {
+	p := o.prob
+	if p == nil {
+		return
+	}
+	gone := make(map[int]bool, len(services))
+	for _, s := range services {
+		v := variable{host: hid, service: s}
+		i, ok := p.index[v]
+		if !ok {
+			continue
+		}
+		gone[i] = true
+		delete(p.index, v)
+		delete(p.dirty, i)
+		p.dead[i] = true
+		p.deadCount++
+		p.graph.SetUnaryRow(i, make([]float64, len(p.candidates[i]))) //nolint:errcheck // shape is ours
+	}
+	p.graph.FilterEdges(func(_, u, v int) bool { return !gone[u] && !gone[v] })
+	for _, nb := range neighbors {
+		o.markHostDirty(nb)
+	}
+}
+
+// markHostDirty marks every live variable of a host dirty.
+func (o *Optimizer) markHostDirty(hid netmodel.HostID) {
+	p := o.prob
+	h, ok := o.net.Host(hid)
+	if !ok {
+		return
+	}
+	for _, s := range h.Services {
+		if i, ok := p.index[variable{host: hid, service: s}]; ok {
+			p.markDirty(i)
+		}
+	}
+}
+
+// patchAddEdge adds the similarity factors of a new link (one per shared
+// service).  Matrices are content-interned, so links over the same catalogue
+// reuse the existing buffers.
+func (o *Optimizer) patchAddEdge(a, b netmodel.HostID) error {
+	p := o.prob
+	if p == nil {
+		return nil
+	}
+	for _, s := range o.net.SharedServices(a, b) {
+		ia, oka := p.index[variable{host: a, service: s}]
+		ib, okb := p.index[variable{host: b, service: s}]
+		if !oka || !okb {
+			continue
+		}
+		cost := similarityMatrix(p.candidates[ia], p.candidates[ib], o.sim, p.opts.PairwiseWeight)
+		if _, err := p.graph.AddEdge(ia, ib, cost); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		p.markDirty(ia)
+		p.markDirty(ib)
+	}
+	return nil
+}
+
+// patchRemoveEdge drops every inter-host factor between the two hosts.
+func (o *Optimizer) patchRemoveEdge(a, b netmodel.HostID) {
+	p := o.prob
+	if p == nil {
+		return
+	}
+	p.graph.FilterEdges(func(_, u, v int) bool {
+		hu, hv := p.vars[u].host, p.vars[v].host
+		drop := (hu == a && hv == b) || (hu == b && hv == a)
+		return !drop
+	})
+	o.markHostDirty(a)
+	o.markHostDirty(b)
+}
+
+// patchUpdateHost absorbs a service upgrade.  A shape-preserving update
+// (same services and candidate lists) is a pure unary patch; a structural
+// one tombstones the old variables and re-creates the host's nodes, factors
+// and constraint edges.
+func (o *Optimizer) patchUpdateHost(hid netmodel.HostID, oldServices []netmodel.ServiceID, structural bool) error {
+	p := o.prob
+	if p == nil {
+		return nil
+	}
+	if !structural {
+		h, _ := o.net.Host(hid)
+		for _, s := range h.Services {
+			i, ok := p.index[variable{host: hid, service: s}]
+			if !ok {
+				continue
+			}
+			if err := p.setUnaryVar(i, o.net, o.cs, p.opts); err != nil {
+				return err
+			}
+			if err := o.applyCostToVar(p, i); err != nil {
+				return err
+			}
+			p.markDirty(i)
+		}
+		return nil
+	}
+	neighbors := o.net.Neighbors(hid)
+	o.patchRemoveHost(hid, oldServices, neighbors)
+	if err := o.patchAddHost(hid); err != nil {
+		return err
+	}
+	for _, nb := range neighbors {
+		if err := o.patchAddEdge(hid, nb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReoptimizeResult extends Result with the incremental engine's telemetry.
+type ReoptimizeResult struct {
+	Result
+	// Incremental is false when the engine had no prior solution and fell
+	// back to a cold Optimize.
+	Incremental bool
+	// Rebuilt reports that tombstone pressure forced a compacting rebuild
+	// since the last solve.
+	Rebuilt bool
+	// DirtyNodes is the size of the initial dirty frontier handed to the
+	// solver (dirty variables plus their one-hop neighbourhood); LiveNodes
+	// the number of non-tombstoned variables.
+	DirtyNodes int
+	LiveNodes  int
+}
+
+// Reoptimize re-solves after ApplyDelta calls, warm-starting the configured
+// solver from the previous solution with the accumulated dirty frontier so
+// untouched regions converge in O(1) sweeps.  Without a prior solution it
+// falls back to a cold Optimize.  On error (including cancellation) the
+// previous solution is left intact — a cancelled churn step keeps serving
+// the last good assignment.
+func (o *Optimizer) Reoptimize(ctx context.Context) (ReoptimizeResult, error) {
+	start := time.Now()
+	if o.prob == nil || o.lastAssignment == nil {
+		hadProblem := o.prob != nil
+		res, err := o.Optimize(ctx)
+		if err != nil {
+			return ReoptimizeResult{}, err
+		}
+		out := ReoptimizeResult{Result: res, Rebuilt: !hadProblem}
+		out.LiveNodes = len(o.prob.vars) - o.prob.deadCount
+		return out, nil
+	}
+	p := o.prob
+	live := len(p.vars) - p.deadCount
+	rebuilt := o.rebuilt
+	if len(p.dirty) == 0 {
+		// No live variable's neighbourhood changed, so the previous labeling
+		// restricted to the surviving variables is still the answer.  The
+		// assignment may still need refreshing: removing a host with no live
+		// neighbours leaves the dirty set empty while the served assignment
+		// must drop the departed host and its energy contribution.
+		assignment, energy := o.lastAssignment, o.lastEnergy
+		if o.pendingDeltas {
+			warm := p.encodeWarm(o.lastAssignment)
+			refreshed, err := p.decode(warm)
+			if err != nil {
+				return ReoptimizeResult{}, err
+			}
+			assignment = refreshed
+			energy = p.graph.MustEnergy(warm)
+			o.lastAssignment = assignment
+			o.lastEnergy = energy
+			o.pendingDeltas = false
+			o.rebuilt = false
+		}
+		out := ReoptimizeResult{
+			Result: Result{
+				Assignment: assignment,
+				Energy:     energy,
+				Converged:  true,
+				Runtime:    time.Since(start),
+				Nodes:      p.graph.NumNodes(),
+				Edges:      p.graph.NumEdges(),
+			},
+			Incremental: true,
+			Rebuilt:     rebuilt,
+			LiveNodes:   live,
+		}
+		if o.cs != nil {
+			out.ConstraintViolations = o.cs.Violations(assignment, o.net)
+		}
+		return out, nil
+	}
+
+	plainWarm := p.encodeWarm(o.lastAssignment)
+	mask := p.dirtyMask()
+	// Re-colour a wider region than the solver will sweep: basin quality
+	// needs coverage, but the solver only has to refine what actually moved
+	// (plus the raw dirty set) — the warm kernels grow the frontier on their
+	// own wherever labels keep changing.
+	warm := p.greedyRecolor(plainWarm, p.expandMask(mask, recolorHops))
+	for i := range warm {
+		if warm[i] != plainWarm[i] {
+			mask[i] = true
+		}
+	}
+	dirtyCount := 0
+	for _, d := range mask {
+		if d {
+			dirtyCount++
+		}
+	}
+	// The warm solve starts inside (or next to) the target basin, so it
+	// needs far fewer sweeps than a cold solve and a shorter plateau before
+	// declaring convergence.
+	name := o.opts.Solver.String()
+	if !solve.Registered(name) {
+		return ReoptimizeResult{}, fmt.Errorf("core: unknown solver %v", o.opts.Solver)
+	}
+	iters := o.opts.MaxIterations
+	if iters > reoptimizeMaxIterations {
+		iters = reoptimizeMaxIterations
+	}
+	sol, err := solve.Solve(ctx, name, p.graph, solve.Options{
+		MaxIterations: iters,
+		Patience:      reoptimizePatience,
+		Workers:       o.opts.Workers,
+		Seed:          o.opts.Seed,
+		InitialLabels: warm,
+		DirtyMask:     mask,
+	})
+	if err != nil {
+		return ReoptimizeResult{}, err
+	}
+	if !o.opts.DisablePolish {
+		// Dirty-restricted local polish: the warm ICM kernel descends from
+		// the solver's labeling over the same frontier, so the polish also
+		// costs O(dirty) instead of a full sweep.
+		polished, perr := solve.Run(ctx, p.graph, solve.Options{
+			MaxIterations: 10,
+			InitialLabels: sol.Labels,
+			DirtyMask:     mask,
+		}, &icm.Kernel{})
+		if perr != nil {
+			return ReoptimizeResult{}, perr
+		}
+		if polished.Energy < sol.Energy {
+			sol.Labels = polished.Labels
+			sol.Energy = polished.Energy
+		}
+	}
+	assignment, err := p.decode(sol.Labels)
+	if err != nil {
+		return ReoptimizeResult{}, err
+	}
+	res := ReoptimizeResult{
+		Result: Result{
+			Assignment:    assignment,
+			Energy:        sol.Energy,
+			LowerBound:    sol.LowerBound,
+			Iterations:    sol.Iterations,
+			Converged:     sol.Converged,
+			Runtime:       time.Since(start),
+			Nodes:         p.graph.NumNodes(),
+			Edges:         p.graph.NumEdges(),
+			EnergyHistory: sol.EnergyHistory,
+		},
+		Incremental: true,
+		Rebuilt:     rebuilt,
+		DirtyNodes:  dirtyCount,
+		LiveNodes:   live,
+	}
+	if o.cs != nil {
+		res.ConstraintViolations = o.cs.Violations(assignment, o.net)
+	}
+	o.lastAssignment = assignment
+	o.lastEnergy = sol.Energy
+	p.clearDirty()
+	o.rebuilt = false
+	o.pendingDeltas = false
+	return res, nil
+}
+
+// LastAssignment returns the most recent solution (nil before the first
+// solve).  Watch-mode callers use it to keep serving the previous assignment
+// when a churn step fails or is cancelled.
+func (o *Optimizer) LastAssignment() *netmodel.Assignment { return o.lastAssignment }
+
+// greedyRecolor rebuilds the masked region of a warm labeling the way the
+// cold pipeline's greedy-colouring warm start would: masked nodes are
+// treated as unassigned and re-coloured in decreasing-degree order against
+// the frozen clean boundary, each picking the label with the smallest unary
+// plus pairwise cost toward already-labeled neighbours.  Warm-starting the
+// solver from the previous labels alone tends to stay in the previous
+// solution's basin; re-colouring the dirty region re-enters the basin the
+// cold solve would find, which is what keeps incremental energies within a
+// whisker of a full re-solve.  The better of the plain and re-coloured warm
+// starts (on the current energy) is returned.
+func (p *problem) greedyRecolor(warm []int, mask []bool) []int {
+	g := p.graph
+	order := make([]int, 0, len(warm))
+	for i, m := range mask {
+		if m {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	recolored := append([]int(nil), warm...)
+	assigned := make([]bool, len(warm))
+	for i, m := range mask {
+		assigned[i] = !m // the clean boundary counts as already assigned
+	}
+	for _, i := range order {
+		row := g.UnaryView(i)
+		best, bestCost := recolored[i], math.Inf(1)
+		for l := 0; l < g.NumLabels(i); l++ {
+			cost := row[l]
+			for _, e := range g.IncidentEdges(i) {
+				u, v := g.EdgeEndpoints(e)
+				if u == i {
+					if assigned[v] {
+						cost += g.PairwiseCost(e, l, recolored[v])
+					}
+				} else if assigned[u] {
+					cost += g.PairwiseCost(e, recolored[u], l)
+				}
+			}
+			if cost < bestCost {
+				best, bestCost = l, cost
+			}
+		}
+		recolored[i] = best
+		assigned[i] = true
+	}
+	if g.MustEnergy(recolored) < g.MustEnergy(warm) {
+		return recolored
+	}
+	return warm
+}
+
+// recolorHops is the BFS expansion of the dirty set that the greedy
+// re-colouring covers.  It is wider than the solver's initial mask because
+// basin quality needs coverage while sweep cost needs the mask tight; the
+// re-colouring is a single O(region · degree · labels) pass, so the wide
+// region is cheap.
+const recolorHops = 2
+
+// dirtyMask converts the dirty set into a solver mask (dead nodes
+// excluded).  The patcher already marks the neighbourhood of every change
+// (removed hosts mark their former neighbours, new edges both endpoints), so
+// the raw set is itself a one-hop frontier around the physical change.
+func (p *problem) dirtyMask() []bool {
+	mask := make([]bool, p.graph.NumNodes())
+	for i := range p.dirty {
+		if !p.dead[i] {
+			mask[i] = true
+		}
+	}
+	return mask
+}
+
+// expandMask returns a copy of the mask grown by `hops` BFS levels over the
+// MRF adjacency (dead nodes excluded).
+func (p *problem) expandMask(mask []bool, hops int) []bool {
+	out := append([]bool(nil), mask...)
+	frontier := make([]int, 0, len(p.dirty))
+	for i, m := range out {
+		if m {
+			frontier = append(frontier, i)
+		}
+	}
+	for hop := 0; hop < hops; hop++ {
+		var next []int
+		for _, i := range frontier {
+			for _, e := range p.graph.IncidentEdges(i) {
+				u, v := p.graph.EdgeEndpoints(e)
+				for _, j := range [2]int{u, v} {
+					if !out[j] && !p.dead[j] {
+						out[j] = true
+						next = append(next, j)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}

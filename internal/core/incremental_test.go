@@ -1,0 +1,426 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"netdiversity/internal/netgen"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+func churnFixture(t *testing.T, hosts int, seed int64) (*netmodel.Network, *vulnsim.SimilarityTable) {
+	t.Helper()
+	cfg := netgen.RandomConfig{Hosts: hosts, Degree: 6, Services: 3, ProductsPerService: 4, Seed: seed}
+	net, err := netgen.Random(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, netgen.SyntheticSimilarity(cfg, 0.6)
+}
+
+// randomDelta builds a deterministic mixed delta against the network: a few
+// removed hosts, a joining host wired to random survivors, link flips and a
+// preference-only service update.
+func randomDelta(t *testing.T, net *netmodel.Network, rng *rand.Rand) netmodel.Delta {
+	t.Helper()
+	joiner := netmodel.HostID(fmt.Sprintf("joiner%d", rng.Int63()))
+	hosts := net.Hosts()
+	var d netmodel.Delta
+	// Remove two random hosts.
+	for _, i := range []int{rng.Intn(len(hosts)), rng.Intn(len(hosts))} {
+		id := hosts[i]
+		if _, ok := net.Host(id); !ok {
+			continue
+		}
+		d.Ops = append(d.Ops, netmodel.DeltaOp{Op: netmodel.OpRemoveHost, ID: id})
+	}
+	// Join a new host with the synthetic catalogue and two links.
+	services := []netmodel.ServiceID{netgen.ServiceName(0), netgen.ServiceName(1)}
+	choices := map[netmodel.ServiceID][]netmodel.ProductID{}
+	for si, s := range services {
+		for p := 0; p < 4; p++ {
+			choices[s] = append(choices[s], netgen.ProductName(si, p))
+		}
+	}
+	spec := netmodel.HostSpec{ID: joiner, Services: services, Choices: choices}
+	d.Ops = append(d.Ops, netmodel.DeltaOp{Op: netmodel.OpAddHost, Host: &spec})
+	removed := map[netmodel.HostID]bool{}
+	for _, op := range d.Ops {
+		if op.Op == netmodel.OpRemoveHost {
+			removed[op.ID] = true
+		}
+	}
+	links := 0
+	for links < 2 {
+		nb := hosts[rng.Intn(len(hosts))]
+		if removed[nb] || nb == joiner {
+			continue
+		}
+		d.Ops = append(d.Ops, netmodel.DeltaOp{Op: netmodel.OpAddEdge, A: joiner, B: nb})
+		links++
+	}
+	// Flip a random existing link and bump a host's preference.
+	if ls := net.Links(); len(ls) > 0 {
+		l := ls[rng.Intn(len(ls))]
+		if !removed[l.A] && !removed[l.B] {
+			d.Ops = append(d.Ops, netmodel.DeltaOp{Op: netmodel.OpRemoveEdge, A: l.A, B: l.B})
+		}
+	}
+	for _, id := range hosts {
+		if removed[id] {
+			continue
+		}
+		h, _ := net.Host(id)
+		pref := map[netmodel.ServiceID]map[netmodel.ProductID]float64{
+			h.Services[0]: {h.Choices[h.Services[0]][0]: 0.9},
+		}
+		d.Ops = append(d.Ops, netmodel.DeltaOp{Op: netmodel.OpUpdateHostServices, ID: id,
+			Services: append([]netmodel.ServiceID(nil), h.Services...),
+			Choices:  h.Choices, Preference: pref})
+		break
+	}
+	return d
+}
+
+// TestApplyDeltaEnergyParity is the core correctness property of the
+// incremental engine: after any delta, the patched MRF must assign every
+// labeling the same energy as an MRF freshly built from the mutated network.
+func TestApplyDeltaEnergyParity(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		net, sim := churnFixture(t, 40, seed)
+		opt, err := NewOptimizer(net, sim, Options{MaxIterations: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := opt.Optimize(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed * 97))
+		for step := 0; step < 4; step++ {
+			d := randomDelta(t, opt.net, rng)
+			if err := opt.ApplyDelta(d); err != nil {
+				t.Fatalf("seed %d step %d: ApplyDelta: %v", seed, step, err)
+			}
+			// Fresh build of the mutated network for comparison.
+			fresh, err := NewOptimizer(opt.net, sim, Options{MaxIterations: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			freshProb, err := fresh.ensureProblem()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := opt.Reoptimize(context.Background())
+			if err != nil {
+				t.Fatalf("seed %d step %d: Reoptimize: %v", seed, step, err)
+			}
+			if err := res.Assignment.ValidateFor(opt.net); err != nil {
+				t.Fatalf("seed %d step %d: incremental assignment invalid: %v", seed, step, err)
+			}
+			labels, err := freshProb.encode(res.Assignment)
+			if err != nil {
+				t.Fatalf("seed %d step %d: encode on fresh problem: %v", seed, step, err)
+			}
+			freshEnergy := freshProb.graph.MustEnergy(labels)
+			if math.Abs(freshEnergy-res.Energy) > 1e-6 {
+				t.Fatalf("seed %d step %d: patched energy %v != fresh energy %v (drift!)",
+					seed, step, res.Energy, freshEnergy)
+			}
+			if !res.Incremental {
+				t.Fatalf("seed %d step %d: expected an incremental re-solve", seed, step)
+			}
+		}
+	}
+}
+
+// TestReoptimizeTracksFullSolve checks solution quality: the incremental
+// re-solve must stay close to a cold full solve of the mutated network.
+func TestReoptimizeTracksFullSolve(t *testing.T) {
+	net, sim := churnFixture(t, 60, 5)
+	opt, err := NewOptimizer(net, sim, Options{MaxIterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Optimize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 3; step++ {
+		if err := opt.ApplyDelta(randomDelta(t, opt.net, rng)); err != nil {
+			t.Fatal(err)
+		}
+		inc, err := opt.Reoptimize(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := NewOptimizer(opt.net, sim, Options{MaxIterations: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := cold.Optimize(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := (inc.Energy - full.Energy) / math.Max(math.Abs(full.Energy), 1e-9)
+		if gap > 0.05 {
+			t.Fatalf("step %d: incremental energy %v is %.1f%% above full re-solve %v",
+				step, inc.Energy, gap*100, full.Energy)
+		}
+	}
+}
+
+// TestReoptimizeNoChangesReturnsPrevious checks the empty-delta fast path.
+func TestReoptimizeNoChangesReturnsPrevious(t *testing.T) {
+	net, sim := churnFixture(t, 20, 7)
+	opt, err := NewOptimizer(net, sim, Options{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := opt.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Reoptimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Incremental || res.DirtyNodes != 0 {
+		t.Fatalf("no-op reoptimize: incremental=%v dirty=%d", res.Incremental, res.DirtyNodes)
+	}
+	if res.Energy != first.Energy || !res.Assignment.Equal(first.Assignment) {
+		t.Fatal("no-op reoptimize changed the solution")
+	}
+}
+
+// TestReoptimizeWithoutPriorFallsBack checks the cold-start fallback.
+func TestReoptimizeWithoutPriorFallsBack(t *testing.T) {
+	net, sim := churnFixture(t, 20, 9)
+	opt, err := NewOptimizer(net, sim, Options{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Reoptimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incremental {
+		t.Fatal("first Reoptimize claimed to be incremental")
+	}
+	if err := res.Assignment.ValidateFor(net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThresholdRebuildCompacts drives enough host removals through
+// ApplyDelta to trip the tombstone threshold and verifies the problem is
+// compacted (and still correct).
+func TestThresholdRebuildCompacts(t *testing.T) {
+	net, sim := churnFixture(t, 30, 13)
+	opt, err := NewOptimizer(net, sim, Options{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Optimize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	hosts := net.Hosts()
+	var d netmodel.Delta
+	for _, id := range hosts[:12] { // 40% of hosts: beyond the 25% threshold
+		d.Ops = append(d.Ops, netmodel.DeltaOp{Op: netmodel.OpRemoveHost, ID: id})
+	}
+	if err := opt.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if opt.prob.deadCount != 0 {
+		t.Fatalf("threshold rebuild did not compact: %d tombstones remain", opt.prob.deadCount)
+	}
+	res, err := opt.Reoptimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rebuilt {
+		t.Fatal("Reoptimize did not report the rebuild")
+	}
+	if err := res.Assignment.ValidateFor(opt.net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReoptimizeCancelledLeavesPreviousAssignment is the churn-step
+// regression test: a cancelled re-solve must leave the previously served
+// assignment (and energy) untouched.
+func TestReoptimizeCancelledLeavesPreviousAssignment(t *testing.T) {
+	net, sim := churnFixture(t, 40, 17)
+	opt, err := NewOptimizer(net, sim, Options{MaxIterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := opt.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := opt.LastAssignment().Clone()
+	rng := rand.New(rand.NewSource(3))
+	if err := opt.ApplyDelta(randomDelta(t, opt.net, rng)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := opt.Reoptimize(ctx); err == nil {
+		t.Fatal("cancelled Reoptimize returned no error")
+	}
+	if !opt.LastAssignment().Equal(prev) {
+		t.Fatal("cancelled Reoptimize mutated the previous assignment")
+	}
+	if opt.lastEnergy != first.Energy {
+		t.Fatal("cancelled Reoptimize mutated the previous energy")
+	}
+	// The delta stays applied: a later successful Reoptimize picks it up.
+	res, err := opt.Reoptimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.ValidateFor(opt.net); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptimizeParallelCancelled is the regression test for context
+// propagation through the block-solve worker pool.
+func TestOptimizeParallelCancelled(t *testing.T) {
+	net, sim := churnFixture(t, 60, 19)
+	opt, err := NewOptimizer(net, sim, Options{MaxIterations: 50, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := opt.OptimizeParallel(ctx, 4); err == nil {
+		t.Fatal("cancelled OptimizeParallel returned no error")
+	}
+	if opt.LastAssignment() != nil {
+		t.Fatal("cancelled OptimizeParallel recorded a solution")
+	}
+}
+
+// TestApplyDeltaRejectsConstrainedHostRemoval guards against stranding
+// host-specific constraints.
+func TestApplyDeltaRejectsConstrainedHostRemoval(t *testing.T) {
+	net, sim := churnFixture(t, 10, 23)
+	opt, err := NewOptimizer(net, sim, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := net.Hosts()[0]
+	h, _ := net.Host(id)
+	cs := netmodel.NewConstraintSet()
+	cs.Fix(id, h.Services[0], h.Choices[h.Services[0]][0])
+	if err := opt.SetConstraints(cs); err != nil {
+		t.Fatal(err)
+	}
+	err = opt.ApplyDelta(netmodel.Delta{Ops: []netmodel.DeltaOp{{Op: netmodel.OpRemoveHost, ID: id}}})
+	if err == nil {
+		t.Fatal("removal of a constrained host was accepted")
+	}
+	if _, ok := opt.net.Host(id); !ok {
+		t.Fatal("rejected removal still mutated the network")
+	}
+}
+
+// TestApplyDeltaStructuralServiceUpgrade exercises the tombstone + re-add
+// path for a host whose candidate lists change shape.
+func TestApplyDeltaStructuralServiceUpgrade(t *testing.T) {
+	net, sim := churnFixture(t, 20, 29)
+	opt, err := NewOptimizer(net, sim, Options{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Optimize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	id := net.Hosts()[3]
+	h, _ := net.Host(id)
+	// Drop the last candidate of the first service: a structural change.
+	choices := map[netmodel.ServiceID][]netmodel.ProductID{}
+	for s, ps := range h.Choices {
+		choices[s] = append([]netmodel.ProductID(nil), ps...)
+	}
+	s0 := h.Services[0]
+	choices[s0] = choices[s0][:len(choices[s0])-1]
+	d := netmodel.Delta{Ops: []netmodel.DeltaOp{{
+		Op: netmodel.OpUpdateHostServices, ID: id,
+		Services: append([]netmodel.ServiceID(nil), h.Services...),
+		Choices:  choices,
+	}}}
+	if err := opt.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Reoptimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewOptimizer(opt.net, sim, Options{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshProb, err := fresh.ensureProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := freshProb.encode(res.Assignment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := freshProb.graph.MustEnergy(labels); math.Abs(got-res.Energy) > 1e-6 {
+		t.Fatalf("patched energy %v != fresh energy %v after structural upgrade", res.Energy, got)
+	}
+}
+
+// TestReoptimizeAfterIsolatedHostRemoval covers the empty-dirty-set corner:
+// removing a host with no live neighbours leaves nothing dirty, but the
+// served assignment must still drop the departed host and its energy.
+func TestReoptimizeAfterIsolatedHostRemoval(t *testing.T) {
+	net, sim := churnFixture(t, 12, 31)
+	lone := &netmodel.Host{
+		ID:       "island",
+		Services: []netmodel.ServiceID{netgen.ServiceName(0)},
+		Choices: map[netmodel.ServiceID][]netmodel.ProductID{
+			netgen.ServiceName(0): {netgen.ProductName(0, 0), netgen.ProductName(0, 1)},
+		},
+	}
+	if err := net.AddHost(lone); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := NewOptimizer(net, sim, Options{MaxIterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := opt.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := first.Assignment.Get("island", netgen.ServiceName(0)); !ok {
+		t.Fatal("initial solve misses the isolated host")
+	}
+	d := netmodel.Delta{Ops: []netmodel.DeltaOp{{Op: netmodel.OpRemoveHost, ID: "island"}}}
+	if err := opt.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Reoptimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Assignment.Get("island", netgen.ServiceName(0)); ok {
+		t.Fatal("served assignment still contains the removed isolated host")
+	}
+	if err := res.Assignment.ValidateFor(opt.net); err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy >= first.Energy {
+		t.Fatalf("energy %v not reduced by the removed host's unary term (was %v)", res.Energy, first.Energy)
+	}
+}

@@ -157,6 +157,12 @@ type Result struct {
 }
 
 // Optimizer computes optimal diversification strategies for one network.
+// It is a long-lived engine: the built MRF stays alive across solves,
+// network changes are absorbed through ApplyDelta (which patches the MRF in
+// place) and Reoptimize warm-starts from the previous solution, so a churn
+// step costs O(changed region) instead of a cold build + solve.  Callers
+// must route all post-construction network mutations through ApplyDelta;
+// mutating the network directly leaves the cached MRF stale.
 type Optimizer struct {
 	net  *netmodel.Network
 	sim  *vulnsim.SimilarityTable
@@ -166,11 +172,28 @@ type Optimizer struct {
 	// term (see SetCostModel).
 	costModel  *CostModel
 	costWeight float64
+
+	// prob is the live MRF encoding, built lazily and patched by ApplyDelta.
+	prob *problem
+	// lastAssignment/lastEnergy memoise the most recent solution as the warm
+	// start for Reoptimize.
+	lastAssignment *netmodel.Assignment
+	lastEnergy     float64
+	// rebuilt records that a threshold rebuild compacted the problem since
+	// the last solve (reported by Reoptimize).
+	rebuilt bool
+	// pendingDeltas records that ApplyDelta ran since the last solve, so
+	// Reoptimize refreshes the served assignment even when the dirty set is
+	// empty (e.g. the removal of a host with no live neighbours).
+	pendingDeltas bool
 }
 
-// buildProblem constructs the MRF for this optimiser's network, constraints
-// and (optional) cost model.
-func (o *Optimizer) buildProblem() (*problem, error) {
+// ensureProblem returns the live MRF, building it from the network,
+// constraints and (optional) cost model on first use or after invalidation.
+func (o *Optimizer) ensureProblem() (*problem, error) {
+	if o.prob != nil {
+		return o.prob, nil
+	}
 	prob, err := buildProblem(o.net, o.sim, o.cs, o.opts)
 	if err != nil {
 		return nil, err
@@ -178,8 +201,12 @@ func (o *Optimizer) buildProblem() (*problem, error) {
 	if err := applyCostModel(prob, o.costModel, o.costWeight); err != nil {
 		return nil, err
 	}
+	o.prob = prob
 	return prob, nil
 }
+
+// invalidateProblem drops the cached MRF so the next solve rebuilds it.
+func (o *Optimizer) invalidateProblem() { o.prob = nil }
 
 // ErrNilInput is returned when the network or similarity table is nil.
 var ErrNilInput = errors.New("core: network and similarity table must not be nil")
@@ -196,7 +223,8 @@ func NewOptimizer(net *netmodel.Network, sim *vulnsim.SimilarityTable, opts Opti
 }
 
 // SetConstraints installs the constraint set C used by subsequent Optimize
-// calls (nil clears it).
+// calls (nil clears it).  The cached MRF is invalidated: constraint changes
+// reshape the factor set, which is a rebuild, not a patch.
 func (o *Optimizer) SetConstraints(cs *netmodel.ConstraintSet) error {
 	if cs != nil {
 		if err := cs.Validate(o.net); err != nil {
@@ -204,20 +232,23 @@ func (o *Optimizer) SetConstraints(cs *netmodel.ConstraintSet) error {
 		}
 	}
 	o.cs = cs
+	o.invalidateProblem()
 	return nil
 }
 
 // Constraints returns the currently installed constraint set (may be nil).
 func (o *Optimizer) Constraints() *netmodel.ConstraintSet { return o.cs }
 
-// Optimize computes the (constrained) optimal assignment.
+// Optimize computes the (constrained) optimal assignment with a full (cold)
+// solve.  For re-solving after an ApplyDelta, Reoptimize is the incremental
+// fast path.
 func (o *Optimizer) Optimize(ctx context.Context) (Result, error) {
 	start := time.Now()
-	prob, err := o.buildProblem()
+	prob, err := o.ensureProblem()
 	if err != nil {
 		return Result{}, err
 	}
-	sol, err := o.solve(ctx, prob.graph, o.warmStart(prob))
+	sol, err := o.solve(ctx, prob.graph, o.warmStart(prob), nil)
 	if err != nil {
 		return Result{}, err
 	}
@@ -249,6 +280,13 @@ func (o *Optimizer) Optimize(ctx context.Context) (Result, error) {
 	if o.cs != nil {
 		res.ConstraintViolations = o.cs.Violations(assignment, o.net)
 	}
+	// A full solve absorbs every pending delta: memoise the solution as the
+	// next Reoptimize warm start and reset the dirty bookkeeping.
+	o.lastAssignment = assignment
+	o.lastEnergy = sol.Energy
+	prob.clearDirty()
+	o.rebuilt = false
+	o.pendingDeltas = false
 	return res, nil
 }
 
@@ -274,8 +312,9 @@ func (o *Optimizer) warmStart(prob *problem) []int {
 // solve runs the configured solver through the unified solve registry.  All
 // solvers share the same driver (best-labeling tracking, convergence rule,
 // energy history, cancellation); the registry name comes from the Solver
-// selector.
-func (o *Optimizer) solve(ctx context.Context, g *mrf.Graph, initial []int) (mrf.Solution, error) {
+// selector.  A non-nil dirty mask switches warm-capable kernels to the
+// incremental dirty-frontier schedule.
+func (o *Optimizer) solve(ctx context.Context, g *mrf.Graph, initial []int, dirty []bool) (mrf.Solution, error) {
 	name := o.opts.Solver.String()
 	if !solve.Registered(name) {
 		return mrf.Solution{}, fmt.Errorf("core: unknown solver %v", o.opts.Solver)
@@ -285,6 +324,7 @@ func (o *Optimizer) solve(ctx context.Context, g *mrf.Graph, initial []int) (mrf
 		Workers:       o.opts.Workers,
 		Seed:          o.opts.Seed,
 		InitialLabels: initial,
+		DirtyMask:     dirty,
 	})
 }
 
@@ -296,7 +336,7 @@ func (o *Optimizer) Energy(a *netmodel.Assignment) (float64, error) {
 	if a == nil {
 		return 0, errors.New("core: nil assignment")
 	}
-	prob, err := o.buildProblem()
+	prob, err := o.ensureProblem()
 	if err != nil {
 		return 0, err
 	}

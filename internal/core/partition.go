@@ -245,15 +245,30 @@ func (o *Optimizer) OptimizeParallel(ctx context.Context, parts int) (ParallelRe
 		go func() {
 			defer wg.Done()
 			for bi := range work {
+				// A cancelled context stops the remaining blocks immediately
+				// instead of letting each block solver discover it on its
+				// own; the optimiser's previous solution stays intact.
+				if err := ctx.Err(); err != nil {
+					errs[bi] = err
+					continue
+				}
 				results[bi], errs[bi] = o.solveBlock(ctx, blocks[bi])
 			}
 		}()
 	}
+feed:
 	for bi := range blocks {
-		work <- bi
+		select {
+		case work <- bi:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return ParallelResult{}, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return ParallelResult{}, err
@@ -271,7 +286,7 @@ func (o *Optimizer) OptimizeParallel(ctx context.Context, parts int) (ParallelRe
 
 	// Global refinement on the full problem, starting from the merged
 	// block-optimal labeling; this repairs the cut edges.
-	prob, err := o.buildProblem()
+	prob, err := o.ensureProblem()
 	if err != nil {
 		return ParallelResult{}, err
 	}
@@ -306,5 +321,12 @@ func (o *Optimizer) OptimizeParallel(ctx context.Context, parts int) (ParallelRe
 	if o.cs != nil {
 		out.ConstraintViolations = o.cs.Violations(assignment, o.net)
 	}
+	// Like Optimize, a parallel solve absorbs every pending delta and seeds
+	// the next Reoptimize.
+	o.lastAssignment = assignment
+	o.lastEnergy = polished.Energy
+	prob.clearDirty()
+	o.rebuilt = false
+	o.pendingDeltas = false
 	return out, nil
 }

@@ -120,6 +120,13 @@ type Kernel struct {
 	labels  []int
 	costBuf []float64
 
+	// Warm-start state (see WarmStart): when warm is set, sweeps visit only
+	// active nodes, nodes deactivate once locally optimal and reactivate when
+	// a neighbour changes label — classic worklist Gauss-Seidel, O(active)
+	// per sweep instead of O(n).
+	warm   bool
+	active []bool
+
 	restart        int
 	sweepInRestart int
 	temp           float64
@@ -165,9 +172,29 @@ func (k *Kernel) Init(g *mrf.Graph, opts solve.Options) error {
 	if len(opts.InitialLabels) == k.n {
 		copy(k.labels, opts.InitialLabels)
 	}
+	k.warm = false
+	k.active = nil
 	k.restart = 0
 	k.sweepInRestart = 0
 	k.temp = opts.InitialTemperature
+	return nil
+}
+
+// WarmStart switches the kernel to incremental mode (solve.WarmKernel): the
+// descent starts from the prior labeling, only the dirty nodes are visited
+// initially and the active set grows along the change frontier.  Random
+// restarts and the annealing acceptance rule are disabled — both would
+// re-randomise (or keep hot) the frozen regions and defeat the purpose of an
+// incremental re-solve.
+func (k *Kernel) WarmStart(labels []int, dirty []bool) error {
+	if len(labels) != k.n || len(dirty) != k.n {
+		return fmt.Errorf("icm: warm start needs %d labels and dirty flags", k.n)
+	}
+	copy(k.labels, labels)
+	k.active = append([]bool(nil), dirty...)
+	k.warm = true
+	k.opts.Restarts = 1
+	k.opts.Annealing = false
 	return nil
 }
 
@@ -197,10 +224,15 @@ func (k *Kernel) localCosts(node int, dst []float64) {
 }
 
 // sweep performs one Gauss-Seidel pass over the nodes and reports whether
-// any label changed.
+// any label changed.  In warm mode only active nodes are visited: a node
+// deactivates once locally optimal and neighbours of a changed node are
+// (re)activated.
 func (k *Kernel) sweep() bool {
 	changed := false
 	for node := 0; node < k.n; node++ {
+		if k.warm && !k.active[node] {
+			continue
+		}
 		kn := k.counts[node]
 		cost := k.costBuf[:kn]
 		k.localCosts(node, cost)
@@ -215,6 +247,13 @@ func (k *Kernel) sweep() bool {
 		case bestLabel != cur:
 			k.labels[node] = bestLabel
 			changed = true
+			if k.warm {
+				for _, he := range k.incident(node) {
+					k.active[he.Other] = true
+				}
+			}
+		case k.warm:
+			k.active[node] = false
 		case k.opts.Annealing && k.temp > 1e-9:
 			// Propose a random uphill move with Metropolis acceptance.
 			cand := k.rng.Intn(kn)

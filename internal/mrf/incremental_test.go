@@ -1,0 +1,107 @@
+package mrf
+
+import "testing"
+
+func incrGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewGraph([]int{2, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for l := 0; l < g.NumLabels(i); l++ {
+			if err := g.SetUnary(i, l, float64(i)+0.1*float64(l)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cost01 := [][]float64{{0, 1, 2}, {1, 0, 1}}
+	cost12 := [][]float64{{0, 1}, {1, 0}, {2, 2}}
+	if _, err := g.AddEdge(0, 1, cost01); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(1, 2, cost12); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAddNode(t *testing.T) {
+	g := incrGraph(t)
+	g.ensureAdj() // force the CSR build so AddNode must invalidate it
+	idx, err := g.AddNode(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 3 || g.NumNodes() != 4 || g.NumLabels(3) != 4 {
+		t.Fatalf("AddNode: idx=%d nodes=%d labels=%d", idx, g.NumNodes(), g.NumLabels(3))
+	}
+	for l := 0; l < 4; l++ {
+		if got := g.Unary(3, l); got != 0 {
+			t.Fatalf("new node unary[%d]=%v, want 0", l, got)
+		}
+	}
+	if deg := g.Degree(3); deg != 0 {
+		t.Fatalf("new node degree=%d, want 0", deg)
+	}
+	// The new node is usable in edges and energies right away.
+	if _, err := g.AddEdge(2, 3, [][]float64{{0, 0, 0, 1}, {1, 0, 0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if e, err := g.Energy([]int{0, 0, 0, 3}); err != nil || e != 0.1*0+0+1+2+0+1 {
+		t.Fatalf("energy with new node: %v err=%v", e, err)
+	}
+	if _, err := g.AddNode(0); err == nil {
+		t.Fatal("AddNode(0) succeeded")
+	}
+}
+
+func TestSetUnaryRow(t *testing.T) {
+	g := incrGraph(t)
+	if err := g.SetUnaryRow(1, []float64{9, 8, 7}); err != nil {
+		t.Fatal(err)
+	}
+	for l, want := range []float64{9, 8, 7} {
+		if got := g.Unary(1, l); got != want {
+			t.Fatalf("unary(1,%d)=%v, want %v", l, got, want)
+		}
+	}
+	if err := g.SetUnaryRow(1, []float64{1}); err == nil {
+		t.Fatal("wrong-length row accepted")
+	}
+	if err := g.SetUnaryRow(9, []float64{1}); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestFilterEdges(t *testing.T) {
+	g := incrGraph(t)
+	g.ensureAdj()
+	removed := g.FilterEdges(func(_, u, v int) bool { return !(u == 0 && v == 1) })
+	if removed != 1 || g.NumEdges() != 1 {
+		t.Fatalf("removed=%d edges=%d, want 1/1", removed, g.NumEdges())
+	}
+	u, v := g.EdgeEndpoints(0)
+	if u != 1 || v != 2 {
+		t.Fatalf("surviving edge is (%d,%d), want (1,2)", u, v)
+	}
+	// CSR adjacency must reflect the removal.
+	if deg := g.Degree(0); deg != 0 {
+		t.Fatalf("degree(0)=%d after removing its only edge", deg)
+	}
+	if deg := g.Degree(1); deg != 1 {
+		t.Fatalf("degree(1)=%d, want 1", deg)
+	}
+	// Energy no longer includes the removed factor.
+	e, err := g.Energy([]int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0 + 1.1 + 2.0 + 1.0 // unaries + cost12[1][0]
+	if e != want {
+		t.Fatalf("energy=%v, want %v", e, want)
+	}
+	if got := g.FilterEdges(func(_, _, _ int) bool { return true }); got != 0 {
+		t.Fatalf("no-op filter removed %d", got)
+	}
+}

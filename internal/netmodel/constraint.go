@@ -169,6 +169,25 @@ func (cs *ConstraintSet) FixedHosts() []HostID {
 	return out
 }
 
+// References reports whether the set pins or constrains the given host
+// (globally applicable constraints do not count: they never dangle when the
+// host disappears).  The incremental optimiser uses it to reject deltas that
+// would strand host-specific constraints.
+func (cs *ConstraintSet) References(h HostID) bool {
+	if cs == nil {
+		return false
+	}
+	if len(cs.fixed[h]) > 0 {
+		return true
+	}
+	for _, c := range cs.constraints {
+		if !c.Global() && c.Host == h {
+			return true
+		}
+	}
+	return false
+}
+
 // Constraints returns a copy of the pairwise constraints.
 func (cs *ConstraintSet) Constraints() []Constraint {
 	out := make([]Constraint, len(cs.constraints))

@@ -1,0 +1,174 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Real networks churn: hosts join and leave, services get upgraded,
+// vulnerability data refreshes.  Instead of forcing callers to rebuild a
+// Network (and every structure derived from it) on each change, the network
+// exposes a mutation API — AddHost, RemoveHost, AddEdge, RemoveEdge,
+// UpdateHostServices — and can record those mutations into a change journal.
+// The journal entries form a Delta: a serialisable, replayable description of
+// an evolution step that downstream consumers (the incremental optimiser in
+// internal/core, the watch mode of cmd/divopt) apply without re-deriving the
+// whole model from scratch.
+
+// DeltaOpKind names one mutation in a Delta.
+type DeltaOpKind string
+
+// The delta operation kinds, matching the Network mutation API.
+const (
+	OpAddHost            DeltaOpKind = "add_host"
+	OpRemoveHost         DeltaOpKind = "remove_host"
+	OpAddEdge            DeltaOpKind = "add_edge"
+	OpRemoveEdge         DeltaOpKind = "remove_edge"
+	OpUpdateHostServices DeltaOpKind = "update_services"
+)
+
+// DeltaOp is one recorded mutation.  Exactly the fields required by its kind
+// are populated:
+//
+//	add_host:        Host
+//	remove_host:     ID
+//	add_edge:        A, B
+//	remove_edge:     A, B
+//	update_services: ID, Services, Choices, Preference
+type DeltaOp struct {
+	Op DeltaOpKind `json:"op"`
+	// Host carries the full host description for add_host.
+	Host *HostSpec `json:"host,omitempty"`
+	// ID identifies the target host of remove_host / update_services.
+	ID HostID `json:"id,omitempty"`
+	// A and B are the edge endpoints of add_edge / remove_edge.
+	A HostID `json:"a,omitempty"`
+	B HostID `json:"b,omitempty"`
+	// Services/Choices/Preference are the replacement service set of
+	// update_services.
+	Services   []ServiceID                         `json:"services,omitempty"`
+	Choices    map[ServiceID][]ProductID           `json:"choices,omitempty"`
+	Preference map[ServiceID]map[ProductID]float64 `json:"preference,omitempty"`
+}
+
+// Validate checks that the op carries the fields its kind requires.
+func (op DeltaOp) Validate() error {
+	switch op.Op {
+	case OpAddHost:
+		if op.Host == nil || op.Host.ID == "" {
+			return errors.New("netmodel: add_host op needs a host with an ID")
+		}
+	case OpRemoveHost:
+		if op.ID == "" {
+			return errors.New("netmodel: remove_host op needs an id")
+		}
+	case OpAddEdge, OpRemoveEdge:
+		if op.A == "" || op.B == "" {
+			return fmt.Errorf("netmodel: %s op needs both endpoints", op.Op)
+		}
+	case OpUpdateHostServices:
+		if op.ID == "" {
+			return errors.New("netmodel: update_services op needs an id")
+		}
+		if len(op.Services) == 0 {
+			return errors.New("netmodel: update_services op needs a non-empty service list")
+		}
+	default:
+		return fmt.Errorf("netmodel: unknown delta op %q", op.Op)
+	}
+	return nil
+}
+
+// Delta is an ordered journal of network mutations.
+type Delta struct {
+	Ops []DeltaOp `json:"ops"`
+}
+
+// Empty reports whether the delta records no mutations.
+func (d Delta) Empty() bool { return len(d.Ops) == 0 }
+
+// Validate checks every op.
+func (d Delta) Validate() error {
+	for i, op := range d.Ops {
+		if err := op.Validate(); err != nil {
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Apply replays the delta against a network through the mutation API.  Ops
+// are applied in order; the first failing op aborts the replay (earlier ops
+// stay applied, mirroring the journal semantics of a partially consumed
+// stream).
+func (d Delta) Apply(n *Network) error {
+	for i, op := range d.Ops {
+		if err := applyOp(n, op); err != nil {
+			return fmt.Errorf("netmodel: delta op %d (%s): %w", i, op.Op, err)
+		}
+	}
+	return nil
+}
+
+func applyOp(n *Network, op DeltaOp) error {
+	if err := op.Validate(); err != nil {
+		return err
+	}
+	switch op.Op {
+	case OpAddHost:
+		return n.AddHost(op.Host.Host())
+	case OpRemoveHost:
+		return n.RemoveHost(op.ID)
+	case OpAddEdge:
+		return n.AddEdge(op.A, op.B)
+	case OpRemoveEdge:
+		return n.RemoveEdge(op.A, op.B)
+	case OpUpdateHostServices:
+		return n.UpdateHostServices(op.ID, op.Services, op.Choices, op.Preference)
+	}
+	return fmt.Errorf("netmodel: unknown delta op %q", op.Op)
+}
+
+// EncodeDeltas writes deltas as JSON lines (one compact Delta object per
+// line), the stream format consumed by divopt -watch.
+func EncodeDeltas(w io.Writer, deltas []Delta) error {
+	enc := json.NewEncoder(w)
+	for i, d := range deltas {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("netmodel: delta %d: %w", i, err)
+		}
+		if err := enc.Encode(d); err != nil {
+			return fmt.Errorf("netmodel: encode delta %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DeltaDecoder streams deltas from a JSON-lines (or concatenated-JSON)
+// reader.
+type DeltaDecoder struct {
+	dec *json.Decoder
+}
+
+// NewDeltaDecoder wraps a reader producing a stream of Delta JSON objects.
+func NewDeltaDecoder(r io.Reader) *DeltaDecoder {
+	return &DeltaDecoder{dec: json.NewDecoder(r)}
+}
+
+// Next decodes and validates the next delta.  It returns io.EOF at the end
+// of the stream.
+func (d *DeltaDecoder) Next() (Delta, error) {
+	var out Delta
+	if err := d.dec.Decode(&out); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Delta{}, io.EOF
+		}
+		return Delta{}, fmt.Errorf("netmodel: decode delta: %w", err)
+	}
+	if err := out.Validate(); err != nil {
+		return Delta{}, fmt.Errorf("netmodel: %w", err)
+	}
+	return out, nil
+}

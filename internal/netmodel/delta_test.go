@@ -1,0 +1,248 @@
+package netmodel
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func deltaTestNetwork(t *testing.T) *Network {
+	t.Helper()
+	n := New()
+	for _, id := range []HostID{"a", "b", "c"} {
+		h := &Host{
+			ID:       id,
+			Services: []ServiceID{"os", "db"},
+			Choices: map[ServiceID][]ProductID{
+				"os": {"linux", "windows"},
+				"db": {"pg", "mysql"},
+			},
+		}
+		if err := n.AddHost(h); err != nil {
+			t.Fatalf("AddHost(%s): %v", id, err)
+		}
+	}
+	for _, l := range [][2]HostID{{"a", "b"}, {"b", "c"}} {
+		if err := n.AddLink(l[0], l[1]); err != nil {
+			t.Fatalf("AddLink(%s,%s): %v", l[0], l[1], err)
+		}
+	}
+	return n
+}
+
+func TestRemoveHost(t *testing.T) {
+	n := deltaTestNetwork(t)
+	if err := n.RemoveHost("b"); err != nil {
+		t.Fatalf("RemoveHost: %v", err)
+	}
+	if n.NumHosts() != 2 || n.NumLinks() != 0 {
+		t.Fatalf("after RemoveHost: hosts=%d links=%d, want 2/0", n.NumHosts(), n.NumLinks())
+	}
+	if _, ok := n.Host("b"); ok {
+		t.Fatal("removed host still present")
+	}
+	if got := n.Neighbors("a"); len(got) != 0 {
+		t.Fatalf("neighbour list of a not cleaned: %v", got)
+	}
+	if err := n.RemoveHost("b"); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("double remove: got %v, want ErrUnknownHost", err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate after removal: %v", err)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	n := deltaTestNetwork(t)
+	if err := n.RemoveEdge("b", "a"); err != nil { // reversed endpoints
+		t.Fatalf("RemoveEdge: %v", err)
+	}
+	if n.Connected("a", "b") {
+		t.Fatal("edge still present after RemoveEdge")
+	}
+	if err := n.RemoveEdge("a", "b"); err != nil {
+		t.Fatalf("idempotent RemoveEdge: %v", err)
+	}
+	if err := n.RemoveEdge("a", "zz"); !errors.Is(err, ErrUnknownHost) {
+		t.Fatalf("RemoveEdge with unknown host: got %v", err)
+	}
+}
+
+func TestUpdateHostServices(t *testing.T) {
+	n := deltaTestNetwork(t)
+	choices := map[ServiceID][]ProductID{"os": {"bsd", "linux"}}
+	pref := map[ServiceID]map[ProductID]float64{"os": {"bsd": 0.9}}
+	if err := n.UpdateHostServices("a", []ServiceID{"os"}, choices, pref); err != nil {
+		t.Fatalf("UpdateHostServices: %v", err)
+	}
+	h, _ := n.Host("a")
+	if len(h.Services) != 1 || h.Services[0] != "os" {
+		t.Fatalf("services not replaced: %v", h.Services)
+	}
+	if got := h.Choices["os"]; len(got) != 2 || got[0] != "bsd" {
+		t.Fatalf("choices not replaced: %v", got)
+	}
+	// The caller's maps must have been deep-copied.
+	choices["os"][0] = "corrupted"
+	if h.Choices["os"][0] != "bsd" {
+		t.Fatal("UpdateHostServices did not deep-copy choices")
+	}
+	if err := n.UpdateHostServices("a", nil, nil, nil); !errors.Is(err, ErrNoServices) {
+		t.Fatalf("empty services: got %v", err)
+	}
+	if err := n.UpdateHostServices("a", []ServiceID{"os"}, nil, nil); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("missing candidates: got %v", err)
+	}
+}
+
+func TestJournalRecordsMutations(t *testing.T) {
+	n := deltaTestNetwork(t)
+	n.BeginJournal()
+	newHost := &Host{
+		ID:       "d",
+		Services: []ServiceID{"os"},
+		Choices:  map[ServiceID][]ProductID{"os": {"linux"}},
+	}
+	if err := n.AddHost(newHost); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEdge("d", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RemoveEdge("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RemoveHost("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.UpdateHostServices("a", []ServiceID{"os"}, map[ServiceID][]ProductID{"os": {"linux"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	d := n.TakeJournal()
+	kinds := []DeltaOpKind{OpAddHost, OpAddEdge, OpRemoveEdge, OpRemoveHost, OpUpdateHostServices}
+	if len(d.Ops) != len(kinds) {
+		t.Fatalf("journal has %d ops, want %d: %+v", len(d.Ops), len(kinds), d.Ops)
+	}
+	for i, k := range kinds {
+		if d.Ops[i].Op != k {
+			t.Fatalf("op %d is %s, want %s", i, d.Ops[i].Op, k)
+		}
+	}
+	// Replaying the journal on a snapshot must reproduce the mutated network.
+	replay := deltaTestNetwork(t)
+	if err := d.Apply(replay); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if !sameTopology(n, replay) {
+		t.Fatal("journal replay does not reproduce the mutated network")
+	}
+	// TakeJournal stopped recording.
+	if err := n.RemoveEdge("a", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if d2 := n.TakeJournal(); !d2.Empty() {
+		t.Fatalf("recording continued after TakeJournal: %+v", d2)
+	}
+}
+
+func sameTopology(a, b *Network) bool {
+	if a.NumHosts() != b.NumHosts() || a.NumLinks() != b.NumLinks() {
+		return false
+	}
+	for _, id := range a.Hosts() {
+		ha, _ := a.Host(id)
+		hb, ok := b.Host(id)
+		if !ok || len(ha.Services) != len(hb.Services) {
+			return false
+		}
+		for _, s := range ha.Services {
+			if !hb.HasService(s) || len(ha.Choices[s]) != len(hb.Choices[s]) {
+				return false
+			}
+		}
+	}
+	for _, l := range a.Links() {
+		if !b.Connected(l.A, l.B) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDeltaJSONRoundTrip(t *testing.T) {
+	spec := SpecOfHost(&Host{
+		ID:       "x",
+		Services: []ServiceID{"os"},
+		Choices:  map[ServiceID][]ProductID{"os": {"linux", "bsd"}},
+		Preference: map[ServiceID]map[ProductID]float64{
+			"os": {"linux": 0.7},
+		},
+	})
+	deltas := []Delta{
+		{Ops: []DeltaOp{{Op: OpAddHost, Host: &spec}, {Op: OpAddEdge, A: "x", B: "a"}}},
+		{Ops: []DeltaOp{{Op: OpRemoveEdge, A: "x", B: "a"}, {Op: OpRemoveHost, ID: "x"}}},
+		{Ops: []DeltaOp{{Op: OpUpdateHostServices, ID: "a",
+			Services: []ServiceID{"os"},
+			Choices:  map[ServiceID][]ProductID{"os": {"linux"}}}}},
+	}
+	var buf bytes.Buffer
+	if err := EncodeDeltas(&buf, deltas); err != nil {
+		t.Fatalf("EncodeDeltas: %v", err)
+	}
+	dec := NewDeltaDecoder(&buf)
+	var got []Delta
+	for {
+		d, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, d)
+	}
+	if len(got) != len(deltas) {
+		t.Fatalf("decoded %d deltas, want %d", len(got), len(deltas))
+	}
+	if got[0].Ops[0].Host == nil || got[0].Ops[0].Host.ID != "x" {
+		t.Fatalf("add_host payload lost: %+v", got[0].Ops[0])
+	}
+	if got[2].Ops[0].Choices["os"][0] != "linux" {
+		t.Fatalf("update_services payload lost: %+v", got[2].Ops[0])
+	}
+}
+
+func TestDeltaValidate(t *testing.T) {
+	bad := []DeltaOp{
+		{Op: "nonsense"},
+		{Op: OpAddHost},
+		{Op: OpRemoveHost},
+		{Op: OpAddEdge, A: "a"},
+		{Op: OpRemoveEdge, B: "b"},
+		{Op: OpUpdateHostServices, ID: "a"},
+	}
+	for _, op := range bad {
+		if err := op.Validate(); err == nil {
+			t.Errorf("op %+v validated, want error", op)
+		}
+	}
+	if err := (Delta{Ops: []DeltaOp{{Op: OpRemoveHost, ID: "a"}}}).Validate(); err != nil {
+		t.Errorf("valid delta rejected: %v", err)
+	}
+}
+
+func TestDeltaApplyErrors(t *testing.T) {
+	n := deltaTestNetwork(t)
+	d := Delta{Ops: []DeltaOp{
+		{Op: OpRemoveEdge, A: "a", B: "b"},
+		{Op: OpRemoveHost, ID: "does-not-exist"},
+	}}
+	if err := d.Apply(n); err == nil {
+		t.Fatal("Apply with unknown host succeeded")
+	}
+	// The first (valid) op stays applied.
+	if n.Connected("a", "b") {
+		t.Fatal("earlier op rolled back; journal replay should be prefix-applied")
+	}
+}

@@ -1,0 +1,70 @@
+package netmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// FuzzDeltaRoundTrip guards the delta serialisation surface that divopt
+// -watch depends on: any delta that decodes and validates must survive an
+// encode/decode round trip unchanged.
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"ops":[{"op":"add_edge","a":"h1","b":"h2"}]}`))
+	f.Add([]byte(`{"ops":[{"op":"remove_host","id":"h1"}]}`))
+	f.Add([]byte(`{"ops":[{"op":"add_host","host":{"id":"x","services":["os"],"choices":{"os":["p1"]}}}]}`))
+	f.Add([]byte(`{"ops":[{"op":"update_services","id":"h1","services":["os"],"choices":{"os":["p1","p2"]},"preference":{"os":{"p1":0.5}}}]}`))
+	f.Add([]byte(`{"ops":[]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Delta
+		if err := json.Unmarshal(data, &d); err != nil {
+			return // malformed input: rejection is the correct behaviour
+		}
+		if err := d.Validate(); err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeDeltas(&buf, []Delta{d}); err != nil {
+			t.Fatalf("valid delta failed to encode: %v", err)
+		}
+		got, err := NewDeltaDecoder(bytes.NewReader(buf.Bytes())).Next()
+		if err != nil {
+			t.Fatalf("re-decode of encoded delta failed: %v", err)
+		}
+		a, _ := json.Marshal(d)
+		b, _ := json.Marshal(got)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("round trip changed the delta:\n in: %s\nout: %s", a, b)
+		}
+		if _, err := NewDeltaDecoder(bytes.NewReader(buf.Bytes())).Next(); err == io.EOF {
+			t.Fatal("decoder returned EOF for a non-empty stream")
+		}
+	})
+}
+
+// FuzzSpecRoundTrip covers the network spec surface the watch mode loads its
+// initial network from.
+func FuzzSpecRoundTrip(f *testing.F) {
+	f.Add([]byte(`{"hosts":[{"id":"a","services":["os"],"choices":{"os":["p1"]}}],"links":[]}`))
+	f.Add([]byte(`{"hosts":[{"id":"a","services":["os"],"choices":{"os":["p1"]}},{"id":"b","services":["os"],"choices":{"os":["p1","p2"]}}],"links":[{"a":"a","b":"b"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, cs, err := ReadSpec(bytes.NewReader(data))
+		if err != nil {
+			return // malformed specs must error, not panic
+		}
+		var buf bytes.Buffer
+		if err := WriteSpec(&buf, net, cs); err != nil {
+			t.Fatalf("valid network failed to encode: %v", err)
+		}
+		net2, _, err := ReadSpec(&buf)
+		if err != nil {
+			t.Fatalf("re-decode of encoded spec failed: %v", err)
+		}
+		if net.NumHosts() != net2.NumHosts() || net.NumLinks() != net2.NumLinks() {
+			t.Fatalf("round trip changed the network: %d/%d hosts, %d/%d links",
+				net.NumHosts(), net2.NumHosts(), net.NumLinks(), net2.NumLinks())
+		}
+	})
+}

@@ -35,33 +35,52 @@ type FixedSpec struct {
 	Product ProductID `json:"product"`
 }
 
+// SpecOfHost converts a host into its JSON form (deep copies throughout).
+func SpecOfHost(h *Host) HostSpec {
+	hs := HostSpec{
+		ID:       h.ID,
+		Zone:     h.Zone,
+		Role:     h.Role,
+		Legacy:   h.Legacy,
+		Services: append([]ServiceID(nil), h.Services...),
+		Choices:  make(map[ServiceID][]ProductID, len(h.Choices)),
+	}
+	for s, ps := range h.Choices {
+		hs.Choices[s] = append([]ProductID(nil), ps...)
+	}
+	if len(h.Preference) > 0 {
+		hs.Preference = make(map[ServiceID]map[ProductID]float64, len(h.Preference))
+		for s, m := range h.Preference {
+			mm := make(map[ProductID]float64, len(m))
+			for p, v := range m {
+				mm[p] = v
+			}
+			hs.Preference[s] = mm
+		}
+	}
+	return hs
+}
+
+// Host converts the JSON form back into a host.  The result shares the
+// spec's slices and maps; Network.AddHost deep-copies on insertion.
+func (hs HostSpec) Host() *Host {
+	return &Host{
+		ID:         hs.ID,
+		Zone:       hs.Zone,
+		Role:       hs.Role,
+		Legacy:     hs.Legacy,
+		Services:   hs.Services,
+		Choices:    hs.Choices,
+		Preference: hs.Preference,
+	}
+}
+
 // ToSpec converts a network and optional constraint set into a Spec.
 func ToSpec(n *Network, cs *ConstraintSet) Spec {
 	spec := Spec{}
 	for _, id := range n.Hosts() {
 		h, _ := n.Host(id)
-		hs := HostSpec{
-			ID:       h.ID,
-			Zone:     h.Zone,
-			Role:     h.Role,
-			Legacy:   h.Legacy,
-			Services: append([]ServiceID(nil), h.Services...),
-			Choices:  make(map[ServiceID][]ProductID, len(h.Choices)),
-		}
-		for s, ps := range h.Choices {
-			hs.Choices[s] = append([]ProductID(nil), ps...)
-		}
-		if len(h.Preference) > 0 {
-			hs.Preference = make(map[ServiceID]map[ProductID]float64, len(h.Preference))
-			for s, m := range h.Preference {
-				mm := make(map[ProductID]float64, len(m))
-				for p, v := range m {
-					mm[p] = v
-				}
-				hs.Preference[s] = mm
-			}
-		}
-		spec.Hosts = append(spec.Hosts, hs)
+		spec.Hosts = append(spec.Hosts, SpecOfHost(h))
 	}
 	spec.Links = n.Links()
 	if cs != nil {
@@ -86,16 +105,7 @@ func FromSpec(spec Spec) (*Network, *ConstraintSet, error) {
 	n := New()
 	for i := range spec.Hosts {
 		hs := spec.Hosts[i]
-		h := &Host{
-			ID:         hs.ID,
-			Zone:       hs.Zone,
-			Role:       hs.Role,
-			Legacy:     hs.Legacy,
-			Services:   hs.Services,
-			Choices:    hs.Choices,
-			Preference: hs.Preference,
-		}
-		if err := n.AddHost(h); err != nil {
+		if err := n.AddHost(hs.Host()); err != nil {
 			return nil, nil, fmt.Errorf("netmodel: spec host %q: %w", hs.ID, err)
 		}
 	}

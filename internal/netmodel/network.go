@@ -123,6 +123,9 @@ type Network struct {
 	order []HostID
 	links map[Link]struct{}
 	adj   map[HostID]map[HostID]struct{}
+	// journal, when non-nil, records every mutation as a DeltaOp (see
+	// BeginJournal).
+	journal *Delta
 }
 
 // New creates an empty network.
@@ -143,6 +146,27 @@ var (
 	ErrNoCandidates  = errors.New("netmodel: service has no candidate products")
 )
 
+// validateServiceSet checks a host's service list and candidate products:
+// at least one service, no duplicate services, and at least one candidate
+// per service.  Shared by AddHost and UpdateHostServices so host validation
+// cannot drift between the construction and mutation paths.
+func validateServiceSet(id HostID, services []ServiceID, choices map[ServiceID][]ProductID) error {
+	if len(services) == 0 {
+		return fmt.Errorf("%w: %q", ErrNoServices, id)
+	}
+	seen := make(map[ServiceID]struct{}, len(services))
+	for _, s := range services {
+		if _, dup := seen[s]; dup {
+			return fmt.Errorf("netmodel: host %q lists service %q twice", id, s)
+		}
+		seen[s] = struct{}{}
+		if len(choices[s]) == 0 {
+			return fmt.Errorf("%w: host %q service %q", ErrNoCandidates, id, s)
+		}
+	}
+	return nil
+}
+
 // AddHost inserts a host into the network.  The host is deep-copied, so the
 // caller may reuse or modify the argument afterwards.
 func (n *Network) AddHost(h *Host) error {
@@ -152,22 +176,37 @@ func (n *Network) AddHost(h *Host) error {
 	if _, ok := n.hosts[h.ID]; ok {
 		return fmt.Errorf("%w: %q", ErrDuplicateHost, h.ID)
 	}
-	if len(h.Services) == 0 {
-		return fmt.Errorf("%w: %q", ErrNoServices, h.ID)
-	}
-	seen := make(map[ServiceID]struct{}, len(h.Services))
-	for _, s := range h.Services {
-		if _, dup := seen[s]; dup {
-			return fmt.Errorf("netmodel: host %q lists service %q twice", h.ID, s)
-		}
-		seen[s] = struct{}{}
-		if len(h.Choices[s]) == 0 {
-			return fmt.Errorf("%w: host %q service %q", ErrNoCandidates, h.ID, s)
-		}
+	if err := validateServiceSet(h.ID, h.Services, h.Choices); err != nil {
+		return err
 	}
 	n.hosts[h.ID] = h.Clone()
 	n.order = append(n.order, h.ID)
 	n.adj[h.ID] = make(map[HostID]struct{})
+	n.record(func() DeltaOp {
+		spec := SpecOfHost(n.hosts[h.ID])
+		return DeltaOp{Op: OpAddHost, Host: &spec}
+	})
+	return nil
+}
+
+// RemoveHost deletes a host and every link incident to it.
+func (n *Network) RemoveHost(id HostID) error {
+	if _, ok := n.hosts[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, id)
+	}
+	for nb := range n.adj[id] {
+		delete(n.adj[nb], id)
+		delete(n.links, Link{A: id, B: nb}.canonical())
+	}
+	delete(n.adj, id)
+	delete(n.hosts, id)
+	for i, hid := range n.order {
+		if hid == id {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+	n.record(func() DeltaOp { return DeltaOp{Op: OpRemoveHost, ID: id} })
 	return nil
 }
 
@@ -190,7 +229,85 @@ func (n *Network) AddLink(a, b HostID) error {
 	n.links[l] = struct{}{}
 	n.adj[a][b] = struct{}{}
 	n.adj[b][a] = struct{}{}
+	n.record(func() DeltaOp { return DeltaOp{Op: OpAddEdge, A: l.A, B: l.B} })
 	return nil
+}
+
+// AddEdge is AddLink under the mutation-API name used by deltas.
+func (n *Network) AddEdge(a, b HostID) error { return n.AddLink(a, b) }
+
+// RemoveEdge deletes the undirected link between two hosts.  Removing a link
+// that does not exist is a no-op (the hosts must still exist).
+func (n *Network) RemoveEdge(a, b HostID) error {
+	if _, ok := n.hosts[a]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, a)
+	}
+	if _, ok := n.hosts[b]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, b)
+	}
+	l := Link{A: a, B: b}.canonical()
+	if _, ok := n.links[l]; !ok {
+		return nil
+	}
+	delete(n.links, l)
+	delete(n.adj[a], b)
+	delete(n.adj[b], a)
+	n.record(func() DeltaOp { return DeltaOp{Op: OpRemoveEdge, A: l.A, B: l.B} })
+	return nil
+}
+
+// RemoveLink is RemoveEdge under the legacy link terminology.
+func (n *Network) RemoveLink(a, b HostID) error { return n.RemoveEdge(a, b) }
+
+// UpdateHostServices replaces a host's service set, candidate products and
+// preferences in one step (a "service upgrade" event).  The replacement is
+// validated like AddHost and deep-copied; passing a nil preference clears the
+// host's preferences.
+func (n *Network) UpdateHostServices(id HostID, services []ServiceID, choices map[ServiceID][]ProductID, pref map[ServiceID]map[ProductID]float64) error {
+	h, ok := n.hosts[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownHost, id)
+	}
+	if err := validateServiceSet(id, services, choices); err != nil {
+		return err
+	}
+	repl := &Host{ID: id, Services: services, Choices: choices, Preference: pref}
+	repl = repl.Clone() // deep-copy the caller's slices/maps
+	h.Services = repl.Services
+	h.Choices = repl.Choices
+	h.Preference = repl.Preference
+	n.record(func() DeltaOp {
+		spec := SpecOfHost(h)
+		return DeltaOp{Op: OpUpdateHostServices, ID: id,
+			Services: spec.Services, Choices: spec.Choices, Preference: spec.Preference}
+	})
+	return nil
+}
+
+// BeginJournal starts (or resets) mutation recording: every subsequent
+// AddHost/RemoveHost/AddEdge/RemoveEdge/UpdateHostServices is appended to an
+// internal Delta until TakeJournal is called.
+func (n *Network) BeginJournal() {
+	n.journal = &Delta{}
+}
+
+// TakeJournal returns the mutations recorded since BeginJournal and stops
+// recording.  It returns an empty delta when no journal was started.
+func (n *Network) TakeJournal() Delta {
+	if n.journal == nil {
+		return Delta{}
+	}
+	d := *n.journal
+	n.journal = nil
+	return d
+}
+
+// record appends a journal entry when recording is active.  The op is built
+// lazily so non-journaling mutations pay nothing.
+func (n *Network) record(op func() DeltaOp) {
+	if n.journal != nil {
+		n.journal.Ops = append(n.journal.Ops, op())
+	}
 }
 
 // Host returns the host with the given ID.  The returned pointer refers to

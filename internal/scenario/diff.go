@@ -45,6 +45,11 @@ const (
 	VerdictMissing Verdict = "missing"
 )
 
+// churnGapSlackPts is the absolute worsening (in percentage points) of a
+// churn cell's worst-step energy gap tolerated before the cell counts as a
+// regression: the incremental path is allowed noise, not a quality slide.
+const churnGapSlackPts = 1.0
+
 // CellDelta compares one cell across two reports.
 type CellDelta struct {
 	ID          string
@@ -53,6 +58,9 @@ type CellDelta struct {
 	Ratio       float64 // NewMS / OldMS; 0 when either side is absent
 	DeltaEnergy float64 // NewEnergy - OldEnergy
 	Verdict     Verdict
+	// ChurnNote explains a churn-metric regression (incremental wall-clock
+	// or energy-gap) that fired independently of the WallMS comparison.
+	ChurnNote string
 }
 
 // Diff is the cell-by-cell comparison of a run against a baseline.
@@ -123,6 +131,20 @@ func Compare(baseline, current *Report, opts DiffOptions) Diff {
 		default:
 			delta.Verdict = VerdictOK
 		}
+		// Churn cells additionally gate the incremental path itself: WallMS
+		// only covers the initial cold solve, so a Reoptimize slowdown or a
+		// quality slide must fail on its own metrics.
+		if delta.Verdict != VerdictError && old.Error == "" && old.ChurnSteps > 0 && cur.ChurnSteps > 0 {
+			switch {
+			case cur.ChurnIncrementalMS > old.ChurnIncrementalMS*(1+opts.Tolerance) &&
+				cur.ChurnIncrementalMS-old.ChurnIncrementalMS > opts.FloorMS:
+				delta.Verdict = VerdictRegression
+				delta.ChurnNote = fmt.Sprintf("churn incremental %.1fms -> %.1fms", old.ChurnIncrementalMS, cur.ChurnIncrementalMS)
+			case cur.ChurnEnergyGapPct > old.ChurnEnergyGapPct+churnGapSlackPts:
+				delta.Verdict = VerdictRegression
+				delta.ChurnNote = fmt.Sprintf("churn energy gap %.2f%% -> %.2f%%", old.ChurnEnergyGapPct, cur.ChurnEnergyGapPct)
+			}
+		}
 		d.Cells = append(d.Cells, delta)
 	}
 	for _, old := range baseline.Cells {
@@ -163,8 +185,12 @@ func (d Diff) Render() string {
 		case VerdictOK, VerdictRegression, VerdictImprovement:
 			energy = fmt.Sprintf("%.3f", c.DeltaEnergy)
 		}
+		verdict := string(c.Verdict)
+		if c.ChurnNote != "" {
+			verdict += " (" + c.ChurnNote + ")"
+		}
 		fmt.Fprintf(&b, "%-*s  %10s  %10s  %7s  %10s  %s\n",
-			idWidth, c.ID, old, cur, ratio, energy, c.Verdict)
+			idWidth, c.ID, old, cur, ratio, energy, verdict)
 	}
 	counts := d.Counts()
 	fmt.Fprintf(&b, "summary: %d regressions, %d errors, %d improvements, %d ok, %d new, %d missing\n",

@@ -150,3 +150,40 @@ func TestDiffRenderGolden(t *testing.T) {
 		t.Errorf("diff rendering drifted from the golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
+
+// TestCompareGatesChurnMetrics verifies that churn cells regress on their own
+// incremental metrics even when the initial-solve wall-clock is unchanged.
+func TestCompareGatesChurnMetrics(t *testing.T) {
+	base := &Report{SchemaVersion: SchemaVersion, Suite: "churn", Cells: []Measurement{
+		{ID: "c1", WallMS: 50, ChurnSteps: 5, ChurnIncrementalMS: 40, ChurnEnergyGapPct: -0.5},
+		{ID: "c2", WallMS: 50, ChurnSteps: 5, ChurnIncrementalMS: 40, ChurnEnergyGapPct: -0.5},
+		{ID: "c3", WallMS: 50, ChurnSteps: 5, ChurnIncrementalMS: 40, ChurnEnergyGapPct: -0.5},
+	}}
+	cur := &Report{SchemaVersion: SchemaVersion, Suite: "churn", Cells: []Measurement{
+		// c1: incremental path 3x slower, cold solve unchanged.
+		{ID: "c1", WallMS: 50, ChurnSteps: 5, ChurnIncrementalMS: 120, ChurnEnergyGapPct: -0.5},
+		// c2: quality slide beyond the slack.
+		{ID: "c2", WallMS: 50, ChurnSteps: 5, ChurnIncrementalMS: 40, ChurnEnergyGapPct: 1.2},
+		// c3: within tolerance on both.
+		{ID: "c3", WallMS: 50, ChurnSteps: 5, ChurnIncrementalMS: 43, ChurnEnergyGapPct: -0.4},
+	}}
+	d := Compare(base, cur, DiffOptions{})
+	verdicts := map[string]Verdict{}
+	notes := map[string]string{}
+	for _, c := range d.Cells {
+		verdicts[c.ID] = c.Verdict
+		notes[c.ID] = c.ChurnNote
+	}
+	if verdicts["c1"] != VerdictRegression || notes["c1"] == "" {
+		t.Fatalf("incremental slowdown not gated: %v %q", verdicts["c1"], notes["c1"])
+	}
+	if verdicts["c2"] != VerdictRegression || notes["c2"] == "" {
+		t.Fatalf("energy-gap slide not gated: %v %q", verdicts["c2"], notes["c2"])
+	}
+	if verdicts["c3"] != VerdictOK {
+		t.Fatalf("in-tolerance churn cell flagged: %v", verdicts["c3"])
+	}
+	if !d.HasRegressions() {
+		t.Fatal("diff reports no regressions")
+	}
+}

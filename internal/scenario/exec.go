@@ -49,6 +49,23 @@ type Measurement struct {
 	AllocObjects uint64  `json:"alloc_objects"`
 	AllocBytes   uint64  `json:"alloc_bytes"`
 
+	// Churn fields (present only on churn cells): the incremental engine's
+	// delta stream replay versus a from-scratch re-solve after every step.
+	// ChurnSteps counts the replayed deltas; ChurnIncrementalMS and
+	// ChurnFullMS are the summed wall-clocks of the two paths;
+	// ChurnSpeedup = ChurnFullMS / ChurnIncrementalMS; ChurnEnergyGapPct is
+	// the worst per-step energy gap of incremental over full in percent
+	// (negative when the incremental path won); ChurnChangedFrac is the mean
+	// fraction of surviving hosts whose assignment changed per step
+	// (assignment stability).
+	Churn              string  `json:"churn,omitempty"`
+	ChurnSteps         int     `json:"churn_steps,omitempty"`
+	ChurnIncrementalMS float64 `json:"churn_incremental_ms,omitempty"`
+	ChurnFullMS        float64 `json:"churn_full_ms,omitempty"`
+	ChurnSpeedup       float64 `json:"churn_speedup,omitempty"`
+	ChurnEnergyGapPct  float64 `json:"churn_energy_gap_pct,omitempty"`
+	ChurnChangedFrac   float64 `json:"churn_changed_frac,omitempty"`
+
 	// TimedOut and Error record a cell that did not complete; its metric
 	// fields are zero.
 	TimedOut bool   `json:"timed_out,omitempty"`
@@ -118,12 +135,9 @@ func Exec(ctx context.Context, net *netmodel.Network, sim *vulnsim.SimilarityTab
 		// single worker.
 		opts.Workers = c.Parts
 	}
-	opt, err := core.NewOptimizer(net, sim, opts)
-	if err != nil {
-		return Outcome{Measurement: meta}, err
-	}
 
 	var (
+		opt     *core.Optimizer
 		res     core.Result
 		memPre  runtime.MemStats
 		memPost runtime.MemStats
@@ -132,6 +146,13 @@ func Exec(ctx context.Context, net *netmodel.Network, sim *vulnsim.SimilarityTab
 	runtime.ReadMemStats(&memPre)
 	for r := 0; r < repeats; r++ {
 		start := time.Now()
+		// A fresh optimiser per repeat keeps the measurement a true cold
+		// build + solve: the engine caches the built MRF across solves, so
+		// reusing one optimiser would time only the solve after repeat 0.
+		opt, err = core.NewOptimizer(net, sim, opts)
+		if err != nil {
+			return Outcome{Measurement: meta}, err
+		}
 		if c.Parts > 1 {
 			pres, perr := opt.OptimizeParallel(ctx, c.Parts)
 			err = perr
@@ -178,6 +199,30 @@ func Exec(ctx context.Context, net *netmodel.Network, sim *vulnsim.SimilarityTab
 	}
 	meta.MTTC = atk.MTTC
 	meta.PCompromise = atk.PCompromise
+
+	if !c.Churn.None() {
+		// The churn phase mutates the cell's network in place through the
+		// incremental optimiser (callers passing their own network should
+		// hand Exec a clone when they need it unchanged afterwards).
+		deltas, err := GenerateChurn(net, c)
+		if err != nil {
+			return Outcome{Measurement: meta}, err
+		}
+		cm, err := runChurn(ctx, opt, net, sim, deltas, opts)
+		if err != nil {
+			meta.TimedOut = errors.Is(err, context.DeadlineExceeded)
+			return Outcome{Measurement: meta}, err
+		}
+		meta.Churn = c.Churn.String()
+		meta.ChurnSteps = cm.steps
+		meta.ChurnIncrementalMS = cm.incrementalMS
+		meta.ChurnFullMS = cm.fullMS
+		if cm.incrementalMS > 0 {
+			meta.ChurnSpeedup = cm.fullMS / cm.incrementalMS
+		}
+		meta.ChurnEnergyGapPct = cm.maxGapPct
+		meta.ChurnChangedFrac = cm.changedFrac
+	}
 
 	return Outcome{
 		Measurement:   meta,

@@ -25,6 +25,7 @@ type MatrixInfo struct {
 	Products         int      `json:"products_per_service"`
 	Solvers          []string `json:"solvers"`
 	Attacks          []string `json:"attacks"`
+	Churns           []string `json:"churns,omitempty"`
 	MaxIterations    int      `json:"max_iterations"`
 	Seed             int64    `json:"seed"`
 	TimeoutMS        int64    `json:"timeout_ms,omitempty"`
@@ -85,6 +86,7 @@ func NewReport(m Matrix) *Report {
 			Products:         m.ProductsPerService,
 			Solvers:          m.Solvers,
 			Attacks:          m.Attacks,
+			Churns:           churnInfo(m.Churns),
 			MaxIterations:    m.MaxIterations,
 			Seed:             m.Seed,
 			TimeoutMS:        int64(m.Timeout / time.Millisecond),
@@ -103,6 +105,16 @@ func NewReport(m Matrix) *Report {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		},
 	}
+}
+
+// churnInfo normalises the churn axis for report metadata: the default
+// {none} axis is recorded as absent so pre-churn reports and new churn-free
+// reports carry identical matrix metadata.
+func churnInfo(churns []string) []string {
+	if len(churns) == 1 && churns[0] == "none" {
+		return nil
+	}
+	return churns
 }
 
 // Validate checks the structural invariants of a report: matching schema

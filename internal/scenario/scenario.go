@@ -60,6 +60,12 @@ type Matrix struct {
 	Solvers []string
 	// Attacks is the attack-model axis (see ParseAttack).  Default {none}.
 	Attacks []string
+	// Churns is the churn axis (see ParseChurn): each non-"none" value
+	// replays a deterministic delta stream through the incremental
+	// re-optimisation engine after the initial solve and measures
+	// incremental-vs-full re-solve cost, energy gap and assignment
+	// stability.  Default {none}.
+	Churns []string
 	// MaxIterations bounds the solver iterations per cell.  Default 20.
 	MaxIterations int
 	// Seed is the base seed; every cell derives its own seed from it and the
@@ -113,6 +119,9 @@ func (m Matrix) withDefaults() Matrix {
 	if len(m.Attacks) == 0 {
 		m.Attacks = []string{AttackNone.String()}
 	}
+	if len(m.Churns) == 0 {
+		m.Churns = []string{"none"}
+	}
 	if m.MaxIterations <= 0 {
 		m.MaxIterations = 20
 	}
@@ -148,6 +157,9 @@ type Cell struct {
 	// Solver and Attack select the algorithm and the attack model.
 	Solver string
 	Attack Attack
+	// Churn selects the delta stream replayed after the initial solve (the
+	// zero value / "none" disables churn).
+	Churn ChurnSpec
 	// Seed is the cell's derived seed.
 	Seed int64
 	// MaxIterations, Parts, DisableWarmStart, AttackRuns, Repeats and
@@ -167,9 +179,15 @@ type Cell struct {
 	SolverWorkers int
 }
 
-// cellID renders the stable identifier of a cell.
-func cellID(topology string, hosts, degree, services int, solver, attack string) string {
-	return fmt.Sprintf("%s/h%d/d%d/s%d/%s/%s", topology, hosts, degree, services, solver, attack)
+// cellID renders the stable identifier of a cell.  Churn-free cells keep the
+// historical six-segment form so baselines recorded before the churn axis
+// existed still match.
+func cellID(topology string, hosts, degree, services int, solver, attack, churn string) string {
+	id := fmt.Sprintf("%s/h%d/d%d/s%d/%s/%s", topology, hosts, degree, services, solver, attack)
+	if churn != "" && churn != "none" {
+		id += "/" + churn
+	}
+	return id
 }
 
 // cellSeed derives a per-cell seed from the base seed and the cell ID, so
@@ -212,6 +230,14 @@ func Expand(m Matrix) ([]Cell, error) {
 		}
 		attacks[i] = parsed
 	}
+	churns := make([]ChurnSpec, len(m.Churns))
+	for i, c := range m.Churns {
+		parsed, err := ParseChurn(c)
+		if err != nil {
+			return nil, err
+		}
+		churns[i] = parsed
+	}
 
 	var cells []Cell
 	for _, topo := range m.Topologies {
@@ -220,26 +246,29 @@ func Expand(m Matrix) ([]Cell, error) {
 				for _, services := range m.Services {
 					for _, solver := range m.Solvers {
 						for _, attack := range attacks {
-							id := cellID(topo, hosts, degree, services, solver, attack.String())
-							cells = append(cells, Cell{
-								Index:              len(cells),
-								ID:                 id,
-								Topology:           topo,
-								Hosts:              hosts,
-								Degree:             degree,
-								Services:           services,
-								ProductsPerService: m.ProductsPerService,
-								Solver:             solver,
-								Attack:             attack,
-								Seed:               cellSeed(m.Seed, id),
-								MaxIterations:      m.MaxIterations,
-								Parts:              m.Parts,
-								DisableWarmStart:   m.DisableWarmStart,
-								AttackRuns:         m.AttackRuns,
-								Repeats:            m.Repeats,
-								Timeout:            m.Timeout,
-								SolverWorkers:      m.SolverWorkers,
-							})
+							for _, churn := range churns {
+								id := cellID(topo, hosts, degree, services, solver, attack.String(), churn.String())
+								cells = append(cells, Cell{
+									Index:              len(cells),
+									ID:                 id,
+									Topology:           topo,
+									Hosts:              hosts,
+									Degree:             degree,
+									Services:           services,
+									ProductsPerService: m.ProductsPerService,
+									Solver:             solver,
+									Attack:             attack,
+									Churn:              churn,
+									Seed:               cellSeed(m.Seed, id),
+									MaxIterations:      m.MaxIterations,
+									Parts:              m.Parts,
+									DisableWarmStart:   m.DisableWarmStart,
+									AttackRuns:         m.AttackRuns,
+									Repeats:            m.Repeats,
+									Timeout:            m.Timeout,
+									SolverWorkers:      m.SolverWorkers,
+								})
+							}
 						}
 					}
 				}

@@ -69,6 +69,28 @@ func suites() map[string]func() Matrix {
 				Repeats:       1,
 			}
 		},
+		// churn measures the incremental re-optimisation engine: every cell
+		// replays a deterministic delta stream (host joins/leaves, service
+		// upgrades) through ApplyDelta + Reoptimize and re-solves the mutated
+		// network from scratch after each step for comparison.  The headline
+		// cell is uniform/h1000 trws at 5% host churn: incremental must stay
+		// within ~1% of the full re-solve energy at a multiple of its speed.
+		"churn": func() Matrix {
+			return Matrix{
+				Name:          "churn",
+				Topologies:    []string{TopoUniform},
+				Hosts:         []int{200, 1000},
+				Degrees:       []int{8},
+				Services:      []int{3},
+				Solvers:       []string{"trws", "icm"},
+				Attacks:       []string{"none"},
+				Churns:        []string{"hosts5", "mixed10"},
+				MaxIterations: 40,
+				Seed:          42,
+				Timeout:       3 * time.Minute,
+				Repeats:       1,
+			}
+		},
 		// pipeline measures the partitioned parallel pipeline against the
 		// sequential path on the largest size.
 		"pipeline": func() Matrix {

@@ -11,6 +11,7 @@ package solve
 import (
 	"context"
 	"errors"
+	"fmt"
 
 	"netdiversity/internal/mrf"
 )
@@ -54,6 +55,15 @@ type Options struct {
 	// InitialLabels optionally warm-starts the solver: the driver seeds its
 	// best labeling with it and local-search kernels descend from it.
 	InitialLabels []int
+	// DirtyMask marks the nodes whose neighbourhood changed since
+	// InitialLabels was a (near-)optimal labeling.  When set alongside
+	// InitialLabels and the kernel implements WarmKernel, the driver hands
+	// both to the kernel after Init: the kernel then schedules dirty nodes
+	// first and keeps untouched regions frozen at the prior labeling, so a
+	// re-solve after a small delta converges in O(dirty) work per sweep
+	// instead of O(nodes).  Kernels without warm support simply run a full
+	// warm-started solve.  nil means a cold/full solve.
+	DirtyMask []bool
 }
 
 // WithDefaults fills the zero values shared by every kernel.
@@ -118,6 +128,18 @@ type OptionDefaulter interface {
 	Defaults(opts Options) Options
 }
 
+// WarmKernel is the optional capability a kernel implements to support
+// incremental re-solves: WarmStart is called once after Init with a prior
+// labeling and the dirty mask (true = this node's neighbourhood changed).
+// The kernel must then treat unmarked nodes as frozen at the prior labeling
+// until one of their neighbours changes label (the dirty frontier may grow),
+// and its decoded labelings must keep the prior label for every node it has
+// not reconsidered.
+type WarmKernel interface {
+	Kernel
+	WarmStart(labels []int, dirty []bool) error
+}
+
 // Run drives a kernel to completion: it owns validation, warm starts,
 // best-labeling tracking, the tolerance/patience convergence rule, the
 // energy history and context cancellation.  On cancellation it returns the
@@ -136,15 +158,39 @@ func Run(ctx context.Context, g *mrf.Graph, opts Options, k Kernel) (mrf.Solutio
 	if err := k.Init(g, opts); err != nil {
 		return mrf.Solution{}, err
 	}
+	warmed := false
+	if opts.DirtyMask != nil {
+		if len(opts.DirtyMask) != g.NumNodes() {
+			return mrf.Solution{}, fmt.Errorf("solve: dirty mask has %d entries, want %d", len(opts.DirtyMask), g.NumNodes())
+		}
+		if len(opts.InitialLabels) != g.NumNodes() {
+			return mrf.Solution{}, fmt.Errorf("solve: dirty mask requires initial labels for all %d nodes", g.NumNodes())
+		}
+		if wk, ok := k.(WarmKernel); ok {
+			if err := wk.WarmStart(opts.InitialLabels, opts.DirtyMask); err != nil {
+				return mrf.Solution{}, err
+			}
+			warmed = true
+		}
+	}
 
-	best := g.GreedyLabeling()
+	var best []int
+	if warmed {
+		// Incremental mode: the prior labeling is the only admissible seed —
+		// falling back to the greedy-unary baseline could return a labeling
+		// that moves frozen (clean) regions, breaking the WarmKernel
+		// contract that untouched nodes keep their prior label.
+		best = append([]int(nil), opts.InitialLabels...)
+	} else {
+		best = g.GreedyLabeling()
+	}
 	bestEnergy := g.MustEnergy(best)
-	// Patience tracks the kernel's progress against the greedy-unary
-	// baseline, not against the warm start: a strong warm start must not
-	// starve a message-passing kernel of its first Patience iterations
-	// while its decoded energy is still catching up from above.
+	// Patience tracks the kernel's progress against the starting baseline,
+	// not against a stronger warm start: a strong warm start must not starve
+	// a message-passing kernel of its first Patience iterations while its
+	// decoded energy is still catching up from above.
 	kernelBest := bestEnergy
-	if len(opts.InitialLabels) == g.NumNodes() {
+	if !warmed && len(opts.InitialLabels) == g.NumNodes() {
 		if e, err := g.Energy(opts.InitialLabels); err == nil && e < bestEnergy {
 			copy(best, opts.InitialLabels)
 			bestEnergy = e

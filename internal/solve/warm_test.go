@@ -1,0 +1,122 @@
+package solve_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"netdiversity/internal/mrf"
+	"netdiversity/internal/solve"
+)
+
+// warmGraph builds a moderately sized random MRF and a cold solution for it.
+func warmGraph(t *testing.T, seed int64) (*mrf.Graph, map[string]mrf.Solution) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := randomGraph(t, rng, 60, 4)
+	cold := make(map[string]mrf.Solution)
+	for _, name := range solve.Names() {
+		sol, err := solve.Solve(context.Background(), name, g, solve.Options{MaxIterations: 30, Seed: 7})
+		if err != nil {
+			t.Fatalf("cold %s: %v", name, err)
+		}
+		cold[name] = sol
+	}
+	return g, cold
+}
+
+// TestWarmSolveAfterUnaryPerturbation perturbs one node's unary costs and
+// re-solves warm with a dirty mask.  The warm solution must (a) be at least
+// as good as the stale prior labeling on the new energy, and (b) track the
+// quality of a cold re-solve.
+func TestWarmSolveAfterUnaryPerturbation(t *testing.T) {
+	g, cold := warmGraph(t, 11)
+	// Perturb: make node 5's current best label expensive.
+	prior := cold["trws"].Labels
+	if err := g.SetUnary(5, prior[5], 50); err != nil {
+		t.Fatal(err)
+	}
+	dirty := make([]bool, g.NumNodes())
+	dirty[5] = true
+	for _, e := range g.IncidentEdges(5) {
+		u, v := g.EdgeEndpoints(e)
+		dirty[u], dirty[v] = true, true
+	}
+	for _, name := range solve.Names() {
+		priorLabels := append([]int(nil), cold[name].Labels...)
+		priorEnergy := g.MustEnergy(priorLabels)
+		coldSol, err := solve.Solve(context.Background(), name, g, solve.Options{MaxIterations: 30, Seed: 7})
+		if err != nil {
+			t.Fatalf("cold re-solve %s: %v", name, err)
+		}
+		warmSol, err := solve.Solve(context.Background(), name, g, solve.Options{
+			MaxIterations: 30,
+			Seed:          7,
+			InitialLabels: priorLabels,
+			DirtyMask:     dirty,
+		})
+		if err != nil {
+			t.Fatalf("warm %s: %v", name, err)
+		}
+		if got := g.MustEnergy(warmSol.Labels); got != warmSol.Energy {
+			t.Errorf("%s: reported energy %v does not match labels (%v)", name, warmSol.Energy, got)
+		}
+		if warmSol.Energy > priorEnergy+1e-9 {
+			t.Errorf("%s: warm energy %v worse than the stale prior %v", name, warmSol.Energy, priorEnergy)
+		}
+		// The warm solve repairs the perturbation: it must not be far off the
+		// cold re-solve (local search can differ slightly on this random
+		// instance, but an unrepaired prior would be ~50 worse).
+		if warmSol.Energy > coldSol.Energy+5 {
+			t.Errorf("%s: warm energy %v far from cold re-solve %v", name, warmSol.Energy, coldSol.Energy)
+		}
+	}
+}
+
+// TestWarmSolveEmptyDirtyMaskKeepsPrior verifies that a warm solve with an
+// all-clean mask returns the prior labeling unchanged for the warm-capable
+// kernels (nothing is dirty, so nothing may move).
+func TestWarmSolveEmptyDirtyMaskKeepsPrior(t *testing.T) {
+	g, cold := warmGraph(t, 13)
+	dirty := make([]bool, g.NumNodes())
+	for _, name := range solve.Names() {
+		prior := append([]int(nil), cold[name].Labels...)
+		sol, err := solve.Solve(context.Background(), name, g, solve.Options{
+			MaxIterations: 10,
+			Seed:          7,
+			InitialLabels: prior,
+			DirtyMask:     dirty,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, l := range sol.Labels {
+			if l != prior[i] {
+				t.Errorf("%s: node %d moved from %d to %d with an all-clean mask", name, i, prior[i], l)
+				break
+			}
+		}
+	}
+}
+
+// TestWarmSolveDirtyMaskValidation covers the driver's mask validation.
+func TestWarmSolveDirtyMaskValidation(t *testing.T) {
+	g, cold := warmGraph(t, 17)
+	if _, err := solve.Solve(context.Background(), "trws", g, solve.Options{
+		DirtyMask: make([]bool, 3),
+	}); err == nil {
+		t.Error("short dirty mask accepted")
+	}
+	if _, err := solve.Solve(context.Background(), "trws", g, solve.Options{
+		DirtyMask: make([]bool, g.NumNodes()),
+	}); err == nil {
+		t.Error("dirty mask without initial labels accepted")
+	}
+	ok := solve.Options{
+		DirtyMask:     make([]bool, g.NumNodes()),
+		InitialLabels: cold["trws"].Labels,
+	}
+	if _, err := solve.Solve(context.Background(), "trws", g, ok); err != nil {
+		t.Errorf("valid mask rejected: %v", err)
+	}
+}

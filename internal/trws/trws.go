@@ -13,6 +13,7 @@ package trws
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sync"
 
@@ -80,6 +81,14 @@ type Kernel struct {
 	// scratch buffer reused across passes.
 	aggBuf []float64
 
+	// Warm-start state (see WarmStart): passes visit only active nodes, the
+	// MRF is conditioned on the prior labels of the inactive boundary, and
+	// the active set grows wherever the decoded labeling diverges from the
+	// prior.
+	warm   bool
+	prior  []int
+	active []bool
+
 	iter int
 }
 
@@ -120,6 +129,25 @@ func (k *Kernel) Init(g *mrf.Graph, opts solve.Options) error {
 		k.gamma[i] = 1 / float64(d)
 	}
 	k.aggBuf = make([]float64, g.MaxLabels())
+	k.warm = false
+	k.prior = nil
+	k.active = nil
+	return nil
+}
+
+// WarmStart switches the kernel to incremental mode (solve.WarmKernel).
+// Message passing runs only over the active (dirty) region; every inactive
+// node is treated as fixed at its prior label, so the active region solves
+// the original MRF conditioned on the unchanged boundary.  When a decoded
+// label diverges from the prior, the node's neighbours activate and the
+// frontier grows — untouched regions are never swept.
+func (k *Kernel) WarmStart(labels []int, dirty []bool) error {
+	if len(labels) != k.n || len(dirty) != k.n {
+		return fmt.Errorf("trws: warm start needs %d labels and dirty flags", k.n)
+	}
+	k.prior = append([]int(nil), labels...)
+	k.active = append([]bool(nil), dirty...)
+	k.warm = true
 	return nil
 }
 
@@ -128,8 +156,21 @@ func (k *Kernel) Step() solve.Step {
 	k.pass(true)
 	k.pass(false)
 	k.iter++
+	labels := k.decode()
+	if k.warm {
+		// Grow the dirty frontier where the decode moved off the prior
+		// labeling, then absorb the decode as the new conditioning boundary.
+		for node := 0; node < k.n; node++ {
+			if k.active[node] && labels[node] != k.prior[node] {
+				for _, he := range k.incident(node) {
+					k.active[he.Other] = true
+				}
+			}
+		}
+		copy(k.prior, labels)
+	}
 	return solve.Step{
-		Labels:    k.decode(),
+		Labels:    labels,
 		Exhausted: k.iter >= k.opts.MaxIterations,
 	}
 }
@@ -161,15 +202,37 @@ func (k *Kernel) outMessage(he solve.HalfEdge) []float64 {
 func (k *Kernel) edgeU(e int) int { u, _ := k.g.EdgeEndpoints(e); return u }
 func (k *Kernel) edgeV(e int) int { _, v := k.g.EdgeEndpoints(e); return v }
 
-// aggregate computes a_i(x) = φ_i(x) + Σ_j m_{j→i}(x) into dst.
+// aggregate computes a_i(x) = φ_i(x) + Σ_j m_{j→i}(x) into dst.  In warm
+// mode the message from an inactive neighbour is replaced by the pairwise
+// cost row at that neighbour's frozen prior label — the MRF conditioned on
+// the unchanged boundary.
 func (k *Kernel) aggregate(node int, dst []float64) {
 	copy(dst, k.g.UnaryView(node))
+	kn := k.counts[node]
 	for _, he := range k.incident(node) {
+		if k.warm && !k.active[he.Other] {
+			row := k.boundaryRow(he)
+			for x := 0; x < kn; x++ {
+				dst[x] += row[x]
+			}
+			continue
+		}
 		in := k.inMessage(he)
-		for x := range dst[:k.counts[node]] {
+		for x := 0; x < kn; x++ {
 			dst[x] += in[x]
 		}
 	}
+}
+
+// boundaryRow returns the pairwise cost toward the half edge's node for the
+// opposite endpoint frozen at its prior label.
+func (k *Kernel) boundaryRow(he solve.HalfEdge) []float64 {
+	fixed := k.prior[he.Other]
+	if he.IsU {
+		// cost[x][fixed] over this node's labels x = row of the transpose.
+		return k.g.EdgeMatT(int(he.Edge)).Row(fixed)
+	}
+	return k.g.EdgeMat(int(he.Edge)).Row(fixed)
 }
 
 // updateMessage recomputes the message from `node` to `he.Other`:
@@ -221,9 +284,15 @@ func (k *Kernel) pass(forward bool) {
 		if !forward {
 			node = k.n - 1 - idx
 		}
+		if k.warm && !k.active[node] {
+			continue
+		}
 		k.aggregate(node, agg)
 		targets = targets[:0]
 		for _, he := range k.incident(node) {
+			if k.warm && !k.active[he.Other] {
+				continue // frozen boundary: it reads conditioning rows, not messages
+			}
 			if (forward && int(he.Other) > node) || (!forward && int(he.Other) < node) {
 				targets = append(targets, he)
 			}
@@ -271,19 +340,28 @@ func (k *Kernel) updateParallel(node int, targets []solve.HalfEdge, agg []float6
 // decode extracts a primal labeling: nodes are visited in order and each
 // picks the label minimising its unary cost plus the pairwise cost toward
 // already-fixed lower neighbours plus the incoming messages from
-// higher-indexed neighbours.
+// higher-indexed neighbours.  In warm mode inactive nodes keep their prior
+// label and active nodes condition on the frozen boundary.
 func (k *Kernel) decode() []int {
 	labels := make([]int, k.n)
+	if k.warm {
+		copy(labels, k.prior)
+	}
 	cost := make([]float64, 0, 64)
 	for node := 0; node < k.n; node++ {
+		if k.warm && !k.active[node] {
+			continue
+		}
 		kn := k.counts[node]
 		cost = cost[:0]
 		cost = append(cost, k.g.UnaryView(node)...)
 		for _, he := range k.incident(node) {
-			if int(he.Other) < node {
+			if int(he.Other) < node || (k.warm && !k.active[he.Other]) {
+				// Lower neighbours are already decoded this pass; inactive
+				// neighbours are frozen at their prior label (labels[] holds
+				// both).  Orient the matrix so the fixed label picks a
+				// contiguous row.
 				fixed := labels[he.Other]
-				// Cost toward the fixed lower neighbour: orient the matrix
-				// so the fixed label picks a contiguous row.
 				var row []float64
 				if he.IsU {
 					row = k.g.EdgeMatT(int(he.Edge)).Row(fixed)
