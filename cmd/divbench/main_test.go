@@ -55,9 +55,22 @@ func TestQuickSuiteWritesSchemaValidReport(t *testing.T) {
 	if len(rep.Failed()) != 0 {
 		t.Errorf("quick suite has failed cells: %+v", rep.Failed())
 	}
-	// 2 topologies x 2 sizes x 4 solvers x 1 attack.
-	if len(rep.Cells) != 16 {
-		t.Errorf("quick suite has %d cells, want 16", len(rep.Cells))
+	// 2 topologies x 2 sizes x 4 solvers x 2 attacks (the analytic recon
+	// estimate plus the Monte-Carlo full-knowledge attacker).
+	if len(rep.Cells) != 32 {
+		t.Errorf("quick suite has %d cells, want 32", len(rep.Cells))
+	}
+	mc := 0
+	for _, c := range rep.Cells {
+		if c.Attack == "adv-full" {
+			if c.MCRunsPerSec <= 0 {
+				t.Errorf("cell %s has no Monte-Carlo throughput measurement", c.ID)
+			}
+			mc++
+		}
+	}
+	if mc != 16 {
+		t.Errorf("quick suite has %d Monte-Carlo cells, want 16", mc)
 	}
 	if rep.Env.GoVersion == "" || rep.Env.NumCPU <= 0 {
 		t.Errorf("environment info incomplete: %+v", rep.Env)

@@ -18,15 +18,22 @@
 // The success probability of an individual exploitation attempt is the same
 // similarity-boosted model used everywhere else in the library:
 // P_avg + (1-P_avg)·sim(p_src, p_dst).
+//
+// Campaigns execute on the compiled attack engine of internal/attacksim: the
+// knowledge level is lowered to a per-arc collapse at compile time (each
+// attacker's service choice is a deterministic function of the arc — or, for
+// the blind attacker, a uniform mixture whose per-attempt success is exactly
+// the mean probability), so every level reuses the same CSR campaign with a
+// knowledge-specific probability mask and no per-tick service selection or
+// sorting remains in the run loop.
 package adversary
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
-	"sort"
 
+	"netdiversity/internal/attacksim"
 	"netdiversity/internal/netmodel"
 	"netdiversity/internal/vulnsim"
 )
@@ -80,6 +87,12 @@ type Config struct {
 	MaxTicks int
 	// Seed makes the campaign deterministic.
 	Seed int64
+	// Mode selects the compiled engine (tick by default; event mode is
+	// statistically equivalent and faster on hardened networks).
+	Mode attacksim.Mode
+	// Workers sizes the batched Monte-Carlo worker pool (default 1; results
+	// are identical for every worker count).
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,18 +109,6 @@ func (c Config) withDefaults() Config {
 		c.MaxTicks = 500
 	}
 	return c
-}
-
-func (c Config) allowsService(s netmodel.ServiceID) bool {
-	if len(c.ExploitServices) == 0 {
-		return true
-	}
-	for _, e := range c.ExploitServices {
-		if e == s {
-			return true
-		}
-	}
-	return false
 }
 
 // Result summarises a campaign under one knowledge level.
@@ -178,73 +179,86 @@ func productPopularity(net *netmodel.Network, a *netmodel.Assignment) map[netmod
 	return out
 }
 
-// successProb is the real probability that exploiting service s from src
-// compromises dst.
-func (e *Evaluator) successProb(cfg Config, src, dst netmodel.HostID, s netmodel.ServiceID) float64 {
-	pu, oku := e.a.Get(src, s)
-	pv, okv := e.a.Get(dst, s)
-	if !oku || !okv {
-		return 0
-	}
-	return cfg.PAvg + (1-cfg.PAvg)*e.sim.Sim(string(pu), string(pv))
-}
-
 // expectedProb is the partial-knowledge attacker's estimate: the expected
-// success probability of exploiting service s from src against a host drawn
-// from the population.
-func (e *Evaluator) expectedProb(cfg Config, src netmodel.HostID, s netmodel.ServiceID) float64 {
-	pu, ok := e.a.Get(src, s)
-	if !ok {
-		return 0
-	}
+// success probability of exploiting service s from a host running product pu
+// against a host drawn from the population.  It is evaluated at compile
+// time, once per (arc, service).
+func (e *Evaluator) expectedProb(pavg float64, pu netmodel.ProductID, s netmodel.ServiceID) float64 {
 	sum := 0.0
 	for p, share := range e.popularity[s] {
-		sum += share * (cfg.PAvg + (1-cfg.PAvg)*e.sim.Sim(string(pu), string(p)))
+		sum += share * (pavg + (1-pavg)*e.sim.Sim(string(pu), string(p)))
 	}
 	return sum
 }
 
-// chooseService returns the service the attacker exploits on the edge
-// src -> dst under the configured knowledge level, or false when no feasible
-// service exists.
-func (e *Evaluator) chooseService(cfg Config, rng *rand.Rand, src, dst netmodel.HostID) (netmodel.ServiceID, bool) {
-	var feasible []netmodel.ServiceID
-	for _, s := range e.net.SharedServices(src, dst) {
-		if !cfg.allowsService(s) {
-			continue
-		}
-		if _, ok := e.a.Get(dst, s); !ok {
-			continue
-		}
-		if _, ok := e.a.Get(src, s); !ok {
-			continue
-		}
-		feasible = append(feasible, s)
-	}
-	if len(feasible) == 0 {
-		return "", false
-	}
-	sort.Slice(feasible, func(i, j int) bool { return feasible[i] < feasible[j] })
+// collapse lowers the knowledge level to a compile-time per-arc reduction:
+//
+//   - KnowledgeFull picks the service with the highest actual success
+//     probability (max).
+//   - KnowledgeNone picks uniformly at random per attempt; a uniform mixture
+//     of Bernoulli attempts is a Bernoulli attempt with the mean probability,
+//     so the mean collapse is exact in distribution.
+//   - KnowledgePartial ranks the arc's services by the attacker's
+//     population-expected payoff — a function of the source host only, so it
+//     is constant per arc — and uses the actual probability of the winner.
+func (e *Evaluator) collapse(cfg Config) attacksim.CollapseFunc {
 	switch cfg.Knowledge {
 	case KnowledgeNone:
-		return feasible[rng.Intn(len(feasible))], true
+		return attacksim.CollapseMean
 	case KnowledgePartial:
-		best, bestV := feasible[0], -1.0
-		for _, s := range feasible {
-			if v := e.expectedProb(cfg, src, s); v > bestV {
-				best, bestV = s, v
+		// The expected payoff depends only on the (source product, service)
+		// pair, not on the arc, so it is memoised across the whole lowering
+		// (like the product-pair interning of the actual probabilities).
+		expected := make(map[netmodel.ServiceID]map[netmodel.ProductID]float64, len(e.popularity))
+		payoff := func(pu netmodel.ProductID, s netmodel.ServiceID) float64 {
+			byProduct, ok := expected[s]
+			if !ok {
+				byProduct = make(map[netmodel.ProductID]float64)
+				expected[s] = byProduct
 			}
+			v, ok := byProduct[pu]
+			if !ok {
+				v = e.expectedProb(cfg.PAvg, pu, s)
+				byProduct[pu] = v
+			}
+			return v
 		}
-		return best, true
+		return func(src, _ netmodel.HostID, services []netmodel.ServiceID, probs []float64) float64 {
+			best, bestV := 0, -1.0
+			for i, s := range services {
+				pu, ok := e.a.Get(src, s)
+				if !ok {
+					continue
+				}
+				if v := payoff(pu, s); v > bestV {
+					best, bestV = i, v
+				}
+			}
+			return probs[best]
+		}
 	default:
-		best, bestV := feasible[0], -1.0
-		for _, s := range feasible {
-			if v := e.successProb(cfg, src, dst, s); v > bestV {
-				best, bestV = s, v
-			}
-		}
-		return best, true
+		return attacksim.CollapseMax
 	}
+}
+
+// Compile lowers the campaign for one knowledge level onto the shared attack
+// engine.
+func (e *Evaluator) Compile(cfg Config) (*attacksim.Campaign, error) {
+	cfg = cfg.withDefaults()
+	c, err := attacksim.CompileCampaign(e.net, e.a, e.sim, attacksim.CompileConfig{
+		Entry:           cfg.Entry,
+		Target:          cfg.Target,
+		PAvg:            cfg.PAvg,
+		ExploitServices: cfg.ExploitServices,
+		Runs:            cfg.Runs,
+		MaxTicks:        cfg.MaxTicks,
+		Seed:            cfg.Seed,
+		Collapse:        e.collapse(cfg),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adversary: %w", err)
+	}
+	return c, nil
 }
 
 // Run executes the adversarial campaign.
@@ -255,61 +269,21 @@ func (e *Evaluator) Run(cfg Config) (Result, error) {
 // RunContext is Run with cancellation between simulation runs.
 func (e *Evaluator) RunContext(ctx context.Context, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	if _, ok := e.net.Host(cfg.Entry); !ok {
-		return Result{}, fmt.Errorf("adversary: unknown entry host %q", cfg.Entry)
+	c, err := e.Compile(cfg)
+	if err != nil {
+		return Result{}, err
 	}
-	if _, ok := e.net.Host(cfg.Target); !ok {
-		return Result{}, fmt.Errorf("adversary: unknown target host %q", cfg.Target)
+	res, err := c.RunBatch(ctx, attacksim.BatchOptions{Mode: cfg.Mode, Workers: cfg.Workers})
+	if err != nil {
+		return Result{}, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	res := Result{Knowledge: cfg.Knowledge, Runs: cfg.Runs}
-	totalTicks, totalInfected, successes := 0.0, 0, 0
-	for run := 0; run < cfg.Runs; run++ {
-		if err := ctx.Err(); err != nil {
-			return Result{}, err
-		}
-		ticks, infected, ok := e.singleRun(cfg, rng)
-		totalTicks += float64(ticks)
-		totalInfected += infected
-		if ok {
-			successes++
-		}
-	}
-	res.MTTC = totalTicks / float64(cfg.Runs)
-	res.SuccessRate = float64(successes) / float64(cfg.Runs)
-	res.MeanInfected = float64(totalInfected) / float64(cfg.Runs)
-	return res, nil
-}
-
-func (e *Evaluator) singleRun(cfg Config, rng *rand.Rand) (tick, infectedCount int, reached bool) {
-	infected := map[netmodel.HostID]bool{cfg.Entry: true}
-	if cfg.Entry == cfg.Target {
-		return 0, 1, true
-	}
-	for tick = 1; tick <= cfg.MaxTicks; tick++ {
-		var newly []netmodel.HostID
-		for host := range infected {
-			for _, nb := range e.net.Neighbors(host) {
-				if infected[nb] {
-					continue
-				}
-				svc, ok := e.chooseService(cfg, rng, host, nb)
-				if !ok {
-					continue
-				}
-				if rng.Float64() < e.successProb(cfg, host, nb, svc) {
-					newly = append(newly, nb)
-				}
-			}
-		}
-		for _, h := range newly {
-			infected[h] = true
-		}
-		if infected[cfg.Target] {
-			return tick, len(infected), true
-		}
-	}
-	return cfg.MaxTicks, len(infected), false
+	return Result{
+		Knowledge:    cfg.Knowledge,
+		MTTC:         res.MTTC,
+		SuccessRate:  res.SuccessRate,
+		MeanInfected: res.MeanInfected,
+		Runs:         res.Runs,
+	}, nil
 }
 
 // Compare evaluates the assignment under every knowledge level and returns

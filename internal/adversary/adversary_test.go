@@ -1,8 +1,10 @@
 package adversary
 
 import (
+	"math"
 	"testing"
 
+	"netdiversity/internal/attacksim"
 	"netdiversity/internal/baseline"
 	"netdiversity/internal/casestudy"
 	"netdiversity/internal/netmodel"
@@ -150,6 +152,61 @@ func TestDeterministicForSeed(t *testing.T) {
 	}
 	if r1.MTTC != r2.MTTC || r1.SuccessRate != r2.SuccessRate {
 		t.Errorf("same seed should reproduce results: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestWorkersDoNotChangeResults pins the batched pool's determinism at the
+// adversary level: the per-run seed derivation makes the worker count a pure
+// throughput knob (and gives the race detector a concurrent pool to watch).
+func TestWorkersDoNotChangeResults(t *testing.T) {
+	net, a, sim := diverseSetup(t)
+	e, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Levels() {
+		cfg := Config{Entry: "entry", Target: "target", Runs: 300, Seed: 17, Knowledge: k}
+		serial, err := e.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = 6
+		pooled, err := e.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != pooled {
+			t.Errorf("knowledge %s: pooled result %+v differs from serial %+v", k, pooled, serial)
+		}
+	}
+}
+
+// TestEventModeAgreesStatistically checks the event engine against tick mode
+// on the adversary campaigns (aggregate statistics; the engines consume
+// randomness differently).
+func TestEventModeAgreesStatistically(t *testing.T) {
+	net, a, sim := diverseSetup(t)
+	e, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Levels() {
+		cfg := Config{Entry: "entry", Target: "target", Runs: 1500, Seed: 23, Knowledge: k}
+		tick, err := e.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Mode = attacksim.ModeEvent
+		event, err := e.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(tick.MTTC-event.MTTC) / math.Max(tick.MTTC, 1); rel > 0.15 {
+			t.Errorf("knowledge %s: event MTTC %v deviates from tick %v", k, event.MTTC, tick.MTTC)
+		}
+		if math.Abs(tick.SuccessRate-event.SuccessRate) > 0.05 {
+			t.Errorf("knowledge %s: success rates diverged: %v vs %v", k, tick.SuccessRate, event.SuccessRate)
+		}
 	}
 }
 

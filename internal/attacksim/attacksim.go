@@ -9,14 +9,21 @@
 // compromised, averaged over many runs, is the Mean-Time-To-Compromise
 // (MTTC) reported in Table VI: more diverse assignments force the attacker to
 // spend more ticks.
+//
+// Campaigns execute through a compiled engine: CompileCampaign lowers the
+// network, assignment and attacker model into a flat CSR adjacency with one
+// precomputed success probability per directed arc (see Campaign), and the
+// paper's 1000 runs are batched over a deterministic worker pool with
+// per-run seeds, so results never depend on scheduling.  Two engines are
+// available: the tick loop (bit-exact with the historical simulator) and the
+// event-driven geometric/Dijkstra engine whose cost is independent of
+// MaxTicks (see Mode).
 package attacksim
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
-	"sort"
 
 	"netdiversity/internal/netmodel"
 	"netdiversity/internal/vulnsim"
@@ -47,6 +54,18 @@ func (s Strategy) String() string {
 	}
 }
 
+// collapse returns the compile-time reduction of per-service probabilities
+// implementing the strategy.  Reconnaissance collapses each arc to its single
+// max-probability exploit (what the legacy simulator recomputed per edge);
+// UniformChoice to the mean, which is exact because a uniform mixture of
+// Bernoulli attempts is a Bernoulli attempt with the mean probability.
+func (s Strategy) collapse() CollapseFunc {
+	if s == UniformChoice {
+		return CollapseMean
+	}
+	return CollapseMax
+}
+
 // Config parameterises a simulation campaign.
 type Config struct {
 	// Entry is the initially compromised host.
@@ -68,6 +87,14 @@ type Config struct {
 	ExploitServices []netmodel.ServiceID
 	// Seed makes the campaign deterministic.
 	Seed int64
+	// Mode selects the execution engine.  Default ModeTick (bit-exact with
+	// the historical simulator); ModeEvent is statistically equivalent and
+	// faster on high-MTTC campaigns.
+	Mode Mode
+	// Workers sizes the batched worker pool.  Default 1.  Results are
+	// identical for every worker count (per-run seeds), so this is purely a
+	// throughput knob.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -86,18 +113,6 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-func (c Config) allowsService(s netmodel.ServiceID) bool {
-	if len(c.ExploitServices) == 0 {
-		return true
-	}
-	for _, e := range c.ExploitServices {
-		if e == s {
-			return true
-		}
-	}
-	return false
-}
-
 // Result summarises a simulation campaign.
 type Result struct {
 	// MTTC is the mean number of ticks to compromise the target across all
@@ -106,6 +121,9 @@ type Result struct {
 	// MedianTTC and P90TTC are the median and 90th-percentile ticks.
 	MedianTTC float64
 	P90TTC    float64
+	// StdTTC is the sample standard deviation of the ticks-to-compromise
+	// (Welford-merged across the worker pool).
+	StdTTC float64
 	// SuccessRate is the fraction of runs in which the target was
 	// compromised within MaxTicks.
 	SuccessRate float64
@@ -128,8 +146,6 @@ type Simulator struct {
 	net *netmodel.Network
 	sim *vulnsim.SimilarityTable
 	a   *netmodel.Assignment
-	// edge success probabilities precomputed per (src, dst) ordered pair.
-	probs map[[2]netmodel.HostID]float64
 }
 
 // New prepares a simulator.  The assignment must be complete for the network.
@@ -143,48 +159,22 @@ func New(net *netmodel.Network, a *netmodel.Assignment, sim *vulnsim.SimilarityT
 	return &Simulator{net: net, sim: sim, a: a}, nil
 }
 
-// prepare precomputes the per-edge success probability under the config.
-func (s *Simulator) prepare(cfg Config) {
-	s.probs = make(map[[2]netmodel.HostID]float64, 2*s.net.NumLinks())
-	for _, link := range s.net.Links() {
-		s.probs[[2]netmodel.HostID{link.A, link.B}] = s.edgeProb(cfg, link.A, link.B)
-		s.probs[[2]netmodel.HostID{link.B, link.A}] = s.edgeProb(cfg, link.B, link.A)
-	}
-}
-
-// edgeProb is the success probability of one exploitation attempt from src to
-// dst under the attacker strategy.
-func (s *Simulator) edgeProb(cfg Config, src, dst netmodel.HostID) float64 {
-	var perService []float64
-	for _, svc := range s.net.SharedServices(src, dst) {
-		if !cfg.allowsService(svc) {
-			continue
-		}
-		pu, oku := s.a.Get(src, svc)
-		pv, okv := s.a.Get(dst, svc)
-		if !oku || !okv {
-			continue
-		}
-		similarity := s.sim.Sim(string(pu), string(pv))
-		perService = append(perService, cfg.PAvg+(1-cfg.PAvg)*similarity)
-	}
-	if len(perService) == 0 {
-		return 0
-	}
-	if cfg.Strategy == Reconnaissance {
-		best := perService[0]
-		for _, p := range perService[1:] {
-			if p > best {
-				best = p
-			}
-		}
-		return best
-	}
-	sum := 0.0
-	for _, p := range perService {
-		sum += p
-	}
-	return sum / float64(len(perService))
+// Compile lowers a campaign configuration into its executable form.  Callers
+// that sweep several campaigns over one assignment (different entry points,
+// run counts or seeds with the same strategy and exploit set) can reuse the
+// simulator and compile per campaign; the compile cost is O(arcs·services).
+func (s *Simulator) Compile(cfg Config) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	return CompileCampaign(s.net, s.a, s.sim, CompileConfig{
+		Entry:           cfg.Entry,
+		Target:          cfg.Target,
+		PAvg:            cfg.PAvg,
+		ExploitServices: cfg.ExploitServices,
+		Runs:            cfg.Runs,
+		MaxTicks:        cfg.MaxTicks,
+		Seed:            cfg.Seed,
+		Collapse:        cfg.Strategy.collapse(),
+	})
 }
 
 // Run executes the campaign.
@@ -195,107 +185,9 @@ func (s *Simulator) Run(cfg Config) (Result, error) {
 // RunContext is Run with cancellation between runs.
 func (s *Simulator) RunContext(ctx context.Context, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
-	if _, ok := s.net.Host(cfg.Entry); !ok {
-		return Result{}, fmt.Errorf("attacksim: unknown entry host %q", cfg.Entry)
+	c, err := s.Compile(cfg)
+	if err != nil {
+		return Result{}, err
 	}
-	if _, ok := s.net.Host(cfg.Target); !ok {
-		return Result{}, fmt.Errorf("attacksim: unknown target host %q", cfg.Target)
-	}
-	s.prepare(cfg)
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
-	ticks := make([]float64, 0, cfg.Runs)
-	successes := 0
-	totalInfected := 0
-	for run := 0; run < cfg.Runs; run++ {
-		if err := ctx.Err(); err != nil {
-			return Result{}, err
-		}
-		t, infected, ok := s.singleRun(cfg, rng)
-		if ok {
-			successes++
-		}
-		ticks = append(ticks, float64(t))
-		totalInfected += infected
-	}
-	sort.Float64s(ticks)
-	res := Result{
-		Runs:         cfg.Runs,
-		SuccessRate:  float64(successes) / float64(cfg.Runs),
-		MeanInfected: float64(totalInfected) / float64(cfg.Runs),
-		MedianTTC:    percentile(ticks, 0.5),
-		P90TTC:       percentile(ticks, 0.9),
-	}
-	sum := 0.0
-	for _, t := range ticks {
-		sum += t
-	}
-	res.MTTC = sum / float64(len(ticks))
-	return res, nil
-}
-
-// singleRun simulates one campaign and returns the tick at which the target
-// was compromised (or MaxTicks), the number of infected hosts, and whether
-// the target was reached.
-func (s *Simulator) singleRun(cfg Config, rng *rand.Rand) (tick, infectedCount int, reached bool) {
-	infected := map[netmodel.HostID]bool{cfg.Entry: true}
-	if cfg.Entry == cfg.Target {
-		return 0, 1, true
-	}
-	frontierStable := 0
-	for tick = 1; tick <= cfg.MaxTicks; tick++ {
-		newly := make([]netmodel.HostID, 0, 4)
-		for host := range infected {
-			for _, nb := range s.net.Neighbors(host) {
-				if infected[nb] {
-					continue
-				}
-				p := s.probs[[2]netmodel.HostID{host, nb}]
-				if p > 0 && rng.Float64() < p {
-					newly = append(newly, nb)
-				}
-			}
-		}
-		if len(newly) == 0 {
-			frontierStable++
-		} else {
-			frontierStable = 0
-		}
-		for _, h := range newly {
-			infected[h] = true
-		}
-		if infected[cfg.Target] {
-			return tick, len(infected), true
-		}
-		// If every reachable neighbour has zero success probability the run
-		// can never progress; keep ticking (time still passes for MTTC) but
-		// bail out early when nothing can change for a long stretch to keep
-		// campaigns fast.
-		if frontierStable > 50 && !anyProgressPossible(s, infected) {
-			break
-		}
-	}
-	return cfg.MaxTicks, len(infected), false
-}
-
-func anyProgressPossible(s *Simulator, infected map[netmodel.HostID]bool) bool {
-	for host := range infected {
-		for _, nb := range s.net.Neighbors(host) {
-			if infected[nb] {
-				continue
-			}
-			if s.probs[[2]netmodel.HostID{host, nb}] > 0 {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	return c.RunBatch(ctx, BatchOptions{Mode: cfg.Mode, Workers: cfg.Workers})
 }

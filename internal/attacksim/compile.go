@@ -1,0 +1,244 @@
+package attacksim
+
+import (
+	"errors"
+	"fmt"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// CollapseFunc reduces the per-service success probabilities of one directed
+// edge to the single per-attempt probability the attacker achieves on it.
+// services and probs are parallel slices describing every feasible service of
+// the arc (shared by both endpoints, allowed by the exploit mask, assigned on
+// both sides); they are scratch buffers reused across arcs and must not be
+// retained.  Returning 0 marks the arc dead.
+//
+// The built-in attacker strategies collapse to max (Reconnaissance: the
+// attacker probes and always uses the best exploit) and mean (UniformChoice:
+// a uniformly random feasible exploit per attempt — a per-tick mixture of
+// Bernoullis is itself a Bernoulli with the mean probability, so the collapse
+// is exact in distribution, not an approximation).  The adversary package
+// supplies knowledge-dependent collapses.
+type CollapseFunc func(src, dst netmodel.HostID, services []netmodel.ServiceID, probs []float64) float64
+
+// CompileConfig parameterises campaign compilation.  It mirrors Config but is
+// strategy-agnostic: the attacker model enters only through Collapse.
+type CompileConfig struct {
+	// Entry and Target bound the campaign.
+	Entry  netmodel.HostID
+	Target netmodel.HostID
+	// PAvg is the base zero-day propagation rate.  Default 0.2.
+	PAvg float64
+	// ExploitServices restricts which services the attacker has zero-day
+	// exploits for; nil means all services.
+	ExploitServices []netmodel.ServiceID
+	// Runs and MaxTicks bound the campaign.  Defaults 1000 / 1000.
+	Runs     int
+	MaxTicks int
+	// Seed makes the campaign deterministic: run i draws from an RNG seeded
+	// with SplitmixAt(Seed, i), so results are independent of worker count.
+	Seed int64
+	// Collapse reduces per-service probabilities to one per-arc scalar.
+	// Nil defaults to max (the reconnaissance attacker).
+	Collapse CollapseFunc
+}
+
+func (c CompileConfig) withDefaults() CompileConfig {
+	if c.Runs <= 0 {
+		c.Runs = 1000
+	}
+	if c.MaxTicks <= 0 {
+		c.MaxTicks = 1000
+	}
+	if c.PAvg <= 0 || c.PAvg >= 1 {
+		c.PAvg = 0.2
+	}
+	if c.Collapse == nil {
+		c.Collapse = CollapseMax
+	}
+	return c
+}
+
+// CollapseMax picks the best exploit of the arc (Reconnaissance).
+func CollapseMax(_, _ netmodel.HostID, _ []netmodel.ServiceID, probs []float64) float64 {
+	best := 0.0
+	for _, p := range probs {
+		if p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// CollapseMean averages the feasible exploits of the arc (UniformChoice).
+func CollapseMean(_, _ netmodel.HostID, _ []netmodel.ServiceID, probs []float64) float64 {
+	if len(probs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	return sum / float64(len(probs))
+}
+
+// Campaign is a compiled attack campaign: the network lowered to a flat CSR
+// adjacency over dense host indices with one precomputed success probability
+// per directed arc.  Per-(edge, service) probabilities are derived from a
+// dense product-pair table interned once per compile (mirroring the mrf
+// matrix interning: the probability depends only on the product pair, not on
+// which of the many edges carries it), and the attacker's exploit choice is
+// collapsed into the arc scalar, so the run loops perform no similarity
+// lookups, no sorting and no allocation.
+//
+// A Campaign is immutable after Compile and safe for concurrent runs, each
+// with its own Scratch.
+type Campaign struct {
+	hosts []netmodel.HostID
+	// CSR adjacency: arcs of host u are arcDst[rowStart[u]:rowStart[u+1]],
+	// with arcProb holding the collapsed per-attempt success probability.
+	rowStart []int32
+	arcDst   []int32
+	arcProb  []float64
+
+	entry, target int32
+	runs          int
+	maxTicks      int
+	seed          int64
+}
+
+// errNilCompile is returned when compilation receives nil inputs.
+var errNilCompile = errors.New("attacksim: network, assignment and similarity table must not be nil")
+
+// CompileCampaign lowers one campaign over a network and assignment into its
+// executable form.  The assignment must be complete for the network.
+func CompileCampaign(net *netmodel.Network, a *netmodel.Assignment, sim *vulnsim.SimilarityTable, cfg CompileConfig) (*Campaign, error) {
+	if net == nil || a == nil || sim == nil {
+		return nil, errNilCompile
+	}
+	cfg = cfg.withDefaults()
+	hosts := net.Hosts()
+	index := make(map[netmodel.HostID]int32, len(hosts))
+	for i, h := range hosts {
+		index[h] = int32(i)
+	}
+	entry, ok := index[cfg.Entry]
+	if !ok {
+		return nil, fmt.Errorf("attacksim: unknown entry host %q", cfg.Entry)
+	}
+	target, ok := index[cfg.Target]
+	if !ok {
+		return nil, fmt.Errorf("attacksim: unknown target host %q", cfg.Target)
+	}
+
+	// Intern the success probabilities by product pair: one dense P×P table
+	// of P_avg + (1-P_avg)·sim(p_i, p_j) over the products the assignment
+	// actually deploys, computed once.  Every arc below reads this table
+	// instead of re-deriving similarity per (edge, service).
+	var products []string
+	prodSeen := make(map[netmodel.ProductID]bool)
+	for _, hid := range hosts {
+		h, _ := net.Host(hid)
+		for _, svc := range h.Services {
+			if p, ok := a.Get(hid, svc); ok && !prodSeen[p] {
+				prodSeen[p] = true
+				products = append(products, string(p))
+			}
+		}
+	}
+	dense := vulnsim.NewDense(sim, products)
+	np := dense.NumProducts()
+	pairProb := make([]float64, np*np)
+	for i := 0; i < np; i++ {
+		row := dense.Row(i)
+		for j := 0; j < np; j++ {
+			pairProb[i*np+j] = cfg.PAvg + (1-cfg.PAvg)*row[j]
+		}
+	}
+
+	allowed := func(s netmodel.ServiceID) bool {
+		if len(cfg.ExploitServices) == 0 {
+			return true
+		}
+		for _, e := range cfg.ExploitServices {
+			if e == s {
+				return true
+			}
+		}
+		return false
+	}
+
+	// prodIdx[host][k] is the dense product index of the host's k-th service
+	// (-1 when unassigned or unknown).
+	prodIdx := make([][]int32, len(hosts))
+	for i, hid := range hosts {
+		h, _ := net.Host(hid)
+		row := make([]int32, len(h.Services))
+		for k, svc := range h.Services {
+			row[k] = -1
+			if p, ok := a.Get(hid, svc); ok {
+				row[k] = int32(dense.Index(string(p)))
+			}
+		}
+		prodIdx[i] = row
+	}
+
+	c := &Campaign{
+		hosts:    hosts,
+		rowStart: make([]int32, len(hosts)+1),
+		entry:    entry,
+		target:   target,
+		runs:     cfg.Runs,
+		maxTicks: cfg.MaxTicks,
+		seed:     cfg.Seed,
+	}
+	var (
+		svcBuf  []netmodel.ServiceID
+		probBuf []float64
+	)
+	for ui, uid := range hosts {
+		c.rowStart[ui] = int32(len(c.arcDst))
+		u, _ := net.Host(uid)
+		for _, vid := range net.Neighbors(uid) {
+			vi := index[vid]
+			v, _ := net.Host(vid)
+			svcBuf, probBuf = svcBuf[:0], probBuf[:0]
+			for k, svc := range u.Services {
+				if !allowed(svc) || prodIdx[ui][k] < 0 {
+					continue
+				}
+				kv := -1
+				for j, vs := range v.Services {
+					if vs == svc {
+						kv = j
+						break
+					}
+				}
+				if kv < 0 || prodIdx[vi][kv] < 0 {
+					continue
+				}
+				svcBuf = append(svcBuf, svc)
+				probBuf = append(probBuf, pairProb[int(prodIdx[ui][k])*np+int(prodIdx[vi][kv])])
+			}
+			p := 0.0
+			if len(svcBuf) > 0 {
+				p = cfg.Collapse(uid, vid, svcBuf, probBuf)
+			}
+			c.arcDst = append(c.arcDst, vi)
+			c.arcProb = append(c.arcProb, p)
+		}
+	}
+	c.rowStart[len(hosts)] = int32(len(c.arcDst))
+	return c, nil
+}
+
+// NumHosts returns the number of hosts in the compiled campaign.
+func (c *Campaign) NumHosts() int { return len(c.hosts) }
+
+// NumArcs returns the number of directed arcs (twice the link count).
+func (c *Campaign) NumArcs() int { return len(c.arcDst) }
+
+// Runs returns the configured run count.
+func (c *Campaign) Runs() int { return c.runs }

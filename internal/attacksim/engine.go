@@ -1,0 +1,413 @@
+package attacksim
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"netdiversity/internal/fastrand"
+	"netdiversity/internal/metrics"
+)
+
+// Mode selects the execution engine of a compiled campaign.
+type Mode int
+
+const (
+	// ModeTick is the synchronous tick loop: every compromised host attempts
+	// every uncompromised neighbour once per tick.  It reproduces the legacy
+	// simulator run-for-run at the same seed (the golden tests pin this) and
+	// costs O(compromised-arcs) per tick.
+	ModeTick Mode = iota
+	// ModeEvent samples Geometric(p) ticks-to-success per arc and propagates
+	// with a Dijkstra-style priority queue.  The SI tick process with
+	// independent per-arc Bernoulli attempts is distributionally identical to
+	// shortest paths under independent geometric arc weights (the attempts
+	// are memoryless), so event mode matches tick mode statistically while
+	// its cost is O(arcs·log hosts) per run — independent of MaxTicks, which
+	// makes it the fast path for high-MTTC (well-diversified) cells.
+	ModeEvent
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeTick:
+		return "tick"
+	case ModeEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// stallWindow is the number of consecutive empty-frontier ticks tolerated
+// before the tick loop scans whether any progress is still possible (the
+// legacy simulator's early-out; results are unchanged because dead arcs
+// consume no randomness).
+const stallWindow = 50
+
+// Scratch is the per-worker workspace of a campaign: bitsets, frontier
+// slices, the event queue and the run RNG.  A Scratch is reused across runs
+// without allocating; it must not be shared between concurrent runs.
+type Scratch struct {
+	comp     []uint64 // compromised-at-tick-start bitset
+	pend     []uint64 // marked-newly-compromised-this-tick bitset
+	infected []int32  // compromised hosts in infection order
+	newly    []int32  // hosts compromised in the current tick
+
+	dist []int32  // event mode: best known compromise tick per host
+	heap []uint64 // event mode: min-heap of time<<32|host
+
+	rng fastrand.RNG
+}
+
+// NewScratch allocates a workspace sized for the campaign.
+func (c *Campaign) NewScratch() *Scratch {
+	n := len(c.hosts)
+	words := (n + 63) / 64
+	return &Scratch{
+		comp:     make([]uint64, words),
+		pend:     make([]uint64, words),
+		infected: make([]int32, 0, n),
+		newly:    make([]int32, 0, n),
+		dist:     make([]int32, n),
+		// Every relaxation pushes at most once, plus the entry push.
+		heap: make([]uint64, 0, len(c.arcDst)+1),
+	}
+}
+
+// RunOutcome is the result of one simulation run.
+type RunOutcome struct {
+	// Ticks is the tick at which the target was compromised (MaxTicks when
+	// it never was).
+	Ticks int
+	// Infected is the number of compromised hosts at the end of the run,
+	// including the entry host.
+	Infected int
+	// Reached reports whether the target was compromised within MaxTicks.
+	Reached bool
+}
+
+// newRunRNG builds the RNG of one run.  Seeds are derived splitmix-style
+// from the campaign seed and the run index, so any worker can execute any
+// run and the campaign result is independent of scheduling.
+func newRunRNG(seed int64, run int) fastrand.RNG {
+	return fastrand.New(fastrand.SplitmixAt(uint64(seed), uint64(run)))
+}
+
+// seedRun positions the scratch RNG for one run.
+func (c *Campaign) seedRun(sc *Scratch, run int) {
+	sc.rng = newRunRNG(c.seed, run)
+}
+
+// RunTick executes run `run` with the synchronous tick engine.  The steady
+// state allocates nothing: all state lives in the scratch.
+func (c *Campaign) RunTick(run int, sc *Scratch) RunOutcome {
+	c.seedRun(sc, run)
+	for i := range sc.comp {
+		sc.comp[i] = 0
+		sc.pend[i] = 0
+	}
+	sc.infected = append(sc.infected[:0], c.entry)
+	sc.comp[c.entry>>6] |= 1 << (uint(c.entry) & 63)
+	if c.entry == c.target {
+		return RunOutcome{Ticks: 0, Infected: 1, Reached: true}
+	}
+	frontierStable := 0
+	for tick := 1; tick <= c.maxTicks; tick++ {
+		sc.newly = sc.newly[:0]
+		for _, u := range sc.infected {
+			for ai := c.rowStart[u]; ai < c.rowStart[u+1]; ai++ {
+				v := c.arcDst[ai]
+				if sc.comp[v>>6]&(1<<(uint(v)&63)) != 0 {
+					continue
+				}
+				p := c.arcProb[ai]
+				if p <= 0 {
+					continue
+				}
+				if sc.rng.Float64() < p {
+					if sc.pend[v>>6]&(1<<(uint(v)&63)) == 0 {
+						sc.pend[v>>6] |= 1 << (uint(v) & 63)
+						sc.newly = append(sc.newly, v)
+					}
+				}
+			}
+		}
+		if len(sc.newly) == 0 {
+			frontierStable++
+		} else {
+			frontierStable = 0
+		}
+		for _, v := range sc.newly {
+			sc.comp[v>>6] |= 1 << (uint(v) & 63)
+			sc.pend[v>>6] &^= 1 << (uint(v) & 63)
+			sc.infected = append(sc.infected, v)
+		}
+		if sc.comp[c.target>>6]&(1<<(uint(c.target)&63)) != 0 {
+			return RunOutcome{Ticks: tick, Infected: len(sc.infected), Reached: true}
+		}
+		// A long-stable frontier with no live arc can never progress; time
+		// still "passes" for MTTC, but no randomness would be consumed, so
+		// skipping straight to MaxTicks changes nothing.
+		if frontierStable > stallWindow && !c.progressPossible(sc) {
+			break
+		}
+	}
+	return RunOutcome{Ticks: c.maxTicks, Infected: len(sc.infected), Reached: false}
+}
+
+// progressPossible reports whether any compromised host has a live arc to an
+// uncompromised one.
+func (c *Campaign) progressPossible(sc *Scratch) bool {
+	for _, u := range sc.infected {
+		for ai := c.rowStart[u]; ai < c.rowStart[u+1]; ai++ {
+			v := c.arcDst[ai]
+			if sc.comp[v>>6]&(1<<(uint(v)&63)) == 0 && c.arcProb[ai] > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unreachedTick marks a host the event engine has not reached.
+const unreachedTick = math.MaxInt32
+
+// RunEvent executes run `run` with the event-driven engine: per-arc
+// Geometric(p) ticks-to-success samples propagated by Dijkstra.
+func (c *Campaign) RunEvent(run int, sc *Scratch) RunOutcome {
+	c.seedRun(sc, run)
+	if c.entry == c.target {
+		return RunOutcome{Ticks: 0, Infected: 1, Reached: true}
+	}
+	for i := range sc.dist {
+		sc.dist[i] = unreachedTick
+	}
+	sc.heap = sc.heap[:0]
+	sc.dist[c.entry] = 0
+	sc.heap = heapPush(sc.heap, uint64(c.entry))
+
+	limit := int32(c.maxTicks)
+	targetTime := int32(-1)
+	infected := 0
+	for len(sc.heap) > 0 {
+		var top uint64
+		top, sc.heap = heapPop(sc.heap)
+		t := int32(top >> 32)
+		u := int32(top & 0xffffffff)
+		if t > sc.dist[u] {
+			continue // stale queue entry
+		}
+		if t > limit {
+			break
+		}
+		infected++
+		if u == c.target {
+			// Keep draining equal-time entries: in tick semantics every host
+			// compromised in the target's final tick counts as infected.
+			targetTime = t
+			limit = t
+			continue
+		}
+		for ai := c.rowStart[u]; ai < c.rowStart[u+1]; ai++ {
+			v := c.arcDst[ai]
+			p := c.arcProb[ai]
+			if p <= 0 || sc.dist[v] <= t+1 {
+				continue // dead arc, or no sample could improve on dist[v]
+			}
+			g := geometricTicks(&sc.rng, p, c.maxTicks)
+			nt := t + g
+			if nt > int32(c.maxTicks) {
+				continue // beyond the horizon: can never count nor relay in time
+			}
+			if nt < sc.dist[v] {
+				sc.dist[v] = nt
+				sc.heap = heapPush(sc.heap, uint64(nt)<<32|uint64(v))
+			}
+		}
+	}
+	if targetTime >= 0 {
+		return RunOutcome{Ticks: int(targetTime), Infected: infected, Reached: true}
+	}
+	return RunOutcome{Ticks: c.maxTicks, Infected: infected, Reached: false}
+}
+
+// geometricTicks samples the number of per-tick Bernoulli(p) attempts until
+// the first success (support {1, 2, ...}) by inversion, clamped to horizon+1
+// ticks (any larger value is equivalent for a horizon-bounded run).
+func geometricTicks(rng *fastrand.RNG, p float64, horizon int) int32 {
+	u := rng.Float64()
+	if p >= 1 {
+		return 1
+	}
+	// G = floor(ln(1-u) / ln(1-p)) + 1, with u uniform in [0,1).
+	g := math.Log1p(-u) / math.Log1p(-p)
+	if g > float64(horizon) {
+		return int32(horizon) + 1
+	}
+	return int32(g) + 1
+}
+
+// heapPush inserts into the min-heap of time<<32|host keys.
+func heapPush(h []uint64, x uint64) []uint64 {
+	h = append(h, x)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] <= h[i] {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+// heapPop removes the minimum key.
+func heapPop(h []uint64) (uint64, []uint64) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h) && h[l] < h[smallest] {
+			smallest = l
+		}
+		if r < len(h) && h[r] < h[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return top, h
+}
+
+// BatchOptions tunes campaign execution.
+type BatchOptions struct {
+	// Mode selects the engine.  Default ModeTick.
+	Mode Mode
+	// Workers bounds the worker pool; values <= 1 run the batch inline.
+	// Runs are distributed by a static stride (worker w executes runs w,
+	// w+W, ...), so every aggregate statistic except the floating-point
+	// rounding of StdTTC is identical for every worker count.
+	Workers int
+}
+
+// batchStats accumulates one worker's share of a campaign.  Tick counts and
+// infected totals are integers (exact, order-independent); the TTC spread is
+// tracked with a Welford accumulator and merged pairwise.
+type batchStats struct {
+	hist          []uint32
+	ttc           metrics.Welford
+	totalTicks    uint64
+	totalInfected uint64
+	successes     int
+	err           error
+}
+
+func (c *Campaign) runBatchWorker(ctx context.Context, mode Mode, first, stride int, st *batchStats) {
+	sc := c.NewScratch()
+	for run := first; run < c.runs; run += stride {
+		if run%64 == first%64 {
+			if err := ctx.Err(); err != nil {
+				st.err = err
+				return
+			}
+		}
+		var out RunOutcome
+		if mode == ModeEvent {
+			out = c.RunEvent(run, sc)
+		} else {
+			out = c.RunTick(run, sc)
+		}
+		st.hist[out.Ticks]++
+		st.ttc.Add(float64(out.Ticks))
+		st.totalTicks += uint64(out.Ticks)
+		st.totalInfected += uint64(out.Infected)
+		if out.Reached {
+			st.successes++
+		}
+	}
+}
+
+// RunBatch executes the campaign's runs across a bounded worker pool and
+// merges the per-worker statistics.  Cancellation is checked between runs;
+// on cancellation the batch returns the context error.
+func (c *Campaign) RunBatch(ctx context.Context, opts BatchOptions) (Result, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > c.runs {
+		workers = c.runs
+	}
+	stats := make([]batchStats, workers)
+	for w := range stats {
+		stats[w].hist = make([]uint32, c.maxTicks+1)
+	}
+	if workers == 1 {
+		c.runBatchWorker(ctx, opts.Mode, 0, 1, &stats[0])
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c.runBatchWorker(ctx, opts.Mode, w, workers, &stats[w])
+			}(w)
+		}
+		wg.Wait()
+	}
+	merged := stats[0]
+	for w := 1; w < workers; w++ {
+		o := &stats[w]
+		if o.err != nil && merged.err == nil {
+			merged.err = o.err
+		}
+		for t, n := range o.hist {
+			merged.hist[t] += n
+		}
+		merged.ttc.Merge(o.ttc)
+		merged.totalTicks += o.totalTicks
+		merged.totalInfected += o.totalInfected
+		merged.successes += o.successes
+	}
+	if merged.err != nil {
+		return Result{}, merged.err
+	}
+	n := float64(c.runs)
+	return Result{
+		Runs:         c.runs,
+		MTTC:         float64(merged.totalTicks) / n,
+		MedianTTC:    histPercentile(merged.hist, c.runs, 0.5),
+		P90TTC:       histPercentile(merged.hist, c.runs, 0.9),
+		StdTTC:       merged.ttc.StdDev(),
+		SuccessRate:  float64(merged.successes) / n,
+		MeanInfected: float64(merged.totalInfected) / n,
+	}, nil
+}
+
+// histPercentile reproduces the legacy percentile rule — the element at
+// index int(q·(n-1)) of the sorted tick list — from a tick histogram.
+func histPercentile(hist []uint32, n int, q float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	idx := uint64(q * float64(n-1))
+	var cum uint64
+	for t, count := range hist {
+		cum += uint64(count)
+		if cum > idx {
+			return float64(t)
+		}
+	}
+	return float64(len(hist) - 1)
+}

@@ -1,0 +1,396 @@
+package attacksim
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"netdiversity/internal/baseline"
+	"netdiversity/internal/netgen"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// benchNetwork builds the 1000-host quick-suite cell (uniform topology,
+// degree 8, 3 services, 4 products per service) with a greedy-diversified
+// assignment — the slowest attack cell of the scenario matrix before the
+// compiled engine.
+func benchNetwork(tb testing.TB, hosts int) (*netmodel.Network, *netmodel.Assignment, *vulnsim.SimilarityTable) {
+	tb.Helper()
+	gen := netgen.RandomConfig{Hosts: hosts, Degree: 8, Services: 3, ProductsPerService: 4, Seed: 42}
+	net, err := netgen.Generate(gen, netgen.TopologyUniform)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sim := netgen.SyntheticSimilarity(gen, 0.6)
+	a, err := baseline.GreedyColoring(net, sim, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return net, a, sim
+}
+
+func benchConfig(net *netmodel.Network, runs int) Config {
+	hosts := net.Hosts()
+	return Config{
+		Entry:    hosts[0],
+		Target:   hosts[len(hosts)-1],
+		Runs:     runs,
+		MaxTicks: 200,
+		Seed:     7,
+	}
+}
+
+// TestCompiledTickMatchesLegacyGolden pins the determinism contract: the
+// compiled tick engine reproduces the reference simulator exactly,
+// run-for-run at the same seed, across strategies, exploit masks and
+// topologies.
+func TestCompiledTickMatchesLegacyGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		hosts int
+		mut   func(*Config)
+	}{
+		{"recon", 120, func(c *Config) {}},
+		{"uniform", 120, func(c *Config) { c.Strategy = UniformChoice }},
+		{"masked", 120, func(c *Config) { c.ExploitServices = []netmodel.ServiceID{netgen.ServiceName(0)} }},
+		{"otherSeed", 80, func(c *Config) { c.Seed = 12345 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net, a, sim := benchNetwork(t, tc.hosts)
+			s, err := New(net, a, sim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := benchConfig(net, 200)
+			tc.mut(&cfg)
+			legacy, err := s.runLegacy(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := s.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if legacy != compiled {
+				t.Errorf("compiled tick engine diverged from reference:\nlegacy   %+v\ncompiled %+v", legacy, compiled)
+			}
+
+			// Run-for-run, not just in aggregate: compare individual runs.
+			cfg = cfg.withDefaults()
+			camp, err := s.Compile(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := camp.NewScratch()
+			l := newLegacy(s, cfg)
+			for run := 0; run < 50; run++ {
+				rng := newRunRNG(cfg.Seed, run)
+				wantTicks, wantInfected, wantReached := l.singleRun(cfg, &rng)
+				got := camp.RunTick(run, sc)
+				if got.Ticks != wantTicks || got.Infected != wantInfected || got.Reached != wantReached {
+					t.Fatalf("run %d diverged: compiled %+v, reference (%d, %d, %v)",
+						run, got, wantTicks, wantInfected, wantReached)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchIndependentOfWorkers pins the scheduling-independence contract:
+// per-run seeds and integer statistic sums make every worker count produce
+// the same result (StdTTC may differ in the last float bits; the exact
+// fields must match bitwise).
+func TestBatchIndependentOfWorkers(t *testing.T) {
+	net, a, sim := benchNetwork(t, 150)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := benchConfig(net, 301)
+	camp, err := s.Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeTick, ModeEvent} {
+		base, err := camp.RunBatch(context.Background(), BatchOptions{Mode: mode, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 1000} {
+			got, err := camp.RunBatch(context.Background(), BatchOptions{Mode: mode, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.MTTC != base.MTTC || got.MedianTTC != base.MedianTTC || got.P90TTC != base.P90TTC ||
+				got.SuccessRate != base.SuccessRate || got.MeanInfected != base.MeanInfected {
+				t.Errorf("mode %v workers %d diverged: %+v vs %+v", mode, workers, got, base)
+			}
+			if math.Abs(got.StdTTC-base.StdTTC) > 1e-6 {
+				t.Errorf("mode %v workers %d StdTTC %v vs %v", mode, workers, got.StdTTC, base.StdTTC)
+			}
+		}
+	}
+}
+
+// TestEventModeStatisticallyEquivalent checks the event-driven engine against
+// tick mode on aggregate statistics.  The two engines consume randomness
+// differently, so equality is distributional: with 2000 runs the MTTC of a
+// geometric-sum process concentrates well within a few percent.
+func TestEventModeStatisticallyEquivalent(t *testing.T) {
+	net, a, sim := benchNetwork(t, 200)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := benchConfig(net, 2000)
+	camp, err := s.Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick, err := camp.RunBatch(context.Background(), BatchOptions{Mode: ModeTick})
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := camp.RunBatch(context.Background(), BatchOptions{Mode: ModeEvent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Standard-error-scaled tolerance on the mean: 4 standard errors plus a
+	// small absolute floor for near-deterministic campaigns.
+	se := tick.StdTTC / math.Sqrt(float64(tick.Runs))
+	tol := 4*se + 0.25
+	if math.Abs(tick.MTTC-event.MTTC) > tol {
+		t.Errorf("event MTTC %v deviates from tick MTTC %v by more than %v", event.MTTC, tick.MTTC, tol)
+	}
+	if math.Abs(tick.SuccessRate-event.SuccessRate) > 0.05 {
+		t.Errorf("success rates diverged: tick %v, event %v", tick.SuccessRate, event.SuccessRate)
+	}
+	if math.Abs(tick.MeanInfected-event.MeanInfected) > 0.1*float64(net.NumHosts()) {
+		t.Errorf("mean infected diverged: tick %v, event %v", tick.MeanInfected, event.MeanInfected)
+	}
+	// Variances should agree within a generous factor (they estimate the
+	// same distribution's spread).
+	if tick.StdTTC > 0 && (event.StdTTC < tick.StdTTC*0.6 || event.StdTTC > tick.StdTTC*1.6) {
+		t.Errorf("spread diverged: tick std %v, event std %v", tick.StdTTC, event.StdTTC)
+	}
+}
+
+// TestBatchedPoolUnderRace exercises the worker pool with enough workers and
+// runs for the race detector to see every interleaving class; correctness is
+// covered by the workers-independence test above.
+func TestBatchedPoolUnderRace(t *testing.T) {
+	net, a, sim := benchNetwork(t, 100)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := benchConfig(net, 400)
+	cfg.Workers = 8
+	if _, err := s.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Mode = ModeEvent
+	if _, err := s.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchCancellation(t *testing.T) {
+	net, a, sim := benchNetwork(t, 100)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := benchConfig(net, 1000)
+	if _, err := s.RunContext(ctx, cfg); err != context.Canceled {
+		t.Errorf("cancelled batch should surface context.Canceled, got %v", err)
+	}
+	cfg.Workers = 4
+	if _, err := s.RunContext(ctx, cfg); err != context.Canceled {
+		t.Errorf("cancelled concurrent batch should surface context.Canceled, got %v", err)
+	}
+}
+
+// TestTickRunsAllocationFree verifies the zero-alloc contract of the steady
+// state: once a scratch exists, neither engine allocates per run.
+func TestTickRunsAllocationFree(t *testing.T) {
+	net, a, sim := benchNetwork(t, 300)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp, err := s.Compile(benchConfig(net, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := camp.NewScratch()
+	run := 0
+	camp.RunTick(run, sc)
+	camp.RunEvent(run, sc)
+	if allocs := testing.AllocsPerRun(50, func() {
+		camp.RunTick(run, sc)
+		run++
+	}); allocs != 0 {
+		t.Errorf("tick run allocates %.1f objects per run, want 0", allocs)
+	}
+	run = 0
+	if allocs := testing.AllocsPerRun(50, func() {
+		camp.RunEvent(run, sc)
+		run++
+	}); allocs != 0 {
+		t.Errorf("event run allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestCompiledArcProbsMatchReference cross-checks the interned product-pair
+// probabilities against the reference per-edge derivation.
+func TestCompiledArcProbsMatchReference(t *testing.T) {
+	net, a, sim := benchNetwork(t, 80)
+	s, err := New(net, a, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []Strategy{Reconnaissance, UniformChoice} {
+		cfg := benchConfig(net, 10)
+		cfg.Strategy = strategy
+		cfg = cfg.withDefaults()
+		camp, err := s.Compile(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := newLegacy(s, cfg)
+		for ui, uid := range camp.hosts {
+			for ai := camp.rowStart[ui]; ai < camp.rowStart[ui+1]; ai++ {
+				vid := camp.hosts[camp.arcDst[ai]]
+				want := l.probs[[2]netmodel.HostID{uid, vid}]
+				if got := camp.arcProb[ai]; got != want {
+					t.Fatalf("%v arc %s->%s: compiled prob %v, reference %v", strategy, uid, vid, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeTick.String() != "tick" || ModeEvent.String() != "event" || Mode(9).String() == "" {
+		t.Error("Mode names wrong")
+	}
+}
+
+func benchmarkCampaign(b *testing.B, runs int) (*Simulator, Config) {
+	net, a, sim := benchNetwork(b, 1000)
+	s, err := New(net, a, sim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, benchConfig(net, runs)
+}
+
+// BenchmarkLegacyMC1000 is the pre-compilation engine on the 1000-host
+// quick-suite cell (the acceptance baseline for the ≥5x speedup).
+func BenchmarkLegacyMC1000(b *testing.B) {
+	s, cfg := benchmarkCampaign(b, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.runLegacy(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledTick1000(b *testing.B) {
+	s, cfg := benchmarkCampaign(b, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledEvent1000(b *testing.B) {
+	s, cfg := benchmarkCampaign(b, 100)
+	cfg.Mode = ModeEvent
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The HighMTTC pair compares the engines on the cell class event mode exists
+// for: a hardened campaign (low base rate, one exploitable service) where
+// most runs exhaust hundreds of ticks.  Tick cost scales with MTTC×arcs;
+// event cost stays O(arcs·log hosts) per run.
+func benchmarkHighMTTC(b *testing.B, mode Mode) {
+	// A sparse, well-diversified network (nearly-disjoint vulnerability sets,
+	// 2% base rate): MTTC ≈ 250 ticks, so the tick engine re-attempts the
+	// same arcs for hundreds of ticks while the event engine's cost stays
+	// O(arcs·log hosts) regardless of the horizon.
+	gen := netgen.RandomConfig{Hosts: 1000, Degree: 3, Services: 3, ProductsPerService: 4, Seed: 42}
+	net, err := netgen.Generate(gen, netgen.TopologyUniform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := netgen.SyntheticSimilarity(gen, 0.05)
+	a, err := baseline.GreedyColoring(net, sim, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(net, a, sim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig(net, 50)
+	cfg.PAvg = 0.02
+	cfg.MaxTicks = 1000
+	cfg.Mode = mode
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompiledTickHighMTTC(b *testing.B)  { benchmarkHighMTTC(b, ModeTick) }
+func BenchmarkCompiledEventHighMTTC(b *testing.B) { benchmarkHighMTTC(b, ModeEvent) }
+
+// BenchmarkCompiledTickRun measures a single steady-state tick run (the
+// per-run alloc figure should be 0).
+func BenchmarkCompiledTickRun(b *testing.B) {
+	s, cfg := benchmarkCampaign(b, 100)
+	camp, err := s.Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := camp.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		camp.RunTick(i, sc)
+	}
+}
+
+func BenchmarkCompiledEventRun(b *testing.B) {
+	s, cfg := benchmarkCampaign(b, 100)
+	camp, err := s.Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := camp.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		camp.RunEvent(i, sc)
+	}
+}

@@ -1,11 +1,5 @@
 package attacksim
 
-import (
-	"fmt"
-
-	"netdiversity/internal/netmodel"
-)
-
 // Estimate computes an analytic approximation of the MTTC without running
 // Monte-Carlo simulations, using a discrete-time mean-field model: for every
 // host h, q_h(t) is the probability that h is compromised by tick t, updated
@@ -13,13 +7,13 @@ import (
 //
 //	q_v(t+1) = 1 - (1 - q_v(t)) · Π_{u ~ v} (1 - q_u(t) · p(u→v))
 //
-// where p(u→v) is the same per-edge success probability the simulator uses.
-// The expected time to compromise the target is then Σ_t (1 - q_target(t)),
-// truncated at MaxTicks.  The independence assumption makes the estimate
-// slightly optimistic for the attacker (it ignores correlations between
-// infection events), but it is orders of magnitude faster than simulation and
-// preserves the ordering between assignments; the tests compare it against
-// the simulator.
+// where p(u→v) is the same per-arc success probability the compiled
+// simulator uses.  The expected time to compromise the target is then
+// Σ_t (1 - q_target(t)), truncated at MaxTicks.  The independence assumption
+// makes the estimate slightly optimistic for the attacker (it ignores
+// correlations between infection events), but it is orders of magnitude
+// faster than simulation and preserves the ordering between assignments; the
+// tests compare it against the simulator.
 type Estimate struct {
 	// MTTC is the estimated mean time to compromise (ticks).
 	MTTC float64
@@ -31,55 +25,63 @@ type Estimate struct {
 }
 
 // EstimateMTTC computes the mean-field MTTC estimate for the configuration.
-// Runs and Seed are ignored; only the propagation model matters.
+// Runs and Seed are ignored; only the propagation model matters.  The
+// fixed-point iteration runs over the campaign's CSR arcs, so it shares the
+// compiled probability model with the Monte-Carlo engines.
 func (s *Simulator) EstimateMTTC(cfg Config) (Estimate, error) {
 	cfg = cfg.withDefaults()
-	if _, ok := s.net.Host(cfg.Entry); !ok {
-		return Estimate{}, fmt.Errorf("attacksim: unknown entry host %q", cfg.Entry)
+	c, err := s.Compile(cfg)
+	if err != nil {
+		return Estimate{}, err
 	}
-	if _, ok := s.net.Host(cfg.Target); !ok {
-		return Estimate{}, fmt.Errorf("attacksim: unknown target host %q", cfg.Target)
-	}
-	s.prepare(cfg)
+	return c.EstimateMTTC()
+}
 
-	hosts := s.net.Hosts()
-	index := make(map[netmodel.HostID]int, len(hosts))
-	for i, h := range hosts {
-		index[h] = i
-	}
-	q := make([]float64, len(hosts))
-	next := make([]float64, len(hosts))
-	q[index[cfg.Entry]] = 1
-
-	if cfg.Entry == cfg.Target {
+// EstimateMTTC is the mean-field estimate over an already-compiled campaign.
+func (c *Campaign) EstimateMTTC() (Estimate, error) {
+	if c.entry == c.target {
 		return Estimate{MTTC: 0, PCompromise: 1, Ticks: 0}, nil
 	}
-	targetIdx := index[cfg.Target]
+	n := len(c.hosts)
+	q := make([]float64, n)
+	next := make([]float64, n)
+	escape := make([]float64, n)
+	q[c.entry] = 1
+
 	// E[T] = Σ_{t≥0} P(T > t); the t = 0 term is 1 because the target is not
 	// the entry host.
 	expected := 1.0
-	for tick := 1; tick <= cfg.MaxTicks; tick++ {
-		for vi, v := range hosts {
-			survive := 1 - q[vi]
-			if survive <= 0 {
-				next[vi] = 1
+	for tick := 1; tick <= c.maxTicks; tick++ {
+		for i := range escape {
+			escape[i] = 1
+		}
+		for u := 0; u < n; u++ {
+			qu := q[u]
+			if qu <= 0 {
 				continue
 			}
-			escape := 1.0
-			for _, u := range s.net.Neighbors(v) {
-				p := s.probs[[2]netmodel.HostID{u, v}]
+			for ai := c.rowStart[u]; ai < c.rowStart[u+1]; ai++ {
+				p := c.arcProb[ai]
 				if p <= 0 {
 					continue
 				}
-				escape *= 1 - q[index[u]]*p
+				v := c.arcDst[ai]
+				escape[v] *= 1 - qu*p
 			}
-			next[vi] = 1 - survive*escape
+		}
+		for v := 0; v < n; v++ {
+			survive := 1 - q[v]
+			if survive <= 0 {
+				next[v] = 1
+				continue
+			}
+			next[v] = 1 - survive*escape[v]
 		}
 		q, next = next, q
-		expected += 1 - q[targetIdx]
-		if q[targetIdx] > 1-1e-9 {
-			return Estimate{MTTC: expected, PCompromise: q[targetIdx], Ticks: tick}, nil
+		expected += 1 - q[c.target]
+		if q[c.target] > 1-1e-9 {
+			return Estimate{MTTC: expected, PCompromise: q[c.target], Ticks: tick}, nil
 		}
 	}
-	return Estimate{MTTC: expected, PCompromise: q[targetIdx], Ticks: cfg.MaxTicks}, nil
+	return Estimate{MTTC: expected, PCompromise: q[c.target], Ticks: c.maxTicks}, nil
 }

@@ -1,0 +1,194 @@
+package attacksim
+
+import (
+	"context"
+
+	"netdiversity/internal/fastrand"
+	"netdiversity/internal/metrics"
+	"netdiversity/internal/netmodel"
+)
+
+// This file retains the pre-compilation simulator as the executable
+// specification of the tick engine's determinism contract:
+//
+//   - run i of a campaign with seed s draws from an RNG seeded with
+//     fastrand.SplitmixAt(s, i);
+//   - within a tick, compromised hosts attempt in infection order (entry
+//     first, then hosts in the order they were compromised) and neighbours in
+//     netmodel.Network.Neighbors order;
+//   - an attempt is made (and consumes one uniform draw) against every host
+//     that was uncompromised at the start of the tick and whose arc has
+//     positive probability — including hosts already compromised earlier in
+//     the same tick;
+//   - newly compromised hosts join the infected set only at the end of the
+//     tick, and a run whose frontier has been empty for more than stallWindow
+//     ticks with no live arc left ends early at MaxTicks.
+//
+// The golden tests pin Campaign.RunTick to this reference run-for-run, and
+// the package benchmarks measure the compiled engine's speedup against it.
+// It re-derives per-edge probabilities through hash maps and allocates per
+// run — exactly the costs the compiled engine removes — so it lives in a
+// _test file and is never compiled into consumer binaries.
+
+// legacySimulator carries the map-based per-edge probabilities of the
+// historical implementation.
+type legacySimulator struct {
+	s     *Simulator
+	probs map[[2]netmodel.HostID]float64
+}
+
+// newLegacy precomputes the per-edge success probabilities under the config.
+func newLegacy(s *Simulator, cfg Config) *legacySimulator {
+	l := &legacySimulator{s: s, probs: make(map[[2]netmodel.HostID]float64, 2*s.net.NumLinks())}
+	for _, link := range s.net.Links() {
+		l.probs[[2]netmodel.HostID{link.A, link.B}] = l.edgeProb(cfg, link.A, link.B)
+		l.probs[[2]netmodel.HostID{link.B, link.A}] = l.edgeProb(cfg, link.B, link.A)
+	}
+	return l
+}
+
+func legacyAllowsService(cfg Config, s netmodel.ServiceID) bool {
+	if len(cfg.ExploitServices) == 0 {
+		return true
+	}
+	for _, e := range cfg.ExploitServices {
+		if e == s {
+			return true
+		}
+	}
+	return false
+}
+
+// edgeProb is the success probability of one exploitation attempt from src to
+// dst under the attacker strategy, derived on the fly from the similarity
+// table.
+func (l *legacySimulator) edgeProb(cfg Config, src, dst netmodel.HostID) float64 {
+	var perService []float64
+	for _, svc := range l.s.net.SharedServices(src, dst) {
+		if !legacyAllowsService(cfg, svc) {
+			continue
+		}
+		pu, oku := l.s.a.Get(src, svc)
+		pv, okv := l.s.a.Get(dst, svc)
+		if !oku || !okv {
+			continue
+		}
+		similarity := l.s.sim.Sim(string(pu), string(pv))
+		perService = append(perService, cfg.PAvg+(1-cfg.PAvg)*similarity)
+	}
+	if len(perService) == 0 {
+		return 0
+	}
+	if cfg.Strategy == Reconnaissance {
+		best := perService[0]
+		for _, p := range perService[1:] {
+			if p > best {
+				best = p
+			}
+		}
+		return best
+	}
+	sum := 0.0
+	for _, p := range perService {
+		sum += p
+	}
+	return sum / float64(len(perService))
+}
+
+// runLegacy executes the campaign with the reference engine.
+func (s *Simulator) runLegacy(ctx context.Context, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	// Reuse compilation only for input validation, so the two paths reject
+	// identical configurations.
+	if _, err := s.Compile(cfg); err != nil {
+		return Result{}, err
+	}
+	l := newLegacy(s, cfg)
+
+	hist := make([]uint32, cfg.MaxTicks+1)
+	var ttc metrics.Welford
+	var totalTicks, totalInfected uint64
+	successes := 0
+	for run := 0; run < cfg.Runs; run++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		rng := newRunRNG(cfg.Seed, run)
+		t, infected, ok := l.singleRun(cfg, &rng)
+		if ok {
+			successes++
+		}
+		hist[t]++
+		ttc.Add(float64(t))
+		totalTicks += uint64(t)
+		totalInfected += uint64(infected)
+	}
+	n := float64(cfg.Runs)
+	return Result{
+		Runs:         cfg.Runs,
+		MTTC:         float64(totalTicks) / n,
+		MedianTTC:    histPercentile(hist, cfg.Runs, 0.5),
+		P90TTC:       histPercentile(hist, cfg.Runs, 0.9),
+		StdTTC:       ttc.StdDev(),
+		SuccessRate:  float64(successes) / n,
+		MeanInfected: float64(totalInfected) / n,
+	}, nil
+}
+
+// singleRun simulates one campaign and returns the tick at which the target
+// was compromised (or MaxTicks), the number of infected hosts, and whether
+// the target was reached.
+func (l *legacySimulator) singleRun(cfg Config, rng *fastrand.RNG) (tick, infectedCount int, reached bool) {
+	infected := map[netmodel.HostID]bool{cfg.Entry: true}
+	order := []netmodel.HostID{cfg.Entry}
+	if cfg.Entry == cfg.Target {
+		return 0, 1, true
+	}
+	frontierStable := 0
+	for tick = 1; tick <= cfg.MaxTicks; tick++ {
+		newly := make([]netmodel.HostID, 0, 4)
+		for _, host := range order {
+			for _, nb := range l.s.net.Neighbors(host) {
+				if infected[nb] {
+					continue
+				}
+				p := l.probs[[2]netmodel.HostID{host, nb}]
+				if p > 0 && rng.Float64() < p {
+					newly = append(newly, nb)
+				}
+			}
+		}
+		if len(newly) == 0 {
+			frontierStable++
+		} else {
+			frontierStable = 0
+		}
+		for _, h := range newly {
+			if !infected[h] {
+				infected[h] = true
+				order = append(order, h)
+			}
+		}
+		if infected[cfg.Target] {
+			return tick, len(infected), true
+		}
+		if frontierStable > stallWindow && !l.anyProgressPossible(infected, order) {
+			break
+		}
+	}
+	return cfg.MaxTicks, len(infected), false
+}
+
+func (l *legacySimulator) anyProgressPossible(infected map[netmodel.HostID]bool, order []netmodel.HostID) bool {
+	for _, host := range order {
+		for _, nb := range l.s.net.Neighbors(host) {
+			if infected[nb] {
+				continue
+			}
+			if l.probs[[2]netmodel.HostID{host, nb}] > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

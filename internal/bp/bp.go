@@ -202,15 +202,39 @@ func (k *Kernel) Step() solve.Step {
 				mat = k.g.EdgeMatT(int(he.Edge))
 			}
 			kOther := len(out)
-			for xo := 0; xo < kOther; xo++ {
-				out[xo] = math.Inf(1)
-			}
-			for x := 0; x < kn; x++ {
-				base := agg[x] - in[x]
-				row := mat.Row(x)
+			if kOther == 4 {
+				// Small-K fast path (see the twin in trws.updateMessage): the
+				// four running minima stay in registers and the reslice
+				// eliminates the row bounds checks.
+				o0, o1, o2, o3 := math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)
+				for x := 0; x < kn; x++ {
+					base := agg[x] - in[x]
+					row := mat.Row(x)[:4:4]
+					if v := base + row[0]; v < o0 {
+						o0 = v
+					}
+					if v := base + row[1]; v < o1 {
+						o1 = v
+					}
+					if v := base + row[2]; v < o2 {
+						o2 = v
+					}
+					if v := base + row[3]; v < o3 {
+						o3 = v
+					}
+				}
+				out[0], out[1], out[2], out[3] = o0, o1, o2, o3
+			} else {
 				for xo := 0; xo < kOther; xo++ {
-					if v := base + row[xo]; v < out[xo] {
-						out[xo] = v
+					out[xo] = math.Inf(1)
+				}
+				for x := 0; x < kn; x++ {
+					base := agg[x] - in[x]
+					row := mat.Row(x)[:kOther:kOther]
+					for xo := 0; xo < kOther; xo++ {
+						if v := base + row[xo]; v < out[xo] {
+							out[xo] = v
+						}
 					}
 				}
 			}

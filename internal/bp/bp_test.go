@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"netdiversity/internal/mrf"
+	"netdiversity/internal/mrf/mrftest"
 )
 
 func randomGraph(t *testing.T, rng *rand.Rand, nodes, labels int) *mrf.Graph {
@@ -142,3 +143,15 @@ func TestSolveHardConstraint(t *testing.T) {
 		t.Errorf("pinned node decoded to %d, want 1", sol.Labels[0])
 	}
 }
+
+func benchmarkSolve(b *testing.B, labels int) {
+	g := mrftest.BenchGraph(b, 400, labels)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(g, Options{MaxIterations: 10, Tolerance: 1e-12}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+func BenchmarkMessageRoundK4(b *testing.B) { benchmarkSolve(b, 4) }
+func BenchmarkMessageRoundK6(b *testing.B) { benchmarkSolve(b, 6) }

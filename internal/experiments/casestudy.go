@@ -231,6 +231,8 @@ func TableVI(cfg Config) (*Table, error) {
 		}
 		cells := []string{row.label}
 		for _, entry := range entries {
+			// Workers only batches the runs over the pool; per-run seeding
+			// makes the table identical to a serial campaign.
 			res, err := sim.Run(attacksim.Config{
 				Entry:           entry,
 				Target:          casestudy.TargetWinCC,
@@ -240,6 +242,7 @@ func TableVI(cfg Config) (*Table, error) {
 				ExploitServices: casestudy.AttackServices(),
 				Seed:            cfg.Seed + int64(len(cells)),
 				PAvg:            0.2,
+				Workers:         4,
 			})
 			if err != nil {
 				return nil, err

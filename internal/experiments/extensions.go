@@ -88,6 +88,7 @@ func AdversaryTable(cfg Config) (*Table, error) {
 			Runs:            runs,
 			Seed:            cfg.Seed,
 			ExploitServices: casestudy.AttackServices(),
+			Workers:         4,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,103 @@
+// Package fastrand provides the small, allocation-free pseudo-random
+// generators shared by the simulation hot paths: splitmix64 for seed
+// derivation (one 64-bit state word, arbitrary stream position in O(1)) and
+// xoshiro256++ for bulk variate generation.  Both are well-studied public
+// domain generators (Blackman & Vigna); neither is cryptographic.
+//
+// The package exists because math/rand's Source is too expensive to create
+// per simulation run (a 607-word lagged-Fibonacci table) and too slow to
+// drive millions of Bernoulli draws per campaign.  An RNG here is a plain
+// value: embed it in a per-worker scratch struct and (re)seed it per run
+// without allocating.
+package fastrand
+
+import "math/bits"
+
+// golden is the splitmix64 increment (2^64 / φ, the golden-ratio constant).
+const golden = 0x9e3779b97f4a7c15
+
+// Splitmix64 advances the state by one step and returns the next output of
+// the splitmix64 stream.
+func Splitmix64(state *uint64) uint64 {
+	*state += golden
+	return mix(*state)
+}
+
+// SplitmixAt returns element i of the splitmix64 stream seeded with seed,
+// without materialising the stream.  It is the seed-derivation helper for
+// batched simulation: run i of a campaign with seed s uses SplitmixAt(s, i),
+// so any worker can compute any run's seed independently and the campaign
+// result does not depend on how runs are distributed over workers.
+func SplitmixAt(seed uint64, i uint64) uint64 {
+	return mix(seed + (i+1)*golden)
+}
+
+// mix is the splitmix64 output function: a bijective avalanche over one word.
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a xoshiro256++ generator.  The zero value is invalid (an all-zero
+// state is a fixed point); call Seed before use.  RNG is a value type so it
+// can live inside per-worker scratch without a heap allocation; it is not
+// safe for concurrent use.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns an RNG seeded with Seed(seed).
+func New(seed uint64) RNG {
+	var r RNG
+	r.Seed(seed)
+	return r
+}
+
+// Seed (re)initialises the state from one word by expanding it through
+// splitmix64, the seeding procedure recommended by the xoshiro authors (it
+// guarantees a non-zero state for every seed).
+func (r *RNG) Seed(seed uint64) {
+	r.s0 = Splitmix64(&seed)
+	r.s1 = Splitmix64(&seed)
+	r.s2 = Splitmix64(&seed)
+	r.s3 = Splitmix64(&seed)
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits, the same
+// construction math/rand uses for its fast path.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n).  It panics if n <= 0.  The bound is
+// applied with Lemire's multiply-shift rejection method: one multiplication
+// in the common case, no division.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("fastrand: Intn with non-positive n")
+	}
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		// Reject the biased fringe: threshold = 2^64 mod n.
+		threshold := -un % un
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
+}

@@ -1,0 +1,141 @@
+package fastrand
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSplitmixAtMatchesStream(t *testing.T) {
+	const seed = 12345
+	state := uint64(seed)
+	for i := uint64(0); i < 100; i++ {
+		want := Splitmix64(&state)
+		if got := SplitmixAt(seed, i); got != want {
+			t.Fatalf("SplitmixAt(%d, %d) = %x, stream yields %x", seed, i, got, want)
+		}
+	}
+}
+
+func TestSeedDeterministic(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed should produce the same stream")
+		}
+	}
+	c := New(8)
+	same := 0
+	a = New(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds should diverge, %d/1000 outputs collided", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	if r.s0 == 0 && r.s1 == 0 && r.s2 == 0 && r.s3 == 0 {
+		t.Fatal("seeding with 0 must not produce the all-zero fixed point")
+	}
+	if x, y := r.Uint64(), r.Uint64(); x == 0 && y == 0 {
+		t.Error("zero-seeded generator looks stuck")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(42)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBoundsAndUniformity(t *testing.T) {
+	r := New(9)
+	const n, draws = 7, 140000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := r.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+		counts[v]++
+	}
+	want := float64(draws) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.05 {
+			t.Errorf("bucket %d has %d draws, want ~%.0f", b, c, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func BenchmarkXoshiroFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkMathRandFloat64(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkXoshiroIntn(b *testing.B) {
+	r := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(4)
+	}
+	_ = sink
+}
+
+func BenchmarkMathRandIntn(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Intn(4)
+	}
+	_ = sink
+}
+
+func BenchmarkSeed(b *testing.B) {
+	var r RNG
+	for i := 0; i < b.N; i++ {
+		r.Seed(uint64(i))
+	}
+	_ = r
+}
+
+func BenchmarkMathRandNewSource(b *testing.B) {
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += rand.New(rand.NewSource(int64(i))).Int63()
+	}
+	_ = sink
+}

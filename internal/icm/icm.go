@@ -11,8 +11,8 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/rand"
 
+	"netdiversity/internal/fastrand"
 	"netdiversity/internal/mrf"
 	"netdiversity/internal/solve"
 )
@@ -112,7 +112,7 @@ type Kernel struct {
 
 	g    *mrf.Graph
 	opts solve.Options
-	rng  *rand.Rand
+	rng  fastrand.RNG
 
 	n       int
 	counts  []int
@@ -159,7 +159,7 @@ func (k *Kernel) Defaults(opts solve.Options) solve.Options {
 func (k *Kernel) Init(g *mrf.Graph, opts solve.Options) error {
 	k.g = g
 	k.opts = opts
-	k.rng = rand.New(rand.NewSource(opts.Seed))
+	k.rng = fastrand.New(uint64(opts.Seed))
 	k.n = g.NumNodes()
 	k.counts = make([]int, k.n)
 	for i := 0; i < k.n; i++ {

@@ -1,0 +1,57 @@
+package metrics
+
+import "math"
+
+// Welford is a streaming mean/variance accumulator using Welford's online
+// algorithm, with the parallel (Chan et al.) merge rule so per-worker
+// accumulators of a batched simulation can be combined without keeping the
+// raw samples.  The zero value is an empty accumulator ready for use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Merge folds another accumulator into this one.  Merging preserves count,
+// mean and variance exactly up to floating-point rounding, independent of
+// how the samples were split between the two sides.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.mean += delta * float64(o.n) / float64(n)
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// Count returns the number of samples folded in.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

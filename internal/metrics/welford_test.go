@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func naiveStats(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 5000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*7 + 100
+		w.Add(xs[i])
+	}
+	mean, variance := naiveStats(xs)
+	if math.Abs(w.Mean()-mean) > 1e-9 {
+		t.Errorf("mean %v, naive %v", w.Mean(), mean)
+	}
+	if math.Abs(w.Variance()-variance) > 1e-6 {
+		t.Errorf("variance %v, naive %v", w.Variance(), variance)
+	}
+	if w.Count() != int64(len(xs)) {
+		t.Errorf("count %d, want %d", w.Count(), len(xs))
+	}
+}
+
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 4001)
+	var whole Welford
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 13
+		whole.Add(xs[i])
+	}
+	// Split into uneven partitions (like a strided worker pool) and merge.
+	parts := make([]Welford, 5)
+	for i, x := range xs {
+		parts[i%len(parts)].Add(x)
+	}
+	var merged Welford
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("merged count %d, want %d", merged.Count(), whole.Count())
+	}
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-9 {
+		t.Errorf("merged mean %v, sequential %v", merged.Mean(), whole.Mean())
+	}
+	if math.Abs(merged.Variance()-whole.Variance()) > 1e-6 {
+		t.Errorf("merged variance %v, sequential %v", merged.Variance(), whole.Variance())
+	}
+}
+
+func TestWelfordEdgeCases(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 {
+		t.Error("empty accumulator should report zeros")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Variance() != 0 {
+		t.Error("single sample: mean 5, variance 0")
+	}
+	var empty Welford
+	w.Merge(empty)
+	if w.Count() != 1 || w.Mean() != 5 {
+		t.Error("merging an empty accumulator should be a no-op")
+	}
+	empty.Merge(w)
+	if empty.Count() != 1 || empty.Mean() != 5 {
+		t.Error("merging into an empty accumulator should copy")
+	}
+}

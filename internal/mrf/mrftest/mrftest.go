@@ -1,0 +1,50 @@
+// Package mrftest provides shared test/benchmark fixtures for the solver
+// kernel packages, so cross-solver comparisons (e.g. the small-K message
+// benchmarks in trws and bp) measure the exact same instance.
+package mrftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"netdiversity/internal/mrf"
+)
+
+// BenchGraph builds a degree-6 random MRF with uniform label count K for the
+// message-kernel benchmarks (K=4 exercises the unrolled small-K fast paths,
+// K=6 the generic loops).  The construction is fully seeded, so every caller
+// benchmarks the identical graph.
+func BenchGraph(tb testing.TB, nodes, labels int) *mrf.Graph {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, nodes)
+	for i := range counts {
+		counts[i] = labels
+	}
+	g, err := mrf.NewGraph(counts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		for l := 0; l < labels; l++ {
+			if err := g.SetUnary(i, l, rng.Float64()); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	cost := make([][]float64, labels)
+	for a := range cost {
+		cost[a] = make([]float64, labels)
+		for x := range cost[a] {
+			cost[a][x] = rng.Float64() * 2
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		for _, step := range []int{1, 7, 13} {
+			if _, err := g.AddEdge(i, (i+step)%nodes, cost); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return g
+}

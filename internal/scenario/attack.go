@@ -3,7 +3,9 @@ package scenario
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
+	"time"
 
 	"netdiversity/internal/adversary"
 	"netdiversity/internal/attacksim"
@@ -86,6 +88,10 @@ func ParseAttack(name string) (Attack, error) {
 type attackOutcome struct {
 	MTTC        float64
 	PCompromise float64
+	// MCRunsPerSec and MCAllocPerRun describe the Monte-Carlo campaign of
+	// the adv-* models (zero for the analytic models).
+	MCRunsPerSec  float64
+	MCAllocPerRun uint64
 }
 
 // evaluateAttack stresses an assignment with the cell's attack model: the
@@ -139,6 +145,14 @@ func evaluateAttack(ctx context.Context, net *netmodel.Network, sim *vulnsim.Sim
 		if err != nil {
 			return attackOutcome{}, err
 		}
+		// The Monte-Carlo campaign is timed (and its heap delta recorded) so
+		// reports can gate the attack engine's throughput and per-run
+		// allocation like any other perf metric.  Event mode keeps the cell
+		// cost independent of MaxTicks on hardened assignments; it is
+		// deterministic per seed, so baselines stay comparable.
+		var memPre, memPost runtime.MemStats
+		runtime.ReadMemStats(&memPre)
+		start := time.Now()
 		res, err := ev.RunContext(ctx, adversary.Config{
 			Entry:     entry,
 			Target:    target,
@@ -146,11 +160,19 @@ func evaluateAttack(ctx context.Context, net *netmodel.Network, sim *vulnsim.Sim
 			Runs:      runs,
 			MaxTicks:  200,
 			Seed:      seed,
+			Mode:      attacksim.ModeEvent,
 		})
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&memPost)
 		if err != nil {
 			return attackOutcome{}, err
 		}
-		return attackOutcome{MTTC: res.MTTC, PCompromise: res.SuccessRate}, nil
+		out := attackOutcome{MTTC: res.MTTC, PCompromise: res.SuccessRate}
+		if secs := elapsed.Seconds(); secs > 0 && res.Runs > 0 {
+			out.MCRunsPerSec = float64(res.Runs) / secs
+			out.MCAllocPerRun = (memPost.TotalAlloc - memPre.TotalAlloc) / uint64(res.Runs)
+		}
+		return out, nil
 	default:
 		return attackOutcome{}, fmt.Errorf("scenario: unknown attack model %v", attack)
 	}

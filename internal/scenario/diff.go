@@ -50,6 +50,17 @@ const (
 // regression: the incremental path is allowed noise, not a quality slide.
 const churnGapSlackPts = 1.0
 
+// Monte-Carlo attack-engine gates.  The campaigns of a CI cell finish in
+// well under a millisecond, so the throughput measurement is far noisier
+// than a cell wall-clock; only a halving — the scale of an engine
+// regression, not of scheduler jitter — fails the gate.  The per-run
+// allocation is near-deterministic (compile cost amortised over the runs)
+// and gated tightly: the engine's zero-alloc steady state must not erode.
+const (
+	mcThroughputSlack = 0.5
+	mcAllocSlackBytes = 4096
+)
+
 // CellDelta compares one cell across two reports.
 type CellDelta struct {
 	ID          string
@@ -61,6 +72,10 @@ type CellDelta struct {
 	// ChurnNote explains a churn-metric regression (incremental wall-clock
 	// or energy-gap) that fired independently of the WallMS comparison.
 	ChurnNote string
+	// MCNote explains a Monte-Carlo attack-engine regression (simulation
+	// throughput or per-run allocation) that fired independently of the
+	// WallMS comparison.
+	MCNote string
 }
 
 // Diff is the cell-by-cell comparison of a run against a baseline.
@@ -145,6 +160,20 @@ func Compare(baseline, current *Report, opts DiffOptions) Diff {
 				delta.ChurnNote = fmt.Sprintf("churn energy gap %.2f%% -> %.2f%%", old.ChurnEnergyGapPct, cur.ChurnEnergyGapPct)
 			}
 		}
+		// Monte-Carlo attack cells gate the simulation engine itself: WallMS
+		// covers only the solve, so a throughput collapse or an allocation
+		// creep in the batched simulator must fail on its own metrics.
+		if delta.Verdict != VerdictError && old.Error == "" && old.MCRunsPerSec > 0 && cur.MCRunsPerSec > 0 {
+			switch {
+			case cur.MCRunsPerSec < old.MCRunsPerSec*(1-mcThroughputSlack):
+				delta.Verdict = VerdictRegression
+				delta.MCNote = fmt.Sprintf("mc throughput %.0f -> %.0f runs/s", old.MCRunsPerSec, cur.MCRunsPerSec)
+			case cur.MCAllocPerRun > old.MCAllocPerRun+mcAllocSlackBytes &&
+				float64(cur.MCAllocPerRun) > float64(old.MCAllocPerRun)*(1+opts.Tolerance):
+				delta.Verdict = VerdictRegression
+				delta.MCNote = fmt.Sprintf("mc allocs %dB -> %dB per run", old.MCAllocPerRun, cur.MCAllocPerRun)
+			}
+		}
 		d.Cells = append(d.Cells, delta)
 	}
 	for _, old := range baseline.Cells {
@@ -188,6 +217,9 @@ func (d Diff) Render() string {
 		verdict := string(c.Verdict)
 		if c.ChurnNote != "" {
 			verdict += " (" + c.ChurnNote + ")"
+		}
+		if c.MCNote != "" {
+			verdict += " (" + c.MCNote + ")"
 		}
 		fmt.Fprintf(&b, "%-*s  %10s  %10s  %7s  %10s  %s\n",
 			idWidth, c.ID, old, cur, ratio, energy, verdict)

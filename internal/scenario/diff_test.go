@@ -151,6 +151,50 @@ func TestDiffRenderGolden(t *testing.T) {
 	}
 }
 
+// TestCompareGatesMCMetrics verifies that Monte-Carlo attack cells regress on
+// the engine's own throughput/allocation metrics even when the solve
+// wall-clock is unchanged.
+func TestCompareGatesMCMetrics(t *testing.T) {
+	base := &Report{SchemaVersion: SchemaVersion, Suite: "quick", Cells: []Measurement{
+		{ID: "m1", WallMS: 50, MCRunsPerSec: 100000, MCAllocPerRun: 2000},
+		{ID: "m2", WallMS: 50, MCRunsPerSec: 100000, MCAllocPerRun: 2000},
+		{ID: "m3", WallMS: 50, MCRunsPerSec: 100000, MCAllocPerRun: 2000},
+		{ID: "m4", WallMS: 50, MCRunsPerSec: 100000, MCAllocPerRun: 2000},
+	}}
+	cur := &Report{SchemaVersion: SchemaVersion, Suite: "quick", Cells: []Measurement{
+		// m1: throughput collapsed to a third.
+		{ID: "m1", WallMS: 50, MCRunsPerSec: 33000, MCAllocPerRun: 2000},
+		// m2: per-run allocation grew 5x past both the slack and tolerance.
+		{ID: "m2", WallMS: 50, MCRunsPerSec: 100000, MCAllocPerRun: 10000},
+		// m3: throughput jitter well inside the slack.
+		{ID: "m3", WallMS: 50, MCRunsPerSec: 70000, MCAllocPerRun: 2100},
+		// m4: allocation delta above tolerance but under the absolute slack.
+		{ID: "m4", WallMS: 50, MCRunsPerSec: 100000, MCAllocPerRun: 3000},
+	}}
+	d := Compare(base, cur, DiffOptions{})
+	verdicts := map[string]Verdict{}
+	notes := map[string]string{}
+	for _, c := range d.Cells {
+		verdicts[c.ID] = c.Verdict
+		notes[c.ID] = c.MCNote
+	}
+	if verdicts["m1"] != VerdictRegression || notes["m1"] == "" {
+		t.Fatalf("throughput collapse not gated: %v %q", verdicts["m1"], notes["m1"])
+	}
+	if verdicts["m2"] != VerdictRegression || notes["m2"] == "" {
+		t.Fatalf("allocation creep not gated: %v %q", verdicts["m2"], notes["m2"])
+	}
+	if verdicts["m3"] != VerdictOK {
+		t.Fatalf("in-slack throughput jitter flagged: %v (%q)", verdicts["m3"], notes["m3"])
+	}
+	if verdicts["m4"] != VerdictOK {
+		t.Fatalf("sub-slack allocation delta flagged: %v (%q)", verdicts["m4"], notes["m4"])
+	}
+	if !d.HasRegressions() {
+		t.Fatal("diff reports no regressions")
+	}
+}
+
 // TestCompareGatesChurnMetrics verifies that churn cells regress on their own
 // incremental metrics even when the initial-solve wall-clock is unchanged.
 func TestCompareGatesChurnMetrics(t *testing.T) {

@@ -35,6 +35,13 @@ type Measurement struct {
 	// attack model is "none").
 	MTTC        float64 `json:"mttc,omitempty"`
 	PCompromise float64 `json:"p_compromise,omitempty"`
+	// MCRunsPerSec and MCAllocPerRun report the Monte-Carlo attack engine's
+	// throughput and per-run heap allocation (present only on the adv-*
+	// attack models, which run the compiled batched simulator; the analytic
+	// models have no Monte-Carlo phase).  Allocation is approximate when
+	// cells run concurrently.
+	MCRunsPerSec  float64 `json:"mc_runs_per_sec,omitempty"`
+	MCAllocPerRun uint64  `json:"mc_alloc_per_run,omitempty"`
 
 	// Iterations/Converged/Nodes/Edges describe the solve.
 	Iterations int  `json:"iterations"`
@@ -199,6 +206,8 @@ func Exec(ctx context.Context, net *netmodel.Network, sim *vulnsim.SimilarityTab
 	}
 	meta.MTTC = atk.MTTC
 	meta.PCompromise = atk.PCompromise
+	meta.MCRunsPerSec = atk.MCRunsPerSec
+	meta.MCAllocPerRun = atk.MCAllocPerRun
 
 	if !c.Churn.None() {
 		// The churn phase mutates the cell's network in place through the

@@ -182,6 +182,50 @@ func TestRunCollectsAllCells(t *testing.T) {
 	}
 }
 
+// TestExecRecordsMCMetrics verifies that Monte-Carlo attack cells carry the
+// attack engine's throughput and allocation measurements (and that the
+// analytic models do not).
+func TestExecRecordsMCMetrics(t *testing.T) {
+	m := tinyMatrix()
+	m.Attacks = []string{"adv-full"}
+	cells, err := Expand(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cells[0]
+	net, sim, err := BuildNetwork(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Exec(context.Background(), net, sim, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MCRunsPerSec <= 0 {
+		t.Errorf("adv-full cell has no Monte-Carlo throughput: %+v", out.Measurement)
+	}
+	if out.MTTC <= 0 {
+		t.Errorf("adv-full cell has no MTTC: %+v", out.Measurement)
+	}
+
+	m.Attacks = []string{"recon"}
+	cells, err = Expand(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, sim, err = BuildNetwork(cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = Exec(context.Background(), net, sim, cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.MCRunsPerSec != 0 || out.MCAllocPerRun != 0 {
+		t.Errorf("analytic recon cell should have no Monte-Carlo metrics: %+v", out.Measurement)
+	}
+}
+
 func TestPerCellTimeoutHonored(t *testing.T) {
 	m := tinyMatrix()
 	m.Timeout = time.Nanosecond

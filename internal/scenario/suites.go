@@ -32,8 +32,10 @@ func SuiteNames() []string {
 func suites() map[string]func() Matrix {
 	return map[string]func() Matrix{
 		// quick is the CI gate: every solver on two topology families at two
-		// sizes under the reconnaissance attack estimate.  It must finish in
-		// well under two minutes on a 1-core runner; Repeats=3 takes the
+		// sizes under the reconnaissance attack estimate, plus the
+		// full-knowledge Monte-Carlo attacker so the compiled attack engine's
+		// throughput and per-run allocation are gated per PR.  It must finish
+		// in well under two minutes on a 1-core runner; Repeats=3 takes the
 		// minimum wall-clock per cell to damp scheduler noise.
 		"quick": func() Matrix {
 			return Matrix{
@@ -43,11 +45,11 @@ func suites() map[string]func() Matrix {
 				Degrees:       []int{8},
 				Services:      []int{3},
 				Solvers:       []string{"trws", "bp", "icm", "anneal"},
-				Attacks:       []string{"recon"},
+				Attacks:       []string{"recon", "adv-full"},
 				MaxIterations: 40,
 				Seed:          42,
 				Timeout:       60 * time.Second,
-				AttackRuns:    50,
+				AttackRuns:    200,
 				Repeats:       3,
 			}
 		},

@@ -251,11 +251,39 @@ func (k *Kernel) updateMessage(node int, he solve.HalfEdge, agg []float64) {
 	} else {
 		mat = k.g.EdgeMatT(int(he.Edge))
 	}
+	kn := k.counts[node]
 	kOther := len(out)
+	if kOther == 4 {
+		// Small-K fast path for the products_per_service default: the four
+		// running minima live in registers across the whole label scan and the
+		// explicit reslice eliminates the row bounds checks, instead of a
+		// read-modify-write of out[xo] per (x, xo) pair.  Normalisation is
+		// fused into the final store.
+		o0, o1, o2, o3 := math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)
+		for x := 0; x < kn; x++ {
+			base := gamma*agg[x] - in[x]
+			row := mat.Row(x)[:4:4]
+			if v := base + row[0]; v < o0 {
+				o0 = v
+			}
+			if v := base + row[1]; v < o1 {
+				o1 = v
+			}
+			if v := base + row[2]; v < o2 {
+				o2 = v
+			}
+			if v := base + row[3]; v < o3 {
+				o3 = v
+			}
+		}
+		m := min(min(o0, o1), min(o2, o3))
+		out[0], out[1], out[2], out[3] = o0-m, o1-m, o2-m, o3-m
+		return
+	}
 	for xo := 0; xo < kOther; xo++ {
 		out[xo] = math.Inf(1)
 	}
-	for x := 0; x < k.counts[node]; x++ {
+	for x := 0; x < kn; x++ {
 		base := gamma*agg[x] - in[x]
 		row := mat.Row(x)
 		for xo := 0; xo < kOther; xo++ {

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"netdiversity/internal/mrf"
+	"netdiversity/internal/mrf/mrftest"
 )
 
 // bruteForce finds the exact minimum energy by enumeration (only usable for
@@ -266,3 +267,15 @@ func TestEnergyHistoryMonotone(t *testing.T) {
 		t.Errorf("history length %d != iterations %d", len(sol.EnergyHistory), sol.Iterations)
 	}
 }
+
+func benchmarkSolve(b *testing.B, labels int) {
+	g := mrftest.BenchGraph(b, 400, labels)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(g, Options{MaxIterations: 10, Patience: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+func BenchmarkMessagePassK4(b *testing.B) { benchmarkSolve(b, 4) }
+func BenchmarkMessagePassK6(b *testing.B) { benchmarkSolve(b, 6) }

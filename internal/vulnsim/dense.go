@@ -1,0 +1,70 @@
+package vulnsim
+
+// Dense is a flat, index-addressed view of a SimilarityTable over a fixed
+// product list: sim[i*n+j] holds Sim(products[i], products[j]).  The sparse
+// table behind Sim costs two map lookups per query, which dominates when a
+// simulation campaign derives millions of per-edge success probabilities;
+// the dense view precomputes every pair once at campaign-compile time so the
+// hot loops index a contiguous buffer instead.
+//
+// A Dense is a snapshot: mutations of the source table after construction
+// are not reflected.
+type Dense struct {
+	products []string
+	index    map[string]int
+	sim      []float64
+}
+
+// NewDense materialises the pairwise similarities of the given products.
+// Products may include IDs the table does not know; those pairs take the
+// table's default similarity, exactly as Sim would.  Duplicate products keep
+// the first occurrence.
+func NewDense(t *SimilarityTable, products []string) *Dense {
+	d := &Dense{index: make(map[string]int, len(products))}
+	for _, p := range products {
+		if _, ok := d.index[p]; ok {
+			continue
+		}
+		d.index[p] = len(d.products)
+		d.products = append(d.products, p)
+	}
+	n := len(d.products)
+	d.sim = make([]float64, n*n)
+	for i, a := range d.products {
+		row := d.sim[i*n : (i+1)*n]
+		for j, b := range d.products {
+			row[j] = t.Sim(a, b)
+		}
+	}
+	return d
+}
+
+// NumProducts returns the number of distinct products covered.
+func (d *Dense) NumProducts() int { return len(d.products) }
+
+// Products returns the covered product IDs in index order.
+func (d *Dense) Products() []string {
+	out := make([]string, len(d.products))
+	copy(out, d.products)
+	return out
+}
+
+// Index returns the dense index of a product, or -1 when it is not covered.
+func (d *Dense) Index(p string) int {
+	if i, ok := d.index[p]; ok {
+		return i
+	}
+	return -1
+}
+
+// Sim returns the similarity of the products at dense indices i and j.
+func (d *Dense) Sim(i, j int) float64 {
+	return d.sim[i*len(d.products)+j]
+}
+
+// Row returns the contiguous similarity row of the product at dense index i.
+// Callers must treat it as read-only.
+func (d *Dense) Row(i int) []float64 {
+	n := len(d.products)
+	return d.sim[i*n : (i+1)*n : (i+1)*n]
+}

@@ -1,0 +1,106 @@
+package vulnsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestDenseMatchesSim is the equivalence test between the precomputed dense
+// matrix and the on-the-fly sparse lookup: every covered pair — including
+// self-pairs, unknown products and pairs falling back to the table default —
+// must agree bit-for-bit with Sim.
+func TestDenseMatchesSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	known := make([]string, 12)
+	for i := range known {
+		known[i] = fmt.Sprintf("prod%d", i)
+	}
+	tab := NewSimilarityTable(known)
+	if err := tab.SetDefault(0.07); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(known); i++ {
+		for j := i + 1; j < len(known); j++ {
+			if rng.Float64() < 0.6 {
+				if err := tab.Set(known[i], known[j], rng.Float64(), rng.Intn(5)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Cover unknown products and a duplicate in the requested list.
+	products := append(append([]string(nil), known...), "ghostA", "ghostB", known[3])
+	d := NewDense(tab, products)
+	if d.NumProducts() != len(known)+2 {
+		t.Fatalf("NumProducts = %d, want %d (duplicates collapsed)", d.NumProducts(), len(known)+2)
+	}
+	for _, a := range d.Products() {
+		ia := d.Index(a)
+		row := d.Row(ia)
+		for _, b := range d.Products() {
+			ib := d.Index(b)
+			want := tab.Sim(a, b)
+			if got := d.Sim(ia, ib); got != want {
+				t.Errorf("Dense.Sim(%s,%s) = %v, Sim = %v", a, b, got, want)
+			}
+			if row[ib] != want {
+				t.Errorf("Dense.Row(%s)[%s] = %v, Sim = %v", a, b, row[ib], want)
+			}
+		}
+	}
+	if d.Index("never-seen") != -1 {
+		t.Error("Index of uncovered product should be -1")
+	}
+}
+
+func TestDenseSnapshotSemantics(t *testing.T) {
+	tab := NewSimilarityTable([]string{"a", "b"})
+	if err := tab.Set("a", "b", 0.25, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDense(tab, []string{"a", "b"})
+	if err := tab.Set("a", "b", 0.9, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Sim(d.Index("a"), d.Index("b")); got != 0.25 {
+		t.Errorf("Dense should snapshot the table at construction, got %v", got)
+	}
+}
+
+func BenchmarkSimSparse(b *testing.B) {
+	products := make([]string, 16)
+	for i := range products {
+		products[i] = fmt.Sprintf("prod%d", i)
+	}
+	tab := NewSimilarityTable(products)
+	for i := 0; i < len(products); i++ {
+		for j := i + 1; j < len(products); j++ {
+			_ = tab.Set(products[i], products[j], 0.3, 1)
+		}
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += tab.Sim(products[i%16], products[(i+5)%16])
+	}
+	_ = sink
+}
+
+func BenchmarkSimDense(b *testing.B) {
+	products := make([]string, 16)
+	for i := range products {
+		products[i] = fmt.Sprintf("prod%d", i)
+	}
+	tab := NewSimilarityTable(products)
+	for i := 0; i < len(products); i++ {
+		for j := i + 1; j < len(products); j++ {
+			_ = tab.Set(products[i], products[j], 0.3, 1)
+		}
+	}
+	d := NewDense(tab, products)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += d.Sim(i%16, (i+5)%16)
+	}
+	_ = sink
+}

@@ -97,6 +97,11 @@ type (
 	SimulationConfig = attacksim.Config
 	// SimulationResult reports MTTC and related statistics.
 	SimulationResult = attacksim.Result
+	// AttackCampaign is a campaign compiled to the flat CSR attack engine;
+	// obtain one with Simulator.Compile to run many batches over it.
+	AttackCampaign = attacksim.Campaign
+	// SimulationMode selects the campaign execution engine.
+	SimulationMode = attacksim.Mode
 	// RandomNetworkConfig parameterises the random network generator used
 	// by the scalability experiments.
 	RandomNetworkConfig = netgen.RandomConfig
@@ -108,6 +113,14 @@ const (
 	SolverBP     = core.SolverBP
 	SolverICM    = core.SolverICM
 	SolverAnneal = core.SolverAnneal
+)
+
+// Simulation execution modes: the synchronous tick loop (bit-exact with the
+// historical simulator) and the event-driven geometric/Dijkstra engine
+// (statistically equivalent, faster on high-MTTC campaigns).
+const (
+	SimulationTick  = attacksim.ModeTick
+	SimulationEvent = attacksim.ModeEvent
 )
 
 // Constraint modes and the global-constraint host sentinel.
