@@ -86,6 +86,17 @@ func run(args []string, out io.Writer) error {
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", m.Name)
 	}
+	// Load the baseline before the run writes anything: with the default
+	// output path, -baseline often names the same file the fresh report is
+	// about to replace, and reading it afterwards would diff the run against
+	// itself (always a pass).
+	var base *scenario.Report
+	if *baseline != "" {
+		base, err = scenario.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("loading baseline: %w", err)
+		}
+	}
 
 	start := time.Now()
 	rep, err := scenario.Run(context.Background(), m)
@@ -105,12 +116,8 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("%d of %d cells failed", len(failed), len(rep.Cells))
 	}
 
-	if *baseline == "" {
+	if base == nil {
 		return nil
-	}
-	base, err := scenario.ReadFile(*baseline)
-	if err != nil {
-		return fmt.Errorf("loading baseline: %w", err)
 	}
 	diff := scenario.Compare(base, rep, scenario.DiffOptions{Tolerance: *tolerance, FloorMS: *floorMS})
 	fmt.Fprint(out, diff.Render())

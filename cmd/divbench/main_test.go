@@ -17,7 +17,7 @@ func TestList(t *testing.T) {
 	if err := run([]string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"quick", "full", "pipeline"} {
+	for _, want := range []string{"quick", "full", "pipeline", "churn", "serve"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("suite list missing %q:\n%s", want, out.String())
 		}
@@ -151,6 +151,28 @@ func TestBaselineFromDifferentEnvironmentIsInformational(t *testing.T) {
 		"-baseline", doctored, "-floor-ms", "0.001", "-strict"}, &out)
 	if !errors.Is(err, errRegression) {
 		t.Fatalf("-strict should gate across environments, got err=%v", err)
+	}
+}
+
+// TestBaselineReadBeforeOverwrite pins the fix for the self-diff footgun:
+// when -baseline names the same file the fresh report is written to (the
+// default layout, where both are BENCH_<suite>.json), the baseline must be
+// loaded before the run overwrites it — otherwise the diff would compare
+// the run against itself and always pass.
+func TestBaselineReadBeforeOverwrite(t *testing.T) {
+	rep, _ := runQuick(t)
+	for i := range rep.Cells {
+		rep.Cells[i].WallMS = rep.Cells[i].WallMS / 2
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_quick.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := run([]string{"-quick", "-out", path, "-baseline", path, "-floor-ms", "0.001"}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("baseline at the output path must be diffed pre-overwrite (and trip the doctored gate), got err=%v\n%s",
+			err, out.String())
 	}
 }
 

@@ -1,0 +1,154 @@
+// Command divd is the long-running diversification daemon: an HTTP/JSON
+// service that holds many tenant networks alive as sessions, re-optimises
+// them incrementally as deltas arrive and assesses them with the compiled
+// attack engine.  See docs/API.md for the endpoint reference.
+//
+// Usage:
+//
+//	divd [-addr :8080] [-shards 8] [-solve-workers N] [-request-timeout 30s]
+//	     [-max-sessions 1024] [-preload spec.json,spec2.json]
+//
+// Endpoints (all under /v1):
+//
+//	POST   /v1/networks                  create a session from a netmodel spec
+//	GET    /v1/networks                  list sessions
+//	GET    /v1/networks/{id}             session summary
+//	DELETE /v1/networks/{id}             drop a session
+//	POST   /v1/networks/{id}/deltas      apply a delta batch + re-optimise
+//	GET    /v1/networks/{id}/assignment  current assignment (lock-free read)
+//	GET    /v1/networks/{id}/metrics     energy, pairwise cost, d1/d2/d3
+//	POST   /v1/networks/{id}/assess      Monte-Carlo attack campaign (MTTC)
+//	GET    /healthz                      liveness + session count
+//
+// -preload creates one session per comma-separated spec file at startup
+// (IDs preload-0, preload-1, ... with the paper similarity table), so a
+// fleet can come up already serving.  On SIGINT/SIGTERM the daemon drains:
+// new state-changing requests get 503 while in-flight solves finish, then
+// the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"netdiversity/internal/core"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/serve"
+	"netdiversity/internal/vulnsim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "divd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until the context backing stop ends or a
+// termination signal arrives.  The bound address is printed on stdout
+// ("divd listening on ..."), so tests and scripts can start with -addr
+// 127.0.0.1:0 and scrape the port.  stop is optional (tests use it to shut
+// the daemon down without a signal).
+func run(args []string, out io.Writer, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("divd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		shards       = fs.Int("shards", 8, "session-store shard count")
+		solveWorkers = fs.Int("solve-workers", 0, "bound on concurrently executing solves (0 = GOMAXPROCS)")
+		maxSessions  = fs.Int("max-sessions", 1024, "maximum live sessions")
+		reqTimeout   = fs.Duration("request-timeout", 30*time.Second, "per-request deadline (shortened per request via ?timeout_ms=)")
+		maxBody      = fs.Int64("max-request-bytes", 8<<20, "maximum request body size in bytes")
+		preload      = fs.String("preload", "", "comma-separated netmodel spec files to create sessions from at startup")
+		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		Shards:          *shards,
+		SolveWorkers:    *solveWorkers,
+		MaxSessions:     *maxSessions,
+		RequestTimeout:  *reqTimeout,
+		MaxRequestBytes: *maxBody,
+	})
+	if *preload != "" {
+		if err := preloadSpecs(srv, *preload, out); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "divd listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(out, "divd: %s, draining\n", sig)
+	case <-stop:
+		fmt.Fprintln(out, "divd: stop requested, draining")
+	}
+
+	// Drain: reject new state-changing work immediately, then let
+	// http.Server.Shutdown wait for the in-flight handlers (and therefore
+	// the in-flight solves) to complete.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// preloadSpecs creates one session per spec file before the listener opens,
+// using the strict decoder (preload files often come from the same untrusted
+// sources as API requests) and the paper similarity table.
+func preloadSpecs(srv *serve.Server, list string, out io.Writer) error {
+	for i, path := range strings.Split(list, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		net, cs, err := netmodel.DecodeSpecStrict(f, netmodel.SpecLimits{})
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("preload %s: %w", path, err)
+		}
+		id := fmt.Sprintf("preload-%d", i)
+		if err := srv.Preload(id, net, cs, vulnsim.PaperSimilarity(), core.Options{}); err != nil {
+			return fmt.Errorf("preload %s: %w", path, err)
+		}
+		fmt.Fprintf(out, "divd: preloaded %s as %s\n", path, id)
+	}
+	return nil
+}

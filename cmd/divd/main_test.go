@@ -1,0 +1,200 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netdiversity/internal/netmodel"
+)
+
+// syncBuffer is a goroutine-safe output sink for the daemon under test.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startDaemon runs the daemon on a free port and returns its base URL plus a
+// shutdown function that asserts a clean drain.
+func startDaemon(t *testing.T, extraArgs ...string) (string, func()) {
+	t.Helper()
+	var out syncBuffer
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	go func() { done <- run(args, &out, stop) }()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if addr, ok := strings.CutPrefix(line, "divd listening on "); ok {
+				base = "http://" + strings.TrimSpace(addr)
+			}
+		}
+		if base != "" {
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v (output: %s)", err, out.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never reported its address (output: %s)", out.String())
+	}
+	return base, func() {
+		close(stop)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon shutdown: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not drain within 10s")
+		}
+	}
+}
+
+// specFile writes a spec for a small chain network over paper products.
+func specFile(t *testing.T, hosts int) string {
+	t.Helper()
+	spec := netmodel.Spec{}
+	for i := 0; i < hosts; i++ {
+		spec.Hosts = append(spec.Hosts, netmodel.HostSpec{
+			ID:       netmodel.HostID(fmt.Sprintf("h%d", i)),
+			Services: []netmodel.ServiceID{"os"},
+			Choices: map[netmodel.ServiceID][]netmodel.ProductID{
+				"os": {"win7", "ubt1404", "osx109"},
+			},
+		})
+		if i > 0 {
+			spec.Links = append(spec.Links, netmodel.Link{
+				A: netmodel.HostID(fmt.Sprintf("h%d", i-1)),
+				B: netmodel.HostID(fmt.Sprintf("h%d", i)),
+			})
+		}
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "net.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDaemonRoundTrip boots the daemon, runs the create → delta → assess
+// round trip over real HTTP and shuts it down cleanly.
+func TestDaemonRoundTrip(t *testing.T) {
+	base, shutdown := startDaemon(t)
+	defer shutdown()
+
+	spec, err := os.ReadFile(specFile(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"id":"rt","spec":%s,"seed":5}`, spec)
+	resp, err := http.Post(base+"/v1/networks", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		Hosts          int    `json:"hosts"`
+		AssignmentHash string `json:"assignment_hash"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || created.Hosts != 10 || created.AssignmentHash == "" {
+		t.Fatalf("create: status %d response %+v", resp.StatusCode, created)
+	}
+
+	resp, err = http.Post(base+"/v1/networks/rt/deltas", "application/json",
+		strings.NewReader(`{"ops":[{"op":"remove_edge","a":"h4","b":"h5"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dres struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dres); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || dres.Version != 2 {
+		t.Fatalf("delta: status %d version %d", resp.StatusCode, dres.Version)
+	}
+
+	resp, err = http.Post(base+"/v1/networks/rt/assess", "application/json",
+		strings.NewReader(`{"runs":50,"max_ticks":100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var assess struct {
+		MTTC float64 `json:"mttc"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&assess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || assess.MTTC <= 0 {
+		t.Fatalf("assess: status %d mttc %f", resp.StatusCode, assess.MTTC)
+	}
+}
+
+// TestDaemonPreload boots the daemon with a -preload spec and checks the
+// session is live before the first request.
+func TestDaemonPreload(t *testing.T) {
+	base, shutdown := startDaemon(t, "-preload", specFile(t, 5))
+	defer shutdown()
+
+	resp, err := http.Get(base + "/v1/networks/preload-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary struct {
+		Hosts   int    `json:"hosts"`
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&summary); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || summary.Hosts != 5 || summary.Version != 1 {
+		t.Fatalf("preload session: status %d %+v", resp.StatusCode, summary)
+	}
+}
+
+// TestDaemonBadFlags pins flag-parse failures to an error return.
+func TestDaemonBadFlags(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-addr"}, &out, nil); err == nil {
+		t.Fatal("missing flag value should fail")
+	}
+	if err := run([]string{"-preload", "/does/not/exist.json"}, &out, nil); err == nil {
+		t.Fatal("missing preload file should fail")
+	}
+}

@@ -1,0 +1,195 @@
+// Command doccheck is the repository's documentation linter: it fails when a
+// package lacks a package comment or an exported top-level identifier lacks a
+// doc comment.  It is the golint-style documentation subset only — a
+// dependency-free check the CI docs job can run with the stock toolchain —
+// and complements go vet, which does not enforce doc comments at all.
+//
+// Usage:
+//
+//	doccheck [root]
+//
+// root defaults to the current directory.  Every directory below it
+// containing .go files is checked, except testdata and hidden directories;
+// _test.go files are skipped (test helpers legitimately go undocumented).
+//
+// Rules, matching the style the codebase already follows:
+//
+//   - every package must carry a package comment on some file's package
+//     clause;
+//   - every exported func and method (on an exported receiver type) must
+//     have a doc comment;
+//   - every exported type, const and var spec must have a doc comment on the
+//     spec itself or on its enclosing declaration group.
+//
+// Exit status 1 when any finding is reported, 0 otherwise.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	findings, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbols\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// check walks the tree and returns one finding line per violation, sorted.
+func check(root string) ([]string, error) {
+	dirs := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || (name != "." && strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			dirs[dir] = append(dirs[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []string
+	dirNames := make([]string, 0, len(dirs))
+	for dir := range dirs {
+		dirNames = append(dirNames, dir)
+	}
+	sort.Strings(dirNames)
+	for _, dir := range dirNames {
+		fs, err := checkPackage(dirs[dir])
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}
+
+// checkPackage lints the files of one directory.
+func checkPackage(files []string) ([]string, error) {
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	var findings []string
+	hasPackageDoc := false
+	pkgName := ""
+	var firstFile string
+
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkgName = f.Name.Name
+		if firstFile == "" {
+			firstFile = path
+		}
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			hasPackageDoc = true
+		}
+		findings = append(findings, checkFile(fset, f)...)
+	}
+	if !hasPackageDoc && pkgName != "" {
+		findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", firstFile, pkgName))
+	}
+	return findings, nil
+}
+
+// checkFile lints the top-level declarations of one file.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var findings []string
+	report := func(pos token.Pos, format string, args ...any) {
+		findings = append(findings, fmt.Sprintf("%s: %s", fset.Position(pos), fmt.Sprintf(format, args...)))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil {
+				kind := "func"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), "exported %s %s should have a doc comment", kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+						report(sp.Pos(), "exported type %s should have a doc comment", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if d.Doc != nil || sp.Doc != nil || sp.Comment != nil {
+						continue
+					}
+					for _, name := range sp.Names {
+						if name.IsExported() {
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							report(sp.Pos(), "exported %s %s should have a doc comment", kind, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// exportedReceiver reports whether a function is free-standing or its
+// receiver names an exported type (methods on unexported types are internal
+// even when the method name is exported).
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFindsViolations(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", `package a
+
+type Exposed struct{}
+
+func Undocumented() {}
+
+const Answer = 42
+`)
+	findings, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{
+		"exported type Exposed",
+		"exported func Undocumented",
+		"exported const Answer",
+		"has no package comment",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("findings miss %q:\n%s", want, joined)
+		}
+	}
+	if len(findings) != 4 {
+		t.Errorf("want 4 findings, got %d:\n%s", len(findings), joined)
+	}
+}
+
+func TestCheckAcceptsDocumentedCode(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", `// Package a is documented.
+package a
+
+// Exposed is documented.
+type Exposed struct{}
+
+// Constants of the a package.
+const (
+	Answer = 42
+	Other  = 7
+)
+
+// Method is documented.
+func (Exposed) Method() {}
+
+type hidden struct{}
+
+// Exported methods on unexported types are internal API.
+func (hidden) Exported() {}
+`)
+	findings, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("unexpected findings:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+func TestCheckSkipsTestsAndTestdata(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", "// Package a is documented.\npackage a\n")
+	write(t, dir, "a_test.go", "package a\n\nfunc Helper() {}\n")
+	sub := filepath.Join(dir, "testdata")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write(t, sub, "fixture.go", "package fixture\n\nfunc Broken() {}\n")
+	findings, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("test/testdata files should be skipped:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
+// TestRepositoryIsClean is the repo's own documentation gate in unit-test
+// form: the CI docs job runs the binary, this test keeps the same contract
+// enforced by plain `go test ./...`.
+func TestRepositoryIsClean(t *testing.T) {
+	findings, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("undocumented exported symbols:\n%s", strings.Join(findings, "\n"))
+	}
+}

@@ -504,6 +504,18 @@ func (o *Optimizer) Reoptimize(ctx context.Context) (ReoptimizeResult, error) {
 // when a churn step fails or is cancelled.
 func (o *Optimizer) LastAssignment() *netmodel.Assignment { return o.lastAssignment }
 
+// Snapshot returns a deep copy of the most recent solution and its energy.
+// ok is false before the first successful solve.  The copy shares no state
+// with the optimiser, so a serving layer can hand it to concurrent readers
+// while the next ApplyDelta/Reoptimize cycle runs — the Optimizer itself is
+// single-writer and callers must still serialise the mutating calls.
+func (o *Optimizer) Snapshot() (a *netmodel.Assignment, energy float64, ok bool) {
+	if o.lastAssignment == nil {
+		return nil, 0, false
+	}
+	return o.lastAssignment.Clone(), o.lastEnergy, true
+}
+
 // greedyRecolor rebuilds the masked region of a warm labeling the way the
 // cold pipeline's greedy-colouring warm start would: masked nodes are
 // treated as unassigned and re-coloured in decreasing-degree order against

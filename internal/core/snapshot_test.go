@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"netdiversity/internal/netmodel"
+)
+
+// TestSnapshot pins the serving-layer contract: Snapshot returns a deep copy
+// of the last solution, absent before the first solve, and unaffected by
+// later mutation of the copy or by subsequent re-optimisations.
+func TestSnapshot(t *testing.T) {
+	net, sim := churnFixture(t, 20, 4)
+	opt, err := NewOptimizer(net, sim, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := opt.Snapshot(); ok {
+		t.Fatal("snapshot available before first solve")
+	}
+
+	res, err := opt.Optimize(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, energy, ok := opt.Snapshot()
+	if !ok {
+		t.Fatal("snapshot unavailable after solve")
+	}
+	if energy != res.Energy {
+		t.Fatalf("snapshot energy %v, want %v", energy, res.Energy)
+	}
+	if !snap.Equal(res.Assignment) {
+		t.Fatal("snapshot differs from the solved assignment")
+	}
+
+	// Mutating the copy must not leak into the optimiser's served state.
+	hosts := snap.Hosts()
+	first := hosts[0]
+	for svc := range snap.HostAssignment(first) {
+		snap.Set(first, svc, "poisoned")
+	}
+	again, _, _ := opt.Snapshot()
+	if again.Equal(snap) {
+		t.Fatal("snapshot shares state with a previously returned copy")
+	}
+	if !again.Equal(res.Assignment) {
+		t.Fatal("served assignment was corrupted through a snapshot copy")
+	}
+
+	// A delta + re-optimise produces a fresh snapshot for the new state.
+	victim := hosts[len(hosts)-1]
+	if err := opt.ApplyDelta(netmodel.Delta{Ops: []netmodel.DeltaOp{
+		{Op: netmodel.OpRemoveHost, ID: victim},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Reoptimize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	after, _, ok := opt.Snapshot()
+	if !ok {
+		t.Fatal("snapshot unavailable after reoptimize")
+	}
+	if _, found := after.Get(victim, netmodel.ServiceID("s1")); found {
+		t.Fatal("snapshot still assigns the removed host")
+	}
+}

@@ -99,6 +99,68 @@ func (d Delta) Validate() error {
 	return nil
 }
 
+// Check validates that the delta would replay cleanly against the network
+// without mutating anything — the all-or-nothing precondition a serving
+// layer needs before handing the delta to a live optimiser (Apply stops at
+// the first failing op with the prefix applied).  It mirrors Apply's error
+// conditions exactly: duplicate or unknown hosts, invalid service sets and
+// self-links fail; re-adding an existing link or removing a missing one is
+// a no-op.  Host existence is tracked through an overlay so intra-delta
+// dependencies (an op referencing a host added or removed earlier in the
+// same delta) validate correctly, in O(ops) regardless of network size.
+func (d Delta) Check(n *Network) error {
+	// overlay records host-existence changes made by earlier ops of this
+	// delta; hosts not present fall through to the network.
+	overlay := make(map[HostID]bool)
+	exists := func(id HostID) bool {
+		if v, ok := overlay[id]; ok {
+			return v
+		}
+		_, ok := n.hosts[id]
+		return ok
+	}
+	for i, op := range d.Ops {
+		fail := func(err error) error {
+			return fmt.Errorf("netmodel: delta op %d (%s): %w", i, op.Op, err)
+		}
+		if err := op.Validate(); err != nil {
+			return fail(err)
+		}
+		switch op.Op {
+		case OpAddHost:
+			if exists(op.Host.ID) {
+				return fail(fmt.Errorf("%w: %q", ErrDuplicateHost, op.Host.ID))
+			}
+			if err := validateServiceSet(op.Host.ID, op.Host.Services, op.Host.Choices); err != nil {
+				return fail(err)
+			}
+			overlay[op.Host.ID] = true
+		case OpRemoveHost:
+			if !exists(op.ID) {
+				return fail(fmt.Errorf("%w: %q", ErrUnknownHost, op.ID))
+			}
+			overlay[op.ID] = false
+		case OpAddEdge, OpRemoveEdge:
+			if op.Op == OpAddEdge && op.A == op.B {
+				return fail(fmt.Errorf("%w: %q", ErrSelfLink, op.A))
+			}
+			for _, id := range [2]HostID{op.A, op.B} {
+				if !exists(id) {
+					return fail(fmt.Errorf("%w: %q", ErrUnknownHost, id))
+				}
+			}
+		case OpUpdateHostServices:
+			if !exists(op.ID) {
+				return fail(fmt.Errorf("%w: %q", ErrUnknownHost, op.ID))
+			}
+			if err := validateServiceSet(op.ID, op.Services, op.Choices); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	return nil
+}
+
 // Apply replays the delta against a network through the mutation API.  Ops
 // are applied in order; the first failing op aborts the replay (earlier ops
 // stay applied, mirroring the journal semantics of a partially consumed
@@ -146,6 +208,42 @@ func EncodeDeltas(w io.Writer, deltas []Delta) error {
 	return nil
 }
 
+// DeltaLimits bounds the size of a delta decoded from an untrusted source
+// (the divd delta endpoint).  A zero field means "unlimited", mirroring
+// SpecLimits.
+type DeltaLimits struct {
+	// MaxOps bounds the operation count of one delta.
+	MaxOps int
+	// Host bounds the shape of hosts carried by add_host / update_services
+	// ops (only the per-host fields of SpecLimits apply).
+	Host SpecLimits
+}
+
+// CheckLimits verifies the delta against the limits, returning the first
+// violation.  Like Spec.CheckLimits it is a pure size check; Validate covers
+// the structural requirements of each op kind.
+func (d Delta) CheckLimits(l DeltaLimits) error {
+	if l.MaxOps > 0 && len(d.Ops) > l.MaxOps {
+		return fmt.Errorf("netmodel: delta has %d ops, limit %d", len(d.Ops), l.MaxOps)
+	}
+	for i, op := range d.Ops {
+		switch op.Op {
+		case OpAddHost:
+			if op.Host != nil {
+				if err := l.Host.hostShapeWithinLimits(op.Host); err != nil {
+					return fmt.Errorf("op %d: %w", i, err)
+				}
+			}
+		case OpUpdateHostServices:
+			shape := HostSpec{ID: op.ID, Services: op.Services, Choices: op.Choices}
+			if err := l.Host.hostShapeWithinLimits(&shape); err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
 // DeltaDecoder streams deltas from a JSON-lines (or concatenated-JSON)
 // reader.
 type DeltaDecoder struct {
@@ -155,6 +253,14 @@ type DeltaDecoder struct {
 // NewDeltaDecoder wraps a reader producing a stream of Delta JSON objects.
 func NewDeltaDecoder(r io.Reader) *DeltaDecoder {
 	return &DeltaDecoder{dec: json.NewDecoder(r)}
+}
+
+// Strict makes the decoder reject deltas carrying unknown JSON fields, the
+// posture for untrusted input (unknown fields are a caller bug or a probe,
+// never valid data).  It returns the decoder for chaining.
+func (d *DeltaDecoder) Strict() *DeltaDecoder {
+	d.dec.DisallowUnknownFields()
+	return d
 }
 
 // Next decodes and validates the next delta.  It returns io.EOF at the end

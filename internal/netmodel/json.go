@@ -148,6 +148,84 @@ func ReadSpec(r io.Reader) (*Network, *ConstraintSet, error) {
 	return FromSpec(spec)
 }
 
+// SpecLimits bounds the size of a spec decoded from an untrusted source
+// (the divd network-create endpoint).  A zero field means "unlimited", so
+// the zero value disables all checks and trusted callers keep the old
+// behaviour.
+type SpecLimits struct {
+	// MaxHosts bounds the host count.
+	MaxHosts int
+	// MaxLinks bounds the link count.
+	MaxLinks int
+	// MaxConstraints bounds constraints plus fixed-product pins.
+	MaxConstraints int
+	// MaxServicesPerHost bounds the service list of any one host.
+	MaxServicesPerHost int
+	// MaxChoicesPerService bounds the candidate list of any one service.
+	MaxChoicesPerService int
+}
+
+// hostShapeWithinLimits checks one host description against the per-host
+// limits (shared by spec and delta validation).
+func (l SpecLimits) hostShapeWithinLimits(hs *HostSpec) error {
+	if l.MaxServicesPerHost > 0 && len(hs.Services) > l.MaxServicesPerHost {
+		return fmt.Errorf("netmodel: host %q has %d services, limit %d", hs.ID, len(hs.Services), l.MaxServicesPerHost)
+	}
+	if l.MaxChoicesPerService > 0 {
+		for s, ps := range hs.Choices {
+			if len(ps) > l.MaxChoicesPerService {
+				return fmt.Errorf("netmodel: host %q service %q has %d candidate products, limit %d",
+					hs.ID, s, len(ps), l.MaxChoicesPerService)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckLimits verifies the spec against the limits, returning the first
+// violation.  It is a pure size check — structural validation (duplicate
+// hosts, dangling links, malformed constraints) still happens in FromSpec.
+func (s Spec) CheckLimits(l SpecLimits) error {
+	if l.MaxHosts > 0 && len(s.Hosts) > l.MaxHosts {
+		return fmt.Errorf("netmodel: spec has %d hosts, limit %d", len(s.Hosts), l.MaxHosts)
+	}
+	if l.MaxLinks > 0 && len(s.Links) > l.MaxLinks {
+		return fmt.Errorf("netmodel: spec has %d links, limit %d", len(s.Links), l.MaxLinks)
+	}
+	if l.MaxConstraints > 0 && len(s.Constraints)+len(s.Fixed) > l.MaxConstraints {
+		return fmt.Errorf("netmodel: spec has %d constraints, limit %d", len(s.Constraints)+len(s.Fixed), l.MaxConstraints)
+	}
+	for i := range s.Hosts {
+		if err := l.hostShapeWithinLimits(&s.Hosts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeSpecStrict decodes a spec from untrusted input: unknown JSON fields
+// are rejected (they are always a caller bug or a probe, never valid data),
+// trailing garbage after the spec object fails the decode, and the limits are
+// enforced before the network is built, so an oversized spec is rejected in
+// O(spec) without allocating the model.  Callers bound the raw byte size
+// separately (http.MaxBytesReader / io.LimitReader).
+func DecodeSpecStrict(r io.Reader, limits SpecLimits) (*Network, *ConstraintSet, error) {
+	var spec Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, nil, fmt.Errorf("netmodel: decode spec: %w", err)
+	}
+	// A spec is a single document: anything after the object is garbage.
+	if dec.More() {
+		return nil, nil, fmt.Errorf("netmodel: decode spec: trailing data after spec object")
+	}
+	if err := spec.CheckLimits(limits); err != nil {
+		return nil, nil, err
+	}
+	return FromSpec(spec)
+}
+
 // assignmentJSON is the serialised form of an Assignment.
 type assignmentJSON struct {
 	Hosts map[HostID]map[ServiceID]ProductID `json:"hosts"`

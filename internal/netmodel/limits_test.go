@@ -1,0 +1,169 @@
+package netmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func limitsSpecJSON() string {
+	return `{
+  "hosts": [
+    {"id": "a", "services": ["os"], "choices": {"os": ["p1", "p2"]}},
+    {"id": "b", "services": ["os"], "choices": {"os": ["p1", "p2"]}}
+  ],
+  "links": [{"a": "a", "b": "b"}]
+}`
+}
+
+func TestDecodeSpecStrict(t *testing.T) {
+	net, _, err := DecodeSpecStrict(strings.NewReader(limitsSpecJSON()), SpecLimits{})
+	if err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if net.NumHosts() != 2 || net.NumLinks() != 1 {
+		t.Fatalf("decoded network: %d hosts %d links", net.NumHosts(), net.NumLinks())
+	}
+
+	// Unknown fields are a probe or a bug, never valid data.
+	if _, _, err := DecodeSpecStrict(strings.NewReader(`{"hosts": [], "evil": 1}`), SpecLimits{}); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	// Trailing garbage after the document fails.
+	if _, _, err := DecodeSpecStrict(strings.NewReader(limitsSpecJSON()+`{"hosts": []}`), SpecLimits{}); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+	// Limits are enforced.
+	if _, _, err := DecodeSpecStrict(strings.NewReader(limitsSpecJSON()), SpecLimits{MaxHosts: 1}); err == nil {
+		t.Fatal("over-limit host count accepted")
+	}
+	if _, _, err := DecodeSpecStrict(strings.NewReader(limitsSpecJSON()), SpecLimits{MaxLinks: 1}); err != nil {
+		t.Fatalf("at-limit link count rejected: %v", err)
+	}
+}
+
+func TestSpecCheckLimits(t *testing.T) {
+	spec := Spec{
+		Hosts: []HostSpec{{
+			ID:       "a",
+			Services: []ServiceID{"s1", "s2", "s3"},
+			Choices: map[ServiceID][]ProductID{
+				"s1": {"p1", "p2", "p3"}, "s2": {"p1"}, "s3": {"p1"},
+			},
+		}},
+		Constraints: []Constraint{{}},
+		Fixed:       []FixedSpec{{Host: "a", Service: "s1", Product: "p1"}},
+	}
+	cases := []struct {
+		name   string
+		limits SpecLimits
+		wantOK bool
+	}{
+		{"zero value disables checks", SpecLimits{}, true},
+		{"at host limit", SpecLimits{MaxHosts: 1}, true},
+		{"services per host", SpecLimits{MaxServicesPerHost: 2}, false},
+		{"choices per service", SpecLimits{MaxChoicesPerService: 2}, false},
+		{"constraints include fixed pins", SpecLimits{MaxConstraints: 1}, false},
+		{"constraints at limit", SpecLimits{MaxConstraints: 2}, true},
+	}
+	for _, tc := range cases {
+		err := spec.CheckLimits(tc.limits)
+		if (err == nil) != tc.wantOK {
+			t.Errorf("%s: err=%v wantOK=%v", tc.name, err, tc.wantOK)
+		}
+	}
+}
+
+func TestDeltaCheckLimits(t *testing.T) {
+	big := &HostSpec{
+		ID:       "x",
+		Services: []ServiceID{"s1", "s2"},
+		Choices:  map[ServiceID][]ProductID{"s1": {"p1", "p2", "p3"}, "s2": {"p1"}},
+	}
+	d := Delta{Ops: []DeltaOp{
+		{Op: OpAddHost, Host: big},
+		{Op: OpUpdateHostServices, ID: "x", Services: big.Services, Choices: big.Choices},
+	}}
+	if err := d.CheckLimits(DeltaLimits{}); err != nil {
+		t.Fatalf("zero limits rejected delta: %v", err)
+	}
+	if err := d.CheckLimits(DeltaLimits{MaxOps: 1}); err == nil {
+		t.Fatal("over-limit op count accepted")
+	}
+	if err := d.CheckLimits(DeltaLimits{Host: SpecLimits{MaxChoicesPerService: 2}}); err == nil {
+		t.Fatal("oversized add_host shape accepted")
+	}
+	if err := d.CheckLimits(DeltaLimits{Host: SpecLimits{MaxServicesPerHost: 1}}); err == nil {
+		t.Fatal("oversized update_services shape accepted")
+	}
+}
+
+// TestDeltaCheckMirrorsApply pins the parity contract: Check must accept a
+// delta iff Apply replays it cleanly, including intra-delta dependencies.
+func TestDeltaCheckMirrorsApply(t *testing.T) {
+	baseNet := func() *Network {
+		n, _, err := DecodeSpecStrict(strings.NewReader(limitsSpecJSON()), SpecLimits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	newHost := func(id HostID) *HostSpec {
+		return &HostSpec{ID: id, Services: []ServiceID{"os"}, Choices: map[ServiceID][]ProductID{"os": {"p1"}}}
+	}
+	cases := []struct {
+		name  string
+		delta Delta
+	}{
+		{"empty", Delta{}},
+		{"valid mixed", Delta{Ops: []DeltaOp{
+			{Op: OpAddHost, Host: newHost("c")},
+			{Op: OpAddEdge, A: "a", B: "c"},
+			{Op: OpRemoveEdge, A: "a", B: "b"},
+			{Op: OpUpdateHostServices, ID: "b", Services: []ServiceID{"os"}, Choices: map[ServiceID][]ProductID{"os": {"p9"}}},
+		}}},
+		{"remove then re-add same host", Delta{Ops: []DeltaOp{
+			{Op: OpRemoveHost, ID: "a"},
+			{Op: OpAddHost, Host: newHost("a")},
+			{Op: OpAddEdge, A: "a", B: "b"},
+		}}},
+		{"edge to host removed earlier in batch", Delta{Ops: []DeltaOp{
+			{Op: OpRemoveHost, ID: "a"},
+			{Op: OpAddEdge, A: "a", B: "b"},
+		}}},
+		{"duplicate add", Delta{Ops: []DeltaOp{{Op: OpAddHost, Host: newHost("a")}}}},
+		{"unknown remove", Delta{Ops: []DeltaOp{{Op: OpRemoveHost, ID: "ghost"}}}},
+		{"self link", Delta{Ops: []DeltaOp{{Op: OpAddEdge, A: "a", B: "a"}}}},
+		{"re-add existing edge is a no-op", Delta{Ops: []DeltaOp{{Op: OpAddEdge, A: "a", B: "b"}}}},
+		{"remove missing edge is a no-op", Delta{Ops: []DeltaOp{{Op: OpRemoveEdge, A: "b", B: "a"}}}},
+		{"update with empty choices", Delta{Ops: []DeltaOp{
+			{Op: OpUpdateHostServices, ID: "a", Services: []ServiceID{"os"}, Choices: map[ServiceID][]ProductID{}},
+		}}},
+		{"add host without candidates", Delta{Ops: []DeltaOp{
+			{Op: OpAddHost, Host: &HostSpec{ID: "z", Services: []ServiceID{"os"}, Choices: map[ServiceID][]ProductID{}}},
+		}}},
+	}
+	for _, tc := range cases {
+		n := baseNet()
+		checkErr := tc.delta.Check(n)
+		applyErr := tc.delta.Apply(baseNet())
+		if (checkErr == nil) != (applyErr == nil) {
+			t.Errorf("%s: Check err=%v, Apply err=%v — must agree", tc.name, checkErr, applyErr)
+		}
+		// Check must never mutate the network.
+		if n.NumHosts() != 2 || n.NumLinks() != 1 {
+			t.Errorf("%s: Check mutated the network (%d hosts, %d links)", tc.name, n.NumHosts(), n.NumLinks())
+		}
+	}
+}
+
+func TestDeltaDecoderStrict(t *testing.T) {
+	dec := NewDeltaDecoder(strings.NewReader(`{"ops":[{"op":"add_edge","a":"a","b":"b","evil":1}]}`)).Strict()
+	if _, err := dec.Next(); err == nil {
+		t.Fatal("strict decoder accepted unknown field")
+	}
+	// The non-strict decoder keeps the old tolerant behaviour.
+	dec = NewDeltaDecoder(strings.NewReader(`{"ops":[{"op":"add_edge","a":"a","b":"b","evil":1}]}`))
+	if _, err := dec.Next(); err != nil {
+		t.Fatalf("tolerant decoder rejected delta: %v", err)
+	}
+}

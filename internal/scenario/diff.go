@@ -76,6 +76,9 @@ type CellDelta struct {
 	// throughput or per-run allocation) that fired independently of the
 	// WallMS comparison.
 	MCNote string
+	// ServeNote explains a serving-plane regression (create or delta request
+	// latency) that fired independently of the WallMS comparison.
+	ServeNote string
 }
 
 // Diff is the cell-by-cell comparison of a run against a baseline.
@@ -160,6 +163,22 @@ func Compare(baseline, current *Report, opts DiffOptions) Diff {
 				delta.ChurnNote = fmt.Sprintf("churn energy gap %.2f%% -> %.2f%%", old.ChurnEnergyGapPct, cur.ChurnEnergyGapPct)
 			}
 		}
+		// Serve cells gate the serving plane's request latencies: WallMS
+		// covers only the library-level solve, so a slowdown in the HTTP
+		// create path or the per-delta re-optimisation path must fail on its
+		// own metrics.
+		if delta.Verdict != VerdictError && old.Error == "" && old.ServeCreateMS > 0 && cur.ServeCreateMS > 0 {
+			switch {
+			case cur.ServeCreateMS > old.ServeCreateMS*(1+opts.Tolerance) &&
+				cur.ServeCreateMS-old.ServeCreateMS > opts.FloorMS:
+				delta.Verdict = VerdictRegression
+				delta.ServeNote = fmt.Sprintf("serve create %.1fms -> %.1fms", old.ServeCreateMS, cur.ServeCreateMS)
+			case cur.ServeDeltaMS > old.ServeDeltaMS*(1+opts.Tolerance) &&
+				cur.ServeDeltaMS-old.ServeDeltaMS > opts.FloorMS:
+				delta.Verdict = VerdictRegression
+				delta.ServeNote = fmt.Sprintf("serve delta %.1fms -> %.1fms", old.ServeDeltaMS, cur.ServeDeltaMS)
+			}
+		}
 		// Monte-Carlo attack cells gate the simulation engine itself: WallMS
 		// covers only the solve, so a throughput collapse or an allocation
 		// creep in the batched simulator must fail on its own metrics.
@@ -220,6 +239,9 @@ func (d Diff) Render() string {
 		}
 		if c.MCNote != "" {
 			verdict += " (" + c.MCNote + ")"
+		}
+		if c.ServeNote != "" {
+			verdict += " (" + c.ServeNote + ")"
 		}
 		fmt.Fprintf(&b, "%-*s  %10s  %10s  %7s  %10s  %s\n",
 			idWidth, c.ID, old, cur, ratio, energy, verdict)

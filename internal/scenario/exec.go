@@ -73,6 +73,19 @@ type Measurement struct {
 	ChurnEnergyGapPct  float64 `json:"churn_energy_gap_pct,omitempty"`
 	ChurnChangedFrac   float64 `json:"churn_changed_frac,omitempty"`
 
+	// Serve fields (present only on serve-latency cells): the cell's network
+	// driven end-to-end through an in-process divd instance over loopback
+	// HTTP.  ServeCreateMS is the POST /v1/networks latency (spec decode +
+	// cold solve); ServeDeltaMS the mean POST .../deltas latency (delta
+	// validation + incremental re-optimisation) over the cell's delta
+	// stream; ServeAssessMS the POST .../assess latency (campaign compile +
+	// Monte-Carlo batch); ServeReadsPerSec the sequential GET .../assignment
+	// throughput (lock-free snapshot reads).
+	ServeCreateMS    float64 `json:"serve_create_ms,omitempty"`
+	ServeDeltaMS     float64 `json:"serve_delta_ms,omitempty"`
+	ServeAssessMS    float64 `json:"serve_assess_ms,omitempty"`
+	ServeReadsPerSec float64 `json:"serve_reads_per_sec,omitempty"`
+
 	// TimedOut and Error record a cell that did not complete; its metric
 	// fields are zero.
 	TimedOut bool   `json:"timed_out,omitempty"`
@@ -208,6 +221,18 @@ func Exec(ctx context.Context, net *netmodel.Network, sim *vulnsim.SimilarityTab
 	meta.PCompromise = atk.PCompromise
 	meta.MCRunsPerSec = atk.MCRunsPerSec
 	meta.MCAllocPerRun = atk.MCAllocPerRun
+
+	if c.Serve {
+		sb, err := runServeBench(ctx, net, sim, c)
+		if err != nil {
+			meta.TimedOut = errors.Is(err, context.DeadlineExceeded)
+			return Outcome{Measurement: meta}, err
+		}
+		meta.ServeCreateMS = sb.createMS
+		meta.ServeDeltaMS = sb.deltaMS
+		meta.ServeAssessMS = sb.assessMS
+		meta.ServeReadsPerSec = sb.readsPerSec
+	}
 
 	if !c.Churn.None() {
 		// The churn phase mutates the cell's network in place through the

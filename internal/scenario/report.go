@@ -33,6 +33,7 @@ type MatrixInfo struct {
 	SolverWorkers    int      `json:"solver_workers,omitempty"`
 	Parts            int      `json:"parts,omitempty"`
 	DisableWarmStart bool     `json:"disable_warm_start,omitempty"`
+	Serve            bool     `json:"serve,omitempty"`
 	AttackRuns       int      `json:"attack_runs"`
 	Repeats          int      `json:"repeats"`
 }
@@ -94,6 +95,7 @@ func NewReport(m Matrix) *Report {
 			SolverWorkers:    m.SolverWorkers,
 			Parts:            m.Parts,
 			DisableWarmStart: m.DisableWarmStart,
+			Serve:            m.ServeLatency,
 			AttackRuns:       m.AttackRuns,
 			Repeats:          m.Repeats,
 		},

@@ -1,10 +1,15 @@
 // Package scenario is the experiment-sweep subsystem of the library: it
 // declaratively describes a run matrix — topology family × network size ×
-// solver × attack model — expands it into deterministic cells, executes every
-// cell through the shared optimisation pipeline (with per-cell seeds,
-// timeouts and warm-start control) and collects comparable measurements:
-// objective energy, pairwise similarity cost, wall-clock time, allocations,
-// an MTTC estimate and diversity metrics.
+// solver × attack model × churn stream — expands it into deterministic
+// cells, executes every cell through the shared optimisation pipeline (with
+// per-cell seeds, timeouts and warm-start control) and collects comparable
+// measurements: objective energy, pairwise similarity cost, wall-clock time,
+// allocations, an MTTC estimate and diversity metrics.  Churn cells
+// additionally replay a delta stream through the incremental
+// re-optimisation engine, and serve cells drive their network through an
+// in-process divd daemon over loopback HTTP so request latency is measured
+// like every other metric.  docs/BENCH_SCHEMA.md documents every recorded
+// field.
 //
 // The package serves two callers with one execution path: the paper
 // experiments in internal/experiments build their figure/table sweeps on
@@ -88,6 +93,10 @@ type Matrix struct {
 	// DisableWarmStart measures the solvers cold, without the
 	// greedy-colouring initial labeling.
 	DisableWarmStart bool
+	// ServeLatency routes every cell through an in-process divd serving
+	// round-trip (create → deltas → assignment reads → assess over loopback
+	// HTTP) after the regular phases, recording the serve_* latency fields.
+	ServeLatency bool
 	// AttackRuns is the Monte-Carlo run count for the adversary-knowledge
 	// attack models.  Default 50 (the analytic models ignore it).
 	AttackRuns int
@@ -170,6 +179,9 @@ type Cell struct {
 	AttackRuns       int
 	Repeats          int
 	Timeout          time.Duration
+	// Serve runs the in-process divd serving round-trip after the regular
+	// phases (inherited from Matrix.ServeLatency).
+	Serve bool
 	// DisablePolish skips the local ICM refinement after solving; not a
 	// matrix axis, but callers building cells directly (the solver ablation,
 	// the convergence trace) use it to measure the raw decoding.
@@ -263,6 +275,7 @@ func Expand(m Matrix) ([]Cell, error) {
 									MaxIterations:      m.MaxIterations,
 									Parts:              m.Parts,
 									DisableWarmStart:   m.DisableWarmStart,
+									Serve:              m.ServeLatency,
 									AttackRuns:         m.AttackRuns,
 									Repeats:            m.Repeats,
 									Timeout:            m.Timeout,

@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/serve"
+	"netdiversity/internal/vulnsim"
+)
+
+// serveBenchReads is the number of sequential GET /assignment requests used
+// to measure the lock-free read throughput of a serve cell.
+const serveBenchReads = 200
+
+// serveBench holds the latency measurements of one serve cell.
+type serveBench struct {
+	createMS    float64
+	deltaMS     float64
+	assessMS    float64
+	readsPerSec float64
+}
+
+// runServeBench drives the cell's network end-to-end through an in-process
+// divd server over loopback HTTP: one create (spec decode + cold solve), the
+// cell's churn delta stream (incremental re-optimisations), a burst of
+// assignment reads and one Monte-Carlo assessment.  The server runs with one
+// solve worker so latencies measure the serving path, not scheduler luck.
+func runServeBench(ctx context.Context, nw *netmodel.Network, sim *vulnsim.SimilarityTable, c Cell) (serveBench, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = time.Minute
+	}
+	srv := serve.New(serve.Config{
+		SolveWorkers:   1,
+		RequestTimeout: timeout,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serveBench{}, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed below
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{}
+
+	// The delta stream: the cell's churn axis, or the default mixed stream
+	// when the cell is churn-free (serve cells measure serving latency, not
+	// the incremental engine itself, so any deterministic stream does).
+	churnCell := c
+	if churnCell.Churn.None() {
+		spec, err := ParseChurn("mixed10")
+		if err != nil {
+			return serveBench{}, err
+		}
+		churnCell.Churn = spec
+	}
+	deltas, err := GenerateChurn(nw, churnCell)
+	if err != nil {
+		return serveBench{}, err
+	}
+
+	var out serveBench
+
+	// Create: the spec round-trips through JSON exactly as a client would
+	// send it, with the cell's synthetic similarity table inlined.
+	createBody, err := json.Marshal(map[string]any{
+		"id":             "bench",
+		"spec":           netmodel.ToSpec(nw, nil),
+		"solver":         c.Solver,
+		"seed":           c.Seed,
+		"max_iterations": c.MaxIterations,
+		"similarity":     similaritySpec(sim),
+	})
+	if err != nil {
+		return serveBench{}, err
+	}
+	start := time.Now()
+	if err := doJSON(ctx, client, http.MethodPost, base+"/v1/networks", createBody, http.StatusCreated, nil); err != nil {
+		return serveBench{}, fmt.Errorf("serve bench create: %w", err)
+	}
+	out.createMS = ms(time.Since(start))
+
+	// Deltas: one POST per generated delta, mean latency.
+	if len(deltas) > 0 {
+		start = time.Now()
+		for i, d := range deltas {
+			body, err := json.Marshal(d)
+			if err != nil {
+				return serveBench{}, err
+			}
+			if err := doJSON(ctx, client, http.MethodPost, base+"/v1/networks/bench/deltas", body, http.StatusOK, nil); err != nil {
+				return serveBench{}, fmt.Errorf("serve bench delta %d: %w", i, err)
+			}
+		}
+		out.deltaMS = ms(time.Since(start)) / float64(len(deltas))
+	}
+
+	// Reads: sequential assignment GETs (lock-free snapshot path).
+	start = time.Now()
+	for i := 0; i < serveBenchReads; i++ {
+		if err := doJSON(ctx, client, http.MethodGet, base+"/v1/networks/bench/assignment", nil, http.StatusOK, nil); err != nil {
+			return serveBench{}, fmt.Errorf("serve bench read %d: %w", i, err)
+		}
+	}
+	if d := time.Since(start); d > 0 {
+		out.readsPerSec = float64(serveBenchReads) / d.Seconds()
+	}
+
+	// Assess: one Monte-Carlo campaign against the served assignment.
+	runs := c.AttackRuns
+	if runs <= 0 {
+		runs = 50
+	}
+	assessBody, err := json.Marshal(map[string]any{
+		"knowledge": "full",
+		"mode":      "event",
+		"runs":      runs,
+		"max_ticks": 200,
+		"seed":      c.Seed,
+	})
+	if err != nil {
+		return serveBench{}, err
+	}
+	start = time.Now()
+	if err := doJSON(ctx, client, http.MethodPost, base+"/v1/networks/bench/assess", assessBody, http.StatusOK, nil); err != nil {
+		return serveBench{}, fmt.Errorf("serve bench assess: %w", err)
+	}
+	out.assessMS = ms(time.Since(start))
+	return out, nil
+}
+
+// similaritySpec converts a similarity table into the create endpoint's
+// custom-table form (off-diagonal nonzero pairs only).
+func similaritySpec(sim *vulnsim.SimilarityTable) map[string]any {
+	products := sim.Products()
+	var entries []map[string]any
+	for i, a := range products {
+		for _, b := range products[i+1:] {
+			if s := sim.Sim(a, b); s != 0 {
+				entries = append(entries, map[string]any{"a": a, "b": b, "sim": s})
+			}
+		}
+	}
+	return map[string]any{"kind": "custom", "entries": entries}
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// doJSON performs one request and checks the status code, draining the body
+// so connections are reused.
+func doJSON(ctx context.Context, client *http.Client, method, url string, body []byte, wantStatus int, into any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantStatus {
+		return fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if into != nil {
+		return json.Unmarshal(data, into)
+	}
+	return nil
+}

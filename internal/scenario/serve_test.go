@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestServeCell runs one serve-latency cell end to end: the in-process divd
+// round trip must populate every serve_* field of the measurement.
+func TestServeCell(t *testing.T) {
+	cells, err := Expand(Matrix{
+		Name:          "serve-test",
+		Hosts:         []int{30},
+		Degrees:       []int{4},
+		Services:      []int{2},
+		Solvers:       []string{"icm"},
+		Attacks:       []string{"none"},
+		ServeLatency:  true,
+		MaxIterations: 10,
+		Seed:          3,
+		Timeout:       time.Minute,
+		AttackRuns:    20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || !cells[0].Serve {
+		t.Fatalf("expansion: %+v", cells)
+	}
+	net, sim, err := BuildNetwork(cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Exec(context.Background(), net, sim, cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.Measurement
+	if m.ServeCreateMS <= 0 || m.ServeDeltaMS <= 0 || m.ServeAssessMS <= 0 || m.ServeReadsPerSec <= 0 {
+		t.Fatalf("serve fields not populated: %+v", m)
+	}
+	// The server solved the same instance the cell solved locally: same
+	// spec, similarity, solver, seed and iteration budget.
+	if m.Energy == 0 {
+		t.Fatalf("cell energy missing: %+v", m)
+	}
+}
+
+// TestServeMatrixMetadata pins the serve flag into report metadata so serve
+// baselines are never diffed against non-serve runs of the same axes.
+func TestServeMatrixMetadata(t *testing.T) {
+	rep := NewReport(Matrix{Name: "serve", ServeLatency: true})
+	if !rep.Matrix.Serve {
+		t.Fatal("serve flag missing from matrix metadata")
+	}
+	rep = NewReport(Matrix{Name: "quick"})
+	if rep.Matrix.Serve {
+		t.Fatal("serve flag set on a non-serve matrix")
+	}
+}

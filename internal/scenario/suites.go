@@ -93,6 +93,29 @@ func suites() map[string]func() Matrix {
 				Repeats:       1,
 			}
 		},
+		// serve measures the serving plane (internal/serve + cmd/divd): each
+		// cell drives its network through an in-process daemon over loopback
+		// HTTP — create (spec decode + cold solve), the mixed10 delta stream
+		// (incremental re-optimisations), 200 assignment reads (lock-free
+		// snapshot path) and one Monte-Carlo assessment — so request latency
+		// is gated like every other perf metric.
+		"serve": func() Matrix {
+			return Matrix{
+				Name:          "serve",
+				Topologies:    []string{TopoUniform},
+				Hosts:         []int{200, 1000},
+				Degrees:       []int{8},
+				Services:      []int{3},
+				Solvers:       []string{"trws"},
+				Attacks:       []string{"none"},
+				ServeLatency:  true,
+				MaxIterations: 40,
+				Seed:          42,
+				Timeout:       2 * time.Minute,
+				AttackRuns:    100,
+				Repeats:       1,
+			}
+		},
 		// pipeline measures the partitioned parallel pipeline against the
 		// sequential path on the largest size.
 		"pipeline": func() Matrix {

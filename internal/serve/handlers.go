@@ -1,0 +1,692 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"netdiversity/internal/adversary"
+	"netdiversity/internal/attacksim"
+	"netdiversity/internal/core"
+	"netdiversity/internal/metrics"
+	"netdiversity/internal/netmodel"
+)
+
+// routes mounts the v1 API on the server's mux.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/networks", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/networks", s.handleList)
+	s.mux.HandleFunc("GET /v1/networks/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/networks/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/networks/{id}/deltas", s.handleDeltas)
+	s.mux.HandleFunc("GET /v1/networks/{id}/assignment", s.handleAssignment)
+	s.mux.HandleFunc("GET /v1/networks/{id}/metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/networks/{id}/assess", s.handleAssess)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+}
+
+// writeJSON writes a 2xx response body.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+// writeError writes the error envelope.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	writeJSON(w, status, errorBody{Error: errorInfo{Code: code, Message: message}})
+}
+
+// errSessionClosed is observed by a writer that acquired a session's slot
+// after the session was deleted (or its create rolled back).
+var errSessionClosed = errors.New("session was deleted")
+
+// writeFailure maps an internal error onto the API's error codes.
+func writeFailure(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline exceeded")
+	case errors.Is(err, errSessionClosed):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, ErrSessionExists):
+		writeError(w, http.StatusConflict, "conflict", err.Error())
+	case errors.Is(err, ErrTooManySessions):
+		writeError(w, http.StatusTooManyRequests, "too_many_sessions", err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	}
+}
+
+// requestContext derives the handler context: the server's request timeout,
+// optionally shortened (never extended) by a ?timeout_ms= query parameter.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.RequestTimeout
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < timeout {
+				timeout = d
+			}
+		}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// decodeBody decodes a JSON request body strictly: bounded size, unknown
+// fields rejected, trailing data rejected.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	if dec.More() {
+		return errors.New("decode request: trailing data after JSON body")
+	}
+	return nil
+}
+
+// validSessionID restricts client-chosen session IDs to a URL- and log-safe
+// alphabet.
+func validSessionID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for _, c := range id {
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// rejectDraining fails state-changing requests during shutdown.
+func (s *Server) rejectDraining(w http.ResponseWriter) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
+		return true
+	}
+	return false
+}
+
+// summary renders a session's published state.
+func sessionSummary(sess *session, snap *snapshot) NetworkSummary {
+	return NetworkSummary{
+		ID:             sess.id,
+		Hosts:          snap.hosts,
+		Links:          snap.links,
+		Solver:         sess.solver,
+		Seed:           sess.seed,
+		Version:        snap.version,
+		Energy:         snap.energy,
+		AssignmentHash: snap.hash,
+	}
+}
+
+// loadSession resolves the {id} path segment, writing 404 when unknown and
+// 409 while the session's first solve has not published yet.
+func (s *Server) loadSession(w http.ResponseWriter, r *http.Request, needSnap bool) (*session, *snapshot, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("unknown network %q", id))
+		return nil, nil, false
+	}
+	snap := sess.snap.Load()
+	if needSnap && snap == nil {
+		writeError(w, http.StatusConflict, "conflict", fmt.Sprintf("network %q is still initialising", id))
+		return nil, nil, false
+	}
+	return sess, snap, true
+}
+
+// handleCreate implements POST /v1/networks: build the network from the
+// spec, run the initial solve through the global pool and publish the first
+// snapshot.  The session is inserted before solving so the ID is reserved
+// against concurrent creates; a failed solve removes it again.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	var req CreateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeFailure(w, err)
+		return
+	}
+	if req.ID != "" && !validSessionID(req.ID) {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			"id must be 1-64 characters from [a-zA-Z0-9._-]")
+		return
+	}
+	if err := req.Spec.CheckLimits(s.cfg.SpecLimits); err != nil {
+		writeFailure(w, err)
+		return
+	}
+	net, cs, err := netmodel.FromSpec(req.Spec)
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	sim, err := buildSimilarity(req.Similarity, net)
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	solverName := req.Solver
+	if solverName == "" {
+		solverName = "trws"
+	}
+	solver, err := core.ParseSolver(solverName)
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	iters := req.MaxIterations
+	if iters > s.cfg.MaxIterations {
+		iters = s.cfg.MaxIterations
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	start := time.Now()
+	opts := core.Options{
+		Solver:        solver,
+		MaxIterations: iters,
+		Seed:          req.Seed,
+	}
+	var (
+		sess *session
+		snap snapshot
+		res  core.Result
+	)
+	for {
+		id := req.ID
+		if id == "" {
+			id = s.store.allocID()
+		}
+		sess, snap, res, err = s.createSession(ctx, id, solverName, net, cs, sim, opts)
+		if err == nil {
+			break
+		}
+		// An auto-assigned ID can collide with a client-chosen "net-<n>";
+		// the counter is monotonic, so retrying allocates past the squatter.
+		// Conflicts on an explicit ID are the client's to resolve (409).
+		if req.ID == "" && errors.Is(err, ErrSessionExists) {
+			continue
+		}
+		writeFailure(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateResponse{
+		NetworkSummary:       sessionSummary(sess, &snap),
+		Iterations:           res.Iterations,
+		Converged:            res.Converged,
+		WallMS:               float64(time.Since(start)) / float64(time.Millisecond),
+		ConstraintViolations: res.ConstraintViolations,
+	})
+}
+
+// handleList implements GET /v1/networks.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	resp := ListResponse{Networks: []NetworkSummary{}}
+	for _, sess := range s.store.list() {
+		if snap := sess.snap.Load(); snap != nil {
+			resp.Networks = append(resp.Networks, sessionSummary(sess, snap))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleGet implements GET /v1/networks/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, snap, ok := s.loadSession(w, r, true)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionSummary(sess, snap))
+}
+
+// handleDelete implements DELETE /v1/networks/{id}.  The removal runs under
+// the writer slot, so an in-flight delta either completes (and is then
+// deleted) or arrives after and observes the closed session — acknowledged
+// writes never disappear retroactively.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	sess, _, ok := s.loadSession(w, r, false)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if err := sess.lock(ctx); err != nil {
+		writeFailure(w, err)
+		return
+	}
+	closed := sess.closed
+	if !closed {
+		sess.closed = true
+		s.store.remove(sess.id)
+	}
+	sess.unlock()
+	if closed {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("unknown network %q", sess.id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDeltas implements POST /v1/networks/{id}/deltas: validate the delta
+// against a clone of the session network (all-or-nothing semantics — a
+// rejected delta leaves the session exactly as it was), then apply it to the
+// live optimiser and re-optimise incrementally.
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	sess, _, ok := s.loadSession(w, r, false)
+	if !ok {
+		return
+	}
+	// Deltas are decoded with the same strict decoder the JSON-lines stream
+	// surface uses: unknown fields rejected, the op structurally validated,
+	// and exactly one delta per request body.
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := netmodel.NewDeltaDecoder(r.Body).Strict()
+	delta, err := dec.Next()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			err = errors.New("decode request: empty body")
+		}
+		writeFailure(w, err)
+		return
+	}
+	if _, err := dec.Next(); !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad_request", "decode request: trailing data after JSON body")
+		return
+	}
+	if err := delta.CheckLimits(s.cfg.DeltaLimits); err != nil {
+		writeFailure(w, err)
+		return
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if err := sess.lock(ctx); err != nil {
+		writeFailure(w, err)
+		return
+	}
+	start := time.Now()
+	resp, err := func() (DeltaResponse, error) {
+		defer sess.unlock()
+		if sess.closed {
+			return DeltaResponse{}, errSessionClosed
+		}
+		// Pre-validate the whole delta: Optimizer.ApplyDelta stops at the
+		// first failing op with the prefix applied, which is the wrong
+		// contract for a service — a delta must land atomically or not at
+		// all.  Check mirrors Apply's error conditions in O(ops) without
+		// touching the live state; constraint references are only checked by
+		// the live ApplyDelta, so pre-check them here too.
+		if err := delta.Check(sess.net); err != nil {
+			return DeltaResponse{}, err
+		}
+		if cs := sess.opt.Constraints(); cs != nil {
+			for i, op := range delta.Ops {
+				if op.Op == netmodel.OpRemoveHost && cs.References(op.ID) {
+					return DeltaResponse{}, fmt.Errorf(
+						"delta op %d: host %q is referenced by the constraint set", i, op.ID)
+				}
+			}
+		}
+		if err := s.pool.acquire(ctx); err != nil {
+			return DeltaResponse{}, err
+		}
+		defer s.pool.release()
+		if err := sess.opt.ApplyDelta(delta); err != nil {
+			return DeltaResponse{}, err
+		}
+		// From here the network is mutated; if the re-optimisation below
+		// fails (deadline mid-solve) the flag makes the next consistency-
+		// requiring request heal the session by re-optimising lazily — the
+		// accumulated dirty set survives in the optimiser.
+		sess.pendingReopt = true
+		res, err := sess.opt.Reoptimize(ctx)
+		if err != nil {
+			return DeltaResponse{}, err
+		}
+		sess.pendingReopt = false
+		prev := sess.snap.Load()
+		snap := sess.publish()
+		return DeltaResponse{
+			ID:             sess.id,
+			Version:        snap.version,
+			Ops:            len(delta.Ops),
+			Hosts:          snap.hosts,
+			Energy:         snap.energy,
+			AssignmentHash: snap.hash,
+			Incremental:    res.Incremental,
+			Rebuilt:        res.Rebuilt,
+			DirtyNodes:     res.DirtyNodes,
+			LiveNodes:      res.LiveNodes,
+			ChangedHosts:   changedHosts(prev, snap.assignment),
+			WallMS:         float64(time.Since(start)) / float64(time.Millisecond),
+		}, nil
+	}()
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// healPending restores network/assignment consistency for a session whose
+// last delta was applied but never re-optimised (its request's deadline
+// expired mid-solve): the pending dirty set is warm-solved and a fresh
+// snapshot published.  Must be called by the writer-slot holder; a no-op on
+// healthy sessions.
+func (s *Server) healPending(ctx context.Context, sess *session) error {
+	if !sess.pendingReopt {
+		return nil
+	}
+	if err := s.pool.acquire(ctx); err != nil {
+		return err
+	}
+	defer s.pool.release()
+	if _, err := sess.opt.Reoptimize(ctx); err != nil {
+		return err
+	}
+	sess.pendingReopt = false
+	sess.publish()
+	return nil
+}
+
+// changedHosts counts hosts of the new assignment that joined or changed
+// product relative to the previous snapshot.
+func changedHosts(prev *snapshot, cur *netmodel.Assignment) int {
+	if prev == nil || prev.assignment == nil {
+		return 0
+	}
+	changed := 0
+	for _, h := range cur.Hosts() {
+		for svc, p := range cur.HostAssignment(h) {
+			if was, ok := prev.assignment.Get(h, svc); !ok || was != p {
+				changed++ // joined (no prior product) or switched product
+				break
+			}
+		}
+	}
+	return changed
+}
+
+// handleAssignment implements GET /v1/networks/{id}/assignment straight from
+// the published snapshot — no locks, so reads never wait on a re-solve.
+func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
+	sess, snap, ok := s.loadSession(w, r, true)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, AssignmentResponse{
+		ID:             sess.id,
+		Version:        snap.version,
+		Energy:         snap.energy,
+		AssignmentHash: snap.hash,
+		Assignment:     snap.assignment,
+	})
+}
+
+// handleMetrics implements GET /v1/networks/{id}/metrics.  Metric evaluation
+// reads the session network, so it runs under the writer slot (consistency
+// with the snapshot is guaranteed because snapshots are published under the
+// same slot).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sess, _, ok := s.loadSession(w, r, true)
+	if !ok {
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if err := sess.lock(ctx); err != nil {
+		writeFailure(w, err)
+		return
+	}
+	resp, err := func() (MetricsResponse, error) {
+		defer sess.unlock()
+		if sess.closed {
+			return MetricsResponse{}, errSessionClosed
+		}
+		if err := s.healPending(ctx, sess); err != nil {
+			return MetricsResponse{}, err
+		}
+		snap := sess.snap.Load()
+		hosts := sess.net.Hosts()
+		entry, target, err := resolveEndpoints(sess.net, hosts,
+			netmodel.HostID(r.URL.Query().Get("entry")), netmodel.HostID(r.URL.Query().Get("target")))
+		if err != nil {
+			return MetricsResponse{}, err
+		}
+		// The computation is pure in (snapshot version, entry, target):
+		// polling clients are served from the memoised result without
+		// recomputing graph-wide metrics on every request.
+		if c := sess.metricsCache; c != nil && c.Version == snap.version && c.Entry == entry && c.Target == target {
+			return *c, nil
+		}
+		// Graph-wide metric evaluation is heavy work: take a pool token like
+		// every solve and assessment batch.
+		if err := s.pool.acquire(ctx); err != nil {
+			return MetricsResponse{}, err
+		}
+		defer s.pool.release()
+		pc, err := core.PairwiseSimilarityCost(sess.net, sess.sim, snap.assignment)
+		if err != nil {
+			return MetricsResponse{}, err
+		}
+		rich, err := metrics.Richness(sess.net, snap.assignment)
+		if err != nil {
+			return MetricsResponse{}, err
+		}
+		effort, err := metrics.Effort(sess.net, snap.assignment, sess.sim, metrics.EffortConfig{
+			Entry:  entry,
+			Target: target,
+		})
+		if err != nil {
+			return MetricsResponse{}, err
+		}
+		resp := MetricsResponse{
+			ID:           sess.id,
+			Version:      snap.version,
+			Hosts:        snap.hosts,
+			Links:        snap.links,
+			Energy:       snap.energy,
+			PairwiseCost: pc,
+			D1:           rich.Overall,
+			D2:           effort.LeastEffort,
+			D3:           effort.AverageEffort,
+			Entry:        entry,
+			Target:       target,
+		}
+		sess.metricsCache = &resp
+		return resp, nil
+	}()
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveEndpoints validates (or defaults) an entry/target host pair.
+func resolveEndpoints(net *netmodel.Network, hosts []netmodel.HostID, entry, target netmodel.HostID) (netmodel.HostID, netmodel.HostID, error) {
+	if len(hosts) < 2 {
+		return "", "", errors.New("network has fewer than 2 hosts")
+	}
+	if entry == "" {
+		entry = hosts[0]
+	}
+	if target == "" {
+		target = hosts[len(hosts)-1]
+	}
+	for _, h := range [2]netmodel.HostID{entry, target} {
+		if _, ok := net.Host(h); !ok {
+			return "", "", fmt.Errorf("unknown host %q", h)
+		}
+	}
+	return entry, target, nil
+}
+
+// parseKnowledge maps the API's knowledge names onto the adversary levels.
+func parseKnowledge(name string) (adversary.Knowledge, error) {
+	switch name {
+	case "", "full":
+		return adversary.KnowledgeFull, nil
+	case "partial":
+		return adversary.KnowledgePartial, nil
+	case "none":
+		return adversary.KnowledgeNone, nil
+	default:
+		return 0, fmt.Errorf("unknown knowledge %q (known: none, partial, full)", name)
+	}
+}
+
+// parseMode maps the API's engine names onto the attacksim modes.
+func parseMode(name string) (attacksim.Mode, error) {
+	switch name {
+	case "", "tick":
+		return attacksim.ModeTick, nil
+	case "event":
+		return attacksim.ModeEvent, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (known: tick, event)", name)
+	}
+}
+
+// handleAssess implements POST /v1/networks/{id}/assess: compile an attack
+// campaign against the current assignment under the writer slot (compilation
+// reads the network), then run the Monte-Carlo batch outside it — the
+// compiled campaign is immutable, so concurrent deltas proceed while the
+// batch executes on a pool token.
+func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
+	if s.rejectDraining(w) {
+		return
+	}
+	sess, _, ok := s.loadSession(w, r, true)
+	if !ok {
+		return
+	}
+	var req AssessRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeFailure(w, err)
+		return
+	}
+	knowledge, err := parseKnowledge(req.Knowledge)
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	mode, err := parseMode(req.Mode)
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	runs := req.Runs
+	if runs <= 0 {
+		runs = 500
+	}
+	if runs > s.cfg.MaxAssessRuns {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("runs %d exceeds the server cap %d", runs, s.cfg.MaxAssessRuns))
+		return
+	}
+	seed := sess.seed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if err := sess.lock(ctx); err != nil {
+		writeFailure(w, err)
+		return
+	}
+	campaign, version, err := func() (*attacksim.Campaign, uint64, error) {
+		defer sess.unlock()
+		if sess.closed {
+			return nil, 0, errSessionClosed
+		}
+		if err := s.healPending(ctx, sess); err != nil {
+			return nil, 0, err
+		}
+		snap := sess.snap.Load()
+		entry, target, err := resolveEndpoints(sess.net, sess.net.Hosts(), req.Entry, req.Target)
+		if err != nil {
+			return nil, 0, err
+		}
+		ev, err := adversary.New(sess.net, snap.assignment, sess.sim)
+		if err != nil {
+			return nil, 0, err
+		}
+		campaign, err := ev.Compile(adversary.Config{
+			Entry:           entry,
+			Target:          target,
+			Knowledge:       knowledge,
+			PAvg:            req.PAvg,
+			ExploitServices: req.ExploitServices,
+			Runs:            runs,
+			MaxTicks:        req.MaxTicks,
+			Seed:            seed,
+		})
+		return campaign, snap.version, err
+	}()
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+
+	start := time.Now()
+	res, err := func() (attacksim.Result, error) {
+		if err := s.pool.acquire(ctx); err != nil {
+			return attacksim.Result{}, err
+		}
+		defer s.pool.release()
+		return campaign.RunBatch(ctx, attacksim.BatchOptions{Mode: mode})
+	}()
+	if err != nil {
+		writeFailure(w, err)
+		return
+	}
+	modeName := "tick"
+	if mode == attacksim.ModeEvent {
+		modeName = "event"
+	}
+	writeJSON(w, http.StatusOK, AssessResponse{
+		ID:           sess.id,
+		Version:      version,
+		Knowledge:    knowledge.String(),
+		Mode:         modeName,
+		Runs:         res.Runs,
+		MTTC:         res.MTTC,
+		MedianTTC:    res.MedianTTC,
+		P90TTC:       res.P90TTC,
+		StdTTC:       res.StdTTC,
+		SuccessRate:  res.SuccessRate,
+		MeanInfected: res.MeanInfected,
+		WallMS:       float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// handleHealth implements GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Sessions: s.store.len(),
+		Draining: s.draining.Load(),
+	})
+}

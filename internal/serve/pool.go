@@ -1,0 +1,30 @@
+package serve
+
+import "context"
+
+// pool is the bounded global solve pool: a counting semaphore shared by every
+// session's heavy work (cold solves, incremental re-optimisations,
+// Monte-Carlo assessment batches).  The wait is context-aware so a request
+// whose deadline expires while queued fails with the context error instead
+// of occupying the queue.
+type pool struct {
+	sem chan struct{}
+}
+
+func newPool(workers int) *pool {
+	return &pool{sem: make(chan struct{}, workers)}
+}
+
+// acquire takes one pool token, waiting until one frees up or the context
+// ends.
+func (p *pool) acquire(ctx context.Context) error {
+	select {
+	case p.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a token taken by acquire.
+func (p *pool) release() { <-p.sem }

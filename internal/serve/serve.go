@@ -1,0 +1,220 @@
+// Package serve implements the serving plane of the system: a long-running,
+// multi-tenant diversification service exposed over HTTP/JSON by cmd/divd.
+//
+// Each tenant network is a session: a live core.Optimizer whose built MRF
+// stays resident between requests, so a network delta costs an incremental
+// ApplyDelta + Reoptimize instead of a cold build + solve, and an attack
+// assessment compiles the current assignment onto the batched attack engine.
+// Sessions are held in a sharded store (hash of the session ID picks the
+// shard; each shard is an independently locked map) so session lookup never
+// contends globally.
+//
+// Concurrency model — three rules:
+//
+//  1. Single writer per session.  Everything that touches a session's
+//     optimiser or network (create-solve, delta apply, metric computation,
+//     campaign compilation) runs under the session's writer slot, acquired
+//     through a context-aware semaphore so a queued writer respects the
+//     request deadline instead of blocking forever.
+//  2. Lock-free reads.  After every successful solve the session publishes an
+//     immutable snapshot (assignment, energy, hash, version) through an
+//     atomic pointer; GET /assignment serves straight from it and never
+//     waits on a writer.  This is the serving-layer counterpart of
+//     core.Optimizer.Snapshot.
+//  3. Bounded global solve pool.  Heavy work (initial solves, re-optimise
+//     steps, Monte-Carlo assessment batches) additionally takes a token from
+//     a pool shared across all sessions, so N tenants posting deltas
+//     simultaneously cannot oversubscribe the machine.  Tokens are acquired
+//     after the session slot (session → pool, always in that order) and the
+//     wait is context-aware, so deadlines cut the queue, not just the solve.
+//
+// Determinism: for a fixed session seed the create solve, every delta
+// re-optimisation and every assessment with a fixed request seed return
+// byte-identical JSON apart from the wall_ms timing fields — the contract CI
+// smoke tests pin (see docs/API.md).
+//
+// Shutdown: Drain makes every new state-changing request fail fast with 503
+// while in-flight solves finish; cmd/divd pairs it with http.Server.Shutdown,
+// which waits for the in-flight handlers to return.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"netdiversity/internal/core"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// Config tunes a Server.  The zero value serves with the documented defaults.
+type Config struct {
+	// Shards is the session-store shard count.  Default 8.
+	Shards int
+	// SolveWorkers bounds the number of concurrently executing solves and
+	// assessment batches across all sessions.  Default GOMAXPROCS.
+	SolveWorkers int
+	// MaxSessions bounds the number of live sessions.  Default 1024.
+	MaxSessions int
+	// RequestTimeout is the per-request deadline.  Requests may shorten it
+	// with ?timeout_ms= but never extend it.  Default 30s.
+	RequestTimeout time.Duration
+	// MaxRequestBytes bounds any request body.  Default 8 MiB.
+	MaxRequestBytes int64
+	// SpecLimits bounds network specs accepted by the create endpoint.
+	// Defaults: 10000 hosts, 200000 links, 20000 constraints, 32 services
+	// per host, 64 candidates per service.
+	SpecLimits netmodel.SpecLimits
+	// DeltaLimits bounds deltas accepted by the delta endpoint.  Defaults:
+	// 10000 ops per delta, host shape as SpecLimits.
+	DeltaLimits netmodel.DeltaLimits
+	// MaxAssessRuns caps the Monte-Carlo run count of one assessment.
+	// Default 100000.
+	MaxAssessRuns int
+	// MaxIterations caps the per-session solver iteration budget a create
+	// request may ask for.  Default 500.
+	MaxIterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.SolveWorkers <= 0 {
+		c.SolveWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	if c.SpecLimits == (netmodel.SpecLimits{}) {
+		c.SpecLimits = netmodel.SpecLimits{
+			MaxHosts:             10000,
+			MaxLinks:             200000,
+			MaxConstraints:       20000,
+			MaxServicesPerHost:   32,
+			MaxChoicesPerService: 64,
+		}
+	}
+	if c.DeltaLimits.MaxOps == 0 && c.DeltaLimits.Host == (netmodel.SpecLimits{}) {
+		c.DeltaLimits = netmodel.DeltaLimits{MaxOps: 10000, Host: c.SpecLimits}
+	}
+	if c.MaxAssessRuns <= 0 {
+		c.MaxAssessRuns = 100000
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 500
+	}
+	return c
+}
+
+// Server is the diversification service: a session store, a solve pool and
+// the HTTP handlers binding them.  Create one with New and mount Handler on
+// an http.Server.
+type Server struct {
+	cfg      Config
+	store    *store
+	pool     *pool
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New creates a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		store: newStore(cfg.Shards, cfg.MaxSessions),
+		pool:  newPool(cfg.SolveWorkers),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain puts the server into shutdown mode: every subsequent state-changing
+// request (create, deltas, assess, delete) is rejected with 503 while
+// in-flight work completes and reads keep being served.  Pair it with
+// http.Server.Shutdown, which waits for the in-flight handlers.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Sessions returns the number of live sessions (exposed on /healthz).
+func (s *Server) Sessions() int { return s.store.len() }
+
+// createSession builds, registers and cold-solves a session — the one
+// construction path shared by the create endpoint and Preload.  The session
+// is inserted into the store with its writer slot already held, so no other
+// request can act on it before the first snapshot is published; on any
+// failure it is closed and removed again, and a writer that raced the
+// rollback observes the closed flag instead of an orphan.
+func (s *Server) createSession(ctx context.Context, id, solverName string,
+	net *netmodel.Network, cs *netmodel.ConstraintSet, sim *vulnsim.SimilarityTable,
+	opts core.Options) (*session, snapshot, core.Result, error) {
+	opt, err := core.NewOptimizer(net, sim, opts)
+	if err != nil {
+		return nil, snapshot{}, core.Result{}, err
+	}
+	if cs != nil && !cs.Empty() {
+		if err := opt.SetConstraints(cs); err != nil {
+			return nil, snapshot{}, core.Result{}, err
+		}
+	}
+	sess := &session{
+		id:     id,
+		solver: solverName,
+		seed:   opts.Seed,
+		writer: make(chan struct{}, 1),
+		opt:    opt,
+		net:    net,
+		sim:    sim,
+	}
+	sess.writer <- struct{}{} // pre-held until the first publish or rollback
+	if err := s.store.put(sess); err != nil {
+		return nil, snapshot{}, core.Result{}, err
+	}
+	res, err := func() (core.Result, error) {
+		if err := s.pool.acquire(ctx); err != nil {
+			return core.Result{}, err
+		}
+		defer s.pool.release()
+		return opt.Optimize(ctx)
+	}()
+	if err != nil {
+		sess.closed = true
+		s.store.remove(id)
+		sess.unlock()
+		return nil, snapshot{}, core.Result{}, err
+	}
+	snap := sess.publish()
+	sess.unlock()
+	return sess, snap, res, nil
+}
+
+// Preload creates and solves a session outside the HTTP surface — divd uses
+// it to come up already serving the networks named by -preload.  The solve
+// runs synchronously under the server's request timeout.
+func (s *Server) Preload(id string, net *netmodel.Network, cs *netmodel.ConstraintSet, sim *vulnsim.SimilarityTable, opts core.Options) error {
+	if !validSessionID(id) {
+		return fmt.Errorf("serve: invalid session id %q", id)
+	}
+	solverName := "trws"
+	if opts.Solver != 0 {
+		solverName = opts.Solver.String()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
+	defer cancel()
+	_, _, _, err := s.createSession(ctx, id, solverName, net, cs, sim, opts)
+	return err
+}

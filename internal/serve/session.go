@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+
+	"netdiversity/internal/core"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// session is one tenant network: a live optimiser plus the serving-side
+// bookkeeping.  All optimiser/network access runs under the writer slot
+// (acquired with lock); readers are served from the published snapshot and
+// never take the slot.
+type session struct {
+	id     string
+	solver string
+	seed   int64
+
+	// writer is the session's single-writer slot: a one-token semaphore
+	// instead of a sync.Mutex so queued writers can honour request
+	// deadlines.
+	writer chan struct{}
+
+	// opt, net and sim are guarded by the writer slot.
+	opt *core.Optimizer
+	net *netmodel.Network
+	sim *vulnsim.SimilarityTable
+
+	// closed marks a session that was removed from the store (failed create
+	// rollback, DELETE).  Guarded by the writer slot: a writer that acquires
+	// the slot after removal observes it and treats the session as gone
+	// instead of acknowledging work on an orphan.
+	closed bool
+
+	// pendingReopt marks a delta that was applied to the network but whose
+	// re-optimisation failed (deadline, cancellation): the optimiser keeps
+	// serving the previous assignment, and the next slot holder that needs
+	// network/assignment consistency (delta, metrics, assess) re-optimises
+	// lazily before proceeding.  Guarded by the writer slot.
+	pendingReopt bool
+
+	// metricsCache memoises the last metrics computation; valid only for the
+	// same snapshot version and entry/target pair.  Guarded by the writer
+	// slot.
+	metricsCache *MetricsResponse
+
+	// snap is the immutable published state read lock-free by GET handlers.
+	// Written only by the slot holder after a successful solve.
+	snap atomic.Pointer[snapshot]
+}
+
+// snapshot is the immutable published state of a session.  The assignment is
+// produced fresh by every solve and never mutated afterwards, so sharing the
+// pointer with concurrent readers is safe.
+type snapshot struct {
+	version    uint64
+	energy     float64
+	assignment *netmodel.Assignment
+	hash       string
+	hosts      int
+	links      int
+}
+
+// lock acquires the session's writer slot, honouring the context deadline.
+func (s *session) lock(ctx context.Context) error {
+	select {
+	case s.writer <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// unlock releases the writer slot.
+func (s *session) unlock() { <-s.writer }
+
+// publish installs a new snapshot of the optimiser's current solution,
+// bumping the version.  Must be called by the writer-slot holder after a
+// successful solve.  The assignment comes from core.Optimizer.Snapshot — a
+// deep copy owned by the snapshot alone, so lock-free readers can never
+// observe optimiser-internal state no matter how core evolves.
+func (s *session) publish() snapshot {
+	a, energy, ok := s.opt.Snapshot()
+	if !ok {
+		// Unreachable: publish follows a successful Optimize/Reoptimize.
+		a, energy = netmodel.NewAssignment(), 0
+	}
+	prev := s.snap.Load()
+	var version uint64 = 1
+	if prev != nil {
+		version = prev.version + 1
+	}
+	snap := snapshot{
+		version:    version,
+		energy:     energy,
+		assignment: a,
+		hash:       AssignmentHash(a),
+		hosts:      s.net.NumHosts(),
+		links:      s.net.NumLinks(),
+	}
+	s.snap.Store(&snap)
+	return snap
+}
+
+// AssignmentHash returns a stable FNV-1a hash of an assignment — the
+// fingerprint the API exposes so clients (and the CI smoke test) can assert
+// deterministic results without diffing the whole assignment.  The hash
+// covers every (host, service, product) triple in sorted order.
+func AssignmentHash(a *netmodel.Assignment) string {
+	if a == nil {
+		return ""
+	}
+	h := fnv.New64a()
+	for _, host := range a.Hosts() {
+		m := a.HostAssignment(host)
+		services := make([]netmodel.ServiceID, 0, len(m))
+		for s := range m {
+			services = append(services, s)
+		}
+		sort.Slice(services, func(i, j int) bool { return services[i] < services[j] })
+		for _, svc := range services {
+			fmt.Fprintf(h, "%s\x00%s\x00%s\n", host, svc, m[svc])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

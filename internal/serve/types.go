@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"fmt"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/vulnsim"
+)
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error errorInfo `json:"error"`
+}
+
+// errorInfo is the machine-readable error: a stable code plus a
+// human-readable message.
+type errorInfo struct {
+	// Code is one of: bad_request, not_found, conflict, too_many_sessions,
+	// timeout, draining, internal.
+	Code string `json:"code"`
+	// Message describes the failure.
+	Message string `json:"message"`
+}
+
+// SimilaritySpec selects the similarity table of a session at create time.
+// Omitted (nil) or kind "paper" uses the paper's published tables; kind
+// "custom" builds a table over the products of the submitted spec from the
+// given entries, with Default for every unlisted pair.
+type SimilaritySpec struct {
+	// Kind is "paper" (default) or "custom".
+	Kind string `json:"kind,omitempty"`
+	// Default is the similarity of product pairs not listed in Entries
+	// (custom tables only).
+	Default float64 `json:"default,omitempty"`
+	// Entries are the custom pairwise similarities (symmetric; listing one
+	// direction is enough).
+	Entries []SimilarityEntry `json:"entries,omitempty"`
+}
+
+// SimilarityEntry is one pairwise similarity of a custom table.
+type SimilarityEntry struct {
+	A   string  `json:"a"`
+	B   string  `json:"b"`
+	Sim float64 `json:"sim"`
+}
+
+// buildSimilarity resolves a SimilaritySpec against the products of a
+// network.
+func buildSimilarity(spec *SimilaritySpec, net *netmodel.Network) (*vulnsim.SimilarityTable, error) {
+	if spec == nil || spec.Kind == "" || spec.Kind == "paper" {
+		if spec != nil && (len(spec.Entries) > 0 || spec.Default != 0) {
+			return nil, fmt.Errorf("similarity entries require kind \"custom\"")
+		}
+		return vulnsim.PaperSimilarity(), nil
+	}
+	if spec.Kind != "custom" {
+		return nil, fmt.Errorf("unknown similarity kind %q (known: paper, custom)", spec.Kind)
+	}
+	products := net.Products()
+	names := make([]string, len(products))
+	for i, p := range products {
+		names[i] = string(p)
+	}
+	table := vulnsim.NewSimilarityTable(names)
+	if spec.Default != 0 {
+		if err := table.SetDefault(spec.Default); err != nil {
+			return nil, err
+		}
+	}
+	for i, e := range spec.Entries {
+		if err := table.Set(e.A, e.B, e.Sim, 0); err != nil {
+			return nil, fmt.Errorf("similarity entry %d: %w", i, err)
+		}
+	}
+	return table, nil
+}
+
+// CreateRequest is the body of POST /v1/networks.
+type CreateRequest struct {
+	// ID optionally names the session; omitted, the server assigns net-<n>.
+	ID string `json:"id,omitempty"`
+	// Spec describes the network (and optional constraints).
+	Spec netmodel.Spec `json:"spec"`
+	// Solver is a solver-registry name; default "trws".
+	Solver string `json:"solver,omitempty"`
+	// Seed drives every randomised stage of the session; with a fixed seed
+	// the session's responses are deterministic.
+	Seed int64 `json:"seed,omitempty"`
+	// MaxIterations bounds the solver iterations (default 100, capped by the
+	// server's Config.MaxIterations).
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// Similarity selects the similarity table (default: the paper tables).
+	Similarity *SimilaritySpec `json:"similarity,omitempty"`
+}
+
+// NetworkSummary is the session state common to several responses.
+type NetworkSummary struct {
+	ID             string  `json:"id"`
+	Hosts          int     `json:"hosts"`
+	Links          int     `json:"links"`
+	Solver         string  `json:"solver"`
+	Seed           int64   `json:"seed"`
+	Version        uint64  `json:"version"`
+	Energy         float64 `json:"energy"`
+	AssignmentHash string  `json:"assignment_hash"`
+}
+
+// CreateResponse is the body of a successful POST /v1/networks.
+type CreateResponse struct {
+	NetworkSummary
+	Iterations           int      `json:"iterations"`
+	Converged            bool     `json:"converged"`
+	WallMS               float64  `json:"wall_ms"`
+	ConstraintViolations []string `json:"constraint_violations,omitempty"`
+}
+
+// ListResponse is the body of GET /v1/networks.
+type ListResponse struct {
+	Networks []NetworkSummary `json:"networks"`
+}
+
+// DeltaResponse is the body of a successful POST /v1/networks/{id}/deltas.
+type DeltaResponse struct {
+	ID             string  `json:"id"`
+	Version        uint64  `json:"version"`
+	Ops            int     `json:"ops"`
+	Hosts          int     `json:"hosts"`
+	Energy         float64 `json:"energy"`
+	AssignmentHash string  `json:"assignment_hash"`
+	// Incremental is false when the engine fell back to a cold solve;
+	// Rebuilt reports a tombstone-pressure compacting rebuild.
+	Incremental bool `json:"incremental"`
+	Rebuilt     bool `json:"rebuilt,omitempty"`
+	// DirtyNodes/LiveNodes describe the warm solve's frontier.
+	DirtyNodes int `json:"dirty_nodes"`
+	LiveNodes  int `json:"live_nodes"`
+	// ChangedHosts counts surviving hosts whose assignment changed.
+	ChangedHosts int     `json:"changed_hosts"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+// AssignmentResponse is the body of GET /v1/networks/{id}/assignment.
+type AssignmentResponse struct {
+	ID             string               `json:"id"`
+	Version        uint64               `json:"version"`
+	Energy         float64              `json:"energy"`
+	AssignmentHash string               `json:"assignment_hash"`
+	Assignment     *netmodel.Assignment `json:"assignment"`
+}
+
+// MetricsResponse is the body of GET /v1/networks/{id}/metrics: the
+// objective value plus the d1/d2/d3 diversity metrics of the current
+// assignment.
+type MetricsResponse struct {
+	ID           string  `json:"id"`
+	Version      uint64  `json:"version"`
+	Hosts        int     `json:"hosts"`
+	Links        int     `json:"links"`
+	Energy       float64 `json:"energy"`
+	PairwiseCost float64 `json:"pairwise_cost"`
+	// D1 is the richness/Shannon-effective-number diversity (overall mean
+	// over services).
+	D1 float64 `json:"d1"`
+	// D2 and D3 are the least and average attacking-effort metrics over
+	// entry→target attack paths; Entry/Target echo the evaluated pair
+	// (query parameters, defaulting to the first and last host).
+	D2     float64         `json:"d2"`
+	D3     float64         `json:"d3"`
+	Entry  netmodel.HostID `json:"entry"`
+	Target netmodel.HostID `json:"target"`
+}
+
+// AssessRequest is the body of POST /v1/networks/{id}/assess.
+type AssessRequest struct {
+	// Entry and Target bound the campaign; default first and last host.
+	Entry  netmodel.HostID `json:"entry,omitempty"`
+	Target netmodel.HostID `json:"target,omitempty"`
+	// Knowledge is the attacker model: "none", "partial" or "full"
+	// (default "full").
+	Knowledge string `json:"knowledge,omitempty"`
+	// PAvg is the base zero-day propagation rate (default 0.2).
+	PAvg float64 `json:"p_avg,omitempty"`
+	// Runs and MaxTicks bound the campaign (defaults 500 / 500, Runs capped
+	// by the server's Config.MaxAssessRuns).
+	Runs     int `json:"runs,omitempty"`
+	MaxTicks int `json:"max_ticks,omitempty"`
+	// Seed makes the campaign deterministic; default: the session seed.
+	Seed *int64 `json:"seed,omitempty"`
+	// Mode selects the engine: "tick" (default) or "event".
+	Mode string `json:"mode,omitempty"`
+	// ExploitServices restricts the attacker's zero-day exploits (default:
+	// all services).
+	ExploitServices []netmodel.ServiceID `json:"exploit_services,omitempty"`
+}
+
+// AssessResponse is the body of a successful POST /v1/networks/{id}/assess:
+// the MTTC statistics of the Monte-Carlo campaign against the session's
+// current assignment.
+type AssessResponse struct {
+	ID      string `json:"id"`
+	Version uint64 `json:"version"`
+	// Knowledge, Mode and Runs echo the executed campaign.
+	Knowledge string `json:"knowledge"`
+	Mode      string `json:"mode"`
+	Runs      int    `json:"runs"`
+	// MTTC statistics (ticks to compromise; failed runs count as MaxTicks).
+	MTTC         float64 `json:"mttc"`
+	MedianTTC    float64 `json:"median_ttc"`
+	P90TTC       float64 `json:"p90_ttc"`
+	StdTTC       float64 `json:"std_ttc"`
+	SuccessRate  float64 `json:"success_rate"`
+	MeanInfected float64 `json:"mean_infected"`
+	WallMS       float64 `json:"wall_ms"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+	Draining bool   `json:"draining,omitempty"`
+}

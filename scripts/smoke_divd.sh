@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Smoke-test the divd daemon at the binary level: boot it, create a 50-host
+# network twice, assert deterministic assignment hashes, apply a delta and
+# assert the version moved.  CI's docs job runs this; it needs only curl and
+# python3.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+trap 'kill "$divd_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/divd" ./cmd/divd
+
+"$workdir/divd" -addr 127.0.0.1:0 >"$workdir/divd.log" 2>&1 &
+divd_pid=$!
+
+# Scrape the bound address from the startup line.
+base=""
+for _ in $(seq 1 100); do
+  base="$(sed -n 's/^divd listening on //p' "$workdir/divd.log" | head -1)"
+  [ -n "$base" ] && break
+  kill -0 "$divd_pid" 2>/dev/null || { echo "divd exited early:"; cat "$workdir/divd.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$base" ] || { echo "divd never reported its address"; cat "$workdir/divd.log"; exit 1; }
+base="http://$base"
+echo "divd up at $base"
+
+json_field() { # json_field <field> < file-with-json
+  python3 -c "import json,sys; print(json.load(sys.stdin)[sys.argv[1]])" "$1"
+}
+
+create_payload() { # create_payload <id>
+  python3 - "$1" <<'PY'
+import json, sys
+spec = json.load(open("testdata/smoke_net50.json"))
+print(json.dumps({"id": sys.argv[1], "spec": spec, "seed": 1}))
+PY
+}
+
+request() { # request <expected-status> <method> <path> [data-file] -> body on stdout
+  local want="$1" method="$2" path="$3" data="${4:-}"
+  local args=(-sS -o "$workdir/body" -w '%{http_code}' -X "$method" "$base$path")
+  [ -n "$data" ] && args+=(-H 'Content-Type: application/json' --data-binary "@$data")
+  local got
+  got="$(curl "${args[@]}")"
+  if [ "$got" != "$want" ]; then
+    echo "FAIL: $method $path returned $got, want $want" >&2
+    cat "$workdir/body" >&2
+    exit 1
+  fi
+  cat "$workdir/body"
+}
+
+# Create the same 50-host network under two IDs: the solve must be
+# deterministic, so the assignment hashes must match.
+create_payload smoke-a >"$workdir/create-a.json"
+create_payload smoke-b >"$workdir/create-b.json"
+hash_a="$(request 201 POST /v1/networks "$workdir/create-a.json" | json_field assignment_hash)"
+hash_b="$(request 201 POST /v1/networks "$workdir/create-b.json" | json_field assignment_hash)"
+[ -n "$hash_a" ] || { echo "FAIL: empty assignment hash"; exit 1; }
+if [ "$hash_a" != "$hash_b" ]; then
+  echo "FAIL: non-deterministic solve: $hash_a vs $hash_b" >&2
+  exit 1
+fi
+echo "deterministic create OK ($hash_a)"
+
+# Apply a delta and assert the session advanced.
+echo '{"ops":[{"op":"remove_edge","a":"h0","b":"h1"},{"op":"add_edge","a":"h0","b":"h5"}]}' >"$workdir/delta.json"
+version="$(request 200 POST /v1/networks/smoke-a/deltas "$workdir/delta.json" | json_field version)"
+if [ "$version" != "2" ]; then
+  echo "FAIL: delta left version at $version, want 2" >&2
+  exit 1
+fi
+echo "delta OK (version $version)"
+
+# The assignment read serves the post-delta snapshot.
+read_version="$(request 200 GET /v1/networks/smoke-a/assignment | json_field version)"
+[ "$read_version" = "2" ] || { echo "FAIL: read version $read_version"; exit 1; }
+
+# Clean shutdown on SIGTERM.
+kill "$divd_pid"
+wait "$divd_pid" || { echo "FAIL: divd exited nonzero on SIGTERM"; exit 1; }
+echo "divd smoke test PASSED"
