@@ -109,6 +109,16 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "suite %s: %d cells in %.1fs -> %s\n",
 		rep.Suite, len(rep.Cells), time.Since(start).Seconds(), path)
 	printSummary(out, rep)
+	timedOut := 0
+	for _, c := range rep.Cells {
+		if c.TimedOut {
+			timedOut++
+		}
+	}
+	if timedOut > 0 {
+		fmt.Fprintf(out, "%d of %d cells timed out (recorded as timed_out markers, not failures)\n",
+			timedOut, len(rep.Cells))
+	}
 	if failed := rep.Failed(); len(failed) > 0 {
 		for _, c := range failed {
 			fmt.Fprintf(out, "FAILED %s: %s\n", c.ID, c.Error)
@@ -144,13 +154,16 @@ func run(args []string, out io.Writer) error {
 // incremental-vs-full table when the suite has churn cells.
 func printSummary(out io.Writer, rep *scenario.Report) {
 	idWidth := len("cell")
-	churn := false
+	churn, scale := false, false
 	for _, c := range rep.Cells {
 		if len(c.ID) > idWidth {
 			idWidth = len(c.ID)
 		}
 		if c.ChurnSteps > 0 {
 			churn = true
+		}
+		if c.Levels > 0 {
+			scale = true
 		}
 	}
 	fmt.Fprintf(out, "%-*s  %10s  %12s  %8s  %8s  %8s\n",
@@ -160,8 +173,28 @@ func printSummary(out io.Writer, rep *scenario.Report) {
 			fmt.Fprintf(out, "%-*s  error: %s\n", idWidth, c.ID, c.Error)
 			continue
 		}
+		if c.TimedOut {
+			fmt.Fprintf(out, "%-*s  %10.1f  TIMED OUT\n", idWidth, c.ID, c.WallMS)
+			continue
+		}
 		fmt.Fprintf(out, "%-*s  %10.1f  %12.3f  %8.2f  %8.4f  %8d\n",
 			idWidth, c.ID, c.WallMS, c.Energy, c.MTTC, c.Richness, c.AllocObjects)
+	}
+	if scale {
+		fmt.Fprintf(out, "\nscale: multilevel hierarchy vs the flat twin cell\n")
+		fmt.Fprintf(out, "%-*s  %10s  %6s  %12s\n",
+			idWidth, "cell", "coarsen", "levels", "gap vs flat")
+		for _, c := range rep.Cells {
+			if c.Levels == 0 {
+				continue
+			}
+			gap := "-"
+			if c.EnergyGapVsFlatPct != 0 {
+				gap = fmt.Sprintf("%+.2f%%", c.EnergyGapVsFlatPct)
+			}
+			fmt.Fprintf(out, "%-*s  %8.0fms  %6d  %12s\n",
+				idWidth, c.ID, c.CoarsenMS, c.Levels, gap)
+		}
 	}
 	if !churn {
 		return

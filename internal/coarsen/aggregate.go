@@ -1,0 +1,98 @@
+package coarsen
+
+import (
+	"errors"
+	"fmt"
+
+	"netdiversity/internal/mrf"
+)
+
+// Aggregate contracts a graph to roughly targetNodes coarse nodes in ONE
+// step by deterministic hash bucketing, sharing the merged-potential
+// construction (and its exact energy-consistency invariant) with Contract.
+//
+// Matching-based hierarchies halve the node count per level but barely
+// shrink the edge count on expander-like topologies (random uniform
+// networks): parallel fine edges only collide once the coarse graph is
+// nearly complete, so every level of a deep hierarchy costs O(edges) again.
+// Aggregate is the million-host answer: one O(edges) pass straight to a
+// coarse size where the pair table saturates and a flat solver is cheap.
+//
+// stride is the caller's node-interleave period: node i belongs to entity
+// i/stride with phase i%stride (the diversification MRF lays out nodes as
+// host*services+service, so stride=services groups whole hosts while
+// keeping each service's variables separate).  Entities are scattered into
+// buckets by a multiplicative hash, so grouped entities are overwhelmingly
+// non-adjacent — merging them constrains little, which keeps the projected
+// labeling close to locally optimal.  Nodes sharing a bucket and phase but
+// differing in label count get distinct coarse nodes (merges must preserve
+// the label space).
+func Aggregate(g *mrf.Graph, stride, targetNodes int) (*mrf.Graph, []int32, error) {
+	if g == nil {
+		return nil, nil, errors.New("coarsen: nil graph")
+	}
+	n := g.NumNodes()
+	if stride <= 0 {
+		stride = 1
+	}
+	if targetNodes <= 0 {
+		targetNodes = 1024
+	}
+	if targetNodes >= n {
+		return nil, nil, fmt.Errorf("coarsen: aggregate target %d is not below %d nodes", targetNodes, n)
+	}
+	groups := targetNodes / stride
+	if groups < 1 {
+		groups = 1
+	}
+
+	uniformK := g.NumLabels(0)
+	uniform := true
+	for i := 1; i < n; i++ {
+		if g.NumLabels(i) != uniformK {
+			uniform = false
+			break
+		}
+	}
+
+	f2c := make([]int32, n)
+	var coarseCounts []int
+	if uniform {
+		// Direct id layout: bucket-major, phase-minor — no assignment map.
+		for i := 0; i < n; i++ {
+			f2c[i] = int32(bucketOf(i/stride, groups)*stride + i%stride)
+		}
+		coarseCounts = make([]int, groups*stride)
+		for i := range coarseCounts {
+			coarseCounts[i] = uniformK
+		}
+	} else {
+		type key struct {
+			bucket, phase, count int
+		}
+		ids := make(map[key]int32)
+		for i := 0; i < n; i++ {
+			k := key{bucketOf(i/stride, groups), i % stride, g.NumLabels(i)}
+			id, ok := ids[k]
+			if !ok {
+				id = int32(len(coarseCounts))
+				ids[k] = id
+				coarseCounts = append(coarseCounts, g.NumLabels(i))
+			}
+			f2c[i] = id
+		}
+	}
+
+	coarse, err := buildCoarse(g, f2c, coarseCounts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return coarse, f2c, nil
+}
+
+// bucketOf scatters entity h into one of `groups` buckets with a Fibonacci
+// multiplicative hash — deterministic, stateless and well-mixed, so buckets
+// are near-uniform and grouped entities are spread across the topology.
+func bucketOf(h, groups int) int {
+	return int((uint64(h)*0x9E3779B97F4A7C15)>>33) % groups
+}

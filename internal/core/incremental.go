@@ -446,6 +446,7 @@ func (o *Optimizer) Reoptimize(ctx context.Context) (ReoptimizeResult, error) {
 		Seed:          o.opts.Seed,
 		InitialLabels: warm,
 		DirtyMask:     mask,
+		Checkpoint:    o.opts.Checkpoint,
 	})
 	if err != nil {
 		return ReoptimizeResult{}, err
@@ -458,6 +459,7 @@ func (o *Optimizer) Reoptimize(ctx context.Context) (ReoptimizeResult, error) {
 			MaxIterations: 10,
 			InitialLabels: sol.Labels,
 			DirtyMask:     mask,
+			Checkpoint:    o.opts.Checkpoint,
 		}, &icm.Kernel{})
 		if perr != nil {
 			return ReoptimizeResult{}, perr

@@ -111,6 +111,11 @@ type Options struct {
 	// fed to every solver, so benchmark scenarios can measure a solver's
 	// cold-start behaviour.
 	DisableWarmStart bool
+	// Checkpoint, when set, is handed to every solve this optimiser runs
+	// (cold solves, re-optimisations, polish passes).  The solve driver
+	// calls it between steps; returning an error aborts the solve.  The
+	// serving plane uses it to slice long solves into schedulable units.
+	Checkpoint func(context.Context) error
 }
 
 func (o Options) withDefaults() Options {
@@ -325,6 +330,7 @@ func (o *Optimizer) solve(ctx context.Context, g *mrf.Graph, initial []int, dirt
 		Seed:          o.opts.Seed,
 		InitialLabels: initial,
 		DirtyMask:     dirty,
+		Checkpoint:    o.opts.Checkpoint,
 	})
 }
 

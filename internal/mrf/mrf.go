@@ -268,6 +268,42 @@ func (g *Graph) AddEdgeShared(u, v int, cost [][]float64) (int, error) {
 	return g.appendEdge(u, v, id), nil
 }
 
+// ForEachEdge calls f for every edge with its index, endpoints and interned
+// matrix id, walking the flat edge records directly.  It is the bulk-read
+// primitive of the coarsening and restriction layers: one indexed pass
+// instead of NumEdges() paired EdgeEndpoints/EdgeMatID calls.
+func (g *Graph) ForEachEdge(f func(idx, u, v, mat int)) {
+	for idx := range g.edges {
+		e := &g.edges[idx]
+		f(idx, e.U, e.V, e.Mat)
+	}
+}
+
+// AddEdgeFlat adds a pairwise factor between u and v whose cost matrix is
+// given as one row-major flat buffer (data[i*cols+j] = cost(labelU=i,
+// labelV=j)).  The buffer is copied and content-interned exactly like
+// AddEdge, but without requiring callers that already hold flat storage —
+// the coarsener's accumulated parallel-edge matrices — to materialise a
+// nested [][]float64 per edge.  It returns the edge index.
+func (g *Graph) AddEdgeFlat(u, v int, rows, cols int, data []float64) (int, error) {
+	if u == v {
+		return 0, fmt.Errorf("mrf: self edge on node %d", u)
+	}
+	if u < 0 || u >= len(g.counts) || v < 0 || v >= len(g.counts) {
+		return 0, fmt.Errorf("mrf: edge (%d,%d) out of range", u, v)
+	}
+	if rows != g.counts[u] || cols != g.counts[v] {
+		return 0, fmt.Errorf("mrf: edge (%d,%d): matrix is %dx%d, want %dx%d",
+			u, v, rows, cols, g.counts[u], g.counts[v])
+	}
+	if len(data) != rows*cols {
+		return 0, fmt.Errorf("mrf: edge (%d,%d): flat matrix has %d entries, want %d",
+			u, v, len(data), rows*cols)
+	}
+	m := &Matrix{Rows: rows, Cols: cols, Data: append([]float64(nil), data...)}
+	return g.appendEdge(u, v, g.intern(m)), nil
+}
+
 // Edge returns the idx-th pairwise factor as a compatibility view whose Cost
 // rows alias the interned flat buffer; callers must treat it as read-only.
 func (g *Graph) Edge(idx int) Edge {

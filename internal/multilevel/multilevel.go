@@ -1,0 +1,358 @@
+// Package multilevel implements the coarsen→solve→project→refine scheme
+// that pushes the diversification MRF past the flat solvers' ~1000-host
+// range: contract the graph into a hierarchy of progressively smaller
+// problems (internal/coarsen), solve the coarsest level exactly once with a
+// flat kernel (default TRW-S), then walk back up the hierarchy projecting
+// each coarse labeling onto the next finer level and repairing it with the
+// WarmKernel dirty-mask machinery — only nodes whose projected label is not
+// a local best response are re-solved, so each refinement costs O(dirty)
+// instead of O(nodes).
+//
+// The kernel registers as "multilevel" and runs under the standard solve
+// driver: the hierarchy build, the coarsest solve and each per-level
+// refinement are individual driver steps, so context cancellation and the
+// scheduler's Checkpoint hook interleave between phases.  Refinement solves
+// inherit the Checkpoint too, which is what lets the serving plane slice a
+// million-host solve into schedulable units.
+package multilevel
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"netdiversity/internal/coarsen"
+	"netdiversity/internal/mrf"
+	"netdiversity/internal/solve"
+
+	// The coarsest-level and refinement solves are looked up from the solve
+	// registry by name; link the kernels this package defaults to.
+	_ "netdiversity/internal/icm"
+	_ "netdiversity/internal/trws"
+)
+
+func init() {
+	solve.Register("multilevel", func() solve.Kernel { return &Kernel{} })
+}
+
+const (
+	// DefaultBaseSolver solves the coarsest level.
+	DefaultBaseSolver = "trws"
+	// DefaultRefineIterations bounds each per-level warm repair solve.
+	DefaultRefineIterations = 8
+	// DefaultTRWSEdgeLimit is the largest level (in edges) refined with the
+	// message-passing kernel; larger levels switch to the O(n)-memory ICM
+	// worklist.  Message buffers cost 2·edges·K floats and every trws sweep
+	// is O(edges·K²) regardless of the dirty fraction, so on big levels the
+	// worklist repair wins by orders of magnitude.
+	DefaultTRWSEdgeLimit = 1 << 18
+	// DefaultMatchingLimit is the largest fine graph (in nodes) coarsened
+	// with the matching hierarchy.  Random uniform topologies are
+	// expander-like: halving the node count barely shrinks the edge count,
+	// so a deep hierarchy costs O(edges) per level and re-refines nearly
+	// the whole graph each projection.  Above this limit the kernel jumps
+	// straight to AggregateTarget nodes in one deterministic hash pass.
+	DefaultMatchingLimit = 16384
+	// DefaultAggregateTarget is the coarse size of the single-jump path.
+	// Around a thousand coarse nodes the accumulated pair table saturates
+	// (the coarse graph is nearly complete), so the flat base solver sees a
+	// fixed-size problem no matter how large the fine graph is.
+	DefaultAggregateTarget = 512
+)
+
+// Stats describes one multilevel solve for benchmark reporting.
+type Stats struct {
+	// CoarsenMS is the wall-clock time spent building the hierarchy.
+	CoarsenMS float64
+	// Levels is the hierarchy depth including the fine graph.
+	Levels int
+	// CoarsestNodes is the node count of the level the base solver ran on.
+	CoarsestNodes int
+	// RefinedNodes is the total number of dirty nodes repaired across all
+	// projection steps.
+	RefinedNodes int
+}
+
+// Kernel is the multilevel solver.  The zero value uses the defaults above;
+// fields may be set when constructing the kernel directly (SolveWithStats).
+type Kernel struct {
+	// BaseSolver names the registry kernel used on the coarsest level.
+	BaseSolver string
+	// Coarsen tunes hierarchy construction.
+	Coarsen coarsen.Options
+	// RefineIterations bounds each per-level warm repair solve.
+	RefineIterations int
+	// TRWSEdgeLimit switches refinement from trws to icm above this edge
+	// count.
+	TRWSEdgeLimit int
+	// MatchingLimit switches coarsening from the matching hierarchy to the
+	// single-jump aggregation above this fine node count.
+	MatchingLimit int
+	// AggregateTarget is the coarse node count of the single-jump path.
+	AggregateTarget int
+	// Stride is the node-interleave period handed to coarsen.Aggregate
+	// (services per host for the diversification MRF layout); 1 groups raw
+	// node indices.
+	Stride int
+
+	g      *mrf.Graph
+	opts   solve.Options
+	h      *coarsen.Hierarchy
+	labels []int // labeling of the most recently solved/refined level
+	level  int   // index of that level in h.Levels
+	phase  int
+	stats  Stats
+	failed error
+}
+
+const (
+	phaseBuild = iota
+	phaseCoarse
+	phaseRefine
+	phaseDone
+)
+
+// Defaults floors the iteration budget so the driver's step cap can never
+// truncate the hierarchy walk: the kernel needs one step for the build, one
+// for the coarsest solve and one per projection level.
+func (k *Kernel) Defaults(o solve.Options) solve.Options {
+	maxLevels := k.Coarsen.MaxLevels
+	if maxLevels <= 0 {
+		maxLevels = 24 // coarsen.Options default
+	}
+	if floor := maxLevels + 4; o.MaxIterations > 0 && o.MaxIterations < floor {
+		o.MaxIterations = floor
+	}
+	return o
+}
+
+// Init implements solve.Kernel.
+func (k *Kernel) Init(g *mrf.Graph, opts solve.Options) error {
+	if g == nil {
+		return solve.ErrNilGraph
+	}
+	if k.BaseSolver == "" {
+		k.BaseSolver = DefaultBaseSolver
+	}
+	if !solve.Registered(k.BaseSolver) {
+		return fmt.Errorf("multilevel: unknown base solver %q", k.BaseSolver)
+	}
+	if k.RefineIterations <= 0 {
+		k.RefineIterations = DefaultRefineIterations
+	}
+	if k.TRWSEdgeLimit <= 0 {
+		k.TRWSEdgeLimit = DefaultTRWSEdgeLimit
+	}
+	if k.MatchingLimit <= 0 {
+		k.MatchingLimit = DefaultMatchingLimit
+	}
+	if k.AggregateTarget <= 0 {
+		k.AggregateTarget = DefaultAggregateTarget
+	}
+	if k.Stride <= 0 {
+		k.Stride = 1
+	}
+	k.g = g
+	k.opts = opts
+	k.phase = phaseBuild
+	k.stats = Stats{}
+	k.failed = nil
+	return nil
+}
+
+// Step implements solve.Kernel: one hierarchy phase per driver step.
+// Intermediate steps return nil Labels — scoring a partial labeling of a
+// coarse level against the fine graph is meaningless — and the final step
+// returns the fully refined fine labeling with FixedPoint set.
+func (k *Kernel) Step() solve.Step {
+	switch k.phase {
+	case phaseBuild:
+		start := time.Now()
+		h, err := k.buildHierarchy()
+		if err != nil {
+			return k.fail(err)
+		}
+		k.h = h
+		k.stats.CoarsenMS = float64(time.Since(start).Microseconds()) / 1e3
+		k.stats.Levels = h.NumLevels()
+		k.stats.CoarsestNodes = h.Coarsest().NumNodes()
+		k.phase = phaseCoarse
+		return solve.Step{}
+	case phaseCoarse:
+		kern, err := solve.New(k.BaseSolver)
+		if err != nil {
+			return k.fail(err)
+		}
+		sol, err := solve.Run(context.Background(), k.h.Coarsest(), solve.Options{
+			MaxIterations: k.opts.MaxIterations,
+			Tolerance:     k.opts.Tolerance,
+			Workers:       k.opts.Workers,
+			Seed:          k.opts.Seed,
+			Checkpoint:    k.opts.Checkpoint,
+		}, kern)
+		if err != nil {
+			return k.fail(err)
+		}
+		k.labels = sol.Labels
+		k.level = k.h.NumLevels() - 1
+		if k.level == 0 {
+			k.phase = phaseDone
+			return solve.Step{Labels: k.labels, FixedPoint: true}
+		}
+		k.phase = phaseRefine
+		return solve.Step{}
+	case phaseRefine:
+		if err := k.refineDown(); err != nil {
+			return k.fail(err)
+		}
+		if k.level == 0 {
+			k.phase = phaseDone
+			return solve.Step{Labels: k.labels, FixedPoint: true}
+		}
+		return solve.Step{}
+	default:
+		return solve.Step{Exhausted: true}
+	}
+}
+
+// buildHierarchy picks the coarsening strategy by fine-graph size: a
+// matching hierarchy while deep refinement is affordable, one hash-bucketed
+// jump to AggregateTarget nodes beyond MatchingLimit (see the constants for
+// the expander-graph rationale).  The aggregate path yields a two-level
+// hierarchy, so the rest of the kernel — coarse solve, projection, warm
+// repair — is strategy-agnostic.
+func (k *Kernel) buildHierarchy() (*coarsen.Hierarchy, error) {
+	if k.g.NumNodes() <= k.MatchingLimit {
+		return coarsen.Build(k.g, k.Coarsen)
+	}
+	coarse, f2c, err := coarsen.Aggregate(k.g, k.Stride, k.AggregateTarget)
+	if err != nil {
+		return nil, err
+	}
+	return &coarsen.Hierarchy{
+		Levels: []*mrf.Graph{k.g, coarse},
+		Maps:   [][]int32{f2c},
+	}, nil
+}
+
+func (k *Kernel) fail(err error) solve.Step {
+	k.failed = err
+	k.phase = phaseDone
+	return solve.Step{Exhausted: true}
+}
+
+// refineDown projects k.labels one level down and repairs the projection
+// with a WarmKernel dirty-mask solve seeded from the nodes whose projected
+// label is not a local best response (the "boundary-inconsistent" set: the
+// interior of a merged region is consistent by construction, inconsistency
+// concentrates where merged regions meet).
+func (k *Kernel) refineDown() error {
+	fineLevel := k.level - 1
+	fine := k.h.Levels[fineLevel]
+	projected, err := k.h.Project(k.labels, k.level, fineLevel)
+	if err != nil {
+		return err
+	}
+	dirty, count := localDirty(fine, projected, k.opts.Tolerance)
+	k.level = fineLevel
+	if count == 0 {
+		k.labels = projected
+		return nil
+	}
+	k.stats.RefinedNodes += count
+	name := k.refineSolver(fine)
+	kern, err := solve.New(name)
+	if err != nil {
+		return err
+	}
+	sol, err := solve.Run(context.Background(), fine, solve.Options{
+		MaxIterations: k.RefineIterations,
+		Tolerance:     k.opts.Tolerance,
+		Workers:       k.opts.Workers,
+		Seed:          k.opts.Seed,
+		InitialLabels: projected,
+		DirtyMask:     dirty,
+		Checkpoint:    k.opts.Checkpoint,
+	}, kern)
+	if err != nil {
+		return err
+	}
+	// The warm driver seeds its best labeling with the projection, so the
+	// refined energy can only be <= the projected energy.
+	k.labels = sol.Labels
+	return nil
+}
+
+// refineSolver picks the repair kernel for a level: message passing while
+// the message buffers stay affordable, the ICM worklist above that.
+func (k *Kernel) refineSolver(g *mrf.Graph) string {
+	if g.NumEdges() > k.TRWSEdgeLimit {
+		return "icm"
+	}
+	return "trws"
+}
+
+// Stats returns the metrics of the last solve.
+func (k *Kernel) Stats() Stats { return k.stats }
+
+// Err returns the internal failure that aborted the last solve, if any.
+// The solve driver treats an aborted kernel as exhausted and returns its
+// baseline labeling without an error; callers that need to distinguish the
+// two ask the kernel.
+func (k *Kernel) Err() error { return k.failed }
+
+// localDirty marks every node whose label is not a local best response given
+// its neighbours' labels (within tol), and returns the mask plus the count.
+func localDirty(g *mrf.Graph, labels []int, tol float64) ([]bool, int) {
+	n := g.NumNodes()
+	dirty := make([]bool, n)
+	count := 0
+	costs := make([]float64, g.MaxLabels())
+	for i := 0; i < n; i++ {
+		k := g.NumLabels(i)
+		row := costs[:k]
+		copy(row, g.UnaryView(i))
+		for _, e := range g.IncidentEdges(i) {
+			u, v := g.EdgeEndpoints(e)
+			var other []float64
+			if i == u {
+				// rows of the transposed matrix are indexed by v's label
+				other = g.EdgeMatT(e).Row(labels[v])
+			} else {
+				other = g.EdgeMat(e).Row(labels[u])
+			}
+			for x := 0; x < k; x++ {
+				row[x] += other[x]
+			}
+		}
+		min := row[0]
+		for x := 1; x < k; x++ {
+			if row[x] < min {
+				min = row[x]
+			}
+		}
+		if row[labels[i]] > min+tol {
+			dirty[i] = true
+			count++
+		}
+	}
+	return dirty, count
+}
+
+// SolveWithStats runs the configured kernel and reports the hierarchy
+// metrics alongside the solution.  Zero-value fields take the package
+// defaults; the receiver is reusable across calls.
+func (k *Kernel) SolveWithStats(ctx context.Context, g *mrf.Graph, opts solve.Options) (mrf.Solution, Stats, error) {
+	sol, err := solve.Run(ctx, g, opts, k)
+	if err == nil && k.failed != nil {
+		err = k.failed
+	}
+	return sol, k.Stats(), err
+}
+
+// SolveWithStats runs a default-configured multilevel solve.  It is the
+// benchmark harness's entry point; the registry path ("multilevel" via
+// solve.Solve) serves everything else.
+func SolveWithStats(ctx context.Context, g *mrf.Graph, opts solve.Options) (mrf.Solution, Stats, error) {
+	return (&Kernel{}).SolveWithStats(ctx, g, opts)
+}

@@ -1,0 +1,112 @@
+package multilevel_test
+
+import (
+	"context"
+	"testing"
+
+	"netdiversity/internal/multilevel"
+	"netdiversity/internal/netgen"
+	"netdiversity/internal/solve"
+)
+
+func TestRegistered(t *testing.T) {
+	if !solve.Registered("multilevel") {
+		t.Fatal("multilevel is not in the solve registry")
+	}
+}
+
+// The multilevel solution must land within 5% of flat TRW-S on reference
+// sizes — the acceptance bar of the scale work.
+func TestMultilevelWithinFivePercentOfFlat(t *testing.T) {
+	for _, hosts := range []int{1000, 2000} {
+		cfg := netgen.RandomConfig{Hosts: hosts, Degree: 6, Services: 2, ProductsPerService: 4, Seed: int64(hosts)}
+		g, err := netgen.UniformGraph(cfg)
+		if err != nil {
+			t.Fatalf("UniformGraph: %v", err)
+		}
+		opts := solve.Options{MaxIterations: 60, Seed: 1}
+		flat, err := solve.Solve(context.Background(), "trws", g, opts)
+		if err != nil {
+			t.Fatalf("trws: %v", err)
+		}
+		ml, stats, err := multilevel.SolveWithStats(context.Background(), g, opts)
+		if err != nil {
+			t.Fatalf("multilevel: %v", err)
+		}
+		if stats.Levels < 1 || stats.CoarsestNodes <= 0 {
+			t.Fatalf("stats not populated: %+v", stats)
+		}
+		if flat.Energy <= 0 {
+			t.Fatalf("flat energy %v not positive, gap undefined", flat.Energy)
+		}
+		gap := (ml.Energy - flat.Energy) / flat.Energy
+		if gap > 0.05 {
+			t.Fatalf("hosts=%d: multilevel energy %.6f is %.2f%% above flat %.6f",
+				hosts, ml.Energy, gap*100, flat.Energy)
+		}
+		t.Logf("hosts=%d flat=%.4f multilevel=%.4f gap=%.2f%% levels=%d coarsest=%d refined=%d coarsen=%.1fms",
+			hosts, flat.Energy, ml.Energy, gap*100, stats.Levels, stats.CoarsestNodes, stats.RefinedNodes, stats.CoarsenMS)
+	}
+}
+
+// Small graphs (at or below the coarsest size) must degrade to a plain base
+// solve and still return a valid solution.
+func TestMultilevelTinyGraph(t *testing.T) {
+	g, err := netgen.UniformGraph(netgen.RandomConfig{Hosts: 20, Degree: 4, Services: 2, ProductsPerService: 3, Seed: 2})
+	if err != nil {
+		t.Fatalf("UniformGraph: %v", err)
+	}
+	sol, stats, err := multilevel.SolveWithStats(context.Background(), g, solve.Options{MaxIterations: 40})
+	if err != nil {
+		t.Fatalf("multilevel: %v", err)
+	}
+	if stats.Levels != 1 {
+		t.Fatalf("expected single-level hierarchy for %d nodes, got %d levels", g.NumNodes(), stats.Levels)
+	}
+	if len(sol.Labels) != g.NumNodes() || !sol.Converged {
+		t.Fatalf("bad solution: %d labels, converged=%v", len(sol.Labels), sol.Converged)
+	}
+}
+
+// The registry path must behave like the direct path.
+func TestMultilevelViaRegistry(t *testing.T) {
+	g, err := netgen.UniformGraph(netgen.RandomConfig{Hosts: 300, Degree: 6, Services: 2, ProductsPerService: 4, Seed: 4})
+	if err != nil {
+		t.Fatalf("UniformGraph: %v", err)
+	}
+	opts := solve.Options{MaxIterations: 60, Seed: 1}
+	viaRegistry, err := solve.Solve(context.Background(), "multilevel", g, opts)
+	if err != nil {
+		t.Fatalf("registry solve: %v", err)
+	}
+	direct, _, err := multilevel.SolveWithStats(context.Background(), g, opts)
+	if err != nil {
+		t.Fatalf("direct solve: %v", err)
+	}
+	if viaRegistry.Energy != direct.Energy {
+		t.Fatalf("registry and direct solves disagree: %v vs %v", viaRegistry.Energy, direct.Energy)
+	}
+}
+
+// Checkpoint errors must abort the solve and surface to the caller.
+func TestMultilevelCheckpointAbort(t *testing.T) {
+	g, err := netgen.UniformGraph(netgen.RandomConfig{Hosts: 300, Degree: 6, Services: 2, ProductsPerService: 4, Seed: 6})
+	if err != nil {
+		t.Fatalf("UniformGraph: %v", err)
+	}
+	calls := 0
+	boom := context.DeadlineExceeded
+	_, _, err = multilevel.SolveWithStats(context.Background(), g, solve.Options{
+		MaxIterations: 60,
+		Checkpoint: func(context.Context) error {
+			calls++
+			if calls > 2 {
+				return boom
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("expected checkpoint error to surface")
+	}
+}

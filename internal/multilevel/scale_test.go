@@ -1,0 +1,59 @@
+package multilevel_test
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"netdiversity/internal/multilevel"
+	"netdiversity/internal/netgen"
+	"netdiversity/internal/solve"
+)
+
+// TestScaleSmoke is the opt-in large-size comparison behind the BENCH_scale
+// numbers: flat trws vs multilevel at 10k and 100k hosts.  It is skipped
+// unless SCALE_SMOKE is set because the flat solve alone takes seconds; the
+// scenario scale suite is the canonical gate, this test is the fast local
+// repro for it.
+func TestScaleSmoke(t *testing.T) {
+	if os.Getenv("SCALE_SMOKE") == "" {
+		t.Skip("set SCALE_SMOKE=1 to run the large-size comparison")
+	}
+	for _, hosts := range []int{10000, 100000} {
+		cfg := netgen.RandomConfig{Hosts: hosts, Degree: 8, Services: 3, ProductsPerService: 4, Seed: int64(hosts)}
+		gen := time.Now()
+		g, err := netgen.UniformGraph(cfg)
+		if err != nil {
+			t.Fatalf("UniformGraph: %v", err)
+		}
+		genDur := time.Since(gen)
+		opts := solve.Options{MaxIterations: 40, Seed: 1}
+
+		flatStart := time.Now()
+		flat, err := solve.Solve(context.Background(), "trws", g, opts)
+		if err != nil {
+			t.Fatalf("trws: %v", err)
+		}
+		flatDur := time.Since(flatStart)
+
+		mlStart := time.Now()
+		k := &multilevel.Kernel{Stride: cfg.Services}
+		ml, stats, err := k.SolveWithStats(context.Background(), g, opts)
+		if err != nil {
+			t.Fatalf("multilevel: %v", err)
+		}
+		mlDur := time.Since(mlStart)
+
+		gap := (ml.Energy - flat.Energy) / flat.Energy * 100
+		t.Logf("hosts=%d nodes=%d edges=%d gen=%v flat=%v multilevel=%v speedup=%.1fx gap=%.2f%% levels=%d coarsest=%d refined=%d coarsen=%.0fms",
+			hosts, g.NumNodes(), g.NumEdges(), genDur, flatDur, mlDur,
+			float64(flatDur)/float64(mlDur), gap, stats.Levels, stats.CoarsestNodes, stats.RefinedNodes, stats.CoarsenMS)
+		if gap > 5 {
+			t.Errorf("hosts=%d: gap %.2f%% above 5%%", hosts, gap)
+		}
+		if hosts >= 100000 && mlDur*3 > flatDur {
+			t.Errorf("hosts=%d: multilevel %v not 3x faster than flat %v", hosts, mlDur, flatDur)
+		}
+	}
+}

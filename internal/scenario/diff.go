@@ -39,6 +39,11 @@ const (
 	// VerdictError means the cell failed in the current run but completed in
 	// the baseline (counts as a regression for the exit code).
 	VerdictError Verdict = "error"
+	// VerdictTimeout means the cell hit its per-cell deadline in the current
+	// run.  Timeouts never fail the gate: scale suites deliberately carry
+	// cells (flat solvers at the largest sizes) that age out as the matrix
+	// grows, and a slow runner must degrade a report, not break CI.
+	VerdictTimeout Verdict = "timed_out"
 	// VerdictNew means the cell has no baseline counterpart.
 	VerdictNew Verdict = "new"
 	// VerdictMissing means the baseline cell is absent from the current run.
@@ -129,12 +134,15 @@ func Compare(baseline, current *Report, opts DiffOptions) Diff {
 			DeltaEnergy: cur.Energy - old.Energy,
 		}
 		switch {
+		case cur.TimedOut:
+			delta.Verdict = VerdictTimeout
 		case cur.Error != "" && old.Error == "":
 			delta.Verdict = VerdictError
-		case old.Error != "":
-			// A baseline cell that itself failed carries no usable timing
-			// (divbench refuses to gate-pass a report with failed cells, but
-			// a stale or hand-edited baseline could still contain one).
+		case old.Error != "" || old.TimedOut:
+			// A baseline cell that itself failed or timed out carries no
+			// usable timing (divbench refuses to gate-pass a report with
+			// failed cells, but a stale or hand-edited baseline could still
+			// contain one, and timed-out cells are kept by design).
 			delta.Verdict = VerdictOK
 		case old.WallMS > 0:
 			delta.Ratio = cur.WallMS / old.WallMS
@@ -247,8 +255,8 @@ func (d Diff) Render() string {
 			idWidth, c.ID, old, cur, ratio, energy, verdict)
 	}
 	counts := d.Counts()
-	fmt.Fprintf(&b, "summary: %d regressions, %d errors, %d improvements, %d ok, %d new, %d missing\n",
-		counts[VerdictRegression], counts[VerdictError], counts[VerdictImprovement],
+	fmt.Fprintf(&b, "summary: %d regressions, %d errors, %d timeouts, %d improvements, %d ok, %d new, %d missing\n",
+		counts[VerdictRegression], counts[VerdictError], counts[VerdictTimeout], counts[VerdictImprovement],
 		counts[VerdictOK], counts[VerdictNew], counts[VerdictMissing])
 	return b.String()
 }

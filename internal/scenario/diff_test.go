@@ -28,14 +28,16 @@ func diffFixtures() (*Report, *Report) {
 		{ID: "zoned/h50/d6/s2/icm/recon", WallMS: 10, Energy: 5},
 		{ID: "uniform/h200/d6/s2/anneal/recon", WallMS: 250, Energy: 25},
 		{ID: "zoned/h200/d6/s2/anneal/recon", WallMS: 150, Energy: 15},
+		{ID: "uniform/h10000/d8/s3/trws/none", WallMS: 2000, Energy: 200},
 	})
 	current := report([]Measurement{
-		{ID: "uniform/h50/d6/s2/trws/recon", WallMS: 104, Energy: 10},                               // ok: +4%
-		{ID: "uniform/h200/d6/s2/trws/recon", WallMS: 800, Energy: 40},                              // regression: 2x
-		{ID: "zoned/h200/d6/s2/bp/recon", WallMS: 150, Energy: 29.5},                                // improvement: 2x faster
-		{ID: "zoned/h50/d6/s2/icm/recon", WallMS: 18, Energy: 5},                                    // ok: +80% but below the 10ms floor
-		{ID: "uniform/h200/d6/s2/anneal/recon", Error: "context deadline exceeded", TimedOut: true}, // error
-		{ID: "uniform/h50/d6/s2/bp/recon", WallMS: 90, Energy: 9},                                   // new
+		{ID: "uniform/h50/d6/s2/trws/recon", WallMS: 104, Energy: 10},          // ok: +4%
+		{ID: "uniform/h200/d6/s2/trws/recon", WallMS: 800, Energy: 40},         // regression: 2x
+		{ID: "zoned/h200/d6/s2/bp/recon", WallMS: 150, Energy: 29.5},           // improvement: 2x faster
+		{ID: "zoned/h50/d6/s2/icm/recon", WallMS: 18, Energy: 5},               // ok: +80% but below the 10ms floor
+		{ID: "uniform/h200/d6/s2/anneal/recon", Error: "solver panicked"},      // error
+		{ID: "uniform/h10000/d8/s3/trws/none", WallMS: 180000, TimedOut: true}, // timed_out: never gates
+		{ID: "uniform/h50/d6/s2/bp/recon", WallMS: 90, Energy: 9},              // new
 	})
 	return baseline, current
 }
@@ -49,6 +51,7 @@ func TestCompareVerdicts(t *testing.T) {
 		"zoned/h200/d6/s2/bp/recon":       VerdictImprovement,
 		"zoned/h50/d6/s2/icm/recon":       VerdictOK,
 		"uniform/h200/d6/s2/anneal/recon": VerdictError,
+		"uniform/h10000/d8/s3/trws/none":  VerdictTimeout,
 		"uniform/h50/d6/s2/bp/recon":      VerdictNew,
 		"zoned/h200/d6/s2/anneal/recon":   VerdictMissing,
 	}
@@ -93,6 +96,7 @@ func TestCompareErroredBaselineCellNeverGates(t *testing.T) {
 		Cells: []Measurement{
 			{ID: "a", WallMS: 60000, Error: "context deadline exceeded", TimedOut: true},
 			{ID: "b", WallMS: 0.1, Error: "boom"},
+			{ID: "c", WallMS: 60000, TimedOut: true}, // timeout marker, no error
 		},
 	}
 	current := &Report{
@@ -101,6 +105,7 @@ func TestCompareErroredBaselineCellNeverGates(t *testing.T) {
 		Cells: []Measurement{
 			{ID: "a", WallMS: 50},
 			{ID: "b", WallMS: 50},
+			{ID: "c", WallMS: 50},
 		},
 	}
 	d := Compare(baseline, current, DiffOptions{})

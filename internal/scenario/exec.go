@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -86,8 +87,21 @@ type Measurement struct {
 	ServeAssessMS    float64 `json:"serve_assess_ms,omitempty"`
 	ServeReadsPerSec float64 `json:"serve_reads_per_sec,omitempty"`
 
-	// TimedOut and Error record a cell that did not complete; its metric
-	// fields are zero.
+	// Scale fields (present only on graph-direct multilevel cells):
+	// CoarsenMS is the wall-clock of the hierarchy build inside the solve,
+	// Levels the hierarchy depth including the fine graph, and
+	// EnergyGapVsFlatPct the cell's energy relative to the flat trws cell of
+	// the same topology/size axes in the same run, in percent (negative when
+	// multilevel found the lower energy; absent when no trws twin completed).
+	CoarsenMS          float64 `json:"coarsen_ms,omitempty"`
+	Levels             int     `json:"levels,omitempty"`
+	EnergyGapVsFlatPct float64 `json:"energy_gap_vs_flat_pct,omitempty"`
+
+	// TimedOut records a cell that hit its per-cell deadline.  A timed-out
+	// cell keeps Error empty: the timeout is an expected degradation on slow
+	// runners (the 1M-host cell in particular), so it marks the report
+	// instead of failing the suite.  Error records every other failure; its
+	// metric fields are zero.
 	TimedOut bool   `json:"timed_out,omitempty"`
 	Error    string `json:"error,omitempty"`
 }
@@ -299,14 +313,20 @@ func Run(ctx context.Context, m Matrix) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	annotateEnergyGaps(results)
 	rep := NewReport(m)
 	rep.Cells = results
 	return rep, nil
 }
 
 // runCell builds a cell's network and executes it, converting any failure
-// into the measurement's error fields.
+// into the measurement's error fields.  A per-cell timeout is recorded as
+// the timed_out marker, not as an error: a cell that outgrows a runner
+// degrades the report instead of failing the suite.
 func runCell(ctx context.Context, c Cell) Measurement {
+	if c.GraphDirect {
+		return finishCell(execGraphCell(ctx, c))
+	}
 	net, sim, err := BuildNetwork(c)
 	if err != nil {
 		return Measurement{
@@ -316,8 +336,41 @@ func runCell(ctx context.Context, c Cell) Measurement {
 		}
 	}
 	out, err := Exec(ctx, net, sim, c)
-	if err != nil {
-		out.Measurement.Error = err.Error()
+	return finishCell(out.Measurement, err)
+}
+
+// finishCell folds an execution error into the measurement: deadline hits
+// become the timed_out marker, everything else the error field.
+func finishCell(m Measurement, err error) Measurement {
+	if err == nil {
+		return m
 	}
-	return out.Measurement
+	if m.TimedOut || errors.Is(err, context.DeadlineExceeded) {
+		m.TimedOut = true
+		return m
+	}
+	m.Error = err.Error()
+	return m
+}
+
+// annotateEnergyGaps back-fills EnergyGapVsFlatPct on every completed
+// multilevel cell whose flat-trws twin (same axes, solver segment swapped)
+// completed in the same run — the scale suite's headline quality metric.
+func annotateEnergyGaps(results []Measurement) {
+	energies := make(map[string]float64, len(results))
+	for _, m := range results {
+		if m.Solver == "trws" && m.Error == "" && !m.TimedOut {
+			energies[m.ID] = m.Energy
+		}
+	}
+	for i := range results {
+		m := &results[i]
+		if m.Solver != "multilevel" || m.Error != "" || m.TimedOut {
+			continue
+		}
+		twin := strings.Replace(m.ID, "/multilevel/", "/trws/", 1)
+		if flat, ok := energies[twin]; ok && flat != 0 {
+			m.EnergyGapVsFlatPct = (m.Energy - flat) / flat * 100
+		}
+	}
 }

@@ -34,6 +34,7 @@ type MatrixInfo struct {
 	Parts            int      `json:"parts,omitempty"`
 	DisableWarmStart bool     `json:"disable_warm_start,omitempty"`
 	Serve            bool     `json:"serve,omitempty"`
+	GraphDirect      bool     `json:"graph_direct,omitempty"`
 	AttackRuns       int      `json:"attack_runs"`
 	Repeats          int      `json:"repeats"`
 }
@@ -96,6 +97,7 @@ func NewReport(m Matrix) *Report {
 			Parts:            m.Parts,
 			DisableWarmStart: m.DisableWarmStart,
 			Serve:            m.ServeLatency,
+			GraphDirect:      m.GraphDirect,
 			AttackRuns:       m.AttackRuns,
 			Repeats:          m.Repeats,
 		},

@@ -104,6 +104,13 @@ type Matrix struct {
 	// wall-clock (the solvers are deterministic, so every other measurement
 	// is identical across repeats).  Default 1.
 	Repeats int
+	// GraphDirect routes every cell through the streaming CSR-direct path:
+	// netgen.UniformGraph emits the diversification MRF without building a
+	// netmodel.Network and the solver runs on it directly, skipping the
+	// assignment decode and the attack/churn/serve phases.  This is the only
+	// path that reaches 10^5–10^6 hosts; it is restricted to the uniform
+	// topology with no attack, churn or serve axes.
+	GraphDirect bool
 }
 
 func (m Matrix) withDefaults() Matrix {
@@ -171,6 +178,11 @@ type Cell struct {
 	Churn ChurnSpec
 	// Seed is the cell's derived seed.
 	Seed int64
+	// GraphSeed is the instance-generation seed, derived from the structural
+	// axes only (topology/hosts/degree/services).  Cells that differ only in
+	// solver or attack share it, so graph-direct twins solve the identical
+	// instance and cross-solver energy gaps compare like with like.
+	GraphSeed int64
 	// MaxIterations, Parts, DisableWarmStart, AttackRuns, Repeats and
 	// Timeout are inherited from the matrix.
 	MaxIterations    int
@@ -189,6 +201,10 @@ type Cell struct {
 	// SolverWorkers is the intra-cell solver parallelism (ignored when
 	// Parts > 1).
 	SolverWorkers int
+	// GraphDirect runs the cell on a streamed MRF (netgen.UniformGraph)
+	// without a netmodel.Network: no assignment decode, no attack, churn or
+	// serve phase (inherited from Matrix.GraphDirect).
+	GraphDirect bool
 }
 
 // cellID renders the stable identifier of a cell.  Churn-free cells keep the
@@ -250,6 +266,31 @@ func Expand(m Matrix) ([]Cell, error) {
 		}
 		churns[i] = parsed
 	}
+	if m.GraphDirect {
+		// The streamed path has no netmodel.Network, so every phase that
+		// needs one is off the table.
+		for _, t := range m.Topologies {
+			if t != TopoUniform {
+				return nil, fmt.Errorf("scenario: graph-direct matrices support only the %s topology, got %q", TopoUniform, t)
+			}
+		}
+		for _, a := range attacks {
+			if a != AttackNone {
+				return nil, fmt.Errorf("scenario: graph-direct matrices cannot evaluate attacks (got %q)", a)
+			}
+		}
+		for _, c := range churns {
+			if !c.None() {
+				return nil, fmt.Errorf("scenario: graph-direct matrices cannot replay churn (got %q)", c)
+			}
+		}
+		if m.ServeLatency {
+			return nil, fmt.Errorf("scenario: graph-direct matrices cannot run the serve phase")
+		}
+		if m.Parts > 1 {
+			return nil, fmt.Errorf("scenario: graph-direct matrices cannot use the partitioned pipeline")
+		}
+	}
 
 	var cells []Cell
 	for _, topo := range m.Topologies {
@@ -260,6 +301,7 @@ func Expand(m Matrix) ([]Cell, error) {
 						for _, attack := range attacks {
 							for _, churn := range churns {
 								id := cellID(topo, hosts, degree, services, solver, attack.String(), churn.String())
+								instance := fmt.Sprintf("%s/h%d/d%d/s%d", topo, hosts, degree, services)
 								cells = append(cells, Cell{
 									Index:              len(cells),
 									ID:                 id,
@@ -272,6 +314,7 @@ func Expand(m Matrix) ([]Cell, error) {
 									Attack:             attack,
 									Churn:              churn,
 									Seed:               cellSeed(m.Seed, id),
+									GraphSeed:          cellSeed(m.Seed, instance),
 									MaxIterations:      m.MaxIterations,
 									Parts:              m.Parts,
 									DisableWarmStart:   m.DisableWarmStart,
@@ -280,6 +323,7 @@ func Expand(m Matrix) ([]Cell, error) {
 									Repeats:            m.Repeats,
 									Timeout:            m.Timeout,
 									SolverWorkers:      m.SolverWorkers,
+									GraphDirect:        m.GraphDirect,
 								})
 							}
 						}

@@ -233,9 +233,10 @@ func TestPerCellTimeoutHonored(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Failed()) != len(rep.Cells) {
-		t.Fatalf("expected every cell to fail under a 1ns timeout, got %d/%d failures",
-			len(rep.Failed()), len(rep.Cells))
+	// A timeout is an expected degradation, not a failure: the cell records
+	// the timed_out marker, keeps Error empty and the suite completes.
+	if n := len(rep.Failed()); n != 0 {
+		t.Fatalf("timeouts must not count as failures, got %d/%d", n, len(rep.Cells))
 	}
 	for _, c := range rep.Cells {
 		if !c.TimedOut {

@@ -116,6 +116,48 @@ func suites() map[string]func() Matrix {
 				Repeats:       1,
 			}
 		},
+		// scale measures raw solver scaling through the graph-direct path:
+		// the streamed CSR generator emits the MRF without a network model,
+		// so sizes far beyond the map-based model (10^5 hosts on PRs, 10^6
+		// behind scale1m) run flat trws against the multilevel kernel.  A
+		// cell that outgrows its timeout records a timed_out marker instead
+		// of failing the suite, so the flat solver aging out at large sizes
+		// is data, not an error.
+		"scale": func() Matrix {
+			return Matrix{
+				Name:          "scale",
+				Topologies:    []string{TopoUniform},
+				Hosts:         []int{10000, 100000},
+				Degrees:       []int{8},
+				Services:      []int{3},
+				Solvers:       []string{"trws", "multilevel"},
+				Attacks:       []string{"none"},
+				GraphDirect:   true,
+				MaxIterations: 40,
+				Seed:          42,
+				Timeout:       3 * time.Minute,
+				Repeats:       1,
+			}
+		},
+		// scale1m is the million-host demonstration cell set: multilevel
+		// only (flat trws would blow the timeout by an order of magnitude),
+		// dispatched manually or from the workflow_dispatch CI job.
+		"scale1m": func() Matrix {
+			return Matrix{
+				Name:          "scale1m",
+				Topologies:    []string{TopoUniform},
+				Hosts:         []int{1000000},
+				Degrees:       []int{8},
+				Services:      []int{3},
+				Solvers:       []string{"multilevel"},
+				Attacks:       []string{"none"},
+				GraphDirect:   true,
+				MaxIterations: 40,
+				Seed:          42,
+				Timeout:       10 * time.Minute,
+				Repeats:       1,
+			}
+		},
 		// pipeline measures the partitioned parallel pipeline against the
 		// sequential path on the largest size.
 		"pipeline": func() Matrix {

@@ -347,10 +347,11 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 				}
 			}
 		}
-		if err := s.pool.acquire(ctx); err != nil {
+		done, err := s.admit(ctx, sess)
+		if err != nil {
 			return DeltaResponse{}, err
 		}
-		defer s.pool.release()
+		defer done()
 		if err := sess.opt.ApplyDelta(delta); err != nil {
 			return DeltaResponse{}, err
 		}
@@ -397,10 +398,11 @@ func (s *Server) healPending(ctx context.Context, sess *session) error {
 	if !sess.pendingReopt {
 		return nil
 	}
-	if err := s.pool.acquire(ctx); err != nil {
+	done, err := s.admit(ctx, sess)
+	if err != nil {
 		return err
 	}
-	defer s.pool.release()
+	defer done()
 	if _, err := sess.opt.Reoptimize(ctx); err != nil {
 		return err
 	}
@@ -479,12 +481,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if c := sess.metricsCache; c != nil && c.Version == snap.version && c.Entry == entry && c.Target == target {
 			return *c, nil
 		}
-		// Graph-wide metric evaluation is heavy work: take a pool token like
-		// every solve and assessment batch.
-		if err := s.pool.acquire(ctx); err != nil {
+		// Graph-wide metric evaluation is heavy work: take a scheduler grant
+		// like every solve and assessment batch.
+		done, err := s.admit(ctx, sess)
+		if err != nil {
 			return MetricsResponse{}, err
 		}
-		defer s.pool.release()
+		defer done()
 		pc, err := core.PairwiseSimilarityCost(sess.net, sess.sim, snap.assignment)
 		if err != nil {
 			return MetricsResponse{}, err
@@ -652,10 +655,11 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	res, err := func() (attacksim.Result, error) {
-		if err := s.pool.acquire(ctx); err != nil {
+		done, err := s.admit(ctx, sess)
+		if err != nil {
 			return attacksim.Result{}, err
 		}
-		defer s.pool.release()
+		defer done()
 		return campaign.RunBatch(ctx, attacksim.BatchOptions{Mode: mode})
 	}()
 	if err != nil {

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// agingQuantum is the wait time that halves a queued job's effective cost:
+// effective = cost / (1 + wait/agingQuantum).  It is the scheduler's single
+// fairness knob — small enough that a million-host solve stops monopolising
+// the plane within a human-noticeable beat, large enough that a burst of
+// small jobs still drains ahead of it.
+const agingQuantum = 100 * time.Millisecond
+
+// scheduler is the shared solve scheduler: the successor of the bounded
+// semaphore pool.  Heavy work (cold solves, re-optimisations, assessment
+// batches, metric evaluations) acquires a grant with a cost estimate; free
+// slots go to the queued job with the lowest *effective* cost — estimated
+// cost discounted by time spent waiting — so small tenants schedule ahead of
+// big ones without starving them (aging eventually promotes any job to the
+// front).
+//
+// Large solves are split into schedulable units through the grant's
+// checkpoint hook: wired into solve.Options.Checkpoint (via core.Options),
+// it runs between solver driver steps, and when a queued job outranks the
+// running one it yields the slot — re-enqueued at its own cost, the big
+// solve resumes after the cheaper work drains.  A waiting small tenant
+// therefore sees latency bounded by one driver step of the running solve,
+// not by the whole solve.
+type scheduler struct {
+	mu      sync.Mutex
+	free    int
+	pending []*grant
+}
+
+// grant states.  queued grants sit in scheduler.pending, running grants hold
+// one slot, done grants hold nothing (release is terminal and idempotent by
+// state, so error paths may release a grant that checkpoint left queued).
+const (
+	grantQueued = iota
+	grantRunning
+	grantDone
+)
+
+// grant is one scheduled admission to the solve plane.
+type grant struct {
+	s     *scheduler
+	cost  float64
+	enq   time.Time
+	state int
+	ready chan struct{} // 1-buffered; one token per queued->running transition
+}
+
+func newScheduler(workers int) *scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	return &scheduler{free: workers}
+}
+
+// effectiveCost is the queue priority: estimated cost discounted by wait.
+func (g *grant) effectiveCost(now time.Time) float64 {
+	wait := now.Sub(g.enq)
+	if wait < 0 {
+		wait = 0
+	}
+	return g.cost / (1 + float64(wait)/float64(agingQuantum))
+}
+
+// acquire queues a job with the given cost estimate and waits for a slot or
+// the context.  cost is relative, not calibrated: callers use any monotone
+// proxy for solve work (the serving plane uses the tenant's host count).
+func (s *scheduler) acquire(ctx context.Context, cost float64) (*grant, error) {
+	if cost < 1 {
+		cost = 1
+	}
+	g := &grant{s: s, cost: cost, enq: time.Now(), state: grantQueued, ready: make(chan struct{}, 1)}
+	s.mu.Lock()
+	s.pending = append(s.pending, g)
+	s.dispatchLocked()
+	s.mu.Unlock()
+	select {
+	case <-g.ready:
+		return g, nil
+	case <-ctx.Done():
+		g.release() // undo: drops the queued entry, or frees a just-won slot
+		return nil, ctx.Err()
+	}
+}
+
+// release returns the grant's slot (or queue entry) to the scheduler.  Safe
+// to call exactly once from any state; the handlers call it via defer so
+// every exit path — including a checkpoint abort that left the grant queued
+// mid-yield — cleans up the same way.
+func (g *grant) release() {
+	s := g.s
+	s.mu.Lock()
+	switch g.state {
+	case grantRunning:
+		s.free++
+	case grantQueued:
+		s.removeLocked(g)
+	}
+	g.state = grantDone
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// checkpoint is the preemption point, shaped for solve.Options.Checkpoint.
+// Called between solver steps, it yields the slot whenever a queued job
+// outranks the running one, and blocks until the scheduler re-grants.  The
+// returned error is the context's, so an expired deadline aborts the solve
+// exactly like the pre-scheduler pool did.
+func (g *grant) checkpoint(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s := g.s
+	s.mu.Lock()
+	if g.state != grantRunning || !s.outrankedLocked(g) {
+		s.mu.Unlock()
+		return nil
+	}
+	// Yield: back to the queue at full cost with a fresh enqueue time, so
+	// the cheaper waiters win the slot and this job re-ages from now.
+	g.state = grantQueued
+	g.enq = time.Now()
+	s.pending = append(s.pending, g)
+	s.free++
+	s.dispatchLocked()
+	s.mu.Unlock()
+	select {
+	case <-g.ready:
+		return nil
+	case <-ctx.Done():
+		// The caller's deferred release drops the queued entry (or the slot,
+		// if a re-grant raced the cancellation).
+		return ctx.Err()
+	}
+}
+
+// outrankedLocked reports whether any queued job beats the running grant's
+// raw cost.  The running job gets no aging credit: it holds the slot, its
+// wait is over.
+func (s *scheduler) outrankedLocked(g *grant) bool {
+	now := time.Now()
+	for _, p := range s.pending {
+		if p.effectiveCost(now) < g.cost {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatchLocked hands free slots to the queued jobs with the lowest
+// effective cost.  The scan is linear; the pending queue is bounded by the
+// server's in-flight request count, far below where a heap would matter.
+func (s *scheduler) dispatchLocked() {
+	now := time.Now()
+	for s.free > 0 && len(s.pending) > 0 {
+		best := 0
+		for i := 1; i < len(s.pending); i++ {
+			if s.pending[i].effectiveCost(now) < s.pending[best].effectiveCost(now) {
+				best = i
+			}
+		}
+		g := s.pending[best]
+		s.pending = append(s.pending[:best], s.pending[best+1:]...)
+		g.state = grantRunning
+		s.free--
+		g.ready <- struct{}{}
+	}
+}
+
+func (s *scheduler) removeLocked(g *grant) {
+	for i, p := range s.pending {
+		if p == g {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}

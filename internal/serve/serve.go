@@ -21,12 +21,19 @@
 //     atomic pointer; GET /assignment serves straight from it and never
 //     waits on a writer.  This is the serving-layer counterpart of
 //     core.Optimizer.Snapshot.
-//  3. Bounded global solve pool.  Heavy work (initial solves, re-optimise
-//     steps, Monte-Carlo assessment batches) additionally takes a token from
-//     a pool shared across all sessions, so N tenants posting deltas
-//     simultaneously cannot oversubscribe the machine.  Tokens are acquired
-//     after the session slot (session → pool, always in that order) and the
-//     wait is context-aware, so deadlines cut the queue, not just the solve.
+//  3. Shared solve scheduler.  Heavy work (initial solves, re-optimise
+//     steps, Monte-Carlo assessment batches, metric evaluations) additionally
+//     acquires a grant from a scheduler shared across all sessions, so N
+//     tenants posting deltas simultaneously cannot oversubscribe the machine.
+//     The scheduler is a priority/aging queue keyed on a per-request cost
+//     estimate (the tenant's host count): small tenants schedule ahead of
+//     big ones, waiting promotes any job so nothing starves, and a running
+//     solve yields its slot between solver steps (through the grant's
+//     checkpoint, wired into the solve driver via core.Options.Checkpoint)
+//     whenever cheaper work queues up — a million-host solve is a stream of
+//     schedulable units, not a convoy head.  Grants are acquired after the
+//     session slot (session → scheduler, always in that order) and the wait
+//     is context-aware, so deadlines cut the queue, not just the solve.
 //
 // Determinism: for a fixed session seed the create solve, every delta
 // re-optimisation and every assessment with a fixed request seed return
@@ -55,8 +62,9 @@ import (
 type Config struct {
 	// Shards is the session-store shard count.  Default 8.
 	Shards int
-	// SolveWorkers bounds the number of concurrently executing solves and
-	// assessment batches across all sessions.  Default GOMAXPROCS.
+	// SolveWorkers is the solve scheduler's slot count: the number of
+	// concurrently executing solves and assessment batches across all
+	// sessions.  Default GOMAXPROCS.
 	SolveWorkers int
 	// MaxSessions bounds the number of live sessions.  Default 1024.
 	MaxSessions int
@@ -123,7 +131,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	store    *store
-	pool     *pool
+	sched    *scheduler
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
@@ -134,7 +142,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		store: newStore(cfg.Shards, cfg.MaxSessions),
-		pool:  newPool(cfg.SolveWorkers),
+		sched: newScheduler(cfg.SolveWorkers),
 	}
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -162,6 +170,18 @@ func (s *Server) Sessions() int { return s.store.len() }
 func (s *Server) createSession(ctx context.Context, id, solverName string,
 	net *netmodel.Network, cs *netmodel.ConstraintSet, sim *vulnsim.SimilarityTable,
 	opts core.Options) (*session, snapshot, core.Result, error) {
+	sess := &session{
+		id:     id,
+		solver: solverName,
+		seed:   opts.Seed,
+		writer: make(chan struct{}, 1),
+		net:    net,
+		sim:    sim,
+	}
+	// Every solve the session's optimiser ever runs reports to the slot
+	// grant active at that moment, so long solves yield to cheaper tenants
+	// at solver-step granularity.
+	opts.Checkpoint = sess.checkpoint
 	opt, err := core.NewOptimizer(net, sim, opts)
 	if err != nil {
 		return nil, snapshot{}, core.Result{}, err
@@ -171,24 +191,17 @@ func (s *Server) createSession(ctx context.Context, id, solverName string,
 			return nil, snapshot{}, core.Result{}, err
 		}
 	}
-	sess := &session{
-		id:     id,
-		solver: solverName,
-		seed:   opts.Seed,
-		writer: make(chan struct{}, 1),
-		opt:    opt,
-		net:    net,
-		sim:    sim,
-	}
+	sess.opt = opt
 	sess.writer <- struct{}{} // pre-held until the first publish or rollback
 	if err := s.store.put(sess); err != nil {
 		return nil, snapshot{}, core.Result{}, err
 	}
 	res, err := func() (core.Result, error) {
-		if err := s.pool.acquire(ctx); err != nil {
+		done, err := s.admit(ctx, sess)
+		if err != nil {
 			return core.Result{}, err
 		}
-		defer s.pool.release()
+		defer done()
 		return opt.Optimize(ctx)
 	}()
 	if err != nil {
@@ -200,6 +213,19 @@ func (s *Server) createSession(ctx context.Context, id, solverName string,
 	snap := sess.publish()
 	sess.unlock()
 	return sess, snap, res, nil
+}
+
+// admit acquires a scheduler grant sized to the session's network and
+// attaches it as the session's active checkpoint target, so the solve about
+// to run yields at step granularity.  The returned cleanup detaches and
+// releases the grant; callers defer it around the heavy work.
+func (s *Server) admit(ctx context.Context, sess *session) (func(), error) {
+	g, err := s.sched.acquire(ctx, sess.solveCost())
+	if err != nil {
+		return nil, err
+	}
+	sess.beginGrant(g)
+	return func() { sess.endGrant(g) }, nil
 }
 
 // Preload creates and solves a session outside the HTTP surface — divd uses

@@ -52,7 +52,39 @@ type session struct {
 	// snap is the immutable published state read lock-free by GET handlers.
 	// Written only by the slot holder after a successful solve.
 	snap atomic.Pointer[snapshot]
+
+	// activeGrant is the scheduler admission of the session's in-flight
+	// heavy work, read by the checkpoint the optimiser's solves call between
+	// steps.  Stored/cleared by the writer-slot holder around each solve; an
+	// atomic pointer (not writer-guarded state) because the optimiser may
+	// invoke the checkpoint from solver worker goroutines.
+	activeGrant atomic.Pointer[grant]
 }
+
+// checkpoint is the session's solve checkpoint, wired into core.Options at
+// optimiser construction: it forwards to the scheduler grant active for the
+// current solve, giving the scheduler a preemption point between solver
+// steps.  Outside any grant (nothing admitted) it only propagates context
+// cancellation.
+func (s *session) checkpoint(ctx context.Context) error {
+	if g := s.activeGrant.Load(); g != nil {
+		return g.checkpoint(ctx)
+	}
+	return ctx.Err()
+}
+
+// beginGrant attaches the scheduler grant the next solve reports to.
+func (s *session) beginGrant(g *grant) { s.activeGrant.Store(g) }
+
+// endGrant detaches and releases the active grant.
+func (s *session) endGrant(g *grant) {
+	s.activeGrant.Store(nil)
+	g.release()
+}
+
+// solveCost is the scheduler cost estimate for this session's heavy work:
+// the host count, a monotone proxy for MRF size and hence solve time.
+func (s *session) solveCost() float64 { return float64(s.net.NumHosts()) }
 
 // snapshot is the immutable published state of a session.  The assignment is
 // produced fresh by every solve and never mutated afterwards, so sharing the

@@ -55,6 +55,13 @@ type Options struct {
 	// InitialLabels optionally warm-starts the solver: the driver seeds its
 	// best labeling with it and local-search kernels descend from it.
 	InitialLabels []int
+	// Checkpoint, when non-nil, is called by the driver between kernel steps
+	// (after the context check).  It turns one long solve into a sequence of
+	// schedulable units: the serving plane's solve scheduler uses it to yield
+	// the worker slot between iterations when higher-priority work is queued.
+	// A non-nil error aborts the solve like a cancelled context — the driver
+	// returns the best solution found so far together with the error.
+	Checkpoint func(ctx context.Context) error
 	// DirtyMask marks the nodes whose neighbourhood changed since
 	// InitialLabels was a (near-)optimal labeling.  When set alongside
 	// InitialLabels and the kernel implements WarmKernel, the driver hands
@@ -208,6 +215,11 @@ func Run(ctx context.Context, g *mrf.Graph, opts Options, k Kernel) (mrf.Solutio
 	for iterations < maxSteps {
 		if err := ctx.Err(); err != nil {
 			return pack(g, best, bestEnergy, history, iterations, false), err
+		}
+		if opts.Checkpoint != nil {
+			if err := opts.Checkpoint(ctx); err != nil {
+				return pack(g, best, bestEnergy, history, iterations, false), err
+			}
 		}
 		st := k.Step()
 		iterations++

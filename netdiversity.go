@@ -31,6 +31,10 @@ import (
 	"netdiversity/internal/netmodel"
 	"netdiversity/internal/nvdgen"
 	"netdiversity/internal/vulnsim"
+
+	// Blank import registers the multilevel coarsening solver with the solve
+	// registry, so library users and the cmd tools can select it by name.
+	_ "netdiversity/internal/multilevel"
 )
 
 // Network model types (Definitions 2-5 of the paper).

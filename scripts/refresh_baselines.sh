@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerate every checked-in benchmark baseline in one pass.  Run this on the
+# machine class CI uses (divbench gates only when the recorded environment
+# matches the runner's), commit the refreshed BENCH_*.json files, and the PR
+# perf gates re-arm against the new numbers.
+#
+# The scale suite is the slow one (a 100k-host flat TRW-S solve per refresh);
+# pass -skip-scale to refresh only the fast suites.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_scale=0
+for arg in "$@"; do
+  case "$arg" in
+    -skip-scale) skip_scale=1 ;;
+    *) echo "usage: $0 [-skip-scale]" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> quick suite -> BENCH_quick.json"
+go run ./cmd/divbench -suite quick -out BENCH_quick.json
+
+echo "==> churn suite -> BENCH_churn.json"
+go run ./cmd/divbench -suite churn -out BENCH_churn.json
+
+echo "==> serve suite -> BENCH_serve.json"
+go run ./cmd/divbench -suite serve -out BENCH_serve.json
+
+if [ "$skip_scale" = 0 ]; then
+  echo "==> scale suite -> BENCH_scale.json"
+  go run ./cmd/divbench -suite scale -out BENCH_scale.json
+fi
+
+echo "==> done; review and commit the refreshed BENCH_*.json"
