@@ -154,7 +154,7 @@ func run(args []string, out io.Writer) error {
 // incremental-vs-full table when the suite has churn cells.
 func printSummary(out io.Writer, rep *scenario.Report) {
 	idWidth := len("cell")
-	churn, scale := false, false
+	churn, scale, slam := false, false, false
 	for _, c := range rep.Cells {
 		if len(c.ID) > idWidth {
 			idWidth = len(c.ID)
@@ -164,6 +164,9 @@ func printSummary(out io.Writer, rep *scenario.Report) {
 		}
 		if c.Levels > 0 {
 			scale = true
+		}
+		if c.SlamOps > 0 {
+			slam = true
 		}
 	}
 	fmt.Fprintf(out, "%-*s  %10s  %12s  %8s  %8s  %8s\n",
@@ -194,6 +197,19 @@ func printSummary(out io.Writer, rep *scenario.Report) {
 			}
 			fmt.Fprintf(out, "%-*s  %8.0fms  %6d  %12s\n",
 				idWidth, c.ID, c.CoarsenMS, c.Levels, gap)
+		}
+	}
+	if slam {
+		fmt.Fprintf(out, "\nslam: closed-loop multi-tenant load (p99 under contention)\n")
+		fmt.Fprintf(out, "%-*s  %7s  %6s  %8s  %9s  %10s  %9s\n",
+			idWidth, "cell", "tenants", "errors", "rps", "read p99", "delta p99", "p999")
+		for _, c := range rep.Cells {
+			if c.SlamOps == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "%-*s  %7d  %6d  %8.1f  %7.2fms  %8.2fms  %7.2fms\n",
+				idWidth, c.ID, c.SlamTenants, c.SlamErrors, c.SlamRPS,
+				c.SlamReadP99MS, c.SlamDeltaP99MS, c.SlamP999MS)
 		}
 	}
 	if !churn {

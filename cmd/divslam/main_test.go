@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"netdiversity/internal/slam"
+)
+
+// TestRunTinyClosedLoop runs the CLI end-to-end with a tiny in-process
+// closed-loop config and checks the report file and the printed summary.
+func TestRunTinyClosedLoop(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "slam.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-tenants", "2", "-hosts", "10", "-degree", "4", "-services", "2",
+		"-workers", "3", "-ops", "40", "-seed", "5", "-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := slam.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].Total.Count != 40 {
+		t.Fatalf("report: %d runs, total count %d", len(rep.Runs), rep.Runs[0].Total.Count)
+	}
+	for _, want := range []string{"closed · 2 tenants · 3 workers", "total", "p99 ms", "report written to"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("summary output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestRunStdoutReport checks the report lands on stdout when -out is absent.
+func TestRunStdoutReport(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-tenants", "1", "-hosts", "8", "-degree", "3", "-services", "2",
+		"-workers", "2", "-ops", "10", "-mix", "read=100",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema_version": 1`) {
+		t.Errorf("stdout missing the JSON report:\n%s", buf.String())
+	}
+}
+
+// TestRunBadFlags checks flag/config errors surface as errors, not reports.
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "sideways"},
+		{"-mode", "open"},    // open loop without a rate
+		{"-vary", "tenants"}, // vary without values
+		{"-mix", "bogus=1"},  // unknown op
+		{"-vary", "bogus", "-values", "1"},
+	}
+	for _, args := range cases {
+		if err := run(args, os.Stderr); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}
+
+// TestRunVarySweep checks a two-value sweep produces two sub-run summaries.
+func TestRunVarySweep(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sweep.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-tenants", "1", "-hosts", "8", "-degree", "3", "-services", "2",
+		"-workers", "2", "-ops", "10", "-mix", "read=100",
+		"-vary", "workers", "-values", "1,2", "-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := slam.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 || rep.Vary != "workers" {
+		t.Fatalf("sweep report: %d runs, vary %q", len(rep.Runs), rep.Vary)
+	}
+	if !strings.Contains(buf.String(), "vary=1") || !strings.Contains(buf.String(), "vary=2") {
+		t.Errorf("sweep summaries missing vary markers:\n%s", buf.String())
+	}
+}

@@ -84,6 +84,10 @@ type CellDelta struct {
 	// ServeNote explains a serving-plane regression (create or delta request
 	// latency) that fired independently of the WallMS comparison.
 	ServeNote string
+	// SlamNote explains a load-phase regression (p99 under concurrent
+	// multi-tenant load, or errors appearing where the baseline had none)
+	// that fired independently of the WallMS comparison.
+	SlamNote string
 }
 
 // Diff is the cell-by-cell comparison of a run against a baseline.
@@ -187,6 +191,25 @@ func Compare(baseline, current *Report, opts DiffOptions) Diff {
 				delta.ServeNote = fmt.Sprintf("serve delta %.1fms -> %.1fms", old.ServeDeltaMS, cur.ServeDeltaMS)
 			}
 		}
+		// Slam cells gate the serving plane under concurrent multi-tenant
+		// load: WallMS covers only the library-level solve, so a p99 collapse
+		// under contention — or errors where the baseline run was clean —
+		// must fail on its own metrics.
+		if delta.Verdict != VerdictError && old.Error == "" && old.SlamOps > 0 && cur.SlamOps > 0 {
+			switch {
+			case cur.SlamErrors > 0 && old.SlamErrors == 0:
+				delta.Verdict = VerdictRegression
+				delta.SlamNote = fmt.Sprintf("slam errors 0 -> %d", cur.SlamErrors)
+			case cur.SlamReadP99MS > old.SlamReadP99MS*(1+opts.Tolerance) &&
+				cur.SlamReadP99MS-old.SlamReadP99MS > opts.FloorMS:
+				delta.Verdict = VerdictRegression
+				delta.SlamNote = fmt.Sprintf("slam read p99 %.1fms -> %.1fms", old.SlamReadP99MS, cur.SlamReadP99MS)
+			case cur.SlamDeltaP99MS > old.SlamDeltaP99MS*(1+opts.Tolerance) &&
+				cur.SlamDeltaP99MS-old.SlamDeltaP99MS > opts.FloorMS:
+				delta.Verdict = VerdictRegression
+				delta.SlamNote = fmt.Sprintf("slam delta p99 %.1fms -> %.1fms", old.SlamDeltaP99MS, cur.SlamDeltaP99MS)
+			}
+		}
 		// Monte-Carlo attack cells gate the simulation engine itself: WallMS
 		// covers only the solve, so a throughput collapse or an allocation
 		// creep in the batched simulator must fail on its own metrics.
@@ -250,6 +273,9 @@ func (d Diff) Render() string {
 		}
 		if c.ServeNote != "" {
 			verdict += " (" + c.ServeNote + ")"
+		}
+		if c.SlamNote != "" {
+			verdict += " (" + c.SlamNote + ")"
 		}
 		fmt.Fprintf(&b, "%-*s  %10s  %10s  %7s  %10s  %s\n",
 			idWidth, c.ID, old, cur, ratio, energy, verdict)

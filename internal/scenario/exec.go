@@ -87,6 +87,29 @@ type Measurement struct {
 	ServeAssessMS    float64 `json:"serve_assess_ms,omitempty"`
 	ServeReadsPerSec float64 `json:"serve_reads_per_sec,omitempty"`
 
+	// Slam fields (present only on slam-load cells): a closed-loop
+	// multi-tenant load run (internal/slam) against an in-process divd —
+	// SlamTenants sessions of the cell's network shape under SlamWorkers
+	// concurrent workers for SlamOps completed requests of the default
+	// operation mix.  SlamErrors counts non-2xx/transport outcomes (zero on
+	// a healthy run); SlamRPS is the achieved successful-request throughput;
+	// SlamSetupMS the untimed tenant-creation phase; the quantiles are
+	// per-operation latencies under contention, from merged worker-count-
+	// invariant histograms: SlamReadP50/P99MS the lock-free snapshot read,
+	// SlamDeltaP50/P99MS the incremental re-optimisation path, SlamP999MS
+	// the tail over all operations.
+	SlamTenants    int     `json:"slam_tenants,omitempty"`
+	SlamWorkers    int     `json:"slam_workers,omitempty"`
+	SlamOps        int64   `json:"slam_ops,omitempty"`
+	SlamErrors     int64   `json:"slam_errors,omitempty"`
+	SlamRPS        float64 `json:"slam_rps,omitempty"`
+	SlamSetupMS    float64 `json:"slam_setup_ms,omitempty"`
+	SlamReadP50MS  float64 `json:"slam_read_p50_ms,omitempty"`
+	SlamReadP99MS  float64 `json:"slam_read_p99_ms,omitempty"`
+	SlamDeltaP50MS float64 `json:"slam_delta_p50_ms,omitempty"`
+	SlamDeltaP99MS float64 `json:"slam_delta_p99_ms,omitempty"`
+	SlamP999MS     float64 `json:"slam_p999_ms,omitempty"`
+
 	// Scale fields (present only on graph-direct multilevel cells):
 	// CoarsenMS is the wall-clock of the hierarchy build inside the solve,
 	// Levels the hierarchy depth including the fine graph, and
@@ -246,6 +269,25 @@ func Exec(ctx context.Context, net *netmodel.Network, sim *vulnsim.SimilarityTab
 		meta.ServeDeltaMS = sb.deltaMS
 		meta.ServeAssessMS = sb.assessMS
 		meta.ServeReadsPerSec = sb.readsPerSec
+	}
+
+	if c.Slam {
+		sb, err := runSlamBench(ctx, c)
+		if err != nil {
+			meta.TimedOut = errors.Is(err, context.DeadlineExceeded)
+			return Outcome{Measurement: meta}, err
+		}
+		meta.SlamTenants = sb.tenants
+		meta.SlamWorkers = sb.workers
+		meta.SlamOps = sb.ops
+		meta.SlamErrors = sb.errors
+		meta.SlamRPS = sb.rps
+		meta.SlamSetupMS = sb.setupMS
+		meta.SlamReadP50MS = sb.readP50MS
+		meta.SlamReadP99MS = sb.readP99MS
+		meta.SlamDeltaP50MS = sb.deltaP50MS
+		meta.SlamDeltaP99MS = sb.deltaP99MS
+		meta.SlamP999MS = sb.p999MS
 	}
 
 	if !c.Churn.None() {

@@ -35,6 +35,10 @@ type MatrixInfo struct {
 	DisableWarmStart bool     `json:"disable_warm_start,omitempty"`
 	Serve            bool     `json:"serve,omitempty"`
 	GraphDirect      bool     `json:"graph_direct,omitempty"`
+	Slam             bool     `json:"slam,omitempty"`
+	SlamTenants      int      `json:"slam_tenants,omitempty"`
+	SlamWorkers      int      `json:"slam_workers,omitempty"`
+	SlamOps          int      `json:"slam_ops,omitempty"`
 	AttackRuns       int      `json:"attack_runs"`
 	Repeats          int      `json:"repeats"`
 }
@@ -98,6 +102,10 @@ func NewReport(m Matrix) *Report {
 			DisableWarmStart: m.DisableWarmStart,
 			Serve:            m.ServeLatency,
 			GraphDirect:      m.GraphDirect,
+			Slam:             m.SlamLoad,
+			SlamTenants:      slamInfo(m.SlamLoad, m.SlamTenants),
+			SlamWorkers:      slamInfo(m.SlamLoad, m.SlamWorkers),
+			SlamOps:          slamInfo(m.SlamLoad, m.SlamOps),
 			AttackRuns:       m.AttackRuns,
 			Repeats:          m.Repeats,
 		},
@@ -109,6 +117,15 @@ func NewReport(m Matrix) *Report {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		},
 	}
+}
+
+// slamInfo records a slam-phase dimension only when the phase is enabled, so
+// matrices without it keep metadata identical to pre-slam reports.
+func slamInfo(enabled bool, v int) int {
+	if !enabled {
+		return 0
+	}
+	return v
 }
 
 // churnInfo normalises the churn axis for report metadata: the default

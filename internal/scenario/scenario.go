@@ -97,6 +97,19 @@ type Matrix struct {
 	// round-trip (create → deltas → assignment reads → assess over loopback
 	// HTTP) after the regular phases, recording the serve_* latency fields.
 	ServeLatency bool
+	// SlamLoad routes every cell through a closed-loop multi-tenant load run
+	// (internal/slam) after the regular phases: SlamTenants sessions of the
+	// cell's network shape under SlamWorkers concurrent workers for SlamOps
+	// requests of the default mix, recording the slam_* concurrency-latency
+	// fields.  Where ServeLatency measures the solo request path, SlamLoad
+	// measures p99 under contention — the scheduler, writer-slot and
+	// admission behaviour no sequential benchmark can see.
+	SlamLoad bool
+	// SlamTenants, SlamWorkers and SlamOps size the load run.  Defaults
+	// 6 / 4 / 400.
+	SlamTenants int
+	SlamWorkers int
+	SlamOps     int
 	// AttackRuns is the Monte-Carlo run count for the adversary-knowledge
 	// attack models.  Default 50 (the analytic models ignore it).
 	AttackRuns int
@@ -153,6 +166,17 @@ func (m Matrix) withDefaults() Matrix {
 	if m.Repeats <= 0 {
 		m.Repeats = 1
 	}
+	if m.SlamLoad {
+		if m.SlamTenants <= 0 {
+			m.SlamTenants = 6
+		}
+		if m.SlamWorkers <= 0 {
+			m.SlamWorkers = 4
+		}
+		if m.SlamOps <= 0 {
+			m.SlamOps = 400
+		}
+	}
 	return m
 }
 
@@ -194,6 +218,13 @@ type Cell struct {
 	// Serve runs the in-process divd serving round-trip after the regular
 	// phases (inherited from Matrix.ServeLatency).
 	Serve bool
+	// Slam runs the closed-loop multi-tenant load run after the regular
+	// phases; SlamTenants/SlamWorkers/SlamOps size it (inherited from the
+	// matrix).
+	Slam        bool
+	SlamTenants int
+	SlamWorkers int
+	SlamOps     int
 	// DisablePolish skips the local ICM refinement after solving; not a
 	// matrix axis, but callers building cells directly (the solver ablation,
 	// the convergence trace) use it to measure the raw decoding.
@@ -287,6 +318,9 @@ func Expand(m Matrix) ([]Cell, error) {
 		if m.ServeLatency {
 			return nil, fmt.Errorf("scenario: graph-direct matrices cannot run the serve phase")
 		}
+		if m.SlamLoad {
+			return nil, fmt.Errorf("scenario: graph-direct matrices cannot run the slam phase")
+		}
 		if m.Parts > 1 {
 			return nil, fmt.Errorf("scenario: graph-direct matrices cannot use the partitioned pipeline")
 		}
@@ -319,6 +353,10 @@ func Expand(m Matrix) ([]Cell, error) {
 									Parts:              m.Parts,
 									DisableWarmStart:   m.DisableWarmStart,
 									Serve:              m.ServeLatency,
+									Slam:               m.SlamLoad,
+									SlamTenants:        m.SlamTenants,
+									SlamWorkers:        m.SlamWorkers,
+									SlamOps:            m.SlamOps,
 									AttackRuns:         m.AttackRuns,
 									Repeats:            m.Repeats,
 									Timeout:            m.Timeout,

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+
+	"netdiversity/internal/slam"
+)
+
+// slamBench holds the concurrency-latency measurements of one slam cell.
+type slamBench struct {
+	tenants    int
+	workers    int
+	ops        int64
+	errors     int64
+	rps        float64
+	setupMS    float64
+	readP50MS  float64
+	readP99MS  float64
+	deltaP50MS float64
+	deltaP99MS float64
+	p999MS     float64
+}
+
+// runSlamBench drives a closed-loop multi-tenant load run against an
+// in-process divd instance sized by the cell: SlamTenants sessions of the
+// cell's network shape under SlamWorkers workers for a fixed SlamOps request
+// budget of the default mix.  The fixed op budget (not a duration) keeps the
+// run length deterministic, so CI cells take the same work everywhere and
+// only the latencies vary with the machine.
+func runSlamBench(ctx context.Context, c Cell) (slamBench, error) {
+	cfg := slam.Config{
+		Mode:           "closed",
+		Tenants:        c.SlamTenants,
+		Hosts:          c.Hosts,
+		Degree:         c.Degree,
+		Services:       c.Services,
+		Solver:         c.Solver,
+		Seed:           c.Seed,
+		Workers:        c.SlamWorkers,
+		Ops:            c.SlamOps,
+		MaxIterations:  c.MaxIterations,
+		AssessRuns:     10,
+		RequestTimeout: c.Timeout,
+	}
+	rep, err := slam.Run(ctx, cfg, nil)
+	if err != nil {
+		return slamBench{}, fmt.Errorf("slam bench: %w", err)
+	}
+	res := rep.Runs[0]
+	out := slamBench{
+		tenants: res.Config.Tenants,
+		workers: res.Config.Workers,
+		ops:     res.Total.Count,
+		errors:  res.Total.Errors,
+		rps:     res.AchievedRPS,
+		setupMS: res.SetupMS,
+		p999MS:  res.Total.P999MS,
+	}
+	if st, ok := res.Ops[slam.OpRead]; ok {
+		out.readP50MS = st.P50MS
+		out.readP99MS = st.P99MS
+	}
+	if st, ok := res.Ops[slam.OpDelta]; ok {
+		out.deltaP50MS = st.P50MS
+		out.deltaP99MS = st.P99MS
+	}
+	return out, nil
+}

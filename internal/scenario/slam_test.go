@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSlamCell runs one slam-load cell end to end: the closed-loop
+// multi-tenant run against an in-process divd must populate every slam_*
+// field of the measurement with a clean error count.
+func TestSlamCell(t *testing.T) {
+	cells, err := Expand(Matrix{
+		Name:          "slam-test",
+		Hosts:         []int{12},
+		Degrees:       []int{4},
+		Services:      []int{2},
+		Solvers:       []string{"icm"},
+		Attacks:       []string{"none"},
+		SlamLoad:      true,
+		SlamTenants:   2,
+		SlamWorkers:   2,
+		SlamOps:       40,
+		MaxIterations: 10,
+		Seed:          3,
+		Timeout:       time.Minute,
+		AttackRuns:    20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || !cells[0].Slam {
+		t.Fatalf("expansion: %+v", cells)
+	}
+	net, sim, err := BuildNetwork(cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Exec(context.Background(), net, sim, cells[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.Measurement
+	if m.SlamTenants != 2 || m.SlamWorkers != 2 || m.SlamOps != 40 {
+		t.Fatalf("slam shape not recorded: %+v", m)
+	}
+	if m.SlamErrors != 0 {
+		t.Fatalf("slam run had %d errors", m.SlamErrors)
+	}
+	if m.SlamRPS <= 0 || m.SlamSetupMS <= 0 {
+		t.Fatalf("slam throughput fields not populated: %+v", m)
+	}
+	if m.SlamReadP99MS <= 0 || m.SlamDeltaP99MS <= 0 || m.SlamP999MS <= 0 {
+		t.Fatalf("slam latency fields not populated: %+v", m)
+	}
+	if m.SlamReadP50MS > m.SlamReadP99MS || m.SlamDeltaP50MS > m.SlamDeltaP99MS {
+		t.Fatalf("slam quantiles out of order: %+v", m)
+	}
+}
+
+// TestSlamMatrixDefaults pins the slam defaults and metadata so slam
+// baselines are never diffed against non-slam runs of the same axes.
+func TestSlamMatrixDefaults(t *testing.T) {
+	m := Matrix{Name: "slam", SlamLoad: true}.withDefaults()
+	if m.SlamTenants != 6 || m.SlamWorkers != 4 || m.SlamOps != 400 {
+		t.Fatalf("slam defaults: %+v", m)
+	}
+	rep := NewReport(Matrix{Name: "slam", SlamLoad: true})
+	if !rep.Matrix.Slam || rep.Matrix.SlamTenants != 6 || rep.Matrix.SlamWorkers != 4 || rep.Matrix.SlamOps != 400 {
+		t.Fatalf("slam metadata: %+v", rep.Matrix)
+	}
+	rep = NewReport(Matrix{Name: "quick"})
+	if rep.Matrix.Slam || rep.Matrix.SlamTenants != 0 {
+		t.Fatalf("slam metadata set on a non-slam matrix: %+v", rep.Matrix)
+	}
+}
+
+// TestSlamGraphDirectRejected verifies the slam phase cannot be combined with
+// graph-direct matrices: those cells have no network model to serve.
+func TestSlamGraphDirectRejected(t *testing.T) {
+	_, err := Expand(Matrix{
+		Name:        "bad",
+		Hosts:       []int{100},
+		Solvers:     []string{"trws"},
+		Attacks:     []string{"none"},
+		GraphDirect: true,
+		SlamLoad:    true,
+	})
+	if err == nil {
+		t.Fatal("graph-direct + slam accepted")
+	}
+}
+
+// TestCompareGatesSlamMetrics verifies slam cells regress on their own
+// load-phase metrics — p99 under contention or a dirty error count — even
+// when the library-level solve wall-clock is unchanged.
+func TestCompareGatesSlamMetrics(t *testing.T) {
+	base := &Report{SchemaVersion: SchemaVersion, Suite: "slam", Cells: []Measurement{
+		{ID: "s1", WallMS: 50, SlamOps: 400, SlamReadP99MS: 20, SlamDeltaP99MS: 60},
+		{ID: "s2", WallMS: 50, SlamOps: 400, SlamReadP99MS: 20, SlamDeltaP99MS: 60},
+		{ID: "s3", WallMS: 50, SlamOps: 400, SlamReadP99MS: 20, SlamDeltaP99MS: 60},
+		{ID: "s4", WallMS: 50, SlamOps: 400, SlamReadP99MS: 20, SlamDeltaP99MS: 60},
+	}}
+	cur := &Report{SchemaVersion: SchemaVersion, Suite: "slam", Cells: []Measurement{
+		// s1: read p99 tripled under load, cold solve unchanged.
+		{ID: "s1", WallMS: 50, SlamOps: 400, SlamReadP99MS: 60, SlamDeltaP99MS: 60},
+		// s2: delta p99 doubled.
+		{ID: "s2", WallMS: 50, SlamOps: 400, SlamReadP99MS: 20, SlamDeltaP99MS: 120},
+		// s3: errors appeared where the baseline was clean.
+		{ID: "s3", WallMS: 50, SlamOps: 400, SlamErrors: 3, SlamReadP99MS: 20, SlamDeltaP99MS: 60},
+		// s4: within tolerance on everything.
+		{ID: "s4", WallMS: 50, SlamOps: 400, SlamReadP99MS: 21, SlamDeltaP99MS: 62},
+	}}
+	d := Compare(base, cur, DiffOptions{})
+	verdicts := map[string]Verdict{}
+	notes := map[string]string{}
+	for _, c := range d.Cells {
+		verdicts[c.ID] = c.Verdict
+		notes[c.ID] = c.SlamNote
+	}
+	if verdicts["s1"] != VerdictRegression || notes["s1"] == "" {
+		t.Fatalf("read-p99 collapse not gated: %v %q", verdicts["s1"], notes["s1"])
+	}
+	if verdicts["s2"] != VerdictRegression || notes["s2"] == "" {
+		t.Fatalf("delta-p99 collapse not gated: %v %q", verdicts["s2"], notes["s2"])
+	}
+	if verdicts["s3"] != VerdictRegression || notes["s3"] == "" {
+		t.Fatalf("error appearance not gated: %v %q", verdicts["s3"], notes["s3"])
+	}
+	if verdicts["s4"] != VerdictOK {
+		t.Fatalf("in-tolerance slam cell flagged: %v (%q)", verdicts["s4"], notes["s4"])
+	}
+	if !d.HasRegressions() {
+		t.Fatal("diff reports no regressions")
+	}
+}

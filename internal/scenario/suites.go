@@ -116,6 +116,29 @@ func suites() map[string]func() Matrix {
 				Repeats:       1,
 			}
 		},
+		// slam measures the serving plane under concurrent multi-tenant load
+		// (internal/slam, closed loop): six tenant sessions of a 50-host
+		// network served by four workers for a fixed 400-request budget of
+		// the default mix, gating the p99 of the snapshot-read and delta
+		// paths under contention — the serve suite's single-client latencies
+		// cannot see lock or scheduler regressions that only appear when
+		// sessions compete.
+		"slam": func() Matrix {
+			return Matrix{
+				Name:          "slam",
+				Topologies:    []string{TopoUniform},
+				Hosts:         []int{50},
+				Degrees:       []int{8},
+				Services:      []int{3},
+				Solvers:       []string{"trws"},
+				Attacks:       []string{"none"},
+				SlamLoad:      true,
+				MaxIterations: 40,
+				Seed:          42,
+				Timeout:       2 * time.Minute,
+				Repeats:       1,
+			}
+		},
 		// scale measures raw solver scaling through the graph-direct path:
 		// the streamed CSR generator emits the MRF without a network model,
 		// so sizes far beyond the map-based model (10^5 hosts on PRs, 10^6

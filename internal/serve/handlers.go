@@ -47,16 +47,27 @@ func writeError(w http.ResponseWriter, status int, code, message string) {
 // after the session was deleted (or its create rolled back).
 var errSessionClosed = errors.New("session was deleted")
 
-// writeFailure maps an internal error onto the API's error codes.
-func writeFailure(w http.ResponseWriter, err error) {
+// retryAfterSeconds is the Retry-After value sent with every 429 and 503:
+// both conditions clear on the order of seconds (a session freed, the drain
+// finishing a solve), so well-behaved load clients back off briefly instead
+// of hammering the admission path.
+const retryAfterSeconds = "1"
+
+// writeFailure maps an internal error onto the API's error codes, counting
+// the backpressure classes (429, 504) and stamping Retry-After on 429 so
+// closed-loop clients know the rejection is transient.
+func (s *Server) writeFailure(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.stats.timeout504.Add(1)
 		writeError(w, http.StatusGatewayTimeout, "timeout", "request deadline exceeded")
 	case errors.Is(err, errSessionClosed):
 		writeError(w, http.StatusNotFound, "not_found", err.Error())
 	case errors.Is(err, ErrSessionExists):
 		writeError(w, http.StatusConflict, "conflict", err.Error())
 	case errors.Is(err, ErrTooManySessions):
+		s.stats.rejected429.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeError(w, http.StatusTooManyRequests, "too_many_sessions", err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
@@ -108,9 +119,13 @@ func validSessionID(id string) bool {
 	return true
 }
 
-// rejectDraining fails state-changing requests during shutdown.
+// rejectDraining fails state-changing requests during shutdown, counting
+// the rejection and stamping Retry-After so clients retry against the
+// replacement instance instead of treating the drain as a hard failure.
 func (s *Server) rejectDraining(w http.ResponseWriter) bool {
 	if s.draining.Load() {
+		s.stats.rejected503.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeError(w, http.StatusServiceUnavailable, "draining", "server is shutting down")
 		return true
 	}
@@ -158,7 +173,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	var req CreateRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	if req.ID != "" && !validSessionID(req.ID) {
@@ -167,17 +182,17 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := req.Spec.CheckLimits(s.cfg.SpecLimits); err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	net, cs, err := netmodel.FromSpec(req.Spec)
 	if err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	sim, err := buildSimilarity(req.Similarity, net)
 	if err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	solverName := req.Solver
@@ -186,7 +201,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	solver, err := core.ParseSolver(solverName)
 	if err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	iters := req.MaxIterations
@@ -221,7 +236,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		if req.ID == "" && errors.Is(err, ErrSessionExists) {
 			continue
 		}
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, CreateResponse{
@@ -268,7 +283,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if err := sess.lock(ctx); err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	closed := sess.closed
@@ -306,7 +321,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, io.EOF) {
 			err = errors.New("decode request: empty body")
 		}
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	if _, err := dec.Next(); !errors.Is(err, io.EOF) {
@@ -314,14 +329,14 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := delta.CheckLimits(s.cfg.DeltaLimits); err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if err := sess.lock(ctx); err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	start := time.Now()
@@ -383,7 +398,7 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	}()
 	if err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -457,7 +472,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if err := sess.lock(ctx); err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	resp, err := func() (MetricsResponse, error) {
@@ -520,7 +535,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return resp, nil
 	}()
 	if err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -586,17 +601,17 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	}
 	var req AssessRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	knowledge, err := parseKnowledge(req.Knowledge)
 	if err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	mode, err := parseMode(req.Mode)
 	if err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	runs := req.Runs
@@ -616,7 +631,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
 	if err := sess.lock(ctx); err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	campaign, version, err := func() (*attacksim.Campaign, uint64, error) {
@@ -649,7 +664,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		return campaign, snap.version, err
 	}()
 	if err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 
@@ -663,7 +678,7 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		return campaign.RunBatch(ctx, attacksim.BatchOptions{Mode: mode})
 	}()
 	if err != nil {
-		writeFailure(w, err)
+		s.writeFailure(w, err)
 		return
 	}
 	modeName := "tick"
@@ -692,5 +707,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Status:   "ok",
 		Sessions: s.store.len(),
 		Draining: s.draining.Load(),
+		Counters: s.Stats(),
 	})
 }

@@ -125,15 +125,50 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the diversification service: a session store, a solve pool and
-// the HTTP handlers binding them.  Create one with New and mount Handler on
-// an http.Server.
+// Server is the diversification service: a session store, a solve scheduler
+// and the HTTP handlers binding them.  Create one with New and mount Handler
+// on an http.Server.
 type Server struct {
 	cfg      Config
 	store    *store
 	sched    *scheduler
 	mux      *http.ServeMux
 	draining atomic.Bool
+	stats    serverStats
+}
+
+// serverStats are the server's backpressure counters, incremented lock-free
+// on the request path and exposed through Stats and /healthz so load
+// generators (internal/slam) and operators can attribute client-side error
+// rates to the server's admission decisions.
+type serverStats struct {
+	requests    atomic.Int64
+	rejected429 atomic.Int64
+	rejected503 atomic.Int64
+	timeout504  atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the server's request counters.
+type Stats struct {
+	// Requests counts every request reaching the API mux since start.
+	Requests int64 `json:"requests"`
+	// Rejected429 counts session-limit rejections (HTTP 429,
+	// too_many_sessions).
+	Rejected429 int64 `json:"rejected_429"`
+	// Rejected503 counts drain rejections (HTTP 503, draining).
+	Rejected503 int64 `json:"rejected_503"`
+	// Timeout504 counts request-deadline hits (HTTP 504, timeout).
+	Timeout504 int64 `json:"timeout_504"`
+}
+
+// Stats returns the server's backpressure counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:    s.stats.requests.Load(),
+		Rejected429: s.stats.rejected429.Load(),
+		Rejected503: s.stats.rejected503.Load(),
+		Timeout504:  s.stats.timeout504.Load(),
+	}
 }
 
 // New creates a Server with the given configuration.
@@ -149,8 +184,14 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the HTTP handler serving the v1 API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the v1 API, wrapped in the
+// request-counting middleware feeding Stats.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.stats.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Drain puts the server into shutdown mode: every subsequent state-changing
 // request (create, deltas, assess, delete) is rejected with 503 while

@@ -218,4 +218,8 @@ type HealthResponse struct {
 	Status   string `json:"status"`
 	Sessions int    `json:"sessions"`
 	Draining bool   `json:"draining,omitempty"`
+	// Counters are the server's backpressure counters since start: total
+	// requests, 429 session-limit rejections, 503 drain rejections and 504
+	// deadline hits.
+	Counters Stats `json:"counters"`
 }

@@ -1,0 +1,33 @@
+package slam
+
+import (
+	"math"
+	"time"
+
+	"netdiversity/internal/fastrand"
+)
+
+// PoissonSchedule returns the open-loop arrival plan: offsets from the run
+// start at which requests fire, drawn from an exponential inter-arrival
+// distribution at the given mean rate (requests per second) until the
+// duration is exhausted.  The schedule is a pure function of the seed, so an
+// open-loop run offers the identical arrival process on every machine — the
+// load is fixed and only the system's response varies.
+func PoissonSchedule(seed int64, rate float64, dur time.Duration) []time.Duration {
+	if rate <= 0 || dur <= 0 {
+		return nil
+	}
+	rng := fastrand.New(uint64(seed))
+	var out []time.Duration
+	var at float64 // seconds
+	limit := dur.Seconds()
+	for {
+		// 53-bit uniform in [0,1): Log1p(-u) is finite for every draw.
+		u := float64(rng.Uint64()>>11) / (1 << 53)
+		at += -math.Log1p(-u) / rate
+		if at >= limit {
+			return out
+		}
+		out = append(out, time.Duration(at*float64(time.Second)))
+	}
+}

@@ -1,0 +1,286 @@
+package slam
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"netdiversity/internal/netgen"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/serve"
+)
+
+// target is the divd instance under load: a base URL plus the client used to
+// reach it, and (in-process mode) the shutdown hook tearing the server down.
+type target struct {
+	base     string
+	client   *http.Client
+	shutdown func()
+}
+
+// dial resolves the config's target: a remote base URL verbatim, or a fresh
+// in-process serve.Server listening on loopback.  The in-process server is
+// sized so the load itself (tenants plus transient create-op sessions) never
+// trips the session limit unless a sweep deliberately pushes past it.
+func dial(cfg Config) (*target, error) {
+	transport := &http.Transport{
+		MaxIdleConns:        cfg.Workers * 2,
+		MaxIdleConnsPerHost: cfg.Workers * 2,
+	}
+	client := &http.Client{Transport: transport, Timeout: cfg.RequestTimeout}
+	if cfg.URL != "" {
+		return &target{base: cfg.URL, client: client, shutdown: func() {}}, nil
+	}
+	srv := serve.New(serve.Config{
+		MaxSessions:    cfg.Tenants + cfg.Workers + 64,
+		RequestTimeout: cfg.RequestTimeout,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed by shutdown
+	return &target{
+		base:   "http://" + ln.Addr().String(),
+		client: client,
+		shutdown: func() {
+			httpSrv.Close()
+			transport.CloseIdleConnections()
+		},
+	}, nil
+}
+
+// tenant is one long-lived session under load: its ID plus the prebuilt
+// request bodies the workers replay against it.  Bodies are marshalled once
+// at setup so the measured phase times the server, not client-side JSON
+// encoding of specs.
+type tenant struct {
+	id string
+	// createBody recreates the session (used once at setup).
+	createBody []byte
+	// host/services/choices describe the host the delta op nudges.
+	host     netmodel.HostID
+	services []netmodel.ServiceID
+	choices  map[netmodel.ServiceID][]netmodel.ProductID
+}
+
+// buildTenants generates the tenant population: each tenant gets its own
+// network (seeded from the run seed plus the tenant index, so populations
+// are deterministic yet distinct) over the shared synthetic similarity
+// table, inlined into the create body as a custom table exactly as a real
+// client would submit it.
+func buildTenants(cfg Config) ([]*tenant, error) {
+	genCfg := netgen.RandomConfig{
+		Hosts:              cfg.Hosts,
+		Degree:             cfg.Degree,
+		Services:           cfg.Services,
+		ProductsPerService: 4,
+		Seed:               cfg.Seed,
+	}
+	sim := similarityEntries(genCfg)
+	out := make([]*tenant, cfg.Tenants)
+	for i := range out {
+		tCfg := genCfg
+		tCfg.Seed = cfg.Seed + int64(i)
+		nw, err := netgen.Generate(tCfg, netgen.TopologyUniform)
+		if err != nil {
+			return nil, fmt.Errorf("slam: generating tenant %d: %w", i, err)
+		}
+		spec := netmodel.ToSpec(nw, nil)
+		if len(spec.Hosts) == 0 {
+			return nil, fmt.Errorf("slam: tenant %d generated an empty network", i)
+		}
+		t := &tenant{
+			id:       fmt.Sprintf("slam-t%d", i),
+			host:     spec.Hosts[0].ID,
+			services: spec.Hosts[0].Services,
+			choices:  spec.Hosts[0].Choices,
+		}
+		t.createBody, err = json.Marshal(map[string]any{
+			"id":             t.id,
+			"spec":           spec,
+			"solver":         cfg.Solver,
+			"seed":           tCfg.Seed,
+			"max_iterations": cfg.MaxIterations,
+			"similarity":     sim,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// similarityEntries renders the synthetic similarity table of the tenant
+// catalogue in the create endpoint's custom-table form (off-diagonal
+// nonzero pairs only).
+func similarityEntries(genCfg netgen.RandomConfig) map[string]any {
+	sim := netgen.SyntheticSimilarity(genCfg, 0.6)
+	products := sim.Products()
+	entries := []map[string]any{}
+	for i, a := range products {
+		for _, b := range products[i+1:] {
+			if s := sim.Sim(a, b); s != 0 {
+				entries = append(entries, map[string]any{"a": a, "b": b, "sim": s})
+			}
+		}
+	}
+	return map[string]any{"kind": "custom", "entries": entries}
+}
+
+// opOutcome classifies one completed request for the per-op accounting.
+type opOutcome int
+
+// Outcome classes: ok, the three backpressure statuses the server emits
+// under load (429 session-limit, 503 draining, 504 deadline), any other
+// non-expected status, and a transport-level failure.
+const (
+	outcomeOK opOutcome = iota
+	outcome429
+	outcome503
+	outcome504
+	outcomeOther
+	outcomeTransport
+	numOutcomes
+)
+
+// do issues one request and classifies the result, draining the body so the
+// HTTP client reuses connections.  Only transport errors return err; HTTP
+// error statuses are data, not failures — backpressure is the measurement.
+func (t *target) do(ctx context.Context, method, path string, body []byte, wantStatus int) opOutcome {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.base+path, rd)
+	if err != nil {
+		return outcomeTransport
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return outcomeTransport
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == wantStatus:
+		return outcomeOK
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return outcome429
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return outcome503
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		return outcome504
+	default:
+		return outcomeOther
+	}
+}
+
+// issue performs one operation of the mix against a tenant.  reqSeed drives
+// the randomised request parameters (delta nudge value, assessment seed,
+// transient-session suffix) so a run's request stream is a pure function of
+// the run seed.
+func (t *target) issue(ctx context.Context, cfg Config, op int, tn *tenant, reqSeed int64) opOutcome {
+	switch op {
+	case opIdxRead:
+		return t.do(ctx, http.MethodGet, "/v1/networks/"+tn.id+"/assignment", nil, http.StatusOK)
+	case opIdxMetrics:
+		return t.do(ctx, http.MethodGet, "/v1/networks/"+tn.id+"/metrics", nil, http.StatusOK)
+	case opIdxDelta:
+		body, err := json.Marshal(deltaBody(tn, reqSeed))
+		if err != nil {
+			return outcomeTransport
+		}
+		return t.do(ctx, http.MethodPost, "/v1/networks/"+tn.id+"/deltas", body, http.StatusOK)
+	case opIdxAssess:
+		body, err := json.Marshal(map[string]any{
+			"knowledge": "full",
+			"mode":      "event",
+			"runs":      cfg.AssessRuns,
+			"max_ticks": 100,
+			"seed":      reqSeed,
+		})
+		if err != nil {
+			return outcomeTransport
+		}
+		return t.do(ctx, http.MethodPost, "/v1/networks/"+tn.id+"/assess", body, http.StatusOK)
+	case opIdxCreate:
+		// A transient session: the create is the measured admission + cold
+		// solve; the paired DELETE is bookkeeping outside the timed window
+		// (the caller records the latency before cleanup runs).
+		id := fmt.Sprintf("slam-x-%d", uint64(reqSeed))
+		return t.do(ctx, http.MethodPost, "/v1/networks", createTransientBody(tn, id), http.StatusCreated)
+	default:
+		return outcomeTransport
+	}
+}
+
+// cleanupTransient deletes a transient create-op session outside the timed
+// window; failures are ignored (the session may have been rejected at
+// admission).
+func (t *target) cleanupTransient(ctx context.Context, reqSeed int64) {
+	id := fmt.Sprintf("slam-x-%d", uint64(reqSeed))
+	t.do(ctx, http.MethodDelete, "/v1/networks/"+id, nil, http.StatusNoContent)
+}
+
+// deltaBody builds the delta op of one request: an update_services on the
+// tenant's nudge host that keeps services and choices identical and moves
+// only a preference weight derived from the request seed.  The op is valid
+// against any session state no matter how requests interleave — concurrent
+// workers never race each other into 4xx conflicts — while still dirtying
+// the host's unary factor enough to force a real incremental
+// re-optimisation.
+func deltaBody(tn *tenant, reqSeed int64) netmodel.Delta {
+	pref := make(map[netmodel.ServiceID]map[netmodel.ProductID]float64, 1)
+	if len(tn.services) > 0 {
+		svc := tn.services[int(uint64(reqSeed)%uint64(len(tn.services)))]
+		if ps := tn.choices[svc]; len(ps) > 0 {
+			p := ps[int(uint64(reqSeed)/7%uint64(len(ps)))]
+			pref[svc] = map[netmodel.ProductID]float64{
+				p: float64(uint64(reqSeed)%1000) / 2000,
+			}
+		}
+	}
+	return netmodel.Delta{Ops: []netmodel.DeltaOp{{
+		Op:         netmodel.OpUpdateHostServices,
+		ID:         tn.host,
+		Services:   tn.services,
+		Choices:    tn.choices,
+		Preference: pref,
+	}}}
+}
+
+// createTransientBody reuses the tenant's prebuilt create body under a fresh
+// session ID — a byte-level patch of the marshalled JSON, so the create op
+// measures the server-side spec decode + cold solve, not client-side
+// re-marshalling of the whole spec.
+func createTransientBody(tn *tenant, id string) []byte {
+	oldID := []byte(`"id":"` + tn.id + `"`)
+	newID := []byte(`"id":"` + id + `"`)
+	return bytes.Replace(tn.createBody, oldID, newID, 1)
+}
+
+// waitReady polls /healthz until the target responds or the context ends —
+// remote targets may still be starting when a run begins.
+func (t *target) waitReady(ctx context.Context) error {
+	for {
+		if t.do(ctx, http.MethodGet, "/healthz", nil, http.StatusOK) == outcomeOK {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("slam: target %s not ready: %w", t.base, ctx.Err())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package slam
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"testing"
+
+	"netdiversity/internal/serve"
+)
+
+// TestBackpressureAccounting runs a create-heavy mix against a remote-mode
+// server sized so the transient create sessions trip the session limit: the
+// run must complete with the 429 rejections recorded in the accounting (and
+// the Retry-After contract honoured server-side), not abort.
+func TestBackpressureAccounting(t *testing.T) {
+	cfg := Config{
+		Tenants:  2,
+		Hosts:    10,
+		Degree:   4,
+		Services: 2,
+		Workers:  4,
+		Ops:      60,
+		Mix:      "read=10,create=90",
+		Seed:     11,
+	}
+	cfg = cfg.withDefaults()
+	// Exactly the tenant population fits: every transient create is a 429.
+	srv := serve.New(serve.Config{
+		MaxSessions:    cfg.Tenants,
+		RequestTimeout: cfg.RequestTimeout,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed below
+	defer httpSrv.Close()
+	cfg.URL = "http://" + ln.Addr().String()
+
+	rep, err := Run(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Runs[0]
+	createStats, ok := res.Ops[OpCreate]
+	if !ok {
+		t.Fatalf("create op missing from stats: %v", res.Ops)
+	}
+	if createStats.Status429 == 0 {
+		t.Fatalf("create ops against a full server recorded no 429s: %+v", createStats)
+	}
+	if createStats.OK != 0 {
+		t.Errorf("create ops succeeded against a full server: %+v", createStats)
+	}
+	if res.Total.Errors != createStats.Status429 {
+		t.Errorf("total errors %d, want exactly the %d create rejections", res.Total.Errors, createStats.Status429)
+	}
+	// The server's own counters must agree with the client-side accounting.
+	if got := srv.Stats().Rejected429; got != createStats.Status429 {
+		t.Errorf("server counted %d rejections, client observed %d", got, createStats.Status429)
+	}
+}
+
+// TestRetryAfterHeader pins the backpressure header contract divslam's
+// documentation promises: 429 and 503 responses carry Retry-After.
+func TestRetryAfterHeader(t *testing.T) {
+	srv := serve.New(serve.Config{MaxSessions: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed below
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	cfg := Config{Tenants: 2, Hosts: 8, Degree: 3, Services: 2}.withDefaults()
+	tenants, err := buildTenants(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := &target{base: base, client: http.DefaultClient, shutdown: func() {}}
+	ctx := context.Background()
+	if err := tgt.post(ctx, "/v1/networks", tenants[0].createBody, http.StatusCreated); err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := tgt.client.Post(base+"/v1/networks", "application/json",
+		bytes.NewReader(tenants[1].createBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second create: status %d, want 429", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("Retry-After"); got == "" {
+		t.Error("429 response missing Retry-After")
+	}
+
+	srv.Drain()
+	resp3, err := tgt.client.Post(base+"/v1/networks", "application/json",
+		bytes.NewReader(tenants[1].createBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining create: status %d, want 503", resp3.StatusCode)
+	}
+	if got := resp3.Header.Get("Retry-After"); got == "" {
+		t.Error("503 response missing Retry-After")
+	}
+}

@@ -1,0 +1,301 @@
+// Package slam is the load-generation plane of the system: a configurable
+// multi-tenant load generator (driven by cmd/divslam and the scenario "slam"
+// suite) that slams a divd instance — in-process over loopback, or any
+// remote base URL — with a weighted mix of create / delta / assess /
+// assignment-read / metrics requests across hundreds of tenant sessions.
+//
+// Two load models are supported.  Closed-loop runs N workers, each issuing
+// its next request as soon as the previous one returns, optionally paced by
+// a per-worker and a shared total rate limit — the model of a fixed client
+// population, which can never overload the server beyond N in-flight
+// requests.  Open-loop fires requests on a seeded Poisson arrival schedule
+// at a target offered rate regardless of completions — the model of an
+// uncoordinated client population, whose latency measurement (taken from the
+// scheduled arrival time, not the dispatch time) exposes queueing collapse
+// the moment the server falls behind the offered rate.
+//
+// Latencies are recorded into per-(worker, operation) log-bucketed
+// histograms (see Histogram) and merged after the run, so the reported
+// p50/p99/p999 are invariant under the worker count; non-2xx responses are
+// accounted per status class (429 admission rejections, 503 drain
+// rejections, 504 deadline hits) rather than aborting the run, because
+// backpressure behaviour under overload is precisely what the tool exists
+// to measure.  A Vary axis sweeps one parameter (tenants, workers, rate,
+// hosts, mix) across sub-runs of a single invocation, and the whole result
+// is emitted as a schema-versioned JSON Report that docs/LOADTEST.md
+// explains how to read.
+package slam
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Operation names accepted by the Mix axis, in canonical report order.
+const (
+	// OpRead is GET /v1/networks/{id}/assignment — the lock-free snapshot
+	// read path.
+	OpRead = "read"
+	// OpDelta is POST /v1/networks/{id}/deltas — a single-host preference
+	// nudge driving an incremental re-optimisation.
+	OpDelta = "delta"
+	// OpMetrics is GET /v1/networks/{id}/metrics — writer-slot work with a
+	// version-keyed memoised fast path.
+	OpMetrics = "metrics"
+	// OpAssess is POST /v1/networks/{id}/assess — campaign compile plus a
+	// small Monte-Carlo batch on the shared solve scheduler.
+	OpAssess = "assess"
+	// OpCreate is POST /v1/networks (a transient session: cold solve) paired
+	// with an untimed DELETE, exercising the admission/limit path.
+	OpCreate = "create"
+)
+
+// Ops lists the operation names in canonical order.
+func Ops() []string { return []string{OpRead, OpDelta, OpMetrics, OpAssess, OpCreate} }
+
+// DefaultMix is the read-heavy steady-state mix used when Config.Mix is
+// empty: mostly snapshot reads, a steady trickle of deltas and metric polls,
+// occasional assessments and session creations.
+const DefaultMix = "read=70,delta=15,metrics=8,assess=5,create=2"
+
+// Config describes one divslam invocation.  Zero fields take the documented
+// defaults (withDefaults); Vary expands one field across Values into
+// sub-runs.
+type Config struct {
+	// URL targets a remote divd instance; empty boots an in-process server
+	// on loopback (the hermetic mode CI and the scenario suite use).
+	URL string
+	// Mode is "closed" (default) or "open".
+	Mode string
+	// Tenants is the number of long-lived tenant sessions created before the
+	// measured phase.  Default 4.
+	Tenants int
+	// Hosts, Degree, Services shape each tenant's generated network.
+	// Defaults 50 / 8 / 3.
+	Hosts    int
+	Degree   int
+	Services int
+	// Solver is the per-session solver name.  Default "trws".
+	Solver string
+	// MaxIterations bounds each session's solver iterations.  Default 40.
+	MaxIterations int
+	// AssessRuns is the Monte-Carlo run count of one assess request.
+	// Default 20.
+	AssessRuns int
+	// Seed drives every random choice of the run: tenant network generation,
+	// worker op/tenant draws, the Poisson arrival schedule, per-request
+	// assessment seeds.  Default 42.
+	Seed int64
+	// Workers is the closed-loop worker count, and the open-loop dispatch
+	// pool size.  Default 8.  Can Vary.
+	Workers int
+	// Rate caps the total request rate (both modes; it is the offered rate
+	// in open loop, where it is required).  0 = unlimited in closed loop.
+	// Can Vary.
+	Rate float64
+	// WorkerRate caps each closed-loop worker's own rate.  0 = unlimited.
+	WorkerRate float64
+	// Dur bounds the measured phase by time.  Default 10s when Ops is 0.
+	Dur time.Duration
+	// Ops bounds the measured phase by request count (closed loop only);
+	// with Ops set and Dur zero the run is deterministic in length, which is
+	// what the scenario suite wants.
+	Ops int
+	// Mix is the weighted operation mix, "op=weight,op=weight,..." over
+	// read/delta/metrics/assess/create.  Default DefaultMix.  Can Vary.
+	Mix string
+	// RequestTimeout is the per-request client deadline (and the in-process
+	// server's request timeout).  Default 30s.
+	RequestTimeout time.Duration
+	// Vary names the field swept across Values: "tenants", "workers",
+	// "rate", "hosts" or "mix".  Empty runs the config once.
+	Vary string
+	// Values are the Vary axis values, parsed per field.
+	Values []string
+}
+
+// withDefaults returns the config with the documented defaults applied.
+func (c Config) withDefaults() Config {
+	if c.Mode == "" {
+		c.Mode = "closed"
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 50
+	}
+	if c.Degree <= 0 {
+		c.Degree = 8
+	}
+	if c.Services <= 0 {
+		c.Services = 3
+	}
+	if c.Solver == "" {
+		c.Solver = "trws"
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 40
+	}
+	if c.AssessRuns <= 0 {
+		c.AssessRuns = 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Dur <= 0 && c.Ops <= 0 {
+		c.Dur = 10 * time.Second
+	}
+	if c.Mix == "" {
+		c.Mix = DefaultMix
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// validate checks a fully-defaulted config.
+func (c Config) validate() error {
+	switch c.Mode {
+	case "closed":
+	case "open":
+		if c.Rate <= 0 {
+			return fmt.Errorf("slam: open-loop mode requires a target rate")
+		}
+		if c.Dur <= 0 {
+			return fmt.Errorf("slam: open-loop mode requires a duration")
+		}
+	default:
+		return fmt.Errorf("slam: unknown mode %q (known: closed, open)", c.Mode)
+	}
+	if _, err := ParseMix(c.Mix); err != nil {
+		return err
+	}
+	return nil
+}
+
+// opWeight is one entry of a parsed mix.
+type opWeight struct {
+	op     string
+	weight int
+}
+
+// ParseMix parses a "op=weight,op=weight" mix string over the Ops names.
+// Weights are positive integers; unlisted operations get weight 0.  The
+// result is returned in canonical Ops order and its weights sum to the
+// returned total.
+func ParseMix(mix string) ([]int, error) {
+	known := Ops()
+	idx := make(map[string]int, len(known))
+	for i, op := range known {
+		idx[op] = i
+	}
+	weights := make([]int, len(known))
+	seen := make(map[string]bool, len(known))
+	for _, part := range strings.Split(mix, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("slam: mix entry %q is not op=weight", part)
+		}
+		op = strings.TrimSpace(op)
+		i, okOp := idx[op]
+		if !okOp {
+			return nil, fmt.Errorf("slam: unknown mix operation %q (known: %s)", op, strings.Join(known, ", "))
+		}
+		if seen[op] {
+			return nil, fmt.Errorf("slam: duplicate mix operation %q", op)
+		}
+		seen[op] = true
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("slam: mix weight %q of %s must be a non-negative integer", val, op)
+		}
+		weights[i] = w
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("slam: mix %q has no positive weight", mix)
+	}
+	return weights, nil
+}
+
+// VaryFields lists the config fields a Vary axis can sweep, sorted.
+func VaryFields() []string {
+	out := []string{"tenants", "workers", "rate", "hosts", "mix"}
+	sort.Strings(out)
+	return out
+}
+
+// Expand applies defaults, validates, and expands the Vary axis into the
+// concrete sub-run configs (one per value; a single config when Vary is
+// empty).  Each sub-run keeps the base seed: a sweep varies exactly one
+// parameter against an otherwise identical workload.
+func (c Config) Expand() ([]Config, error) {
+	c = c.withDefaults()
+	if c.Vary == "" {
+		if len(c.Values) > 0 {
+			return nil, fmt.Errorf("slam: values given without a vary field")
+		}
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		return []Config{c}, nil
+	}
+	if len(c.Values) == 0 {
+		return nil, fmt.Errorf("slam: vary %q needs at least one value", c.Vary)
+	}
+	out := make([]Config, 0, len(c.Values))
+	for _, v := range c.Values {
+		sub := c
+		sub.Values = nil
+		switch c.Vary {
+		case "tenants":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("slam: vary tenants value %q must be a positive integer", v)
+			}
+			sub.Tenants = n
+		case "workers":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("slam: vary workers value %q must be a positive integer", v)
+			}
+			sub.Workers = n
+		case "hosts":
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 1 {
+				return nil, fmt.Errorf("slam: vary hosts value %q must be an integer > 1", v)
+			}
+			sub.Hosts = n
+		case "rate":
+			r, err := strconv.ParseFloat(v, 64)
+			if err != nil || r <= 0 {
+				return nil, fmt.Errorf("slam: vary rate value %q must be a positive number", v)
+			}
+			sub.Rate = r
+		case "mix":
+			sub.Mix = v
+		default:
+			return nil, fmt.Errorf("slam: unknown vary field %q (known: %s)", c.Vary, strings.Join(VaryFields(), ", "))
+		}
+		if err := sub.validate(); err != nil {
+			return nil, fmt.Errorf("slam: vary %s=%s: %w", c.Vary, v, err)
+		}
+		out = append(out, sub)
+	}
+	return out, nil
+}

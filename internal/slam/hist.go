@@ -1,0 +1,149 @@
+package slam
+
+import (
+	"math/bits"
+	"time"
+)
+
+// The histogram is HDR-style log-linear over integer microseconds: each
+// power-of-two octave above 2^subBits is split into 2^subBits linear
+// sub-buckets, bounding the relative quantile error at 2^-subBits (~3%)
+// while keeping the bucket count small enough that one histogram per
+// (worker, operation) pair is cheap.  Values are recorded as counts, so
+// merging histograms is exact integer addition — quantiles computed from a
+// merged histogram are identical no matter how the samples were sharded
+// across workers.  That worker-count invariance is what makes p99 numbers
+// comparable between a 4-worker CI smoke run and a 64-worker soak.
+const (
+	// histSubBits is the linear resolution of each octave: 2^histSubBits
+	// sub-buckets, i.e. ~3% worst-case relative error on quantiles.
+	histSubBits = 5
+	// histBuckets spans values up to ~2^31 µs (>35 minutes), far beyond any
+	// request latency this report can see before a timeout fires.
+	histBuckets = (32 - histSubBits + 1) * (1 << histSubBits)
+)
+
+// Histogram is a fixed-size log-linear latency histogram over microsecond
+// values.  The zero value is empty and ready to use; it is not safe for
+// concurrent use — each worker records into its own and the runner merges.
+type Histogram struct {
+	counts [histBuckets]int64
+	total  int64
+	sumUS  int64
+	maxUS  int64
+}
+
+// histIndex maps a microsecond value onto its bucket.  Values below
+// 2^histSubBits are exact (one bucket per integer); above, the top
+// histSubBits mantissa bits select the linear sub-bucket within the octave.
+func histIndex(us int64) int {
+	v := uint64(us)
+	if v < 1<<histSubBits {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	mant := (v >> uint(exp-histSubBits)) & (1<<histSubBits - 1)
+	idx := (exp-histSubBits+1)<<histSubBits + int(mant)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// histBound returns the inclusive upper bound (µs) of a bucket — the value
+// quantiles report, so the error is always pessimistic, never flattering.
+func histBound(idx int) int64 {
+	if idx < 1<<histSubBits {
+		return int64(idx)
+	}
+	exp := idx>>histSubBits + histSubBits - 1
+	mant := int64(idx & (1<<histSubBits - 1))
+	low := int64(1)<<uint(exp) + mant<<uint(exp-histSubBits)
+	return low + int64(1)<<uint(exp-histSubBits) - 1
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	us := int64(d / time.Microsecond)
+	if us < 1 {
+		us = 1
+	}
+	h.counts[histIndex(us)]++
+	h.total++
+	h.sumUS += us
+	if us > h.maxUS {
+		h.maxUS = us
+	}
+}
+
+// Merge adds another histogram's counts into h.  Merging is exact, so
+// quantiles of the merged histogram do not depend on how observations were
+// sharded across the inputs.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sumUS += o.sumUS
+	if o.maxUS > h.maxUS {
+		h.maxUS = o.maxUS
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// MeanMS returns the exact mean latency in milliseconds (the sum is kept
+// outside the buckets, so the mean carries no bucketing error).
+func (h *Histogram) MeanMS() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sumUS) / float64(h.total) / 1e3
+}
+
+// MaxMS returns the exact maximum latency in milliseconds.
+func (h *Histogram) MaxMS() float64 { return float64(h.maxUS) / 1e3 }
+
+// QuantileMS returns the latency (milliseconds) at quantile q in [0,1]: the
+// upper bound of the bucket holding the ceil(q·count)-th observation.
+func (h *Histogram) QuantileMS(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(h.total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return float64(histBound(i)) / 1e3
+		}
+	}
+	return float64(h.maxUS) / 1e3
+}
+
+// Buckets returns the non-empty buckets as (upper bound ms, count) pairs —
+// the serialisable form of the histogram, from which any quantile can be
+// recomputed offline.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range h.counts {
+		if c > 0 {
+			out = append(out, Bucket{LeMS: float64(histBound(i)) / 1e3, Count: c})
+		}
+	}
+	return out
+}
+
+// Bucket is one non-empty histogram bucket in a report: Count observations
+// at or below LeMS milliseconds (and above the previous bucket's bound).
+type Bucket struct {
+	LeMS  float64 `json:"le_ms"`
+	Count int64   `json:"count"`
+}

@@ -1,0 +1,141 @@
+package slam
+
+import (
+	"testing"
+	"time"
+
+	"netdiversity/internal/fastrand"
+)
+
+// syntheticDurations draws a deterministic latency sample spanning several
+// orders of magnitude (tens of µs to seconds), the shape a mixed-op run
+// produces.
+func syntheticDurations(seed uint64, n int) []time.Duration {
+	rng := fastrand.New(seed)
+	out := make([]time.Duration, n)
+	for i := range out {
+		us := 10 + rng.Intn(1000)
+		switch rng.Intn(10) {
+		case 0:
+			us *= 1000 // the slow tail: 10ms–1s
+		case 1, 2:
+			us *= 50 // the mid band: 0.5ms–50ms
+		}
+		out[i] = time.Duration(us) * time.Microsecond
+	}
+	return out
+}
+
+// TestHistogramMergeWorkerCountInvariant shards one fixed sample across 1, 4
+// and 16 per-worker histograms and checks the merged quantiles are
+// identical — the property that makes p99 comparable across worker counts.
+func TestHistogramMergeWorkerCountInvariant(t *testing.T) {
+	samples := syntheticDurations(7, 10000)
+	quantiles := []float64{0.5, 0.9, 0.99, 0.999, 1.0}
+	var want []float64
+	for _, workers := range []int{1, 4, 16} {
+		shards := make([]Histogram, workers)
+		for i, d := range samples {
+			shards[i%workers].Record(d)
+		}
+		var merged Histogram
+		for i := range shards {
+			merged.Merge(&shards[i])
+		}
+		if merged.Count() != int64(len(samples)) {
+			t.Fatalf("workers=%d: merged count %d, want %d", workers, merged.Count(), len(samples))
+		}
+		got := make([]float64, len(quantiles))
+		for i, q := range quantiles {
+			got[i] = merged.QuantileMS(q)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i, q := range quantiles {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: q%.3f = %v, want %v (1 worker)", workers, q, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileError checks the log-linear bucketing keeps the
+// relative quantile error within the designed ~2^-histSubBits bound and
+// never reports below the true value.
+func TestHistogramQuantileError(t *testing.T) {
+	var h Histogram
+	const val = 123456 * time.Microsecond
+	for i := 0; i < 100; i++ {
+		h.Record(val)
+	}
+	got := h.QuantileMS(0.99)
+	true_ := float64(val) / float64(time.Millisecond)
+	if got < true_ {
+		t.Fatalf("quantile %.3fms below the recorded value %.3fms", got, true_)
+	}
+	if got > true_*(1+1.0/(1<<histSubBits)) {
+		t.Fatalf("quantile %.3fms exceeds the %.1f%% error bound of %.3fms",
+			got, 100.0/(1<<histSubBits), true_)
+	}
+}
+
+// TestHistogramExactStats checks the mean and max bypass the buckets.
+func TestHistogramExactStats(t *testing.T) {
+	var h Histogram
+	h.Record(1 * time.Millisecond)
+	h.Record(3 * time.Millisecond)
+	if got := h.MeanMS(); got != 2 {
+		t.Errorf("mean %v, want 2", got)
+	}
+	if got := h.MaxMS(); got != 3 {
+		t.Errorf("max %v, want 3", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Errorf("count %v, want 2", got)
+	}
+}
+
+// TestHistogramBucketsRoundTrip checks a quantile recomputed from the
+// serialised buckets matches the histogram's own answer.
+func TestHistogramBucketsRoundTrip(t *testing.T) {
+	var h Histogram
+	for _, d := range syntheticDurations(11, 5000) {
+		h.Record(d)
+	}
+	buckets := h.Buckets()
+	var total int64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket counts sum to %d, histogram holds %d", total, h.Count())
+	}
+	// p99 from the serialised form: first bucket whose cumulative count
+	// reaches ceil(0.99 * total).
+	rank := int64(0.99*float64(total) + 0.9999999)
+	var cum int64
+	var fromBuckets float64
+	for _, b := range buckets {
+		cum += b.Count
+		if cum >= rank {
+			fromBuckets = b.LeMS
+			break
+		}
+	}
+	if got := h.QuantileMS(0.99); got != fromBuckets {
+		t.Errorf("p99 from buckets %v, from histogram %v", fromBuckets, got)
+	}
+}
+
+// TestHistogramEmpty checks the zero-observation edge cases.
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.QuantileMS(0.99) != 0 || h.MeanMS() != 0 || h.MaxMS() != 0 {
+		t.Errorf("empty histogram must report zero statistics")
+	}
+	if h.Buckets() != nil {
+		t.Errorf("empty histogram must have no buckets")
+	}
+}

@@ -1,0 +1,57 @@
+package slam
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Limiter paces callers to a fixed rate by spacing token grants one
+// inter-token interval apart — a pacing limiter, not a bursty token bucket,
+// so an idle period does not bank a burst that would distort latency
+// measurements when load resumes.  It is safe for concurrent use: closed-loop
+// workers share one total-rate Limiter and additionally hold a per-worker
+// one.
+type Limiter struct {
+	interval time.Duration
+	mu       sync.Mutex
+	next     time.Time
+}
+
+// NewLimiter returns a pacing limiter granting perSecond tokens per second,
+// or nil when perSecond <= 0 (unlimited; Wait on a nil Limiter returns
+// immediately).
+func NewLimiter(perSecond float64) *Limiter {
+	if perSecond <= 0 {
+		return nil
+	}
+	return &Limiter{interval: time.Duration(float64(time.Second) / perSecond)}
+}
+
+// Wait blocks until the caller's token is due or the context is done.  A nil
+// receiver never blocks.
+func (l *Limiter) Wait(ctx context.Context) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	now := time.Now()
+	at := l.next
+	if at.Before(now) {
+		at = now
+	}
+	l.next = at.Add(l.interval)
+	l.mu.Unlock()
+	d := time.Until(at)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

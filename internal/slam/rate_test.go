@@ -1,0 +1,163 @@
+package slam
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoissonScheduleDeterministic checks the arrival schedule is a pure
+// function of the seed: identical per seed, different across seeds.
+func TestPoissonScheduleDeterministic(t *testing.T) {
+	a := PoissonSchedule(42, 500, 2*time.Second)
+	b := PoissonSchedule(42, 500, 2*time.Second)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ across identical seeds: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offset %d differs across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := PoissonSchedule(43, 500, 2*time.Second)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("schedules identical across different seeds")
+	}
+}
+
+// TestPoissonScheduleRate checks the arrival count is near rate·duration and
+// every offset lies inside the window in increasing order.
+func TestPoissonScheduleRate(t *testing.T) {
+	const rate, durS = 1000.0, 5.0
+	sched := PoissonSchedule(1, rate, time.Duration(durS*float64(time.Second)))
+	want := rate * durS
+	if n := float64(len(sched)); n < want*0.9 || n > want*1.1 {
+		t.Fatalf("schedule has %d arrivals, want ~%.0f", len(sched), want)
+	}
+	prev := time.Duration(-1)
+	for i, off := range sched {
+		if off <= prev {
+			t.Fatalf("offset %d not increasing: %v after %v", i, off, prev)
+		}
+		if off < 0 || off >= time.Duration(durS*float64(time.Second)) {
+			t.Fatalf("offset %d outside the window: %v", i, off)
+		}
+		prev = off
+	}
+}
+
+// TestPoissonScheduleEmpty checks degenerate parameters yield no arrivals.
+func TestPoissonScheduleEmpty(t *testing.T) {
+	if s := PoissonSchedule(1, 0, time.Second); s != nil {
+		t.Errorf("rate 0 must yield no schedule, got %d arrivals", len(s))
+	}
+	if s := PoissonSchedule(1, 100, 0); s != nil {
+		t.Errorf("duration 0 must yield no schedule, got %d arrivals", len(s))
+	}
+}
+
+// TestLimiterTotalCap checks concurrent workers sharing one limiter cannot
+// exceed the total rate (run under -race in CI, which also exercises the
+// limiter's internal locking).
+func TestLimiterTotalCap(t *testing.T) {
+	const rate = 200.0
+	const window = 300 * time.Millisecond
+	lim := NewLimiter(rate)
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	var ops atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lim.Wait(ctx) == nil {
+				ops.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	// The pacer grants at most rate·window tokens plus the initial burst of
+	// one-per-worker that found next unset; allow 50% headroom for timer
+	// slop before calling it a violation.
+	max := int64(rate*window.Seconds()*1.5) + 8
+	if got := ops.Load(); got > max {
+		t.Fatalf("total limiter let %d ops through in %v, cap ~%.0f", got, window, rate*window.Seconds())
+	}
+	if got := ops.Load(); got < int64(rate*window.Seconds())/2 {
+		t.Fatalf("total limiter starved: %d ops in %v at rate %.0f", got, window, rate)
+	}
+}
+
+// TestLimiterPerWorkerCap checks each worker's own limiter caps that worker
+// independently of its siblings.
+func TestLimiterPerWorkerCap(t *testing.T) {
+	const workerRate = 100.0
+	const window = 300 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), window)
+	defer cancel()
+	var wg sync.WaitGroup
+	counts := make([]int64, 4)
+	for w := range counts {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lim := NewLimiter(workerRate)
+			for lim.Wait(ctx) == nil {
+				counts[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	max := int64(workerRate*window.Seconds()*1.5) + 1
+	for w, got := range counts {
+		if got > max {
+			t.Errorf("worker %d: %d ops in %v, per-worker cap ~%.0f", w, got, window, workerRate*window.Seconds())
+		}
+	}
+}
+
+// TestLimiterNil checks the unlimited (nil) limiter never blocks.
+func TestLimiterNil(t *testing.T) {
+	var lim *Limiter
+	if err := lim.Wait(context.Background()); err != nil {
+		t.Fatalf("nil limiter returned %v", err)
+	}
+	if NewLimiter(0) != nil {
+		t.Fatal("NewLimiter(0) must be nil (unlimited)")
+	}
+}
+
+// TestLimiterContextCancel checks a waiting caller honours cancellation.
+func TestLimiterContextCancel(t *testing.T) {
+	lim := NewLimiter(1) // one token per second: the second Wait must block
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := lim.Wait(ctx); err != nil {
+		t.Fatalf("first Wait: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- lim.Wait(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled Wait returned nil")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Wait did not return")
+	}
+}

@@ -1,0 +1,216 @@
+package slam
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// SchemaVersion identifies the divslam report layout.  Bump it on any
+// incompatible change to Report, RunResult or OpStats; ReadFile rejects
+// reports written by a different version.
+const SchemaVersion = 1
+
+// Report is the machine-readable result of one divslam invocation: one
+// RunResult per Vary value (a single run when Vary is empty).
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	GeneratedAt   string `json:"generated_at"`
+	// Mode and Vary echo the load model and sweep axis of the invocation.
+	Mode string      `json:"mode"`
+	Vary string      `json:"vary,omitempty"`
+	Runs []RunResult `json:"runs"`
+}
+
+// ConfigInfo is the normalised (defaults applied) configuration echo
+// embedded in every RunResult, so a report is self-describing.
+type ConfigInfo struct {
+	URL            string  `json:"url,omitempty"`
+	Mode           string  `json:"mode"`
+	Tenants        int     `json:"tenants"`
+	Hosts          int     `json:"hosts"`
+	Degree         int     `json:"degree"`
+	Services       int     `json:"services"`
+	Solver         string  `json:"solver"`
+	Seed           int64   `json:"seed"`
+	Workers        int     `json:"workers"`
+	Rate           float64 `json:"rate,omitempty"`
+	WorkerRate     float64 `json:"worker_rate,omitempty"`
+	DurS           float64 `json:"dur_s,omitempty"`
+	Ops            int     `json:"ops,omitempty"`
+	Mix            string  `json:"mix"`
+	MaxIterations  int     `json:"max_iterations"`
+	AssessRuns     int     `json:"assess_runs"`
+	RequestTimeout float64 `json:"request_timeout_s"`
+}
+
+// RunResult is the measurement of one sub-run.
+type RunResult struct {
+	Config ConfigInfo `json:"config"`
+	// VaryValue is this sub-run's value of the swept field.
+	VaryValue string `json:"vary_value,omitempty"`
+	// SetupMS is the untimed setup phase: creating the tenant population.
+	SetupMS float64 `json:"setup_ms"`
+	// DurationS is the measured phase's wall-clock in seconds.
+	DurationS float64 `json:"duration_s"`
+	// OfferedRPS is the scheduled arrival rate (open loop only).
+	OfferedRPS float64 `json:"offered_rps,omitempty"`
+	// AchievedRPS is successful requests per second of measured wall-clock;
+	// an achieved rate persistently below the offered rate is the open-loop
+	// signature of saturation.
+	AchievedRPS float64 `json:"achieved_rps"`
+	// Total aggregates every operation; Ops breaks the same numbers down per
+	// operation name (only operations with traffic appear).
+	Total OpStats            `json:"total"`
+	Ops   map[string]OpStats `json:"ops"`
+}
+
+// OpStats is the accounting of one operation (or the run total): request
+// and error counts, the error breakdown by backpressure class, and the
+// latency distribution of the successful requests — exact mean and max plus
+// log-bucketed quantiles that are invariant under the worker count.
+type OpStats struct {
+	// Count is the number of completed requests (successes plus errors);
+	// OK is the successful subset the latency statistics cover.
+	Count int64 `json:"count"`
+	OK    int64 `json:"ok"`
+	// Errors counts non-2xx and transport outcomes, broken down below:
+	// Status429 session-limit rejections, Status503 drain rejections,
+	// Status504 deadline hits, StatusOther any other unexpected status,
+	// TransportErrors connection-level failures.
+	Errors          int64 `json:"errors"`
+	Status429       int64 `json:"status_429,omitempty"`
+	Status503       int64 `json:"status_503,omitempty"`
+	Status504       int64 `json:"status_504,omitempty"`
+	StatusOther     int64 `json:"status_other,omitempty"`
+	TransportErrors int64 `json:"transport_errors,omitempty"`
+	// Latency statistics in milliseconds over successful requests.
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+	// Buckets is the merged histogram (non-empty buckets only): any
+	// quantile can be recomputed offline from it.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// statsOf renders one merged (histogram, outcome tally) pair.
+func statsOf(h *Histogram, outcomes *[numOutcomes]int64) OpStats {
+	s := OpStats{
+		OK:              h.Count(),
+		Status429:       outcomes[outcome429],
+		Status503:       outcomes[outcome503],
+		Status504:       outcomes[outcome504],
+		StatusOther:     outcomes[outcomeOther],
+		TransportErrors: outcomes[outcomeTransport],
+		MeanMS:          h.MeanMS(),
+		P50MS:           h.QuantileMS(0.50),
+		P99MS:           h.QuantileMS(0.99),
+		P999MS:          h.QuantileMS(0.999),
+		MaxMS:           h.MaxMS(),
+		Buckets:         h.Buckets(),
+	}
+	s.Errors = s.Status429 + s.Status503 + s.Status504 + s.StatusOther + s.TransportErrors
+	s.Count = s.OK + s.Errors
+	return s
+}
+
+// assemble merges the per-worker recorders into the sub-run's RunResult.
+func assemble(cfg Config, recs []*recorder, setupMS float64, elapsed time.Duration, offered float64) RunResult {
+	merged := &recorder{}
+	for _, r := range recs {
+		merged.merge(r)
+	}
+	res := RunResult{
+		Config:     configInfo(cfg),
+		SetupMS:    setupMS,
+		DurationS:  elapsed.Seconds(),
+		OfferedRPS: offered,
+		Ops:        make(map[string]OpStats, numOps),
+	}
+	var totalHist Histogram
+	var totalOutcomes [numOutcomes]int64
+	names := Ops()
+	for op := 0; op < numOps; op++ {
+		st := statsOf(&merged.hists[op], &merged.outcomes[op])
+		if st.Count > 0 {
+			res.Ops[names[op]] = st
+		}
+		totalHist.Merge(&merged.hists[op])
+		for c := 0; c < int(numOutcomes); c++ {
+			totalOutcomes[c] += merged.outcomes[op][c]
+		}
+	}
+	res.Total = statsOf(&totalHist, &totalOutcomes)
+	if res.DurationS > 0 {
+		res.AchievedRPS = float64(res.Total.OK) / res.DurationS
+	}
+	return res
+}
+
+// configInfo renders the normalised config echo of a sub-run.
+func configInfo(cfg Config) ConfigInfo {
+	return ConfigInfo{
+		URL:            cfg.URL,
+		Mode:           cfg.Mode,
+		Tenants:        cfg.Tenants,
+		Hosts:          cfg.Hosts,
+		Degree:         cfg.Degree,
+		Services:       cfg.Services,
+		Solver:         cfg.Solver,
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+		Rate:           cfg.Rate,
+		WorkerRate:     cfg.WorkerRate,
+		DurS:           cfg.Dur.Seconds(),
+		Ops:            cfg.Ops,
+		Mix:            cfg.Mix,
+		MaxIterations:  cfg.MaxIterations,
+		AssessRuns:     cfg.AssessRuns,
+		RequestTimeout: cfg.RequestTimeout.Seconds(),
+	}
+}
+
+// Validate checks the structural invariants of a report.
+func (r *Report) Validate() error {
+	if r == nil {
+		return fmt.Errorf("slam: nil report")
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("slam: report schema version %d, this build expects %d", r.SchemaVersion, SchemaVersion)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("slam: report has no runs")
+	}
+	return nil
+}
+
+// WriteFile writes the report as indented JSON with a trailing newline.
+func (r *Report) WriteFile(path string) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a report.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("slam: parsing %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("slam: %s: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,327 @@
+package slam
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netdiversity/internal/fastrand"
+)
+
+// Operation indices into per-worker recorder arrays, matching Ops() order.
+const (
+	opIdxRead = iota
+	opIdxDelta
+	opIdxMetrics
+	opIdxAssess
+	opIdxCreate
+	numOps
+)
+
+// recorder accumulates one worker's measurements: a latency histogram per
+// operation (successful requests only) and an outcome tally per operation.
+// Workers own their recorder exclusively during the run; the runner merges
+// them afterwards, so no measurement path takes a lock.
+type recorder struct {
+	hists    [numOps]Histogram
+	outcomes [numOps][numOutcomes]int64
+}
+
+// record accounts one completed request.
+func (r *recorder) record(op int, out opOutcome, d time.Duration) {
+	r.outcomes[op][out]++
+	if out == outcomeOK {
+		r.hists[op].Record(d)
+	}
+}
+
+// merge folds another recorder into r.
+func (r *recorder) merge(o *recorder) {
+	for op := 0; op < numOps; op++ {
+		r.hists[op].Merge(&o.hists[op])
+		for c := 0; c < int(numOutcomes); c++ {
+			r.outcomes[op][c] += o.outcomes[op][c]
+		}
+	}
+}
+
+// Run executes the config — every sub-run of its Vary axis in order — and
+// returns the assembled report.  onRun, when non-nil, observes each
+// completed sub-run (cmd/divslam uses it to print progress between long
+// sweep legs).
+func Run(ctx context.Context, cfg Config, onRun func(RunResult)) (*Report, error) {
+	subs, err := cfg.Expand()
+	if err != nil {
+		return nil, err
+	}
+	base := cfg.withDefaults()
+	rep := &Report{
+		SchemaVersion: SchemaVersion,
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		Mode:          base.Mode,
+		Vary:          base.Vary,
+	}
+	for i, sub := range subs {
+		res, err := runOne(ctx, sub)
+		if err != nil {
+			return nil, err
+		}
+		if base.Vary != "" {
+			res.VaryValue = base.Values[i]
+		}
+		rep.Runs = append(rep.Runs, res)
+		if onRun != nil {
+			onRun(res)
+		}
+	}
+	return rep, nil
+}
+
+// runOne executes one fully-expanded sub-run: dial the target, create the
+// tenant population (setup, untimed), drive the measured phase in the
+// configured load mode, and assemble the per-operation statistics.
+func runOne(ctx context.Context, cfg Config) (RunResult, error) {
+	tgt, err := dial(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer tgt.shutdown()
+	if err := tgt.waitReady(ctx); err != nil {
+		return RunResult{}, err
+	}
+	tenants, err := buildTenants(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	setupStart := time.Now()
+	if err := createTenants(ctx, cfg, tgt, tenants); err != nil {
+		return RunResult{}, err
+	}
+	setupMS := float64(time.Since(setupStart)) / float64(time.Millisecond)
+
+	weights, err := ParseMix(cfg.Mix)
+	if err != nil {
+		return RunResult{}, err
+	}
+	recs := make([]*recorder, cfg.Workers)
+	for i := range recs {
+		recs[i] = &recorder{}
+	}
+	var elapsed time.Duration
+	var offered float64
+	switch cfg.Mode {
+	case "open":
+		elapsed, offered, err = runOpen(ctx, cfg, tgt, tenants, weights, recs)
+	default:
+		elapsed, err = runClosed(ctx, cfg, tgt, tenants, weights, recs)
+	}
+	if err != nil {
+		return RunResult{}, err
+	}
+	return assemble(cfg, recs, setupMS, elapsed, offered), nil
+}
+
+// createTenants creates the tenant sessions through the HTTP surface with
+// bounded concurrency.  Setup failures are fatal: the measured phase needs
+// the whole population live.
+func createTenants(ctx context.Context, cfg Config, tgt *target, tenants []*tenant) error {
+	par := cfg.Workers
+	if par > 8 {
+		par = 8
+	}
+	if par < 1 {
+		par = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+		mu   sync.Mutex
+		errs []error
+	)
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tenants) || ctx.Err() != nil {
+					return
+				}
+				if err := tgt.post(ctx, "/v1/networks", tenants[i].createBody, http.StatusCreated); err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("slam: creating tenant %s: %w", tenants[i].id, err))
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return errs[0]
+	}
+	return ctx.Err()
+}
+
+// post issues one request and returns a descriptive error on any non-want
+// status — the setup path wants diagnostics, unlike the measured path's
+// outcome classes.
+func (t *target) post(ctx context.Context, path string, body []byte, want int) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != want {
+		return fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return nil
+}
+
+// pickOp draws one operation index from the mix weights.
+func pickOp(weights []int, total int, rng *fastrand.RNG) int {
+	n := rng.Intn(total)
+	for op, w := range weights {
+		if n < w {
+			return op
+		}
+		n -= w
+	}
+	return opIdxRead
+}
+
+// runClosed drives the closed-loop model: cfg.Workers workers, each issuing
+// its next request as soon as the previous returns, paced by the shared
+// total limiter and a per-worker limiter.  The run ends when the op budget
+// is spent, the duration elapses, or the context is cancelled — in-flight
+// requests complete and are recorded either way.
+func runClosed(ctx context.Context, cfg Config, tgt *target, tenants []*tenant, weights []int, recs []*recorder) (time.Duration, error) {
+	totalWeight := 0
+	for _, w := range weights {
+		totalWeight += w
+	}
+	totalLim := NewLimiter(cfg.Rate)
+	var budget atomic.Int64
+	budget.Store(int64(cfg.Ops))
+	var stopAt time.Time
+	if cfg.Dur > 0 {
+		stopAt = time.Now().Add(cfg.Dur)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := fastrand.New(fastrand.SplitmixAt(uint64(cfg.Seed), uint64(w)+1))
+			perLim := NewLimiter(cfg.WorkerRate)
+			rec := recs[w]
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				if !stopAt.IsZero() && !time.Now().Before(stopAt) {
+					return
+				}
+				if cfg.Ops > 0 && budget.Add(-1) < 0 {
+					return
+				}
+				if totalLim.Wait(ctx) != nil || perLim.Wait(ctx) != nil {
+					return
+				}
+				op := pickOp(weights, totalWeight, &rng)
+				tn := tenants[rng.Intn(len(tenants))]
+				reqSeed := int64(rng.Uint64() >> 1)
+				reqStart := time.Now()
+				out := tgt.issue(ctx, cfg, op, tn, reqSeed)
+				rec.record(op, out, time.Since(reqStart))
+				if op == opIdxCreate && out == outcomeOK {
+					tgt.cleanupTransient(ctx, reqSeed)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return time.Since(start), ctx.Err()
+}
+
+// openJob is one scheduled open-loop arrival.
+type openJob struct {
+	at      time.Time
+	op      int
+	tenant  *tenant
+	reqSeed int64
+}
+
+// runOpen drives the open-loop model: requests fire on the precomputed
+// Poisson schedule regardless of completions.  Latency is measured from the
+// scheduled arrival time, so when the server falls behind the offered rate
+// the wait in the dispatch queue is part of the number — the coordinated-
+// omission-free measurement that makes queueing collapse visible.
+func runOpen(ctx context.Context, cfg Config, tgt *target, tenants []*tenant, weights []int, recs []*recorder) (time.Duration, float64, error) {
+	totalWeight := 0
+	for _, w := range weights {
+		totalWeight += w
+	}
+	schedule := PoissonSchedule(cfg.Seed, cfg.Rate, cfg.Dur)
+	rng := fastrand.New(fastrand.SplitmixAt(uint64(cfg.Seed), 0))
+	jobs := make(chan openJob, len(schedule))
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rec := recs[w]
+			for job := range jobs {
+				if ctx.Err() != nil {
+					continue // drain the queue without issuing
+				}
+				out := tgt.issue(ctx, cfg, job.op, job.tenant, job.reqSeed)
+				rec.record(job.op, out, time.Since(job.at))
+				if job.op == opIdxCreate && out == outcomeOK {
+					tgt.cleanupTransient(ctx, job.reqSeed)
+				}
+			}
+		}(w)
+	}
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+dispatch:
+	for _, off := range schedule {
+		at := start.Add(off)
+		if d := time.Until(at); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				break dispatch
+			}
+		}
+		jobs <- openJob{ // never blocks: the channel holds the whole schedule
+			at:      at,
+			op:      pickOp(weights, totalWeight, &rng),
+			tenant:  tenants[rng.Intn(len(tenants))],
+			reqSeed: int64(rng.Uint64() >> 1),
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+	offered := float64(len(schedule)) / cfg.Dur.Seconds()
+	return elapsed, offered, ctx.Err()
+}

@@ -1,0 +1,212 @@
+package slam
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestParseMix covers the mix grammar.
+func TestParseMix(t *testing.T) {
+	weights, err := ParseMix(DefaultMix)
+	if err != nil {
+		t.Fatalf("default mix: %v", err)
+	}
+	if weights[opIdxRead] != 70 || weights[opIdxCreate] != 2 {
+		t.Fatalf("default mix parsed as %v", weights)
+	}
+	if _, err := ParseMix("read=100"); err != nil {
+		t.Errorf("single-op mix rejected: %v", err)
+	}
+	for _, bad := range []string{"", "read", "read=x", "read=-1", "bogus=1", "read=1,read=2", "read=0"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("mix %q accepted, want error", bad)
+		}
+	}
+}
+
+// TestConfigExpand covers defaults, validation and the Vary axis.
+func TestConfigExpand(t *testing.T) {
+	subs, err := Config{}.Expand()
+	if err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	if len(subs) != 1 || subs[0].Mode != "closed" || subs[0].Tenants != 4 || subs[0].Mix != DefaultMix {
+		t.Fatalf("zero config expanded to %+v", subs)
+	}
+
+	subs, err = Config{Vary: "tenants", Values: []string{"2", "8", "32"}}.Expand()
+	if err != nil {
+		t.Fatalf("vary tenants: %v", err)
+	}
+	if len(subs) != 3 || subs[0].Tenants != 2 || subs[2].Tenants != 32 {
+		t.Fatalf("vary tenants expanded to %+v", subs)
+	}
+	for _, sub := range subs {
+		if sub.Seed != subs[0].Seed {
+			t.Fatal("sub-runs must share the base seed")
+		}
+	}
+
+	subs, err = Config{Vary: "mix", Values: []string{"read=100", "delta=50,read=50"}}.Expand()
+	if err != nil {
+		t.Fatalf("vary mix: %v", err)
+	}
+	if subs[1].Mix != "delta=50,read=50" {
+		t.Fatalf("vary mix expanded to %+v", subs)
+	}
+
+	bad := []Config{
+		{Mode: "sideways"},
+		{Mode: "open"},                                 // open loop needs a rate
+		{Vary: "tenants"},                              // no values
+		{Vary: "bogus", Values: []string{"1"}},         // unknown field
+		{Vary: "tenants", Values: []string{"zero"}},    // unparsable value
+		{Values: []string{"1"}},                        // values without vary
+		{Vary: "mix", Values: []string{"nothing=bad"}}, // invalid swept mix
+		{Vary: "rate", Values: []string{"-3"}},         // negative rate
+	}
+	for _, cfg := range bad {
+		if _, err := cfg.Expand(); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+}
+
+// tinyConfig is the smallest config that still exercises every operation:
+// 3 tenants on 12-host networks, a fixed op budget so the run length is
+// deterministic, every op weighted in.
+func tinyConfig() Config {
+	return Config{
+		Tenants:  3,
+		Hosts:    12,
+		Degree:   4,
+		Services: 2,
+		Workers:  4,
+		Ops:      120,
+		Mix:      "read=50,delta=20,metrics=15,assess=10,create=5",
+		Seed:     7,
+	}
+}
+
+// TestClosedLoopRun drives a tiny closed-loop run end-to-end against an
+// in-process server and checks the report invariants: op budget honoured,
+// per-op stats present, latency fields populated, zero errors.
+func TestClosedLoopRun(t *testing.T) {
+	rep, err := Run(context.Background(), tinyConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 {
+		t.Fatalf("%d runs, want 1", len(rep.Runs))
+	}
+	res := rep.Runs[0]
+	if res.Total.Count != 120 {
+		t.Errorf("total count %d, want the op budget 120", res.Total.Count)
+	}
+	if res.Total.Errors != 0 {
+		t.Errorf("unloaded tiny run recorded %d errors: %+v", res.Total.Errors, res.Total)
+	}
+	if res.Total.P50MS <= 0 || res.Total.P99MS < res.Total.P50MS || res.Total.P999MS < res.Total.P99MS {
+		t.Errorf("quantiles inconsistent: p50=%v p99=%v p999=%v", res.Total.P50MS, res.Total.P99MS, res.Total.P999MS)
+	}
+	if res.AchievedRPS <= 0 || res.SetupMS <= 0 || res.DurationS <= 0 {
+		t.Errorf("throughput/setup/duration not populated: %+v", res)
+	}
+	if _, ok := res.Ops[OpRead]; !ok {
+		t.Errorf("read op missing from per-op stats: %v", res.Ops)
+	}
+	var opSum int64
+	for _, st := range res.Ops {
+		opSum += st.Count
+	}
+	if opSum != res.Total.Count {
+		t.Errorf("per-op counts sum to %d, total %d", opSum, res.Total.Count)
+	}
+}
+
+// TestOpenLoopRun drives a short open-loop run at a modest offered rate and
+// checks the offered/achieved accounting.
+func TestOpenLoopRun(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Mode = "open"
+	cfg.Ops = 0
+	cfg.Rate = 150
+	cfg.Dur = time.Second
+	rep, err := Run(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Runs[0]
+	if res.OfferedRPS < 100 || res.OfferedRPS > 200 {
+		t.Errorf("offered rate %v, want ~150", res.OfferedRPS)
+	}
+	if res.Total.Count == 0 {
+		t.Error("open-loop run issued no requests")
+	}
+	if res.Total.Errors != 0 {
+		t.Errorf("unloaded open-loop run recorded %d errors", res.Total.Errors)
+	}
+}
+
+// TestRunReportRoundTrip writes a report and reads it back.
+func TestRunReportRoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Ops = 40
+	rep, err := Run(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "slam.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(got)
+	if string(a) != string(b) {
+		t.Error("report changed across a write/read round trip")
+	}
+}
+
+// TestRunVarySweep checks a Vary sweep produces one RunResult per value with
+// the value recorded, and the onRun callback observes each sub-run.
+func TestRunVarySweep(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Ops = 30
+	cfg.Vary = "tenants"
+	cfg.Values = []string{"2", "3"}
+	var seen []string
+	rep, err := Run(context.Background(), cfg, func(r RunResult) { seen = append(seen, r.VaryValue) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("%d runs, want 2", len(rep.Runs))
+	}
+	if rep.Runs[0].VaryValue != "2" || rep.Runs[1].VaryValue != "3" {
+		t.Errorf("vary values %q, %q", rep.Runs[0].VaryValue, rep.Runs[1].VaryValue)
+	}
+	if rep.Runs[0].Config.Tenants != 2 || rep.Runs[1].Config.Tenants != 3 {
+		t.Errorf("config echo tenants %d, %d", rep.Runs[0].Config.Tenants, rep.Runs[1].Config.Tenants)
+	}
+	if len(seen) != 2 {
+		t.Errorf("onRun observed %d sub-runs, want 2", len(seen))
+	}
+}
+
+// TestSessionLimit429 drives creates against a server sized below the
+// tenant population's needs indirectly: a remote-mode run against a
+// one-session in-process server must surface 429s in the accounting rather
+// than abort.  Covered through the outcome classifier on a canned server in
+// client_test.go; here we just pin the outcome mapping.
+func TestOutcomeMapping(t *testing.T) {
+	if numOutcomes != 6 {
+		t.Fatalf("outcome classes changed (%d); update OpStats accounting", numOutcomes)
+	}
+}

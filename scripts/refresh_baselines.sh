@@ -26,6 +26,9 @@ go run ./cmd/divbench -suite churn -out BENCH_churn.json
 echo "==> serve suite -> BENCH_serve.json"
 go run ./cmd/divbench -suite serve -out BENCH_serve.json
 
+echo "==> slam suite -> BENCH_slam.json"
+go run ./cmd/divbench -suite slam -out BENCH_slam.json
+
 if [ "$skip_scale" = 0 ]; then
   echo "==> scale suite -> BENCH_scale.json"
   go run ./cmd/divbench -suite scale -out BENCH_scale.json
