@@ -201,15 +201,15 @@ func printSummary(out io.Writer, rep *scenario.Report) {
 	}
 	if slam {
 		fmt.Fprintf(out, "\nslam: closed-loop multi-tenant load (p99 under contention)\n")
-		fmt.Fprintf(out, "%-*s  %7s  %6s  %8s  %9s  %10s  %9s\n",
-			idWidth, "cell", "tenants", "errors", "rps", "read p99", "delta p99", "p999")
+		fmt.Fprintf(out, "%-*s  %5s  %6s  %8s  %9s  %10s  %9s  %9s\n",
+			idWidth, "cell", "t/w", "errors", "rps", "read p99", "delta p99", "p999", "alloc/op")
 		for _, c := range rep.Cells {
 			if c.SlamOps == 0 {
 				continue
 			}
-			fmt.Fprintf(out, "%-*s  %7d  %6d  %8.1f  %7.2fms  %8.2fms  %7.2fms\n",
-				idWidth, c.ID, c.SlamTenants, c.SlamErrors, c.SlamRPS,
-				c.SlamReadP99MS, c.SlamDeltaP99MS, c.SlamP999MS)
+			fmt.Fprintf(out, "%-*s  %2d/%-2d  %6d  %8.1f  %7.2fms  %8.2fms  %7.2fms  %8.0fB\n",
+				idWidth, c.ID, c.SlamTenants, c.SlamWorkers, c.SlamErrors, c.SlamRPS,
+				c.SlamReadP99MS, c.SlamDeltaP99MS, c.SlamP999MS, c.SlamAllocPerOp)
 		}
 	}
 	if !churn {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	divd [-addr :8080] [-shards 8] [-solve-workers N] [-request-timeout 30s]
-//	     [-max-sessions 1024] [-preload spec.json,spec2.json]
+//	     [-max-sessions 1024] [-preload spec.json,spec2.json] [-pprof addr]
 //
 // Endpoints (all under /v1):
 //
@@ -22,7 +22,10 @@
 //
 // -preload creates one session per comma-separated spec file at startup
 // (IDs preload-0, preload-1, ... with the paper similarity table), so a
-// fleet can come up already serving.  On SIGINT/SIGTERM the daemon drains:
+// fleet can come up already serving.  -pprof serves net/http/pprof on a
+// second listener with its own mux — the profiling surface is never mounted
+// on the public API mux, so exposing the API never exposes the profiler.
+// On SIGINT/SIGTERM the daemon drains:
 // new state-changing requests get 503 while in-flight solves finish, then
 // the listener closes.
 package main
@@ -35,6 +38,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -70,6 +74,7 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		maxBody      = fs.Int64("max-request-bytes", 8<<20, "maximum request body size in bytes")
 		preload      = fs.String("preload", "", "comma-separated netmodel spec files to create sessions from at startup")
 		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (separate listener and mux; empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +98,24 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		return err
 	}
 	fmt.Fprintf(out, "divd listening on %s\n", ln.Addr())
+
+	// The profiler gets its own listener and mux: pprof handlers are
+	// deliberately kept off the API mux so they share none of its exposure.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		defer pln.Close()
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(out, "divd pprof on %s\n", pln.Addr())
+		go func() { _ = (&http.Server{Handler: pmux}).Serve(pln) }()
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

@@ -188,6 +188,62 @@ func TestDaemonPreload(t *testing.T) {
 	}
 }
 
+// TestDaemonPprof boots the daemon with -pprof and checks the profiler is
+// served on its own listener — and is absent from the public API mux.
+func TestDaemonPprof(t *testing.T) {
+	var out syncBuffer
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-pprof", "127.0.0.1:0"}, &out, stop)
+	}()
+	var base, pprofBase string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && (base == "" || pprofBase == "") {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if addr, ok := strings.CutPrefix(line, "divd listening on "); ok {
+				base = "http://" + strings.TrimSpace(addr)
+			}
+			if addr, ok := strings.CutPrefix(line, "divd pprof on "); ok {
+				pprofBase = "http://" + strings.TrimSpace(addr)
+			}
+		}
+		if base == "" || pprofBase == "" {
+			select {
+			case err := <-done:
+				t.Fatalf("daemon exited early: %v (output: %s)", err, out.String())
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+	if base == "" || pprofBase == "" {
+		t.Fatalf("daemon never reported both addresses (output: %s)", out.String())
+	}
+	defer func() {
+		close(stop)
+		if err := <-done; err != nil {
+			t.Fatalf("daemon shutdown: %v", err)
+		}
+	}()
+
+	resp, err := http.Get(pprofBase + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index on pprof listener: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof reachable on the API mux: status %d", resp.StatusCode)
+	}
+}
+
 // TestDaemonBadFlags pins flag-parse failures to an error return.
 func TestDaemonBadFlags(t *testing.T) {
 	var out syncBuffer

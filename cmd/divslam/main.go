@@ -168,4 +168,22 @@ func printRun(out io.Writer, r slam.RunResult) {
 		fmt.Fprintf(out, "  errors: %d×429 %d×503 %d×504 %d×other %d×transport\n",
 			st.Status429, st.Status503, st.Status504, st.StatusOther, st.TransportErrors)
 	}
+	if r.Mem != nil {
+		fmt.Fprintf(out, "  mem: %s alloc (%s/op), %d GCs, max pause %.2f ms\n",
+			formatBytes(r.Mem.AllocBytes), formatBytes(uint64(r.Mem.AllocBytesPerOp)), r.Mem.GCCount, r.Mem.MaxPauseMS)
+	}
+}
+
+// formatBytes renders a byte count with a binary unit suffix.
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
 }

@@ -46,8 +46,14 @@ func TestRunStdoutReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), `"schema_version": 1`) {
+	if !strings.Contains(buf.String(), `"schema_version": 2`) {
 		t.Errorf("stdout missing the JSON report:\n%s", buf.String())
+	}
+	// In-process runs carry the MemStats sample in the summary and report.
+	for _, want := range []string{"mem: ", `"alloc_bytes"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, buf.String())
+		}
 	}
 }
 

@@ -43,16 +43,36 @@ const (
 // never touched, so a failed or cancelled churn step keeps serving the last
 // good assignment.
 func (o *Optimizer) ApplyDelta(d netmodel.Delta) error {
-	if err := d.Validate(); err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	for i, op := range d.Ops {
-		if err := o.applyOp(op); err != nil {
-			o.invalidateProblem()
-			return fmt.Errorf("core: delta op %d (%s): %w", i, op.Op, err)
+	return o.ApplyDeltaBatch([]netmodel.Delta{d})
+}
+
+// ApplyDeltaBatch applies several deltas as one mutation batch: every op of
+// every delta is threaded through the network and the live MRF exactly as
+// ApplyDelta would, but the tombstone-pressure compaction check runs once at
+// the end instead of once per delta — a serving layer coalescing queued
+// deltas pays one bounded rebuild per batch in the worst case instead of N.
+// Error semantics match ApplyDelta: on failure the network may be left with
+// a prefix of the batch applied and the cached MRF is invalidated (callers
+// pre-validate with netmodel.BatchChecker to rule this out); the previous
+// solution is never touched.
+func (o *Optimizer) ApplyDeltaBatch(deltas []netmodel.Delta) error {
+	for _, d := range deltas {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
 		}
 	}
-	if o.prob != nil {
+	for di, d := range deltas {
+		for i, op := range d.Ops {
+			if err := o.applyOp(op); err != nil {
+				o.invalidateProblem()
+				if len(deltas) > 1 {
+					return fmt.Errorf("core: delta %d op %d (%s): %w", di, i, op.Op, err)
+				}
+				return fmt.Errorf("core: delta op %d (%s): %w", i, op.Op, err)
+			}
+		}
+	}
+	if len(deltas) > 0 && o.prob != nil {
 		o.pendingDeltas = true
 		if p := o.prob; float64(p.deadCount) > rebuildDeadFraction*float64(len(p.vars)) {
 			return o.rebuildCompacted()

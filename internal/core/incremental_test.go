@@ -424,3 +424,50 @@ func TestReoptimizeAfterIsolatedHostRemoval(t *testing.T) {
 		t.Fatalf("energy %v not reduced by the removed host's unary term (was %v)", res.Energy, first.Energy)
 	}
 }
+
+// TestApplyDeltaBatchMatchesSerialApply pins the batch entry point against
+// the serial one: N deltas applied through one ApplyDeltaBatch must leave
+// the optimiser in the same state as N ApplyDelta calls — identical
+// assignment and energy after the shared Reoptimize.  This is the substrate
+// the serving plane's delta coalescing builds on.
+func TestApplyDeltaBatchMatchesSerialApply(t *testing.T) {
+	for _, seed := range []int64{11, 12} {
+		net, sim := churnFixture(t, 40, seed)
+		mkOpt := func() *Optimizer {
+			opt, err := NewOptimizer(net.Clone(), sim, Options{MaxIterations: 10, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := opt.Optimize(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			return opt
+		}
+		serial, batch := mkOpt(), mkOpt()
+		rng := rand.New(rand.NewSource(seed * 131))
+		deltas := make([]netmodel.Delta, 3)
+		for i := range deltas {
+			deltas[i] = randomDelta(t, serial.net, rng)
+			if err := serial.ApplyDelta(deltas[i]); err != nil {
+				t.Fatalf("seed %d: serial ApplyDelta %d: %v", seed, i, err)
+			}
+		}
+		if err := batch.ApplyDeltaBatch(deltas); err != nil {
+			t.Fatalf("seed %d: ApplyDeltaBatch: %v", seed, err)
+		}
+		sres, err := serial.Reoptimize(context.Background())
+		if err != nil {
+			t.Fatalf("seed %d: serial Reoptimize: %v", seed, err)
+		}
+		bres, err := batch.Reoptimize(context.Background())
+		if err != nil {
+			t.Fatalf("seed %d: batch Reoptimize: %v", seed, err)
+		}
+		if math.Abs(sres.Energy-bres.Energy) > 1e-9 {
+			t.Fatalf("seed %d: serial energy %v != batch energy %v", seed, sres.Energy, bres.Energy)
+		}
+		if !sres.Assignment.Equal(bres.Assignment) {
+			t.Fatalf("seed %d: serial and batch assignments differ", seed)
+		}
+	}
+}

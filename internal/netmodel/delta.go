@@ -109,16 +109,61 @@ func (d Delta) Validate() error {
 // dependencies (an op referencing a host added or removed earlier in the
 // same delta) validate correctly, in O(ops) regardless of network size.
 func (d Delta) Check(n *Network) error {
-	// overlay records host-existence changes made by earlier ops of this
-	// delta; hosts not present fall through to the network.
-	overlay := make(map[HostID]bool)
-	exists := func(id HostID) bool {
-		if v, ok := overlay[id]; ok {
-			return v
-		}
-		_, ok := n.hosts[id]
-		return ok
+	return NewBatchChecker(n).Check(d)
+}
+
+// BatchChecker validates a sequence of deltas against a network plus the
+// accumulated effect of the deltas already accepted through it, without
+// mutating the network.  It is the batch form of Delta.Check: a serving
+// layer coalescing queued deltas into one apply/re-solve cycle validates
+// each delta against the state it would see if the earlier deltas of the
+// batch had landed, preserving the per-delta all-or-nothing contract — a
+// delta that fails Check leaves the checker's overlay exactly as it was, so
+// later deltas validate as if the rejected one never existed.
+//
+// The overlay tracks host existence only, which is the complete mutable
+// state Apply's error conditions depend on: edge re-adds and missing-edge
+// removes are no-ops, and service-set validation is self-contained.
+type BatchChecker struct {
+	n *Network
+	// overlay records host-existence changes made by accepted deltas;
+	// hosts not present fall through to the network.
+	overlay map[HostID]bool
+	// staged holds the current delta's tentative changes, merged into
+	// overlay only when the whole delta validates.  Kept across calls so a
+	// long batch reuses one allocation.
+	staged map[HostID]bool
+}
+
+// NewBatchChecker starts a validation batch against the network's current
+// state.  The checker holds no reference-independent snapshot: callers must
+// not mutate the network between Check calls of one batch other than by
+// applying the accepted deltas in order.
+func NewBatchChecker(n *Network) *BatchChecker {
+	return &BatchChecker{
+		n:       n,
+		overlay: make(map[HostID]bool),
+		staged:  make(map[HostID]bool),
 	}
+}
+
+// exists resolves a host ID through staged, then overlay, then the network.
+func (b *BatchChecker) exists(id HostID) bool {
+	if v, ok := b.staged[id]; ok {
+		return v
+	}
+	if v, ok := b.overlay[id]; ok {
+		return v
+	}
+	_, ok := b.n.hosts[id]
+	return ok
+}
+
+// Check validates the next delta of the batch.  On success the delta's
+// host-existence effects are committed to the checker, so subsequent deltas
+// see them; on failure the checker is left untouched.
+func (b *BatchChecker) Check(d Delta) error {
+	clear(b.staged)
 	for i, op := range d.Ops {
 		fail := func(err error) error {
 			return fmt.Errorf("netmodel: delta op %d (%s): %w", i, op.Op, err)
@@ -128,35 +173,38 @@ func (d Delta) Check(n *Network) error {
 		}
 		switch op.Op {
 		case OpAddHost:
-			if exists(op.Host.ID) {
+			if b.exists(op.Host.ID) {
 				return fail(fmt.Errorf("%w: %q", ErrDuplicateHost, op.Host.ID))
 			}
 			if err := validateServiceSet(op.Host.ID, op.Host.Services, op.Host.Choices); err != nil {
 				return fail(err)
 			}
-			overlay[op.Host.ID] = true
+			b.staged[op.Host.ID] = true
 		case OpRemoveHost:
-			if !exists(op.ID) {
+			if !b.exists(op.ID) {
 				return fail(fmt.Errorf("%w: %q", ErrUnknownHost, op.ID))
 			}
-			overlay[op.ID] = false
+			b.staged[op.ID] = false
 		case OpAddEdge, OpRemoveEdge:
 			if op.Op == OpAddEdge && op.A == op.B {
 				return fail(fmt.Errorf("%w: %q", ErrSelfLink, op.A))
 			}
 			for _, id := range [2]HostID{op.A, op.B} {
-				if !exists(id) {
+				if !b.exists(id) {
 					return fail(fmt.Errorf("%w: %q", ErrUnknownHost, id))
 				}
 			}
 		case OpUpdateHostServices:
-			if !exists(op.ID) {
+			if !b.exists(op.ID) {
 				return fail(fmt.Errorf("%w: %q", ErrUnknownHost, op.ID))
 			}
 			if err := validateServiceSet(op.ID, op.Services, op.Choices); err != nil {
 				return fail(err)
 			}
 		}
+	}
+	for id, v := range b.staged {
+		b.overlay[id] = v
 	}
 	return nil
 }

@@ -246,3 +246,81 @@ func TestDeltaApplyErrors(t *testing.T) {
 		t.Fatal("earlier op rolled back; journal replay should be prefix-applied")
 	}
 }
+
+// TestBatchCheckerCrossDeltaOverlay pins the batch contract: each delta of a
+// batch validates against the network plus the accumulated effect of the
+// previously accepted deltas, and serial Check+Apply of the accepted deltas
+// agrees with the batch checker's verdicts.
+func TestBatchCheckerCrossDeltaOverlay(t *testing.T) {
+	newHost := func(id HostID) *HostSpec {
+		return &HostSpec{ID: id, Services: []ServiceID{"os"}, Choices: map[ServiceID][]ProductID{"os": {"linux"}}}
+	}
+	n := deltaTestNetwork(t)
+	b := NewBatchChecker(n)
+
+	// Delta 1 adds host d: accepted.
+	d1 := Delta{Ops: []DeltaOp{{Op: OpAddHost, Host: newHost("d")}}}
+	if err := b.Check(d1); err != nil {
+		t.Fatalf("delta 1: %v", err)
+	}
+	// Delta 2 wires d into the graph: only valid because delta 1's add is
+	// visible through the overlay.
+	d2 := Delta{Ops: []DeltaOp{{Op: OpAddEdge, A: "a", B: "d"}}}
+	if err := b.Check(d2); err != nil {
+		t.Fatalf("delta 2: %v", err)
+	}
+	// Delta 3 re-adds d: must be rejected as a duplicate (overlay says it
+	// exists even though the network does not).
+	d3 := Delta{Ops: []DeltaOp{{Op: OpAddHost, Host: newHost("d")}}}
+	if err := b.Check(d3); err == nil {
+		t.Fatal("duplicate add through the overlay accepted")
+	}
+	// Delta 4 removes d: still valid — the rejected delta 3 must not have
+	// disturbed the overlay.
+	d4 := Delta{Ops: []DeltaOp{{Op: OpRemoveHost, ID: "d"}}}
+	if err := b.Check(d4); err != nil {
+		t.Fatalf("delta 4 after rejected delta 3: %v", err)
+	}
+	// Delta 5 references the now-removed d: rejected.
+	d5 := Delta{Ops: []DeltaOp{{Op: OpAddEdge, A: "b", B: "d"}}}
+	if err := b.Check(d5); err == nil {
+		t.Fatal("edge to batch-removed host accepted")
+	}
+
+	// The batch checker never touched the network.
+	if n.NumHosts() != 3 || n.NumLinks() != 2 {
+		t.Fatalf("checker mutated the network: %d hosts %d links", n.NumHosts(), n.NumLinks())
+	}
+	// Replaying the accepted deltas serially agrees with the verdicts.
+	for i, d := range []Delta{d1, d2, d4} {
+		if err := d.Apply(n); err != nil {
+			t.Fatalf("accepted delta %d failed to apply: %v", i, err)
+		}
+	}
+	if err := d5.Check(n); err == nil {
+		t.Fatal("rejected delta validates after serial replay")
+	}
+}
+
+// TestBatchCheckerFailedDeltaDiscardsStage pins that a delta failing halfway
+// through (a valid prefix before the failing op) leaves no trace in the
+// checker — the per-delta all-or-nothing contract.
+func TestBatchCheckerFailedDeltaDiscardsStage(t *testing.T) {
+	newHost := func(id HostID) *HostSpec {
+		return &HostSpec{ID: id, Services: []ServiceID{"os"}, Choices: map[ServiceID][]ProductID{"os": {"linux"}}}
+	}
+	n := deltaTestNetwork(t)
+	b := NewBatchChecker(n)
+	// Adds x (valid prefix) then fails on a ghost host.
+	bad := Delta{Ops: []DeltaOp{
+		{Op: OpAddHost, Host: newHost("x")},
+		{Op: OpRemoveHost, ID: "ghost"},
+	}}
+	if err := b.Check(bad); err == nil {
+		t.Fatal("delta with failing op accepted")
+	}
+	// x must not exist in the overlay: re-adding it is valid.
+	if err := b.Check(Delta{Ops: []DeltaOp{{Op: OpAddHost, Host: newHost("x")}}}); err != nil {
+		t.Fatalf("staged add leaked out of a rejected delta: %v", err)
+	}
+}

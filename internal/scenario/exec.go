@@ -98,9 +98,15 @@ type Measurement struct {
 	// invariant histograms: SlamReadP50/P99MS the lock-free snapshot read,
 	// SlamDeltaP50/P99MS the incremental re-optimisation path, SlamP999MS
 	// the tail over all operations.
+	// SlamProfile names the load shape ("base" cells omit it for baseline
+	// continuity); SlamAllocPerOp/SlamGCCount/SlamMaxPauseMS report the
+	// in-process heap pressure of the measured phase (bytes allocated per
+	// completed request, GC cycles, longest pause), so serve-path
+	// allocation regressions gate alongside latency.
 	SlamTenants    int     `json:"slam_tenants,omitempty"`
 	SlamWorkers    int     `json:"slam_workers,omitempty"`
 	SlamOps        int64   `json:"slam_ops,omitempty"`
+	SlamProfile    string  `json:"slam_profile,omitempty"`
 	SlamErrors     int64   `json:"slam_errors,omitempty"`
 	SlamRPS        float64 `json:"slam_rps,omitempty"`
 	SlamSetupMS    float64 `json:"slam_setup_ms,omitempty"`
@@ -109,6 +115,9 @@ type Measurement struct {
 	SlamDeltaP50MS float64 `json:"slam_delta_p50_ms,omitempty"`
 	SlamDeltaP99MS float64 `json:"slam_delta_p99_ms,omitempty"`
 	SlamP999MS     float64 `json:"slam_p999_ms,omitempty"`
+	SlamAllocPerOp float64 `json:"slam_alloc_per_op,omitempty"`
+	SlamGCCount    uint32  `json:"slam_gc_count,omitempty"`
+	SlamMaxPauseMS float64 `json:"slam_max_pause_ms,omitempty"`
 
 	// Scale fields (present only on graph-direct multilevel cells):
 	// CoarsenMS is the wall-clock of the hierarchy build inside the solve,
@@ -280,6 +289,9 @@ func Exec(ctx context.Context, net *netmodel.Network, sim *vulnsim.SimilarityTab
 		meta.SlamTenants = sb.tenants
 		meta.SlamWorkers = sb.workers
 		meta.SlamOps = sb.ops
+		if c.SlamProfile != "" && c.SlamProfile != SlamProfileBase {
+			meta.SlamProfile = c.SlamProfile
+		}
 		meta.SlamErrors = sb.errors
 		meta.SlamRPS = sb.rps
 		meta.SlamSetupMS = sb.setupMS
@@ -288,6 +300,9 @@ func Exec(ctx context.Context, net *netmodel.Network, sim *vulnsim.SimilarityTab
 		meta.SlamDeltaP50MS = sb.deltaP50MS
 		meta.SlamDeltaP99MS = sb.deltaP99MS
 		meta.SlamP999MS = sb.p999MS
+		meta.SlamAllocPerOp = sb.allocPerOp
+		meta.SlamGCCount = sb.gcCount
+		meta.SlamMaxPauseMS = sb.maxPauseMS
 	}
 
 	if !c.Churn.None() {

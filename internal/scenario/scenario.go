@@ -110,6 +110,15 @@ type Matrix struct {
 	SlamTenants int
 	SlamWorkers int
 	SlamOps     int
+	// SlamProfiles is the load-shape axis of the slam phase: every slam
+	// cell expands into one run per named profile.  "base" uses
+	// SlamTenants/SlamWorkers/SlamOps with the default mix and keeps the
+	// historical cell ID; "contended" oversubscribes the per-session writer
+	// slots (more workers than tenants, delta-heavy mix) and suffixes the
+	// cell ID with /slam-contended, so the gate exercises write-side
+	// queueing that the balanced base shape never produces.  Default
+	// {"base"}.
+	SlamProfiles []string
 	// AttackRuns is the Monte-Carlo run count for the adversary-knowledge
 	// attack models.  Default 50 (the analytic models ignore it).
 	AttackRuns int
@@ -176,8 +185,39 @@ func (m Matrix) withDefaults() Matrix {
 		if m.SlamOps <= 0 {
 			m.SlamOps = 400
 		}
+		if len(m.SlamProfiles) == 0 {
+			m.SlamProfiles = []string{SlamProfileBase}
+		}
 	}
 	return m
+}
+
+// The named slam load shapes (Matrix.SlamProfiles).
+const (
+	SlamProfileBase      = "base"
+	SlamProfileContended = "contended"
+)
+
+// slamShape is one resolved slam load shape.
+type slamShape struct {
+	tenants, workers, ops int
+	mix                   string // empty = slam.DefaultMix
+}
+
+// slamShapeOf resolves a profile name against a defaulted matrix.  The
+// contended shape is fixed (not derived from the matrix sizes): four tenant
+// sessions under sixteen workers of a delta-heavy mix keep several requests
+// queued behind every session's writer slot for the whole run, and a fixed
+// shape keeps the cell comparable across suite edits.
+func slamShapeOf(m Matrix, profile string) (slamShape, error) {
+	switch profile {
+	case "", SlamProfileBase:
+		return slamShape{tenants: m.SlamTenants, workers: m.SlamWorkers, ops: m.SlamOps}, nil
+	case SlamProfileContended:
+		return slamShape{tenants: 4, workers: 16, ops: 600, mix: "read=50,delta=45,metrics=5"}, nil
+	}
+	return slamShape{}, fmt.Errorf("scenario: unknown slam profile %q (known: %s, %s)",
+		profile, SlamProfileBase, SlamProfileContended)
 }
 
 // Cell is one fully-specified run of the matrix.
@@ -219,12 +259,17 @@ type Cell struct {
 	// phases (inherited from Matrix.ServeLatency).
 	Serve bool
 	// Slam runs the closed-loop multi-tenant load run after the regular
-	// phases; SlamTenants/SlamWorkers/SlamOps size it (inherited from the
-	// matrix).
+	// phases; SlamTenants/SlamWorkers/SlamOps size it and SlamMix selects
+	// the operation mix (empty = default), all resolved from the matrix's
+	// slam profile.  SlamProfile records which named shape produced the
+	// cell ("base" shapes keep the historical cell ID; every other profile
+	// suffixes it).
 	Slam        bool
 	SlamTenants int
 	SlamWorkers int
 	SlamOps     int
+	SlamProfile string
+	SlamMix     string
 	// DisablePolish skips the local ICM refinement after solving; not a
 	// matrix axis, but callers building cells directly (the solver ablation,
 	// the convergence trace) use it to measure the raw decoding.
@@ -326,6 +371,19 @@ func Expand(m Matrix) ([]Cell, error) {
 		}
 	}
 
+	profiles := m.SlamProfiles
+	if len(profiles) == 0 {
+		profiles = []string{SlamProfileBase}
+	}
+	shapes := make([]slamShape, len(profiles))
+	for i, p := range profiles {
+		sh, err := slamShapeOf(m, p)
+		if err != nil {
+			return nil, err
+		}
+		shapes[i] = sh
+	}
+
 	var cells []Cell
 	for _, topo := range m.Topologies {
 		for _, hosts := range m.Hosts {
@@ -334,35 +392,42 @@ func Expand(m Matrix) ([]Cell, error) {
 					for _, solver := range m.Solvers {
 						for _, attack := range attacks {
 							for _, churn := range churns {
-								id := cellID(topo, hosts, degree, services, solver, attack.String(), churn.String())
-								instance := fmt.Sprintf("%s/h%d/d%d/s%d", topo, hosts, degree, services)
-								cells = append(cells, Cell{
-									Index:              len(cells),
-									ID:                 id,
-									Topology:           topo,
-									Hosts:              hosts,
-									Degree:             degree,
-									Services:           services,
-									ProductsPerService: m.ProductsPerService,
-									Solver:             solver,
-									Attack:             attack,
-									Churn:              churn,
-									Seed:               cellSeed(m.Seed, id),
-									GraphSeed:          cellSeed(m.Seed, instance),
-									MaxIterations:      m.MaxIterations,
-									Parts:              m.Parts,
-									DisableWarmStart:   m.DisableWarmStart,
-									Serve:              m.ServeLatency,
-									Slam:               m.SlamLoad,
-									SlamTenants:        m.SlamTenants,
-									SlamWorkers:        m.SlamWorkers,
-									SlamOps:            m.SlamOps,
-									AttackRuns:         m.AttackRuns,
-									Repeats:            m.Repeats,
-									Timeout:            m.Timeout,
-									SolverWorkers:      m.SolverWorkers,
-									GraphDirect:        m.GraphDirect,
-								})
+								for pi, profile := range profiles {
+									id := cellID(topo, hosts, degree, services, solver, attack.String(), churn.String())
+									if profile != SlamProfileBase {
+										id += "/slam-" + profile
+									}
+									instance := fmt.Sprintf("%s/h%d/d%d/s%d", topo, hosts, degree, services)
+									cells = append(cells, Cell{
+										Index:              len(cells),
+										ID:                 id,
+										Topology:           topo,
+										Hosts:              hosts,
+										Degree:             degree,
+										Services:           services,
+										ProductsPerService: m.ProductsPerService,
+										Solver:             solver,
+										Attack:             attack,
+										Churn:              churn,
+										Seed:               cellSeed(m.Seed, id),
+										GraphSeed:          cellSeed(m.Seed, instance),
+										MaxIterations:      m.MaxIterations,
+										Parts:              m.Parts,
+										DisableWarmStart:   m.DisableWarmStart,
+										Serve:              m.ServeLatency,
+										Slam:               m.SlamLoad,
+										SlamTenants:        shapes[pi].tenants,
+										SlamWorkers:        shapes[pi].workers,
+										SlamOps:            shapes[pi].ops,
+										SlamProfile:        profile,
+										SlamMix:            shapes[pi].mix,
+										AttackRuns:         m.AttackRuns,
+										Repeats:            m.Repeats,
+										Timeout:            m.Timeout,
+										SolverWorkers:      m.SolverWorkers,
+										GraphDirect:        m.GraphDirect,
+									})
+								}
 							}
 						}
 					}

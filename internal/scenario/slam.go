@@ -20,6 +20,11 @@ type slamBench struct {
 	deltaP50MS float64
 	deltaP99MS float64
 	p999MS     float64
+	// Allocation/GC pressure of the measured phase (the in-process server
+	// shares the heap with the load workers; see slam.MemReport).
+	allocPerOp float64
+	gcCount    uint32
+	maxPauseMS float64
 }
 
 // runSlamBench drives a closed-loop multi-tenant load run against an
@@ -39,6 +44,7 @@ func runSlamBench(ctx context.Context, c Cell) (slamBench, error) {
 		Seed:           c.Seed,
 		Workers:        c.SlamWorkers,
 		Ops:            c.SlamOps,
+		Mix:            c.SlamMix,
 		MaxIterations:  c.MaxIterations,
 		AssessRuns:     10,
 		RequestTimeout: c.Timeout,
@@ -64,6 +70,11 @@ func runSlamBench(ctx context.Context, c Cell) (slamBench, error) {
 	if st, ok := res.Ops[slam.OpDelta]; ok {
 		out.deltaP50MS = st.P50MS
 		out.deltaP99MS = st.P99MS
+	}
+	if res.Mem != nil {
+		out.allocPerOp = res.Mem.AllocBytesPerOp
+		out.gcCount = res.Mem.GCCount
+		out.maxPauseMS = res.Mem.MaxPauseMS
 	}
 	return out, nil
 }

@@ -75,6 +75,52 @@ func TestSlamMatrixDefaults(t *testing.T) {
 	}
 }
 
+// TestSlamProfileExpansion pins the profile axis: the base profile keeps
+// the historical cell ID and the matrix's shape, the contended profile gets
+// its own suffixed ID (hence its own derived seed), the fixed oversubscribed
+// shape and the delta-heavy mix.
+func TestSlamProfileExpansion(t *testing.T) {
+	cells, err := Expand(Matrix{
+		Name:         "slam",
+		Hosts:        []int{50},
+		Solvers:      []string{"trws"},
+		Attacks:      []string{"none"},
+		SlamLoad:     true,
+		SlamProfiles: []string{SlamProfileBase, SlamProfileContended},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expected 2 cells, got %d", len(cells))
+	}
+	base, cont := cells[0], cells[1]
+	if base.ID != "uniform/h50/d8/s3/trws/none" {
+		t.Fatalf("base profile changed the historical cell ID: %q", base.ID)
+	}
+	if base.SlamTenants != 6 || base.SlamWorkers != 4 || base.SlamOps != 400 || base.SlamMix != "" {
+		t.Fatalf("base shape: %+v", base)
+	}
+	if cont.ID != "uniform/h50/d8/s3/trws/none/slam-contended" {
+		t.Fatalf("contended cell ID: %q", cont.ID)
+	}
+	if cont.SlamWorkers <= cont.SlamTenants {
+		t.Fatalf("contended shape must oversubscribe the writer slots: %d workers, %d tenants",
+			cont.SlamWorkers, cont.SlamTenants)
+	}
+	if cont.SlamMix == "" {
+		t.Fatal("contended profile must set a delta-heavy mix")
+	}
+	if cont.Seed == base.Seed {
+		t.Fatal("profiles must derive distinct cell seeds")
+	}
+	if _, err := Expand(Matrix{
+		Name: "slam", SlamLoad: true, SlamProfiles: []string{"bogus"},
+	}); err == nil {
+		t.Fatal("unknown slam profile accepted")
+	}
+}
+
 // TestSlamGraphDirectRejected verifies the slam phase cannot be combined with
 // graph-direct matrices: those cells have no network model to serve.
 func TestSlamGraphDirectRejected(t *testing.T) {

@@ -117,12 +117,15 @@ func suites() map[string]func() Matrix {
 			}
 		},
 		// slam measures the serving plane under concurrent multi-tenant load
-		// (internal/slam, closed loop): six tenant sessions of a 50-host
-		// network served by four workers for a fixed 400-request budget of
-		// the default mix, gating the p99 of the snapshot-read and delta
-		// paths under contention — the serve suite's single-client latencies
-		// cannot see lock or scheduler regressions that only appear when
-		// sessions compete.
+		// (internal/slam, closed loop) in two shapes: the base cell — six
+		// tenant sessions of a 50-host network served by four workers for a
+		// fixed 400-request budget of the default mix — and the contended
+		// cell — four sessions under sixteen workers of a delta-heavy mix,
+		// keeping several writers queued behind every session's writer slot.
+		// Together they gate the p99 of the snapshot-read and delta paths
+		// under contention — the serve suite's single-client latencies
+		// cannot see lock, scheduler or write-queueing regressions that only
+		// appear when sessions compete.
 		"slam": func() Matrix {
 			return Matrix{
 				Name:          "slam",
@@ -133,6 +136,7 @@ func suites() map[string]func() Matrix {
 				Solvers:       []string{"trws"},
 				Attacks:       []string{"none"},
 				SlamLoad:      true,
+				SlamProfiles:  []string{SlamProfileBase, SlamProfileContended},
 				MaxIterations: 40,
 				Seed:          42,
 				Timeout:       2 * time.Minute,

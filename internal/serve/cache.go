@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+
+	"netdiversity/internal/adversary"
+	"netdiversity/internal/attacksim"
+	"netdiversity/internal/netmodel"
+)
+
+// Version-keyed encoded-response caches: the serving plane's read endpoints
+// are pure functions of the published snapshot (plus, for metrics, the
+// entry/target pair), so their JSON bodies are marshaled once per version
+// and every steady-state GET is a copy of pre-encoded bytes — zero marshal
+// work, near-zero allocations.  Entries carry the version they encode and
+// are checked against the snapshot loaded by the request, which is the
+// invalidation rule: a version bump makes every older entry unreachable the
+// instant the new snapshot is published (readers that loaded the old
+// snapshot before the bump may still serve the old bytes, exactly as they
+// would have served the old snapshot itself — version and body always
+// match).  Slots are single-entry atomic pointers updated by CAS, so
+// concurrent misses race benignly: both encode, one wins the slot, both
+// serve their own correct bytes.
+//
+// The server bounds the total cached bytes across all sessions
+// (Config.MaxCachedBytes); when the budget is exhausted new entries are
+// simply not cached — responses fall back to per-request encoding, never
+// failing.  A session's entries are charged to the budget while it lives
+// and returned when it is deleted.
+
+// encEntry is one pre-encoded response body, valid for exactly one
+// (version, key) pair.  The body includes the trailing newline, matching
+// the json.Encoder framing of the uncached path byte for byte.
+type encEntry struct {
+	version uint64
+	// key distinguishes entries whose response depends on request
+	// parameters beyond the version (the metrics entry/target pair);
+	// empty for assignment and summary bodies.
+	key  string
+	body []byte
+}
+
+// encodeBody marshals a response the way writeJSON frames it (compact JSON
+// plus a trailing newline), so cached and uncached responses are
+// byte-identical.
+func encodeBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// jsonContentType is the shared Content-Type header value of cached
+// responses, assigned directly (the key is already canonical) so the
+// steady-state cached read allocates nothing at all.
+var jsonContentType = []string{"application/json"}
+
+// writeCached writes a pre-encoded JSON body.
+func writeCached(w http.ResponseWriter, body []byte) {
+	w.Header()["Content-Type"] = jsonContentType
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// storeEnc publishes a freshly encoded body into a session cache slot,
+// charging the server-wide budget.  old must be the entry the caller loaded
+// from the slot before encoding (nil on a cold slot): the CAS both
+// serialises racing writers — only the winner charges the budget — and
+// makes the charge exact, replacing old's bytes with the new entry's.
+// Entries that would overflow the budget are dropped; the caller already
+// holds the encoded body and serves it regardless.
+func (s *Server) storeEnc(sess *session, slot *atomic.Pointer[encEntry], old, e *encEntry) {
+	delta := int64(len(e.body))
+	if old != nil {
+		delta -= int64(len(old.body))
+	}
+	if delta > 0 && s.cachedBytes.Load()+delta > s.cfg.MaxCachedBytes {
+		return
+	}
+	if slot.CompareAndSwap(old, e) {
+		s.cachedBytes.Add(delta)
+		sess.cachedBytes.Add(delta)
+	}
+}
+
+// dropCaches returns a deleted session's cached bytes to the server budget.
+// A reader racing the deletion can re-populate a slot afterwards; those few
+// stranded bytes stay charged — bounded by one response body per deleted
+// session, and only on the race.
+func (s *Server) dropCaches(sess *session) {
+	if n := sess.cachedBytes.Swap(0); n != 0 {
+		s.cachedBytes.Add(-n)
+	}
+}
+
+// CachedBytes reports the bytes currently charged to the encoded-response
+// cache budget (exposed for tests and observability).
+func (s *Server) CachedBytes() int64 { return s.cachedBytes.Load() }
+
+// assessKey is the campaign shape of an assess request: every compile input
+// except the network and assignment, which the version covers.
+type assessKey struct {
+	entry, target netmodel.HostID
+	knowledge     adversary.Knowledge
+	pAvg          float64
+	runs          int
+	maxTicks      int
+	seed          int64
+	// exploit is the canonical ("\x00"-joined, order-preserving) exploit
+	// service list.
+	exploit string
+}
+
+// assessCacheEntry memoises one compiled campaign.  Campaigns are immutable
+// and every run's RNG derives from the campaign seed and run index, so
+// re-running a cached campaign is exactly as deterministic as recompiling.
+type assessCacheEntry struct {
+	version  uint64
+	key      assessKey
+	campaign *attacksim.Campaign
+}
+
+// exploitKey renders the canonical exploit-service list of an assessKey.
+func exploitKey(services []netmodel.ServiceID) string {
+	if len(services) == 0 {
+		return ""
+	}
+	n := 0
+	for _, s := range services {
+		n += len(s) + 1
+	}
+	b := make([]byte, 0, n)
+	for _, s := range services {
+		b = append(b, s...)
+		b = append(b, 0)
+	}
+	return string(b)
+}

@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netdiversity/internal/netmodel"
+)
+
+// addHostDelta builds a delta joining one chain host wired to an anchor.
+func addHostDelta(id netmodel.HostID, anchor netmodel.HostID) netmodel.Delta {
+	return netmodel.Delta{Ops: []netmodel.DeltaOp{
+		{Op: netmodel.OpAddHost, Host: &netmodel.HostSpec{
+			ID:       id,
+			Services: []netmodel.ServiceID{"os"},
+			Choices:  map[netmodel.ServiceID][]netmodel.ProductID{"os": {"win7", "ubt1404", "osx109"}},
+		}},
+		{Op: netmodel.OpAddEdge, A: anchor, B: id},
+	}}
+}
+
+// forceBatch enqueues the deltas on the session's queue and lands them as one
+// leader turn — the deterministic white-box way to exercise coalescing (over
+// HTTP the batch composition depends on goroutine scheduling).
+func forceBatch(t *testing.T, srv *Server, sess *session, deltas []netmodel.Delta) []deltaOutcome {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	reqs := make([]*deltaReq, len(deltas))
+	for i, d := range deltas {
+		reqs[i] = newDeltaReq(d)
+		sess.deltas.enqueue(reqs[i])
+	}
+	if err := sess.lock(ctx); err != nil {
+		t.Fatalf("lock: %v", err)
+	}
+	srv.runDeltaBatch(ctx, sess)
+	outs := make([]deltaOutcome, len(reqs))
+	for i, rq := range reqs {
+		select {
+		case outs[i] = <-rq.done:
+		default:
+			t.Fatalf("request %d was never acked", i)
+		}
+	}
+	return outs
+}
+
+// TestCoalescedEqualsSerial pins the coalescing equivalence contract: N
+// deltas landed as one batch reach the same final version AND the same
+// assignment hash as the same N deltas applied serially.
+func TestCoalescedEqualsSerial(t *testing.T) {
+	const n = 5
+	deltas := make([]netmodel.Delta, n)
+	for i := range deltas {
+		deltas[i] = addHostDelta(netmodel.HostID(fmt.Sprintf("x%d", i)), netmodel.HostID(fmt.Sprintf("h%d", i)))
+	}
+
+	// Serial reference run.
+	_, tsA := newTestServer(t, Config{})
+	if status := do(t, http.MethodPost, tsA.URL+"/v1/networks", CreateRequest{ID: "eq", Spec: testSpec(12), Seed: 42}, nil); status != http.StatusCreated {
+		t.Fatalf("serial create: status %d", status)
+	}
+	var serial DeltaResponse
+	for i, d := range deltas {
+		if status := do(t, http.MethodPost, tsA.URL+"/v1/networks/eq/deltas", d, &serial); status != http.StatusOK {
+			t.Fatalf("serial delta %d: status %d", i, status)
+		}
+		if serial.Coalesced != 0 {
+			t.Fatalf("serial delta %d reported coalesced %d", i, serial.Coalesced)
+		}
+	}
+	if serial.Version != 1+n {
+		t.Fatalf("serial final version %d, want %d", serial.Version, 1+n)
+	}
+
+	// Coalesced run on an identical session.
+	srvB, tsB := newTestServer(t, Config{})
+	if status := do(t, http.MethodPost, tsB.URL+"/v1/networks", CreateRequest{ID: "eq", Spec: testSpec(12), Seed: 42}, nil); status != http.StatusCreated {
+		t.Fatalf("coalesced create: status %d", status)
+	}
+	sess, ok := srvB.store.get("eq")
+	if !ok {
+		t.Fatal("session missing")
+	}
+	for i, out := range forceBatch(t, srvB, sess, deltas) {
+		if out.err != nil {
+			t.Fatalf("batched delta %d: %v", i, out.err)
+		}
+		if out.resp.Version != 1+n {
+			t.Fatalf("batched delta %d acked version %d, want %d", i, out.resp.Version, 1+n)
+		}
+		if out.resp.Coalesced != n {
+			t.Fatalf("batched delta %d acked coalesced %d, want %d", i, out.resp.Coalesced, n)
+		}
+		if out.resp.AssignmentHash != serial.AssignmentHash {
+			t.Fatalf("batched hash %s != serial hash %s", out.resp.AssignmentHash, serial.AssignmentHash)
+		}
+	}
+	var got AssignmentResponse
+	if status := do(t, http.MethodGet, tsB.URL+"/v1/networks/eq/assignment", nil, &got); status != http.StatusOK {
+		t.Fatalf("assignment: status %d", status)
+	}
+	if got.Version != serial.Version || got.AssignmentHash != serial.AssignmentHash {
+		t.Fatalf("published state (v%d %s) != serial (v%d %s)",
+			got.Version, got.AssignmentHash, serial.Version, serial.AssignmentHash)
+	}
+}
+
+// TestCoalescedBatchRejectsOnlyInvalid pins the per-delta all-or-nothing
+// contract inside a batch: one invalid delta is rejected with its own error
+// while the rest of the batch lands as if it never existed.
+func TestCoalescedBatchRejectsOnlyInvalid(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	if status := do(t, http.MethodPost, ts.URL+"/v1/networks", CreateRequest{ID: "mix", Spec: testSpec(6), Seed: 3}, nil); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	sess, _ := srv.store.get("mix")
+	outs := forceBatch(t, srv, sess, []netmodel.Delta{
+		addHostDelta("ok1", "h0"),
+		{Ops: []netmodel.DeltaOp{{Op: netmodel.OpRemoveHost, ID: "no-such-host"}}},
+		addHostDelta("ok2", "h1"),
+	})
+	if outs[0].err != nil || outs[2].err != nil {
+		t.Fatalf("valid deltas rejected: %v / %v", outs[0].err, outs[2].err)
+	}
+	if outs[1].err == nil || !strings.Contains(outs[1].err.Error(), "no-such-host") {
+		t.Fatalf("invalid delta error = %v", outs[1].err)
+	}
+	// The surviving batch is 2 deltas: version advances by exactly 2 and
+	// both acks report the same post-batch state.
+	for _, i := range []int{0, 2} {
+		if outs[i].resp.Version != 3 || outs[i].resp.Coalesced != 2 {
+			t.Fatalf("delta %d ack: %+v", i, outs[i].resp)
+		}
+	}
+	var got AssignmentResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/networks/mix/assignment", nil, &got); status != http.StatusOK {
+		t.Fatalf("assignment: status %d", status)
+	}
+	if got.Version != 3 || got.Assignment.Len() != 8 {
+		t.Fatalf("post-batch state: version %d hosts %d", got.Version, got.Assignment.Len())
+	}
+}
+
+// TestEncodedCacheInvalidation pins the read-cache contract: cached bytes are
+// byte-identical to the uncached encoding, a version bump is never served
+// stale, and deleting the session returns its bytes to the budget.
+func TestEncodedCacheInvalidation(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	if status := do(t, http.MethodPost, ts.URL+"/v1/networks", CreateRequest{ID: "inv", Spec: testSpec(6), Seed: 1}, nil); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	fetch := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("GET %s: content-type %q", path, ct)
+		}
+		body := make([]byte, 0, 4096)
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			body = append(body, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		return body
+	}
+
+	// First read misses and populates; the second is served from the cache
+	// and must be byte-identical.
+	for _, path := range []string{"/v1/networks/inv", "/v1/networks/inv/assignment", "/v1/networks/inv/metrics"} {
+		if miss, hit := fetch(path), fetch(path); string(miss) != string(hit) {
+			t.Fatalf("%s: cached body differs from encoded body:\n%s\n%s", path, miss, hit)
+		}
+	}
+	if srv.CachedBytes() <= 0 {
+		t.Fatalf("cached bytes %d after populated reads", srv.CachedBytes())
+	}
+
+	// A write invalidates: the next read reports the bumped version.
+	var dres DeltaResponse
+	if status := do(t, http.MethodPost, ts.URL+"/v1/networks/inv/deltas", addHostDelta("nx", "h0"), &dres); status != http.StatusOK {
+		t.Fatalf("delta: status %d", status)
+	}
+	var sum NetworkSummary
+	if status := do(t, http.MethodGet, ts.URL+"/v1/networks/inv", nil, &sum); status != http.StatusOK || sum.Version != 2 {
+		t.Fatalf("summary after delta: status %d version %d", status, sum.Version)
+	}
+	var got AssignmentResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/networks/inv/assignment", nil, &got); status != http.StatusOK ||
+		got.Version != 2 || got.AssignmentHash != dres.AssignmentHash {
+		t.Fatalf("assignment after delta: status %d %+v", status, got)
+	}
+	var m MetricsResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/networks/inv/metrics", nil, &m); status != http.StatusOK || m.Version != 2 {
+		t.Fatalf("metrics after delta: status %d version %d", status, m.Version)
+	}
+	// Distinct entry/target pairs are distinct cache keys.
+	var m2 MetricsResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/networks/inv/metrics?entry=h1&target=h4", nil, &m2); status != http.StatusOK ||
+		m2.Entry != "h1" || m2.Target != "h4" {
+		t.Fatalf("keyed metrics: status %d %+v", status, m2)
+	}
+
+	if status := do(t, http.MethodDelete, ts.URL+"/v1/networks/inv", nil, nil); status != http.StatusNoContent {
+		t.Fatalf("delete: status %d", status)
+	}
+	if n := srv.CachedBytes(); n != 0 {
+		t.Fatalf("cached bytes %d after delete, want 0", n)
+	}
+}
+
+// TestAssessCampaignCache pins the compiled-campaign cache: re-assessing the
+// same version with the same shape returns identical statistics (campaign
+// reuse is exactly as deterministic as recompiling), and a version bump or a
+// shape change recompiles.
+func TestAssessCampaignCache(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	if status := do(t, http.MethodPost, ts.URL+"/v1/networks", CreateRequest{ID: "asc", Spec: testSpec(8), Seed: 5}, nil); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	assess := func(req AssessRequest) AssessResponse {
+		t.Helper()
+		var resp AssessResponse
+		if status := do(t, http.MethodPost, ts.URL+"/v1/networks/asc/assess", req, &resp); status != http.StatusOK {
+			t.Fatalf("assess: status %d", status)
+		}
+		resp.WallMS = 0
+		return resp
+	}
+	seed := int64(9)
+	req := AssessRequest{Runs: 200, Seed: &seed}
+	first := assess(req)
+	sess, _ := srv.store.get("asc")
+	cached := sess.assessCache
+	if cached == nil || cached.version != 1 {
+		t.Fatalf("campaign not cached: %+v", cached)
+	}
+	if second := assess(req); second != first {
+		t.Fatalf("cached assess diverged:\n%+v\n%+v", first, second)
+	}
+	if sess.assessCache.campaign != cached.campaign {
+		t.Fatal("identical re-assess recompiled the campaign")
+	}
+	// A different shape recompiles.
+	assess(AssessRequest{Runs: 100, Seed: &seed})
+	if sess.assessCache.campaign == cached.campaign {
+		t.Fatal("shape change did not recompile")
+	}
+	// A version bump invalidates.
+	if status := do(t, http.MethodPost, ts.URL+"/v1/networks/asc/deltas", addHostDelta("ax", "h0"), nil); status != http.StatusOK {
+		t.Fatalf("delta: status %d", status)
+	}
+	if after := assess(req); after.Version != 2 {
+		t.Fatalf("post-delta assess version %d", after.Version)
+	}
+	if sess.assessCache.version != 2 {
+		t.Fatalf("cache version %d after delta", sess.assessCache.version)
+	}
+}
+
+// TestCoalesceCacheHammer mixes coalescing writers with cached readers under
+// the race detector: every write must succeed, and each reader goroutine must
+// observe a non-decreasing version (a cached body is only ever served for the
+// snapshot the request loaded).
+func TestCoalesceCacheHammer(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// A network big enough that warm re-solves take visible time, so writers
+	// genuinely queue behind the slot and batches form.
+	if status := do(t, http.MethodPost, ts.URL+"/v1/networks", CreateRequest{ID: "ham", Spec: testSpec(150), Seed: 3}, nil); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	const (
+		writers = 8
+		rounds  = 8
+		readers = 4
+	)
+	var (
+		wwg, rwg  sync.WaitGroup
+		stop      atomic.Bool
+		coalesced atomic.Int64
+		failures  atomic.Int64
+	)
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for i := 0; i < rounds; i++ {
+				id := netmodel.HostID(fmt.Sprintf("w%d-%d", w, i))
+				var dres DeltaResponse
+				if status := do(t, http.MethodPost, ts.URL+"/v1/networks/ham/deltas", addHostDelta(id, "h0"), &dres); status != http.StatusOK {
+					fail("writer %d add %s: status %d", w, id, status)
+					return
+				}
+				coalesced.Add(int64(dres.Coalesced))
+				if status := do(t, http.MethodPost, ts.URL+"/v1/networks/ham/deltas", netmodel.Delta{Ops: []netmodel.DeltaOp{
+					{Op: netmodel.OpRemoveHost, ID: id},
+				}}, &dres); status != http.StatusOK {
+					fail("writer %d remove %s: status %d", w, id, status)
+					return
+				}
+			}
+		}(w)
+	}
+	for rdr := 0; rdr < readers; rdr++ {
+		rwg.Add(1)
+		go func(rdr int) {
+			defer rwg.Done()
+			var last uint64
+			for !stop.Load() {
+				var got AssignmentResponse
+				if status := do(t, http.MethodGet, ts.URL+"/v1/networks/ham/assignment", nil, &got); status != http.StatusOK {
+					fail("reader %d assignment: status %d", rdr, status)
+					return
+				}
+				if got.Version < last {
+					fail("reader %d saw version go backwards: %d then %d", rdr, last, got.Version)
+					return
+				}
+				last = got.Version
+				var sum NetworkSummary
+				if status := do(t, http.MethodGet, ts.URL+"/v1/networks/ham", nil, &sum); status != http.StatusOK {
+					fail("reader %d summary: status %d", rdr, status)
+					return
+				}
+				if sum.Version < last {
+					fail("reader %d summary version went backwards: %d then %d", rdr, last, sum.Version)
+					return
+				}
+				last = sum.Version
+			}
+		}(rdr)
+	}
+	wwg.Wait()
+	stop.Store(true)
+	rwg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d hammer failures", failures.Load())
+	}
+	// The final version counts every accepted delta exactly once, whether it
+	// landed alone or in a batch.
+	var got AssignmentResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/networks/ham/assignment", nil, &got); status != http.StatusOK {
+		t.Fatalf("final assignment: status %d", status)
+	}
+	wantVersion := uint64(1 + writers*rounds*2)
+	if got.Version != wantVersion {
+		t.Fatalf("final version %d, want %d (every write counted once)", got.Version, wantVersion)
+	}
+	t.Logf("hammer: final version %d, coalesced-batch memberships observed: %d", got.Version, coalesced.Load())
+}

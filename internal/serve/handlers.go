@@ -259,13 +259,26 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleGet implements GET /v1/networks/{id}.
+// handleGet implements GET /v1/networks/{id}, served from the version-keyed
+// encoded cache (see cache.go) when the summary of the loaded snapshot is
+// already marshaled.
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	sess, snap, ok := s.loadSession(w, r, true)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, sessionSummary(sess, snap))
+	old := sess.encSummary.Load()
+	if old != nil && old.version == snap.version {
+		writeCached(w, old.body)
+		return
+	}
+	body, err := encodeBody(sessionSummary(sess, snap))
+	if err != nil {
+		s.writeFailure(w, err)
+		return
+	}
+	s.storeEnc(sess, &sess.encSummary, old, &encEntry{version: snap.version, body: body})
+	writeCached(w, body)
 }
 
 // handleDelete implements DELETE /v1/networks/{id}.  The removal runs under
@@ -290,6 +303,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if !closed {
 		sess.closed = true
 		s.store.remove(sess.id)
+		s.dropCaches(sess)
 	}
 	sess.unlock()
 	if closed {
@@ -299,10 +313,14 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleDeltas implements POST /v1/networks/{id}/deltas: validate the delta
-// against a clone of the session network (all-or-nothing semantics — a
-// rejected delta leaves the session exactly as it was), then apply it to the
-// live optimiser and re-optimise incrementally.
+// handleDeltas implements POST /v1/networks/{id}/deltas through the
+// coalescing queue (see coalesce.go): the request enqueues its delta, and
+// whichever queued request wins the writer slot lands the whole queue as one
+// validated batch — one apply, one warm re-solve, one snapshot whose version
+// advances by the accepted count.  Per-delta all-or-nothing validation is
+// preserved (a rejected delta never touches the session and the rest of the
+// batch lands as if it never existed), and each request is acked with the
+// post-batch version.
 func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	if s.rejectDraining(w) {
 		return
@@ -335,73 +353,33 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	if err := sess.lock(ctx); err != nil {
-		s.writeFailure(w, err)
-		return
-	}
 	start := time.Now()
-	resp, err := func() (DeltaResponse, error) {
-		defer sess.unlock()
-		if sess.closed {
-			return DeltaResponse{}, errSessionClosed
+	req := newDeltaReq(delta)
+	sess.deltas.enqueue(req)
+	if err := sess.lock(ctx); err != nil {
+		if req.state.CompareAndSwap(reqWaiting, reqWithdrawn) {
+			// No leader claimed the request before the deadline: it was
+			// never applied and never will be — the classic lock-timeout.
+			s.writeFailure(w, err)
+			return
 		}
-		// Pre-validate the whole delta: Optimizer.ApplyDelta stops at the
-		// first failing op with the prefix applied, which is the wrong
-		// contract for a service — a delta must land atomically or not at
-		// all.  Check mirrors Apply's error conditions in O(ops) without
-		// touching the live state; constraint references are only checked by
-		// the live ApplyDelta, so pre-check them here too.
-		if err := delta.Check(sess.net); err != nil {
-			return DeltaResponse{}, err
-		}
-		if cs := sess.opt.Constraints(); cs != nil {
-			for i, op := range delta.Ops {
-				if op.Op == netmodel.OpRemoveHost && cs.References(op.ID) {
-					return DeltaResponse{}, fmt.Errorf(
-						"delta op %d: host %q is referenced by the constraint set", i, op.ID)
-				}
-			}
-		}
-		done, err := s.admit(ctx, sess)
-		if err != nil {
-			return DeltaResponse{}, err
-		}
-		defer done()
-		if err := sess.opt.ApplyDelta(delta); err != nil {
-			return DeltaResponse{}, err
-		}
-		// From here the network is mutated; if the re-optimisation below
-		// fails (deadline mid-solve) the flag makes the next consistency-
-		// requiring request heal the session by re-optimising lazily — the
-		// accumulated dirty set survives in the optimiser.
-		sess.pendingReopt = true
-		res, err := sess.opt.Reoptimize(ctx)
-		if err != nil {
-			return DeltaResponse{}, err
-		}
-		sess.pendingReopt = false
-		prev := sess.snap.Load()
-		snap := sess.publish()
-		return DeltaResponse{
-			ID:             sess.id,
-			Version:        snap.version,
-			Ops:            len(delta.Ops),
-			Hosts:          snap.hosts,
-			Energy:         snap.energy,
-			AssignmentHash: snap.hash,
-			Incremental:    res.Incremental,
-			Rebuilt:        res.Rebuilt,
-			DirtyNodes:     res.DirtyNodes,
-			LiveNodes:      res.LiveNodes,
-			ChangedHosts:   changedHosts(prev, snap.assignment),
-			WallMS:         float64(time.Since(start)) / float64(time.Millisecond),
-		}, nil
-	}()
-	if err != nil {
+		// A running leader claimed the delta: the batch may still land
+		// after this 504, exactly like the serial path's mid-solve timeout
+		// (the session heals lazily if the leader's solve also dies).
 		s.writeFailure(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// Leader: land the queued batch (which includes this request unless an
+	// earlier leader already acked it), then report our own outcome.
+	s.runDeltaBatch(ctx, sess)
+	out := <-req.done
+	req.recycle() // ack consumed: no leader can reference the struct anymore
+	if out.err != nil {
+		s.writeFailure(w, out.err)
+		return
+	}
+	out.resp.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, out.resp)
 }
 
 // healPending restores network/assignment consistency for a session whose
@@ -445,28 +423,51 @@ func changedHosts(prev *snapshot, cur *netmodel.Assignment) int {
 }
 
 // handleAssignment implements GET /v1/networks/{id}/assignment straight from
-// the published snapshot — no locks, so reads never wait on a re-solve.
+// the published snapshot — no locks, so reads never wait on a re-solve.  The
+// snapshot is immutable, so its JSON body is marshaled once per version and
+// every further read at that version is a copy of the cached bytes.
 func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
 	sess, snap, ok := s.loadSession(w, r, true)
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, AssignmentResponse{
+	old := sess.encAssignment.Load()
+	if old != nil && old.version == snap.version {
+		writeCached(w, old.body)
+		return
+	}
+	body, err := encodeBody(AssignmentResponse{
 		ID:             sess.id,
 		Version:        snap.version,
 		Energy:         snap.energy,
 		AssignmentHash: snap.hash,
 		Assignment:     snap.assignment,
 	})
+	if err != nil {
+		s.writeFailure(w, err)
+		return
+	}
+	s.storeEnc(sess, &sess.encAssignment, old, &encEntry{version: snap.version, body: body})
+	writeCached(w, body)
 }
 
 // handleMetrics implements GET /v1/networks/{id}/metrics.  Metric evaluation
 // reads the session network, so it runs under the writer slot (consistency
 // with the snapshot is guaranteed because snapshots are published under the
-// same slot).
+// same slot).  A request whose (version, entry, target) body is already
+// encoded is served from the cache without touching the slot at all — the
+// bytes describe exactly the published version the request loaded, the same
+// consistency the lock-free assignment read offers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	sess, _, ok := s.loadSession(w, r, true)
+	sess, snap0, ok := s.loadSession(w, r, true)
 	if !ok {
+		return
+	}
+	rawEntry := r.URL.Query().Get("entry")
+	rawTarget := r.URL.Query().Get("target")
+	encKey := rawEntry + "\x00" + rawTarget
+	if e := sess.encMetrics.Load(); e != nil && e.version == snap0.version && e.key == encKey {
+		writeCached(w, e.body)
 		return
 	}
 	ctx, cancel := s.requestContext(r)
@@ -486,7 +487,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		snap := sess.snap.Load()
 		hosts := sess.net.Hosts()
 		entry, target, err := resolveEndpoints(sess.net, hosts,
-			netmodel.HostID(r.URL.Query().Get("entry")), netmodel.HostID(r.URL.Query().Get("target")))
+			netmodel.HostID(rawEntry), netmodel.HostID(rawTarget))
 		if err != nil {
 			return MetricsResponse{}, err
 		}
@@ -538,7 +539,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.writeFailure(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// resp.Version may be newer than the snapshot loaded before the lock
+	// (lazy heal publishes): the entry is keyed by the version it encodes.
+	old := sess.encMetrics.Load()
+	body, err := encodeBody(resp)
+	if err != nil {
+		s.writeFailure(w, err)
+		return
+	}
+	s.storeEnc(sess, &sess.encMetrics, old, &encEntry{version: resp.Version, key: encKey, body: body})
+	writeCached(w, body)
 }
 
 // resolveEndpoints validates (or defaults) an entry/target host pair.
@@ -647,6 +657,25 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, 0, err
 		}
+		// A campaign is a pure function of (snapshot version, campaign
+		// shape): re-assessing the same state skips adversary evaluation and
+		// compilation entirely.  Campaigns are immutable and safe to run
+		// concurrently (per-worker scratch, per-run derived RNG), so handing
+		// the cached one to a second request is exactly as deterministic as
+		// recompiling it.
+		key := assessKey{
+			entry:     entry,
+			target:    target,
+			knowledge: knowledge,
+			pAvg:      req.PAvg,
+			runs:      runs,
+			maxTicks:  req.MaxTicks,
+			seed:      seed,
+			exploit:   exploitKey(req.ExploitServices),
+		}
+		if c := sess.assessCache; c != nil && c.version == snap.version && c.key == key {
+			return c.campaign, snap.version, nil
+		}
 		ev, err := adversary.New(sess.net, snap.assignment, sess.sim)
 		if err != nil {
 			return nil, 0, err
@@ -661,7 +690,11 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 			MaxTicks:        req.MaxTicks,
 			Seed:            seed,
 		})
-		return campaign, snap.version, err
+		if err != nil {
+			return nil, 0, err
+		}
+		sess.assessCache = &assessCacheEntry{version: snap.version, key: key, campaign: campaign}
+		return campaign, snap.version, nil
 	}()
 	if err != nil {
 		s.writeFailure(w, err)

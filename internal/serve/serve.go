@@ -86,6 +86,11 @@ type Config struct {
 	// MaxIterations caps the per-session solver iteration budget a create
 	// request may ask for.  Default 500.
 	MaxIterations int
+	// MaxCachedBytes bounds the total pre-encoded response bytes the
+	// version-keyed read caches may hold across all sessions (see cache.go).
+	// When the budget is exhausted, responses fall back to per-request
+	// encoding.  Default 64 MiB.
+	MaxCachedBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +127,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxIterations <= 0 {
 		c.MaxIterations = 500
 	}
+	if c.MaxCachedBytes <= 0 {
+		c.MaxCachedBytes = 64 << 20
+	}
 	return c
 }
 
@@ -135,6 +143,9 @@ type Server struct {
 	mux      *http.ServeMux
 	draining atomic.Bool
 	stats    serverStats
+	// cachedBytes is the total charge of the encoded-response caches
+	// across all sessions, bounded by Config.MaxCachedBytes.
+	cachedBytes atomic.Int64
 }
 
 // serverStats are the server's backpressure counters, incremented lock-free
@@ -248,6 +259,7 @@ func (s *Server) createSession(ctx context.Context, id, solverName string,
 	if err != nil {
 		sess.closed = true
 		s.store.remove(id)
+		s.dropCaches(sess)
 		sess.unlock()
 		return nil, snapshot{}, core.Result{}, err
 	}

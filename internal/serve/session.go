@@ -49,6 +49,28 @@ type session struct {
 	// slot.
 	metricsCache *MetricsResponse
 
+	// deltas is the pending coalesced-delta queue: requests enqueue here
+	// before competing for the writer slot, and the slot holder drains the
+	// whole queue into one batch apply + re-solve (see coalesce.go).
+	// batchScratch is the leader's reusable apply-slice backing array,
+	// guarded by the writer slot like every other leader-only state.
+	deltas       deltaQueue
+	batchScratch []netmodel.Delta
+
+	// assessCache memoises the last compiled attack campaign; valid only
+	// for the same snapshot version and campaign shape.  Guarded by the
+	// writer slot (compilation runs under it).
+	assessCache *assessCacheEntry
+
+	// encSummary/encAssignment/encMetrics are the version-keyed pre-encoded
+	// response bodies of the session's read endpoints (see cache.go), read
+	// and replaced lock-free; cachedBytes is the session's charge against
+	// the server-wide cache budget.
+	encSummary    atomic.Pointer[encEntry]
+	encAssignment atomic.Pointer[encEntry]
+	encMetrics    atomic.Pointer[encEntry]
+	cachedBytes   atomic.Int64
+
 	// snap is the immutable published state read lock-free by GET handlers.
 	// Written only by the slot holder after a successful solve.
 	snap atomic.Pointer[snapshot]
@@ -112,20 +134,27 @@ func (s *session) lock(ctx context.Context) error {
 func (s *session) unlock() { <-s.writer }
 
 // publish installs a new snapshot of the optimiser's current solution,
-// bumping the version.  Must be called by the writer-slot holder after a
-// successful solve.  The assignment comes from core.Optimizer.Snapshot — a
-// deep copy owned by the snapshot alone, so lock-free readers can never
-// observe optimiser-internal state no matter how core evolves.
-func (s *session) publish() snapshot {
+// bumping the version by one.
+func (s *session) publish() snapshot { return s.publishN(1) }
+
+// publishN installs a new snapshot, advancing the version by n — the number
+// of accepted deltas the snapshot folds in, so a coalesced batch reaches the
+// same final version as the same deltas applied serially and the version
+// stays a monotone write counter either way.  Must be called by the
+// writer-slot holder after a successful solve.  The assignment comes from
+// core.Optimizer.Snapshot — a deep copy owned by the snapshot alone, so
+// lock-free readers can never observe optimiser-internal state no matter how
+// core evolves.
+func (s *session) publishN(n uint64) snapshot {
 	a, energy, ok := s.opt.Snapshot()
 	if !ok {
 		// Unreachable: publish follows a successful Optimize/Reoptimize.
 		a, energy = netmodel.NewAssignment(), 0
 	}
 	prev := s.snap.Load()
-	var version uint64 = 1
+	version := n
 	if prev != nil {
-		version = prev.version + 1
+		version = prev.version + n
 	}
 	snap := snapshot{
 		version:    version,

@@ -3,7 +3,6 @@ package serve
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,11 +40,16 @@ func newStore(shards, maxSessions int) *store {
 	return st
 }
 
-// shard returns the shard owning an ID.
+// shard returns the shard owning an ID.  FNV-1a is inlined over the string:
+// the hash/fnv boxed writer costs two heap allocations per lookup, and this
+// sits on the path of every request.
 func (st *store) shard(id string) *storeShard {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(id))
-	return &st.shards[h.Sum32()%uint32(len(st.shards))]
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &st.shards[h%uint32(len(st.shards))]
 }
 
 // allocID returns the next server-assigned session ID.  IDs are allocated in

@@ -135,8 +135,12 @@ type DeltaResponse struct {
 	DirtyNodes int `json:"dirty_nodes"`
 	LiveNodes  int `json:"live_nodes"`
 	// ChangedHosts counts surviving hosts whose assignment changed.
-	ChangedHosts int     `json:"changed_hosts"`
-	WallMS       float64 `json:"wall_ms"`
+	ChangedHosts int `json:"changed_hosts"`
+	// Coalesced is the number of deltas that landed together in the batch
+	// this request was folded into (omitted when the delta landed alone).
+	// Version reports the post-batch version either way.
+	Coalesced int     `json:"coalesced,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
 }
 
 // AssignmentResponse is the body of GET /v1/networks/{id}/assignment.

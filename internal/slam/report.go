@@ -10,7 +10,10 @@ import (
 // SchemaVersion identifies the divslam report layout.  Bump it on any
 // incompatible change to Report, RunResult or OpStats; ReadFile rejects
 // reports written by a different version.
-const SchemaVersion = 1
+//
+// Version history: 1 initial layout; 2 added the per-run "mem" block
+// (allocation/GC pressure of in-process runs).
+const SchemaVersion = 2
 
 // Report is the machine-readable result of one divslam invocation: one
 // RunResult per Vary value (a single run when Vary is empty).
@@ -64,6 +67,29 @@ type RunResult struct {
 	// operation name (only operations with traffic appear).
 	Total OpStats            `json:"total"`
 	Ops   map[string]OpStats `json:"ops"`
+	// Mem is the allocation/GC pressure of the measured phase, sampled from
+	// runtime.MemStats.  Present only for in-process targets (URL empty),
+	// where the server under load shares the driver's heap — a serve-path
+	// allocation regression moves these numbers even when latency hides it.
+	Mem *MemReport `json:"mem,omitempty"`
+}
+
+// MemReport is the heap accounting of one measured phase: the total bytes
+// allocated while the clock ran, the same number amortised per completed
+// request, and the garbage collector's activity in the window.  The sample
+// covers the whole process — server and load workers — so absolute values
+// include constant client-side bookkeeping; regressions in the serve path
+// show up as growth against a baseline taken with the same config.
+type MemReport struct {
+	// AllocBytes is the TotalAlloc delta across the measured phase.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// AllocBytesPerOp is AllocBytes divided by completed requests.
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
+	// GCCount is the number of GC cycles the phase triggered.
+	GCCount uint32 `json:"gc_count"`
+	// MaxPauseMS is the longest stop-the-world pause of those cycles in
+	// milliseconds (the GC-induced tail-latency floor).
+	MaxPauseMS float64 `json:"max_pause_ms"`
 }
 
 // OpStats is the accounting of one operation (or the run total): request

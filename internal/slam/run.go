@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -112,6 +113,18 @@ func runOne(ctx context.Context, cfg Config) (RunResult, error) {
 	for i := range recs {
 		recs[i] = &recorder{}
 	}
+	// For in-process targets the server shares this heap, so a MemStats
+	// sample around the measured phase captures serve-path allocation and GC
+	// pressure (plus the load workers' constant overhead).  A forced GC
+	// before the first sample settles setup garbage so the delta covers the
+	// measured phase only; against a remote URL the sample would only see
+	// the client and is omitted.
+	inProcess := cfg.URL == ""
+	var memBefore runtime.MemStats
+	if inProcess {
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
+	}
 	var elapsed time.Duration
 	var offered float64
 	switch cfg.Mode {
@@ -123,7 +136,38 @@ func runOne(ctx context.Context, cfg Config) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	return assemble(cfg, recs, setupMS, elapsed, offered), nil
+	res := assemble(cfg, recs, setupMS, elapsed, offered)
+	if inProcess {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		res.Mem = memDelta(&memBefore, &memAfter, res.Total.Count)
+	}
+	return res, nil
+}
+
+// memDelta renders the MemStats window between two samples as a MemReport.
+func memDelta(before, after *runtime.MemStats, ops int64) *MemReport {
+	m := &MemReport{
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		GCCount:    after.NumGC - before.NumGC,
+	}
+	if ops > 0 {
+		m.AllocBytesPerOp = float64(m.AllocBytes) / float64(ops)
+	}
+	// PauseNs is a ring of the last 256 pauses indexed by (NumGC+255)%256;
+	// walk the cycles of the window (clamped to the ring size) for the max.
+	first := before.NumGC + 1
+	if after.NumGC > 256 && first < after.NumGC-255 {
+		first = after.NumGC - 255
+	}
+	var maxPause uint64
+	for i := first; i <= after.NumGC; i++ {
+		if p := after.PauseNs[(i+255)%256]; p > maxPause {
+			maxPause = p
+		}
+	}
+	m.MaxPauseMS = float64(maxPause) / 1e6
+	return m
 }
 
 // createTenants creates the tenant sessions through the HTTP surface with
