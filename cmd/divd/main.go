@@ -28,6 +28,15 @@
 // On SIGINT/SIGTERM the daemon drains:
 // new state-changing requests get 503 while in-flight solves finish, then
 // the listener closes.
+//
+// -data-dir enables the persistence plane (see docs/DURABILITY.md): every
+// accepted delta batch is journaled to a per-session write-ahead log before
+// it is acknowledged, compacted snapshots truncate the log every
+// -snapshot-every records, and on boot the daemon recovers every session
+// from the data directory before the listener opens.  -fsync picks the
+// durability point of an ack: "always" (fsync before every ack), "interval"
+// (background fsync every -fsync-interval) or "never" (write to the OS
+// before ack — survives a process crash, not an OS crash; the default).
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 	"netdiversity/internal/netmodel"
 	"netdiversity/internal/serve"
 	"netdiversity/internal/vulnsim"
+	"netdiversity/internal/wal"
 )
 
 func main() {
@@ -75,18 +85,46 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		preload      = fs.String("preload", "", "comma-separated netmodel spec files to create sessions from at startup")
 		drainWait    = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof on this address (separate listener and mux; empty = disabled)")
+		dataDir      = fs.String("data-dir", "", "persist sessions to this directory and recover them on boot (empty = memory-only)")
+		fsyncMode    = fs.String("fsync", "never", "WAL durability point per ack: always, interval or never")
+		fsyncEvery   = fs.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync interval")
+		snapEvery    = fs.Int("snapshot-every", 64, "WAL records per session between compacted snapshots")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		Shards:          *shards,
 		SolveWorkers:    *solveWorkers,
 		MaxSessions:     *maxSessions,
 		RequestTimeout:  *reqTimeout,
 		MaxRequestBytes: *maxBody,
-	})
+	}
+	var manager *wal.Manager
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*fsyncMode)
+		if err != nil {
+			return err
+		}
+		manager, err = wal.Open(wal.Options{
+			Dir:           *dataDir,
+			Policy:        policy,
+			Interval:      *fsyncEvery,
+			SnapshotEvery: *snapEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer manager.Close()
+		cfg.Persist = manager
+	}
+	srv := serve.New(cfg)
+	if manager != nil {
+		if err := recoverSessions(srv, manager, out); err != nil {
+			return err
+		}
+	}
 	if *preload != "" {
 		if err := preloadSpecs(srv, *preload, out); err != nil {
 			return err
@@ -149,9 +187,38 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	return nil
 }
 
+// recoverSessions restores every session the data directory holds before
+// the listener opens, so a restarted daemon comes back serving exactly the
+// durably-acked state.  Unrecoverable sessions are reported and skipped —
+// one corrupt tenant must not keep the rest of the fleet down.
+func recoverSessions(srv *serve.Server, manager *wal.Manager, out io.Writer) error {
+	recovered, skipped, err := manager.Recover()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recovered {
+		if err := srv.Restore(rec); err != nil {
+			fmt.Fprintf(out, "divd: recovery skipped %s: %v\n", rec.Snapshot.ID, err)
+			continue
+		}
+		note := ""
+		if rec.TornTail {
+			note = " (torn log tail dropped)"
+		}
+		fmt.Fprintf(out, "divd: recovered %s at version %d (%d records replayed)%s\n",
+			rec.Snapshot.ID, rec.Snapshot.Version, rec.Replayed, note)
+	}
+	for _, sk := range skipped {
+		fmt.Fprintf(out, "divd: recovery skipped %s: %v\n", sk.ID, sk.Err)
+	}
+	return nil
+}
+
 // preloadSpecs creates one session per spec file before the listener opens,
 // using the strict decoder (preload files often come from the same untrusted
-// sources as API requests) and the paper similarity table.
+// sources as API requests) and the paper similarity table.  A preload ID
+// that already exists (recovered from the data directory) is left as is —
+// the recovered state is newer than the spec file.
 func preloadSpecs(srv *serve.Server, list string, out io.Writer) error {
 	for i, path := range strings.Split(list, ",") {
 		path = strings.TrimSpace(path)
@@ -169,6 +236,10 @@ func preloadSpecs(srv *serve.Server, list string, out io.Writer) error {
 		}
 		id := fmt.Sprintf("preload-%d", i)
 		if err := srv.Preload(id, net, cs, vulnsim.PaperSimilarity(), core.Options{}); err != nil {
+			if errors.Is(err, serve.ErrSessionExists) {
+				fmt.Fprintf(out, "divd: preload %s: %s already recovered, keeping recovered state\n", path, id)
+				continue
+			}
 			return fmt.Errorf("preload %s: %w", path, err)
 		}
 		fmt.Fprintf(out, "divd: preloaded %s as %s\n", path, id)

@@ -254,3 +254,88 @@ func TestDaemonBadFlags(t *testing.T) {
 		t.Fatal("missing preload file should fail")
 	}
 }
+
+// TestDaemonRestartRecovery boots the daemon with a data directory, builds
+// session state over HTTP, restarts it on the same directory and checks the
+// recovered session serves the identical version and assignment hash.
+func TestDaemonRestartRecovery(t *testing.T) {
+	dataDir := filepath.Join(t.TempDir(), "wal")
+	base, shutdown := startDaemon(t, "-data-dir", dataDir, "-fsync", "always", "-snapshot-every", "2")
+
+	spec, err := os.ReadFile(specFile(t, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"id":"crashme","spec":%s,"seed":9}`, spec)
+	resp, err := http.Post(base+"/v1/networks", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	for i := 0; i < 3; i++ {
+		resp, err = http.Post(base+"/v1/networks/crashme/deltas", "application/json",
+			strings.NewReader(fmt.Sprintf(
+				`{"ops":[{"op":"add_host","host":{"id":"n%d","services":["os"],"choices":{"os":["win7","ubt1404","osx109"]}}},{"op":"add_edge","a":"h0","b":"n%d"}]}`, i, i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("delta %d: status %d", i, resp.StatusCode)
+		}
+	}
+	readState := func(base string) (uint64, string) {
+		resp, err := http.Get(base + "/v1/networks/crashme/assignment")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var got struct {
+			Version uint64 `json:"version"`
+			Hash    string `json:"assignment_hash"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("assignment: status %d", resp.StatusCode)
+		}
+		return got.Version, got.Hash
+	}
+	wantVersion, wantHash := readState(base)
+	shutdown()
+
+	base2, shutdown2 := startDaemon(t, "-data-dir", dataDir, "-fsync", "always")
+	defer shutdown2()
+	gotVersion, gotHash := readState(base2)
+	if gotVersion != wantVersion || gotHash != wantHash {
+		t.Fatalf("restart changed state: v%d/%s -> v%d/%s", wantVersion, wantHash, gotVersion, gotHash)
+	}
+	// The recovered session accepts further deltas and chains the version.
+	resp, err = http.Post(base2+"/v1/networks/crashme/deltas", "application/json",
+		strings.NewReader(`{"ops":[{"op":"remove_edge","a":"h2","b":"h3"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dres struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dres); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || dres.Version != wantVersion+1 {
+		t.Fatalf("post-recovery delta: status %d version %d (want %d)", resp.StatusCode, dres.Version, wantVersion+1)
+	}
+}
+
+// TestDaemonBadFsyncFlag pins -fsync validation to a startup error.
+func TestDaemonBadFsyncFlag(t *testing.T) {
+	var out syncBuffer
+	if err := run([]string{"-data-dir", t.TempDir(), "-fsync", "sometimes"}, &out, nil); err == nil {
+		t.Fatal("bad -fsync value should fail")
+	}
+}

@@ -11,6 +11,7 @@
 //	divslam [-mode closed|open] [-tenants N] [-workers N] [-rate R]
 //	        [-worker-rate R] [-dur 10s] [-ops N] [-mix read=70,delta=15,...]
 //	        [-hosts N] [-degree N] [-services N] [-solver trws] [-seed S]
+//	        [-retries N] [-backoff 100ms]
 //	        [-vary field -values v1,v2,...] [-url http://host:port]
 //	        [-out report.json]
 //
@@ -21,6 +22,12 @@
 // scheduled arrival time so queueing collapse is visible.  -vary sweeps one
 // field (tenants, workers, rate, hosts, mix) across -values as sub-runs of
 // one report.
+//
+// -retries gives each logical operation a retry budget against 429/503
+// backpressure: the client sleeps the response's Retry-After when present
+// and an exponential -backoff otherwise, and only the final outcome counts
+// as success or error — consumed retries are reported separately, and the
+// recorded latency covers the whole logical operation including backoff.
 package main
 
 import (
@@ -69,6 +76,8 @@ func run(args []string, out io.Writer) error {
 		ops        = fs.Int("ops", 0, "measured-phase request budget, closed loop (0 = duration-bounded)")
 		mix        = fs.String("mix", slam.DefaultMix, "weighted operation mix, op=weight pairs")
 		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request client deadline")
+		retries    = fs.Int("retries", 0, "retry budget per operation on 429/503 (0 = no retries)")
+		backoff    = fs.Duration("backoff", 100*time.Millisecond, "base retry backoff when the response has no Retry-After (doubles per attempt)")
 		vary       = fs.String("vary", "", "field swept across -values: "+strings.Join(slam.VaryFields(), ", "))
 		values     = fs.String("values", "", "comma-separated values of the -vary field")
 		outPath    = fs.String("out", "", "write the JSON report to this file (default stdout)")
@@ -94,6 +103,8 @@ func run(args []string, out io.Writer) error {
 		Ops:            *ops,
 		Mix:            *mix,
 		RequestTimeout: *reqTimeout,
+		Retries:        *retries,
+		Backoff:        *backoff,
 		Vary:           *vary,
 	}
 	if *values != "" {
@@ -167,6 +178,9 @@ func printRun(out io.Writer, r slam.RunResult) {
 	if st.Errors > 0 {
 		fmt.Fprintf(out, "  errors: %d×429 %d×503 %d×504 %d×other %d×transport\n",
 			st.Status429, st.Status503, st.Status504, st.StatusOther, st.TransportErrors)
+	}
+	if st.Retries > 0 {
+		fmt.Fprintf(out, "  retries: %d consumed on 429/503 backpressure\n", st.Retries)
 	}
 	if r.Mem != nil {
 		fmt.Fprintf(out, "  mem: %s alloc (%s/op), %d GCs, max pause %.2f ms\n",

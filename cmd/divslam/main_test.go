@@ -46,7 +46,7 @@ func TestRunStdoutReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(buf.String(), `"schema_version": 2`) {
+	if !strings.Contains(buf.String(), `"schema_version": 3`) {
 		t.Errorf("stdout missing the JSON report:\n%s", buf.String())
 	}
 	// In-process runs carry the MemStats sample in the summary and report.

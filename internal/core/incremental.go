@@ -538,6 +538,18 @@ func (o *Optimizer) Snapshot() (a *netmodel.Assignment, energy float64, ok bool)
 	return o.lastAssignment.Clone(), o.lastEnergy, true
 }
 
+// RestoreAssignment seeds the optimiser with a previously computed solution —
+// the boot-replay counterpart of Snapshot.  A serving layer recovering a
+// session from a WAL snapshot installs the recovered assignment here instead
+// of re-running the cold solve: the next ApplyDelta/Reoptimize cycle
+// warm-starts from it exactly as if this process had produced it, and until
+// then LastAssignment/Snapshot serve it unchanged.  The assignment is deep
+// copied; callers should pass the energy journaled alongside it.
+func (o *Optimizer) RestoreAssignment(a *netmodel.Assignment, energy float64) {
+	o.lastAssignment = a.Clone()
+	o.lastEnergy = energy
+}
+
 // greedyRecolor rebuilds the masked region of a warm labeling the way the
 // cold pipeline's greedy-colouring warm start would: masked nodes are
 // treated as unassigned and re-coloured in decreasing-degree order against

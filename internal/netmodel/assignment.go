@@ -3,6 +3,7 @@ package netmodel
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 )
@@ -67,6 +68,105 @@ func (a *Assignment) Len() int {
 		n += len(m)
 	}
 	return n
+}
+
+// SetHost replaces the host's whole service→product map with a copy of m.
+// An empty or nil m removes the host from the assignment.  It is the patch
+// primitive of the persistence plane: a WAL record stores the full post-state
+// map of every changed host, so replay replaces host maps wholesale instead
+// of merging individual services.
+func (a *Assignment) SetHost(h HostID, m map[ServiceID]ProductID) {
+	if len(m) == 0 {
+		delete(a.products, h)
+		return
+	}
+	mm := make(map[ServiceID]ProductID, len(m))
+	for s, p := range m {
+		mm[s] = p
+	}
+	a.products[h] = mm
+}
+
+// RemoveHost drops every assignment of the host.
+func (a *Assignment) RemoveHost(h HostID) { delete(a.products, h) }
+
+// Hash returns a stable FNV-1a fingerprint of the assignment covering every
+// (host, service, product) triple in sorted order.  It is the determinism
+// fingerprint the serving API exposes as assignment_hash and the integrity
+// check the WAL journals with every record: recovery recomputes it over the
+// replayed state and compares against the value journaled at write time.
+func (a *Assignment) Hash() string {
+	if a == nil {
+		return ""
+	}
+	h := fnv.New64a()
+	for _, host := range a.Hosts() {
+		m := a.products[host]
+		services := make([]ServiceID, 0, len(m))
+		for s := range m {
+			services = append(services, s)
+		}
+		sort.Slice(services, func(i, j int) bool { return services[i] < services[j] })
+		for _, svc := range services {
+			fmt.Fprintf(h, "%s\x00%s\x00%s\n", host, svc, m[svc])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// DiffHosts compares the assignment against a previous one, returning the
+// per-host changes that turn prev into a: changed maps every host whose
+// service→product map is new or different to a copy of its full current map,
+// and removed lists (sorted) the hosts present in prev but absent now.  A WAL
+// record carries exactly this pair, so replay is a sequence of SetHost and
+// RemoveHost calls (see ApplyPatch) — compact for incremental re-solves that
+// move a few hosts, complete when a cold fallback reshuffles everything.
+func (a *Assignment) DiffHosts(prev *Assignment) (changed map[HostID]map[ServiceID]ProductID, removed []HostID) {
+	changed = make(map[HostID]map[ServiceID]ProductID)
+	for h, m := range a.products {
+		var pm map[ServiceID]ProductID
+		if prev != nil {
+			pm = prev.products[h]
+		}
+		same := len(pm) == len(m)
+		if same {
+			for s, p := range m {
+				if pp, ok := pm[s]; !ok || pp != p {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			mm := make(map[ServiceID]ProductID, len(m))
+			for s, p := range m {
+				mm[s] = p
+			}
+			changed[h] = mm
+		}
+	}
+	if prev != nil {
+		for h := range prev.products {
+			if _, ok := a.products[h]; !ok {
+				removed = append(removed, h)
+			}
+		}
+	}
+	sort.Slice(removed, func(i, j int) bool { return removed[i] < removed[j] })
+	return changed, removed
+}
+
+// ApplyPatch applies a DiffHosts result in place: removed hosts are dropped,
+// changed hosts have their whole map replaced.  Applying the patch produced
+// by cur.DiffHosts(prev) to a clone of prev yields an assignment equal to
+// cur — the replay invariant the WAL's recovery tests pin.
+func (a *Assignment) ApplyPatch(changed map[HostID]map[ServiceID]ProductID, removed []HostID) {
+	for _, h := range removed {
+		delete(a.products, h)
+	}
+	for h, m := range changed {
+		a.SetHost(h, m)
+	}
 }
 
 // Clone returns a deep copy of the assignment.

@@ -175,23 +175,42 @@ func (s *Server) runDeltaBatch(ctx context.Context, sess *session) {
 		// Every delta pre-checked, so only an engine-level failure lands
 		// here; the network may hold a prefix of the batch — mark the
 		// session pending so the next consistency-requiring request heals.
+		// In persist mode the whole batch is remembered for the journal:
+		// conservative (replay may over-apply the unapplied suffix, which
+		// recovery's final validation catches by skipping the session) but
+		// never silently under-journaled.
 		sess.pendingReopt = true
+		sess.rememberUnjournaled(accepted)
 		ackAll(accepted, applyErr)
 		return
 	}
 	// From here the network is mutated; if the re-optimisation fails
 	// (deadline mid-solve) the flag makes the next consistency-requiring
 	// request heal the session lazily — the dirty set survives in the
-	// optimiser.  Identical to the serial path.
+	// optimiser.  Identical to the serial path.  The mutations are not yet
+	// journaled either, so the batch joins the pending journal and the next
+	// successful publish's record carries it.
 	sess.pendingReopt = true
 	res, err := sess.opt.Reoptimize(ctx)
 	if err != nil {
+		sess.rememberUnjournaled(accepted)
+		ackAll(accepted, err)
+		return
+	}
+	prev := sess.snap.Load()
+	snap := sess.buildSnapshot(uint64(len(accepted)))
+	// Durability point: the record must be on disk (per the fsync policy)
+	// before the snapshot becomes visible or any ack goes out.  On failure
+	// nothing is installed — readers keep the pre-batch state, the manager
+	// is degraded, and pendingReopt stays set so consistency-requiring
+	// requests fail instead of observing the un-journaled network.
+	if err := s.journalPublish(sess, prev, snap, accepted); err != nil {
+		sess.rememberUnjournaled(accepted)
 		ackAll(accepted, err)
 		return
 	}
 	sess.pendingReopt = false
-	prev := sess.snap.Load()
-	snap := sess.publishN(uint64(len(accepted)))
+	sess.install(snap)
 	changed := changedHosts(prev, snap.assignment)
 	for _, rq := range accepted {
 		resp := DeltaResponse{

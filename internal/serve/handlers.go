@@ -15,6 +15,7 @@ import (
 	"netdiversity/internal/core"
 	"netdiversity/internal/metrics"
 	"netdiversity/internal/netmodel"
+	"netdiversity/internal/wal"
 )
 
 // routes mounts the v1 API on the server's mux.
@@ -69,6 +70,10 @@ func (s *Server) writeFailure(w http.ResponseWriter, err error) {
 		s.stats.rejected429.Add(1)
 		w.Header().Set("Retry-After", retryAfterSeconds)
 		writeError(w, http.StatusTooManyRequests, "too_many_sessions", err.Error())
+	case errors.Is(err, wal.ErrDegraded):
+		s.stats.rejected503.Add(1)
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeError(w, http.StatusServiceUnavailable, "persistence_degraded", err.Error())
 	default:
 		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
 	}
@@ -107,6 +112,11 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, into any) er
 // alphabet.
 func validSessionID(id string) bool {
 	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	if id == "." || id == ".." {
+		// Path-safe alphabet or not, these resolve to directories when the
+		// ID names the session's folder under the persistence data dir.
 		return false
 	}
 	for _, c := range id {
@@ -168,7 +178,7 @@ func (s *Server) loadSession(w http.ResponseWriter, r *http.Request, needSnap bo
 // snapshot.  The session is inserted before solving so the ID is reserved
 // against concurrent creates; a failed solve removes it again.
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w) || s.rejectDegraded(w) {
 		return
 	}
 	var req CreateRequest
@@ -226,7 +236,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		if id == "" {
 			id = s.store.allocID()
 		}
-		sess, snap, res, err = s.createSession(ctx, id, solverName, net, cs, sim, opts)
+		sess, snap, res, err = s.createSession(ctx, id, solverName, net, cs, sim, req.Similarity, opts)
 		if err == nil {
 			break
 		}
@@ -286,7 +296,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // deleted) or arrives after and observes the closed session — acknowledged
 // writes never disappear retroactively.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w) || s.rejectDegraded(w) {
 		return
 	}
 	sess, _, ok := s.loadSession(w, r, false)
@@ -304,6 +314,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		sess.closed = true
 		s.store.remove(sess.id)
 		s.dropCaches(sess)
+		if s.cfg.Persist != nil {
+			// Remove the on-disk state under the writer slot, so a crash
+			// between ack and removal at worst resurrects the session (the
+			// client retries the delete) and never the other way round.
+			s.cfg.Persist.Remove(sess.id) //nolint:errcheck // failure degrades the manager
+		}
 	}
 	sess.unlock()
 	if closed {
@@ -322,7 +338,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // batch lands as if it never existed), and each request is acked with the
 // post-batch version.
 func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) {
+	if s.rejectDraining(w) || s.rejectDegraded(w) {
 		return
 	}
 	sess, _, ok := s.loadSession(w, r, false)
@@ -399,8 +415,16 @@ func (s *Server) healPending(ctx context.Context, sess *session) error {
 	if _, err := sess.opt.Reoptimize(ctx); err != nil {
 		return err
 	}
+	prev := sess.snap.Load()
+	snap := sess.buildSnapshot(1)
+	// The healed state folds in the timed-out batch (sess.pendingJournal in
+	// persist mode), so it is journaled like any other publish before it
+	// becomes visible.
+	if err := s.journalPublish(sess, prev, snap, nil); err != nil {
+		return err
+	}
 	sess.pendingReopt = false
-	sess.publish()
+	sess.install(snap)
 	return nil
 }
 
@@ -736,10 +760,18 @@ func (s *Server) handleAssess(w http.ResponseWriter, r *http.Request) {
 
 // handleHealth implements GET /healthz.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:   "ok",
 		Sessions: s.store.len(),
 		Draining: s.draining.Load(),
 		Counters: s.Stats(),
-	})
+	}
+	if s.cfg.Persist != nil {
+		st := s.cfg.Persist.Stats()
+		resp.Persistence = &st
+		if st.Degraded {
+			resp.Status = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

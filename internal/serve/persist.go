@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"netdiversity/internal/core"
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/wal"
+)
+
+// Persistence integration: when Config.Persist is set, every publish of
+// writer-visible state is journaled before it becomes visible — create
+// writes the session's initial snapshot, each coalesced delta batch appends
+// one WAL record, and the ack only goes out after the record reached the
+// fsync policy's durability point.  Reads never touch the WAL.
+//
+// Degradation: the first persistence failure flips the manager into sticky
+// degraded mode.  State-changing requests are shed with 503 +
+// Retry-After (rejectDegraded), while lock-free reads keep serving the last
+// durably-acked snapshot — in-memory state that failed to journal is never
+// installed, so readers cannot observe acknowledged-but-lost writes.
+
+// persistFailed wraps a persistence error so writeFailure maps it onto the
+// 503 persistence_degraded response.
+func persistFailed(err error) error {
+	if errors.Is(err, wal.ErrDegraded) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", wal.ErrDegraded, err)
+}
+
+// rejectDegraded sheds state-changing requests while persistence is
+// degraded, mirroring rejectDraining: 503 with Retry-After, counted in the
+// 503 backpressure counter.
+func (s *Server) rejectDegraded(w http.ResponseWriter) bool {
+	if s.cfg.Persist == nil || !s.cfg.Persist.Degraded() {
+		return false
+	}
+	s.stats.rejected503.Add(1)
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	writeError(w, http.StatusServiceUnavailable, "persistence_degraded",
+		"persistence is degraded; state-changing requests are disabled until restart")
+	return true
+}
+
+// walSnapshot serializes the session's full state at a published snapshot —
+// the payload of both the create-time snapshot and every compaction.
+// Called under the writer slot; snap.assignment is immutable post-build, so
+// sharing the pointer with the marshaller is safe.
+func (s *session) walSnapshot(snap snapshot) (*wal.SessionSnapshot, error) {
+	var simRaw json.RawMessage
+	if s.simSpec != nil {
+		b, err := json.Marshal(s.simSpec)
+		if err != nil {
+			return nil, fmt.Errorf("serve: encode similarity spec: %w", err)
+		}
+		simRaw = b
+	}
+	return &wal.SessionSnapshot{
+		ID:            s.id,
+		Solver:        s.solver,
+		Seed:          s.seed,
+		MaxIterations: s.maxIter,
+		Version:       snap.version,
+		Energy:        snap.energy,
+		Hash:          snap.hash,
+		Spec:          netmodel.ToSpec(s.net, s.opt.Constraints()),
+		Assignment:    snap.assignment,
+		Similarity:    simRaw,
+	}, nil
+}
+
+// journalPublish journals the record that takes the session from prev to
+// snap: the batch's deltas (plus any pending un-journaled deltas from a
+// timed-out batch) and the assignment diff.  On success it also writes a
+// compacted snapshot when the log is due for one — best effort, since the
+// record itself is already durable.  A nil return is the caller's licence to
+// install the snapshot and ack; an error means nothing was made visible and
+// the manager is degraded.  Called under the writer slot.
+func (s *Server) journalPublish(sess *session, prev *snapshot, snap snapshot, batch []*deltaReq) error {
+	if sess.wlog == nil {
+		return nil
+	}
+	recDeltas := make([]netmodel.Delta, 0, len(sess.pendingJournal)+len(batch))
+	recDeltas = append(recDeltas, sess.pendingJournal...)
+	for _, rq := range batch {
+		recDeltas = append(recDeltas, rq.delta)
+	}
+	var prevVersion uint64
+	var prevAssignment *netmodel.Assignment
+	if prev != nil {
+		prevVersion, prevAssignment = prev.version, prev.assignment
+	}
+	changed, removed := snap.assignment.DiffHosts(prevAssignment)
+	rec := &wal.Record{
+		PrevVersion: prevVersion,
+		Version:     snap.version,
+		Deltas:      recDeltas,
+		Changed:     changed,
+		Removed:     removed,
+		Energy:      snap.energy,
+		Hash:        snap.hash,
+	}
+	if err := sess.wlog.Append(rec); err != nil {
+		return persistFailed(err)
+	}
+	// The record is durable: un-journaled history is now covered.
+	sess.pendingJournal = nil
+	if sess.wlog.ShouldSnapshot() {
+		if wsnap, err := sess.walSnapshot(snap); err == nil {
+			// A failed compaction degrades the manager but does not lose the
+			// record the client is about to be acked for.
+			sess.wlog.WriteSnapshot(wsnap) //nolint:errcheck // degradation recorded by the manager
+		}
+	}
+	return nil
+}
+
+// rememberUnjournaled records a batch whose network mutations landed without
+// a journaled record (re-optimisation failed mid-solve, or the append itself
+// failed): the deltas are kept so the next successful publish journals the
+// complete network history.  A shallow Delta copy suffices — recycled
+// requests drop their Ops reference without reusing the backing array.
+// Called under the writer slot.
+func (sess *session) rememberUnjournaled(batch []*deltaReq) {
+	if sess.wlog == nil {
+		return
+	}
+	for _, rq := range batch {
+		sess.pendingJournal = append(sess.pendingJournal, rq.delta)
+	}
+}
+
+// Restore registers a session recovered by wal.Recover: the optimiser is
+// rebuilt around the recovered network and seeded with the recovered
+// assignment (no re-solve — the recovered state is served verbatim, which is
+// what lets the crash-recovery smoke assert identical assignment hashes),
+// and the session resumes journaling on the recovered log handle.
+func (s *Server) Restore(rec *wal.Recovered) error {
+	meta := rec.Snapshot
+	if !validSessionID(meta.ID) {
+		return fmt.Errorf("serve: invalid recovered session id %q", meta.ID)
+	}
+	solver, err := core.ParseSolver(meta.Solver)
+	if err != nil {
+		return fmt.Errorf("serve: session %s: %w", meta.ID, err)
+	}
+	var simSpec *SimilaritySpec
+	if len(meta.Similarity) > 0 {
+		simSpec = &SimilaritySpec{}
+		if err := json.Unmarshal(meta.Similarity, simSpec); err != nil {
+			return fmt.Errorf("serve: session %s: decode similarity spec: %w", meta.ID, err)
+		}
+	}
+	sim, err := buildSimilarity(simSpec, rec.Net)
+	if err != nil {
+		return fmt.Errorf("serve: session %s: %w", meta.ID, err)
+	}
+	sess := &session{
+		id:      meta.ID,
+		solver:  meta.Solver,
+		seed:    meta.Seed,
+		writer:  make(chan struct{}, 1),
+		net:     rec.Net,
+		sim:     sim,
+		simSpec: simSpec,
+		maxIter: meta.MaxIterations,
+		wlog:    rec.Log,
+	}
+	opts := core.Options{
+		Solver:        solver,
+		MaxIterations: meta.MaxIterations,
+		Seed:          meta.Seed,
+		Checkpoint:    sess.checkpoint,
+	}
+	opt, err := core.NewOptimizer(rec.Net, sim, opts)
+	if err != nil {
+		return fmt.Errorf("serve: session %s: %w", meta.ID, err)
+	}
+	if rec.Constraints != nil && !rec.Constraints.Empty() {
+		if err := opt.SetConstraints(rec.Constraints); err != nil {
+			return fmt.Errorf("serve: session %s: %w", meta.ID, err)
+		}
+	}
+	opt.RestoreAssignment(meta.Assignment, meta.Energy)
+	sess.opt = opt
+	sess.writer <- struct{}{} // pre-held until the recovered snapshot is published
+	if err := s.store.put(sess); err != nil {
+		sess.unlock()
+		return fmt.Errorf("serve: session %s: %w", meta.ID, err)
+	}
+	sess.install(snapshot{
+		version:    meta.Version,
+		energy:     meta.Energy,
+		assignment: meta.Assignment.Clone(),
+		hash:       meta.Hash,
+		hosts:      rec.Net.NumHosts(),
+		links:      rec.Net.NumLinks(),
+	})
+	sess.unlock()
+	return nil
+}

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/wal"
+)
+
+func openWAL(t *testing.T, dir string, opts wal.Options) *wal.Manager {
+	t.Helper()
+	opts.Dir = dir
+	m, err := wal.Open(opts)
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// TestPersistRestartEquivalence is the restart contract: everything a
+// client saw acked before the "crash" is served identically by a fresh
+// server recovered from the same data directory.
+func TestPersistRestartEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	m := openWAL(t, dir, wal.Options{Policy: wal.SyncAlways, SnapshotEvery: 2})
+	_, ts := newTestServer(t, Config{Persist: m})
+
+	var created CreateResponse
+	if status := do(t, http.MethodPost, ts.URL+"/v1/networks", CreateRequest{
+		ID: "durable", Spec: testSpec(5), Seed: 3,
+	}, &created); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+	// Several deltas so at least one compacted snapshot happens mid-stream
+	// (SnapshotEvery=2) and the recovery path mixes snapshot + log replay.
+	var dres DeltaResponse
+	for i := 0; i < 5; i++ {
+		id := netmodel.HostID([]string{"x1", "x2", "x3", "x4", "x5"}[i])
+		if status := do(t, http.MethodPost, ts.URL+"/v1/networks/durable/deltas",
+			addHostDelta(id, "h0"), &dres); status != http.StatusOK {
+			t.Fatalf("delta %d: status %d", i, status)
+		}
+	}
+	var before AssignmentResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/networks/durable/assignment", nil, &before); status != http.StatusOK {
+		t.Fatal("assignment read failed")
+	}
+	m.Close() // handles released; data dir now cold, as after kill -9
+
+	m2 := openWAL(t, dir, wal.Options{Policy: wal.SyncAlways, SnapshotEvery: 2})
+	recovered, skipped, err := m2.Recover()
+	if err != nil || len(skipped) != 0 || len(recovered) != 1 {
+		t.Fatalf("Recover: %v (%d recovered, %d skipped)", err, len(recovered), len(skipped))
+	}
+	srv2, ts2 := newTestServer(t, Config{Persist: m2})
+	if err := srv2.Restore(recovered[0]); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+
+	var after AssignmentResponse
+	if status := do(t, http.MethodGet, ts2.URL+"/v1/networks/durable/assignment", nil, &after); status != http.StatusOK {
+		t.Fatal("post-restore assignment read failed")
+	}
+	if after.Version != before.Version || after.AssignmentHash != before.AssignmentHash {
+		t.Fatalf("restart changed state: v%d/%s -> v%d/%s",
+			before.Version, before.AssignmentHash, after.Version, after.AssignmentHash)
+	}
+	if !after.Assignment.Equal(before.Assignment) {
+		t.Fatal("restart changed the assignment content")
+	}
+
+	// The recovered session keeps working: deltas, metrics, assess.
+	if status := do(t, http.MethodPost, ts2.URL+"/v1/networks/durable/deltas",
+		addHostDelta("x6", "h1"), &dres); status != http.StatusOK {
+		t.Fatalf("post-restore delta: status %d", status)
+	}
+	if dres.Version != before.Version+1 {
+		t.Fatalf("post-restore version %d, want %d", dres.Version, before.Version+1)
+	}
+	var metrics MetricsResponse
+	if status := do(t, http.MethodGet, ts2.URL+"/v1/networks/durable/metrics", nil, &metrics); status != http.StatusOK {
+		t.Fatalf("post-restore metrics: status %d", status)
+	}
+	if metrics.Hosts != 11 || metrics.D1 <= 0 {
+		t.Fatalf("post-restore metrics: %+v", metrics)
+	}
+}
+
+// TestPersistDegradedSheds503 pins the disk-failure contract: writes shed
+// 503 persistence_degraded with Retry-After, reads keep serving, and
+// /healthz reports the degraded persistence plane.
+func TestPersistDegradedSheds503(t *testing.T) {
+	ffs := wal.NewFaultFS(wal.OS)
+	m := openWAL(t, t.TempDir(), wal.Options{FS: ffs})
+	_, ts := newTestServer(t, Config{Persist: m})
+
+	var created CreateResponse
+	if status := do(t, http.MethodPost, ts.URL+"/v1/networks", CreateRequest{
+		ID: "sick", Spec: testSpec(4), Seed: 1,
+	}, &created); status != http.StatusCreated {
+		t.Fatalf("create: status %d", status)
+	}
+
+	// The disk dies; the next delta fails its journal append and must NOT
+	// change visible state.
+	ffs.FailWrites(errors.New("EIO"))
+	status, code := errCode(t, http.MethodPost, ts.URL+"/v1/networks/sick/deltas", addHostDelta("x1", "h0"))
+	if status != http.StatusServiceUnavailable || code != "persistence_degraded" {
+		t.Fatalf("delta on dead disk: status %d code %s", status, code)
+	}
+	var got AssignmentResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/networks/sick/assignment", nil, &got); status != http.StatusOK {
+		t.Fatal("read while degraded failed")
+	}
+	if got.Version != created.Version || got.AssignmentHash != created.AssignmentHash {
+		t.Fatalf("un-journaled state became visible: v%d/%s", got.Version, got.AssignmentHash)
+	}
+
+	// Degradation is sticky: every state-changing endpoint sheds with
+	// Retry-After even after the disk "heals", until restart.
+	ffs.FailWrites(nil)
+	resp, err := http.Post(ts.URL+"/v1/networks/sick/deltas", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("degraded delta: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if status, code := errCode(t, http.MethodPost, ts.URL+"/v1/networks", CreateRequest{Spec: testSpec(2)}); status != http.StatusServiceUnavailable || code != "persistence_degraded" {
+		t.Fatalf("degraded create: status %d code %s", status, code)
+	}
+	if status, code := errCode(t, http.MethodDelete, ts.URL+"/v1/networks/sick", nil); status != http.StatusServiceUnavailable || code != "persistence_degraded" {
+		t.Fatalf("degraded delete: status %d code %s", status, code)
+	}
+
+	var health HealthResponse
+	if status := do(t, http.MethodGet, ts.URL+"/healthz", nil, &health); status != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	if health.Status != "degraded" || health.Persistence == nil || !health.Persistence.Degraded {
+		t.Fatalf("healthz: %+v", health)
+	}
+	if health.Persistence.LastError == "" {
+		t.Fatalf("healthz persistence lacks last_error: %+v", health.Persistence)
+	}
+}
+
+// TestPersistHealthzBlock pins the healthy-path persistence report.
+func TestPersistHealthzBlock(t *testing.T) {
+	m := openWAL(t, t.TempDir(), wal.Options{Policy: wal.SyncInterval})
+	_, ts := newTestServer(t, Config{Persist: m})
+	var health HealthResponse
+	if status := do(t, http.MethodGet, ts.URL+"/healthz", nil, &health); status != http.StatusOK {
+		t.Fatal("healthz failed")
+	}
+	if health.Status != "ok" || health.Persistence == nil {
+		t.Fatalf("healthz: %+v", health)
+	}
+	if health.Persistence.Policy != "interval" || health.Persistence.Degraded {
+		t.Fatalf("persistence block: %+v", health.Persistence)
+	}
+}
+
+// TestPersistDeleteRemovesDir pins that DELETE drops the session's
+// directory, so a restart does not resurrect it.
+func TestPersistDeleteRemovesDir(t *testing.T) {
+	dir := t.TempDir()
+	m := openWAL(t, dir, wal.Options{})
+	_, ts := newTestServer(t, Config{Persist: m})
+	if status := do(t, http.MethodPost, ts.URL+"/v1/networks", CreateRequest{
+		ID: "gone", Spec: testSpec(3),
+	}, nil); status != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gone")); err != nil {
+		t.Fatalf("session dir missing after create: %v", err)
+	}
+	if status := do(t, http.MethodDelete, ts.URL+"/v1/networks/gone", nil, nil); status != http.StatusNoContent {
+		t.Fatal("delete failed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gone")); !os.IsNotExist(err) {
+		t.Fatalf("session dir survived delete: %v", err)
+	}
+}
+
+// TestPersistCustomSimilaritySurvivesRestart pins that a custom similarity
+// table is journaled in the snapshot and rebuilt on recovery.
+func TestPersistCustomSimilaritySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	m := openWAL(t, dir, wal.Options{})
+	_, ts := newTestServer(t, Config{Persist: m})
+	req := CreateRequest{
+		ID: "sim", Spec: testSpec(4), Seed: 5,
+		Similarity: &SimilaritySpec{
+			Kind:    "custom",
+			Default: 0.25,
+			Entries: []SimilarityEntry{{A: "win7", B: "ubt1404", Sim: 0.9}},
+		},
+	}
+	if status := do(t, http.MethodPost, ts.URL+"/v1/networks", req, nil); status != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	var before MetricsResponse
+	if status := do(t, http.MethodGet, ts.URL+"/v1/networks/sim/metrics", nil, &before); status != http.StatusOK {
+		t.Fatal("metrics failed")
+	}
+	m.Close()
+
+	m2 := openWAL(t, dir, wal.Options{})
+	recovered, _, err := m2.Recover()
+	if err != nil || len(recovered) != 1 {
+		t.Fatalf("Recover: %v", err)
+	}
+	srv2, ts2 := newTestServer(t, Config{Persist: m2})
+	if err := srv2.Restore(recovered[0]); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	var after MetricsResponse
+	if status := do(t, http.MethodGet, ts2.URL+"/v1/networks/sim/metrics", nil, &after); status != http.StatusOK {
+		t.Fatal("post-restore metrics failed")
+	}
+	// PairwiseCost is computed from the similarity table over the live
+	// assignment; identical values mean the custom table was rebuilt.
+	if after.PairwiseCost != before.PairwiseCost || after.Energy != before.Energy {
+		t.Fatalf("similarity not restored: %+v vs %+v", before, after)
+	}
+}

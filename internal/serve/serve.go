@@ -56,6 +56,7 @@ import (
 	"netdiversity/internal/core"
 	"netdiversity/internal/netmodel"
 	"netdiversity/internal/vulnsim"
+	"netdiversity/internal/wal"
 )
 
 // Config tunes a Server.  The zero value serves with the documented defaults.
@@ -91,6 +92,11 @@ type Config struct {
 	// When the budget is exhausted, responses fall back to per-request
 	// encoding.  Default 64 MiB.
 	MaxCachedBytes int64
+	// Persist enables the persistence plane: session state is journaled to
+	// the manager's data directory and delta acks wait for the fsync
+	// policy's durability point (see internal/wal and persist.go).  Nil
+	// serves memory-only, exactly as before.
+	Persist *wal.Manager
 }
 
 func (c Config) withDefaults() Config {
@@ -221,14 +227,16 @@ func (s *Server) Sessions() int { return s.store.len() }
 // rollback observes the closed flag instead of an orphan.
 func (s *Server) createSession(ctx context.Context, id, solverName string,
 	net *netmodel.Network, cs *netmodel.ConstraintSet, sim *vulnsim.SimilarityTable,
-	opts core.Options) (*session, snapshot, core.Result, error) {
+	simSpec *SimilaritySpec, opts core.Options) (*session, snapshot, core.Result, error) {
 	sess := &session{
-		id:     id,
-		solver: solverName,
-		seed:   opts.Seed,
-		writer: make(chan struct{}, 1),
-		net:    net,
-		sim:    sim,
+		id:      id,
+		solver:  solverName,
+		seed:    opts.Seed,
+		writer:  make(chan struct{}, 1),
+		net:     net,
+		sim:     sim,
+		simSpec: simSpec,
+		maxIter: opts.MaxIterations,
 	}
 	// Every solve the session's optimiser ever runs reports to the slot
 	// grant active at that moment, so long solves yield to cheaper tenants
@@ -256,14 +264,31 @@ func (s *Server) createSession(ctx context.Context, id, solverName string,
 		defer done()
 		return opt.Optimize(ctx)
 	}()
-	if err != nil {
+	rollback := func(err error) (*session, snapshot, core.Result, error) {
 		sess.closed = true
 		s.store.remove(id)
 		s.dropCaches(sess)
 		sess.unlock()
 		return nil, snapshot{}, core.Result{}, err
 	}
-	snap := sess.publish()
+	if err != nil {
+		return rollback(err)
+	}
+	snap := sess.buildSnapshot(1)
+	if s.cfg.Persist != nil {
+		// The session exists once (and only once) its initial snapshot is on
+		// disk: a create acked to the client survives an immediate crash.
+		wsnap, werr := sess.walSnapshot(snap)
+		if werr != nil {
+			return rollback(persistFailed(werr))
+		}
+		l, werr := s.cfg.Persist.Create(wsnap)
+		if werr != nil {
+			return rollback(persistFailed(werr))
+		}
+		sess.wlog = l
+	}
+	sess.install(snap)
 	sess.unlock()
 	return sess, snap, res, nil
 }
@@ -294,6 +319,6 @@ func (s *Server) Preload(id string, net *netmodel.Network, cs *netmodel.Constrai
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.RequestTimeout)
 	defer cancel()
-	_, _, _, err := s.createSession(ctx, id, solverName, net, cs, sim, opts)
+	_, _, _, err := s.createSession(ctx, id, solverName, net, cs, sim, nil, opts)
 	return err
 }

@@ -2,14 +2,12 @@ package serve
 
 import (
 	"context"
-	"fmt"
-	"hash/fnv"
-	"sort"
 	"sync/atomic"
 
 	"netdiversity/internal/core"
 	"netdiversity/internal/netmodel"
 	"netdiversity/internal/vulnsim"
+	"netdiversity/internal/wal"
 )
 
 // session is one tenant network: a live optimiser plus the serving-side
@@ -25,6 +23,27 @@ type session struct {
 	// instead of a sync.Mutex so queued writers can honour request
 	// deadlines.
 	writer chan struct{}
+
+	// wlog is the session's write-ahead log handle when the server runs
+	// with persistence (nil otherwise).  Guarded by the writer slot: every
+	// append and compaction happens on the publish path, which the slot
+	// already serialises.
+	wlog *wal.Log
+
+	// simSpec is the similarity spec the session was created with (nil for
+	// the paper default), kept so compacted snapshots can serialize it.
+	simSpec *SimilaritySpec
+
+	// maxIter is the session's solver iteration budget, journaled in
+	// snapshots so a recovered session solves with the same knobs.
+	maxIter int
+
+	// pendingJournal holds deltas that mutated the network but are not yet
+	// covered by a journaled record — a batch whose re-optimisation timed
+	// out mid-solve.  The next successful publish folds them into its
+	// record so replay reconstructs the full network history.  Guarded by
+	// the writer slot.
+	pendingJournal []netmodel.Delta
 
 	// opt, net and sim are guarded by the writer slot.
 	opt *core.Optimizer
@@ -146,6 +165,15 @@ func (s *session) publish() snapshot { return s.publishN(1) }
 // lock-free readers can never observe optimiser-internal state no matter how
 // core evolves.
 func (s *session) publishN(n uint64) snapshot {
+	snap := s.buildSnapshot(n)
+	s.install(snap)
+	return snap
+}
+
+// buildSnapshot computes the snapshot publishN would install without
+// installing it — the persistence plane journals the state between build and
+// install, so lock-free readers only ever observe durably-acked state.
+func (s *session) buildSnapshot(n uint64) snapshot {
 	a, energy, ok := s.opt.Snapshot()
 	if !ok {
 		// Unreachable: publish follows a successful Optimize/Reoptimize.
@@ -156,7 +184,7 @@ func (s *session) publishN(n uint64) snapshot {
 	if prev != nil {
 		version = prev.version + n
 	}
-	snap := snapshot{
+	return snapshot{
 		version:    version,
 		energy:     energy,
 		assignment: a,
@@ -164,29 +192,16 @@ func (s *session) publishN(n uint64) snapshot {
 		hosts:      s.net.NumHosts(),
 		links:      s.net.NumLinks(),
 	}
-	s.snap.Store(&snap)
-	return snap
 }
+
+// install publishes a built snapshot to lock-free readers.  Must be called
+// by the writer-slot holder, after the snapshot's WAL record (if any) is
+// durable.
+func (s *session) install(snap snapshot) { s.snap.Store(&snap) }
 
 // AssignmentHash returns a stable FNV-1a hash of an assignment — the
 // fingerprint the API exposes so clients (and the CI smoke test) can assert
-// deterministic results without diffing the whole assignment.  The hash
-// covers every (host, service, product) triple in sorted order.
-func AssignmentHash(a *netmodel.Assignment) string {
-	if a == nil {
-		return ""
-	}
-	h := fnv.New64a()
-	for _, host := range a.Hosts() {
-		m := a.HostAssignment(host)
-		services := make([]netmodel.ServiceID, 0, len(m))
-		for s := range m {
-			services = append(services, s)
-		}
-		sort.Slice(services, func(i, j int) bool { return services[i] < services[j] })
-		for _, svc := range services {
-			fmt.Fprintf(h, "%s\x00%s\x00%s\n", host, svc, m[svc])
-		}
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
+// deterministic results without diffing the whole assignment.  It delegates
+// to netmodel.Assignment.Hash, the shared implementation the WAL recovery
+// path verifies replayed state against.
+func AssignmentHash(a *netmodel.Assignment) string { return a.Hash() }

@@ -5,6 +5,7 @@ import (
 
 	"netdiversity/internal/netmodel"
 	"netdiversity/internal/vulnsim"
+	"netdiversity/internal/wal"
 )
 
 // errorBody is the JSON error envelope every non-2xx response carries.
@@ -219,6 +220,7 @@ type AssessResponse struct {
 
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
+	// Status is "ok", or "degraded" while persistence is shedding writes.
 	Status   string `json:"status"`
 	Sessions int    `json:"sessions"`
 	Draining bool   `json:"draining,omitempty"`
@@ -226,4 +228,7 @@ type HealthResponse struct {
 	// requests, 429 session-limit rejections, 503 drain rejections and 504
 	// deadline hits.
 	Counters Stats `json:"counters"`
+	// Persistence reports the persistence plane (fsync policy, WAL lag,
+	// snapshot and sync-error counters); omitted when divd runs memory-only.
+	Persistence *wal.Stats `json:"persistence,omitempty"`
 }

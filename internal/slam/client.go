@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"netdiversity/internal/netgen"
@@ -154,35 +155,79 @@ const (
 // do issues one request and classifies the result, draining the body so the
 // HTTP client reuses connections.  Only transport errors return err; HTTP
 // error statuses are data, not failures — backpressure is the measurement.
-func (t *target) do(ctx context.Context, method, path string, body []byte, wantStatus int) opOutcome {
+// For 429/503 responses the parsed Retry-After header (0 when absent or
+// unparsable) rides along so the retry loop can honour the server's hint.
+func (t *target) do(ctx context.Context, method, path string, body []byte, wantStatus int) (opOutcome, time.Duration) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, t.base+path, rd)
 	if err != nil {
-		return outcomeTransport
+		return outcomeTransport, 0
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := t.client.Do(req)
 	if err != nil {
-		return outcomeTransport
+		return outcomeTransport, 0
 	}
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for reuse
 	resp.Body.Close()
 	switch {
 	case resp.StatusCode == wantStatus:
-		return outcomeOK
+		return outcomeOK, 0
 	case resp.StatusCode == http.StatusTooManyRequests:
-		return outcome429
+		return outcome429, retryAfter(resp)
 	case resp.StatusCode == http.StatusServiceUnavailable:
-		return outcome503
+		return outcome503, retryAfter(resp)
 	case resp.StatusCode == http.StatusGatewayTimeout:
-		return outcome504
+		return outcome504, 0
 	default:
-		return outcomeOther
+		return outcomeOther, 0
+	}
+}
+
+// retryAfter parses a delay-seconds Retry-After header; 0 when absent or
+// not a plain integer (the HTTP-date form is not worth honouring here).
+func retryAfter(resp *http.Response) time.Duration {
+	h := resp.Header.Get("Retry-After")
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// issueRetry performs one logical operation with the config's retry budget:
+// a 429/503 outcome is retried up to cfg.Retries times, sleeping the
+// server's Retry-After when present and an exponential cfg.Backoff
+// (doubling per attempt) otherwise.  The returned outcome is the final
+// attempt's; the count is the retries consumed, which the recorder accounts
+// separately from errors — a retried-then-successful op is a success.
+func (t *target) issueRetry(ctx context.Context, cfg Config, op int, tn *tenant, reqSeed int64) (opOutcome, int64) {
+	var retries int64
+	for {
+		out, hint := t.issue(ctx, cfg, op, tn, reqSeed)
+		if out != outcome429 && out != outcome503 || retries >= int64(cfg.Retries) {
+			return out, retries
+		}
+		sleep := hint
+		if sleep <= 0 {
+			sleep = cfg.Backoff << retries
+		}
+		timer := time.NewTimer(sleep)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return out, retries
+		case <-timer.C:
+		}
+		retries++
 	}
 }
 
@@ -190,7 +235,7 @@ func (t *target) do(ctx context.Context, method, path string, body []byte, wantS
 // the randomised request parameters (delta nudge value, assessment seed,
 // transient-session suffix) so a run's request stream is a pure function of
 // the run seed.
-func (t *target) issue(ctx context.Context, cfg Config, op int, tn *tenant, reqSeed int64) opOutcome {
+func (t *target) issue(ctx context.Context, cfg Config, op int, tn *tenant, reqSeed int64) (opOutcome, time.Duration) {
 	switch op {
 	case opIdxRead:
 		return t.do(ctx, http.MethodGet, "/v1/networks/"+tn.id+"/assignment", nil, http.StatusOK)
@@ -199,7 +244,7 @@ func (t *target) issue(ctx context.Context, cfg Config, op int, tn *tenant, reqS
 	case opIdxDelta:
 		body, err := json.Marshal(deltaBody(tn, reqSeed))
 		if err != nil {
-			return outcomeTransport
+			return outcomeTransport, 0
 		}
 		return t.do(ctx, http.MethodPost, "/v1/networks/"+tn.id+"/deltas", body, http.StatusOK)
 	case opIdxAssess:
@@ -211,7 +256,7 @@ func (t *target) issue(ctx context.Context, cfg Config, op int, tn *tenant, reqS
 			"seed":      reqSeed,
 		})
 		if err != nil {
-			return outcomeTransport
+			return outcomeTransport, 0
 		}
 		return t.do(ctx, http.MethodPost, "/v1/networks/"+tn.id+"/assess", body, http.StatusOK)
 	case opIdxCreate:
@@ -221,7 +266,7 @@ func (t *target) issue(ctx context.Context, cfg Config, op int, tn *tenant, reqS
 		id := fmt.Sprintf("slam-x-%d", uint64(reqSeed))
 		return t.do(ctx, http.MethodPost, "/v1/networks", createTransientBody(tn, id), http.StatusCreated)
 	default:
-		return outcomeTransport
+		return outcomeTransport, 0
 	}
 }
 
@@ -230,7 +275,7 @@ func (t *target) issue(ctx context.Context, cfg Config, op int, tn *tenant, reqS
 // admission).
 func (t *target) cleanupTransient(ctx context.Context, reqSeed int64) {
 	id := fmt.Sprintf("slam-x-%d", uint64(reqSeed))
-	t.do(ctx, http.MethodDelete, "/v1/networks/"+id, nil, http.StatusNoContent)
+	t.do(ctx, http.MethodDelete, "/v1/networks/"+id, nil, http.StatusNoContent) //nolint:errcheck // best effort
 }
 
 // deltaBody builds the delta op of one request: an update_services on the
@@ -274,7 +319,7 @@ func createTransientBody(tn *tenant, id string) []byte {
 // remote targets may still be starting when a run begins.
 func (t *target) waitReady(ctx context.Context) error {
 	for {
-		if t.do(ctx, http.MethodGet, "/healthz", nil, http.StatusOK) == outcomeOK {
+		if out, _ := t.do(ctx, http.MethodGet, "/healthz", nil, http.StatusOK); out == outcomeOK {
 			return nil
 		}
 		select {

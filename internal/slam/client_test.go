@@ -5,7 +5,10 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"netdiversity/internal/serve"
 )
@@ -112,5 +115,58 @@ func TestRetryAfterHeader(t *testing.T) {
 	}
 	if got := resp3.Header.Get("Retry-After"); got == "" {
 		t.Error("503 response missing Retry-After")
+	}
+}
+
+// TestIssueRetryBudget pins the retry contract: 429/503 responses are
+// retried up to the budget honouring Retry-After, consumed retries are
+// reported separately from errors, and a retried-then-successful operation
+// is one success.
+func TestIssueRetryBudget(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/networks/tn/assignment", func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	tgt := &target{base: ts.URL, client: ts.Client()}
+	tn := &tenant{id: "tn"}
+	cfg := Config{Retries: 3, Backoff: time.Millisecond}
+
+	out, retries := tgt.issueRetry(context.Background(), cfg, opIdxRead, tn, 1)
+	if out != outcomeOK || retries != 2 {
+		t.Fatalf("retry run: outcome %v retries %d, want OK/2", out, retries)
+	}
+
+	// A budget smaller than the outage reports the final backpressure
+	// outcome with the budget fully consumed.
+	calls.Store(0)
+	cfg.Retries = 1
+	out, retries = tgt.issueRetry(context.Background(), cfg, opIdxRead, tn, 1)
+	if out != outcome503 || retries != 1 {
+		t.Fatalf("exhausted budget: outcome %v retries %d, want 503/1", out, retries)
+	}
+
+	// Zero budget never retries — the classic fire-once behaviour.
+	calls.Store(0)
+	cfg.Retries = 0
+	out, retries = tgt.issueRetry(context.Background(), cfg, opIdxRead, tn, 1)
+	if out != outcome503 || retries != 0 || calls.Load() != 1 {
+		t.Fatalf("zero budget: outcome %v retries %d calls %d", out, retries, calls.Load())
+	}
+
+	// Retry accounting flows into the report separately from errors.
+	rec := &recorder{}
+	rec.record(opIdxRead, outcomeOK, time.Millisecond, 2)
+	st := statsOf(&rec.hists[opIdxRead], &rec.outcomes[opIdxRead], rec.retries[opIdxRead])
+	if st.OK != 1 || st.Errors != 0 || st.Retries != 2 || st.Count != 1 {
+		t.Fatalf("stats: %+v", st)
 	}
 }

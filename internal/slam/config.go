@@ -110,6 +110,14 @@ type Config struct {
 	// RequestTimeout is the per-request client deadline (and the in-process
 	// server's request timeout).  Default 30s.
 	RequestTimeout time.Duration
+	// Retries is the retry budget per logical operation: a 429 or 503
+	// response is reissued up to this many times before the final outcome
+	// is recorded.  0 (the default) keeps the classic fire-once behaviour.
+	Retries int
+	// Backoff is the base sleep before a retry when the response carries no
+	// Retry-After hint; it doubles per attempt.  A present Retry-After
+	// always wins.  Default 100ms.
+	Backoff time.Duration
 	// Vary names the field swept across Values: "tenants", "workers",
 	// "rate", "hosts" or "mix".  Empty runs the config once.
 	Vary string
@@ -157,6 +165,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
 	}
 	return c
 }

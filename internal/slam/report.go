@@ -12,8 +12,9 @@ import (
 // reports written by a different version.
 //
 // Version history: 1 initial layout; 2 added the per-run "mem" block
-// (allocation/GC pressure of in-process runs).
-const SchemaVersion = 2
+// (allocation/GC pressure of in-process runs); 3 added retry accounting
+// (per-op "retries" counters and the retries/backoff config echo).
+const SchemaVersion = 3
 
 // Report is the machine-readable result of one divslam invocation: one
 // RunResult per Vary value (a single run when Vary is empty).
@@ -46,6 +47,8 @@ type ConfigInfo struct {
 	MaxIterations  int     `json:"max_iterations"`
 	AssessRuns     int     `json:"assess_runs"`
 	RequestTimeout float64 `json:"request_timeout_s"`
+	Retries        int     `json:"retries,omitempty"`
+	BackoffS       float64 `json:"backoff_s,omitempty"`
 }
 
 // RunResult is the measurement of one sub-run.
@@ -111,6 +114,11 @@ type OpStats struct {
 	Status504       int64 `json:"status_504,omitempty"`
 	StatusOther     int64 `json:"status_other,omitempty"`
 	TransportErrors int64 `json:"transport_errors,omitempty"`
+	// Retries counts the extra attempts the retry budget consumed on
+	// 429/503 responses.  A retried-then-successful op counts once in OK
+	// and its attempts here — retries are load, not failures, so they are
+	// deliberately kept out of Count and Errors.
+	Retries int64 `json:"retries,omitempty"`
 	// Latency statistics in milliseconds over successful requests.
 	MeanMS float64 `json:"mean_ms"`
 	P50MS  float64 `json:"p50_ms"`
@@ -122,8 +130,8 @@ type OpStats struct {
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
-// statsOf renders one merged (histogram, outcome tally) pair.
-func statsOf(h *Histogram, outcomes *[numOutcomes]int64) OpStats {
+// statsOf renders one merged (histogram, outcome tally, retry count) tuple.
+func statsOf(h *Histogram, outcomes *[numOutcomes]int64, retries int64) OpStats {
 	s := OpStats{
 		OK:              h.Count(),
 		Status429:       outcomes[outcome429],
@@ -131,6 +139,7 @@ func statsOf(h *Histogram, outcomes *[numOutcomes]int64) OpStats {
 		Status504:       outcomes[outcome504],
 		StatusOther:     outcomes[outcomeOther],
 		TransportErrors: outcomes[outcomeTransport],
+		Retries:         retries,
 		MeanMS:          h.MeanMS(),
 		P50MS:           h.QuantileMS(0.50),
 		P99MS:           h.QuantileMS(0.99),
@@ -158,18 +167,20 @@ func assemble(cfg Config, recs []*recorder, setupMS float64, elapsed time.Durati
 	}
 	var totalHist Histogram
 	var totalOutcomes [numOutcomes]int64
+	var totalRetries int64
 	names := Ops()
 	for op := 0; op < numOps; op++ {
-		st := statsOf(&merged.hists[op], &merged.outcomes[op])
+		st := statsOf(&merged.hists[op], &merged.outcomes[op], merged.retries[op])
 		if st.Count > 0 {
 			res.Ops[names[op]] = st
 		}
 		totalHist.Merge(&merged.hists[op])
+		totalRetries += merged.retries[op]
 		for c := 0; c < int(numOutcomes); c++ {
 			totalOutcomes[c] += merged.outcomes[op][c]
 		}
 	}
-	res.Total = statsOf(&totalHist, &totalOutcomes)
+	res.Total = statsOf(&totalHist, &totalOutcomes, totalRetries)
 	if res.DurationS > 0 {
 		res.AchievedRPS = float64(res.Total.OK) / res.DurationS
 	}
@@ -196,6 +207,8 @@ func configInfo(cfg Config) ConfigInfo {
 		MaxIterations:  cfg.MaxIterations,
 		AssessRuns:     cfg.AssessRuns,
 		RequestTimeout: cfg.RequestTimeout.Seconds(),
+		Retries:        cfg.Retries,
+		BackoffS:       cfg.Backoff.Seconds(),
 	}
 }
 

@@ -25,17 +25,23 @@ const (
 )
 
 // recorder accumulates one worker's measurements: a latency histogram per
-// operation (successful requests only) and an outcome tally per operation.
+// operation (successful requests only), an outcome tally per operation, and
+// the retries consumed per operation (accounted separately from errors — a
+// retried-then-successful op is one success that cost extra attempts).
 // Workers own their recorder exclusively during the run; the runner merges
 // them afterwards, so no measurement path takes a lock.
 type recorder struct {
 	hists    [numOps]Histogram
 	outcomes [numOps][numOutcomes]int64
+	retries  [numOps]int64
 }
 
-// record accounts one completed request.
-func (r *recorder) record(op int, out opOutcome, d time.Duration) {
+// record accounts one completed logical operation: its final outcome, its
+// end-to-end latency (covering retry attempts and backoff sleeps) and the
+// retries it consumed.
+func (r *recorder) record(op int, out opOutcome, d time.Duration, retries int64) {
 	r.outcomes[op][out]++
+	r.retries[op] += retries
 	if out == outcomeOK {
 		r.hists[op].Record(d)
 	}
@@ -45,6 +51,7 @@ func (r *recorder) record(op int, out opOutcome, d time.Duration) {
 func (r *recorder) merge(o *recorder) {
 	for op := 0; op < numOps; op++ {
 		r.hists[op].Merge(&o.hists[op])
+		r.retries[op] += o.retries[op]
 		for c := 0; c < int(numOutcomes); c++ {
 			r.outcomes[op][c] += o.outcomes[op][c]
 		}
@@ -288,8 +295,8 @@ func runClosed(ctx context.Context, cfg Config, tgt *target, tenants []*tenant, 
 				tn := tenants[rng.Intn(len(tenants))]
 				reqSeed := int64(rng.Uint64() >> 1)
 				reqStart := time.Now()
-				out := tgt.issue(ctx, cfg, op, tn, reqSeed)
-				rec.record(op, out, time.Since(reqStart))
+				out, nretries := tgt.issueRetry(ctx, cfg, op, tn, reqSeed)
+				rec.record(op, out, time.Since(reqStart), nretries)
 				if op == opIdxCreate && out == outcomeOK {
 					tgt.cleanupTransient(ctx, reqSeed)
 				}
@@ -331,8 +338,8 @@ func runOpen(ctx context.Context, cfg Config, tgt *target, tenants []*tenant, we
 				if ctx.Err() != nil {
 					continue // drain the queue without issuing
 				}
-				out := tgt.issue(ctx, cfg, job.op, job.tenant, job.reqSeed)
-				rec.record(job.op, out, time.Since(job.at))
+				out, nretries := tgt.issueRetry(ctx, cfg, job.op, job.tenant, job.reqSeed)
+				rec.record(job.op, out, time.Since(job.at), nretries)
 				if job.op == opIdxCreate && out == outcomeOK {
 					tgt.cleanupTransient(ctx, job.reqSeed)
 				}

@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Crash-point names of the append and snapshot paths, in execution order.
+// Each marks a stage boundary where a process can die; the recovery tests
+// arm every one of them and assert the invariant the durability contract
+// promises: recovered state equals either the pre-record or the post-record
+// assignment, never anything in between.
+const (
+	// FPPreAppend fires before any bytes of a record reach the log.
+	FPPreAppend = "append:pre"
+	// FPMidAppend fires after the record bytes are written but before the
+	// policy's durability point (fsync under always).
+	FPMidAppend = "append:mid"
+	// FPPostAppend fires after the record is durable per policy but before
+	// the caller can ack the client.
+	FPPostAppend = "append:post"
+	// FPPreSnapshot fires before a compacted snapshot write begins.
+	FPPreSnapshot = "snapshot:pre"
+	// FPMidSnapshot fires after the temp snapshot file is fully written but
+	// before the rename commits it.
+	FPMidSnapshot = "snapshot:mid"
+	// FPPostRename fires after the rename commits the snapshot but before
+	// old segments and snapshots are cleaned up.
+	FPPostRename = "snapshot:post-rename"
+)
+
+// ErrCrashPoint is the conventional error a fail-point hook returns to
+// simulate a crash at that stage boundary.
+var ErrCrashPoint = errors.New("wal: crash point reached")
+
+var (
+	// failArmed counts installed hooks so the production path pays a single
+	// atomic load (and nothing else) when no test has armed anything.
+	failArmed  atomic.Int32
+	failMu     sync.Mutex
+	failPoints = make(map[string]func() error)
+)
+
+// SetFailPoint installs a hook at a named crash point.  When the WAL reaches
+// the point it calls the hook; a non-nil error aborts the operation there,
+// exactly as a crash would from the caller's point of view.  Test-only.
+func SetFailPoint(name string, fn func() error) {
+	failMu.Lock()
+	defer failMu.Unlock()
+	if _, ok := failPoints[name]; !ok {
+		failArmed.Add(1)
+	}
+	failPoints[name] = fn
+}
+
+// ClearFailPoint removes the hook at a named crash point.
+func ClearFailPoint(name string) {
+	failMu.Lock()
+	defer failMu.Unlock()
+	if _, ok := failPoints[name]; ok {
+		failArmed.Add(-1)
+		delete(failPoints, name)
+	}
+}
+
+// ClearFailPoints removes every installed hook.
+func ClearFailPoints() {
+	failMu.Lock()
+	defer failMu.Unlock()
+	failArmed.Add(-int32(len(failPoints)))
+	clear(failPoints)
+}
+
+// failpoint runs the hook installed at name, if any.
+func failpoint(name string) error {
+	if failArmed.Load() == 0 {
+		return nil
+	}
+	failMu.Lock()
+	fn := failPoints[name]
+	failMu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn()
+}

@@ -1,0 +1,155 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error FaultFS returns for injected failures when the
+// test does not supply its own.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps another FS and injects failures on demand: short writes (a
+// byte budget that runs out mid-record, leaving a torn frame on disk), fsync
+// errors, and rename failures.  Together with the crash-point hooks it lets
+// tests walk the WAL through every failure mode a real disk exhibits while
+// the underlying data stays inspectable on the real filesystem.
+type FaultFS struct {
+	inner FS
+
+	mu          sync.Mutex
+	writeErr    error
+	syncErr     error
+	renameErr   error
+	writeBudget int64 // bytes still allowed through; <0 means unlimited
+}
+
+// NewFaultFS wraps inner with fault injection disabled.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, writeBudget: -1}
+}
+
+// FailWrites makes every subsequent Write fail with err (nil restores
+// normal behaviour).
+func (f *FaultFS) FailWrites(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeErr = err
+}
+
+// FailSync makes every subsequent Sync (and SyncDir) fail with err (nil
+// restores normal behaviour).
+func (f *FaultFS) FailSync(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// FailRename makes every subsequent Rename fail with err (nil restores
+// normal behaviour).
+func (f *FaultFS) FailRename(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.renameErr = err
+}
+
+// SetWriteBudget allows the next n bytes through before writes start
+// failing: the write that crosses the budget is truncated to the remaining
+// bytes and returns ErrInjected — a short write that leaves a torn record.
+// A negative n disables the budget.
+func (f *FaultFS) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+}
+
+// OpenFile opens through the inner FS, wrapping the file for injection.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+// Rename forwards to the inner FS unless a rename failure is armed.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	err := f.renameErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove forwards to the inner FS.
+func (f *FaultFS) Remove(name string) error { return f.inner.Remove(name) }
+
+// RemoveAll forwards to the inner FS.
+func (f *FaultFS) RemoveAll(path string) error { return f.inner.RemoveAll(path) }
+
+// MkdirAll forwards to the inner FS.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadDir forwards to the inner FS.
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.inner.ReadDir(name) }
+
+// Stat forwards to the inner FS.
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) { return f.inner.Stat(name) }
+
+// SyncDir forwards to the inner FS unless a sync failure is armed.
+func (f *FaultFS) SyncDir(name string) error {
+	f.mu.Lock()
+	err := f.syncErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.SyncDir(name)
+}
+
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	if err := ff.fs.writeErr; err != nil {
+		ff.fs.mu.Unlock()
+		return 0, err
+	}
+	allow := len(p)
+	budgeted := false
+	if ff.fs.writeBudget >= 0 {
+		budgeted = true
+		if int64(allow) > ff.fs.writeBudget {
+			allow = int(ff.fs.writeBudget)
+		}
+		ff.fs.writeBudget -= int64(allow)
+	}
+	ff.fs.mu.Unlock()
+
+	n, err := ff.File.Write(p[:allow])
+	if err != nil {
+		return n, err
+	}
+	if budgeted && allow < len(p) {
+		return n, ErrInjected
+	}
+	return n, nil
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	err := ff.fs.syncErr
+	ff.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}

@@ -1,0 +1,69 @@
+package wal
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the WAL writes through.  Keeping the
+// surface this small is what makes the error-injecting test filesystem
+// (FaultFS) a complete double: every byte the WAL persists flows through
+// Write, every durability point through Sync.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's written data to stable storage.
+	Sync() error
+}
+
+// FS abstracts the filesystem operations the WAL performs, so tests can
+// inject short writes, fsync errors and rename failures at any point of the
+// append and snapshot paths without touching a real disk's failure modes.
+// Production code uses OS.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (POSIX rename).
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// RemoveAll deletes a path and everything below it.
+	RemoveAll(path string) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// ReadDir lists a directory sorted by filename.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Stat describes a file.
+	Stat(name string) (os.FileInfo, error)
+	// SyncDir fsyncs a directory, making previously renamed/created entries
+	// durable (the rename barrier of the temp-then-rename snapshot commit).
+	SyncDir(name string) error
+}
+
+// OS is the production filesystem: thin wrappers over the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

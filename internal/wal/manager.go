@@ -1,0 +1,418 @@
+// Package wal is the persistence plane of the serving daemon: a per-session
+// write-ahead log of accepted delta batches plus periodic compacted
+// snapshots, with configurable fsync policy and crash recovery.
+//
+// Layout under the data directory:
+//
+//	<data-dir>/FORMAT                     format marker, refused if unknown
+//	<data-dir>/<session-id>/snap-<v>.snap compacted snapshot at version v
+//	<data-dir>/<session-id>/wal-<v>.log   log segment starting at version v
+//
+// A delta batch is acknowledged to the client only after its record reached
+// the policy's durability point (see Policy).  Snapshots are written
+// temp-then-rename with a checksummed footer and truncate the log by
+// rotating to a fresh segment and deleting everything older.  On boot,
+// Recover scans the directory, loads each session's newest valid snapshot,
+// replays the log tail — tolerating a torn final record — and verifies every
+// replayed record's journaled assignment hash.
+//
+// Disk failure degrades, never corrupts: the first persistence error marks
+// the manager degraded, the serve plane sheds writes with 503 + Retry-After,
+// and lock-free reads keep serving the last durably-acked state.  Degraded
+// mode is sticky until restart — after an fsync error the kernel may have
+// dropped dirty pages, so only a clean recovery re-establishes what is on
+// disk (the lesson of the 2018 PostgreSQL fsync saga).
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Policy selects the durability point of an append: the moment after which
+// the record is considered safe enough to ack.
+type Policy int
+
+const (
+	// SyncNever writes each record to the OS before ack but never fsyncs.
+	// Acked deltas survive a process crash (kill -9); an OS crash or power
+	// loss may lose the tail.  The default: durability against the common
+	// failure at near-zero latency cost.
+	SyncNever Policy = iota
+	// SyncInterval writes before ack and fsyncs in the background every
+	// interval, bounding OS-crash loss to one interval of records.
+	SyncInterval
+	// SyncAlways fsyncs before ack: every acked delta survives OS crash and
+	// power loss.  The strict mode the fault-injection matrix pins.
+	SyncAlways
+)
+
+// String returns the flag spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	default:
+		return "never"
+	}
+}
+
+// ParsePolicy parses a -fsync flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never", "":
+		return SyncNever, nil
+	default:
+		return SyncNever, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+	}
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the data directory; created if missing.
+	Dir string
+	// Policy is the fsync policy (default SyncNever).
+	Policy Policy
+	// Interval is the background fsync period under SyncInterval
+	// (default 100ms).
+	Interval time.Duration
+	// SnapshotEvery is the number of records appended to a session's log
+	// before the next write triggers a compacted snapshot (default 64).
+	SnapshotEvery int
+	// SegmentBytes rotates a log segment once it exceeds this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// FS overrides the filesystem, for fault-injection tests (default OS).
+	FS FS
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 64
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.FS == nil {
+		o.FS = OS
+	}
+	return o
+}
+
+// formatFile guards against pointing divd at a directory written by an
+// incompatible future format.
+const formatFile = "FORMAT"
+const formatV1 = "divd-wal v1\n"
+
+// ErrDegraded is returned by write operations after a persistence failure
+// marked the manager degraded.  The serve plane maps it to 503.
+var ErrDegraded = errors.New("wal: persistence degraded")
+
+// Manager owns the data directory: one Log per live session plus the shared
+// fsync policy, background syncer and degradation state.
+type Manager struct {
+	opts Options
+	fs   FS
+
+	degraded atomic.Bool
+	lastErr  atomic.Pointer[string]
+
+	// appended/synced count log bytes written vs durably fsynced; their
+	// difference is the WAL lag healthz reports.  Under SyncNever nothing
+	// ever counts as synced, so lag honestly reports the whole unsynced
+	// tail.
+	appended   atomic.Int64
+	synced     atomic.Int64
+	syncErrors atomic.Int64
+	records    atomic.Int64
+	snapshots  atomic.Int64
+	lastSnap   atomic.Uint64
+	recovered  atomic.Int64
+
+	mu     sync.Mutex
+	logs   map[string]*Log
+	closed bool
+
+	stopc  chan struct{}
+	doneWg sync.WaitGroup
+}
+
+// Open prepares the data directory (creating it and the format marker if
+// missing, refusing an unknown format) and starts the background syncer when
+// the policy is SyncInterval.  It does not load sessions; call Recover.
+func Open(opts Options) (*Manager, error) {
+	opts = opts.withDefaults()
+	if opts.Dir == "" {
+		return nil, errors.New("wal: data directory not set")
+	}
+	fs := opts.FS
+	if err := fs.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create data dir: %w", err)
+	}
+	marker := filepath.Join(opts.Dir, formatFile)
+	if _, err := fs.Stat(marker); err != nil {
+		f, err := fs.OpenFile(marker, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: write format marker: %w", err)
+		}
+		if _, err := io.WriteString(f, formatV1); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: write format marker: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, fmt.Errorf("wal: write format marker: %w", err)
+		}
+	} else {
+		f, err := fs.OpenFile(marker, os.O_RDONLY, 0)
+		if err != nil {
+			return nil, fmt.Errorf("wal: read format marker: %w", err)
+		}
+		raw, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("wal: read format marker: %w", err)
+		}
+		if string(raw) != formatV1 {
+			return nil, fmt.Errorf("wal: data dir %s has unknown format %q", opts.Dir, strings.TrimSpace(string(raw)))
+		}
+	}
+	m := &Manager{
+		opts:  opts,
+		fs:    fs,
+		logs:  make(map[string]*Log),
+		stopc: make(chan struct{}),
+	}
+	if opts.Policy == SyncInterval {
+		m.doneWg.Add(1)
+		go m.syncLoop()
+	}
+	return m, nil
+}
+
+// Policy returns the manager's fsync policy.
+func (m *Manager) Policy() Policy { return m.opts.Policy }
+
+// Degraded reports whether a persistence failure has put the manager into
+// sticky read-only degradation.
+func (m *Manager) Degraded() bool { return m.degraded.Load() }
+
+// degrade records a persistence failure and flips the manager degraded.
+func (m *Manager) degrade(err error) {
+	if err == nil {
+		return
+	}
+	s := err.Error()
+	m.lastErr.Store(&s)
+	m.degraded.Store(true)
+}
+
+// Stats is the persistence block healthz exposes.
+type Stats struct {
+	// Policy is the active fsync policy.
+	Policy string `json:"policy"`
+	// Degraded is true after a persistence failure; writes are shed.
+	Degraded bool `json:"degraded"`
+	// WalLagBytes is the number of appended log bytes not yet fsynced.
+	WalLagBytes int64 `json:"wal_lag_bytes"`
+	// Records is the total number of records appended since boot.
+	Records int64 `json:"records"`
+	// Snapshots is the number of compacted snapshots written since boot.
+	Snapshots int64 `json:"snapshots"`
+	// LastSnapshotVersion is the version of the newest snapshot written
+	// since boot (0 when none).
+	LastSnapshotVersion uint64 `json:"last_snapshot_version"`
+	// SyncErrors counts fsync failures.
+	SyncErrors int64 `json:"sync_errors"`
+	// SessionsRecovered counts sessions restored by boot recovery.
+	SessionsRecovered int64 `json:"sessions_recovered"`
+	// LastError is the most recent persistence error, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Stats returns a snapshot of the persistence counters.
+func (m *Manager) Stats() Stats {
+	st := Stats{
+		Policy:              m.opts.Policy.String(),
+		Degraded:            m.degraded.Load(),
+		WalLagBytes:         m.appended.Load() - m.synced.Load(),
+		Records:             m.records.Load(),
+		Snapshots:           m.snapshots.Load(),
+		LastSnapshotVersion: m.lastSnap.Load(),
+		SyncErrors:          m.syncErrors.Load(),
+		SessionsRecovered:   m.recovered.Load(),
+	}
+	if p := m.lastErr.Load(); p != nil {
+		st.LastError = *p
+	}
+	return st
+}
+
+// validID mirrors the serve plane's session-ID alphabet and additionally
+// rejects "." and ".." so a session ID can never escape the data directory.
+func validID(id string) bool {
+	if id == "" || len(id) > 64 || id == "." || id == ".." {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Create initialises persistence for a new session: a fresh directory, an
+// initial snapshot at the session's creation version, and an open log
+// segment.  Any leftover on-disk state under the same ID (an earlier
+// incarnation that was deleted or failed recovery) is wiped first — the
+// serve plane guarantees the ID is not live.
+func (m *Manager) Create(snap *SessionSnapshot) (*Log, error) {
+	if m.degraded.Load() {
+		return nil, ErrDegraded
+	}
+	if !validID(snap.ID) {
+		return nil, fmt.Errorf("wal: invalid session id %q", snap.ID)
+	}
+	dir := filepath.Join(m.opts.Dir, snap.ID)
+	if err := m.fs.RemoveAll(dir); err != nil {
+		m.degrade(err)
+		return nil, err
+	}
+	if err := m.fs.MkdirAll(dir, 0o755); err != nil {
+		m.degrade(err)
+		return nil, err
+	}
+	if _, err := writeSnapshotFile(m.fs, dir, snap, m.opts.Policy != SyncNever); err != nil {
+		m.degrade(err)
+		return nil, err
+	}
+	l, err := m.openLog(snap.ID, dir, snap.Version, 0)
+	if err != nil {
+		m.degrade(err)
+		return nil, err
+	}
+	m.snapshots.Add(1)
+	m.lastSnap.Store(snap.Version)
+	return l, nil
+}
+
+// openLog opens a fresh segment at version+1 and registers the log.
+func (m *Manager) openLog(id, dir string, version uint64, sinceSnap int) (*Log, error) {
+	path := filepath.Join(dir, segName(version+1))
+	f, err := m.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{
+		m:         m,
+		id:        id,
+		dir:       dir,
+		f:         f,
+		segPath:   path,
+		version:   version,
+		sinceSnap: sinceSnap,
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		f.Close()
+		return nil, errors.New("wal: manager closed")
+	}
+	m.logs[id] = l
+	return l, nil
+}
+
+// Remove tears down persistence for a deleted session: the log is closed and
+// the session directory removed.  Removal failures degrade the manager (the
+// directory would resurrect a deleted session on the next boot).
+func (m *Manager) Remove(id string) error {
+	m.mu.Lock()
+	l := m.logs[id]
+	delete(m.logs, id)
+	m.mu.Unlock()
+	if l != nil {
+		l.closeFile()
+	}
+	if !validID(id) {
+		return fmt.Errorf("wal: invalid session id %q", id)
+	}
+	if err := m.fs.RemoveAll(filepath.Join(m.opts.Dir, id)); err != nil {
+		m.degrade(err)
+		return err
+	}
+	return nil
+}
+
+// Close stops the background syncer and closes every session log, fsyncing
+// pending bytes (best effort) so a clean shutdown loses nothing even under
+// SyncNever... at least as far as the OS is concerned.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	logs := make([]*Log, 0, len(m.logs))
+	for _, l := range m.logs {
+		logs = append(logs, l)
+	}
+	m.mu.Unlock()
+	close(m.stopc)
+	m.doneWg.Wait()
+	var first error
+	for _, l := range logs {
+		if err := l.closeSync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// syncLoop is the SyncInterval background fsync goroutine.
+func (m *Manager) syncLoop() {
+	defer m.doneWg.Done()
+	t := time.NewTicker(m.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stopc:
+			return
+		case <-t.C:
+			m.syncAll()
+		}
+	}
+}
+
+// syncAll fsyncs every log with unsynced bytes.
+func (m *Manager) syncAll() {
+	m.mu.Lock()
+	logs := make([]*Log, 0, len(m.logs))
+	for _, l := range m.logs {
+		logs = append(logs, l)
+	}
+	m.mu.Unlock()
+	for _, l := range logs {
+		l.sync() //nolint:errcheck // degradation is recorded by sync itself
+	}
+}

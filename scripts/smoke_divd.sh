@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Smoke-test the divd daemon at the binary level: boot it, create a 50-host
 # network twice, assert deterministic assignment hashes, apply a delta and
-# assert the version moved.  CI's docs job runs this; it needs only curl and
-# python3.
+# assert the version moved.  Then the crash-recovery phase: boot with a data
+# directory under -fsync always, SIGKILL the daemon mid-load, restart it on
+# the same directory and assert every session recovers to a durably-acked
+# version with the identical assignment hash (docs/DURABILITY.md).  CI's
+# docs job runs this; it needs only curl and python3.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workdir="$(mktemp -d)"
-trap 'kill "$divd_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+trap 'kill "$divd_pid" 2>/dev/null || true; kill "$load_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+load_pid=""
 
 go build -o "$workdir/divd" ./cmd/divd
 
@@ -81,4 +85,114 @@ read_version="$(request 200 GET /v1/networks/smoke-a/assignment | json_field ver
 # Clean shutdown on SIGTERM.
 kill "$divd_pid"
 wait "$divd_pid" || { echo "FAIL: divd exited nonzero on SIGTERM"; exit 1; }
-echo "divd smoke test PASSED"
+echo "serving smoke PASSED"
+
+# ---------------------------------------------------------------------------
+# Crash-recovery phase: kill -9 the daemon mid-load, restart on the same data
+# directory, and hold it to the fsync=always contract — every acked write
+# survives, and recovered sessions serve the exact journaled hashes.
+
+data_dir="$workdir/data"
+
+boot_divd() { # boot_divd <logfile> -> sets divd_pid and base
+  "$workdir/divd" -addr 127.0.0.1:0 -data-dir "$data_dir" -fsync always >"$1" 2>&1 &
+  divd_pid=$!
+  base=""
+  for _ in $(seq 1 100); do
+    base="$(sed -n 's/^divd listening on //p' "$1" | head -1)"
+    [ -n "$base" ] && break
+    kill -0 "$divd_pid" 2>/dev/null || { echo "divd exited early:"; cat "$1"; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$base" ] || { echo "divd never reported its address"; cat "$1"; exit 1; }
+  base="http://$base"
+}
+
+boot_divd "$workdir/divd-crash.log"
+echo "durable divd up at $base (data dir $data_dir)"
+
+create_payload smoke-c >"$workdir/create-c.json"
+create_payload smoke-d >"$workdir/create-d.json"
+request 201 POST /v1/networks "$workdir/create-c.json" >/dev/null
+request 201 POST /v1/networks "$workdir/create-d.json" >/dev/null
+
+# smoke-d goes quiescent after one delta: its recovered state must match
+# exactly.  The ack is the durability point, so version and hash recorded
+# here are promises the restart has to keep.
+request 200 POST /v1/networks/smoke-d/deltas "$workdir/delta.json" >"$workdir/d-ack.json"
+d_version="$(json_field version <"$workdir/d-ack.json")"
+d_hash="$(json_field assignment_hash <"$workdir/d-ack.json")"
+
+# smoke-c takes a sustained write load; every acked (version, hash) pair is
+# logged so the post-crash state can be checked against the ack history.
+: >"$workdir/acked.log"
+(
+  i=0
+  while :; do
+    i=$(( (i % 9) + 1 ))
+    printf '{"ops":[{"op":"update_services","id":"h0","services":["s1","s2"],"choices":{"s1":["s1_p1","s1_p2","s1_p3","s1_p4"],"s2":["s2_p1","s2_p2","s2_p3","s2_p4"]},"preference":{"s1":{"s1_p1":0.%d}}}]}' "$i" >"$workdir/load-delta.json"
+    curl -sS -X POST -H 'Content-Type: application/json' \
+      --data-binary "@$workdir/load-delta.json" \
+      "$base/v1/networks/smoke-c/deltas" 2>/dev/null \
+      | python3 -c 'import json,sys
+try:
+    r = json.load(sys.stdin)
+    print(r["version"], r["assignment_hash"], flush=True)
+except Exception:
+    pass' >>"$workdir/acked.log" || break
+  done
+) &
+load_pid=$!
+
+# Let the load run, then kill the daemon dead mid-flight.
+sleep 2
+kill -9 "$divd_pid"
+kill "$load_pid" 2>/dev/null || true
+wait "$load_pid" 2>/dev/null || true
+load_pid=""
+wait "$divd_pid" 2>/dev/null || true
+
+acked_count="$(wc -l <"$workdir/acked.log")"
+[ "$acked_count" -ge 1 ] || { echo "FAIL: no deltas acked before the kill"; exit 1; }
+echo "killed divd -9 after $acked_count acked deltas"
+
+boot_divd "$workdir/divd-recover.log"
+grep -q "recovered smoke-c" "$workdir/divd-recover.log" || {
+  echo "FAIL: restart did not report recovering smoke-c" >&2
+  cat "$workdir/divd-recover.log" >&2
+  exit 1
+}
+
+# smoke-d (quiescent at the kill): exact version and hash.
+request 200 GET /v1/networks/smoke-d/assignment >"$workdir/d-after.json"
+d_after_version="$(json_field version <"$workdir/d-after.json")"
+d_after_hash="$(json_field assignment_hash <"$workdir/d-after.json")"
+if [ "$d_after_version" != "$d_version" ] || [ "$d_after_hash" != "$d_hash" ]; then
+  echo "FAIL: smoke-d recovered v$d_after_version/$d_after_hash, acked v$d_version/$d_hash" >&2
+  exit 1
+fi
+
+# smoke-c (under load at the kill): fsync=always means no acked write may be
+# lost — the recovered version is at least the last acked one, and wherever
+# the recovered version appears in the ack history the hashes must agree.
+request 200 GET /v1/networks/smoke-c/assignment >"$workdir/c-after.json"
+python3 - "$workdir/acked.log" "$workdir/c-after.json" <<'PY'
+import json, sys
+acked = {}
+for line in open(sys.argv[1]):
+    parts = line.split()
+    if len(parts) == 2:
+        acked[int(parts[0])] = parts[1]
+after = json.load(open(sys.argv[2]))
+got_v, got_h = after["version"], after["assignment_hash"]
+last = max(acked)
+if got_v < last:
+    sys.exit(f"FAIL: recovered version {got_v} lost acked version {last}")
+if got_v in acked and acked[got_v] != got_h:
+    sys.exit(f"FAIL: version {got_v} recovered hash {got_h}, acked {acked[got_v]}")
+print(f"smoke-c recovered at v{got_v} (last acked v{last}), hashes consistent")
+PY
+
+kill "$divd_pid"
+wait "$divd_pid" || { echo "FAIL: divd exited nonzero on SIGTERM after recovery"; exit 1; }
+echo "divd smoke test PASSED (serving + crash recovery)"
