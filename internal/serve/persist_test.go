@@ -178,13 +178,14 @@ func TestPersistDeleteRemovesDir(t *testing.T) {
 	}, nil); status != http.StatusCreated {
 		t.Fatal("create failed")
 	}
-	if _, err := os.Stat(filepath.Join(dir, "gone")); err != nil {
+	sessDir := filepath.Join(dir, "sessions", "gone")
+	if _, err := os.Stat(sessDir); err != nil {
 		t.Fatalf("session dir missing after create: %v", err)
 	}
 	if status := do(t, http.MethodDelete, ts.URL+"/v1/networks/gone", nil, nil); status != http.StatusNoContent {
 		t.Fatal("delete failed")
 	}
-	if _, err := os.Stat(filepath.Join(dir, "gone")); !os.IsNotExist(err) {
+	if _, err := os.Stat(sessDir); !os.IsNotExist(err) {
 		t.Fatalf("session dir survived delete: %v", err)
 	}
 }

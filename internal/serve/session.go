@@ -152,27 +152,17 @@ func (s *session) lock(ctx context.Context) error {
 // unlock releases the writer slot.
 func (s *session) unlock() { <-s.writer }
 
-// publish installs a new snapshot of the optimiser's current solution,
-// bumping the version by one.
-func (s *session) publish() snapshot { return s.publishN(1) }
-
-// publishN installs a new snapshot, advancing the version by n — the number
-// of accepted deltas the snapshot folds in, so a coalesced batch reaches the
-// same final version as the same deltas applied serially and the version
-// stays a monotone write counter either way.  Must be called by the
-// writer-slot holder after a successful solve.  The assignment comes from
-// core.Optimizer.Snapshot — a deep copy owned by the snapshot alone, so
-// lock-free readers can never observe optimiser-internal state no matter how
-// core evolves.
-func (s *session) publishN(n uint64) snapshot {
-	snap := s.buildSnapshot(n)
-	s.install(snap)
-	return snap
-}
-
-// buildSnapshot computes the snapshot publishN would install without
-// installing it — the persistence plane journals the state between build and
-// install, so lock-free readers only ever observe durably-acked state.
+// buildSnapshot computes the next published snapshot without installing it,
+// advancing the version by n — the number of accepted deltas the snapshot
+// folds in, so a coalesced batch reaches the same final version as the same
+// deltas applied serially and the version stays a monotone write counter
+// either way.  Must be called by the writer-slot holder after a successful
+// solve.  The assignment comes from core.Optimizer.Snapshot — a deep copy
+// owned by the snapshot alone, so lock-free readers can never observe
+// optimiser-internal state no matter how core evolves.  Build and install
+// are deliberately separate steps with no combined shortcut: the persistence
+// plane journals the state in between (journalPublish), so lock-free readers
+// only ever observe durably-acked state.
 func (s *session) buildSnapshot(n uint64) snapshot {
 	a, energy, ok := s.opt.Snapshot()
 	if !ok {

@@ -3,6 +3,7 @@ package wal
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"netdiversity/internal/netmodel"
 )
@@ -239,6 +240,59 @@ func TestRenameErrorFailsSnapshot(t *testing.T) {
 	got := recoverOne(t, dir)
 	if got.Snapshot.Version != 2 || got.Replayed != 1 {
 		t.Fatalf("recovered v%d replayed %d", got.Snapshot.Version, got.Replayed)
+	}
+}
+
+// TestRotateSyncsOutgoingSegment pins that rotation fsyncs the rotated-out
+// segment under a syncing policy: once rotated, the file is beyond the
+// background syncer's reach, so a failed fsync must fail the append and
+// degrade — not silently leave acked bytes unsynced forever.  Interval is
+// cranked up so the background syncer cannot drain the segment first.
+func TestRotateSyncsOutgoingSegment(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	m, l, cur, _ := crashSetup(t, dir, Options{FS: ffs, Policy: SyncInterval, SegmentBytes: 1, Interval: time.Hour})
+	if err := l.Append(patchRecord(cur, 1, "h0", "ubt1404")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	ffs.FailSync(errors.New("EIO"))
+	if err := l.Append(patchRecord(cur, 2, "h1", "osx109")); err == nil {
+		t.Fatal("append acked although the rotated-out segment could not be fsynced")
+	}
+	if !m.Degraded() {
+		t.Fatal("manager not degraded after rotation fsync failure")
+	}
+	if st := m.Stats(); st.SyncErrors == 0 || st.WalLagBytes == 0 {
+		t.Fatalf("stats after failed rotation sync: %+v", st)
+	}
+}
+
+// TestRotateAccountsSyncedBytes pins the lag accounting across rotation:
+// rotated-out bytes are credited as synced only because rotation fsynced
+// them, so wal_lag_bytes is exactly the unsynced tail.
+func TestRotateAccountsSyncedBytes(t *testing.T) {
+	dir := t.TempDir()
+	m, l, cur, _ := crashSetup(t, dir, Options{Policy: SyncInterval, SegmentBytes: 1, Interval: time.Hour})
+	var lastFrame int
+	for v := uint64(1); v < 4; v++ {
+		rec := patchRecord(cur, v, "h0", []netmodel.ProductID{"win7", "ubt1404", "osx109"}[v%3])
+		payload, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastFrame = len(appendFrame(nil, payload))
+		if err := l.Append(rec); err != nil {
+			t.Fatalf("Append v%d: %v", v, err)
+		}
+	}
+	if st := m.Stats(); st.WalLagBytes != int64(lastFrame) {
+		t.Fatalf("wal_lag_bytes = %d, want the tail frame's %d", st.WalLagBytes, lastFrame)
+	}
+	if err := l.sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if st := m.Stats(); st.WalLagBytes != 0 {
+		t.Fatalf("wal_lag_bytes = %d after sync, want 0", st.WalLagBytes)
 	}
 }
 

@@ -100,9 +100,27 @@ func (l *Log) Append(rec *Record) error {
 	return nil
 }
 
+// staleSuffix marks a segment openLog renamed aside because its name
+// collided with the fresh post-recovery tail.  Its frames are unreplayable
+// (torn, corrupt, or off-chain); the file is kept for inspection until the
+// next compaction deletes it.
+const staleSuffix = ".stale"
+
 // rotate closes the tail segment and opens a fresh one whose name carries
-// the version of its first record.  Called with l.mu held.
+// the version of its first record.  Under a syncing policy the outgoing
+// segment is fsynced before it closes: once rotated out, the file is beyond
+// the background syncer's reach, so skipping the fsync here would leave
+// acked records unsynced forever while crediting their bytes as synced.
+// Called with l.mu held.
 func (l *Log) rotate(firstVersion uint64) error {
+	if l.m.opts.Policy != SyncNever && l.unsynced > 0 {
+		if err := l.f.Sync(); err != nil {
+			l.m.syncErrors.Add(1)
+			return err
+		}
+		l.m.synced.Add(l.unsynced)
+		l.unsynced = 0
+	}
 	if err := l.f.Close(); err != nil {
 		return err
 	}
@@ -182,6 +200,7 @@ func (l *Log) cleanup(keepSnap string) {
 		switch {
 		case name == keepSeg || name == keepSnap:
 		case strings.HasSuffix(name, ".tmp"),
+			strings.HasSuffix(name, staleSuffix),
 			strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"),
 			strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
 			l.m.fs.Remove(filepath.Join(l.dir, name)) //nolint:errcheck // best effort

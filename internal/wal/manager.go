@@ -4,9 +4,9 @@
 //
 // Layout under the data directory:
 //
-//	<data-dir>/FORMAT                     format marker, refused if unknown
-//	<data-dir>/<session-id>/snap-<v>.snap compacted snapshot at version v
-//	<data-dir>/<session-id>/wal-<v>.log   log segment starting at version v
+//	<data-dir>/FORMAT                              format marker, refused if unknown
+//	<data-dir>/sessions/<session-id>/snap-<v>.snap compacted snapshot at version v
+//	<data-dir>/sessions/<session-id>/wal-<v>.log   log segment starting at version v
 //
 // A delta batch is acknowledged to the client only after its record reached
 // the policy's durability point (see Policy).  Snapshots are written
@@ -120,6 +120,18 @@ func (o Options) withDefaults() Options {
 const formatFile = "FORMAT"
 const formatV1 = "divd-wal v1\n"
 
+// sessionsDir is the subdirectory holding per-session state.  Sessions live
+// one level below the data dir so a session ID — client-chosen, within the
+// validID alphabet — can never collide with a top-level file like the FORMAT
+// marker.
+const sessionsDir = "sessions"
+
+// sessionDir returns the directory holding one session's snapshots and
+// segments.
+func (m *Manager) sessionDir(id string) string {
+	return filepath.Join(m.opts.Dir, sessionsDir, id)
+}
+
 // ErrDegraded is returned by write operations after a persistence failure
 // marked the manager degraded.  The serve plane maps it to 503.
 var ErrDegraded = errors.New("wal: persistence degraded")
@@ -162,35 +174,30 @@ func Open(opts Options) (*Manager, error) {
 		return nil, errors.New("wal: data directory not set")
 	}
 	fs := opts.FS
-	if err := fs.MkdirAll(opts.Dir, 0o755); err != nil {
+	if err := fs.MkdirAll(filepath.Join(opts.Dir, sessionsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create data dir: %w", err)
 	}
 	marker := filepath.Join(opts.Dir, formatFile)
-	if _, err := fs.Stat(marker); err != nil {
-		f, err := fs.OpenFile(marker, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-		if err != nil {
-			return nil, fmt.Errorf("wal: write format marker: %w", err)
-		}
-		if _, err := io.WriteString(f, formatV1); err != nil {
-			f.Close()
-			return nil, fmt.Errorf("wal: write format marker: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			return nil, fmt.Errorf("wal: write format marker: %w", err)
-		}
-	} else {
-		f, err := fs.OpenFile(marker, os.O_RDONLY, 0)
-		if err != nil {
-			return nil, fmt.Errorf("wal: read format marker: %w", err)
-		}
-		raw, err := io.ReadAll(f)
+	var existing []byte
+	if f, err := fs.OpenFile(marker, os.O_RDONLY, 0); err == nil {
+		existing, err = io.ReadAll(f)
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("wal: read format marker: %w", err)
 		}
-		if string(raw) != formatV1 {
-			return nil, fmt.Errorf("wal: data dir %s has unknown format %q", opts.Dir, strings.TrimSpace(string(raw)))
+	}
+	switch {
+	case string(existing) == formatV1:
+	case len(existing) == 0 || strings.HasPrefix(formatV1, string(existing)):
+		// Absent, empty, or a partial first-boot write torn by a crash: the
+		// marker is (re)written with the same temp-then-rename protocol as
+		// snapshots, so no crash can leave a marker that blocks every later
+		// boot.
+		if err := writeFormatMarker(fs, opts.Dir, marker); err != nil {
+			return nil, err
 		}
+	default:
+		return nil, fmt.Errorf("wal: data dir %s has unknown format %q", opts.Dir, strings.TrimSpace(string(existing)))
 	}
 	m := &Manager{
 		opts:  opts,
@@ -203,6 +210,34 @@ func Open(opts Options) (*Manager, error) {
 		go m.syncLoop()
 	}
 	return m, nil
+}
+
+// writeFormatMarker commits the format marker atomically: temp file, fsync,
+// rename, directory sync.  Always fsynced regardless of policy — it is a
+// one-time write whose loss would otherwise be repaired only on the next
+// boot.
+func writeFormatMarker(fs FS, dir, marker string) error {
+	tmp := marker + ".tmp"
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: write format marker: %w", err)
+	}
+	if _, err := io.WriteString(f, formatV1); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write format marker: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write format marker: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: write format marker: %w", err)
+	}
+	if err := fs.Rename(tmp, marker); err != nil {
+		return fmt.Errorf("wal: write format marker: %w", err)
+	}
+	fs.SyncDir(dir) //nolint:errcheck // best effort: an unsynced rename is repaired on the next boot
+	return nil
 }
 
 // Policy returns the manager's fsync policy.
@@ -293,7 +328,7 @@ func (m *Manager) Create(snap *SessionSnapshot) (*Log, error) {
 	if !validID(snap.ID) {
 		return nil, fmt.Errorf("wal: invalid session id %q", snap.ID)
 	}
-	dir := filepath.Join(m.opts.Dir, snap.ID)
+	dir := m.sessionDir(snap.ID)
 	if err := m.fs.RemoveAll(dir); err != nil {
 		m.degrade(err)
 		return nil, err
@@ -316,9 +351,19 @@ func (m *Manager) Create(snap *SessionSnapshot) (*Log, error) {
 	return l, nil
 }
 
-// openLog opens a fresh segment at version+1 and registers the log.
+// openLog opens a fresh segment at version+1 and registers the log.  The WAL
+// never truncates an existing segment's bytes: if a non-empty file already
+// holds the target name (a stale tail recovery could not replay — its frames
+// are torn, corrupt, or off-chain), it is renamed aside and deleted at the
+// next compaction, so no upstream logic error can silently destroy durable
+// records.
 func (m *Manager) openLog(id, dir string, version uint64, sinceSnap int) (*Log, error) {
 	path := filepath.Join(dir, segName(version+1))
+	if st, err := m.fs.Stat(path); err == nil && st.Size() > 0 {
+		if err := m.fs.Rename(path, path+staleSuffix); err != nil {
+			return nil, err
+		}
+	}
 	f, err := m.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
@@ -356,7 +401,7 @@ func (m *Manager) Remove(id string) error {
 	if !validID(id) {
 		return fmt.Errorf("wal: invalid session id %q", id)
 	}
-	if err := m.fs.RemoveAll(filepath.Join(m.opts.Dir, id)); err != nil {
+	if err := m.fs.RemoveAll(m.sessionDir(id)); err != nil {
 		m.degrade(err)
 		return err
 	}

@@ -32,8 +32,9 @@ type Recovered struct {
 	Log *Log
 	// Replayed counts log records folded in on top of the snapshot.
 	Replayed int
-	// TornTail is true when replay stopped at a torn or corrupt record —
-	// the expected signature of a crash during append.
+	// TornTail is true when replay encountered a torn or corrupt record —
+	// the expected signature of a crash during append, possibly in an
+	// abandoned tail left behind by an earlier recovery.
 	TornTail bool
 }
 
@@ -50,7 +51,7 @@ type SkippedSession struct {
 // other tenant) down.  Results are sorted by session ID for deterministic
 // boot order.
 func (m *Manager) Recover() ([]*Recovered, []SkippedSession, error) {
-	entries, err := m.fs.ReadDir(m.opts.Dir)
+	entries, err := m.fs.ReadDir(filepath.Join(m.opts.Dir, sessionsDir))
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: scan data dir: %w", err)
 	}
@@ -88,7 +89,7 @@ type segment struct {
 
 // recoverSession rebuilds one session directory.
 func (m *Manager) recoverSession(id string) (*Recovered, error) {
-	dir := filepath.Join(m.opts.Dir, id)
+	dir := m.sessionDir(id)
 	entries, err := m.fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -135,7 +136,8 @@ func (m *Manager) recoverSession(id string) (*Recovered, error) {
 			continue
 		}
 		// Rotate to a fresh segment past the recovered tip: the torn tail
-		// (if any) is abandoned in place and deleted at the next compaction.
+		// (if any) is abandoned in place — replay skips it next boot — and
+		// deleted at the next compaction.
 		l, err := m.openLog(id, dir, rec.Snapshot.Version, rec.Replayed)
 		if err != nil {
 			return nil, err
@@ -186,7 +188,6 @@ func (m *Manager) replayOnce(snap *SessionSnapshot, segs []segment, limit int) (
 	replayed := 0
 	torn := false
 
-scan:
 	for _, seg := range segs {
 		stop, segTorn, err := m.replaySegment(seg.path, func(r *Record) (bool, error) {
 			if r.Version <= version {
@@ -220,12 +221,19 @@ scan:
 			return nil, err
 		}
 		if segTorn {
+			// A torn or corrupt frame ends this segment, not the whole
+			// replay.  The torn frame may be the stale abandoned tail of a
+			// segment an earlier recovery already rotated past, with durably
+			// acked records living in later segments; the PrevVersion chain
+			// check decides whether anything later still applies.  Breaking
+			// here instead would make a second crash lose those records.
 			torn = true
+			continue
 		}
-		if stop || segTorn {
-			// A torn segment tail or an explicit stop ends replay: later
-			// segments cannot chain past the break.
-			break scan
+		if stop {
+			// An explicit stop (chain gap, replay limit): versions only grow,
+			// so nothing in a later segment can chain past the break.
+			break
 		}
 	}
 

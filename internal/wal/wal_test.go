@@ -78,6 +78,9 @@ func patchRecord(cur *netmodel.Assignment, prev uint64, h netmodel.HostID, p net
 	}
 }
 
+// sessDir returns the on-disk directory of a session under a data dir.
+func sessDir(dir, id string) string { return filepath.Join(dir, sessionsDir, id) }
+
 func openManager(t *testing.T, opts Options) *Manager {
 	t.Helper()
 	m, err := Open(opts)
@@ -274,17 +277,17 @@ func TestRecoverDeltaReplay(t *testing.T) {
 // appendGarbage appends raw bytes to the session's newest segment file.
 func appendGarbage(t *testing.T, dir, id string, b []byte) {
 	t.Helper()
-	entries, err := os.ReadDir(filepath.Join(dir, id))
+	entries, err := os.ReadDir(sessDir(dir, id))
 	if err != nil {
 		t.Fatal(err)
 	}
 	var seg string
 	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), "wal-") {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".log") {
 			seg = e.Name() // sorted: the last wal- entry is the newest
 		}
 	}
-	f, err := os.OpenFile(filepath.Join(dir, id, seg), os.O_WRONLY|os.O_APPEND, 0)
+	f, err := os.OpenFile(filepath.Join(sessDir(dir, id), seg), os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +383,7 @@ func TestCompactionTruncatesLog(t *testing.T) {
 	}
 
 	// Exactly one snapshot and one (fresh) segment remain.
-	entries, _ := os.ReadDir(filepath.Join(dir, "s1"))
+	entries, _ := os.ReadDir(sessDir(dir, "s1"))
 	var snaps, segs int
 	for _, e := range entries {
 		switch {
@@ -418,7 +421,7 @@ func TestSegmentRotation(t *testing.T) {
 		}
 	}
 	m.Close()
-	entries, _ := os.ReadDir(filepath.Join(dir, "s1"))
+	entries, _ := os.ReadDir(sessDir(dir, "s1"))
 	segs := 0
 	for _, e := range entries {
 		if strings.HasPrefix(e.Name(), "wal-") {
@@ -448,7 +451,7 @@ func TestRemoveSession(t *testing.T) {
 	if err := m.Remove("s1"); err != nil {
 		t.Fatalf("Remove: %v", err)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "s1")); !os.IsNotExist(err) {
+	if _, err := os.Stat(sessDir(dir, "s1")); !os.IsNotExist(err) {
 		t.Fatalf("session directory survived removal: %v", err)
 	}
 	m.Close()
@@ -483,6 +486,178 @@ func TestValidID(t *testing.T) {
 	for _, bad := range []string{"", ".", "..", "a/b", "a\\b", strings.Repeat("x", 65), "a b"} {
 		if validID(bad) {
 			t.Errorf("validID(%q) = true", bad)
+		}
+	}
+}
+
+// TestRecoverSurvivesDoubleCrash pins the double-crash scenario: a torn
+// frame left mid-chain in an abandoned segment by a first recovery must not
+// mask records durably acked after that recovery.  Regression: the segment
+// scan used to stop at the first torn frame and reopen — truncating — the
+// very segment holding the post-recovery records.
+func TestRecoverSurvivesDoubleCrash(t *testing.T) {
+	dir := t.TempDir()
+	m := openManager(t, Options{Dir: dir, Policy: SyncAlways})
+	snap := testSnapshot("s1", 3)
+	l, err := m.Create(snap)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	cur := snap.Assignment.Clone()
+	for v := uint64(1); v < 4; v++ {
+		if err := l.Append(patchRecord(cur, v, "h0", []netmodel.ProductID{"win7", "ubt1404", "osx109"}[v%3])); err != nil {
+			t.Fatalf("Append v%d: %v", v, err)
+		}
+	}
+	m.Close()
+	// Crash #1 leaves a torn frame at the tail of the only segment.
+	full := appendFrame(nil, []byte(`{"prev_version":4,"version":5,"hash":"x"}`))
+	appendGarbage(t, dir, "s1", full[:len(full)-3])
+
+	// The first recovery abandons the torn tail in place and acks two more
+	// records into a fresh segment past it.
+	m2 := openManager(t, Options{Dir: dir, Policy: SyncAlways})
+	recovered, skipped, err := m2.Recover()
+	if err != nil || len(skipped) != 0 || len(recovered) != 1 {
+		t.Fatalf("first recovery: %v (%d recovered, %d skipped)", err, len(recovered), len(skipped))
+	}
+	if got := recovered[0]; got.Snapshot.Version != 4 || !got.TornTail {
+		t.Fatalf("first recovery: version %d torn %v, want 4/true", got.Snapshot.Version, got.TornTail)
+	}
+	var ackedHash string
+	for v := uint64(4); v < 6; v++ {
+		rec := patchRecord(cur, v, "h1", []netmodel.ProductID{"win7", "ubt1404", "osx109"}[v%3])
+		if err := recovered[0].Log.Append(rec); err != nil {
+			t.Fatalf("post-recovery Append v%d: %v", v, err)
+		}
+		ackedHash = rec.Hash
+	}
+	m2.Close()
+
+	// Crash #2: the stale torn frame is still sitting mid-chain.  Recovery
+	// must replay past it into the later segment and land on the last acked
+	// record — with fsync=always, losing it would break the ack contract.
+	m3 := openManager(t, Options{Dir: dir, Policy: SyncAlways})
+	recovered3, skipped3, err := m3.Recover()
+	if err != nil || len(skipped3) != 0 || len(recovered3) != 1 {
+		t.Fatalf("second recovery: %v (%d recovered, %d skipped)", err, len(recovered3), len(skipped3))
+	}
+	got := recovered3[0]
+	if got.Snapshot.Version != 6 || got.Snapshot.Hash != ackedHash {
+		t.Fatalf("second recovery lost acked records: v%d/%s, want v6/%s",
+			got.Snapshot.Version, got.Snapshot.Hash, ackedHash)
+	}
+	if !got.Snapshot.Assignment.Equal(cur) {
+		t.Fatal("second recovery diverged from the acked assignment")
+	}
+	// The recovered log still accepts the next record in the chain.
+	if err := got.Log.Append(patchRecord(cur, 6, "h2", "osx109")); err != nil {
+		t.Fatalf("append after double recovery: %v", err)
+	}
+}
+
+// TestOpenLogNeverTruncatesExisting pins the no-clobber rule of the
+// post-recovery tail: a name collision with an existing non-empty segment (a
+// stale tail holding only a torn frame) renames the stale file aside instead
+// of truncating it, and the next compaction cleans it up.
+func TestOpenLogNeverTruncatesExisting(t *testing.T) {
+	dir := t.TempDir()
+	m := openManager(t, Options{Dir: dir, SnapshotEvery: 1})
+	snap := testSnapshot("s1", 3)
+	if _, err := m.Create(snap); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	m.Close()
+	// Crash artifact: the fresh tail wal-2 holds only a torn frame, so
+	// recovery replays nothing from it and reuses its name for the new tail.
+	full := appendFrame(nil, []byte(`{"prev_version":1,"version":2,"hash":"x"}`))
+	garbage := full[:len(full)-2]
+	appendGarbage(t, dir, "s1", garbage)
+
+	m2 := openManager(t, Options{Dir: dir, SnapshotEvery: 1})
+	recovered, _, err := m2.Recover()
+	if err != nil || len(recovered) != 1 {
+		t.Fatalf("Recover: %v (%d recovered)", err, len(recovered))
+	}
+	stale := 0
+	entries, _ := os.ReadDir(sessDir(dir, "s1"))
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), staleSuffix) {
+			stale++
+			if fi, err := e.Info(); err != nil || fi.Size() != int64(len(garbage)) {
+				t.Fatalf("stale segment bytes were not preserved: %v %v", fi, err)
+			}
+		}
+	}
+	if stale != 1 {
+		t.Fatalf("colliding segment was truncated, not renamed aside (%d stale files)", stale)
+	}
+	// The fresh tail accepts the next record, and the compaction it triggers
+	// (SnapshotEvery=1) deletes the stale file.
+	cur := snap.Assignment.Clone()
+	if err := recovered[0].Log.Append(patchRecord(cur, 1, "h0", "ubt1404")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	snap2 := testSnapshot("s1", 3)
+	snap2.Version = 2
+	snap2.Assignment = cur.Clone()
+	snap2.Hash = cur.Hash()
+	if err := recovered[0].Log.WriteSnapshot(snap2); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	entries, _ = os.ReadDir(sessDir(dir, "s1"))
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), staleSuffix) {
+			t.Fatalf("compaction left stale segment %s behind", e.Name())
+		}
+	}
+	m2.Close()
+
+	m3 := openManager(t, Options{Dir: dir})
+	recovered3, _, err := m3.Recover()
+	if err != nil || len(recovered3) != 1 || recovered3[0].Snapshot.Version != 2 {
+		t.Fatalf("recovery after stale rename: %v (%+v)", err, recovered3)
+	}
+}
+
+// TestReservedSessionID pins that a session named after a reserved top-level
+// file (FORMAT) lives under sessions/ and cannot clobber the format marker —
+// which previously made every subsequent Open refuse to boot.
+func TestReservedSessionID(t *testing.T) {
+	dir := t.TempDir()
+	m := openManager(t, Options{Dir: dir})
+	if _, err := m.Create(testSnapshot("FORMAT", 3)); err != nil {
+		t.Fatalf("Create(FORMAT): %v", err)
+	}
+	m.Close()
+	m2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("Open after FORMAT session: %v", err)
+	}
+	defer m2.Close()
+	recovered, skipped, err := m2.Recover()
+	if err != nil || len(skipped) != 0 || len(recovered) != 1 || recovered[0].Snapshot.ID != "FORMAT" {
+		t.Fatalf("Recover: %v (%d recovered, %d skipped)", err, len(recovered), len(skipped))
+	}
+}
+
+// TestPartialFormatMarkerRewritten pins that an empty or torn-mid-write
+// format marker reads as absent and is rewritten, instead of bricking the
+// data directory.
+func TestPartialFormatMarkerRewritten(t *testing.T) {
+	for _, partial := range []string{"", "divd-w"} {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, formatFile), []byte(partial), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("Open with marker %q: %v", partial, err)
+		}
+		m.Close()
+		raw, err := os.ReadFile(filepath.Join(dir, formatFile))
+		if err != nil || string(raw) != formatV1 {
+			t.Fatalf("marker %q not repaired: %q, %v", partial, raw, err)
 		}
 	}
 }
