@@ -37,6 +37,18 @@
 // durability point of an ack: "always" (fsync before every ack), "interval"
 // (background fsync every -fsync-interval) or "never" (write to the OS
 // before ack — survives a process crash, not an OS crash; the default).
+//
+// -replicate-to and -follow enable the replication plane (see
+// docs/REPLICATION.md).  A primary pushes every committed record to the
+// follower URLs listed in -replicate-to; a node started with -follow
+// <primary-url> runs as a read-only follower: it mirrors the primary's
+// sessions through deterministic patch replay, serves GET traffic from its
+// local snapshots, answers writes with a 307 not_primary redirect at the
+// primary, and repairs any divergence with a background anti-entropy loop
+// (every -anti-entropy-interval) whose cost scales with the difference, not
+// the log.  -advertise overrides the URL the follower registers with the
+// primary for push delivery (default: the bound listen address).  POST
+// /v1/promote turns a caught-up follower into a writable primary.
 package main
 
 import (
@@ -56,6 +68,7 @@ import (
 
 	"netdiversity/internal/core"
 	"netdiversity/internal/netmodel"
+	"netdiversity/internal/replic"
 	"netdiversity/internal/serve"
 	"netdiversity/internal/vulnsim"
 	"netdiversity/internal/wal"
@@ -89,6 +102,10 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		fsyncMode    = fs.String("fsync", "never", "WAL durability point per ack: always, interval or never")
 		fsyncEvery   = fs.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync interval")
 		snapEvery    = fs.Int("snapshot-every", 64, "WAL records per session between compacted snapshots")
+		follow       = fs.String("follow", "", "run as a replication follower of the primary at this base URL (e.g. http://10.0.0.1:8080)")
+		replicateTo  = fs.String("replicate-to", "", "comma-separated follower base URLs to push committed records to")
+		advertise    = fs.String("advertise", "", "base URL where the primary can reach this node (default http://<bound-addr>)")
+		aeInterval   = fs.Duration("anti-entropy-interval", 2*time.Second, "period of the follower's anti-entropy reconciliation loop")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -119,9 +136,34 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		defer manager.Close()
 		cfg.Persist = manager
 	}
+	// The replication plane comes up whenever this node pushes to followers
+	// or follows a primary.  A follower gets a Primary too: its hook-fed
+	// record history is what lets a promoted follower serve further
+	// followers without warm-up.
+	var (
+		prim *replic.Primary
+		fol  *replic.Follower
+	)
+	if *follow != "" || *replicateTo != "" {
+		prim = replic.NewPrimary(replic.PrimaryOptions{})
+		defer prim.Close()
+		cfg.Replicator = prim
+		cfg.OnPromote = func() {
+			if fol != nil {
+				fol.Stop()
+			}
+		}
+		cfg.Replication = func() *serve.ReplicationStats { return replicationStats(prim, fol) }
+	}
 	srv := serve.New(cfg)
+	if prim != nil {
+		prim.Bind(srv)
+	}
+	if *follow != "" {
+		srv.SetFollower(*follow)
+	}
 	if manager != nil {
-		if err := recoverSessions(srv, manager, out); err != nil {
+		if err := recoverSessions(srv, manager, out, *follow != ""); err != nil {
 			return err
 		}
 	}
@@ -155,7 +197,35 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 		go func() { _ = (&http.Server{Handler: pmux}).Serve(pln) }()
 	}
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if prim != nil {
+		// The replication endpoints share the API listener under /v1/replic/;
+		// the ingest sink exists only on followers.
+		rmux := http.NewServeMux()
+		if *follow != "" {
+			fol = replic.NewFollower(srv, *follow, replic.FollowerOptions{
+				Interval:  *aeInterval,
+				Advertise: advertiseURL(*advertise, ln.Addr()),
+			})
+			fol.Run()
+			defer fol.Stop()
+			rmux.Handle(replic.PathIngest, fol.IngestHandler())
+		}
+		rmux.Handle("/v1/replic/", prim.Handler())
+		rmux.Handle("/", handler)
+		handler = rmux
+		for _, u := range strings.Split(*replicateTo, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				prim.Attach(u)
+				fmt.Fprintf(out, "divd replicating to %s\n", u)
+			}
+		}
+		if *follow != "" {
+			fmt.Fprintf(out, "divd following %s\n", *follow)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
@@ -187,17 +257,75 @@ func run(args []string, out io.Writer, stop <-chan struct{}) error {
 	return nil
 }
 
+// advertiseURL resolves the URL a follower registers with its primary for
+// push delivery: the explicit -advertise value, or the bound listen address
+// with an unspecified host rewritten to loopback (":0" binds every
+// interface; the primary needs one it can dial).
+func advertiseURL(explicit string, bound net.Addr) string {
+	if explicit != "" {
+		return explicit
+	}
+	host, port, err := net.SplitHostPort(bound.String())
+	if err != nil {
+		return "http://" + bound.String()
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
+// replicationStats maps the replication plane's state onto the healthz
+// block: push-side follower lag from the Primary, pull-side anti-entropy
+// state from the Follower (when this node follows).
+func replicationStats(prim *replic.Primary, fol *replic.Follower) *serve.ReplicationStats {
+	rs := &serve.ReplicationStats{}
+	for _, f := range prim.Followers() {
+		rs.Followers = append(rs.Followers, serve.FollowerLag{
+			URL:            f.URL,
+			QueuedRecords:  f.QueuedRecords,
+			QueuedBytes:    f.QueuedBytes,
+			SentRecords:    f.SentRecords,
+			DroppedRecords: f.Dropped,
+			Errors:         f.Errors,
+			LastError:      f.LastError,
+		})
+	}
+	if fol != nil {
+		st := fol.Stats()
+		rs.AntiEntropy = &serve.AntiEntropyStats{
+			Rounds:           st.Rounds,
+			LastRoundUnixMS:  st.LastRoundUnixMS,
+			InSync:           st.InSync,
+			RecordsApplied:   st.RecordsApplied,
+			RecordsFetched:   st.RecordsFetched,
+			SnapshotsFetched: st.SnapshotsFetched,
+			BadRecords:       st.BadRecords,
+			PendingRecords:   st.PendingRecords,
+			Errors:           st.Errors,
+			LastError:        st.LastError,
+		}
+	}
+	return rs
+}
+
 // recoverSessions restores every session the data directory holds before
 // the listener opens, so a restarted daemon comes back serving exactly the
 // durably-acked state.  Unrecoverable sessions are reported and skipped —
-// one corrupt tenant must not keep the rest of the fleet down.
-func recoverSessions(srv *serve.Server, manager *wal.Manager, out io.Writer) error {
+// one corrupt tenant must not keep the rest of the fleet down.  A follower
+// restores replica sessions (no optimiser — they stay advanceable by patch
+// replay and the anti-entropy loop catches them up from the primary).
+func recoverSessions(srv *serve.Server, manager *wal.Manager, out io.Writer, follower bool) error {
 	recovered, skipped, err := manager.Recover()
 	if err != nil {
 		return err
 	}
+	restore := srv.Restore
+	if follower {
+		restore = srv.RestoreReplica
+	}
 	for _, rec := range recovered {
-		if err := srv.Restore(rec); err != nil {
+		if err := restore(rec); err != nil {
 			fmt.Fprintf(out, "divd: recovery skipped %s: %v\n", rec.Snapshot.ID, err)
 			continue
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -337,5 +338,162 @@ func TestDaemonBadFsyncFlag(t *testing.T) {
 	var out syncBuffer
 	if err := run([]string{"-data-dir", t.TempDir(), "-fsync", "sometimes"}, &out, nil); err == nil {
 		t.Fatal("bad -fsync value should fail")
+	}
+}
+
+// TestDaemonReplicationPair boots a primary/follower pair through the real
+// flag wiring (-replicate-to / -follow), replicates a session, pins the
+// follower's read/redirect split and healthz roles, then promotes the
+// follower after the primary drains and writes against it — the daemon-level
+// slice of what internal/replic's chaos tests cover in-process.
+func TestDaemonReplicationPair(t *testing.T) {
+	// The primary needs the follower's URL at boot; reserve its port first.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	followerAddr := ln.Addr().String()
+	ln.Close()
+
+	primaryBase, shutdownPrimary := startDaemon(t, "-replicate-to", "http://"+followerAddr)
+	primaryDown := false
+	defer func() {
+		if !primaryDown {
+			shutdownPrimary()
+		}
+	}()
+	followerBase, shutdownFollower := startDaemon(t,
+		"-addr", followerAddr, "-follow", primaryBase, "-anti-entropy-interval", "100ms")
+	defer shutdownFollower()
+
+	spec, err := os.ReadFile(specFile(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"id":"rep","spec":%s,"seed":3}`, spec)
+	resp, err := http.Post(primaryBase+"/v1/networks", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(primaryBase+"/v1/networks/rep/deltas", "application/json",
+		strings.NewReader(`{"ops":[{"op":"remove_edge","a":"h4","b":"h5"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta: status %d", resp.StatusCode)
+	}
+
+	// The session reaches the follower, which serves the primary's exact
+	// state from its replica.
+	readState := func(base string) (int, uint64, string) {
+		resp, err := http.Get(base + "/v1/networks/rep/assignment")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var got struct {
+			Version uint64 `json:"version"`
+			Hash    string `json:"assignment_hash"`
+		}
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode, got.Version, got.Hash
+	}
+	_, wantVersion, wantHash := readState(primaryBase)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, v, h := readState(followerBase)
+		if code == http.StatusOK && v == wantVersion && h == wantHash {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never replicated v%d/%s (last: %d v%d/%s)", wantVersion, wantHash, code, v, h)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Follower writes bounce to the primary with 307 not_primary.
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err = noRedirect.Post(followerBase+"/v1/networks/rep/deltas", "application/json",
+		strings.NewReader(`{"ops":[{"op":"add_edge","a":"h0","b":"h7"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("follower write: status %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != primaryBase+"/v1/networks/rep/deltas" {
+		t.Fatalf("follower write Location = %q", loc)
+	}
+
+	// Both healthz replication blocks report their role.
+	role := func(base string) string {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h struct {
+			Replication struct {
+				Role string `json:"role"`
+			} `json:"replication"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return h.Replication.Role
+	}
+	if got := role(primaryBase); got != "primary" {
+		t.Fatalf("primary healthz role = %q", got)
+	}
+	if got := role(followerBase); got != "follower" {
+		t.Fatalf("follower healthz role = %q", got)
+	}
+
+	// Promote after the primary drains; the survivor serves the replicated
+	// state and takes the next write at the chained version.
+	shutdownPrimary()
+	primaryDown = true
+	resp, err = http.Post(followerBase+"/v1/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom struct {
+		Role     string `json:"role"`
+		Sessions int    `json:"sessions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&prom); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || prom.Role != "primary" || prom.Sessions != 1 {
+		t.Fatalf("promote: status %d %+v", resp.StatusCode, prom)
+	}
+	resp, err = http.Post(followerBase+"/v1/networks/rep/deltas", "application/json",
+		strings.NewReader(`{"ops":[{"op":"add_edge","a":"h0","b":"h7"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dres struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dres); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || dres.Version != wantVersion+1 {
+		t.Fatalf("post-promotion delta: status %d version %d (want %d)", resp.StatusCode, dres.Version, wantVersion+1)
 	}
 }

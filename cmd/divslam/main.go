@@ -11,7 +11,7 @@
 //	divslam [-mode closed|open] [-tenants N] [-workers N] [-rate R]
 //	        [-worker-rate R] [-dur 10s] [-ops N] [-mix read=70,delta=15,...]
 //	        [-hosts N] [-degree N] [-services N] [-solver trws] [-seed S]
-//	        [-retries N] [-backoff 100ms]
+//	        [-retries N] [-backoff 100ms] [-replica-reads]
 //	        [-vary field -values v1,v2,...] [-url http://host:port]
 //	        [-out report.json]
 //
@@ -28,6 +28,12 @@
 // and an exponential -backoff otherwise, and only the final outcome counts
 // as success or error — consumed retries are reported separately, and the
 // recorded latency covers the whole logical operation including backoff.
+//
+// -replica-reads boots an in-process primary/follower replication pair
+// (internal/replic) instead of a single server: writes target the primary,
+// reads and metrics the follower, and setup waits for the follower to
+// converge on the tenant population — the replica-read deployment shape
+// under the same load machinery.  In-process mode only (no -url).
 package main
 
 import (
@@ -78,6 +84,7 @@ func run(args []string, out io.Writer) error {
 		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request client deadline")
 		retries    = fs.Int("retries", 0, "retry budget per operation on 429/503 (0 = no retries)")
 		backoff    = fs.Duration("backoff", 100*time.Millisecond, "base retry backoff when the response has no Retry-After (doubles per attempt)")
+		replicaRds = fs.Bool("replica-reads", false, "boot an in-process primary/follower pair and serve reads/metrics from the follower (in-process mode only)")
 		vary       = fs.String("vary", "", "field swept across -values: "+strings.Join(slam.VaryFields(), ", "))
 		values     = fs.String("values", "", "comma-separated values of the -vary field")
 		outPath    = fs.String("out", "", "write the JSON report to this file (default stdout)")
@@ -105,6 +112,7 @@ func run(args []string, out io.Writer) error {
 		RequestTimeout: *reqTimeout,
 		Retries:        *retries,
 		Backoff:        *backoff,
+		ReplicaReads:   *replicaRds,
 		Vary:           *vary,
 	}
 	if *values != "" {

@@ -1,0 +1,57 @@
+package netmodel
+
+// Record-set digests: an order-independent fingerprint over a set of WAL
+// record versions, used by the replication plane (internal/replic) to decide
+// cheaply whether two nodes hold the same per-session record set and to
+// verify that a rateless reconciliation round decoded the remote set
+// completely.  The digest is the XOR-fold of a strong 64-bit mix of each
+// member, so Add and Remove are the same involution and maintaining the
+// digest incrementally costs O(1) per record.
+//
+// XOR-folding a mixed value is not collision-resistant against an adversary
+// who controls set members, but record versions are small monotone integers
+// chosen by the serving plane, and every record carries an assignment-hash
+// chain that authenticates the actual state — the digest only has to make
+// accidental divergence visible, which a 64-bit avalanche mix does.
+
+// Mix64 is the splitmix64 finalizer over one word, offset by the golden-ratio
+// increment so Mix64(0) is non-zero: a bijective avalanche mixing all 64 bits
+// of v into all 64 bits of the result.  It is the shared hash primitive of
+// the record-set digest and the replication plane's coded symbols.
+func Mix64(v uint64) uint64 {
+	v += 0x9e3779b97f4a7c15
+	v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9
+	v = (v ^ (v >> 27)) * 0x94d049bb133111eb
+	return v ^ (v >> 31)
+}
+
+// SetDigest is the order-independent digest of a set of record versions.
+// The zero value is the digest of the empty set.
+type SetDigest uint64
+
+// Add folds version v into the digest.  Adding the same version twice
+// cancels out — callers maintain true sets, not multisets.
+func (d *SetDigest) Add(v uint64) { *d ^= SetDigest(Mix64(v)) }
+
+// Remove removes version v from the digest (XOR is its own inverse).
+func (d *SetDigest) Remove(v uint64) { *d ^= SetDigest(Mix64(v)) }
+
+// DigestOf returns the digest of the given versions.
+func DigestOf(versions []uint64) SetDigest {
+	var d SetDigest
+	for _, v := range versions {
+		d.Add(v)
+	}
+	return d
+}
+
+// DigestOfRange returns the digest of the contiguous version range
+// [from, to] — the shape of a primary's retained record set.  An empty
+// range (from > to) digests to zero.
+func DigestOfRange(from, to uint64) SetDigest {
+	var d SetDigest
+	for v := from; v <= to && v >= from; v++ {
+		d.Add(v)
+	}
+	return d
+}

@@ -1,0 +1,61 @@
+package netmodel
+
+import "testing"
+
+func TestSetDigestOrderIndependent(t *testing.T) {
+	a := DigestOf([]uint64{1, 2, 3, 100, 7})
+	b := DigestOf([]uint64{100, 7, 3, 2, 1})
+	if a != b {
+		t.Fatalf("digest depends on order: %x vs %x", a, b)
+	}
+	if a == 0 {
+		t.Fatal("non-empty set digested to zero")
+	}
+}
+
+func TestSetDigestAddRemove(t *testing.T) {
+	var d SetDigest
+	d.Add(5)
+	d.Add(9)
+	d.Remove(5)
+	want := DigestOf([]uint64{9})
+	if d != want {
+		t.Fatalf("incremental digest %x != direct %x", d, want)
+	}
+	d.Remove(9)
+	if d != 0 {
+		t.Fatalf("emptied digest is %x, want 0", d)
+	}
+}
+
+func TestSetDigestDistinguishesNearbySets(t *testing.T) {
+	a := DigestOfRange(1, 1000)
+	b := DigestOfRange(1, 999)
+	c := DigestOfRange(2, 1000)
+	if a == b || a == c || b == c {
+		t.Fatalf("nearby ranges collide: %x %x %x", a, b, c)
+	}
+	var inc SetDigest
+	for v := uint64(1); v <= 1000; v++ {
+		inc.Add(v)
+	}
+	if inc != a {
+		t.Fatalf("DigestOfRange %x != incremental %x", a, inc)
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Neighbouring inputs must produce wildly different outputs; a weak mix
+	// would make contiguous version ranges cancel structurally under XOR.
+	seen := map[uint64]bool{}
+	for v := uint64(0); v < 10000; v++ {
+		h := Mix64(v)
+		if seen[h] {
+			t.Fatalf("collision at %d", v)
+		}
+		seen[h] = true
+	}
+	if Mix64(0) == 0 {
+		t.Fatal("Mix64(0) is zero")
+	}
+}

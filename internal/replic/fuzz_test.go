@@ -1,0 +1,240 @@
+package replic
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/wal"
+)
+
+// FuzzReconcile feeds the peeling decoder adversarial symbol streams: bit
+// flips, truncations, and symbol cells that were never produced by a real
+// encoder.  Whatever arrives, Reconcile must terminate within its peel
+// bound, never panic, and never report success for a stream whose cells do
+// not cancel — a poisoned decode must come back ok=false, not as a
+// fabricated difference.
+func FuzzReconcile(f *testing.F) {
+	// Seed with a genuine exchange so the fuzzer starts from decodable
+	// structure: remote = {1..40}, local misses 3 of them.
+	remoteSet := make([]uint64, 0, 40)
+	for i := uint64(1); i <= 40; i++ {
+		remoteSet = append(remoteSet, i)
+	}
+	genuine := EncodeSymbols(remoteSet, 32)
+	f.Add(symbolBytes(genuine), uint16(37))
+	f.Add(symbolBytes(EncodeSymbols(nil, 8)), uint16(0))
+	f.Add(symbolBytes(genuine[:5]), uint16(40))
+	flipped := symbolBytes(genuine)
+	flipped[17] ^= 0x40
+	f.Add(flipped, uint16(37))
+	f.Add([]byte{}, uint16(3))
+
+	f.Fuzz(func(t *testing.T, raw []byte, localN uint16) {
+		// The follower rejects responses larger than its request, which the
+		// adaptive loop caps at FollowerOptions.MaxSymbols (default 2048) —
+		// so 4096 cells bounds anything a real pull can hand the decoder.
+		symbols := symbolsFromBytes(raw)
+		if len(symbols) > 4096 {
+			symbols = symbols[:4096]
+		}
+		local := make([]uint64, 0, localN%4096)
+		for i := uint64(0); i < uint64(localN%4096); i++ {
+			local = append(local, i+1)
+		}
+		remoteOnly, localOnly, ok := Reconcile(symbols, local)
+		if len(remoteOnly) > len(symbols)*2+len(local) || len(localOnly) > len(symbols)*2+len(local) {
+			t.Fatalf("decoded diff larger than the input universe: %d/%d from %d symbols, %d local",
+				len(remoteOnly), len(localOnly), len(symbols), len(local))
+		}
+		if !ok {
+			return
+		}
+		// A successful decode must explain the sketch: rebuilding the
+		// difference cells and unfolding the decoded items must cancel every
+		// cell.  (For forged cells a decoded "localOnly" item need not exist
+		// in the local set — production survives that because dropping an
+		// unknown pending version is a no-op and the wire digest check guards
+		// the set end-to-end — but the cells themselves must always balance.)
+		residual := make([]CodedSymbol, len(symbols))
+		copy(residual, symbols)
+		for _, id := range local {
+			foldForTest(residual, id, -1)
+		}
+		for _, id := range remoteOnly {
+			foldForTest(residual, id, -1)
+		}
+		for _, id := range localOnly {
+			foldForTest(residual, id, 1)
+		}
+		for i, c := range residual {
+			if c.Count != 0 || c.IDSum != 0 || c.HashSum != 0 {
+				t.Fatalf("cell %d not cancelled by the decoded diff: %+v", i, c)
+			}
+		}
+	})
+}
+
+// foldForTest re-derives an item's cell membership independently of the
+// decoder's fold, so the oracle does not share a bug with the code under
+// test beyond the index mapping itself.
+func foldForTest(cells []CodedSymbol, item uint64, sign int64) {
+	h := netmodel.Mix64(item)
+	m := newMapping(item)
+	for idx := uint64(0); idx < uint64(len(cells)); idx = m.next() {
+		cells[idx].Count += sign
+		cells[idx].IDSum ^= item
+		cells[idx].HashSum ^= h
+	}
+}
+
+// symbolBytes packs symbols as little-endian (count, idsum, hashsum) triples
+// so the fuzzer can mutate the raw cell contents.
+func symbolBytes(symbols []CodedSymbol) []byte {
+	out := make([]byte, 0, len(symbols)*24)
+	for _, s := range symbols {
+		out = binary.LittleEndian.AppendUint64(out, uint64(s.Count))
+		out = binary.LittleEndian.AppendUint64(out, s.IDSum)
+		out = binary.LittleEndian.AppendUint64(out, s.HashSum)
+	}
+	return out
+}
+
+func symbolsFromBytes(raw []byte) []CodedSymbol {
+	symbols := make([]CodedSymbol, 0, len(raw)/24)
+	for len(raw) >= 24 {
+		symbols = append(symbols, CodedSymbol{
+			Count:   int64(binary.LittleEndian.Uint64(raw[0:8])),
+			IDSum:   binary.LittleEndian.Uint64(raw[8:16]),
+			HashSum: binary.LittleEndian.Uint64(raw[16:24]),
+		})
+		raw = raw[24:]
+	}
+	return symbols
+}
+
+// fuzzStore is a ReplicaStore that records what the ingest path applied and
+// fails the test on any contract violation: an apply for an unknown session,
+// or a record whose PrevVersion does not extend the applied chain.  It never
+// verifies payload semantics — that is serve's job — so any violation that
+// reaches it came through the wire layer unchecked.
+type fuzzStore struct {
+	t  *testing.T
+	mu sync.Mutex
+	v  map[string]uint64
+}
+
+func (s *fuzzStore) ReplicaCreate(snap *wal.SessionSnapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if snap == nil || snap.ID == "" {
+		s.t.Fatalf("ingest applied a snapshot with no session ID")
+	}
+	s.v[snap.ID] = snap.Version
+	return nil
+}
+
+func (s *fuzzStore) ReplicaApply(id string, rec *wal.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, known := s.v[id]
+	if !known {
+		return fmt.Errorf("unknown session %q", id)
+	}
+	if rec.PrevVersion != v {
+		// The follower buffers out-of-order records and drains contiguously;
+		// a gap reaching the store means that invariant broke.
+		s.t.Fatalf("non-contiguous apply for %q: at %d, record %d->%d", id, v, rec.PrevVersion, rec.Version)
+	}
+	s.v[id] = rec.Version
+	return nil
+}
+
+func (s *fuzzStore) ReplicaDelete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.v, id)
+	return nil
+}
+
+func (s *fuzzStore) ReplicaVersion(id string) (uint64, string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.v[id]
+	return v, "", ok
+}
+
+func (s *fuzzStore) SessionIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.v))
+	for id := range s.v {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// FuzzIngest throws arbitrary bytes at the push-stream ingest endpoint:
+// torn frames, bit-flipped records, truncated JSON, kind confusion.  The
+// handler must never panic, never let a non-contiguous record reach the
+// store, and always answer — a malicious or corrupted primary degrades a
+// follower to resync, not to a crash.
+func FuzzIngest(f *testing.F) {
+	// Seed corpus: a valid snapshot envelope followed by two chained records,
+	// then broken variants.
+	snap := &wal.SessionSnapshot{ID: "s1", Version: 1, Hash: "aa"}
+	snapJSON, err := json.Marshal(snap)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := appendEnvelopeFrame(nil, &pushEnvelope{ID: "s1", Kind: kindSnapshot, Snapshot: snapJSON})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for v := uint64(2); v <= 3; v++ {
+		rec := &wal.Record{PrevVersion: v - 1, Version: v, Hash: "aa"}
+		payload, err := rec.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		valid, err = appendEnvelopeFrame(valid, &pushEnvelope{ID: "s1", Kind: kindRecord, Record: payload})
+		if err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-6]) // torn tail frame
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)
+	del, err := appendEnvelopeFrame(nil, &pushEnvelope{ID: "s1", Kind: kindDelete})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(del)
+	f.Add(wal.AppendFrame(nil, []byte(`{"kind":"wat"}`)))
+	f.Add(wal.AppendFrame(nil, []byte(`not json`)))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store := &fuzzStore{t: t, v: map[string]uint64{}}
+		fol := NewFollower(store, "http://unused.invalid", FollowerOptions{
+			Interval: time.Hour,
+			Client:   &http.Client{Timeout: time.Second},
+		})
+		defer fol.Stop()
+		req := httptest.NewRequest(http.MethodPost, PathIngest, bytes.NewReader(data))
+		rw := httptest.NewRecorder()
+		fol.IngestHandler().ServeHTTP(rw, req)
+		if rw.Code != http.StatusNoContent && rw.Code != http.StatusBadRequest {
+			t.Fatalf("ingest answered %d; want 204 or 400", rw.Code)
+		}
+	})
+}

@@ -1,0 +1,528 @@
+package replic
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netdiversity/internal/netmodel"
+	"netdiversity/internal/wal"
+)
+
+// SnapshotSource is the surface the primary needs from the serving plane to
+// serve full-sync requests: the live session IDs and a consistent full
+// snapshot of one session.  *serve.Server implements it.
+type SnapshotSource interface {
+	SessionIDs() []string
+	CurrentSnapshot(id string) (*wal.SessionSnapshot, error)
+}
+
+// PrimaryOptions tunes a Primary.  The zero value uses the defaults.
+type PrimaryOptions struct {
+	// MaxHistory bounds the encoded records retained in memory per session;
+	// older records are evicted and a follower that needs them falls back to
+	// a full snapshot.  Default 4096.
+	MaxHistory int
+	// QueueLen bounds each follower's push queue; overflow is dropped (the
+	// anti-entropy pull repairs the gap) and counted.  Default 1024.
+	QueueLen int
+	// Client issues push requests.  Default: an http.Client with a 10s
+	// timeout.  Tests inject a fault transport here.
+	Client *http.Client
+}
+
+func (o PrimaryOptions) withDefaults() PrimaryOptions {
+	if o.MaxHistory <= 0 {
+		o.MaxHistory = 4096
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 1024
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return o
+}
+
+// history is one session's replication state on the primary: the published
+// tip plus a bounded, chain-contiguous window of encoded records.
+type history struct {
+	version uint64
+	hash    string
+	// minHeld is the smallest record version retained (0 while no records
+	// are held); records covers [minHeld, version] contiguously.
+	minHeld uint64
+	records map[uint64][]byte
+	digest  netmodel.SetDigest
+}
+
+// Primary is the push/pull source side of the replication plane.  It is fed
+// by the serving plane's Replicator hooks (each invoked under the session's
+// writer slot, so per-session events arrive in commit order) and serves the
+// pull protocol over HTTP.  A Primary is constructed on every node,
+// whatever its role: on a follower its history tracks replica-applied
+// records, which is exactly what lets a promoted follower serve other
+// followers without a warm-up.
+type Primary struct {
+	opts PrimaryOptions
+
+	mu       sync.Mutex
+	src      SnapshotSource
+	sessions map[string]*history
+	push     map[string]*pusher
+
+	recordsHeld atomic.Int64
+	pushDropped atomic.Int64
+}
+
+// NewPrimary creates a Primary.  Call Bind before serving pull requests.
+func NewPrimary(opts PrimaryOptions) *Primary {
+	return &Primary{
+		opts:     opts.withDefaults(),
+		sessions: make(map[string]*history),
+		push:     make(map[string]*pusher),
+	}
+}
+
+// Bind attaches the snapshot source (the serving plane).  Separate from
+// construction because the server's Config carries the Primary as its
+// Replicator hook — the hook must exist before the server does.
+func (p *Primary) Bind(src SnapshotSource) {
+	p.mu.Lock()
+	p.src = src
+	p.mu.Unlock()
+}
+
+// Close stops every push worker.
+func (p *Primary) Close() {
+	p.mu.Lock()
+	pushers := make([]*pusher, 0, len(p.push))
+	for _, ps := range p.push {
+		pushers = append(pushers, ps)
+	}
+	p.push = make(map[string]*pusher)
+	p.mu.Unlock()
+	for _, ps := range pushers {
+		ps.stop()
+	}
+}
+
+// SessionCreated implements the serve Replicator hook: a session exists (or
+// was re-created) at the snapshot's version.  History restarts empty — the
+// snapshot supersedes any records retained for an earlier incarnation.
+func (p *Primary) SessionCreated(snap *wal.SessionSnapshot) {
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		return // a snapshot the serving plane built always marshals
+	}
+	p.mu.Lock()
+	old := p.sessions[snap.ID]
+	if old != nil {
+		p.recordsHeld.Add(int64(-len(old.records)))
+	}
+	p.sessions[snap.ID] = &history{
+		version: snap.Version,
+		hash:    snap.Hash,
+		records: make(map[uint64][]byte),
+	}
+	pushers := p.livePushers()
+	p.mu.Unlock()
+	env := &pushEnvelope{ID: snap.ID, Kind: kindSnapshot, Snapshot: raw}
+	for _, ps := range pushers {
+		p.enqueue(ps, env)
+	}
+}
+
+// RecordCommitted implements the serve Replicator hook: one record became
+// durable and visible.  The record joins the session's retained window and
+// is pushed to every attached follower.
+func (p *Primary) RecordCommitted(id string, rec *wal.Record) {
+	payload, err := rec.Encode()
+	if err != nil {
+		return // committed records already passed this encoder
+	}
+	p.mu.Lock()
+	h := p.sessions[id]
+	if h == nil || rec.PrevVersion != h.version {
+		// A hook raced a re-create, or the chain does not extend what we
+		// hold: restart history at the record's tip.  Pull repairs followers.
+		if h != nil {
+			p.recordsHeld.Add(int64(-len(h.records)))
+		}
+		h = &history{version: rec.PrevVersion, hash: "", records: make(map[uint64][]byte)}
+		p.sessions[id] = h
+	}
+	h.records[rec.Version] = payload
+	h.digest.Add(rec.Version)
+	if h.minHeld == 0 {
+		h.minHeld = rec.Version
+	}
+	h.version = rec.Version
+	h.hash = rec.Hash
+	p.recordsHeld.Add(1)
+	for len(h.records) > p.opts.MaxHistory {
+		delete(h.records, h.minHeld)
+		h.digest.Remove(h.minHeld)
+		h.minHeld++
+		p.recordsHeld.Add(-1)
+	}
+	pushers := p.livePushers()
+	p.mu.Unlock()
+	env := &pushEnvelope{ID: id, Kind: kindRecord, Record: payload}
+	for _, ps := range pushers {
+		p.enqueue(ps, env)
+	}
+}
+
+// SessionDeleted implements the serve Replicator hook.
+func (p *Primary) SessionDeleted(id string) {
+	p.mu.Lock()
+	if h := p.sessions[id]; h != nil {
+		p.recordsHeld.Add(int64(-len(h.records)))
+	}
+	delete(p.sessions, id)
+	pushers := p.livePushers()
+	p.mu.Unlock()
+	env := &pushEnvelope{ID: id, Kind: kindDelete}
+	for _, ps := range pushers {
+		p.enqueue(ps, env)
+	}
+}
+
+// livePushers snapshots the pusher set.  Called with p.mu held.
+func (p *Primary) livePushers() []*pusher {
+	out := make([]*pusher, 0, len(p.push))
+	for _, ps := range p.push {
+		out = append(out, ps)
+	}
+	return out
+}
+
+// enqueue offers an envelope to one pusher, dropping on overflow — push is
+// best-effort by design; the ack-vs-replication contract lives in
+// docs/REPLICATION.md and the pull loop repairs every gap.
+func (p *Primary) enqueue(ps *pusher, env *pushEnvelope) {
+	select {
+	case ps.q <- env:
+		ps.queuedBytes.Add(int64(len(env.Record) + len(env.Snapshot)))
+	default:
+		ps.dropped.Add(1)
+		p.pushDropped.Add(1)
+	}
+}
+
+// Attach registers a follower ingest URL for push replication.  The first
+// attach of a URL starts its push worker and enqueues a full snapshot of
+// every live session, so a follower attached after boot starts from current
+// state; re-attaching is a cheap no-op.
+func (p *Primary) Attach(url string) {
+	if url == "" {
+		return
+	}
+	p.mu.Lock()
+	if _, ok := p.push[url]; ok {
+		p.mu.Unlock()
+		return
+	}
+	ps := newPusher(url, p.opts.QueueLen, p.opts.Client)
+	p.push[url] = ps
+	src := p.src
+	p.mu.Unlock()
+	if src == nil {
+		return
+	}
+	for _, id := range src.SessionIDs() {
+		snap, err := src.CurrentSnapshot(id)
+		if err != nil {
+			continue // session raced deletion; the listing pull will agree
+		}
+		raw, err := json.Marshal(snap)
+		if err != nil {
+			continue
+		}
+		p.enqueue(ps, &pushEnvelope{ID: id, Kind: kindSnapshot, Snapshot: raw})
+	}
+}
+
+// FollowerState reports one attached follower's push-side lag for healthz.
+type FollowerState struct {
+	URL           string
+	QueuedRecords int
+	QueuedBytes   int64
+	SentRecords   int64
+	Dropped       int64
+	Errors        int64
+	LastError     string
+}
+
+// Followers returns the push-side state of every attached follower, sorted
+// by URL.
+func (p *Primary) Followers() []FollowerState {
+	p.mu.Lock()
+	pushers := p.livePushers()
+	p.mu.Unlock()
+	out := make([]FollowerState, 0, len(pushers))
+	for _, ps := range pushers {
+		st := FollowerState{
+			URL:           ps.url,
+			QueuedRecords: len(ps.q),
+			QueuedBytes:   ps.queuedBytes.Load(),
+			SentRecords:   ps.sent.Load(),
+			Dropped:       ps.dropped.Load(),
+			Errors:        ps.errs.Load(),
+		}
+		if e := ps.lastErr.Load(); e != nil {
+			st.LastError = *e
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// RecordsHeld returns the total encoded records retained across sessions.
+func (p *Primary) RecordsHeld() int64 { return p.recordsHeld.Load() }
+
+// Handler returns the primary's pull-protocol surface; cmd/divd mounts it
+// under /v1/replic/.
+func (p *Primary) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathSessions, p.handleSessions)
+	mux.HandleFunc("POST "+PathSymbols, p.handleSymbols)
+	mux.HandleFunc("POST "+PathRecords, p.handleRecords)
+	mux.HandleFunc("GET "+PathSnapshot, p.handleSnapshot)
+	mux.HandleFunc("POST "+PathAttach, p.handleAttach)
+	return mux
+}
+
+// handleSessions implements GET PathSessions: every session's published tip.
+func (p *Primary) handleSessions(w http.ResponseWriter, _ *http.Request) {
+	p.mu.Lock()
+	resp := sessionsResponse{Sessions: make([]SessionState, 0, len(p.sessions))}
+	for id, h := range p.sessions {
+		resp.Sessions = append(resp.Sessions, SessionState{ID: id, Version: h.version, Hash: h.hash})
+	}
+	p.mu.Unlock()
+	sort.Slice(resp.Sessions, func(i, j int) bool { return resp.Sessions[i].ID < resp.Sessions[j].ID })
+	writeWireJSON(w, resp)
+}
+
+// handleSymbols implements POST PathSymbols: the first Count coded symbols
+// over the session's retained record versions above the follower's floor.
+func (p *Primary) handleSymbols(w http.ResponseWriter, r *http.Request) {
+	var req symbolsRequest
+	if err := decodeWireJSON(r, &req); err != nil {
+		writeWireError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Count <= 0 || req.Count > maxSymbolCount {
+		writeWireError(w, http.StatusBadRequest, "symbol count out of range")
+		return
+	}
+	p.mu.Lock()
+	h := p.sessions[req.ID]
+	if h == nil {
+		p.mu.Unlock()
+		writeWireError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	resp := symbolsResponse{ID: req.ID, Floor: req.Floor, Tip: h.version}
+	from := req.Floor + 1
+	switch {
+	case h.version <= req.Floor:
+		// Follower at or past our tip above this floor: empty set.
+		resp.Symbols = EncodeSymbols(nil, req.Count)
+	case h.minHeld == 0 || h.minHeld > from:
+		// Records below our retained window would be needed: full sync.
+		resp.SnapshotNeeded = true
+	default:
+		set := make([]uint64, 0, h.version-req.Floor)
+		for v := from; v <= h.version; v++ {
+			set = append(set, v)
+		}
+		resp.Symbols = EncodeSymbols(set, req.Count)
+		resp.Digest = uint64(netmodel.DigestOfRange(from, h.version))
+	}
+	p.mu.Unlock()
+	writeWireJSON(w, resp)
+}
+
+// handleRecords implements POST PathRecords: a framed stream of the
+// requested record payloads.  Versions no longer retained are silently
+// omitted; the follower's digest check (and, ultimately, the snapshot
+// fallback) handles the shortfall.
+func (p *Primary) handleRecords(w http.ResponseWriter, r *http.Request) {
+	var req recordsRequest
+	if err := decodeWireJSON(r, &req); err != nil {
+		writeWireError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Versions) > maxStreamFrames {
+		writeWireError(w, http.StatusBadRequest, "too many versions")
+		return
+	}
+	p.mu.Lock()
+	h := p.sessions[req.ID]
+	if h == nil {
+		p.mu.Unlock()
+		writeWireError(w, http.StatusNotFound, "unknown session")
+		return
+	}
+	var buf bytes.Buffer
+	var scratch []byte
+	for _, v := range req.Versions {
+		if payload, ok := h.records[v]; ok {
+			scratch = wal.AppendFrame(scratch[:0], payload)
+			buf.Write(scratch)
+		}
+	}
+	p.mu.Unlock()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(buf.Bytes()) //nolint:errcheck // client-side read errors are the client's
+}
+
+// handleSnapshot implements GET PathSnapshot?id=: one framed full session
+// snapshot, built consistently by the serving plane.
+func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	p.mu.Lock()
+	src := p.src
+	p.mu.Unlock()
+	if src == nil {
+		writeWireError(w, http.StatusServiceUnavailable, "primary not bound")
+		return
+	}
+	snap, err := src.CurrentSnapshot(id)
+	if err != nil {
+		writeWireError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		writeWireError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(wal.AppendFrame(nil, payload)) //nolint:errcheck // client-side read errors are the client's
+}
+
+// handleAttach implements POST PathAttach.
+func (p *Primary) handleAttach(w http.ResponseWriter, r *http.Request) {
+	var req attachRequest
+	if err := decodeWireJSON(r, &req); err != nil {
+		writeWireError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.URL == "" {
+		writeWireError(w, http.StatusBadRequest, "missing follower url")
+		return
+	}
+	p.Attach(req.URL)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// pusher is one follower's push worker: a bounded queue drained by a
+// goroutine that batches envelopes into framed ingest POSTs.
+type pusher struct {
+	url    string
+	q      chan *pushEnvelope
+	client *http.Client
+
+	queuedBytes atomic.Int64
+	sent        atomic.Int64
+	dropped     atomic.Int64
+	errs        atomic.Int64
+	lastErr     atomic.Pointer[string]
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+func newPusher(url string, queueLen int, client *http.Client) *pusher {
+	ps := &pusher{
+		url:    url,
+		q:      make(chan *pushEnvelope, queueLen),
+		client: client,
+		stopc:  make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go ps.run()
+	return ps
+}
+
+func (ps *pusher) stop() {
+	ps.stopOnce.Do(func() { close(ps.stopc) })
+	<-ps.done
+}
+
+// run drains the queue, batching up to pushBatch envelopes per POST.  Send
+// failures are counted and the batch is dropped — the pull loop owns repair,
+// so the pusher never blocks the hooks behind a dead follower.
+func (ps *pusher) run() {
+	defer close(ps.done)
+	const pushBatch = 64
+	for {
+		var first *pushEnvelope
+		select {
+		case <-ps.stopc:
+			return
+		case first = <-ps.q:
+		}
+		batch := []*pushEnvelope{first}
+		for len(batch) < pushBatch {
+			select {
+			case env := <-ps.q:
+				batch = append(batch, env)
+			default:
+				goto send
+			}
+		}
+	send:
+		for _, env := range batch {
+			ps.queuedBytes.Add(-int64(len(env.Record) + len(env.Snapshot)))
+		}
+		var frames []byte
+		var err error
+		for _, env := range batch {
+			if frames, err = appendEnvelopeFrame(frames, env); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = ps.post(frames)
+		}
+		if err != nil {
+			ps.errs.Add(1)
+			msg := err.Error()
+			ps.lastErr.Store(&msg)
+			// Brief pause so a dead follower costs one failed POST per
+			// backoff, not a hot loop; the queue keeps absorbing (and
+			// overflow-dropping) meanwhile.
+			select {
+			case <-ps.stopc:
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		ps.sent.Add(int64(len(batch)))
+	}
+}
+
+// post ships one framed batch to the follower's ingest endpoint.
+func (ps *pusher) post(frames []byte) error {
+	resp, err := ps.client.Post(ps.url+PathIngest, "application/octet-stream", bytes.NewReader(frames))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return wireStatusError(resp)
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package replic
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netdiversity/internal/fastrand"
+)
+
+// FaultConfig parameterizes a FaultTransport.  Probabilities are in [0, 1]
+// and drawn from a seeded generator, so a chaos schedule is reproducible
+// from its seed — the wire-level sibling of wal.FaultFS.
+type FaultConfig struct {
+	// Seed for the fault generator; the same seed yields the same fault
+	// sequence for the same request sequence.
+	Seed uint64
+	// DropP is the probability a request is consumed and never delivered
+	// (the client sees a transport error, the server sees nothing).
+	DropP float64
+	// DupP is the probability a request is delivered twice back-to-back —
+	// the duplicate-delivery case every idempotent apply path must survive.
+	DupP float64
+	// DelayP is the probability a request is held up to MaxDelay before
+	// delivery.  Under concurrent senders delays reorder deliveries.
+	DelayP float64
+	// MaxDelay bounds an injected delay.  Default 20ms when DelayP > 0.
+	MaxDelay time.Duration
+}
+
+// ErrInjectedDrop is the transport error surfaced for injected drops, so
+// tests can tell injected faults from real ones.
+var ErrInjectedDrop = errors.New("replic: injected network drop")
+
+// ErrPartitioned is the transport error surfaced while a partition is up.
+var ErrPartitioned = errors.New("replic: injected network partition")
+
+// FaultTransport is an http.RoundTripper that injects faults — drops,
+// duplicates, delays, and a toggleable full partition — between a
+// replication client and its peer.  Deterministic for a given seed and
+// request order; wrap it around httptest servers to build chaos schedules.
+type FaultTransport struct {
+	// Next performs real delivery; http.DefaultTransport when nil.
+	Next http.RoundTripper
+
+	cfg FaultConfig
+
+	mu  sync.Mutex
+	rng fastrand.RNG
+
+	partitioned atomic.Bool
+
+	// Fault counters, for asserting a schedule actually exercised faults.
+	Drops      atomic.Int64
+	Dups       atomic.Int64
+	Delays     atomic.Int64
+	Rejections atomic.Int64
+}
+
+// NewFaultTransport builds a FaultTransport for the config.
+func NewFaultTransport(cfg FaultConfig) *FaultTransport {
+	if cfg.DelayP > 0 && cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 20 * time.Millisecond
+	}
+	return &FaultTransport{cfg: cfg, rng: fastrand.New(cfg.Seed)}
+}
+
+// Partition raises (true) or heals (false) a full partition: every request
+// fails until healed.
+func (t *FaultTransport) Partition(up bool) { t.partitioned.Store(up) }
+
+// roll draws the fault decisions for one request under the lock, keeping
+// the sequence deterministic even with concurrent requests in flight (the
+// decisions are then applied outside the lock).
+func (t *FaultTransport) roll() (drop, dup bool, delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.DropP > 0 && t.rng.Float64() < t.cfg.DropP {
+		drop = true
+	}
+	if t.cfg.DupP > 0 && t.rng.Float64() < t.cfg.DupP {
+		dup = true
+	}
+	if t.cfg.DelayP > 0 && t.rng.Float64() < t.cfg.DelayP {
+		delay = time.Duration(t.rng.Float64() * float64(t.cfg.MaxDelay))
+	}
+	return drop, dup, delay
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.partitioned.Load() {
+		t.Rejections.Add(1)
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body) //nolint:errcheck // fault path
+			req.Body.Close()
+		}
+		return nil, ErrPartitioned
+	}
+	drop, dup, delay := t.roll()
+	if drop {
+		t.Drops.Add(1)
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body) //nolint:errcheck // fault path
+			req.Body.Close()
+		}
+		return nil, ErrInjectedDrop
+	}
+	if delay > 0 {
+		t.Delays.Add(1)
+		time.Sleep(delay)
+	}
+	next := t.Next
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if !dup {
+		return next.RoundTrip(req)
+	}
+	// Duplicate: buffer the body so the request can be replayed, deliver it
+	// twice, return the second response (the first is fully consumed, as a
+	// network duplicate would be).
+	t.Dups.Add(1)
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	first := req.Clone(req.Context())
+	if body != nil {
+		first.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	if resp, err := next.RoundTrip(first); err == nil {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck // duplicate delivery
+		resp.Body.Close()
+	}
+	second := req.Clone(req.Context())
+	if body != nil {
+		second.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	return next.RoundTrip(second)
+}

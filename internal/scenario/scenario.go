@@ -196,28 +196,35 @@ func (m Matrix) withDefaults() Matrix {
 const (
 	SlamProfileBase      = "base"
 	SlamProfileContended = "contended"
+	SlamProfileReplica   = "replica"
 )
 
 // slamShape is one resolved slam load shape.
 type slamShape struct {
 	tenants, workers, ops int
 	mix                   string // empty = slam.DefaultMix
+	replica               bool   // reads served by an in-process follower
 }
 
 // slamShapeOf resolves a profile name against a defaulted matrix.  The
 // contended shape is fixed (not derived from the matrix sizes): four tenant
 // sessions under sixteen workers of a delta-heavy mix keep several requests
 // queued behind every session's writer slot for the whole run, and a fixed
-// shape keeps the cell comparable across suite edits.
+// shape keeps the cell comparable across suite edits.  The replica shape
+// boots a primary/follower replication pair and serves the read-heavy mix's
+// reads and metrics from the follower (internal/replic), so follower read
+// latency is gated alongside the single-node paths.
 func slamShapeOf(m Matrix, profile string) (slamShape, error) {
 	switch profile {
 	case "", SlamProfileBase:
 		return slamShape{tenants: m.SlamTenants, workers: m.SlamWorkers, ops: m.SlamOps}, nil
 	case SlamProfileContended:
 		return slamShape{tenants: 4, workers: 16, ops: 600, mix: "read=50,delta=45,metrics=5"}, nil
+	case SlamProfileReplica:
+		return slamShape{tenants: 4, workers: 8, ops: 400, mix: "read=70,delta=20,metrics=10", replica: true}, nil
 	}
-	return slamShape{}, fmt.Errorf("scenario: unknown slam profile %q (known: %s, %s)",
-		profile, SlamProfileBase, SlamProfileContended)
+	return slamShape{}, fmt.Errorf("scenario: unknown slam profile %q (known: %s, %s, %s)",
+		profile, SlamProfileBase, SlamProfileContended, SlamProfileReplica)
 }
 
 // Cell is one fully-specified run of the matrix.
@@ -270,6 +277,9 @@ type Cell struct {
 	SlamOps     int
 	SlamProfile string
 	SlamMix     string
+	// SlamReplica routes the slam phase's reads through an in-process
+	// follower of a replication pair (the "replica" profile).
+	SlamReplica bool
 	// DisablePolish skips the local ICM refinement after solving; not a
 	// matrix axis, but callers building cells directly (the solver ablation,
 	// the convergence trace) use it to measure the raw decoding.
@@ -421,6 +431,7 @@ func Expand(m Matrix) ([]Cell, error) {
 										SlamOps:            shapes[pi].ops,
 										SlamProfile:        profile,
 										SlamMix:            shapes[pi].mix,
+										SlamReplica:        shapes[pi].replica,
 										AttackRuns:         m.AttackRuns,
 										Repeats:            m.Repeats,
 										Timeout:            m.Timeout,

@@ -48,6 +48,7 @@ func runSlamBench(ctx context.Context, c Cell) (slamBench, error) {
 		MaxIterations:  c.MaxIterations,
 		AssessRuns:     10,
 		RequestTimeout: c.Timeout,
+		ReplicaReads:   c.SlamReplica,
 	}
 	rep, err := slam.Run(ctx, cfg, nil)
 	if err != nil {

@@ -121,6 +121,61 @@ func TestSlamProfileExpansion(t *testing.T) {
 	}
 }
 
+// TestSlamReplicaProfile pins the replica profile's expansion and runs its
+// cell end to end: a primary/follower pair serves the load with the follower
+// answering reads, and the measurement comes back with a clean error count —
+// the replica-read path is gated by the same SLO machinery as the single-node
+// cells.
+func TestSlamReplicaProfile(t *testing.T) {
+	cells, err := Expand(Matrix{
+		Name:          "slam",
+		Hosts:         []int{12},
+		Degrees:       []int{4},
+		Services:      []int{2},
+		Solvers:       []string{"icm"},
+		Attacks:       []string{"none"},
+		SlamLoad:      true,
+		SlamProfiles:  []string{SlamProfileReplica},
+		MaxIterations: 10,
+		Seed:          5,
+		Timeout:       time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("expected 1 cell, got %d", len(cells))
+	}
+	c := cells[0]
+	if c.ID != "uniform/h12/d4/s2/icm/none/slam-replica" {
+		t.Fatalf("replica cell ID: %q", c.ID)
+	}
+	if !c.SlamReplica || c.SlamMix == "" {
+		t.Fatalf("replica shape not resolved: %+v", c)
+	}
+	// Shrink the fixed shape for the test run; the profile's production
+	// shape is pinned above, the execution path is what this covers.
+	c.SlamTenants, c.SlamWorkers, c.SlamOps = 2, 2, 40
+	net, sim, err := BuildNetwork(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Exec(context.Background(), net, sim, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := out.Measurement
+	if m.SlamProfile != SlamProfileReplica {
+		t.Fatalf("profile not recorded: %+v", m)
+	}
+	if m.SlamErrors != 0 {
+		t.Fatalf("replica slam run had %d errors", m.SlamErrors)
+	}
+	if m.SlamReadP99MS <= 0 || m.SlamDeltaP99MS <= 0 {
+		t.Fatalf("replica latency fields not populated: %+v", m)
+	}
+}
+
 // TestSlamGraphDirectRejected verifies the slam phase cannot be combined with
 // graph-direct matrices: those cells have no network model to serve.
 func TestSlamGraphDirectRejected(t *testing.T) {

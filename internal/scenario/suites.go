@@ -117,11 +117,14 @@ func suites() map[string]func() Matrix {
 			}
 		},
 		// slam measures the serving plane under concurrent multi-tenant load
-		// (internal/slam, closed loop) in two shapes: the base cell — six
+		// (internal/slam, closed loop) in three shapes: the base cell — six
 		// tenant sessions of a 50-host network served by four workers for a
-		// fixed 400-request budget of the default mix — and the contended
-		// cell — four sessions under sixteen workers of a delta-heavy mix,
-		// keeping several writers queued behind every session's writer slot.
+		// fixed 400-request budget of the default mix — the contended cell —
+		// four sessions under sixteen workers of a delta-heavy mix, keeping
+		// several writers queued behind every session's writer slot — and the
+		// replica cell — the same load against a primary/follower replication
+		// pair (internal/replic) with reads and metrics served from the
+		// follower, gating the replica-read path's latency and error rate.
 		// Together they gate the p99 of the snapshot-read and delta paths
 		// under contention — the serve suite's single-client latencies
 		// cannot see lock, scheduler or write-queueing regressions that only
@@ -136,7 +139,7 @@ func suites() map[string]func() Matrix {
 				Solvers:       []string{"trws"},
 				Attacks:       []string{"none"},
 				SlamLoad:      true,
-				SlamProfiles:  []string{SlamProfileBase, SlamProfileContended},
+				SlamProfiles:  []string{SlamProfileBase, SlamProfileContended, SlamProfileReplica},
 				MaxIterations: 40,
 				Seed:          42,
 				Timeout:       2 * time.Minute,

@@ -204,13 +204,17 @@ func (s *Server) runDeltaBatch(ctx context.Context, sess *session) {
 	// nothing is installed — readers keep the pre-batch state, the manager
 	// is degraded, and pendingReopt stays set so consistency-requiring
 	// requests fail instead of observing the un-journaled network.
-	if err := s.journalPublish(sess, prev, snap, accepted); err != nil {
+	rec, err := s.journalPublish(sess, prev, snap, accepted)
+	if err != nil {
 		sess.rememberUnjournaled(accepted)
 		ackAll(accepted, err)
 		return
 	}
 	sess.pendingReopt = false
 	sess.install(snap)
+	if rep := s.cfg.Replicator; rep != nil && rec != nil {
+		rep.RecordCommitted(sess.id, rec)
+	}
 	changed := changedHosts(prev, snap.assignment)
 	for _, rq := range accepted {
 		resp := DeltaResponse{

@@ -28,6 +28,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/networks/{id}/assignment", s.handleAssignment)
 	s.mux.HandleFunc("GET /v1/networks/{id}/metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/networks/{id}/assess", s.handleAssess)
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 }
 
@@ -178,7 +179,7 @@ func (s *Server) loadSession(w http.ResponseWriter, r *http.Request, needSnap bo
 // snapshot.  The session is inserted before solving so the ID is reserved
 // against concurrent creates; a failed solve removes it again.
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) || s.rejectDegraded(w) {
+	if s.rejectNotPrimary(w, r) || s.rejectDraining(w) || s.rejectDegraded(w) {
 		return
 	}
 	var req CreateRequest
@@ -296,7 +297,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // deleted) or arrives after and observes the closed session — acknowledged
 // writes never disappear retroactively.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) || s.rejectDegraded(w) {
+	if s.rejectNotPrimary(w, r) || s.rejectDraining(w) || s.rejectDegraded(w) {
 		return
 	}
 	sess, _, ok := s.loadSession(w, r, false)
@@ -320,6 +321,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			// client retries the delete) and never the other way round.
 			s.cfg.Persist.Remove(sess.id) //nolint:errcheck // failure degrades the manager
 		}
+		if rep := s.cfg.Replicator; rep != nil {
+			rep.SessionDeleted(sess.id)
+		}
 	}
 	sess.unlock()
 	if closed {
@@ -338,7 +342,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // batch lands as if it never existed), and each request is acked with the
 // post-batch version.
 func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
-	if s.rejectDraining(w) || s.rejectDegraded(w) {
+	if s.rejectNotPrimary(w, r) || s.rejectDraining(w) || s.rejectDegraded(w) {
 		return
 	}
 	sess, _, ok := s.loadSession(w, r, false)
@@ -420,11 +424,15 @@ func (s *Server) healPending(ctx context.Context, sess *session) error {
 	// The healed state folds in the timed-out batch (sess.pendingJournal in
 	// persist mode), so it is journaled like any other publish before it
 	// becomes visible.
-	if err := s.journalPublish(sess, prev, snap, nil); err != nil {
+	rec, err := s.journalPublish(sess, prev, snap, nil)
+	if err != nil {
 		return err
 	}
 	sess.pendingReopt = false
 	sess.install(snap)
+	if rep := s.cfg.Replicator; rep != nil && rec != nil {
+		rep.RecordCommitted(sess.id, rec)
+	}
 	return nil
 }
 
@@ -772,6 +780,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		if st.Degraded {
 			resp.Status = "degraded"
 		}
+	}
+	if s.cfg.Replication != nil || s.cfg.Replicator != nil || s.role.Load() != rolePrimary {
+		resp.Replication = s.replicationHealth()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

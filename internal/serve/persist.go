@@ -67,22 +67,24 @@ func (s *session) walSnapshot(snap snapshot) (*wal.SessionSnapshot, error) {
 		Version:       snap.version,
 		Energy:        snap.energy,
 		Hash:          snap.hash,
-		Spec:          netmodel.ToSpec(s.net, s.opt.Constraints()),
+		Spec:          netmodel.ToSpec(s.net, s.cs),
 		Assignment:    snap.assignment,
 		Similarity:    simRaw,
 	}, nil
 }
 
-// journalPublish journals the record that takes the session from prev to
-// snap: the batch's deltas (plus any pending un-journaled deltas from a
-// timed-out batch) and the assignment diff.  On success it also writes a
-// compacted snapshot when the log is due for one — best effort, since the
-// record itself is already durable.  A nil return is the caller's licence to
-// install the snapshot and ack; an error means nothing was made visible and
-// the manager is degraded.  Called under the writer slot.
-func (s *Server) journalPublish(sess *session, prev *snapshot, snap snapshot, batch []*deltaReq) error {
-	if sess.wlog == nil {
-		return nil
+// journalPublish builds and journals the record that takes the session from
+// prev to snap: the batch's deltas (plus any pending un-journaled deltas
+// from a timed-out batch) and the assignment diff.  On success it also
+// writes a compacted snapshot when the log is due for one — best effort,
+// since the record itself is already durable.  A nil error is the caller's
+// licence to install the snapshot and ack; the returned record (non-nil
+// whenever persistence or replication needs one) is what the caller hands to
+// the Replicator hook after install.  An error means nothing was made
+// visible and the manager is degraded.  Called under the writer slot.
+func (s *Server) journalPublish(sess *session, prev *snapshot, snap snapshot, batch []*deltaReq) (*wal.Record, error) {
+	if sess.wlog == nil && !sess.replicated {
+		return nil, nil
 	}
 	recDeltas := make([]netmodel.Delta, 0, len(sess.pendingJournal)+len(batch))
 	recDeltas = append(recDeltas, sess.pendingJournal...)
@@ -104,19 +106,22 @@ func (s *Server) journalPublish(sess *session, prev *snapshot, snap snapshot, ba
 		Energy:      snap.energy,
 		Hash:        snap.hash,
 	}
-	if err := sess.wlog.Append(rec); err != nil {
-		return persistFailed(err)
+	if sess.wlog != nil {
+		if err := sess.wlog.Append(rec); err != nil {
+			return nil, persistFailed(err)
+		}
 	}
-	// The record is durable: un-journaled history is now covered.
+	// The record is durable (or the server is memory-only and the record
+	// exists purely for replication): un-journaled history is now covered.
 	sess.pendingJournal = nil
-	if sess.wlog.ShouldSnapshot() {
+	if sess.wlog != nil && sess.wlog.ShouldSnapshot() {
 		if wsnap, err := sess.walSnapshot(snap); err == nil {
 			// A failed compaction degrades the manager but does not lose the
 			// record the client is about to be acked for.
 			sess.wlog.WriteSnapshot(wsnap) //nolint:errcheck // degradation recorded by the manager
 		}
 	}
-	return nil
+	return rec, nil
 }
 
 // rememberUnjournaled records a batch whose network mutations landed without
@@ -124,9 +129,11 @@ func (s *Server) journalPublish(sess *session, prev *snapshot, snap snapshot, ba
 // failed): the deltas are kept so the next successful publish journals the
 // complete network history.  A shallow Delta copy suffices — recycled
 // requests drop their Ops reference without reusing the backing array.
-// Called under the writer slot.
+// Replicated memory-only sessions remember too: replication records must
+// carry the full delta history or follower networks diverge.  Called under
+// the writer slot.
 func (sess *session) rememberUnjournaled(batch []*deltaReq) {
-	if sess.wlog == nil {
+	if sess.wlog == nil && !sess.replicated {
 		return
 	}
 	for _, rq := range batch {
@@ -165,11 +172,13 @@ func (s *Server) Restore(rec *wal.Recovered) error {
 		seed:    meta.Seed,
 		writer:  make(chan struct{}, 1),
 		net:     rec.Net,
+		cs:      rec.Constraints,
 		sim:     sim,
 		simSpec: simSpec,
 		maxIter: meta.MaxIterations,
 		wlog:    rec.Log,
 	}
+	sess.replicated = s.cfg.Replicator != nil
 	opts := core.Options{
 		Solver:        solver,
 		MaxIterations: meta.MaxIterations,
@@ -200,6 +209,9 @@ func (s *Server) Restore(rec *wal.Recovered) error {
 		hosts:      rec.Net.NumHosts(),
 		links:      rec.Net.NumLinks(),
 	})
+	if rep := s.cfg.Replicator; rep != nil {
+		rep.SessionCreated(meta)
+	}
 	sess.unlock()
 	return nil
 }

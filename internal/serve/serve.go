@@ -97,6 +97,17 @@ type Config struct {
 	// policy's durability point (see internal/wal and persist.go).  Nil
 	// serves memory-only, exactly as before.
 	Persist *wal.Manager
+	// Replicator receives replication events (session created, record
+	// committed, session deleted) under the session writer slot; nil
+	// disables the replication plane.  See replica.go and internal/replic.
+	Replicator Replicator
+	// OnPromote is invoked by POST /v1/promote before sessions are made
+	// writable — cmd/divd uses it to stop the follower's replication loop.
+	OnPromote func()
+	// Replication supplies the transport-side half of the healthz
+	// replication block (follower lag, anti-entropy state); the server fills
+	// in role and write-rejection counters itself.
+	Replication func() *ReplicationStats
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +163,11 @@ type Server struct {
 	// cachedBytes is the total charge of the encoded-response caches
 	// across all sessions, bounded by Config.MaxCachedBytes.
 	cachedBytes atomic.Int64
+	// role and primaryURL carry the replication role (see replica.go);
+	// writesRejected counts not_primary rejections for healthz.
+	role           atomic.Int32
+	primaryURL     atomic.Pointer[string]
+	writesRejected atomic.Int64
 }
 
 // serverStats are the server's backpressure counters, incremented lock-free
@@ -234,10 +250,12 @@ func (s *Server) createSession(ctx context.Context, id, solverName string,
 		seed:    opts.Seed,
 		writer:  make(chan struct{}, 1),
 		net:     net,
+		cs:      cs,
 		sim:     sim,
 		simSpec: simSpec,
 		maxIter: opts.MaxIterations,
 	}
+	sess.replicated = s.cfg.Replicator != nil
 	// Every solve the session's optimiser ever runs reports to the slot
 	// grant active at that moment, so long solves yield to cheaper tenants
 	// at solver-step granularity.
@@ -275,13 +293,17 @@ func (s *Server) createSession(ctx context.Context, id, solverName string,
 		return rollback(err)
 	}
 	snap := sess.buildSnapshot(1)
+	var wsnap *wal.SessionSnapshot
+	if s.cfg.Persist != nil || s.cfg.Replicator != nil {
+		// The serialized snapshot feeds persistence and replication alike.
+		wsnap, err = sess.walSnapshot(snap)
+		if err != nil {
+			return rollback(persistFailed(err))
+		}
+	}
 	if s.cfg.Persist != nil {
 		// The session exists once (and only once) its initial snapshot is on
 		// disk: a create acked to the client survives an immediate crash.
-		wsnap, werr := sess.walSnapshot(snap)
-		if werr != nil {
-			return rollback(persistFailed(werr))
-		}
 		l, werr := s.cfg.Persist.Create(wsnap)
 		if werr != nil {
 			return rollback(persistFailed(werr))
@@ -289,6 +311,9 @@ func (s *Server) createSession(ctx context.Context, id, solverName string,
 		sess.wlog = l
 	}
 	sess.install(snap)
+	if rep := s.cfg.Replicator; rep != nil {
+		rep.SessionCreated(wsnap)
+	}
 	sess.unlock()
 	return sess, snap, res, nil
 }

@@ -45,10 +45,23 @@ type session struct {
 	// the writer slot.
 	pendingJournal []netmodel.Delta
 
-	// opt, net and sim are guarded by the writer slot.
+	// opt, net and sim are guarded by the writer slot.  opt is nil for a
+	// replica session on a follower: such sessions are advanced exclusively
+	// by deterministic patch replay (Server.ReplicaApply) and gain an
+	// optimiser only at promotion.
 	opt *core.Optimizer
 	net *netmodel.Network
 	sim *vulnsim.SimilarityTable
+
+	// cs is the session's constraint set (nil or empty when unconstrained),
+	// kept on the session so snapshot serialization works without an
+	// optimiser — replica sessions have none.  Guarded by the writer slot.
+	cs *netmodel.ConstraintSet
+
+	// replicated marks a session on a server with a Replicator configured:
+	// un-journaled delta batches are remembered even in memory-only mode so
+	// replication records always carry the full network history.
+	replicated bool
 
 	// closed marks a session that was removed from the store (failed create
 	// rollback, DELETE).  Guarded by the writer slot: a writer that acquires

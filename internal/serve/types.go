@@ -231,4 +231,72 @@ type HealthResponse struct {
 	// Persistence reports the persistence plane (fsync policy, WAL lag,
 	// snapshot and sync-error counters); omitted when divd runs memory-only.
 	Persistence *wal.Stats `json:"persistence,omitempty"`
+	// Replication reports the replication plane (role, follower lag,
+	// anti-entropy state); omitted when the node neither replicates nor
+	// follows.
+	Replication *ReplicationStats `json:"replication,omitempty"`
+}
+
+// ReplicationStats is the healthz replication block.  Role and
+// WritesRejected are filled by the server; the transport-side fields come
+// from the Config.Replication callback (see cmd/divd).
+type ReplicationStats struct {
+	// Role is "primary" or "follower".
+	Role string `json:"role"`
+	// Primary is the primary's base URL (followers only).
+	Primary string `json:"primary,omitempty"`
+	// WritesRejected counts state-changing requests rejected with
+	// not_primary since start.
+	WritesRejected int64 `json:"writes_rejected,omitempty"`
+	// Followers reports push-side lag per attached follower (primaries).
+	Followers []FollowerLag `json:"followers,omitempty"`
+	// AntiEntropy reports the pull loop's state (followers).
+	AntiEntropy *AntiEntropyStats `json:"anti_entropy,omitempty"`
+}
+
+// FollowerLag is one attached follower's push-side replication lag.
+type FollowerLag struct {
+	URL string `json:"url"`
+	// QueuedRecords/QueuedBytes measure the unsent push backlog.
+	QueuedRecords int   `json:"queued_records"`
+	QueuedBytes   int64 `json:"queued_bytes,omitempty"`
+	// SentRecords counts envelopes delivered; DroppedRecords counts queue
+	// overflow drops (repaired by anti-entropy).
+	SentRecords    int64 `json:"sent_records"`
+	DroppedRecords int64 `json:"dropped_records,omitempty"`
+	// Errors counts failed pushes; LastError is the most recent failure.
+	Errors    int64  `json:"errors,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// AntiEntropyStats is the follower's pull-loop state.
+type AntiEntropyStats struct {
+	// Rounds counts completed anti-entropy rounds; LastRoundUnixMS stamps
+	// the most recent one.
+	Rounds          int64 `json:"rounds"`
+	LastRoundUnixMS int64 `json:"last_round_unix_ms,omitempty"`
+	// InSync reports whether the last round ended with every session at the
+	// primary's listed version and hash.
+	InSync bool `json:"in_sync"`
+	// RecordsApplied counts records applied through patch replay (push and
+	// pull combined); RecordsFetched and SnapshotsFetched count pull-side
+	// transfers; BadRecords counts records rejected before or during apply.
+	RecordsApplied   int64 `json:"records_applied"`
+	RecordsFetched   int64 `json:"records_fetched,omitempty"`
+	SnapshotsFetched int64 `json:"snapshots_fetched,omitempty"`
+	BadRecords       int64 `json:"bad_records,omitempty"`
+	// PendingRecords counts buffered out-of-order records awaiting their
+	// chain predecessors.
+	PendingRecords int `json:"pending_records,omitempty"`
+	// Errors counts failed rounds; LastError is the most recent failure.
+	Errors    int64  `json:"errors,omitempty"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// PromoteResponse is the body of a successful POST /v1/promote.
+type PromoteResponse struct {
+	// Role is the node's role after promotion (always "primary").
+	Role string `json:"role"`
+	// Sessions counts replica sessions made writable.
+	Sessions int `json:"sessions"`
 }

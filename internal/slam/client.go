@@ -13,15 +13,30 @@ import (
 
 	"netdiversity/internal/netgen"
 	"netdiversity/internal/netmodel"
+	"netdiversity/internal/replic"
 	"netdiversity/internal/serve"
 )
 
 // target is the divd instance under load: a base URL plus the client used to
 // reach it, and (in-process mode) the shutdown hook tearing the server down.
+// In replica-read mode readBase points the read-path operations at the
+// follower and converged blocks until the follower has caught up with the
+// tenant population (runOne calls it between setup and the measured phase).
 type target struct {
-	base     string
-	client   *http.Client
-	shutdown func()
+	base      string
+	readBase  string
+	client    *http.Client
+	converged func(ctx context.Context) error
+	shutdown  func()
+}
+
+// readTarget is the base URL the read-path operations hit: the follower in
+// replica-read mode, the primary otherwise.
+func (t *target) readTarget() string {
+	if t.readBase != "" {
+		return t.readBase
+	}
+	return t.base
 }
 
 // dial resolves the config's target: a remote base URL verbatim, or a fresh
@@ -36,6 +51,9 @@ func dial(cfg Config) (*target, error) {
 	client := &http.Client{Transport: transport, Timeout: cfg.RequestTimeout}
 	if cfg.URL != "" {
 		return &target{base: cfg.URL, client: client, shutdown: func() {}}, nil
+	}
+	if cfg.ReplicaReads {
+		return dialReplicaPair(cfg, client, transport)
 	}
 	srv := serve.New(serve.Config{
 		MaxSessions:    cfg.Tenants + cfg.Workers + 64,
@@ -52,6 +70,91 @@ func dial(cfg Config) (*target, error) {
 		client: client,
 		shutdown: func() {
 			httpSrv.Close()
+			transport.CloseIdleConnections()
+		},
+	}, nil
+}
+
+// dialReplicaPair boots the replica-read deployment shape in-process: a
+// primary serve.Server with the replication hooks bound, a follower applying
+// its stream through deterministic patch replay, and the anti-entropy loop
+// running at a tight interval, wired over loopback exactly like two divd
+// processes under -replicate-to / -follow.  Writes target the primary;
+// target.readBase points reads at the follower.
+func dialReplicaPair(cfg Config, client *http.Client, transport *http.Transport) (*target, error) {
+	prim := replic.NewPrimary(replic.PrimaryOptions{})
+	primSrv := serve.New(serve.Config{
+		MaxSessions:    cfg.Tenants + cfg.Workers + 64,
+		RequestTimeout: cfg.RequestTimeout,
+		Replicator:     prim,
+	})
+	prim.Bind(primSrv)
+	primMux := http.NewServeMux()
+	primMux.Handle("/v1/replic/", prim.Handler())
+	primMux.Handle("/", primSrv.Handler())
+	primLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	primHTTP := &http.Server{Handler: primMux}
+	go primHTTP.Serve(primLn) //nolint:errcheck // closed by shutdown
+	primBase := "http://" + primLn.Addr().String()
+
+	folSrv := serve.New(serve.Config{
+		MaxSessions:    cfg.Tenants + cfg.Workers + 64,
+		RequestTimeout: cfg.RequestTimeout,
+	})
+	folSrv.SetFollower(primBase)
+	folLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		primHTTP.Close()
+		return nil, err
+	}
+	folBase := "http://" + folLn.Addr().String()
+	fol := replic.NewFollower(folSrv, primBase, replic.FollowerOptions{
+		Interval:  100 * time.Millisecond,
+		Advertise: folBase,
+	})
+	folMux := http.NewServeMux()
+	folMux.Handle(replic.PathIngest, fol.IngestHandler())
+	folMux.Handle("/", folSrv.Handler())
+	folHTTP := &http.Server{Handler: folMux}
+	go folHTTP.Serve(folLn) //nolint:errcheck // closed by shutdown
+	fol.Run()
+	prim.Attach(folBase)
+	return &target{
+		base:     primBase,
+		readBase: folBase,
+		client:   client,
+		converged: func(ctx context.Context) error {
+			for {
+				behind := false
+				for _, id := range primSrv.SessionIDs() {
+					pv, ph, ok := primSrv.ReplicaVersion(id)
+					if !ok {
+						continue
+					}
+					fv, fh, ok := folSrv.ReplicaVersion(id)
+					if !ok || fv != pv || fh != ph {
+						behind = true
+						break
+					}
+				}
+				if !behind {
+					return nil
+				}
+				select {
+				case <-ctx.Done():
+					return fmt.Errorf("slam: follower did not converge on the tenant population: %w", ctx.Err())
+				case <-time.After(20 * time.Millisecond):
+				}
+			}
+		},
+		shutdown: func() {
+			folHTTP.Close()
+			primHTTP.Close()
+			fol.Stop()
+			prim.Close()
 			transport.CloseIdleConnections()
 		},
 	}, nil
@@ -158,11 +261,16 @@ const (
 // For 429/503 responses the parsed Retry-After header (0 when absent or
 // unparsable) rides along so the retry loop can honour the server's hint.
 func (t *target) do(ctx context.Context, method, path string, body []byte, wantStatus int) (opOutcome, time.Duration) {
+	return t.doAt(ctx, t.base, method, path, body, wantStatus)
+}
+
+// doAt is do against an explicit base URL — the follower for replica reads.
+func (t *target) doAt(ctx context.Context, base, method, path string, body []byte, wantStatus int) (opOutcome, time.Duration) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, t.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return outcomeTransport, 0
 	}
@@ -238,9 +346,9 @@ func (t *target) issueRetry(ctx context.Context, cfg Config, op int, tn *tenant,
 func (t *target) issue(ctx context.Context, cfg Config, op int, tn *tenant, reqSeed int64) (opOutcome, time.Duration) {
 	switch op {
 	case opIdxRead:
-		return t.do(ctx, http.MethodGet, "/v1/networks/"+tn.id+"/assignment", nil, http.StatusOK)
+		return t.doAt(ctx, t.readTarget(), http.MethodGet, "/v1/networks/"+tn.id+"/assignment", nil, http.StatusOK)
 	case opIdxMetrics:
-		return t.do(ctx, http.MethodGet, "/v1/networks/"+tn.id+"/metrics", nil, http.StatusOK)
+		return t.doAt(ctx, t.readTarget(), http.MethodGet, "/v1/networks/"+tn.id+"/metrics", nil, http.StatusOK)
 	case opIdxDelta:
 		body, err := json.Marshal(deltaBody(tn, reqSeed))
 		if err != nil {

@@ -110,6 +110,13 @@ type Config struct {
 	// RequestTimeout is the per-request client deadline (and the in-process
 	// server's request timeout).  Default 30s.
 	RequestTimeout time.Duration
+	// ReplicaReads boots an in-process primary/follower replication pair
+	// (internal/replic) instead of a single server and serves the read and
+	// metrics operations from the follower while writes keep targeting the
+	// primary — the replica-read deployment shape, measured under the same
+	// load machinery.  Setup waits for the follower to converge on the tenant
+	// population before the clock starts.  In-process mode only.
+	ReplicaReads bool
 	// Retries is the retry budget per logical operation: a 429 or 503
 	// response is reissued up to this many times before the final outcome
 	// is recorded.  0 (the default) keeps the classic fire-once behaviour.
@@ -188,6 +195,9 @@ func (c Config) validate() error {
 		}
 	default:
 		return fmt.Errorf("slam: unknown mode %q (known: closed, open)", c.Mode)
+	}
+	if c.ReplicaReads && c.URL != "" {
+		return fmt.Errorf("slam: replica-read mode boots its own primary/follower pair and cannot target a remote URL")
 	}
 	if _, err := ParseMix(c.Mix); err != nil {
 		return err

@@ -49,6 +49,7 @@ type ConfigInfo struct {
 	RequestTimeout float64 `json:"request_timeout_s"`
 	Retries        int     `json:"retries,omitempty"`
 	BackoffS       float64 `json:"backoff_s,omitempty"`
+	ReplicaReads   bool    `json:"replica_reads,omitempty"`
 }
 
 // RunResult is the measurement of one sub-run.
@@ -209,6 +210,7 @@ func configInfo(cfg Config) ConfigInfo {
 		RequestTimeout: cfg.RequestTimeout.Seconds(),
 		Retries:        cfg.Retries,
 		BackoffS:       cfg.Backoff.Seconds(),
+		ReplicaReads:   cfg.ReplicaReads,
 	}
 }
 

@@ -110,6 +110,17 @@ func runOne(ctx context.Context, cfg Config) (RunResult, error) {
 	if err := createTenants(ctx, cfg, tgt, tenants); err != nil {
 		return RunResult{}, err
 	}
+	if tgt.converged != nil {
+		// Replica-read mode: the measured phase reads from the follower, so
+		// setup is not done until it holds the whole tenant population at the
+		// primary's versions.  The wait is part of the untimed setup phase.
+		cctx, cancel := context.WithTimeout(ctx, cfg.RequestTimeout)
+		err := tgt.converged(cctx)
+		cancel()
+		if err != nil {
+			return RunResult{}, err
+		}
+	}
 	setupMS := float64(time.Since(setupStart)) / float64(time.Millisecond)
 
 	weights, err := ParseMix(cfg.Mix)

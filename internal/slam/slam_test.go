@@ -151,6 +151,43 @@ func TestOpenLoopRun(t *testing.T) {
 	}
 }
 
+// TestReplicaReadsRun drives a tiny run in replica-read mode: the in-process
+// primary/follower pair must converge during setup, serve the whole budget
+// with zero errors (the follower answering reads and metrics), and echo the
+// mode in the report.
+func TestReplicaReadsRun(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ReplicaReads = true
+	rep, err := Run(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Runs[0]
+	if !res.Config.ReplicaReads {
+		t.Error("replica-read mode not echoed in the config")
+	}
+	if res.Total.Count != int64(cfg.Ops) {
+		t.Errorf("total count %d, want the op budget %d", res.Total.Count, cfg.Ops)
+	}
+	if res.Total.Errors != 0 {
+		t.Errorf("replica-read run recorded %d errors: %+v", res.Total.Errors, res.Total)
+	}
+	if st, ok := res.Ops[OpRead]; !ok || st.OK == 0 {
+		t.Errorf("no successful follower reads recorded: %+v", res.Ops)
+	}
+	if st, ok := res.Ops[OpDelta]; !ok || st.OK == 0 {
+		t.Errorf("no successful primary deltas recorded: %+v", res.Ops)
+	}
+}
+
+// TestReplicaReadsRejectsRemote pins the mode restriction: replica reads
+// boot their own pair and cannot wrap a remote URL.
+func TestReplicaReadsRejectsRemote(t *testing.T) {
+	if _, err := (Config{URL: "http://example.invalid", ReplicaReads: true}).Expand(); err == nil {
+		t.Fatal("replica reads against a remote URL accepted")
+	}
+}
+
 // TestRunReportRoundTrip writes a report and reads it back.
 func TestRunReportRoundTrip(t *testing.T) {
 	cfg := tinyConfig()

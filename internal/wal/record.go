@@ -39,6 +39,18 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// AppendFrame appends payload to dst as one length-prefixed, CRC32C-checked
+// frame — the exact on-disk log framing, exported so the replication plane
+// (internal/replic) ships records and snapshots over the wire with the same
+// torn/corrupt detection the recovery path already trusts.
+func AppendFrame(dst, payload []byte) []byte { return appendFrame(dst, payload) }
+
+// ReadFrame reads one frame from r and returns its payload.  io.EOF means a
+// clean end exactly at a frame boundary; ErrTorn and ErrCorrupt mean what
+// they mean on disk.  The exported counterpart of the segment reader, used
+// by the replication plane to consume framed streams off the wire.
+func ReadFrame(r *bufio.Reader) ([]byte, error) { return readFrame(r) }
+
 // appendFrame appends the framed payload to dst and returns the result.
 func appendFrame(dst, payload []byte) []byte {
 	var hdr [frameHeaderSize]byte
@@ -113,6 +125,25 @@ func (r *Record) validate() error {
 		return errors.New("wal: record missing assignment hash")
 	}
 	return nil
+}
+
+// Encode validates the record and returns its canonical JSON payload — the
+// bytes a frame carries, identical on disk and on the replication wire.
+func (r *Record) Encode() ([]byte, error) { return encodeRecord(r) }
+
+// DecodeRecord decodes a frame payload back into a Record.  Malformed JSON
+// is reported as ErrCorrupt, mirroring the recovery path; the decoded record
+// is additionally validated so a syntactically clean but impossible record
+// (version not after prev, missing hash) never enters an apply path.
+func DecodeRecord(payload []byte) (*Record, error) {
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return rec, nil
 }
 
 func encodeRecord(r *Record) ([]byte, error) {

@@ -4,14 +4,18 @@
 # assert the version moved.  Then the crash-recovery phase: boot with a data
 # directory under -fsync always, SIGKILL the daemon mid-load, restart it on
 # the same directory and assert every session recovers to a durably-acked
-# version with the identical assignment hash (docs/DURABILITY.md).  CI's
-# docs job runs this; it needs only curl and python3.
+# version with the identical assignment hash (docs/DURABILITY.md).  Then the
+# two-node failover phase: a primary/follower pair under write load, the
+# primary SIGKILLed mid-run, the follower promoted and the client's ack log
+# reconciled against the survivor (docs/REPLICATION.md).  CI's docs job runs
+# this; it needs only curl and python3.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 workdir="$(mktemp -d)"
-trap 'kill "$divd_pid" 2>/dev/null || true; kill "$load_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+trap 'kill "$divd_pid" 2>/dev/null || true; kill "$follower_pid" 2>/dev/null || true; kill "$load_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 load_pid=""
+follower_pid=""
 
 go build -o "$workdir/divd" ./cmd/divd
 
@@ -195,4 +199,188 @@ PY
 
 kill "$divd_pid"
 wait "$divd_pid" || { echo "FAIL: divd exited nonzero on SIGTERM after recovery"; exit 1; }
-echo "divd smoke test PASSED (serving + crash recovery)"
+echo "crash recovery PASSED"
+
+# ---------------------------------------------------------------------------
+# Two-node failover phase: a primary pushes committed records to a follower
+# (-replicate-to / -follow); the follower serves reads locally and rejects
+# writes with a 307 not_primary redirect.  Under sustained write load we wait
+# for the follower to catch up to an acked watermark while the load keeps
+# running, SIGKILL the primary mid-run, promote the follower and reconcile
+# the client's ack log against the survivor: nothing acked at or below the
+# watermark may be lost, and wherever the survivor's version appears in the
+# ack history the assignment hashes must agree.
+
+# The primary needs the follower's URL at boot, so reserve the follower's
+# port up front.
+follower_port="$(python3 -c 'import socket; s=socket.socket(); s.bind(("127.0.0.1",0)); print(s.getsockname()[1]); s.close()')"
+follower_base="http://127.0.0.1:$follower_port"
+
+wait_addr() { # wait_addr <logfile> <pid> -> prints the node's base URL
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^divd listening on //p' "$1" | head -1)"
+    [ -n "$addr" ] && break
+    kill -0 "$2" 2>/dev/null || { echo "divd exited early:" >&2; cat "$1" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "divd never reported its address" >&2; cat "$1" >&2; exit 1; }
+  echo "http://$addr"
+}
+
+request_at() { # request_at <base> <expected-status> <method> <path> [data-file]
+  local at="$1" want="$2" method="$3" path="$4" data="${5:-}"
+  local args=(-sS -o "$workdir/body" -w '%{http_code}' -X "$method" "$at$path")
+  [ -n "$data" ] && args+=(-H 'Content-Type: application/json' --data-binary "@$data")
+  local got
+  got="$(curl "${args[@]}")"
+  if [ "$got" != "$want" ]; then
+    echo "FAIL: $method $at$path returned $got, want $want" >&2
+    cat "$workdir/body" >&2
+    exit 1
+  fi
+  cat "$workdir/body"
+}
+
+"$workdir/divd" -addr 127.0.0.1:0 -replicate-to "$follower_base" >"$workdir/divd-primary.log" 2>&1 &
+divd_pid=$!
+primary_base="$(wait_addr "$workdir/divd-primary.log" "$divd_pid")"
+
+"$workdir/divd" -addr "127.0.0.1:$follower_port" -follow "$primary_base" \
+  -anti-entropy-interval 200ms >"$workdir/divd-follower.log" 2>&1 &
+follower_pid=$!
+wait_addr "$workdir/divd-follower.log" "$follower_pid" >/dev/null
+grep -q "divd following $primary_base" "$workdir/divd-follower.log" \
+  || { echo "FAIL: follower did not report following the primary"; cat "$workdir/divd-follower.log"; exit 1; }
+echo "primary at $primary_base replicating to follower at $follower_base"
+
+# Both nodes expose their role and replication state on healthz.
+request_at "$primary_base" 200 GET /healthz | python3 -c 'import json,sys
+r = json.load(sys.stdin).get("replication") or sys.exit("FAIL: primary healthz has no replication block")
+if r["role"] != "primary" or not r.get("followers"):
+    sys.exit(f"FAIL: primary healthz replication block: {r}")'
+request_at "$follower_base" 200 GET /healthz | python3 -c 'import json,sys
+r = json.load(sys.stdin).get("replication") or sys.exit("FAIL: follower healthz has no replication block")
+if r["role"] != "follower":
+    sys.exit(f"FAIL: follower healthz replication block: {r}")'
+
+create_payload smoke-e >"$workdir/create-e.json"
+request_at "$primary_base" 201 POST /v1/networks "$workdir/create-e.json" >/dev/null
+
+# The session replicates to the follower, which then serves the read locally.
+replicated=""
+for _ in $(seq 1 100); do
+  code="$(curl -sS -o "$workdir/body" -w '%{http_code}' "$follower_base/v1/networks/smoke-e/assignment")" || code=000
+  [ "$code" = "200" ] && { replicated=1; break; }
+  sleep 0.1
+done
+[ -n "$replicated" ] || { echo "FAIL: smoke-e never replicated to the follower"; cat "$workdir/divd-follower.log"; exit 1; }
+echo "smoke-e replicated; follower serves reads"
+
+# Writes at the follower bounce to the primary with a 307 and the stable
+# error code, and the Location header carries the primary-side URL.
+code="$(curl -sS -o "$workdir/body" -D "$workdir/headers" -w '%{http_code}' -X POST \
+  -H 'Content-Type: application/json' --data-binary "@$workdir/delta.json" \
+  "$follower_base/v1/networks/smoke-e/deltas")"
+[ "$code" = "307" ] || { echo "FAIL: follower write returned $code, want 307"; cat "$workdir/body"; exit 1; }
+grep -qi "^location: $primary_base/v1/networks/smoke-e/deltas" "$workdir/headers" \
+  || { echo "FAIL: 307 Location does not point at the primary"; cat "$workdir/headers"; exit 1; }
+grep -q "not_primary" "$workdir/body" || { echo "FAIL: follower rejection lacks not_primary"; cat "$workdir/body"; exit 1; }
+echo "follower write redirect OK"
+
+# Sustained write load against the primary, acked (version, hash) pairs
+# logged exactly like the crash phase.
+: >"$workdir/failover-acked.log"
+(
+  i=0
+  while :; do
+    i=$(( (i % 9) + 1 ))
+    printf '{"ops":[{"op":"update_services","id":"h0","services":["s1","s2"],"choices":{"s1":["s1_p1","s1_p2","s1_p3","s1_p4"],"s2":["s2_p1","s2_p2","s2_p3","s2_p4"]},"preference":{"s1":{"s1_p1":0.%d}}}]}' "$i" >"$workdir/failover-delta.json"
+    curl -sS -X POST -H 'Content-Type: application/json' \
+      --data-binary "@$workdir/failover-delta.json" \
+      "$primary_base/v1/networks/smoke-e/deltas" 2>/dev/null \
+      | python3 -c 'import json,sys
+try:
+    r = json.load(sys.stdin)
+    print(r["version"], r["assignment_hash"], flush=True)
+except Exception:
+    pass' >>"$workdir/failover-acked.log" || break
+  done
+) &
+load_pid=$!
+
+sleep 2
+acked_count="$(wc -l <"$workdir/failover-acked.log")"
+[ "$acked_count" -ge 1 ] || { echo "FAIL: no deltas acked under the failover load"; exit 1; }
+
+# Take an acked watermark and wait (load still running) for the follower to
+# replicate past it.  Acks are primary-durable, replication is asynchronous:
+# the promotion contract is that a follower caught up to a watermark keeps
+# everything at or below it.
+mark_version="$(tail -n 1 "$workdir/failover-acked.log" | cut -d' ' -f1)"
+caught_up=""
+for _ in $(seq 1 150); do
+  v="$(curl -sS "$follower_base/v1/networks/smoke-e/assignment" 2>/dev/null \
+    | python3 -c 'import json,sys
+try:
+    print(json.load(sys.stdin).get("version", 0))
+except Exception:
+    print(0)')" || v=0
+  [ "$v" -ge "$mark_version" ] && { caught_up=1; break; }
+  sleep 0.1
+done
+[ -n "$caught_up" ] || { echo "FAIL: follower never caught up to acked v$mark_version"; cat "$workdir/divd-follower.log"; exit 1; }
+
+# Kill the primary dead mid-run, then stop the load.
+kill -9 "$divd_pid"
+kill "$load_pid" 2>/dev/null || true
+wait "$load_pid" 2>/dev/null || true
+load_pid=""
+wait "$divd_pid" 2>/dev/null || true
+echo "killed primary -9 mid-run ($(wc -l <"$workdir/failover-acked.log") acked deltas, follower caught up to v$mark_version)"
+
+# Promote the follower; a second promote is a no-op conflict.
+request_at "$follower_base" 200 POST /v1/promote >"$workdir/promote.json"
+promote_role="$(json_field role <"$workdir/promote.json")"
+promote_sessions="$(json_field sessions <"$workdir/promote.json")"
+if [ "$promote_role" != "primary" ] || [ "$promote_sessions" -lt 1 ]; then
+  echo "FAIL: promote answered role=$promote_role sessions=$promote_sessions" >&2
+  exit 1
+fi
+request_at "$follower_base" 409 POST /v1/promote >/dev/null
+
+# Reconcile the ack log against the survivor: the watermark the follower
+# caught up to must survive, and any surviving version that appears in the
+# ack history must carry the acked hash (deterministic patch replay).
+request_at "$follower_base" 200 GET /v1/networks/smoke-e/assignment >"$workdir/e-after.json"
+python3 - "$workdir/failover-acked.log" "$workdir/e-after.json" "$mark_version" <<'PY'
+import json, sys
+acked = {}
+for line in open(sys.argv[1]):
+    parts = line.split()
+    if len(parts) == 2:
+        acked[int(parts[0])] = parts[1]
+after = json.load(open(sys.argv[2]))
+mark = int(sys.argv[3])
+got_v, got_h = after["version"], after["assignment_hash"]
+if got_v < mark:
+    sys.exit(f"FAIL: survivor at v{got_v} lost caught-up acked version {mark}")
+if got_v in acked and acked[got_v] != got_h:
+    sys.exit(f"FAIL: survivor v{got_v} serves hash {got_h}, acked {acked[got_v]}")
+print(f"survivor serves v{got_v} (watermark v{mark}, last ack v{max(acked)}), hashes consistent")
+PY
+
+# The promoted node takes writes: the next delta advances the version chain
+# from exactly where the survivor stands.
+survivor_version="$(json_field version <"$workdir/e-after.json")"
+new_version="$(request_at "$follower_base" 200 POST /v1/networks/smoke-e/deltas "$workdir/delta.json" | json_field version)"
+if [ "$new_version" != "$(( survivor_version + 1 ))" ]; then
+  echo "FAIL: post-promotion delta moved v$survivor_version to v$new_version" >&2
+  exit 1
+fi
+echo "post-promotion write OK (v$new_version)"
+
+kill "$follower_pid"
+wait "$follower_pid" || { echo "FAIL: promoted node exited nonzero on SIGTERM"; exit 1; }
+follower_pid=""
+echo "divd smoke test PASSED (serving + crash recovery + failover)"
